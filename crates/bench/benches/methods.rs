@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks: wall-clock cost of simulating each BC
+//! method (host-side throughput of the functional+timing engine).
+
+use bc_core::{BcOptions, Method, RootSelection};
+use bc_graph::gen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_methods(c: &mut Criterion) {
+    let graphs = [
+        ("smallworld_8k", gen::watts_strogatz(8192, 10, 0.1, 1)),
+        ("mesh_8k", gen::triangulated_grid(90, 90, 1)),
+        ("kron_8k", gen::kronecker(13, 16, 1)),
+    ];
+    let methods = [
+        Method::EdgeParallel,
+        Method::WorkEfficient,
+        Method::Hybrid(Default::default()),
+        Method::Sampling(Default::default()),
+    ];
+    let mut group = c.benchmark_group("simulate_method");
+    group.sample_size(10);
+    for (gname, g) in &graphs {
+        for m in &methods {
+            group.bench_with_input(
+                BenchmarkId::new(*gname, m.name()),
+                &(g, m),
+                |b, (g, m)| {
+                    let opts =
+                        BcOptions { roots: RootSelection::Strided(16), ..Default::default() };
+                    b.iter(|| m.run(g, &opts).unwrap().report.device_seconds)
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks: host-side traversal primitives —
+//! sequential Brandes roots, the rayon CPU baseline, and raw BFS.
+
+use bc_core::{brandes, cpu_parallel};
+use bc_graph::{gen, traversal};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_traversal(c: &mut Criterion) {
+    let g = gen::watts_strogatz(16384, 10, 0.1, 1);
+
+    let mut group = c.benchmark_group("host_traversal");
+    group.sample_size(10);
+
+    group.bench_function("bfs_single_source", |b| {
+        b.iter(|| traversal::bfs_distances(&g, 0))
+    });
+
+    group.bench_function("brandes_single_root", |b| {
+        b.iter(|| {
+            let ss = brandes::single_source(&g, 0);
+            let mut bc = vec![0.0; g.num_vertices()];
+            brandes::accumulate(&g, 0, &ss, &mut bc);
+            bc
+        })
+    });
+
+    let roots: Vec<u32> = (0..64).collect();
+    for threads in [1usize, 0] {
+        let label = if threads == 1 { "sequential_64_roots" } else { "rayon_64_roots" };
+        group.bench_with_input(BenchmarkId::new("roots", label), &threads, |b, &t| {
+            if t == 1 {
+                b.iter(|| brandes::betweenness_from_roots(&g, roots.iter().copied()))
+            } else {
+                b.iter(|| cpu_parallel::betweenness_from_roots(&g, &roots))
+            }
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

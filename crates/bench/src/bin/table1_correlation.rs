@@ -1,0 +1,72 @@
+//! E-tab1 — regenerate Table I: correlation of vertex- and
+//! edge-frontier sizes with per-iteration execution time for three
+//! roots on five graph classes.
+//!
+//! The paper uses roots {0, 2121, 6004}; at reduced scales those ids
+//! are mapped proportionally into range.
+//!
+//! ```text
+//! cargo run -p bc-bench --release --bin table1_correlation [--reduction R] [--seed S]
+//! ```
+
+use bc_bench::{print_table, write_json, Args};
+use bc_core::frontier;
+use bc_gpusim::DeviceConfig;
+use bc_graph::DatasetId;
+use serde::Serialize;
+
+const PAPER_ROOTS: [u64; 3] = [0, 2121, 6004];
+
+#[derive(Serialize)]
+struct Record {
+    dataset: &'static str,
+    root: u32,
+    rho_vt: f64,
+    rho_et: f64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let reduction = args.reduction(3);
+    let seed = args.seed();
+    let device = DeviceConfig::gtx_titan();
+
+    let graphs = [
+        DatasetId::RggN2_20,
+        DatasetId::DelaunayN20,
+        DatasetId::KronG500Logn20,
+        DatasetId::LuxembourgOsm,
+        DatasetId::Smallworld,
+    ];
+
+    println!("Table I analogue (reduction = {reduction}, seed = {seed})");
+    println!("rho_vt = corr(vertex frontier, iteration time); rho_et = corr(edge frontier, iteration time)\n");
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for d in graphs {
+        let g = d.generate(reduction, seed);
+        let n = g.num_vertices() as u64;
+        let paper_n = d.paper_row().vertices;
+        for &paper_root in &PAPER_ROOTS {
+            // Scale the paper's root id into the generated range.
+            let root = ((paper_root * n) / paper_n.max(1)).min(n.saturating_sub(1)) as u32;
+            let t = frontier::trace_root(&g, root, &device);
+            rows.push(vec![
+                d.name().to_string(),
+                root.to_string(),
+                format!("{:.3}", t.rho_vt()),
+                format!("{:.3}", t.rho_et()),
+            ]);
+            records.push(Record { dataset: d.name(), root, rho_vt: t.rho_vt(), rho_et: t.rho_et() });
+        }
+    }
+    print_table(&["graph", "root", "rho_vt", "rho_et"], &rows);
+
+    let min_vt = records.iter().map(|r| r.rho_vt).fold(f64::INFINITY, f64::min);
+    println!(
+        "\nminimum rho_vt = {min_vt:.3} — the paper's claim is that the vertex frontier \
+         correlates positively with iteration time regardless of root or structure"
+    );
+    write_json("table1_correlation", &records);
+}

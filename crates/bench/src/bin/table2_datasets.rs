@@ -1,0 +1,76 @@
+//! E-tab2 — regenerate Table II: dataset statistics, paper vs the
+//! generated analogues.
+//!
+//! ```text
+//! cargo run -p bc-bench --release --bin table2_datasets [--reduction R] [--seed S]
+//! ```
+
+use bc_bench::{print_table, write_json, Args};
+use bc_graph::{DatasetId, GraphStats};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    dataset: &'static str,
+    reduction: u32,
+    paper_vertices: u64,
+    paper_edges: u64,
+    paper_max_degree: u32,
+    paper_diameter: u32,
+    stats: GraphStats,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let reduction = args.reduction(3);
+    let seed = args.seed();
+
+    println!("Table II analogue (reduction = {reduction}, seed = {seed})");
+    println!("paper columns are the published full-scale values; generated columns are our analogues\n");
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for d in DatasetId::ALL {
+        let row = d.paper_row();
+        let g = d.generate(reduction, seed);
+        let s = GraphStats::compute_with_limit(&g, 0);
+        rows.push(vec![
+            d.name().to_string(),
+            row.vertices.to_string(),
+            s.vertices.to_string(),
+            row.edges.to_string(),
+            s.edges.to_string(),
+            row.max_degree.to_string(),
+            s.max_degree.to_string(),
+            row.diameter.to_string(),
+            s.diameter.to_string(),
+            row.description.to_string(),
+        ]);
+        records.push(Record {
+            dataset: d.name(),
+            reduction,
+            paper_vertices: row.vertices,
+            paper_edges: row.edges,
+            paper_max_degree: row.max_degree,
+            paper_diameter: row.diameter,
+            stats: s,
+        });
+    }
+    print_table(
+        &[
+            "graph",
+            "n(paper)",
+            "n(ours)",
+            "m(paper)",
+            "m(ours)",
+            "maxdeg(p)",
+            "maxdeg(o)",
+            "diam(p)",
+            "diam(o)",
+            "description",
+        ],
+        &rows,
+    );
+    println!("\n(diameters at reduced scale shrink with n; compare per-class magnitude, not decimals)");
+    write_json("table2_datasets", &records);
+}

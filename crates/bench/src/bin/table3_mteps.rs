@@ -1,0 +1,103 @@
+//! E-tab3 — regenerate Table III: MTEPS of the edge-parallel
+//! baseline vs the sampling method on the eight mid-size graphs,
+//! with the geometric-mean speedup (the paper's headline 2.71×).
+//!
+//! ```text
+//! cargo run -p bc-bench --release --bin table3_mteps [--reduction R] [--roots K] [--seed S]
+//! ```
+
+use bc_bench::{fmt_seconds, print_table, write_json, Args};
+use bc_core::{teps, BcOptions, Method, RootSelection};
+use bc_graph::DatasetId;
+use serde::Serialize;
+
+/// The paper's Table III values for side-by-side comparison.
+fn paper_row(d: DatasetId) -> (f64, f64, f64) {
+    match d.name() {
+        "af_shell9" => (18.00, 239.66, 13.31),
+        "caidaRouterLevel" => (180.98, 182.21, 1.01),
+        "cnr-2000" => (141.75, 220.64, 1.56),
+        "com-amazon" => (109.72, 127.79, 1.16),
+        "delaunay_n20" => (14.19, 145.09, 10.23),
+        "loc-gowalla" => (209.56, 219.31, 1.05),
+        "luxembourg.osm" => (4.74, 39.42, 8.31),
+        "smallworld" => (297.48, 398.63, 1.34),
+        _ => (f64::NAN, f64::NAN, f64::NAN),
+    }
+}
+
+#[derive(Serialize)]
+struct Record {
+    dataset: &'static str,
+    vertices: usize,
+    edges: u64,
+    edge_parallel_mteps: f64,
+    sampling_mteps: f64,
+    speedup: f64,
+    paper_edge_parallel_mteps: f64,
+    paper_sampling_mteps: f64,
+    paper_speedup: f64,
+    edge_parallel_seconds: f64,
+    sampling_seconds: f64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let reduction = args.reduction(0);
+    let k = args.roots(64);
+    let seed = args.seed();
+
+    println!("Table III analogue (reduction = {reduction}, {k} sampled roots, seed = {seed})");
+    println!("MTEPS = millions of traversed edges per second, TEPS_BC = mn/t\n");
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut factors = Vec::new();
+    for d in DatasetId::TABLE3 {
+        let g = d.generate(reduction, seed);
+        let opts = BcOptions { roots: RootSelection::Strided(k), ..Default::default() };
+        let ep = Method::EdgeParallel.run(&g, &opts).expect("edge-parallel fits");
+        let samp = Method::Sampling(bc_bench::scaled_sampling(g.num_vertices(), k))
+            .run(&g, &opts)
+            .expect("sampling fits");
+        let speedup = ep.report.full_seconds / samp.report.full_seconds;
+        factors.push(speedup);
+        let (pep, psamp, pspeed) = paper_row(d);
+        rows.push(vec![
+            d.name().to_string(),
+            format!("{:.2}", ep.report.mteps()),
+            format!("{:.2}", samp.report.mteps()),
+            format!("{speedup:.2}x"),
+            format!("{pep:.2}"),
+            format!("{psamp:.2}"),
+            format!("{pspeed:.2}x"),
+        ]);
+        records.push(Record {
+            dataset: d.name(),
+            vertices: g.num_vertices(),
+            edges: g.num_undirected_edges(),
+            edge_parallel_mteps: ep.report.mteps(),
+            sampling_mteps: samp.report.mteps(),
+            speedup,
+            paper_edge_parallel_mteps: pep,
+            paper_sampling_mteps: psamp,
+            paper_speedup: pspeed,
+            edge_parallel_seconds: ep.report.full_seconds,
+            sampling_seconds: samp.report.full_seconds,
+        });
+        eprintln!(
+            "  {}: EP {} vs sampling {}",
+            d.name(),
+            fmt_seconds(ep.report.full_seconds),
+            fmt_seconds(samp.report.full_seconds)
+        );
+    }
+    println!();
+    print_table(
+        &["graph", "EP MTEPS", "samp MTEPS", "speedup", "EP(paper)", "samp(paper)", "speedup(paper)"],
+        &rows,
+    );
+    let gm = teps::geometric_mean(&factors);
+    println!("\ngeometric-mean speedup: {gm:.2}x   (paper: 2.71x)");
+    write_json("table3_mteps", &records);
+}

@@ -1,0 +1,164 @@
+//! Shared harness code for the experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! DESIGN.md §4). Common concerns — CLI flags, deterministic seeds,
+//! table rendering, JSON result export — live here.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Default seed for every experiment (override with `--seed`).
+pub const DEFAULT_SEED: u64 = 20140101;
+
+/// Minimal flag parser: `--key value` pairs after the binary name.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parse the process arguments.
+    pub fn from_env() -> Self {
+        let mut pairs = Vec::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(k) = it.next() {
+            if let Some(name) = k.strip_prefix("--") {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --{name}");
+                    std::process::exit(2);
+                });
+                pairs.push((name.to_string(), v));
+            } else {
+                eprintln!("unexpected argument: {k}");
+                std::process::exit(2);
+            }
+        }
+        Args { pairs }
+    }
+
+    /// Look up a flag, parsing it into `T`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Experiment seed (`--seed`).
+    pub fn seed(&self) -> u64 {
+        self.get("seed", DEFAULT_SEED)
+    }
+
+    /// Dataset scale reduction (`--reduction`, halvings of the paper
+    /// sizes; 0 = full Table II scale).
+    pub fn reduction(&self, default: u32) -> u32 {
+        self.get("reduction", default)
+    }
+
+    /// Sampled roots per configuration (`--roots`).
+    pub fn roots(&self, default: usize) -> usize {
+        self.get("roots", default)
+    }
+}
+
+/// Sampling parameters scaled to a K-of-n sampled-roots run: the
+/// real algorithm spends its first `n_samps = 512` roots (of n) in
+/// the work-efficient phase; a harness simulating only `k` roots
+/// must shrink the phase proportionally or the decision phase never
+/// ends.
+pub fn scaled_sampling(n: usize, k: usize) -> bc_core::SamplingParams {
+    let base = bc_core::SamplingParams::default();
+    if k >= n {
+        return base;
+    }
+    let scaled = (base.n_samps * k).div_ceil(n.max(1)).max(3);
+    bc_core::SamplingParams { n_samps: scaled, ..base }
+}
+
+/// Directory experiment outputs are written to (`results/`, created
+/// on demand).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Serialize an experiment record to `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = out_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize experiment record");
+    std::fs::write(&path, json).expect("write experiment record");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Render an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{:>width$}", c, width = widths[i]));
+        }
+        s
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", line(&hdr));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Format seconds compactly (µs → hours).
+pub fn fmt_seconds(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2}s")
+    } else if s < 7200.0 {
+        format!("{:.1}min", s / 60.0)
+    } else {
+        format!("{:.2}h", s / 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_lookup_with_defaults() {
+        let args = Args {
+            pairs: vec![("roots".into(), "128".into()), ("seed".into(), "7".into())],
+        };
+        assert_eq!(args.roots(1), 128);
+        assert_eq!(args.seed(), 7);
+        assert_eq!(args.reduction(3), 3);
+        // Unparseable values fall back to the default.
+        let bad = Args { pairs: vec![("roots".into(), "xyz".into())] };
+        assert_eq!(bad.roots(9), 9);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(5e-5), "50.0us");
+        assert_eq!(fmt_seconds(0.25), "250.00ms");
+        assert_eq!(fmt_seconds(3.5), "3.50s");
+        assert_eq!(fmt_seconds(600.0), "10.0min");
+        assert_eq!(fmt_seconds(90000.0), "25.00h");
+    }
+}

@@ -1,0 +1,221 @@
+//! Argument parsing for the `hybrid-bc` binary. Hand-rolled (no CLI
+//! dependency): `--flag value` pairs plus `--help`.
+
+use bc_core::{HybridParams, Method, RootSelection, SamplingParams};
+use bc_gpusim::DeviceConfig;
+
+/// How to execute the computation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunMethod {
+    /// Host-side sequential Brandes.
+    Sequential,
+    /// Host-side rayon-parallel Brandes.
+    CpuParallel,
+    /// One of the six simulated GPU methods.
+    Simulated(Method),
+}
+
+impl RunMethod {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunMethod::Sequential => "sequential",
+            RunMethod::CpuParallel => "cpu",
+            RunMethod::Simulated(m) => m.name(),
+        }
+    }
+}
+
+/// Parsed invocation.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Path to a graph file (format by extension), mutually
+    /// exclusive with `dataset`.
+    pub graph: Option<String>,
+    /// Name of a Table II dataset analogue to generate.
+    pub dataset: Option<String>,
+    /// Scale reduction for generated datasets.
+    pub reduction: u32,
+    /// Generator seed.
+    pub seed: u64,
+    /// BC method.
+    pub method: RunMethod,
+    /// Root selection.
+    pub roots: RootSelection,
+    /// Simulated device.
+    pub device: DeviceConfig,
+    /// Normalize scores.
+    pub normalize: bool,
+    /// Print the top-K vertices.
+    pub top: usize,
+    /// Write all scores to this path.
+    pub out: Option<String>,
+    /// Emit the run report as JSON on stdout.
+    pub json: bool,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+hybrid-bc — betweenness centrality with the SC'14 hybrid GPU methods
+
+USAGE:
+    hybrid-bc [--graph FILE | --dataset NAME] [OPTIONS]
+
+INPUT:
+    --graph FILE       read a graph (.graph METIS, .mtx MatrixMarket,
+                       .txt/.el edge list, .bin binary CSR)
+    --dataset NAME     generate a Table II analogue (af_shell9,
+                       caidaRouterLevel, cnr-2000, com-amazon,
+                       delaunay_n20, kron_g500-logn20, loc-gowalla,
+                       luxembourg.osm, rgg_n_2_20, smallworld)
+    --reduction R      halve the dataset size R times      [default: 4]
+    --seed S           generator seed               [default: 20140101]
+
+COMPUTATION:
+    --method M         sequential | cpu | vertex-parallel |
+                       edge-parallel | gpu-fan | work-efficient |
+                       hybrid | sampling             [default: sampling]
+    --roots R          all | a number K (strided sample)  [default: all]
+    --device D         titan | m2090                    [default: titan]
+    --normalize        scale scores by (n-1)(n-2)[/2]
+
+OUTPUT:
+    --top K            print the K most central vertices  [default: 10]
+    --out FILE         write one score per line to FILE
+    --json             print the simulation report as JSON
+    --help             this text
+";
+
+/// Parse an argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        graph: None,
+        dataset: None,
+        reduction: 4,
+        seed: 20140101,
+        method: RunMethod::Simulated(Method::Sampling(SamplingParams::default())),
+        roots: RootSelection::All,
+        device: DeviceConfig::gtx_titan(),
+        normalize: false,
+        top: 10,
+        out: None,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--graph" => cli.graph = Some(value()?),
+            "--dataset" => cli.dataset = Some(value()?),
+            "--reduction" => {
+                cli.reduction = value()?.parse().map_err(|e| format!("--reduction: {e}"))?
+            }
+            "--seed" => cli.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--method" => cli.method = parse_method(&value()?)?,
+            "--roots" => {
+                let v = value()?;
+                cli.roots = if v == "all" {
+                    RootSelection::All
+                } else {
+                    RootSelection::Strided(
+                        v.parse().map_err(|e| format!("--roots: {e}"))?,
+                    )
+                };
+            }
+            "--device" => {
+                cli.device = match value()?.as_str() {
+                    "titan" => DeviceConfig::gtx_titan(),
+                    "m2090" => DeviceConfig::tesla_m2090(),
+                    other => return Err(format!("unknown device '{other}'")),
+                }
+            }
+            "--normalize" => cli.normalize = true,
+            "--top" => cli.top = value()?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--out" => cli.out = Some(value()?),
+            "--json" => cli.json = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+        }
+    }
+    if cli.graph.is_some() == cli.dataset.is_some() {
+        return Err(format!("exactly one of --graph or --dataset is required\n\n{USAGE}"));
+    }
+    Ok(cli)
+}
+
+fn parse_method(name: &str) -> Result<RunMethod, String> {
+    Ok(match name {
+        "sequential" => RunMethod::Sequential,
+        "cpu" => RunMethod::CpuParallel,
+        "vertex-parallel" | "vp" => RunMethod::Simulated(Method::VertexParallel),
+        "edge-parallel" | "ep" => RunMethod::Simulated(Method::EdgeParallel),
+        "gpu-fan" => RunMethod::Simulated(Method::GpuFan),
+        "work-efficient" | "we" => RunMethod::Simulated(Method::WorkEfficient),
+        "hybrid" => RunMethod::Simulated(Method::Hybrid(HybridParams::default())),
+        "sampling" => RunMethod::Simulated(Method::Sampling(SamplingParams::default())),
+        other => return Err(format!("unknown method '{other}'\n\n{USAGE}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn minimal_dataset_invocation() {
+        let cli = parse(&s(&["--dataset", "smallworld"])).unwrap();
+        assert_eq!(cli.dataset.as_deref(), Some("smallworld"));
+        assert!(cli.graph.is_none());
+        assert_eq!(cli.reduction, 4);
+        assert_eq!(cli.method.name(), "sampling");
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let cli = parse(&s(&[
+            "--graph", "g.mtx", "--method", "we", "--roots", "128", "--device", "m2090",
+            "--normalize", "--top", "5", "--out", "scores.txt", "--json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.graph.as_deref(), Some("g.mtx"));
+        assert_eq!(cli.method.name(), "work-efficient");
+        assert_eq!(cli.roots, RootSelection::Strided(128));
+        assert_eq!(cli.device.name, "Tesla M2090");
+        assert!(cli.normalize && cli.json);
+        assert_eq!(cli.top, 5);
+        assert_eq!(cli.out.as_deref(), Some("scores.txt"));
+    }
+
+    #[test]
+    fn host_methods() {
+        let cli = parse(&s(&["--dataset", "smallworld", "--method", "cpu"])).unwrap();
+        assert_eq!(cli.method, RunMethod::CpuParallel);
+        let cli = parse(&s(&["--dataset", "smallworld", "--method", "sequential"])).unwrap();
+        assert_eq!(cli.method, RunMethod::Sequential);
+    }
+
+    #[test]
+    fn rejects_both_or_neither_inputs() {
+        assert!(parse(&s(&[])).is_err());
+        assert!(parse(&s(&["--graph", "a", "--dataset", "b"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_methods() {
+        assert!(parse(&s(&["--dataset", "smallworld", "--wat", "1"])).is_err());
+        assert!(parse(&s(&["--dataset", "smallworld", "--method", "magic"])).is_err());
+        assert!(parse(&s(&["--dataset", "smallworld", "--device", "h100"])).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let err = parse(&s(&["--help"])).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+}

@@ -1,0 +1,141 @@
+//! `hybrid-bc` — command-line betweenness centrality.
+//!
+//! Loads or generates a graph, runs one of the paper's methods (on
+//! the simulated GPU) or a host reference, and reports scores plus
+//! the simulation report. See `--help`.
+
+mod args;
+
+use args::{Cli, RunMethod};
+use bc_core::{brandes, cpu_parallel, BcOptions, RootSelection};
+use bc_graph::{io, Csr, DatasetId};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::time::Instant;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match args::parse(&raw) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.starts_with("hybrid-bc") { 0 } else { 2 });
+        }
+    };
+    if let Err(msg) = run(&cli) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn load_graph(cli: &Cli) -> Result<Csr, String> {
+    if let Some(path) = &cli.graph {
+        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let g = if path.ends_with(".mtx") {
+            io::read_matrix_market(file).map_err(|e| e.to_string())?
+        } else if path.ends_with(".bin") {
+            io::read_binary(file).map_err(|e| e.to_string())?
+        } else if path.ends_with(".txt") || path.ends_with(".el") || path.ends_with(".edges") {
+            io::read_edge_list(file).map_err(|e| e.to_string())?
+        } else {
+            io::read_metis(file).map_err(|e| e.to_string())?
+        };
+        Ok(g)
+    } else {
+        let name = cli.dataset.as_deref().expect("validated by parse");
+        let d = DatasetId::from_name(name).ok_or_else(|| {
+            format!(
+                "unknown dataset '{name}' (known: {})",
+                DatasetId::ALL.map(|d| d.name()).join(", ")
+            )
+        })?;
+        Ok(d.generate(cli.reduction, cli.seed))
+    }
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    let t0 = Instant::now();
+    let g = load_graph(cli)?;
+    eprintln!(
+        "graph: {} vertices, {} undirected edges ({}; loaded in {:.2?})",
+        g.num_vertices(),
+        g.num_undirected_edges(),
+        if g.is_symmetric() { "undirected" } else { "directed" },
+        t0.elapsed()
+    );
+
+    let t1 = Instant::now();
+    let (scores, report) = match &cli.method {
+        RunMethod::Sequential | RunMethod::CpuParallel => {
+            let roots = cli.roots.resolve(g.num_vertices());
+            let mut scores = match cli.method {
+                RunMethod::Sequential => {
+                    brandes::betweenness_from_roots(&g, roots.iter().copied())
+                }
+                _ => cpu_parallel::betweenness_from_roots(&g, &roots),
+            };
+            if cli.normalize {
+                brandes::normalize(&mut scores, g.is_symmetric());
+            }
+            eprintln!(
+                "{} Brandes over {} roots: {:.2?} host wall time",
+                cli.method.name(),
+                roots.len(),
+                t1.elapsed()
+            );
+            (scores, None)
+        }
+        RunMethod::Simulated(method) => {
+            let opts = BcOptions {
+                device: cli.device.clone(),
+                roots: cli.roots.clone(),
+                normalize: cli.normalize,
+            };
+            let run = method.run(&g, &opts).map_err(|e| e.to_string())?;
+            eprintln!(
+                "{} on simulated {}: {:.3}s simulated ({:.1} MTEPS), {:.2?} host wall time",
+                method.name(),
+                cli.device.name,
+                run.report.full_seconds,
+                run.report.mteps(),
+                t1.elapsed()
+            );
+            if let RootSelection::Strided(k) = cli.roots {
+                eprintln!(
+                    "(scores are partial sums over {k} sampled roots; simulated time is \
+                     extrapolated to all roots)"
+                );
+            }
+            (run.scores, Some(run.report))
+        }
+    };
+
+    // Top-K table.
+    if cli.top > 0 {
+        let mut ranked: Vec<(u32, f64)> =
+            scores.iter().enumerate().map(|(v, &s)| (v as u32, s)).collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("top {} vertices by betweenness:", cli.top.min(ranked.len()));
+        for (v, s) in ranked.iter().take(cli.top) {
+            println!("{v:>10}  {s:.6}");
+        }
+    }
+
+    if let Some(path) = &cli.out {
+        let mut w = BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?);
+        for s in &scores {
+            writeln!(w, "{s}").map_err(|e| e.to_string())?;
+        }
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!("wrote {} scores to {path}", scores.len());
+    }
+
+    if cli.json {
+        if let Some(report) = &report {
+            println!("{}", serde_json::to_string_pretty(report).map_err(|e| e.to_string())?);
+        } else {
+            eprintln!("(--json applies to simulated methods only)");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! # bc-cluster — multi-GPU / multi-node betweenness centrality
+//!
+//! The paper's §V-D substrate: root partitioning across GPUs
+//! ([`partition`]), a Keeneland-like interconnect model ([`net`]),
+//! threaded per-GPU execution with a final reduction ([`runner`]),
+//! and strong-scaling sweeps ([`scaling`]) for Figure 6 / Table IV.
+
+#![warn(missing_docs)]
+
+pub mod net;
+pub mod partition;
+pub mod runner;
+pub mod scaling;
+
+pub use net::NetworkConfig;
+pub use runner::{run_cluster, ClusterConfig, ClusterReport, ClusterRun};
+pub use scaling::{efficiency, strong_scaling, ScalingPoint};

@@ -1,0 +1,87 @@
+//! Interconnect and per-run overhead model for the multi-node
+//! experiments (Keeneland: three M2090s per node, InfiniBand QDR).
+
+use serde::{Deserialize, Serialize};
+
+/// Cluster interconnect parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// One-way MPI message latency, microseconds.
+    pub mpi_latency_us: f64,
+    /// MPI point-to-point bandwidth, GB/s (IB QDR ≈ 3.2 GB/s
+    /// effective).
+    pub mpi_bandwidth_gb_s: f64,
+    /// Host↔device copy bandwidth, GB/s (PCIe 2.0 x16 ≈ 6 GB/s).
+    pub pcie_gb_s: f64,
+    /// Fixed per-GPU job overhead (context creation, allocations,
+    /// graph upload, kernel setup), seconds. This is what bends the
+    /// paper's Figure 6 away from linear at small problem sizes.
+    pub setup_seconds: f64,
+}
+
+impl NetworkConfig {
+    /// Keeneland Initial Delivery System (InfiniBand QDR, PCIe 2.0).
+    pub fn keeneland() -> Self {
+        NetworkConfig {
+            mpi_latency_us: 5.0,
+            mpi_bandwidth_gb_s: 3.2,
+            pcie_gb_s: 6.0,
+            setup_seconds: 0.12,
+        }
+    }
+
+    /// Time to move `bytes` across one MPI hop.
+    pub fn mpi_hop_seconds(&self, bytes: u64) -> f64 {
+        self.mpi_latency_us * 1e-6 + bytes as f64 / (self.mpi_bandwidth_gb_s * 1e9)
+    }
+
+    /// Time for a binomial-tree `MPI_Reduce` of `bytes` across
+    /// `nodes` ranks (Figure 6's final score reduction).
+    pub fn reduce_seconds(&self, nodes: usize, bytes: u64) -> f64 {
+        if nodes <= 1 {
+            return 0.0;
+        }
+        let depth = (nodes as f64).log2().ceil();
+        depth * self.mpi_hop_seconds(bytes)
+    }
+
+    /// Device-to-host copy time for `bytes`.
+    pub fn d2h_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.pcie_gb_s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_reduce_is_free() {
+        let n = NetworkConfig::keeneland();
+        assert_eq!(n.reduce_seconds(1, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn reduce_grows_logarithmically() {
+        let n = NetworkConfig::keeneland();
+        let r8 = n.reduce_seconds(8, 1_000_000);
+        let r64 = n.reduce_seconds(64, 1_000_000);
+        assert!((r64 / r8 - 2.0).abs() < 1e-9, "log2(64)/log2(8) = 2");
+    }
+
+    #[test]
+    fn hop_includes_latency_floor() {
+        let n = NetworkConfig::keeneland();
+        let tiny = n.mpi_hop_seconds(1);
+        assert!(tiny >= 5e-6);
+        // 3.2 GB over a 3.2 GB/s link ≈ 1 second.
+        let big = n.mpi_hop_seconds(3_200_000_000);
+        assert!((big - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn d2h_uses_pcie() {
+        let n = NetworkConfig::keeneland();
+        assert!((n.d2h_seconds(6_000_000_000) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! Root partitioning across GPUs.
+//!
+//! The paper extends the algorithm "by distributing a subset of
+//! roots to each GPU" (§V-D); the graph itself is replicated on
+//! every device. A strided assignment keeps per-GPU work balanced
+//! even when root costs vary by connected component.
+
+use bc_graph::VertexId;
+
+/// Assign roots to `num_workers` workers round-robin: worker `w`
+/// gets roots `w, w + W, w + 2W, …`.
+pub fn strided(roots: &[VertexId], num_workers: usize) -> Vec<Vec<VertexId>> {
+    assert!(num_workers > 0);
+    let mut parts = vec![Vec::with_capacity(roots.len() / num_workers + 1); num_workers];
+    for (i, &r) in roots.iter().enumerate() {
+        parts[i % num_workers].push(r);
+    }
+    parts
+}
+
+/// Assign roots in contiguous chunks (used by ablations comparing
+/// distribution policies).
+pub fn contiguous(roots: &[VertexId], num_workers: usize) -> Vec<Vec<VertexId>> {
+    assert!(num_workers > 0);
+    let per = roots.len().div_ceil(num_workers);
+    let mut parts = Vec::with_capacity(num_workers);
+    for w in 0..num_workers {
+        let lo = (w * per).min(roots.len());
+        let hi = ((w + 1) * per).min(roots.len());
+        parts.push(roots[lo..hi].to_vec());
+    }
+    parts
+}
+
+/// How many conceptual roots (of `total`) worker `w` of `W` owns
+/// under the strided policy — used when extrapolating sampled
+/// per-root times to a full run.
+pub fn strided_share(total: usize, worker: usize, num_workers: usize) -> usize {
+    assert!(worker < num_workers);
+    total / num_workers + usize::from(worker < total % num_workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_balances() {
+        let roots: Vec<u32> = (0..10).collect();
+        let parts = strided(&roots, 3);
+        assert_eq!(parts[0], vec![0, 3, 6, 9]);
+        assert_eq!(parts[1], vec![1, 4, 7]);
+        assert_eq!(parts[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn contiguous_chunks() {
+        let roots: Vec<u32> = (0..10).collect();
+        let parts = contiguous(&roots, 3);
+        assert_eq!(parts[0], vec![0, 1, 2, 3]);
+        assert_eq!(parts[1], vec![4, 5, 6, 7]);
+        assert_eq!(parts[2], vec![8, 9]);
+    }
+
+    #[test]
+    fn partitions_cover_all_roots() {
+        let roots: Vec<u32> = (0..97).collect();
+        for parts in [strided(&roots, 7), contiguous(&roots, 7)] {
+            let mut all: Vec<u32> = parts.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, roots);
+        }
+    }
+
+    #[test]
+    fn share_matches_partition_sizes() {
+        let roots: Vec<u32> = (0..100).collect();
+        let parts = strided(&roots, 7);
+        for (w, p) in parts.iter().enumerate() {
+            assert_eq!(p.len(), strided_share(100, w, 7));
+        }
+    }
+
+    #[test]
+    fn more_workers_than_roots() {
+        let roots: Vec<u32> = vec![1, 2];
+        let parts = strided(&roots, 5);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 2);
+    }
+}

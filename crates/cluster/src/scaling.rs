@@ -1,0 +1,77 @@
+//! Strong-scaling sweeps — the machinery behind Figure 6 and
+//! Table IV.
+
+use crate::runner::{run_cluster, ClusterConfig, ClusterReport};
+use bc_graph::Csr;
+use bc_gpusim::SimError;
+use serde::{Deserialize, Serialize};
+
+/// One point of a strong-scaling curve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Node count of this run.
+    pub nodes: usize,
+    /// Full report of the run.
+    pub report: ClusterReport,
+    /// Speedup over the 1-node configuration.
+    pub speedup: f64,
+}
+
+/// Run the same problem at every node count in `node_counts`
+/// (1 must be included to anchor the speedups) and report speedups.
+pub fn strong_scaling(
+    g: &Csr,
+    base: &ClusterConfig,
+    node_counts: &[usize],
+    sample_roots: usize,
+) -> Result<Vec<ScalingPoint>, SimError> {
+    assert!(node_counts.contains(&1), "need the 1-node anchor for speedups");
+    let mut points = Vec::with_capacity(node_counts.len());
+    let mut t1 = None;
+    for &nodes in node_counts {
+        let cfg = ClusterConfig { nodes, ..base.clone() };
+        let run = run_cluster(g, &cfg, sample_roots)?;
+        if nodes == 1 {
+            t1 = Some(run.report.total_seconds);
+        }
+        points.push(ScalingPoint { nodes, report: run.report, speedup: 0.0 });
+    }
+    let t1 = t1.expect("1-node anchor ran");
+    for p in points.iter_mut() {
+        p.speedup = if p.report.total_seconds > 0.0 { t1 / p.report.total_seconds } else { 0.0 };
+    }
+    Ok(points)
+}
+
+/// Parallel efficiency of a scaling point (speedup / nodes).
+pub fn efficiency(p: &ScalingPoint) -> f64 {
+    p.speedup / p.nodes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_core::Method;
+    use bc_graph::gen;
+
+    #[test]
+    fn speedups_anchor_at_one() {
+        let g = gen::triangulated_grid(48, 48, 1);
+        let base =
+            ClusterConfig { method: Method::WorkEfficient, ..ClusterConfig::keeneland(1) };
+        let pts = strong_scaling(&g, &base, &[1, 2, 4], 64).unwrap();
+        assert_eq!(pts[0].nodes, 1);
+        assert!((pts[0].speedup - 1.0).abs() < 1e-9);
+        // Monotone non-decreasing total time improvement.
+        assert!(pts[2].speedup >= pts[1].speedup * 0.9);
+        assert!(efficiency(&pts[0]) > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "anchor")]
+    fn missing_anchor_rejected() {
+        let g = gen::grid(8, 8);
+        let base = ClusterConfig::keeneland(1);
+        let _ = strong_scaling(&g, &base, &[2, 4], 8);
+    }
+}

@@ -1,0 +1,393 @@
+//! Sequential Brandes' algorithm — the exact reference every GPU
+//! method is validated against.
+//!
+//! Brandes (2001) computes betweenness centrality in O(mn) for
+//! unweighted graphs by splitting the computation per source vertex
+//! into (1) a BFS that counts shortest paths `σ` and (2) a reverse
+//! sweep accumulating dependencies `δ` (Eq. 2 of the paper).
+
+use bc_graph::{Csr, VertexId};
+use std::collections::VecDeque;
+
+/// Result of a single-source shortest-path phase.
+#[derive(Clone, Debug)]
+pub struct SingleSource {
+    /// BFS distance from the source (`u32::MAX` if unreachable).
+    pub dist: Vec<u32>,
+    /// Number of shortest paths from the source to each vertex.
+    pub sigma: Vec<f64>,
+    /// Vertices in non-decreasing distance order (the stack `S`).
+    pub order: Vec<VertexId>,
+}
+
+/// Run the shortest-path counting phase from `source`.
+pub fn single_source(g: &Csr, source: VertexId) -> SingleSource {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut order = Vec::with_capacity(n);
+    let mut q = VecDeque::new();
+    dist[source as usize] = 0;
+    sigma[source as usize] = 1.0;
+    q.push_back(source);
+    while let Some(v) = q.pop_front() {
+        order.push(v);
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = dv + 1;
+                q.push_back(w);
+            }
+            if dist[w as usize] == dv + 1 {
+                sigma[w as usize] += sigma[v as usize];
+            }
+        }
+    }
+    SingleSource { dist, sigma, order }
+}
+
+/// Accumulate the dependencies of `source` into `bc`
+/// (`bc[v] += δ_s(v)` for all `v ≠ s`).
+pub fn accumulate(g: &Csr, source: VertexId, ss: &SingleSource, bc: &mut [f64]) {
+    let mut delta = vec![0.0f64; g.num_vertices()];
+    for &w in ss.order.iter().rev() {
+        for &v in g.neighbors(w) {
+            // v is a successor of w iff dist[v] == dist[w] + 1; the
+            // successor formulation (Madduri et al.) needs no
+            // predecessor storage and no atomics.
+            if ss.dist[w as usize] != u32::MAX
+                && ss.dist[v as usize] == ss.dist[w as usize] + 1
+            {
+                delta[w as usize] += ss.sigma[w as usize] / ss.sigma[v as usize]
+                    * (1.0 + delta[v as usize]);
+            }
+        }
+        if w != source {
+            bc[w as usize] += delta[w as usize];
+        }
+    }
+}
+
+/// Exact betweenness centrality of every vertex, from all sources.
+///
+/// For symmetric (undirected) graphs each undirected path is counted
+/// once from each endpoint, so scores are halved — matching the
+/// convention of the paper's Figure 1.
+pub fn betweenness(g: &Csr) -> Vec<f64> {
+    betweenness_from_roots(g, g.vertices())
+}
+
+/// Betweenness contributions of a subset of source vertices (exact
+/// when `roots` covers all vertices; the building block for the
+/// approximation and distributed drivers).
+pub fn betweenness_from_roots(g: &Csr, roots: impl IntoIterator<Item = VertexId>) -> Vec<f64> {
+    let mut bc = vec![0.0f64; g.num_vertices()];
+    for s in roots {
+        let ss = single_source(g, s);
+        accumulate(g, s, &ss, &mut bc);
+    }
+    if g.is_symmetric() {
+        for b in bc.iter_mut() {
+            *b *= 0.5;
+        }
+    }
+    bc
+}
+
+/// Edge betweenness centrality: for every directed arc (indexed as
+/// in [`Csr::adj_array`]), the number of shortest paths using it.
+///
+/// For symmetric graphs the two arcs of an undirected edge carry
+/// equal scores after halving, and the undirected edge score is
+/// their **sum** (equivalently, twice either arc) — this is the
+/// quantity Girvan–Newman community detection removes edges by, one
+/// of the paper's §I motivating applications.
+pub fn edge_betweenness(g: &Csr) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut ebc = vec![0.0f64; g.num_directed_edges()];
+    let mut delta = vec![0.0f64; n];
+    for s in g.vertices() {
+        let ss = single_source(g, s);
+        delta.fill(0.0);
+        for &w in ss.order.iter().rev() {
+            for (e, &v) in g.edge_range(w).zip(g.neighbors(w)) {
+                if ss.dist[v as usize] == ss.dist[w as usize].wrapping_add(1) {
+                    let flow =
+                        ss.sigma[w as usize] / ss.sigma[v as usize] * (1.0 + delta[v as usize]);
+                    // Arc w -> v carries `flow` paths from source s.
+                    ebc[e] += flow;
+                    delta[w as usize] += flow;
+                }
+            }
+        }
+    }
+    if g.is_symmetric() {
+        for b in ebc.iter_mut() {
+            *b *= 0.5;
+        }
+    }
+    ebc
+}
+
+/// Normalize BC scores by the maximum possible value `(n-1)(n-2)`
+/// (undirected scores were already halved, so the undirected
+/// normalizer is `(n-1)(n-2)/2`).
+pub fn normalize(scores: &mut [f64], symmetric: bool) {
+    let n = scores.len() as f64;
+    if n < 3.0 {
+        for s in scores.iter_mut() {
+            *s = 0.0;
+        }
+        return;
+    }
+    let denom = if symmetric { (n - 1.0) * (n - 2.0) / 2.0 } else { (n - 1.0) * (n - 2.0) };
+    for s in scores.iter_mut() {
+        *s /= denom;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_graph::gen;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-9, "vertex {i}: {x} vs {y}");
+        }
+    }
+
+    /// The paper's Figure 1 example graph, reconstructed from the
+    /// prose (1-indexed vertices 1..=9, stored 0-indexed):
+    /// * vertex 4 is the sole bridge between {1,2,3} and {5..9};
+    /// * vertex 9 hangs off vertex 7 only;
+    /// * vertex 8 connects 5 and 7, so 5→9 has a longer route via 8
+    ///   but its *shortest* path goes through 7 — giving 8 a BC of 0.
+    fn figure1_graph() -> Csr {
+        let edges_1idx = [
+            (1u32, 2u32),
+            (1, 3),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (4, 5),
+            (4, 6),
+            (5, 6),
+            (5, 7),
+            (6, 7),
+            (5, 8),
+            (7, 8),
+            (7, 9),
+        ];
+        Csr::from_undirected_edges(9, edges_1idx.iter().map(|&(a, b)| (a - 1, b - 1)))
+    }
+
+    #[test]
+    fn figure1_scores() {
+        // E-fig1: the qualitative claims the paper makes about its
+        // example.
+        let g = figure1_graph();
+        let bc = betweenness(&g);
+        assert!((bc[8 - 1] - 0.0).abs() < 1e-9, "vertex 8 has BC 0, got {}", bc[7]);
+        assert!((bc[9 - 1] - 0.0).abs() < 1e-9, "vertex 9 has BC 0, got {}", bc[8]);
+        let max = bc.iter().cloned().fold(0.0, f64::max);
+        assert!((bc[4 - 1] - max).abs() < 1e-9, "vertex 4 must dominate: {bc:?}");
+        // Vertex 4 bridges the 3 right vertices to the 5 left ones
+        // plus its share of intra-side traffic; at minimum 15 pairs.
+        assert!(bc[4 - 1] >= 15.0, "vertex 4 carries all cross traffic: {bc:?}");
+    }
+
+    #[test]
+    fn figure1_matches_brute_force() {
+        let g = figure1_graph();
+        assert_close(&betweenness(&g), &brute_force_bc(&g));
+    }
+
+    /// Independent O(n^3)-ish cross-check: count shortest paths by
+    /// BFS from every source and tally pair-by-pair (Eq. 1 applied
+    /// literally), with no shared code with Brandes' accumulation.
+    fn brute_force_bc(g: &Csr) -> Vec<f64> {
+        let n = g.num_vertices();
+        let mut bc = vec![0.0f64; n];
+        // For each ordered source s: dist + sigma forward; then for
+        // each target t and each vertex v, sigma_st(v) =
+        // sigma_sv * sigma_vt if d(s,v) + d(v,t) = d(s,t). We get
+        // sigma_vt from a BFS rooted at every vertex.
+        let all: Vec<SingleSource> = (0..n as u32).map(|s| single_source(g, s)).collect();
+        for s in 0..n {
+            for t in 0..n {
+                if s == t || all[s].dist[t] == u32::MAX {
+                    continue;
+                }
+                let dst = all[s].dist[t];
+                let sigma_st = all[s].sigma[t];
+                for v in 0..n {
+                    if v == s || v == t {
+                        continue;
+                    }
+                    let dsv = all[s].dist[v];
+                    let dvt = all[v].dist[t];
+                    if dsv != u32::MAX && dvt != u32::MAX && dsv + dvt == dst {
+                        bc[v] += all[s].sigma[v] * all[v].sigma[t] / sigma_st;
+                    }
+                }
+            }
+        }
+        // Ordered pairs double-count undirected paths.
+        if g.is_symmetric() {
+            for b in bc.iter_mut() {
+                *b *= 0.5;
+            }
+        }
+        bc
+    }
+
+    #[test]
+    fn brute_force_agrees_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gen::erdos_renyi(24, 40, seed);
+            assert_close(&betweenness(&g), &brute_force_bc(&g));
+        }
+    }
+
+    #[test]
+    fn path_graph_closed_form() {
+        // On a path 0-1-2-3-4, interior vertex i lies on all pairs
+        // (a < i < b): BC(i) = i * (n-1-i).
+        let g = gen::path(5);
+        let bc = betweenness(&g);
+        assert_close(&bc, &[0.0, 3.0, 4.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn star_graph_closed_form() {
+        // Hub of an n-star lies on all (n-1 choose 2) leaf pairs.
+        let g = gen::star(6);
+        let bc = betweenness(&g);
+        assert_close(&bc, &[10.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cycle_graph_symmetry() {
+        let g = gen::cycle(8);
+        let bc = betweenness(&g);
+        for w in &bc {
+            assert!((w - bc[0]).abs() < 1e-9, "cycle BC must be uniform: {bc:?}");
+        }
+        // Even cycle n=8, by hand: 3 unique-shortest pairs cross a
+        // given vertex plus 3 antipodal pairs at weight 1/2 = 4.5.
+        assert!((bc[0] - 4.5).abs() < 1e-9, "got {}", bc[0]);
+    }
+
+    #[test]
+    fn complete_graph_zero() {
+        let g = gen::complete(7);
+        let bc = betweenness(&g);
+        for w in &bc {
+            assert!(w.abs() < 1e-12, "no intermediaries in a clique: {bc:?}");
+        }
+    }
+
+    #[test]
+    fn disconnected_components_independent() {
+        // Two paths of 3: middle vertices get BC 1 each.
+        let g = Csr::from_undirected_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let bc = betweenness(&g);
+        assert_close(&bc, &[0.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn directed_path_counts_each_direction() {
+        // Directed path 0 -> 1 -> 2: vertex 1 lies on one ordered pair.
+        let g = Csr::from_directed_edges(3, [(0, 1), (1, 2)]);
+        let bc = betweenness(&g);
+        assert_close(&bc, &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn partial_roots_sum_to_full() {
+        let g = gen::grid(4, 4);
+        let full = betweenness(&g);
+        let mut partial = vec![0.0; 16];
+        for chunk in [(0u32..8), (8u32..16)] {
+            let part = betweenness_from_roots(&g, chunk);
+            for (p, q) in partial.iter_mut().zip(&part) {
+                *p += q;
+            }
+        }
+        assert_close(&full, &partial);
+    }
+
+    #[test]
+    fn normalization() {
+        let g = gen::star(5); // hub BC = C(4,2) = 6 = max possible for n=5 undirected
+        let mut bc = betweenness(&g);
+        normalize(&mut bc, true);
+        assert!((bc[0] - 1.0).abs() < 1e-9, "normalized hub must be 1.0, got {}", bc[0]);
+    }
+
+    #[test]
+    fn normalize_tiny_graphs() {
+        let mut s = vec![0.5, 0.5];
+        normalize(&mut s, true);
+        assert_eq!(s, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn edge_betweenness_on_path() {
+        // Edge (i, i+1) of a path carries all (i+1)(n-1-i) crossing
+        // pairs.
+        let g = gen::path(4);
+        let ebc = edge_betweenness(&g);
+        // Arc 0->1 is edge id 0 (vertex 0 has one neighbor).
+        let arc = |u: u32, v: u32| {
+            g.edge_range(u)
+                .zip(g.neighbors(u))
+                .find(|&(_, &w)| w == v)
+                .map(|(e, _)| e)
+                .unwrap()
+        };
+        // Each arc carries half the undirected edge's score.
+        assert!((ebc[arc(0, 1)] - 1.5).abs() < 1e-9);
+        assert!((ebc[arc(1, 2)] - 2.0).abs() < 1e-9);
+        assert!((ebc[arc(2, 3)] - 1.5).abs() < 1e-9);
+        // Symmetric arcs carry equal flow.
+        assert!((ebc[arc(1, 0)] - ebc[arc(0, 1)]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_betweenness_sums_to_pairwise_distances() {
+        // Σ_arcs eBC (halved per symmetric convention) equals the sum
+        // of d(s, t) over unordered reachable pairs.
+        let g = gen::erdos_renyi(30, 60, 5);
+        let ebc = edge_betweenness(&g);
+        let total: f64 = ebc.iter().sum();
+        let mut dist_sum = 0u64;
+        for s in g.vertices() {
+            let ss = single_source(&g, s);
+            for t in 0..g.num_vertices() {
+                if (t as u32) > s && ss.dist[t] != u32::MAX {
+                    dist_sum += ss.dist[t] as u64;
+                }
+            }
+        }
+        assert!(
+            (total - dist_sum as f64).abs() < 1e-6,
+            "edge BC total {total} vs pair distance sum {dist_sum}"
+        );
+    }
+
+    #[test]
+    fn sigma_counts_paths() {
+        // Diamond: 0-1, 0-2, 1-3, 2-3 — two shortest paths 0 to 3.
+        let g = Csr::from_undirected_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let ss = single_source(&g, 0);
+        assert_eq!(ss.dist, vec![0, 1, 1, 2]);
+        assert_eq!(ss.sigma[3], 2.0);
+        // And BC: vertices 1 and 2 each carry half the 0-3 traffic.
+        let bc = betweenness(&g);
+        assert!((bc[1] - 0.5).abs() < 1e-9);
+        assert!((bc[2] - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,388 @@
+//! The rooted search engine shared by all simulated GPU methods.
+//!
+//! Every method in the paper computes the *same function* per root —
+//! Brandes' shortest-path counting followed by dependency
+//! accumulation — and differs only in how threads are distributed to
+//! work, which changes the *cost* of each search iteration, not its
+//! result. The engine therefore executes one faithful functional
+//! pass (the paper's Algorithms 1–3: explicit queues, the
+//! level-segmented stack `S` with its `ends` array, successor-based
+//! accumulation) and asks a method-specific [`CostModel`] to price
+//! each iteration. This is the classic functional/timing split used
+//! by architecture simulators.
+
+use bc_graph::{Csr, VertexId};
+use bc_gpusim::{DeviceConfig, IterationWork, KernelCounters};
+
+/// Distance marker for undiscovered vertices (the paper's `∞`).
+pub const INFINITY: u32 = u32::MAX;
+
+/// Which half of Brandes' algorithm an iteration belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Shortest-path calculation (Algorithm 2).
+    Forward,
+    /// Dependency accumulation (Algorithm 3).
+    Backward,
+}
+
+/// Everything a cost model may inspect about one search iteration.
+#[derive(Debug)]
+pub struct LevelInfo<'a> {
+    /// Forward or backward sweep.
+    pub phase: Phase,
+    /// BFS depth of the vertices being processed.
+    pub depth: u32,
+    /// The vertices processed this iteration (the vertex frontier —
+    /// `Q_curr` forward, the `S` segment backward).
+    pub frontier: &'a [VertexId],
+    /// Directed edges out of the frontier (the edge frontier).
+    pub frontier_edges: u64,
+    /// Vertices discovered into `Q_next` (forward only).
+    pub discovered: u64,
+    /// σ additions (forward) or δ contributions (backward) performed.
+    pub updates: u64,
+}
+
+/// An iteration's price plus its bookkeeping of wasted work.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PricedIteration {
+    /// The work record handed to the timing model.
+    pub work: IterationWork,
+    /// Edge inspections on non-frontier edges.
+    pub wasted_edges: u64,
+    /// Vertex status checks on non-frontier vertices.
+    pub wasted_vertex_checks: u64,
+}
+
+/// Method-specific pricing of the engine's iterations.
+pub trait CostModel {
+    /// Called before each root's search begins.
+    fn begin_root(&mut self, _g: &Csr, _root: VertexId) {}
+
+    /// Price the O(n) local-variable initialization of Algorithm 1.
+    fn price_init(&mut self, g: &Csr, device: &DeviceConfig) -> PricedIteration {
+        // d, σ, δ plus queue bookkeeping: a coalesced streaming write
+        // of a few words per vertex.
+        let n = g.num_vertices() as u64;
+        PricedIteration {
+            work: IterationWork {
+                warp_steps: bc_gpusim::warp::balanced_warp_steps(
+                    n,
+                    device.threads_per_block,
+                    device.warp_size,
+                ),
+                coalesced_bytes: n * 12,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Price one search iteration.
+    fn price(&mut self, g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) -> PricedIteration;
+}
+
+/// Reusable per-root buffers (Algorithm 1 state).
+pub struct SearchWorkspace {
+    dist: Vec<u32>,
+    sigma: Vec<f64>,
+    delta: Vec<f64>,
+    /// The stack `S`: vertices in discovery order, level-segmented.
+    s: Vec<VertexId>,
+    /// `ends[i]..ends[i+1]` is the slice of `S` at depth `i`.
+    ends: Vec<u32>,
+}
+
+impl SearchWorkspace {
+    /// Allocate buffers for an `n`-vertex graph.
+    pub fn new(n: usize) -> Self {
+        SearchWorkspace {
+            dist: vec![INFINITY; n],
+            sigma: vec![0.0; n],
+            delta: vec![0.0; n],
+            s: Vec::with_capacity(n),
+            ends: Vec::with_capacity(64),
+        }
+    }
+
+    fn reset(&mut self, root: VertexId) {
+        self.dist.fill(INFINITY);
+        self.sigma.fill(0.0);
+        self.delta.fill(0.0);
+        self.s.clear();
+        self.ends.clear();
+        self.dist[root as usize] = 0;
+        self.sigma[root as usize] = 1.0;
+        self.s.push(root);
+        self.ends.push(0);
+        self.ends.push(1);
+    }
+
+    /// Distances from the most recent root (valid after
+    /// [`process_root`]).
+    pub fn dist(&self) -> &[u32] {
+        &self.dist
+    }
+
+    /// Path counts from the most recent root.
+    pub fn sigma(&self) -> &[f64] {
+        &self.sigma
+    }
+
+    /// Dependencies of the most recent root.
+    pub fn delta(&self) -> &[f64] {
+        &self.delta
+    }
+}
+
+/// Per-root simulation outcome.
+#[derive(Clone, Debug, Default)]
+pub struct RootOutcome {
+    /// Work and simulated block-seconds for this root.
+    pub counters: KernelCounters,
+    /// Deepest BFS level reached (the max distance within the root's
+    /// component; 0 for an isolated root).
+    pub max_depth: u32,
+    /// Vertices reached (including the root).
+    pub reached: usize,
+    /// Vertex-frontier size per forward level (Figure 3's trace).
+    pub frontier_sizes: Vec<usize>,
+    /// Edge-frontier size per forward level.
+    pub edge_frontier_sizes: Vec<u64>,
+    /// Simulated seconds of each forward level (Table I's per-
+    /// iteration time).
+    pub forward_level_seconds: Vec<f64>,
+}
+
+/// Run one root's shortest-path counting + dependency accumulation,
+/// adding δ contributions into `bc`, pricing every iteration with
+/// `model` on `device`.
+pub fn process_root(
+    g: &Csr,
+    root: VertexId,
+    device: &DeviceConfig,
+    ws: &mut SearchWorkspace,
+    model: &mut dyn CostModel,
+    bc: &mut [f64],
+) -> RootOutcome {
+    let mut out = RootOutcome::default();
+    ws.reset(root);
+    model.begin_root(g, root);
+
+    let init = model.price_init(g, device);
+    charge(&mut out.counters, device, &init);
+
+    // ---- Stage 1: shortest-path calculation (Algorithm 2) ----
+    let mut depth = 0u32;
+    loop {
+        let level_start = ws.ends[depth as usize] as usize;
+        let level_end = ws.ends[depth as usize + 1] as usize;
+        if level_start == level_end {
+            break;
+        }
+        let mut frontier_edges = 0u64;
+        let mut updates = 0u64;
+        // Expand the frontier; `s` grows with Q_next's contents.
+        for qi in level_start..level_end {
+            let v = ws.s[qi];
+            frontier_edges += g.degree(v) as u64;
+            for &w in g.neighbors(v) {
+                if ws.dist[w as usize] == INFINITY {
+                    // atomicCAS(d[w], ∞, d[v] + 1) winner enqueues w.
+                    ws.dist[w as usize] = depth + 1;
+                    ws.s.push(w);
+                }
+                if ws.dist[w as usize] == depth + 1 {
+                    // atomicAdd(σ[w], σ[v])
+                    ws.sigma[w as usize] += ws.sigma[v as usize];
+                    updates += 1;
+                }
+            }
+        }
+        let discovered = ws.s.len() - level_end;
+        let info = LevelInfo {
+            phase: Phase::Forward,
+            depth,
+            frontier: &ws.s[level_start..level_end],
+            frontier_edges,
+            discovered: discovered as u64,
+            updates,
+        };
+        let priced = model.price(g, device, &info);
+        let level_seconds = device.block_iteration_seconds(&priced.work);
+        charge(&mut out.counters, device, &priced);
+        out.counters.useful_edge_inspections += frontier_edges;
+        out.frontier_sizes.push(level_end - level_start);
+        out.edge_frontier_sizes.push(frontier_edges);
+        out.forward_level_seconds.push(level_seconds);
+
+        if discovered == 0 {
+            break;
+        }
+        ws.ends.push(ws.s.len() as u32);
+        depth += 1;
+    }
+    out.max_depth = depth;
+    out.reached = ws.s.len();
+
+    // ---- Stage 2: dependency accumulation (Algorithm 3) ----
+    // Leaves have no successors, so start one level above the
+    // deepest (Line 12 of Algorithm 2); depth 0 contributes nothing.
+    let mut d = depth.saturating_sub(1);
+    while d > 0 {
+        let level_start = ws.ends[d as usize] as usize;
+        let level_end = ws.ends[d as usize + 1] as usize;
+        let mut frontier_edges = 0u64;
+        let mut updates = 0u64;
+        for si in level_start..level_end {
+            let w = ws.s[si];
+            frontier_edges += g.degree(w) as u64;
+            let sw = ws.sigma[w as usize];
+            let mut dsw = 0.0f64;
+            for &v in g.neighbors(w) {
+                if ws.dist[v as usize] == d + 1 {
+                    dsw += sw / ws.sigma[v as usize] * (1.0 + ws.delta[v as usize]);
+                    updates += 1;
+                }
+            }
+            ws.delta[w as usize] = dsw;
+        }
+        let info = LevelInfo {
+            phase: Phase::Backward,
+            depth: d,
+            frontier: &ws.s[level_start..level_end],
+            frontier_edges,
+            discovered: 0,
+            updates,
+        };
+        let priced = model.price(g, device, &info);
+        charge(&mut out.counters, device, &priced);
+        out.counters.useful_edge_inspections += frontier_edges;
+        d -= 1;
+    }
+
+    for &w in &ws.s {
+        if w != root {
+            bc[w as usize] += ws.delta[w as usize];
+        }
+    }
+    out
+}
+
+fn charge(counters: &mut KernelCounters, device: &DeviceConfig, priced: &PricedIteration) {
+    counters.charge(device, &priced.work);
+    counters.wasted_edge_inspections += priced.wasted_edges;
+    counters.wasted_vertex_checks += priced.wasted_vertex_checks;
+}
+
+/// A cost model that prices nothing — used when only the functional
+/// result or the frontier traces matter.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FreeModel;
+
+impl CostModel for FreeModel {
+    fn price_init(&mut self, _g: &Csr, _d: &DeviceConfig) -> PricedIteration {
+        PricedIteration::default()
+    }
+    fn price(&mut self, _g: &Csr, _d: &DeviceConfig, _l: &LevelInfo<'_>) -> PricedIteration {
+        PricedIteration::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes;
+    use bc_graph::gen;
+
+    fn run_all_roots(g: &Csr) -> Vec<f64> {
+        let device = DeviceConfig::gtx_titan();
+        let mut ws = SearchWorkspace::new(g.num_vertices());
+        let mut bc = vec![0.0; g.num_vertices()];
+        let mut model = FreeModel;
+        for r in g.vertices() {
+            process_root(g, r, &device, &mut ws, &mut model, &mut bc);
+        }
+        if g.is_symmetric() {
+            for b in bc.iter_mut() {
+                *b *= 0.5;
+            }
+        }
+        bc
+    }
+
+    #[test]
+    fn engine_matches_brandes_on_shapes() {
+        for g in [gen::path(12), gen::star(9), gen::grid(4, 5), gen::cycle(9)] {
+            let expect = brandes::betweenness(&g);
+            let got = run_all_roots(&g);
+            for (e, a) in expect.iter().zip(&got) {
+                assert!((e - a).abs() < 1e-9, "{expect:?} vs {got:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_brandes_on_random_graphs() {
+        for seed in 0..3 {
+            let g = gen::erdos_renyi(60, 150, seed);
+            let expect = brandes::betweenness(&g);
+            let got = run_all_roots(&g);
+            for (e, a) in expect.iter().zip(&got) {
+                assert!((e - a).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_describes_search() {
+        let g = gen::path(6);
+        let device = DeviceConfig::gtx_titan();
+        let mut ws = SearchWorkspace::new(6);
+        let mut bc = vec![0.0; 6];
+        let out = process_root(&g, 0, &device, &mut ws, &mut FreeModel, &mut bc);
+        assert_eq!(out.max_depth, 5);
+        assert_eq!(out.reached, 6);
+        assert_eq!(out.frontier_sizes, vec![1, 1, 1, 1, 1, 1]);
+        // Path end vertex degrees: 1 then interior 2s.
+        assert_eq!(out.edge_frontier_sizes[0], 1);
+        assert_eq!(out.edge_frontier_sizes[2], 2);
+    }
+
+    #[test]
+    fn isolated_root_is_trivial() {
+        let g = Csr::from_undirected_edges(4, [(1, 2)]);
+        let device = DeviceConfig::gtx_titan();
+        let mut ws = SearchWorkspace::new(4);
+        let mut bc = vec![0.0; 4];
+        let out = process_root(&g, 0, &device, &mut ws, &mut FreeModel, &mut bc);
+        assert_eq!(out.max_depth, 0);
+        assert_eq!(out.reached, 1);
+        assert!(bc.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn workspace_exposes_search_state() {
+        let g = gen::path(4);
+        let device = DeviceConfig::gtx_titan();
+        let mut ws = SearchWorkspace::new(4);
+        let mut bc = vec![0.0; 4];
+        process_root(&g, 0, &device, &mut ws, &mut FreeModel, &mut bc);
+        assert_eq!(ws.dist(), &[0, 1, 2, 3]);
+        assert_eq!(ws.sigma(), &[1.0, 1.0, 1.0, 1.0]);
+        // δ along a path: δ(1) from successors 2,3...
+        assert!(ws.delta()[1] > ws.delta()[2]);
+    }
+
+    #[test]
+    fn ends_segments_match_bfs_levels() {
+        let g = gen::star(5);
+        let device = DeviceConfig::gtx_titan();
+        let mut ws = SearchWorkspace::new(5);
+        let mut bc = vec![0.0; 5];
+        let out = process_root(&g, 0, &device, &mut ws, &mut FreeModel, &mut bc);
+        assert_eq!(out.frontier_sizes, vec![1, 4]);
+        assert_eq!(out.max_depth, 1);
+    }
+}

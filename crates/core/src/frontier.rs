@@ -1,0 +1,165 @@
+//! Frontier instrumentation — the data behind Figure 3 (frontier
+//! evolution) and Table I (correlation of frontier sizes with
+//! per-iteration execution time).
+
+use crate::engine::{process_root, SearchWorkspace};
+use crate::methods::models::WorkEfficientModel;
+use bc_graph::{Csr, VertexId};
+use bc_gpusim::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-root frontier trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrontierTrace {
+    /// The root this trace describes.
+    pub root: VertexId,
+    /// Vertex-frontier size at each BFS depth.
+    pub vertex_frontier: Vec<usize>,
+    /// Edge-frontier size at each BFS depth.
+    pub edge_frontier: Vec<u64>,
+    /// Simulated work-efficient iteration time at each depth.
+    pub level_seconds: Vec<f64>,
+}
+
+impl FrontierTrace {
+    /// Vertex frontier as a percentage of `n` (Figure 3's y-axis).
+    pub fn vertex_frontier_percent(&self, n: usize) -> Vec<f64> {
+        self.vertex_frontier.iter().map(|&f| 100.0 * f as f64 / n as f64).collect()
+    }
+
+    /// ρ(vertex frontier, iteration time) — Table I's `ρ_{v,t}`.
+    pub fn rho_vt(&self) -> f64 {
+        pearson(
+            &self.vertex_frontier.iter().map(|&x| x as f64).collect::<Vec<_>>(),
+            &self.level_seconds,
+        )
+    }
+
+    /// ρ(edge frontier, iteration time) — Table I's `ρ_{e,t}`.
+    pub fn rho_et(&self) -> f64 {
+        pearson(
+            &self.edge_frontier.iter().map(|&x| x as f64).collect::<Vec<_>>(),
+            &self.level_seconds,
+        )
+    }
+
+    /// Peak vertex-frontier fraction of `n` — the quantity separating
+    /// Figure 3's graph classes (over half for small-world/scale-free,
+    /// a few percent for meshes and roads).
+    pub fn peak_fraction(&self, n: usize) -> f64 {
+        self.vertex_frontier.iter().copied().max().unwrap_or(0) as f64 / n as f64
+    }
+}
+
+/// Trace the frontier evolution of one root using the work-efficient
+/// method (the configuration Table I measures).
+pub fn trace_root(g: &Csr, root: VertexId, device: &DeviceConfig) -> FrontierTrace {
+    let mut ws = SearchWorkspace::new(g.num_vertices());
+    let mut bc = vec![0.0; g.num_vertices()];
+    let mut model = WorkEfficientModel::default();
+    let out = process_root(g, root, device, &mut ws, &mut model, &mut bc);
+    FrontierTrace {
+        root,
+        vertex_frontier: out.frontier_sizes,
+        edge_frontier: out.edge_frontier_sizes,
+        level_seconds: out.forward_level_seconds,
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 when either sample is constant or shorter than 2.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation needs paired samples");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_graph::gen;
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn pearson_rejects_mismatched_lengths() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn trace_shapes_match_graph() {
+        let g = gen::path(32);
+        let t = trace_root(&g, 0, &DeviceConfig::gtx_titan());
+        assert_eq!(t.vertex_frontier.len(), 32);
+        assert!(t.vertex_frontier.iter().all(|&f| f == 1));
+        assert_eq!(t.level_seconds.len(), 32);
+        assert!((t.peak_fraction(32) - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertex_frontier_correlates_with_time() {
+        // Table I's core claim: ρ_{v,t} is strongly positive for any
+        // structure. Use a mesh (high diameter, growing frontiers).
+        let g = gen::triangulated_grid(40, 40, 1);
+        let t = trace_root(&g, 0, &DeviceConfig::gtx_titan());
+        assert!(
+            t.rho_vt() > 0.8,
+            "vertex frontier should correlate with iteration time, got {}",
+            t.rho_vt()
+        );
+    }
+
+    #[test]
+    fn small_world_peak_fraction_is_large() {
+        let sw = gen::watts_strogatz(2048, 10, 0.1, 2);
+        let t = trace_root(&sw, 0, &DeviceConfig::gtx_titan());
+        assert!(
+            t.peak_fraction(2048) > 0.4,
+            "small-world peak frontier holds over 40% of vertices, got {}",
+            t.peak_fraction(2048)
+        );
+        let road = gen::road_network(2048, 2);
+        let tr = trace_root(&road, 0, &DeviceConfig::gtx_titan());
+        assert!(
+            tr.peak_fraction(road.num_vertices()) < 0.1,
+            "road peak frontier stays small, got {}",
+            tr.peak_fraction(road.num_vertices())
+        );
+    }
+
+    #[test]
+    fn percent_conversion() {
+        let t = FrontierTrace {
+            root: 0,
+            vertex_frontier: vec![1, 50],
+            edge_frontier: vec![1, 50],
+            level_seconds: vec![0.0, 0.0],
+        };
+        assert_eq!(t.vertex_frontier_percent(100), vec![1.0, 50.0]);
+    }
+}

@@ -1,0 +1,39 @@
+//! # bc-core — hybrid GPU betweenness centrality
+//!
+//! Rust reproduction of McLaughlin & Bader, *"Scalable and High
+//! Performance Betweenness Centrality on the GPU"* (SC 2014): the
+//! work-efficient, hybrid, and sampling BC methods, alongside the
+//! prior-work vertex-parallel, edge-parallel (Jia et al.), and
+//! GPU-FAN (Shi & Zhang) baselines — all executing functionally on
+//! the host while a SIMT timing model ([`bc_gpusim`]) prices their
+//! work the way the paper's GPUs would.
+//!
+//! Quick start:
+//!
+//! ```
+//! use bc_core::{Method, BcOptions};
+//! use bc_graph::gen;
+//!
+//! let g = gen::watts_strogatz(1000, 10, 0.1, 42);
+//! let run = Method::Sampling(Default::default())
+//!     .run(&g, &BcOptions::default())
+//!     .expect("fits in device memory");
+//! assert_eq!(run.scores.len(), 1000);
+//! println!("simulated exact-BC time: {:.3}s ({:.1} MTEPS)",
+//!          run.report.full_seconds, run.report.mteps());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod brandes;
+pub mod cpu_parallel;
+pub mod engine;
+pub mod frontier;
+pub mod methods;
+mod solver;
+pub mod teps;
+pub mod weighted;
+
+pub use methods::models::{HybridParams, SamplingParams, Strategy};
+pub use solver::{run_with_cost_model, BcOptions, BcRun, Method, RootSelection, RunReport};

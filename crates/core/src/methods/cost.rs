@@ -1,0 +1,482 @@
+//! Per-iteration pricing shared by the method implementations.
+//!
+//! Each function converts a [`LevelInfo`] into the work a particular
+//! thread-distribution strategy would perform on that iteration —
+//! the quantities §III and §IV of the paper reason about:
+//!
+//! * **work-efficient** (Algorithms 1–3): threads only touch the
+//!   frontier, at the price of SIMT divergence (round-robin lane
+//!   assignment over uneven degrees), scattered neighbor gathers,
+//!   and an atomicCAS per inspected edge;
+//! * **edge-parallel** (Jia et al.): every directed edge is
+//!   inspected every iteration — perfectly balanced lanes streaming
+//!   coalesced arrays, with waste proportional to the non-frontier
+//!   edges;
+//! * **vertex-parallel** (Jia et al.): every vertex is checked every
+//!   iteration; frontier vertices serialize their whole adjacency
+//!   list on one lane (the worst divergence of Figure 2).
+
+use crate::engine::{LevelInfo, Phase, PricedIteration};
+use bc_graph::Csr;
+use bc_gpusim::{warp, DeviceConfig, IterationWork};
+
+/// Slack sectors charged per frontier adjacency list for
+/// misalignment (a list rarely starts on a transaction boundary).
+const LIST_MISALIGN_SECTORS: u64 = 1;
+
+/// Bytes the edge-parallel kernel streams per directed edge: the
+/// adjacency target, the per-edge source id, the (sequential, edges
+/// are source-sorted) `d[src]` probe, and its share of σ reads.
+const EP_BYTES_PER_EDGE: u64 = 16;
+
+/// The per-vertex state a frontier gather touches (d, σ, δ — three
+/// 4-byte words), used to size the L2 working set.
+fn bc_working_set_bytes(g: &Csr) -> u64 {
+    12 * g.num_vertices() as u64
+}
+
+/// How the work-efficient kernel appends discovered vertices to
+/// `Q_next` (§IV-A's discussion of Merrill et al.'s prefix sum).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueAppend {
+    /// One `atomicAdd` on the queue tail per discovered vertex (the
+    /// paper's choice: contention is low because only frontier
+    /// threads insert).
+    #[default]
+    AtomicCas,
+    /// Cooperative prefix-sum over the block. Removes the tail
+    /// atomics but every SM must scan its whole `Q_curr` — the
+    /// overhead the paper measured to be "too large" because each of
+    /// the independent per-SM searches pays the full scan alone.
+    PrefixSum,
+}
+
+/// Where the dependency-accumulation stage finds predecessors
+/// (§III-B / §IV-A: the paper *discards* predecessor storage and
+/// re-derives them from distances).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PredecessorStorage {
+    /// No storage: traverse all neighbors and compare distances
+    /// (Green & Bader) — O(n) local state.
+    #[default]
+    NeighborTraversal,
+    /// Jia et al.'s O(m) boolean edge-flag array: the forward pass
+    /// marks predecessor edges; the backward pass streams the flags
+    /// and only gathers σ/δ for actual predecessors.
+    EdgeFlags,
+}
+
+/// Design-variant knobs for the work-efficient kernel (the default
+/// is the paper's configuration).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkEfficientConfig {
+    /// Queue-append strategy.
+    pub queue_append: QueueAppend,
+    /// Predecessor bookkeeping.
+    pub predecessors: PredecessorStorage,
+}
+
+/// Price one work-efficient iteration (forward or backward) under a
+/// variant configuration.
+pub fn work_efficient_level_cfg(
+    g: &Csr,
+    device: &DeviceConfig,
+    level: &LevelInfo<'_>,
+    trips: &mut Vec<u32>,
+    cfg: WorkEfficientConfig,
+) -> PricedIteration {
+    let mut p = work_efficient_level(g, device, level, trips);
+    let f = level.frontier.len() as u64;
+    let e = level.frontier_edges;
+    if level.phase == Phase::Forward && cfg.queue_append == QueueAppend::PrefixSum {
+        // No tail atomics…
+        p.work.atomics = p.work.atomics.saturating_sub(level.discovered);
+        // …but a block-wide scan of Q_curr (log-steps over the
+        // frontier, all on this one SM) plus two extra barriers'
+        // worth of sync, modeled as additional lockstep steps.
+        let scan = warp::balanced_warp_steps(f, device.threads_per_block, device.warp_size);
+        let log_rounds = 64 - u64::from(device.threads_per_block).leading_zeros() as u64;
+        p.work.warp_steps += scan * log_rounds.max(1) + 2 * device.warps_per_block() as u64;
+    }
+    match (level.phase, cfg.predecessors) {
+        (Phase::Forward, PredecessorStorage::EdgeFlags) => {
+            // Mark the predecessor flag of each σ-update edge.
+            p.work.scattered_accesses += level.updates;
+        }
+        (Phase::Backward, PredecessorStorage::EdgeFlags) => {
+            // Stream the flags (1 byte per edge, coalesced with the
+            // adjacency) instead of gathering d[v] per neighbor.
+            p.work.scattered_accesses = p.work.scattered_accesses.saturating_sub(e);
+            p.work.coalesced_bytes += e;
+        }
+        _ => {}
+    }
+    p
+}
+
+/// Price one work-efficient iteration (forward or backward).
+pub fn work_efficient_level(
+    g: &Csr,
+    device: &DeviceConfig,
+    level: &LevelInfo<'_>,
+    trips: &mut Vec<u32>,
+) -> PricedIteration {
+    trips.clear();
+    trips.extend(level.frontier.iter().map(|&v| g.degree(v)));
+    let f = level.frontier.len() as u64;
+    let e = level.frontier_edges;
+    let warp_steps =
+        warp::round_robin_warp_steps(trips, device.threads_per_block, device.warp_size);
+    let (scattered, atomics) = match level.phase {
+        // Forward: CAS on d[w] per edge, σ atomicAdd per update,
+        // queue-counter atomic per discovered vertex, plus the
+        // offsets lookup of each frontier vertex. All of these are
+        // dependent gathers chained behind the adjacency read.
+        Phase::Forward => (e + level.updates + 2 * f, e + level.updates + level.discovered),
+        // Backward (successor check): plain reads of d[v], then
+        // σ[v], δ[v] on matches — no atomics at all.
+        Phase::Backward => (e + 2 * level.updates + 2 * f, 0),
+    };
+    PricedIteration {
+        work: IterationWork {
+            warp_steps,
+            coalesced_bytes: f * 4 + level.discovered * 4 + e * 4
+                + f * LIST_MISALIGN_SECTORS * device.scattered_tx_bytes as u64,
+            scattered_accesses: scattered,
+            working_set_bytes: bc_working_set_bytes(g),
+            atomics,
+            ..Default::default()
+        },
+        wasted_edges: 0,
+        wasted_vertex_checks: 0,
+    }
+}
+
+/// Price one edge-parallel iteration: all `2m` directed edges are
+/// inspected regardless of the frontier.
+pub fn edge_parallel_level(
+    g: &Csr,
+    device: &DeviceConfig,
+    level: &LevelInfo<'_>,
+) -> PricedIteration {
+    let m2 = g.num_directed_edges() as u64;
+    let e = level.frontier_edges;
+    let warp_steps = warp::balanced_warp_steps(m2, device.threads_per_block, device.warp_size);
+    let coalesced_bytes = m2 * EP_BYTES_PER_EDGE;
+    // Only edges whose source is on the frontier touch destination
+    // state — and those probes are independent per-thread (the
+    // edge-parallel strength), so they are bandwidth- rather than
+    // latency-priced.
+    let (random, atomics) = match level.phase {
+        Phase::Forward => (e + level.updates, e + level.updates),
+        // Edge-parallel accumulation *does* need atomics (multiple
+        // threads share an ancestor — §IV-A's closing observation).
+        Phase::Backward => (e + 2 * level.updates, level.updates),
+    };
+    PricedIteration {
+        work: IterationWork {
+            warp_steps,
+            coalesced_bytes,
+            random_accesses: random,
+            working_set_bytes: bc_working_set_bytes(g),
+            atomics,
+            ..Default::default()
+        },
+        wasted_edges: m2.saturating_sub(e),
+        wasted_vertex_checks: 0,
+    }
+}
+
+/// Lane scratch for the vertex-parallel divergence computation.
+#[derive(Clone, Debug, Default)]
+pub struct VertexParallelScratch {
+    lane_extra: Vec<u64>,
+}
+
+/// Price one vertex-parallel iteration: all `n` vertices are
+/// status-checked; frontier vertices serialize their adjacency list
+/// on their lane (thread `v % threads` owns vertex `v`).
+pub fn vertex_parallel_level(
+    g: &Csr,
+    device: &DeviceConfig,
+    level: &LevelInfo<'_>,
+    scratch: &mut VertexParallelScratch,
+) -> PricedIteration {
+    let n = g.num_vertices() as u64;
+    let f = level.frontier.len() as u64;
+    let e = level.frontier_edges;
+    let threads = device.threads_per_block as usize;
+    scratch.lane_extra.clear();
+    scratch.lane_extra.resize(threads, 0);
+    for &v in level.frontier {
+        scratch.lane_extra[v as usize % threads] += g.degree(v) as u64;
+    }
+    let extra_steps: u64 = scratch
+        .lane_extra
+        .chunks(device.warp_size as usize)
+        .map(|w| w.iter().copied().max().unwrap_or(0))
+        .sum();
+    let base_steps = warp::balanced_warp_steps(n, device.threads_per_block, device.warp_size);
+    let (scattered, atomics) = match level.phase {
+        Phase::Forward => (e + level.updates, e + level.updates),
+        Phase::Backward => (e + 2 * level.updates, 0),
+    };
+    PricedIteration {
+        work: IterationWork {
+            warp_steps: base_steps + extra_steps,
+            // d[v] and the offsets array stream sequentially.
+            coalesced_bytes: n * 12 + e * 4,
+            scattered_accesses: scattered,
+            working_set_bytes: bc_working_set_bytes(g),
+            atomics,
+            ..Default::default()
+        },
+        wasted_edges: 0,
+        wasted_vertex_checks: n.saturating_sub(f),
+    }
+}
+
+/// Price one GPU-FAN iteration: edge-parallel work cooperatively
+/// split across every SM (fine-grained parallelism), at the cost of
+/// a device-wide synchronization per iteration.
+pub fn gpu_fan_level(g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) -> PricedIteration {
+    let mut p = edge_parallel_level(g, device, level);
+    let sms = device.num_sms as u64;
+    p.work.warp_steps = p.work.warp_steps.div_ceil(sms);
+    p.work.coalesced_bytes = p.work.coalesced_bytes.div_ceil(sms);
+    p.work.random_accesses = p.work.random_accesses.div_ceil(sms);
+    p.work.atomics = p.work.atomics.div_ceil(sms);
+    // The O(n²) predecessor matrix adds a random write per σ update
+    // and a random read per δ contribution.
+    p.work.random_accesses += level.updates.div_ceil(sms);
+    p.work.global_sync = true;
+    p
+}
+
+/// Device-memory footprint of each method's per-run state (graph
+/// arrays excluded — those are charged separately).
+pub mod footprint {
+    use bc_graph::Csr;
+    use bc_gpusim::DeviceConfig;
+
+    /// CSR arrays on the device.
+    pub fn graph_bytes(g: &Csr) -> u64 {
+        g.storage_bytes()
+    }
+
+    /// Work-efficient locals: d, σ, δ, Q_curr, Q_next, S, ends — all
+    /// O(n) — per resident block (one per SM).
+    pub fn work_efficient_bytes(g: &Csr, device: &DeviceConfig) -> u64 {
+        let n = g.num_vertices() as u64;
+        7 * 4 * n * device.num_sms as u64
+    }
+
+    /// Work-efficient locals under a variant configuration: the
+    /// edge-flag predecessor store adds an O(m) byte array per
+    /// resident block — the scalability cost the paper's
+    /// neighbor-traversal choice avoids.
+    pub fn work_efficient_bytes_cfg(
+        g: &Csr,
+        device: &DeviceConfig,
+        cfg: super::WorkEfficientConfig,
+    ) -> u64 {
+        let base = work_efficient_bytes(g, device);
+        match cfg.predecessors {
+            super::PredecessorStorage::NeighborTraversal => base,
+            super::PredecessorStorage::EdgeFlags => {
+                base + g.num_directed_edges() as u64 * device.num_sms as u64
+            }
+        }
+    }
+
+    /// Jia et al. locals: d, σ, δ O(n) plus the O(m) boolean
+    /// predecessor map, per resident block, plus one shared per-edge
+    /// source array.
+    pub fn edge_parallel_bytes(g: &Csr, device: &DeviceConfig) -> u64 {
+        let n = g.num_vertices() as u64;
+        let m2 = g.num_directed_edges() as u64;
+        (3 * 4 * n + m2) * device.num_sms as u64 + 4 * m2
+    }
+
+    /// GPU-FAN locals: d, σ, δ O(n) plus the O(n²) predecessor
+    /// matrix (4-byte entries), single-rooted so one copy.
+    pub fn gpu_fan_bytes(g: &Csr, _device: &DeviceConfig) -> u64 {
+        let n = g.num_vertices() as u64;
+        3 * 4 * n + 4 * n * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Phase;
+    use bc_graph::gen;
+
+    fn level<'a>(frontier: &'a [u32], g: &Csr, phase: Phase) -> LevelInfo<'a> {
+        LevelInfo {
+            phase,
+            depth: 1,
+            frontier,
+            frontier_edges: frontier.iter().map(|&v| g.degree(v) as u64).sum(),
+            discovered: 3,
+            updates: 4,
+        }
+    }
+
+    #[test]
+    fn work_efficient_scales_with_frontier_not_graph() {
+        let g = gen::grid(32, 32);
+        let d = DeviceConfig::gtx_titan();
+        let mut trips = Vec::new();
+        let small = level(&[5, 6], &g, Phase::Forward);
+        let big: Vec<u32> = (0..512).collect();
+        let big = level(&big, &g, Phase::Forward);
+        let ps = work_efficient_level(&g, &d, &small, &mut trips);
+        let pb = work_efficient_level(&g, &d, &big, &mut trips);
+        assert!(pb.work.warp_steps > ps.work.warp_steps * 10);
+        assert_eq!(ps.wasted_edges, 0);
+    }
+
+    #[test]
+    fn edge_parallel_cost_is_frontier_independent() {
+        let g = gen::grid(32, 32);
+        let d = DeviceConfig::gtx_titan();
+        let small = level(&[5], &g, Phase::Forward);
+        let big: Vec<u32> = (0..512).collect();
+        let bigl = level(&big, &g, Phase::Forward);
+        let ps = edge_parallel_level(&g, &d, &small);
+        let pb = edge_parallel_level(&g, &d, &bigl);
+        assert_eq!(ps.work.warp_steps, pb.work.warp_steps);
+        assert_eq!(ps.work.coalesced_bytes, pb.work.coalesced_bytes);
+        assert!(ps.wasted_edges > pb.wasted_edges, "bigger frontier wastes less");
+    }
+
+    #[test]
+    fn edge_parallel_wastes_non_frontier_edges() {
+        let g = gen::grid(32, 32);
+        let d = DeviceConfig::gtx_titan();
+        let l = level(&[5], &g, Phase::Forward);
+        let p = edge_parallel_level(&g, &d, &l);
+        let m2 = g.num_directed_edges() as u64;
+        assert_eq!(p.wasted_edges, m2 - l.frontier_edges);
+    }
+
+    #[test]
+    fn vertex_parallel_divergence_penalty() {
+        // A star: the hub serializes all its edges on one lane.
+        let g = gen::star(1024);
+        let d = DeviceConfig::gtx_titan();
+        let mut scratch = VertexParallelScratch::default();
+        let hub_level = level(&[0], &g, Phase::Forward);
+        let p = vertex_parallel_level(&g, &d, &hub_level, &mut scratch);
+        // The hub's 1023 edges run on a single lane: at least that
+        // many steps beyond the base scan.
+        assert!(p.work.warp_steps >= 1023);
+        assert_eq!(p.wasted_vertex_checks, 1023);
+    }
+
+    #[test]
+    fn backward_levels_have_no_atomics_only_for_work_efficient() {
+        let g = gen::grid(8, 8);
+        let d = DeviceConfig::gtx_titan();
+        let mut trips = Vec::new();
+        let l = level(&[1, 2, 3], &g, Phase::Backward);
+        let we = work_efficient_level(&g, &d, &l, &mut trips);
+        assert_eq!(we.work.atomics, 0, "successor approach needs no atomics");
+        let ep = edge_parallel_level(&g, &d, &l);
+        assert!(ep.work.atomics > 0, "edge-parallel accumulation still needs atomics");
+    }
+
+    #[test]
+    fn gpu_fan_divides_work_but_pays_global_sync() {
+        let g = gen::grid(16, 16);
+        let d = DeviceConfig::gtx_titan();
+        let l = level(&[1, 2], &g, Phase::Forward);
+        let ep = edge_parallel_level(&g, &d, &l);
+        let fan = gpu_fan_level(&g, &d, &l);
+        assert!(fan.work.warp_steps < ep.work.warp_steps);
+        assert!(fan.work.global_sync);
+        assert!(!ep.work.global_sync);
+    }
+
+    #[test]
+    fn footprints_ordering() {
+        let g = gen::grid(64, 64); // n = 4096
+        let d = DeviceConfig::gtx_titan();
+        let we = footprint::work_efficient_bytes(&g, &d);
+        let ep = footprint::edge_parallel_bytes(&g, &d);
+        let fan = footprint::gpu_fan_bytes(&g, &d);
+        // O(n^2) dwarfs everything at this size.
+        assert!(fan > ep && fan > we);
+        assert_eq!(fan, 3 * 4 * 4096 + 4 * 4096 * 4096);
+    }
+
+    #[test]
+    fn prefix_sum_variant_trades_atomics_for_scan_steps() {
+        let g = gen::grid(32, 32);
+        let d = DeviceConfig::gtx_titan();
+        let mut trips = Vec::new();
+        let frontier: Vec<u32> = (0..600).collect();
+        let l = level(&frontier, &g, Phase::Forward);
+        let base = work_efficient_level_cfg(
+            &g,
+            &d,
+            &l,
+            &mut trips,
+            WorkEfficientConfig::default(),
+        );
+        let scan = work_efficient_level_cfg(
+            &g,
+            &d,
+            &l,
+            &mut trips,
+            WorkEfficientConfig { queue_append: QueueAppend::PrefixSum, ..Default::default() },
+        );
+        assert!(scan.work.atomics < base.work.atomics, "scan removes tail atomics");
+        assert!(scan.work.warp_steps > base.work.warp_steps, "scan adds lockstep work");
+    }
+
+    #[test]
+    fn edge_flag_variant_shifts_backward_traffic() {
+        let g = gen::grid(32, 32);
+        let d = DeviceConfig::gtx_titan();
+        let mut trips = Vec::new();
+        let frontier: Vec<u32> = (0..64).collect();
+        let l = level(&frontier, &g, Phase::Backward);
+        let base =
+            work_efficient_level_cfg(&g, &d, &l, &mut trips, WorkEfficientConfig::default());
+        let flags = work_efficient_level_cfg(
+            &g,
+            &d,
+            &l,
+            &mut trips,
+            WorkEfficientConfig {
+                predecessors: PredecessorStorage::EdgeFlags,
+                ..Default::default()
+            },
+        );
+        assert!(flags.work.scattered_accesses < base.work.scattered_accesses);
+        assert!(flags.work.coalesced_bytes > base.work.coalesced_bytes);
+        // And the memory bill comes due.
+        let cfg = WorkEfficientConfig {
+            predecessors: PredecessorStorage::EdgeFlags,
+            ..Default::default()
+        };
+        assert!(
+            footprint::work_efficient_bytes_cfg(&g, &d, cfg)
+                > footprint::work_efficient_bytes(&g, &d)
+        );
+    }
+
+    #[test]
+    fn gpu_fan_exhausts_titan_memory_near_paper_scale() {
+        // 6 GB / 4 B per predecessor entry = 1.5e9 entries: n ≈ 38.7k.
+        // The paper's Figure 5 shows GPU-FAN dying between scale 2^15
+        // and 2^16 — reproduce that boundary.
+        let d = DeviceConfig::gtx_titan();
+        let ok = gen::grid(181, 181); // n ≈ 32.7k
+        let too_big = gen::grid(256, 256); // n = 65.5k
+        assert!(footprint::gpu_fan_bytes(&ok, &d) < d.global_mem_bytes);
+        assert!(footprint::gpu_fan_bytes(&too_big, &d) > d.global_mem_bytes);
+    }
+}

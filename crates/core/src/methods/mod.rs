@@ -1,0 +1,7 @@
+//! The parallelization strategies: cost models, the strategy-
+//! switching logic of the hybrid and sampling methods, and literal
+//! reference implementations of the prior-work traversals.
+
+pub mod cost;
+pub mod models;
+pub mod reference;

@@ -1,0 +1,367 @@
+//! [`CostModel`] implementations for each parallelization strategy,
+//! including the per-iteration strategy switching of the hybrid
+//! (Algorithm 4) and sampling (Algorithm 5) methods.
+
+use crate::engine::{CostModel, LevelInfo, Phase, PricedIteration};
+use crate::methods::cost;
+use bc_graph::{Csr, VertexId};
+use bc_gpusim::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// The two base strategies the hybrid methods alternate between.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Queue-based frontier traversal (this paper).
+    WorkEfficient,
+    /// All-edges inspection (Jia et al.).
+    EdgeParallel,
+}
+
+/// Work-efficient pricing for every iteration.
+#[derive(Debug, Default)]
+pub struct WorkEfficientModel {
+    trips: Vec<u32>,
+    config: cost::WorkEfficientConfig,
+}
+
+impl WorkEfficientModel {
+    /// A model with non-default design-variant knobs (see
+    /// [`cost::WorkEfficientConfig`]) — used by the §IV-A ablations.
+    pub fn with_config(config: cost::WorkEfficientConfig) -> Self {
+        WorkEfficientModel { trips: Vec::new(), config }
+    }
+}
+
+impl CostModel for WorkEfficientModel {
+    fn price(&mut self, g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) -> PricedIteration {
+        cost::work_efficient_level_cfg(g, device, level, &mut self.trips, self.config)
+    }
+}
+
+/// Edge-parallel pricing for every iteration.
+#[derive(Debug, Default)]
+pub struct EdgeParallelModel;
+
+impl CostModel for EdgeParallelModel {
+    fn price(&mut self, g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) -> PricedIteration {
+        cost::edge_parallel_level(g, device, level)
+    }
+}
+
+/// Vertex-parallel pricing for every iteration.
+#[derive(Debug, Default)]
+pub struct VertexParallelModel {
+    scratch: cost::VertexParallelScratch,
+}
+
+impl CostModel for VertexParallelModel {
+    fn price(&mut self, g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) -> PricedIteration {
+        cost::vertex_parallel_level(g, device, level, &mut self.scratch)
+    }
+}
+
+/// GPU-FAN pricing: fine-grained edge-parallel with device-wide
+/// synchronization each iteration.
+#[derive(Debug, Default)]
+pub struct GpuFanModel;
+
+impl CostModel for GpuFanModel {
+    fn price(&mut self, g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) -> PricedIteration {
+        cost::gpu_fan_level(g, device, level)
+    }
+}
+
+/// Parameters of the hybrid method (Algorithm 4). The paper found
+/// α = 768 and β = 512 best across its inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HybridParams {
+    /// Frontier-change threshold that triggers strategy
+    /// reconsideration.
+    pub alpha: u64,
+    /// Next-frontier size above which the edge-parallel method is
+    /// chosen.
+    pub beta: u64,
+}
+
+impl Default for HybridParams {
+    fn default() -> Self {
+        HybridParams { alpha: 768, beta: 512 }
+    }
+}
+
+/// Hybrid pricing: starts work-efficient, reconsiders whenever the
+/// frontier size changes by more than α, switching to edge-parallel
+/// when the next frontier exceeds β.
+#[derive(Debug)]
+pub struct HybridModel {
+    params: HybridParams,
+    strategy: Strategy,
+    /// Strategy used at each forward depth, replayed by the backward
+    /// sweep (the accumulation processes the same levels).
+    forward_choices: Vec<Strategy>,
+    trips: Vec<u32>,
+    /// How many iterations ran under each strategy (for reports and
+    /// tests).
+    pub work_efficient_iterations: u64,
+    /// See [`HybridModel::work_efficient_iterations`].
+    pub edge_parallel_iterations: u64,
+}
+
+impl HybridModel {
+    /// A hybrid model with the given α/β.
+    pub fn new(params: HybridParams) -> Self {
+        HybridModel {
+            params,
+            strategy: Strategy::WorkEfficient,
+            forward_choices: Vec::new(),
+            trips: Vec::new(),
+            work_efficient_iterations: 0,
+            edge_parallel_iterations: 0,
+        }
+    }
+
+    fn price_with(
+        &mut self,
+        strategy: Strategy,
+        g: &Csr,
+        device: &DeviceConfig,
+        level: &LevelInfo<'_>,
+    ) -> PricedIteration {
+        match strategy {
+            Strategy::WorkEfficient => {
+                self.work_efficient_iterations += 1;
+                cost::work_efficient_level(g, device, level, &mut self.trips)
+            }
+            Strategy::EdgeParallel => {
+                self.edge_parallel_iterations += 1;
+                cost::edge_parallel_level(g, device, level)
+            }
+        }
+    }
+}
+
+impl CostModel for HybridModel {
+    fn begin_root(&mut self, _g: &Csr, _root: VertexId) {
+        // Each search starts work-efficient: the initial frontier is
+        // just the root, and a wrong edge-parallel guess is the
+        // costlier mistake (§IV-B).
+        self.strategy = Strategy::WorkEfficient;
+        self.forward_choices.clear();
+    }
+
+    fn price(&mut self, g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) -> PricedIteration {
+        match level.phase {
+            Phase::Forward => {
+                let strategy = self.strategy;
+                self.forward_choices.push(strategy);
+                let priced = self.price_with(strategy, g, device, level);
+                // Algorithm 4: reconsider only when the frontier
+                // changes substantially.
+                let q_curr = level.frontier.len() as u64;
+                let q_change = level.discovered.abs_diff(q_curr);
+                if q_change > self.params.alpha {
+                    self.strategy = if level.discovered > self.params.beta {
+                        Strategy::EdgeParallel
+                    } else {
+                        Strategy::WorkEfficient
+                    };
+                }
+                priced
+            }
+            Phase::Backward => {
+                let strategy = self
+                    .forward_choices
+                    .get(level.depth as usize)
+                    .copied()
+                    .unwrap_or(Strategy::WorkEfficient);
+                self.price_with(strategy, g, device, level)
+            }
+        }
+    }
+}
+
+/// Parameters of the sampling method (Algorithm 5).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SamplingParams {
+    /// Roots processed work-efficiently to estimate the BFS depth
+    /// distribution.
+    pub n_samps: usize,
+    /// Edge-parallel is chosen when the median max-depth is below
+    /// `gamma * log2(n)`.
+    pub gamma: f64,
+    /// Even under the edge-parallel decision, iterations with a
+    /// frontier smaller than this fall back to work-efficient
+    /// ("designed to scale with the architecture").
+    pub min_frontier: usize,
+}
+
+impl Default for SamplingParams {
+    fn default() -> Self {
+        SamplingParams { n_samps: 512, gamma: 4.0, min_frontier: 512 }
+    }
+}
+
+impl SamplingParams {
+    /// Algorithm 5's decision: should the remaining roots use the
+    /// edge-parallel strategy, given the sampled max BFS depths?
+    pub fn choose_edge_parallel(&self, n: usize, sampled_depths: &mut [u32]) -> bool {
+        if sampled_depths.is_empty() || n < 2 {
+            return false;
+        }
+        sampled_depths.sort_unstable();
+        let median = sampled_depths[sampled_depths.len() / 2];
+        (median as f64) < self.gamma * (n as f64).log2()
+    }
+}
+
+/// Pricing for the sampling method's post-decision phase: mostly
+/// edge-parallel, falling back to work-efficient on small frontiers.
+#[derive(Debug)]
+pub struct SamplingPhaseModel {
+    min_frontier: usize,
+    forward_choices: Vec<Strategy>,
+    trips: Vec<u32>,
+    /// Iterations priced work-efficiently.
+    pub work_efficient_iterations: u64,
+    /// Iterations priced edge-parallel.
+    pub edge_parallel_iterations: u64,
+}
+
+impl SamplingPhaseModel {
+    /// Model for the remaining-roots phase after an edge-parallel
+    /// decision.
+    pub fn new(min_frontier: usize) -> Self {
+        SamplingPhaseModel {
+            min_frontier,
+            forward_choices: Vec::new(),
+            trips: Vec::new(),
+            work_efficient_iterations: 0,
+            edge_parallel_iterations: 0,
+        }
+    }
+}
+
+impl CostModel for SamplingPhaseModel {
+    fn begin_root(&mut self, _g: &Csr, _root: VertexId) {
+        self.forward_choices.clear();
+    }
+
+    fn price(&mut self, g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) -> PricedIteration {
+        let strategy = match level.phase {
+            Phase::Forward => {
+                let s = if level.frontier.len() >= self.min_frontier {
+                    Strategy::EdgeParallel
+                } else {
+                    Strategy::WorkEfficient
+                };
+                self.forward_choices.push(s);
+                s
+            }
+            Phase::Backward => self
+                .forward_choices
+                .get(level.depth as usize)
+                .copied()
+                .unwrap_or(Strategy::WorkEfficient),
+        };
+        match strategy {
+            Strategy::WorkEfficient => {
+                self.work_efficient_iterations += 1;
+                cost::work_efficient_level(g, device, level, &mut self.trips)
+            }
+            Strategy::EdgeParallel => {
+                self.edge_parallel_iterations += 1;
+                cost::edge_parallel_level(g, device, level)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{process_root, SearchWorkspace};
+    use bc_graph::gen;
+
+    fn drive(g: &Csr, model: &mut dyn CostModel) {
+        let device = DeviceConfig::gtx_titan();
+        let mut ws = SearchWorkspace::new(g.num_vertices());
+        let mut bc = vec![0.0; g.num_vertices()];
+        for root in g.vertices().take(8) {
+            process_root(g, root, &device, &mut ws, model, &mut bc);
+        }
+    }
+
+    #[test]
+    fn hybrid_stays_work_efficient_on_high_diameter() {
+        // A long path: frontiers of size 1, never crossing α.
+        let g = gen::path(4000);
+        let mut m = HybridModel::new(HybridParams::default());
+        drive(&g, &mut m);
+        assert_eq!(m.edge_parallel_iterations, 0);
+        assert!(m.work_efficient_iterations > 0);
+    }
+
+    #[test]
+    fn hybrid_switches_on_explosive_frontiers() {
+        // A big star: frontier jumps 1 -> n-1, crossing α = 768 and
+        // β = 512 immediately.
+        let g = gen::star(5000);
+        let mut m = HybridModel::new(HybridParams::default());
+        drive(&g, &mut m);
+        assert!(
+            m.edge_parallel_iterations > 0,
+            "star frontier explosion must trigger edge-parallel"
+        );
+    }
+
+    #[test]
+    fn hybrid_alpha_sensitivity() {
+        // With a huge α the hybrid never reconsiders.
+        let g = gen::star(5000);
+        let mut m = HybridModel::new(HybridParams { alpha: u64::MAX, beta: 512 });
+        drive(&g, &mut m);
+        assert_eq!(m.edge_parallel_iterations, 0);
+    }
+
+    #[test]
+    fn sampling_decision_median_logic() {
+        let p = SamplingParams::default();
+        // n = 1024: threshold = 4 * 10 = 40.
+        let mut shallow = vec![6u32; 100];
+        assert!(p.choose_edge_parallel(1024, &mut shallow));
+        let mut deep = vec![500u32; 100];
+        assert!(!p.choose_edge_parallel(1024, &mut deep));
+        // Median robust to outliers: a few deep samples don't flip it.
+        let mut mixed = vec![6u32; 99];
+        mixed.extend([2000u32; 40]);
+        assert!(p.choose_edge_parallel(1024, &mut mixed));
+        let mut empty: Vec<u32> = vec![];
+        assert!(!p.choose_edge_parallel(1024, &mut empty));
+    }
+
+    #[test]
+    fn sampling_phase_model_falls_back_on_small_frontiers() {
+        let g = gen::star(5000);
+        let mut m = SamplingPhaseModel::new(512);
+        drive(&g, &mut m);
+        // Root expansion (frontier = 1) is work-efficient; the leaf
+        // level (frontier = 4999) is edge-parallel.
+        assert!(m.work_efficient_iterations > 0);
+        assert!(m.edge_parallel_iterations > 0);
+    }
+
+    #[test]
+    fn backward_replays_forward_choices() {
+        let g = gen::star(5000);
+        let device = DeviceConfig::gtx_titan();
+        let mut ws = SearchWorkspace::new(g.num_vertices());
+        let mut bc = vec![0.0; g.num_vertices()];
+        let mut m = HybridModel::new(HybridParams::default());
+        process_root(&g, 0, &device, &mut ws, &mut m, &mut bc);
+        // Forward: depth 0 (WE, then switch). Backward replays
+        // the same per-depth choices, so counts stay consistent:
+        // every EP-priced backward level had an EP-priced forward
+        // counterpart.
+        assert!(m.edge_parallel_iterations <= 2 * m.forward_choices.len() as u64);
+    }
+}

@@ -1,0 +1,513 @@
+//! The public entry point: pick a [`Method`], run it on a graph, get
+//! exact BC scores plus a full simulation report.
+
+use crate::brandes;
+use crate::engine::{process_root, CostModel, SearchWorkspace};
+use crate::methods::cost::footprint;
+use crate::methods::models::{
+    EdgeParallelModel, GpuFanModel, HybridModel, HybridParams, SamplingParams,
+    SamplingPhaseModel, VertexParallelModel, WorkEfficientModel,
+};
+use crate::teps;
+use bc_graph::{Csr, VertexId};
+use bc_gpusim::{coarse_grained_makespan, DeviceConfig, DeviceMemory, KernelCounters, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Which source vertices to process.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RootSelection {
+    /// Every vertex — the exact BC computation.
+    All,
+    /// The first `k` vertices.
+    FirstK(usize),
+    /// `k` vertices evenly strided across the id range (deterministic
+    /// and representative; what the experiment harness uses before
+    /// extrapolating, per §IV-C's uniform-cost argument).
+    Strided(usize),
+    /// An explicit root list.
+    Explicit(Vec<VertexId>),
+}
+
+impl RootSelection {
+    /// Materialize the root list for a graph of `n` vertices.
+    pub fn resolve(&self, n: usize) -> Vec<VertexId> {
+        match self {
+            RootSelection::All => (0..n as u32).collect(),
+            RootSelection::FirstK(k) => (0..n.min(*k) as u32).collect(),
+            RootSelection::Strided(k) => {
+                let k = (*k).min(n).max(1.min(n));
+                (0..k).map(|i| (i * n / k) as u32).collect()
+            }
+            RootSelection::Explicit(v) => v.clone(),
+        }
+    }
+}
+
+/// Options shared by every method.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BcOptions {
+    /// The simulated device.
+    pub device: DeviceConfig,
+    /// Source vertices to process.
+    pub roots: RootSelection,
+    /// Normalize scores by `(n-1)(n-2)` (halved when undirected).
+    pub normalize: bool,
+}
+
+impl Default for BcOptions {
+    fn default() -> Self {
+        BcOptions {
+            device: DeviceConfig::gtx_titan(),
+            roots: RootSelection::All,
+            normalize: false,
+        }
+    }
+}
+
+/// The parallelization strategies evaluated in the paper.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Method {
+    /// Thread per vertex, O(n²+m) traversal (Jia et al.).
+    VertexParallel,
+    /// Thread per edge, O(diameter·m) traversal (Jia et al.) — the
+    /// best prior GPU method and the paper's baseline.
+    EdgeParallel,
+    /// Fine-grained edge-parallel with O(n²) predecessor storage
+    /// (Shi & Zhang).
+    GpuFan,
+    /// Explicit-queue frontier traversal (this paper, Algorithms
+    /// 1–3).
+    WorkEfficient,
+    /// Per-iteration strategy switching on frontier deltas (this
+    /// paper, Algorithm 4).
+    Hybrid(HybridParams),
+    /// Depth-sampling strategy selection (this paper, Algorithm 5).
+    Sampling(SamplingParams),
+}
+
+impl Method {
+    /// Human-readable method name (matches the paper's terminology).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::VertexParallel => "vertex-parallel",
+            Method::EdgeParallel => "edge-parallel",
+            Method::GpuFan => "gpu-fan",
+            Method::WorkEfficient => "work-efficient",
+            Method::Hybrid(_) => "hybrid",
+            Method::Sampling(_) => "sampling",
+        }
+    }
+
+    /// All six methods with default parameters.
+    pub fn all() -> Vec<Method> {
+        vec![
+            Method::VertexParallel,
+            Method::EdgeParallel,
+            Method::GpuFan,
+            Method::WorkEfficient,
+            Method::Hybrid(HybridParams::default()),
+            Method::Sampling(SamplingParams::default()),
+        ]
+    }
+
+    /// Does this method use fine-grained parallelism (the whole
+    /// device cooperating on one root)?
+    pub fn is_fine_grained(&self) -> bool {
+        matches!(self, Method::GpuFan)
+    }
+
+    /// Device bytes needed for the method's local state.
+    pub fn local_bytes(&self, g: &Csr, device: &DeviceConfig) -> u64 {
+        match self {
+            Method::VertexParallel | Method::EdgeParallel => {
+                footprint::edge_parallel_bytes(g, device)
+            }
+            Method::GpuFan => footprint::gpu_fan_bytes(g, device),
+            Method::WorkEfficient | Method::Hybrid(_) | Method::Sampling(_) => {
+                footprint::work_efficient_bytes(g, device)
+            }
+        }
+    }
+
+    /// Run the method. Fails with [`SimError::OutOfMemory`] when the
+    /// graph plus local state exceed device memory (GPU-FAN's fate
+    /// at scale).
+    pub fn run(&self, g: &Csr, opts: &BcOptions) -> Result<BcRun, SimError> {
+        let n = g.num_vertices();
+        let device = &opts.device;
+        let roots = opts.roots.resolve(n);
+
+        let mut mem = DeviceMemory::new(device.global_mem_bytes);
+        let _graph = mem.alloc(footprint::graph_bytes(g), "graph CSR arrays")?;
+        let _locals = mem.alloc(self.local_bytes(g, device), "per-run local arrays")?;
+
+        let mut ws = SearchWorkspace::new(n);
+        let mut scores = vec![0.0f64; n];
+        let mut per_root_seconds = Vec::with_capacity(roots.len());
+        let mut counters = KernelCounters::default();
+        let mut max_depths = Vec::with_capacity(roots.len());
+        let mut strategy_iterations: Option<(u64, u64)> = None;
+        let mut sampling_chose_edge_parallel = None;
+
+        let run_roots = |roots: &[VertexId],
+                             model: &mut dyn CostModel,
+                             ws: &mut SearchWorkspace,
+                             scores: &mut [f64],
+                             per_root_seconds: &mut Vec<f64>,
+                             counters: &mut KernelCounters,
+                             max_depths: &mut Vec<u32>| {
+            for &r in roots {
+                let out = process_root(g, r, device, ws, model, scores);
+                per_root_seconds.push(out.counters.seconds);
+                max_depths.push(out.max_depth);
+                counters.merge(&out.counters);
+            }
+        };
+
+        match self {
+            Method::VertexParallel => {
+                let mut m = VertexParallelModel::default();
+                run_roots(&roots, &mut m, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+            }
+            Method::EdgeParallel => {
+                let mut m = EdgeParallelModel;
+                run_roots(&roots, &mut m, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+            }
+            Method::GpuFan => {
+                let mut m = GpuFanModel;
+                run_roots(&roots, &mut m, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+            }
+            Method::WorkEfficient => {
+                let mut m = WorkEfficientModel::default();
+                run_roots(&roots, &mut m, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+            }
+            Method::Hybrid(params) => {
+                let mut m = HybridModel::new(*params);
+                run_roots(&roots, &mut m, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+                strategy_iterations =
+                    Some((m.work_efficient_iterations, m.edge_parallel_iterations));
+            }
+            Method::Sampling(params) => {
+                // Phase 1: sample roots work-efficiently, recording
+                // max BFS depths (Algorithm 5's keys).
+                let n_samps = params.n_samps.min(roots.len());
+                let (sample_roots, rest_roots) = roots.split_at(n_samps);
+                let mut we = WorkEfficientModel::default();
+                run_roots(sample_roots, &mut we, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+                let mut keys = max_depths.clone();
+                let use_ep = params.choose_edge_parallel(n, &mut keys);
+                sampling_chose_edge_parallel = Some(use_ep);
+                // Phase 2: remaining roots with the chosen strategy.
+                if use_ep {
+                    let mut m = SamplingPhaseModel::new(params.min_frontier);
+                    run_roots(rest_roots, &mut m, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+                    strategy_iterations =
+                        Some((m.work_efficient_iterations, m.edge_parallel_iterations));
+                } else {
+                    run_roots(rest_roots, &mut we, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+                }
+            }
+        }
+
+        if g.is_symmetric() {
+            for s in scores.iter_mut() {
+                *s *= 0.5;
+            }
+        }
+        if opts.normalize {
+            brandes::normalize(&mut scores, g.is_symmetric());
+        }
+
+        let device_seconds = if self.is_fine_grained() {
+            per_root_seconds.iter().sum()
+        } else {
+            coarse_grained_makespan(&per_root_seconds, device.num_sms)
+        };
+        let full_seconds = if roots.is_empty() {
+            0.0
+        } else {
+            device_seconds * n as f64 / roots.len() as f64
+        };
+        let teps = teps::teps_bc(g.num_undirected_edges(), n as u64, full_seconds);
+
+        Ok(BcRun {
+            scores,
+            report: RunReport {
+                method: self.name().to_owned(),
+                device: device.name.clone(),
+                vertices: n,
+                edges: g.num_undirected_edges(),
+                roots_processed: roots.len(),
+                device_seconds,
+                full_seconds,
+                teps,
+                counters,
+                per_root_seconds,
+                max_depths,
+                strategy_iterations,
+                sampling_chose_edge_parallel,
+            },
+        })
+    }
+}
+
+/// Run BC under an arbitrary [`CostModel`] with coarse-grained
+/// scheduling — the extension point for design-variant studies (the
+/// §IV-A ablations build `WorkEfficientModel::with_config` variants
+/// and price them here). `local_bytes` is the variant's device-memory
+/// footprint beyond the graph arrays.
+pub fn run_with_cost_model(
+    g: &Csr,
+    opts: &BcOptions,
+    model: &mut dyn CostModel,
+    local_bytes: u64,
+) -> Result<BcRun, SimError> {
+    let n = g.num_vertices();
+    let device = &opts.device;
+    let roots = opts.roots.resolve(n);
+
+    let mut mem = DeviceMemory::new(device.global_mem_bytes);
+    let _graph = mem.alloc(footprint::graph_bytes(g), "graph CSR arrays")?;
+    let _locals = mem.alloc(local_bytes, "per-run local arrays")?;
+
+    let mut ws = SearchWorkspace::new(n);
+    let mut scores = vec![0.0f64; n];
+    let mut per_root_seconds = Vec::with_capacity(roots.len());
+    let mut max_depths = Vec::with_capacity(roots.len());
+    let mut counters = KernelCounters::default();
+    for &r in &roots {
+        let out = process_root(g, r, device, &mut ws, model, &mut scores);
+        per_root_seconds.push(out.counters.seconds);
+        max_depths.push(out.max_depth);
+        counters.merge(&out.counters);
+    }
+    if g.is_symmetric() {
+        for s in scores.iter_mut() {
+            *s *= 0.5;
+        }
+    }
+    if opts.normalize {
+        brandes::normalize(&mut scores, g.is_symmetric());
+    }
+    let device_seconds = coarse_grained_makespan(&per_root_seconds, device.num_sms);
+    let full_seconds = if roots.is_empty() {
+        0.0
+    } else {
+        device_seconds * n as f64 / roots.len() as f64
+    };
+    let teps = teps::teps_bc(g.num_undirected_edges(), n as u64, full_seconds);
+    Ok(BcRun {
+        scores,
+        report: RunReport {
+            method: "custom".to_owned(),
+            device: device.name.clone(),
+            vertices: n,
+            edges: g.num_undirected_edges(),
+            roots_processed: roots.len(),
+            device_seconds,
+            full_seconds,
+            teps,
+            counters,
+            per_root_seconds,
+            max_depths,
+            strategy_iterations: None,
+            sampling_chose_edge_parallel: None,
+        },
+    })
+}
+
+/// Scores plus simulation report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BcRun {
+    /// BC contributions from the processed roots (exact BC when
+    /// `RootSelection::All`).
+    pub scores: Vec<f64>,
+    /// What the simulated device did and how long it took.
+    pub report: RunReport,
+}
+
+/// Simulation report for one run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Method name.
+    pub method: String,
+    /// Device name.
+    pub device: String,
+    /// Graph vertices.
+    pub vertices: usize,
+    /// Graph undirected edges.
+    pub edges: u64,
+    /// Roots actually processed.
+    pub roots_processed: usize,
+    /// Simulated device time for the processed roots.
+    pub device_seconds: f64,
+    /// Extrapolation to all `n` roots (the exact-BC runtime the
+    /// paper reports; equals `device_seconds` when all roots ran).
+    pub full_seconds: f64,
+    /// TEPS_BC = mn / full_seconds (Eq. 4).
+    pub teps: f64,
+    /// Accumulated work counters.
+    pub counters: KernelCounters,
+    /// Simulated block-seconds per processed root.
+    pub per_root_seconds: Vec<f64>,
+    /// Max BFS depth per processed root.
+    pub max_depths: Vec<u32>,
+    /// (work-efficient, edge-parallel) iteration counts for the
+    /// switching methods.
+    pub strategy_iterations: Option<(u64, u64)>,
+    /// The sampling method's Algorithm 5 decision, if it ran.
+    pub sampling_chose_edge_parallel: Option<bool>,
+}
+
+impl RunReport {
+    /// TEPS in millions (the unit of Table III).
+    pub fn mteps(&self) -> f64 {
+        self.teps / 1e6
+    }
+
+    /// TEPS in billions (the unit of Table IV).
+    pub fn gteps(&self) -> f64 {
+        self.teps / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_graph::gen;
+
+    fn opts_all() -> BcOptions {
+        BcOptions::default()
+    }
+
+    #[test]
+    fn all_methods_agree_with_brandes() {
+        let g = gen::erdos_renyi(80, 240, 3);
+        let expect = brandes::betweenness(&g);
+        for method in Method::all() {
+            let run = method.run(&g, &opts_all()).unwrap();
+            for (i, (e, a)) in expect.iter().zip(&run.scores).enumerate() {
+                assert!(
+                    (e - a).abs() < 1e-7,
+                    "{} differs at vertex {i}: {e} vs {a}",
+                    method.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_selection_variants() {
+        assert_eq!(RootSelection::All.resolve(4), vec![0, 1, 2, 3]);
+        assert_eq!(RootSelection::FirstK(2).resolve(4), vec![0, 1]);
+        assert_eq!(RootSelection::Strided(2).resolve(8), vec![0, 4]);
+        assert_eq!(RootSelection::Explicit(vec![3, 1]).resolve(8), vec![3, 1]);
+        // Strided never exceeds n.
+        assert_eq!(RootSelection::Strided(100).resolve(3).len(), 3);
+    }
+
+    #[test]
+    fn partial_roots_extrapolate() {
+        let g = gen::watts_strogatz(512, 6, 0.1, 1);
+        let opts = BcOptions { roots: RootSelection::Strided(64), ..Default::default() };
+        let run = Method::WorkEfficient.run(&g, &opts).unwrap();
+        assert_eq!(run.report.roots_processed, 64);
+        let ratio = run.report.full_seconds / run.report.device_seconds;
+        assert!((ratio - 8.0).abs() < 1e-9, "extrapolation ratio {ratio}");
+        assert!(run.report.teps > 0.0);
+    }
+
+    #[test]
+    fn gpu_fan_ooms_at_scale() {
+        // n = 65,536 needs a 16 GiB predecessor matrix > 6 GB Titan.
+        let g = gen::grid(256, 256);
+        let err = Method::GpuFan
+            .run(&g, &BcOptions { roots: RootSelection::FirstK(1), ..Default::default() })
+            .unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }), "{err}");
+        // The work-efficient method handles the same graph fine.
+        assert!(Method::WorkEfficient
+            .run(&g, &BcOptions { roots: RootSelection::FirstK(1), ..Default::default() })
+            .is_ok());
+    }
+
+    #[test]
+    fn work_efficient_beats_edge_parallel_on_high_diameter_mesh() {
+        // A long thin triangulation (diameter ≈ 1400, m ≈ 100k): the
+        // paper's headline case, where the all-edges traversal
+        // re-inspects the whole edge list at every one of ~1400
+        // levels.
+        let g = gen::triangulated_grid(24, 1400, 1);
+        let opts = BcOptions { roots: RootSelection::Strided(8), ..Default::default() };
+        let we = Method::WorkEfficient.run(&g, &opts).unwrap();
+        let ep = Method::EdgeParallel.run(&g, &opts).unwrap();
+        assert!(
+            we.report.full_seconds * 5.0 < ep.report.full_seconds,
+            "work-efficient {} should crush edge-parallel {} on a high-diameter mesh",
+            we.report.full_seconds,
+            ep.report.full_seconds
+        );
+    }
+
+    #[test]
+    fn edge_parallel_competitive_on_small_world() {
+        // The paper's smallworld dataset parameters (n = 100k would
+        // also work; 200k pushes the per-vertex state past L2, the
+        // regime Fig. 4 measures, where EP's streaming wins back the
+        // wasted-work deficit).
+        let g = gen::watts_strogatz(200_000, 10, 0.1, 5);
+        let opts = BcOptions { roots: RootSelection::Strided(12), ..Default::default() };
+        let we = Method::WorkEfficient.run(&g, &opts).unwrap();
+        let ep = Method::EdgeParallel.run(&g, &opts).unwrap();
+        // Fig. 4: on small-world graphs pure work-efficient is
+        // *slower* than (or at best comparable to) edge-parallel.
+        assert!(
+            ep.report.full_seconds < 1.5 * we.report.full_seconds,
+            "EP {} vs WE {}",
+            ep.report.full_seconds,
+            we.report.full_seconds
+        );
+    }
+
+    #[test]
+    fn sampling_decision_matches_graph_class() {
+        let sw = gen::watts_strogatz(4096, 10, 0.1, 5);
+        let opts = BcOptions { roots: RootSelection::Strided(600), ..Default::default() };
+        let run = Method::Sampling(SamplingParams::default()).run(&sw, &opts).unwrap();
+        assert_eq!(run.report.sampling_chose_edge_parallel, Some(true));
+
+        let road = gen::road_network(4096, 2);
+        let opts = BcOptions { roots: RootSelection::Strided(600), ..Default::default() };
+        let run = Method::Sampling(SamplingParams::default()).run(&road, &opts).unwrap();
+        assert_eq!(run.report.sampling_chose_edge_parallel, Some(false));
+    }
+
+    #[test]
+    fn normalization_applies() {
+        let g = gen::star(64);
+        let opts = BcOptions { normalize: true, ..Default::default() };
+        let run = Method::WorkEfficient.run(&g, &opts).unwrap();
+        assert!((run.scores[0] - 1.0).abs() < 1e-9, "hub normalizes to 1, got {}", run.scores[0]);
+    }
+
+    #[test]
+    fn report_units() {
+        let r = RunReport {
+            method: "x".into(),
+            device: "y".into(),
+            vertices: 1,
+            edges: 1,
+            roots_processed: 1,
+            device_seconds: 1.0,
+            full_seconds: 1.0,
+            teps: 2_500_000_000.0,
+            counters: KernelCounters::default(),
+            per_root_seconds: vec![],
+            max_depths: vec![],
+            strategy_iterations: None,
+            sampling_chose_edge_parallel: None,
+        };
+        assert!((r.mteps() - 2500.0).abs() < 1e-9);
+        assert!((r.gteps() - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,71 @@
+//! The TEPS_BC metric (Eq. 4): for exact BC, every root traverses
+//! every edge once, so useful traversals total `m·n` and
+//! `TEPS_BC = mn / t`.
+
+/// Traversed edges per second for an exact BC run of `t` seconds on
+/// a graph with `m` undirected edges and `n` vertices. Returns 0 for
+/// non-positive time.
+pub fn teps_bc(m: u64, n: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    (m as f64) * (n as f64) / seconds
+}
+
+/// TEPS adjusted for isolated vertices: the raw formula assumes all
+/// `n` roots traverse `m` edges, inflating scores for graphs like
+/// `kron_g500-logn20` where many roots are isolated (Table IV's
+/// discussion). The adjusted metric only credits connected roots.
+pub fn teps_bc_adjusted(m: u64, n: u64, isolated: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    (m as f64) * ((n - isolated.min(n)) as f64) / seconds
+}
+
+/// Geometric-mean speedup across per-graph speedup factors (how the
+/// paper aggregates Table III into "2.71× on average").
+pub fn geometric_mean(factors: &[f64]) -> f64 {
+    if factors.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = factors.iter().map(|f| f.ln()).sum();
+    (log_sum / factors.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn teps_formula() {
+        // 1000 edges, 100 vertices, 1 second: 100k TEPS.
+        assert!((teps_bc(1000, 100, 1.0) - 1e5).abs() < 1e-9);
+        assert_eq!(teps_bc(1000, 100, 0.0), 0.0);
+        assert_eq!(teps_bc(1000, 100, -1.0), 0.0);
+    }
+
+    #[test]
+    fn adjusted_discounts_isolated_roots() {
+        let raw = teps_bc(1000, 100, 1.0);
+        let adj = teps_bc_adjusted(1000, 100, 25, 1.0);
+        assert!((adj - raw * 0.75).abs() < 1e-9);
+        // Never negative even with absurd counts.
+        assert_eq!(teps_bc_adjusted(10, 5, 100, 1.0), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_examples() {
+        assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 1.0);
+    }
+
+    #[test]
+    fn paper_table3_geomean() {
+        // The paper's Table III speedups geometric-mean to ~2.71.
+        let speedups = [13.31, 1.01, 1.56, 1.16, 10.23, 1.05, 8.31, 1.34];
+        let gm = geometric_mean(&speedups);
+        assert!((gm - 2.71).abs() < 0.05, "geomean of Table III = {gm}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Weighted betweenness centrality — Brandes' algorithm with
+//! Dijkstra replacing BFS.
+//!
+//! The paper's §VI flags GPU SSSP (Davidson et al.) and hybrid
+//! strategies for it as future work; this module supplies the exact
+//! host-side algorithm those strategies would have to match. The
+//! structure is identical to the unweighted case — count shortest
+//! paths forward, accumulate dependencies in non-increasing distance
+//! order — with two changes: a binary heap instead of a queue, and a
+//! tolerance when comparing path lengths (floating-point weights make
+//! exact equality fragile).
+
+use bc_graph::{VertexId, WeightedCsr};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Relative tolerance for "same shortest-path length" comparisons.
+const REL_EPS: f64 = 1e-9;
+
+/// Result of a weighted single-source phase.
+#[derive(Clone, Debug)]
+pub struct WeightedSingleSource {
+    /// Shortest-path distance from the source (`f64::INFINITY` when
+    /// unreachable).
+    pub dist: Vec<f64>,
+    /// Number of shortest paths from the source.
+    pub sigma: Vec<f64>,
+    /// Vertices in settling (non-decreasing distance) order.
+    pub order: Vec<VertexId>,
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    vertex: VertexId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by distance.
+        other.dist.total_cmp(&self.dist).then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    // Infinities are never "close" to anything (∞ - ∞ = NaN and
+    // ∞ ≤ ∞ would otherwise defeat the relaxation test).
+    a.is_finite() && b.is_finite() && (a - b).abs() <= REL_EPS * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Dijkstra with shortest-path counting from `source`.
+pub fn weighted_single_source(wg: &WeightedCsr, source: VertexId) -> WeightedSingleSource {
+    let n = wg.graph().num_vertices();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut order = Vec::with_capacity(n);
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0.0;
+    sigma[source as usize] = 1.0;
+    heap.push(HeapItem { dist: 0.0, vertex: source });
+    while let Some(HeapItem { dist: d, vertex: v }) = heap.pop() {
+        if settled[v as usize] {
+            continue;
+        }
+        settled[v as usize] = true;
+        order.push(v);
+        for (_, w, weight) in wg.neighbors_weighted(v) {
+            let cand = d + weight as f64;
+            let cur = dist[w as usize];
+            if cand < cur && !close(cand, cur) {
+                dist[w as usize] = cand;
+                sigma[w as usize] = sigma[v as usize];
+                heap.push(HeapItem { dist: cand, vertex: w });
+            } else if close(cand, cur) && !settled[w as usize] {
+                sigma[w as usize] += sigma[v as usize];
+            }
+        }
+    }
+    WeightedSingleSource { dist, sigma, order }
+}
+
+/// Exact weighted betweenness centrality (halved for symmetric
+/// graphs, like the unweighted convention).
+pub fn weighted_betweenness(wg: &WeightedCsr) -> Vec<f64> {
+    weighted_betweenness_from_roots(wg, wg.graph().vertices())
+}
+
+/// Weighted BC contributions from a root subset.
+pub fn weighted_betweenness_from_roots(
+    wg: &WeightedCsr,
+    roots: impl IntoIterator<Item = VertexId>,
+) -> Vec<f64> {
+    let n = wg.graph().num_vertices();
+    let mut bc = vec![0.0f64; n];
+    let mut delta = vec![0.0f64; n];
+    for s in roots {
+        let ss = weighted_single_source(wg, s);
+        delta.fill(0.0);
+        for &w in ss.order.iter().rev() {
+            // Successor check: v succeeds w iff d(v) = d(w) + weight.
+            for (_, v, weight) in wg.neighbors_weighted(w) {
+                if ss.dist[v as usize].is_finite()
+                    && close(ss.dist[v as usize], ss.dist[w as usize] + weight as f64)
+                    && ss.dist[v as usize] > ss.dist[w as usize]
+                {
+                    delta[w as usize] +=
+                        ss.sigma[w as usize] / ss.sigma[v as usize] * (1.0 + delta[v as usize]);
+                }
+            }
+            if w != s {
+                bc[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    if wg.graph().is_symmetric() {
+        for b in bc.iter_mut() {
+            *b *= 0.5;
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brandes;
+    use bc_graph::gen;
+
+    fn assert_close_scores(a: &[f64], b: &[f64]) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-6, "vertex {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted() {
+        for seed in 0..3 {
+            let g = gen::erdos_renyi(48, 120, seed);
+            let expect = brandes::betweenness(&g);
+            let wg = bc_graph::WeightedCsr::with_unit_weights(g);
+            assert_close_scores(&expect, &weighted_betweenness(&wg));
+        }
+    }
+
+    #[test]
+    fn uniform_weights_match_unweighted() {
+        // Any uniform weight preserves shortest-path structure.
+        let g = gen::watts_strogatz(120, 6, 0.2, 2);
+        let expect = brandes::betweenness(&g);
+        let m = g.num_directed_edges();
+        let wg = bc_graph::WeightedCsr::new(g, vec![3.5; m]);
+        assert_close_scores(&expect, &weighted_betweenness(&wg));
+    }
+
+    #[test]
+    fn weights_reroute_traffic() {
+        // Square 0-1-2-3 with a heavy top edge: all 0<->2 traffic
+        // goes through 3, not 1.
+        let wg = bc_graph::WeightedCsr::from_undirected_edges(
+            4,
+            [(0u32, 1u32, 10.0f32), (1, 2, 10.0), (0, 3, 1.0), (3, 2, 1.0)],
+        );
+        let bc = weighted_betweenness(&wg);
+        assert!(bc[3] > 0.9, "vertex 3 carries the cheap route: {bc:?}");
+        assert!(bc[1].abs() < 1e-9, "vertex 1 is bypassed: {bc:?}");
+    }
+
+    #[test]
+    fn tied_weighted_paths_split_credit() {
+        // Diamond with equal total weights on both routes.
+        let wg = bc_graph::WeightedCsr::from_undirected_edges(
+            4,
+            [(0u32, 1u32, 2.0f32), (1, 3, 3.0), (0, 2, 4.0), (2, 3, 1.0)],
+        );
+        let bc = weighted_betweenness(&wg);
+        assert!((bc[1] - 0.5).abs() < 1e-9, "{bc:?}");
+        assert!((bc[2] - 0.5).abs() < 1e-9, "{bc:?}");
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let g = gen::erdos_renyi(40, 100, 7);
+        let mut wg = bc_graph::WeightedCsr::with_random_weights(g, 1.0, 5.0, 9);
+        let before = weighted_betweenness(&wg);
+        wg.scale_weights(10.0);
+        let after = weighted_betweenness(&wg);
+        assert_close_scores(&before, &after);
+    }
+
+    #[test]
+    fn settling_order_is_sorted() {
+        let g = gen::grid(5, 5);
+        let wg = bc_graph::WeightedCsr::with_random_weights(g, 0.5, 2.0, 4);
+        let ss = weighted_single_source(&wg, 0);
+        for w in ss.order.windows(2) {
+            assert!(ss.dist[w[0] as usize] <= ss.dist[w[1] as usize] + 1e-12);
+        }
+        assert_eq!(ss.order.len(), 25);
+        assert_eq!(ss.sigma[0], 1.0);
+    }
+
+    #[test]
+    fn disconnected_vertices_unreached() {
+        let g = bc_graph::Csr::from_undirected_edges(4, [(0, 1)]);
+        let wg = bc_graph::WeightedCsr::with_unit_weights(g);
+        let ss = weighted_single_source(&wg, 0);
+        assert!(ss.dist[2].is_infinite());
+        assert_eq!(ss.sigma[3], 0.0);
+        let bc = weighted_betweenness(&wg);
+        assert!(bc.iter().all(|&b| b.abs() < 1e-12));
+    }
+
+    #[test]
+    fn zero_weight_edges_allowed() {
+        // Zero-weight edge merges two vertices distance-wise.
+        let wg = bc_graph::WeightedCsr::from_undirected_edges(
+            3,
+            [(0u32, 1u32, 0.0f32), (1, 2, 1.0)],
+        );
+        let ss = weighted_single_source(&wg, 0);
+        assert_eq!(ss.dist[1], 0.0);
+        assert_eq!(ss.dist[2], 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Device descriptions.
+//!
+//! A [`DeviceConfig`] captures the handful of architectural parameters
+//! the timing model needs. Two presets reproduce the paper's
+//! hardware: the single-node GeForce GTX Titan (14 SMs, Kepler) and
+//! the Keeneland Tesla M2090 (16 SMs, Fermi).
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural parameters of a simulated GPU.
+///
+/// The calibration constants (`warp_step_cycles`,
+/// `iteration_overhead_ns`, …) were fitted so the single-GPU
+/// experiments land in the paper's reported MTEPS bands; see
+/// EXPERIMENTS.md for the fitted values and their provenance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Aggregate device memory bandwidth in GB/s.
+    pub mem_bandwidth_gb_s: f64,
+    /// Device memory capacity in bytes.
+    pub global_mem_bytes: u64,
+    /// Threads per block (the paper's kernels use one block per SM).
+    pub threads_per_block: u32,
+    /// SIMT width.
+    pub warp_size: u32,
+    /// Bytes fetched by one coalesced transaction.
+    pub coalesced_tx_bytes: u32,
+    /// Effective bytes consumed per scattered 4-byte access (DRAM
+    /// burst granularity: a random word still moves a 32-byte
+    /// sector).
+    pub scattered_tx_bytes: u32,
+    /// L2 cache capacity in bytes (scattered gathers whose working
+    /// set fits here are much cheaper).
+    pub l2_bytes: u64,
+    /// L2 hit latency in nanoseconds.
+    pub l2_latency_ns: f64,
+    /// DRAM round-trip latency in nanoseconds.
+    pub dram_latency_ns: f64,
+    /// Memory-level parallelism of *dependent* scattered gathers per
+    /// SM: how many such requests the SM keeps in flight when each
+    /// thread chases offsets → adjacency → per-vertex state. Fitted
+    /// against the paper's mesh/road MTEPS (EXPERIMENTS.md).
+    pub scattered_mlp: f64,
+    /// Issue cost of one warp lockstep step (cycles). Covers the
+    /// arithmetic + branch instructions of one edge inspection.
+    pub warp_step_cycles: f64,
+    /// Cost of one un-contended atomic operation (cycles).
+    pub atomic_cycles: f64,
+    /// Per-search-iteration overhead within a running block
+    /// (`__syncthreads` rounds, queue bookkeeping), nanoseconds.
+    pub iteration_overhead_ns: f64,
+    /// Overhead of a device-wide synchronization (kernel relaunch),
+    /// nanoseconds. Paid per iteration by fine-grained methods such
+    /// as GPU-FAN that need inter-block barriers.
+    pub global_sync_ns: f64,
+}
+
+impl DeviceConfig {
+    /// GeForce GTX Titan: 14 SMs, 837 MHz, 6 GB GDDR5, 288.4 GB/s
+    /// (the paper's single-node card).
+    pub fn gtx_titan() -> Self {
+        DeviceConfig {
+            name: "GeForce GTX Titan".to_owned(),
+            num_sms: 14,
+            clock_ghz: 0.837,
+            mem_bandwidth_gb_s: 288.4,
+            global_mem_bytes: 6 * 1024 * 1024 * 1024,
+            threads_per_block: 256,
+            warp_size: 32,
+            coalesced_tx_bytes: 128,
+            scattered_tx_bytes: 32,
+            l2_bytes: 1_536 * 1024,
+            l2_latency_ns: 35.0,
+            dram_latency_ns: 350.0,
+            scattered_mlp: 32.0,
+            warp_step_cycles: 14.0,
+            atomic_cycles: 24.0,
+            iteration_overhead_ns: 20_000.0,
+            global_sync_ns: 5000.0,
+        }
+    }
+
+    /// Tesla M2090: 16 SMs, 1.3 GHz, 6 GB GDDR5, 177.6 GB/s (the
+    /// Keeneland cluster card).
+    pub fn tesla_m2090() -> Self {
+        DeviceConfig {
+            name: "Tesla M2090".to_owned(),
+            num_sms: 16,
+            clock_ghz: 1.3,
+            mem_bandwidth_gb_s: 177.6,
+            global_mem_bytes: 6 * 1024 * 1024 * 1024,
+            threads_per_block: 256,
+            warp_size: 32,
+            coalesced_tx_bytes: 128,
+            scattered_tx_bytes: 32,
+            l2_bytes: 768 * 1024,
+            l2_latency_ns: 40.0,
+            dram_latency_ns: 400.0,
+            scattered_mlp: 28.0,
+            warp_step_cycles: 16.0,
+            atomic_cycles: 30.0,
+            iteration_overhead_ns: 24_000.0,
+            global_sync_ns: 6000.0,
+        }
+    }
+
+    /// Warps per block.
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block.div_ceil(self.warp_size)
+    }
+
+    /// Per-SM share of the device bandwidth, bytes/second.
+    pub fn sm_bandwidth_bytes_s(&self) -> f64 {
+        self.mem_bandwidth_gb_s * 1e9 / self.num_sms as f64
+    }
+
+    /// Convert core cycles to seconds.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_preset_matches_paper() {
+        let d = DeviceConfig::gtx_titan();
+        assert_eq!(d.num_sms, 14);
+        assert!((d.clock_ghz - 0.837).abs() < 1e-12);
+        assert_eq!(d.global_mem_bytes, 6 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn m2090_preset_matches_paper() {
+        let d = DeviceConfig::tesla_m2090();
+        assert_eq!(d.num_sms, 16);
+        assert!((d.clock_ghz - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let d = DeviceConfig::gtx_titan();
+        assert_eq!(d.warps_per_block(), 8);
+        let bw = d.sm_bandwidth_bytes_s();
+        assert!((bw - 288.4e9 / 14.0).abs() / bw < 1e-12);
+        assert!((d.cycles_to_seconds(0.837e9) - 1.0).abs() < 1e-12);
+    }
+}

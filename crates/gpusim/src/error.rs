@@ -1,0 +1,34 @@
+//! Simulator errors.
+
+use std::fmt;
+
+/// Failures a simulated kernel launch can hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A device allocation exceeded capacity (the GPU-FAN failure
+    /// mode in Figure 5).
+    OutOfMemory {
+        /// Bytes the failing allocation asked for.
+        requested: u64,
+        /// Bytes already allocated.
+        in_use: u64,
+        /// Device capacity.
+        capacity: u64,
+        /// What the allocation was for.
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { requested, in_use, capacity, what } => write!(
+                f,
+                "simulated device out of memory allocating {requested} B for {what} \
+                 ({in_use} B of {capacity} B already in use)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,126 @@
+//! Per-kernel accounting: what a simulated BC kernel did and what it
+//! cost.
+
+use crate::device::DeviceConfig;
+use crate::timing::IterationWork;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated statistics for a simulated kernel execution (one root,
+/// or a whole run — the struct is additive).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelCounters {
+    /// Search iterations executed (BFS levels + accumulation levels).
+    pub iterations: u64,
+    /// Edge inspections that advanced the algorithm (frontier edges).
+    pub useful_edge_inspections: u64,
+    /// Edge inspections performed on non-frontier edges (the wasted
+    /// work of vertex-/edge-parallel traversals, §III-A).
+    pub wasted_edge_inspections: u64,
+    /// Vertex status checks on non-frontier vertices.
+    pub wasted_vertex_checks: u64,
+    /// SIMT lockstep steps issued.
+    pub warp_steps: u64,
+    /// Coalesced bytes moved.
+    pub coalesced_bytes: u64,
+    /// Independent random accesses performed.
+    pub random_accesses: u64,
+    /// Dependent scattered gathers performed.
+    pub scattered_accesses: u64,
+    /// Atomic operations (including contended ones).
+    pub atomics: u64,
+    /// Simulated block-seconds consumed.
+    pub seconds: f64,
+}
+
+impl KernelCounters {
+    /// Record one iteration's work and its price on `device`.
+    pub fn charge(&mut self, device: &DeviceConfig, work: &IterationWork) {
+        self.iterations += 1;
+        self.warp_steps += work.warp_steps;
+        self.coalesced_bytes += work.coalesced_bytes;
+        self.random_accesses += work.random_accesses;
+        self.scattered_accesses += work.scattered_accesses;
+        self.atomics += work.atomics + work.contended_atomics;
+        self.seconds += device.block_iteration_seconds(work);
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &KernelCounters) {
+        self.iterations += other.iterations;
+        self.useful_edge_inspections += other.useful_edge_inspections;
+        self.wasted_edge_inspections += other.wasted_edge_inspections;
+        self.wasted_vertex_checks += other.wasted_vertex_checks;
+        self.warp_steps += other.warp_steps;
+        self.coalesced_bytes += other.coalesced_bytes;
+        self.random_accesses += other.random_accesses;
+        self.scattered_accesses += other.scattered_accesses;
+        self.atomics += other.atomics;
+        self.seconds += other.seconds;
+    }
+
+    /// Total edge inspections, useful or not.
+    pub fn total_edge_inspections(&self) -> u64 {
+        self.useful_edge_inspections + self.wasted_edge_inspections
+    }
+
+    /// Fraction of edge inspections that were useful (1.0 when no
+    /// waste). Returns 1.0 for zero work.
+    pub fn work_efficiency(&self) -> f64 {
+        let total = self.total_edge_inspections();
+        if total == 0 {
+            1.0
+        } else {
+            self.useful_edge_inspections as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_and_prices() {
+        let d = DeviceConfig::gtx_titan();
+        let mut k = KernelCounters::default();
+        let w = IterationWork { warp_steps: 100, coalesced_bytes: 64, ..Default::default() };
+        k.charge(&d, &w);
+        k.charge(&d, &w);
+        assert_eq!(k.iterations, 2);
+        assert_eq!(k.warp_steps, 200);
+        assert_eq!(k.coalesced_bytes, 128);
+        assert!(k.seconds > 0.0);
+        let per_iter = d.block_iteration_seconds(&w);
+        assert!((k.seconds - 2.0 * per_iter).abs() < 1e-15);
+    }
+
+    #[test]
+    fn efficiency_math() {
+        let mut k = KernelCounters::default();
+        assert_eq!(k.work_efficiency(), 1.0);
+        k.useful_edge_inspections = 25;
+        k.wasted_edge_inspections = 75;
+        assert_eq!(k.total_edge_inspections(), 100);
+        assert!((k.work_efficiency() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = KernelCounters {
+            iterations: 1,
+            useful_edge_inspections: 2,
+            wasted_edge_inspections: 3,
+            wasted_vertex_checks: 4,
+            warp_steps: 5,
+            coalesced_bytes: 6,
+            random_accesses: 2,
+            scattered_accesses: 7,
+            atomics: 8,
+            seconds: 9.0,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.iterations, 2);
+        assert_eq!(a.atomics, 16);
+        assert!((a.seconds - 18.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Device-memory accounting.
+//!
+//! The paper's scalability argument against GPU-FAN is a *memory*
+//! argument: its O(n²) predecessor matrix exhausts a 6 GB card near
+//! n = 2¹⁵⁻¹⁶ while the work-efficient method's O(n) local state
+//! scales to the largest graphs. [`DeviceMemory`] tracks allocations
+//! against the configured capacity and fails them exactly the way
+//! `cudaMalloc` would.
+
+use crate::error::SimError;
+
+/// Tracks simulated device-memory allocations.
+#[derive(Clone, Debug)]
+pub struct DeviceMemory {
+    capacity: u64,
+    allocated: u64,
+    peak: u64,
+}
+
+impl DeviceMemory {
+    /// A tracker for a device with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory { capacity, allocated: 0, peak: 0 }
+    }
+
+    /// Allocate `bytes`, failing with [`SimError::OutOfMemory`] when
+    /// the device cannot hold them.
+    pub fn alloc(&mut self, bytes: u64, what: &str) -> Result<Allocation, SimError> {
+        let new_total = self.allocated.saturating_add(bytes);
+        if new_total > self.capacity {
+            return Err(SimError::OutOfMemory {
+                requested: bytes,
+                in_use: self.allocated,
+                capacity: self.capacity,
+                what: what.to_owned(),
+            });
+        }
+        self.allocated = new_total;
+        self.peak = self.peak.max(self.allocated);
+        Ok(Allocation { bytes })
+    }
+
+    /// Release an allocation previously obtained from [`Self::alloc`].
+    pub fn free(&mut self, a: Allocation) {
+        debug_assert!(self.allocated >= a.bytes, "double free in simulated device memory");
+        self.allocated = self.allocated.saturating_sub(a.bytes);
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.allocated
+    }
+
+    /// High-water mark of allocations.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+/// Receipt for a simulated allocation; return it to
+/// [`DeviceMemory::free`] to release the bytes.
+#[derive(Debug)]
+#[must_use = "allocations should be freed (or intentionally leaked for the run's lifetime)"]
+pub struct Allocation {
+    bytes: u64,
+}
+
+impl Allocation {
+    /// Size of this allocation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free() {
+        let mut mem = DeviceMemory::new(1000);
+        let a = mem.alloc(600, "arrays").unwrap();
+        assert_eq!(mem.in_use(), 600);
+        mem.free(a);
+        assert_eq!(mem.in_use(), 0);
+        assert_eq!(mem.peak(), 600);
+    }
+
+    #[test]
+    fn oom_reported_with_context() {
+        let mut mem = DeviceMemory::new(1000);
+        let _keep = mem.alloc(800, "graph").unwrap();
+        let err = mem.alloc(300, "predecessors").unwrap_err();
+        match err {
+            SimError::OutOfMemory { requested, in_use, capacity, what } => {
+                assert_eq!(requested, 300);
+                assert_eq!(in_use, 800);
+                assert_eq!(capacity, 1000);
+                assert_eq!(what, "predecessors");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut mem = DeviceMemory::new(100);
+        assert!(mem.alloc(100, "x").is_ok());
+        assert!(mem.alloc(1, "y").is_err());
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut mem = DeviceMemory::new(1000);
+        let a = mem.alloc(400, "a").unwrap();
+        let b = mem.alloc(500, "b").unwrap();
+        mem.free(a);
+        mem.free(b);
+        let _c = mem.alloc(100, "c").unwrap();
+        assert_eq!(mem.peak(), 900);
+    }
+}

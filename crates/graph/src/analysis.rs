@@ -1,0 +1,187 @@
+//! Structural analysis beyond the Table II basics: triangles,
+//! clustering, and degree assortativity. These separate the
+//! generator classes on axes the diameter alone misses (e.g. web
+//! crawls vs router topologies are both power-law but differ wildly
+//! in clustering), and back the class assertions in the test suite.
+
+use crate::csr::Csr;
+
+/// Count triangles (3-cycles) in a symmetric graph, each counted
+/// once. Uses the standard forward/degree-ordered merge, O(Σ d(v)²)
+/// worst case but fast on sparse graphs.
+pub fn triangle_count(g: &Csr) -> u64 {
+    assert!(g.is_symmetric(), "triangle counting expects an undirected graph");
+    let mut count = 0u64;
+    for u in g.vertices() {
+        let nu = g.neighbors(u);
+        for &v in nu {
+            if v <= u {
+                continue;
+            }
+            // Merge-intersect neighbors(u) and neighbors(v), counting
+            // common w > v to count each triangle once (u < v < w).
+            let nv = g.neighbors(v);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if nu[i] > v {
+                            count += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Global clustering coefficient (transitivity): 3 × triangles /
+/// open-plus-closed wedges.
+pub fn global_clustering(g: &Csr) -> f64 {
+    let wedges: u64 = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(g) as f64 / wedges as f64
+}
+
+/// Average local clustering coefficient (Watts–Strogatz's C): mean
+/// over vertices of (closed wedges at v) / (wedges at v), skipping
+/// degree-<2 vertices.
+pub fn average_local_clustering(g: &Csr) -> f64 {
+    let mut sum = 0.0f64;
+    let mut counted = 0usize;
+    for v in g.vertices() {
+        let nb = g.neighbors(v);
+        if nb.len() < 2 {
+            continue;
+        }
+        let mut closed = 0u64;
+        for (i, &a) in nb.iter().enumerate() {
+            for &b in &nb[i + 1..] {
+                if g.has_arc(a, b) {
+                    closed += 1;
+                }
+            }
+        }
+        let wedges = (nb.len() * (nb.len() - 1) / 2) as u64;
+        sum += closed as f64 / wedges as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges). Positive: hubs attach to hubs (social networks); negative:
+/// hubs attach to leaves (internet topologies). Returns 0 for
+/// degenerate graphs.
+pub fn degree_assortativity(g: &Csr) -> f64 {
+    let mut n = 0.0f64;
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    for (u, v) in g.arcs() {
+        let x = g.degree(u) as f64;
+        let y = g.degree(v) as f64;
+        n += 1.0;
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        syy += y * y;
+        sxy += x * y;
+    }
+    if n == 0.0 {
+        return 0.0;
+    }
+    let cov = sxy / n - (sx / n) * (sy / n);
+    let vx = sxx / n - (sx / n) * (sx / n);
+    let vy = syy / n - (sy / n) * (sy / n);
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn triangles_in_known_shapes() {
+        assert_eq!(triangle_count(&gen::complete(4)), 4);
+        assert_eq!(triangle_count(&gen::complete(5)), 10);
+        assert_eq!(triangle_count(&gen::cycle(5)), 0);
+        assert_eq!(triangle_count(&gen::star(10)), 0);
+        // A triangulated grid cell pair: (w-1)(h-1) triangles per
+        // diagonal... just check positivity and determinism.
+        let g = gen::triangulated_grid(5, 5, 1);
+        assert!(triangle_count(&g) >= 16, "each cell contributes 2 triangles");
+    }
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        let g = gen::complete(6);
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+        assert!((average_local_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_tree_is_zero() {
+        let g = gen::balanced_tree(3, 3);
+        assert_eq!(global_clustering(&g), 0.0);
+        assert_eq!(average_local_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn lattice_clustering_beats_random() {
+        // Watts–Strogatz's founding observation: the (slightly
+        // rewired) ring lattice keeps high clustering, a same-size ER
+        // graph has almost none.
+        let ws = gen::watts_strogatz(800, 8, 0.05, 1);
+        let er = gen::erdos_renyi(800, ws.num_undirected_edges() as usize, 1);
+        let c_ws = average_local_clustering(&ws);
+        let c_er = average_local_clustering(&er);
+        assert!(c_ws > 5.0 * c_er, "WS {c_ws:.3} vs ER {c_er:.3}");
+    }
+
+    #[test]
+    fn star_is_disassortative() {
+        let g = gen::star(20);
+        assert!(degree_assortativity(&g) <= 0.0);
+        // Regular graphs have undefined (0 by convention) assortativity.
+        assert_eq!(degree_assortativity(&gen::cycle(10)), 0.0);
+    }
+
+    #[test]
+    fn preferential_attachment_is_disassortative() {
+        let g = gen::barabasi_albert(2000, 3, 2);
+        assert!(
+            degree_assortativity(&g) < 0.05,
+            "BA graphs are (weakly) disassortative: {}",
+            degree_assortativity(&g)
+        );
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = crate::Csr::from_undirected_edges(3, []);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(global_clustering(&g), 0.0);
+        assert_eq!(average_local_clustering(&g), 0.0);
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Compressed Sparse Row (CSR) graph storage.
+//!
+//! All algorithms in this workspace consume graphs in CSR form: an
+//! `offsets` array of length `n + 1` and an `adj` array holding the
+//! concatenated adjacency lists. Vertex and edge indices are `u32`
+//! (the paper's largest instance has 44.6 M directed edges, far below
+//! `u32::MAX`), which halves memory traffic relative to `usize`
+//! indices — the dominant cost in graph traversal.
+
+use std::fmt;
+
+/// Vertex identifier. Dense, `0..n`.
+pub type VertexId = u32;
+
+/// Index into the adjacency (edge) array.
+pub type EdgeId = u32;
+
+/// An immutable graph in CSR form.
+///
+/// For undirected graphs every edge `{u, v}` is stored twice (as
+/// `u -> v` and `v -> u`), mirroring how GPU BC implementations store
+/// symmetric adjacency. [`Csr::num_undirected_edges`] reports the
+/// logical (deduplicated) edge count used by the TEPS metric.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<EdgeId>,
+    adj: Vec<VertexId>,
+    /// Number of logical undirected edges (half the directed count for
+    /// symmetric graphs).
+    undirected_edges: u64,
+    /// Whether the adjacency structure is symmetric.
+    symmetric: bool,
+}
+
+impl fmt::Debug for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Csr")
+            .field("num_vertices", &self.num_vertices())
+            .field("num_directed_edges", &self.num_directed_edges())
+            .field("undirected_edges", &self.undirected_edges)
+            .field("symmetric", &self.symmetric)
+            .finish()
+    }
+}
+
+impl Csr {
+    /// Build a CSR directly from raw parts.
+    ///
+    /// # Panics
+    /// Panics if the offsets array is malformed (non-monotone, wrong
+    /// terminal value) or if any adjacency entry is out of range.
+    pub fn from_raw_parts(offsets: Vec<EdgeId>, adj: Vec<VertexId>, symmetric: bool) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have length n + 1 >= 1");
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            adj.len(),
+            "offsets must terminate at adj.len()"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        let n = (offsets.len() - 1) as u32;
+        assert!(
+            adj.iter().all(|&v| v < n),
+            "adjacency entry out of range (n = {n})"
+        );
+        let undirected_edges = if symmetric {
+            debug_assert_eq!(adj.len() % 2, 0, "symmetric graph with odd directed edge count");
+            (adj.len() / 2) as u64
+        } else {
+            adj.len() as u64
+        };
+        Self { offsets, adj, undirected_edges, symmetric }
+    }
+
+    /// Build an undirected CSR from an edge list.
+    ///
+    /// Self-loops are dropped and duplicate edges are collapsed; each
+    /// surviving edge `{u, v}` is stored in both directions.
+    pub fn from_undirected_edges(
+        num_vertices: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> Self {
+        let mut dir: Vec<(VertexId, VertexId)> = Vec::new();
+        for (u, v) in edges {
+            assert!((u as usize) < num_vertices && (v as usize) < num_vertices);
+            if u == v {
+                continue;
+            }
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            dir.push((a, b));
+        }
+        dir.sort_unstable();
+        dir.dedup();
+        let mut both = Vec::with_capacity(dir.len() * 2);
+        for &(a, b) in &dir {
+            both.push((a, b));
+            both.push((b, a));
+        }
+        Self::from_directed_pairs(num_vertices, both, true)
+    }
+
+    /// Build a directed CSR from an arc list. Self-loops are dropped
+    /// and duplicate arcs collapsed.
+    pub fn from_directed_edges(
+        num_vertices: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> Self {
+        let mut dir: Vec<(VertexId, VertexId)> = edges
+            .into_iter()
+            .inspect(|&(u, v)| {
+                assert!((u as usize) < num_vertices && (v as usize) < num_vertices)
+            })
+            .filter(|&(u, v)| u != v)
+            .collect();
+        dir.sort_unstable();
+        dir.dedup();
+        Self::from_directed_pairs(num_vertices, dir, false)
+    }
+
+    fn from_directed_pairs(
+        num_vertices: usize,
+        mut pairs: Vec<(VertexId, VertexId)>,
+        symmetric: bool,
+    ) -> Self {
+        pairs.sort_unstable();
+        let mut offsets = vec![0u32; num_vertices + 1];
+        for &(u, _) in &pairs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            offsets[i + 1] += offsets[i];
+        }
+        let adj: Vec<VertexId> = pairs.iter().map(|&(_, v)| v).collect();
+        Self::from_raw_parts(offsets, adj, symmetric)
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed adjacency entries (2m for symmetric graphs).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of logical undirected edges `m` (as used by TEPS).
+    #[inline]
+    pub fn num_undirected_edges(&self) -> u64 {
+        self.undirected_edges
+    }
+
+    /// Whether the adjacency is symmetric (undirected).
+    #[inline]
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbors of `v` as a slice of the adjacency array.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Range of edge ids out of `v` (indices into [`Csr::adj_array`]).
+    #[inline]
+    pub fn edge_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize
+    }
+
+    /// The raw offsets array (`n + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[EdgeId] {
+        &self.offsets
+    }
+
+    /// The raw adjacency array.
+    #[inline]
+    pub fn adj_array(&self) -> &[VertexId] {
+        &self.adj
+    }
+
+    /// Iterate over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as u32
+    }
+
+    /// Iterate over all directed arcs `(source, target)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// For each directed arc index `e`, the source vertex of that arc.
+    ///
+    /// Edge-parallel GPU kernels need this reverse map; building it
+    /// once mirrors the `sources` array those kernels keep in device
+    /// memory.
+    pub fn arc_sources(&self) -> Vec<VertexId> {
+        let mut src = vec![0u32; self.adj.len()];
+        for u in self.vertices() {
+            for e in self.edge_range(u) {
+                src[e] = u;
+            }
+        }
+        src
+    }
+
+    /// Maximum out-degree across all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> u32 {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Number of isolated (degree-zero) vertices.
+    pub fn num_isolated(&self) -> usize {
+        self.vertices().filter(|&v| self.degree(v) == 0).count()
+    }
+
+    /// True if an arc `u -> v` exists (binary search; adjacency lists
+    /// are sorted by construction).
+    pub fn has_arc(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Total bytes of the CSR arrays, as a device-memory footprint
+    /// estimate for the GPU simulator.
+    pub fn storage_bytes(&self) -> u64 {
+        (self.offsets.len() * 4 + self.adj.len() * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 - 1
+        // |   |
+        // 2 - 3
+        Csr::from_undirected_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_directed_edges(), 8);
+        assert_eq!(g.num_undirected_edges(), 4);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = diamond();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[1, 2]);
+        for (u, v) in g.arcs() {
+            assert!(g.has_arc(v, u), "missing reverse arc {v}->{u}");
+        }
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = Csr::from_undirected_edges(3, [(0, 0), (0, 1), (1, 1), (1, 2)]);
+        assert_eq!(g.num_undirected_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn duplicates_collapsed() {
+        let g = Csr::from_undirected_edges(2, [(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.num_undirected_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn directed_graph() {
+        let g = Csr::from_directed_edges(3, [(0, 1), (1, 2), (2, 0), (0, 1)]);
+        assert_eq!(g.num_directed_edges(), 3);
+        assert_eq!(g.num_undirected_edges(), 3);
+        assert!(!g.is_symmetric());
+        assert!(g.has_arc(0, 1));
+        assert!(!g.has_arc(1, 0));
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let g = Csr::from_undirected_edges(5, [(0, 1)]);
+        assert_eq!(g.num_isolated(), 3);
+        assert_eq!(g.degree(4), 0);
+        assert!(g.neighbors(4).is_empty());
+    }
+
+    #[test]
+    fn arc_sources_inverts_offsets() {
+        let g = diamond();
+        let src = g.arc_sources();
+        for (e, (u, _)) in g.arcs().enumerate() {
+            assert_eq!(src[e], u);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_undirected_edges(0, []);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_directed_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn degree_and_max_degree() {
+        let g = Csr::from_undirected_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_vertex_panics() {
+        let _ = Csr::from_undirected_edges(2, [(0, 2)]);
+    }
+
+    #[test]
+    fn storage_bytes_counts_arrays() {
+        let g = diamond();
+        assert_eq!(g.storage_bytes(), (5 * 4 + 8 * 4) as u64);
+    }
+}

@@ -1,0 +1,375 @@
+//! Catalog of the paper's ten benchmark datasets (Table II), mapped to
+//! structurally matched generator parameterizations.
+//!
+//! Each entry records the published statistics and can generate an
+//! analogue at the paper's scale or any power-of-two reduction of it
+//! (`reduction` halves `n` per step) — the scaling experiments of
+//! Figure 5 / Figure 6 sweep exactly such families.
+
+use crate::csr::Csr;
+use crate::gen;
+use serde::{Deserialize, Serialize};
+
+/// The published Table II row for a dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PaperRow {
+    /// Published vertex count `n`.
+    pub vertices: u64,
+    /// Published undirected edge count `m`.
+    pub edges: u64,
+    /// Published maximum degree.
+    pub max_degree: u32,
+    /// Published diameter.
+    pub diameter: u32,
+    /// Table II description column.
+    pub description: &'static str,
+}
+
+/// Identifier for each dataset evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetId {
+    /// `af_shell9` — sheet-metal-forming FEM mesh (UFL collection).
+    AfShell9,
+    /// `caidaRouterLevel` — internet router-level topology (DIMACS).
+    CaidaRouterLevel,
+    /// `cnr-2000` — web crawl (DIMACS).
+    Cnr2000,
+    /// `com-amazon` — product co-purchasing network (SNAP).
+    ComAmazon,
+    /// `delaunay_n20` — random triangulation (DIMACS).
+    DelaunayN20,
+    /// `kron_g500-logn20` — Graph500 Kronecker graph.
+    KronG500Logn20,
+    /// `loc-gowalla` — geosocial network (SNAP).
+    LocGowalla,
+    /// `luxembourg.osm` — road map (DIMACS).
+    LuxembourgOsm,
+    /// `rgg_n_2_20` — random geometric graph (DIMACS).
+    RggN2_20,
+    /// `smallworld` — Watts–Strogatz instance.
+    Smallworld,
+}
+
+/// Structural class of a dataset, as the paper discusses them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphClass {
+    /// Meshes / numerical simulation (af_shell9, delaunay).
+    Mesh,
+    /// Road networks (luxembourg.osm).
+    Road,
+    /// Random geometric (rgg).
+    Geometric,
+    /// Scale-free / power-law (kron, caida, cnr, gowalla).
+    ScaleFree,
+    /// Small-world (smallworld).
+    SmallWorld,
+    /// Community-structured with bounded tail (com-amazon).
+    Community,
+}
+
+impl DatasetId {
+    /// All ten datasets, in Table II order.
+    pub const ALL: [DatasetId; 10] = [
+        DatasetId::AfShell9,
+        DatasetId::CaidaRouterLevel,
+        DatasetId::Cnr2000,
+        DatasetId::ComAmazon,
+        DatasetId::DelaunayN20,
+        DatasetId::KronG500Logn20,
+        DatasetId::LocGowalla,
+        DatasetId::LuxembourgOsm,
+        DatasetId::RggN2_20,
+        DatasetId::Smallworld,
+    ];
+
+    /// The eight graphs of Table III (those small enough for the
+    /// edge-parallel reference yet too large for GPU-FAN).
+    pub const TABLE3: [DatasetId; 8] = [
+        DatasetId::AfShell9,
+        DatasetId::CaidaRouterLevel,
+        DatasetId::Cnr2000,
+        DatasetId::ComAmazon,
+        DatasetId::DelaunayN20,
+        DatasetId::LocGowalla,
+        DatasetId::LuxembourgOsm,
+        DatasetId::Smallworld,
+    ];
+
+    /// Dataset name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::AfShell9 => "af_shell9",
+            DatasetId::CaidaRouterLevel => "caidaRouterLevel",
+            DatasetId::Cnr2000 => "cnr-2000",
+            DatasetId::ComAmazon => "com-amazon",
+            DatasetId::DelaunayN20 => "delaunay_n20",
+            DatasetId::KronG500Logn20 => "kron_g500-logn20",
+            DatasetId::LocGowalla => "loc-gowalla",
+            DatasetId::LuxembourgOsm => "luxembourg.osm",
+            DatasetId::RggN2_20 => "rgg_n_2_20",
+            DatasetId::Smallworld => "smallworld",
+        }
+    }
+
+    /// Parse a paper dataset name.
+    pub fn from_name(name: &str) -> Option<DatasetId> {
+        DatasetId::ALL.iter().copied().find(|d| d.name() == name)
+    }
+
+    /// The published Table II statistics.
+    pub fn paper_row(self) -> PaperRow {
+        match self {
+            DatasetId::AfShell9 => PaperRow {
+                vertices: 504_855,
+                edges: 8_542_010,
+                max_degree: 39,
+                diameter: 497,
+                description: "Sheet metal forming",
+            },
+            DatasetId::CaidaRouterLevel => PaperRow {
+                vertices: 192_244,
+                edges: 609_066,
+                max_degree: 1_071,
+                diameter: 25,
+                description: "Internet router-level topology",
+            },
+            DatasetId::Cnr2000 => PaperRow {
+                vertices: 325_527,
+                edges: 2_738_969,
+                max_degree: 18_236,
+                diameter: 33,
+                description: "Web crawl",
+            },
+            DatasetId::ComAmazon => PaperRow {
+                vertices: 334_863,
+                edges: 925_872,
+                max_degree: 549,
+                diameter: 46,
+                description: "Amazon product co-purchasing",
+            },
+            DatasetId::DelaunayN20 => PaperRow {
+                vertices: 1_048_576,
+                edges: 3_145_686,
+                max_degree: 23,
+                diameter: 444,
+                description: "Random triangulation",
+            },
+            DatasetId::KronG500Logn20 => PaperRow {
+                vertices: 1_048_576,
+                edges: 44_619_402,
+                max_degree: 131_503,
+                diameter: 6,
+                description: "Kronecker",
+            },
+            DatasetId::LocGowalla => PaperRow {
+                vertices: 196_591,
+                edges: 1_900_654,
+                max_degree: 29_460,
+                diameter: 15,
+                description: "Geosocial",
+            },
+            DatasetId::LuxembourgOsm => PaperRow {
+                vertices: 114_599,
+                edges: 119_666,
+                max_degree: 6,
+                diameter: 1_336,
+                description: "Road map",
+            },
+            DatasetId::RggN2_20 => PaperRow {
+                vertices: 1_048_576,
+                edges: 6_891_620,
+                max_degree: 36,
+                diameter: 864,
+                description: "Random geometric",
+            },
+            DatasetId::Smallworld => PaperRow {
+                vertices: 100_000,
+                edges: 499_998,
+                max_degree: 17,
+                diameter: 9,
+                description: "Small world phenomenon",
+            },
+        }
+    }
+
+    /// Structural class (used by expectations in tests and benches).
+    pub fn class(self) -> GraphClass {
+        match self {
+            DatasetId::AfShell9 | DatasetId::DelaunayN20 => GraphClass::Mesh,
+            DatasetId::LuxembourgOsm => GraphClass::Road,
+            DatasetId::RggN2_20 => GraphClass::Geometric,
+            DatasetId::KronG500Logn20
+            | DatasetId::CaidaRouterLevel
+            | DatasetId::Cnr2000
+            | DatasetId::LocGowalla => GraphClass::ScaleFree,
+            DatasetId::Smallworld => GraphClass::SmallWorld,
+            DatasetId::ComAmazon => GraphClass::Community,
+        }
+    }
+
+    /// Whether the paper expects the *work-efficient* strategy to win
+    /// on this graph (high-diameter classes), as opposed to
+    /// edge-parallel iterations being useful (scale-free/small-world).
+    pub fn prefers_work_efficient(self) -> bool {
+        matches!(
+            self.class(),
+            GraphClass::Mesh | GraphClass::Road | GraphClass::Geometric
+        )
+    }
+
+    /// Generate the analogue at the paper's published size reduced by
+    /// `reduction` powers of two (0 = full Table II scale). Density
+    /// (m/n) is preserved across reductions.
+    pub fn generate(self, reduction: u32, seed: u64) -> Csr {
+        let row = self.paper_row();
+        let n = (row.vertices >> reduction).max(64) as usize;
+        match self {
+            DatasetId::AfShell9 => {
+                // Sheet with 2:1 aspect and a Chebyshev radius-2
+                // stencil (interior degree 24 ~ paper's uniform 34);
+                // at full scale the 994×508 sheet reproduces the
+                // published diameter of ~500.
+                let h = ((n as f64 / 2.0).sqrt().round() as usize).max(8);
+                let w = (n / h).max(8);
+                gen::sheet_mesh(w, h, 2)
+            }
+            DatasetId::CaidaRouterLevel => gen::router_topology(n, seed),
+            DatasetId::Cnr2000 => {
+                let out_links = (row.edges / row.vertices) as usize; // 8
+                gen::web_copy_model(n, out_links.max(2), 0.7, seed)
+            }
+            DatasetId::ComAmazon => gen::co_purchase(
+                n,
+                gen::CommunityParams { mean_size: 12, intra_p: 0.3, bridges: 3 },
+                seed,
+            ),
+            DatasetId::DelaunayN20 => {
+                let side = (n as f64).sqrt().round() as usize;
+                gen::delaunay_like(side.max(2), side.max(2), seed)
+            }
+            DatasetId::KronG500Logn20 => {
+                let scale = (63 - (n as u64).leading_zeros()).max(6);
+                let ef = (row.edges / row.vertices) as usize; // ~42
+                gen::kronecker(scale, ef, seed)
+            }
+            DatasetId::LocGowalla => {
+                let avg = 2.0 * row.edges as f64 / row.vertices as f64; // ~19.3
+                gen::geosocial(n, avg, seed)
+            }
+            DatasetId::LuxembourgOsm => gen::road_network(n, seed),
+            DatasetId::RggN2_20 => {
+                let deg = 2.0 * row.edges as f64 / row.vertices as f64; // ~13.1
+                gen::random_geometric(n, gen::rgg_radius_for_degree(n, deg), seed)
+            }
+            DatasetId::Smallworld => {
+                // k = 10 reproduces m = 5n (paper: 499,998 ≈ 5 * 100,000).
+                gen::watts_strogatz(n, 10, 0.1, seed)
+            }
+        }
+    }
+
+    /// Convenience: a small instance suitable for unit tests
+    /// (n in the low thousands).
+    pub fn small_instance(self, seed: u64) -> Csr {
+        let row = self.paper_row();
+        let reduction = (64 - row.vertices.leading_zeros() as u64).saturating_sub(14) as u32;
+        self.generate(reduction, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn names_round_trip() {
+        for d in DatasetId::ALL {
+            assert_eq!(DatasetId::from_name(d.name()), Some(d));
+        }
+        assert_eq!(DatasetId::from_name("nope"), None);
+    }
+
+    #[test]
+    fn paper_rows_match_table2_totals() {
+        let total_edges: u64 = DatasetId::ALL.iter().map(|d| d.paper_row().edges).sum();
+        assert_eq!(total_edges, 69_992_943);
+        assert_eq!(DatasetId::LuxembourgOsm.paper_row().diameter, 1_336);
+    }
+
+    #[test]
+    fn small_instances_generate() {
+        for d in DatasetId::ALL {
+            let g = d.small_instance(7);
+            assert!(g.num_vertices() >= 64, "{}: n = {}", d.name(), g.num_vertices());
+            assert!(g.num_undirected_edges() > 0, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn density_tracks_paper_density() {
+        for d in DatasetId::ALL {
+            let row = d.paper_row();
+            let g = d.small_instance(3);
+            let paper_avg = 2.0 * row.edges as f64 / row.vertices as f64;
+            let ours = 2.0 * g.num_undirected_edges() as f64 / g.num_vertices() as f64;
+            // Within 2.5x either way: the class matters, not the decimals.
+            assert!(
+                ours > paper_avg / 2.5 && ours < paper_avg * 2.5,
+                "{}: paper avg degree {paper_avg:.1}, generated {ours:.1}",
+                d.name()
+            );
+        }
+    }
+
+    #[test]
+    fn high_diameter_datasets_generate_high_diameter_graphs() {
+        for d in [DatasetId::LuxembourgOsm, DatasetId::RggN2_20, DatasetId::DelaunayN20] {
+            let g = d.small_instance(11);
+            let s = GraphStats::compute_with_limit(&g, 0);
+            let n = g.num_vertices() as f64;
+            // High-diameter classes scale like Θ(√n), far above the
+            // Θ(log n) of the small-world classes.
+            assert!(
+                (s.diameter as f64) > n.sqrt() / 2.0,
+                "{} should be high-diameter: diameter {} for n {}",
+                d.name(),
+                s.diameter,
+                n
+            );
+            assert!(d.prefers_work_efficient());
+        }
+    }
+
+    #[test]
+    fn low_diameter_datasets_generate_low_diameter_graphs() {
+        for d in [DatasetId::KronG500Logn20, DatasetId::Smallworld, DatasetId::LocGowalla] {
+            let g = d.small_instance(13);
+            let s = GraphStats::compute_with_limit(&g, 0);
+            let n = g.num_vertices() as f64;
+            assert!(
+                (s.diameter as f64) < 3.0 * n.log2(),
+                "{} should be low-diameter: diameter {} for n {}",
+                d.name(),
+                s.diameter,
+                n
+            );
+            assert!(!d.prefers_work_efficient());
+        }
+    }
+
+    #[test]
+    fn reduction_halves_vertices() {
+        let g0 = DatasetId::Smallworld.generate(7, 1);
+        let g1 = DatasetId::Smallworld.generate(8, 1);
+        let ratio = g0.num_vertices() as f64 / g1.num_vertices() as f64;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        for d in [DatasetId::KronG500Logn20, DatasetId::RggN2_20] {
+            assert_eq!(d.small_instance(3), d.small_instance(3));
+        }
+    }
+}

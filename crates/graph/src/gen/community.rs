@@ -1,0 +1,203 @@
+//! Community-structured generators for the paper's web-crawl
+//! (`cnr-2000`) and product co-purchasing (`com-amazon`) datasets.
+//!
+//! * [`web_copy_model`] — the Kleinberg/Kumar *copy model*: each new
+//!   page copies a fraction of a random prototype's links. Produces
+//!   power-law in-degrees with extreme hubs and the locally dense,
+//!   globally shallow shape of web crawls.
+//! * [`co_purchase`] — overlapping small communities (products bought
+//!   together) stitched by a sparse global backbone; degree tail is
+//!   bounded (amazon's max degree is only 549) and the diameter sits
+//!   in the tens.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters for [`co_purchase`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CommunityParams {
+    /// Mean community size (communities are uniform in
+    /// `[size/2, 3*size/2]`).
+    pub mean_size: usize,
+    /// Probability of each intra-community pair being connected.
+    pub intra_p: f64,
+    /// Number of inter-community bridge edges per community.
+    pub bridges: usize,
+}
+
+impl Default for CommunityParams {
+    fn default() -> Self {
+        CommunityParams { mean_size: 12, intra_p: 0.35, bridges: 3 }
+    }
+}
+
+/// Copy-model web graph: vertex `u` links to `out_links` targets; with
+/// probability `copy_p` each target is copied from a random earlier
+/// vertex's adjacency, otherwise chosen uniformly at random.
+///
+/// A small fraction of pages form *navigation tendrils* — linear
+/// chains of pages reachable only sequentially (paginated archives,
+/// calendars), which is what gives real crawls like `cnr-2000` a
+/// diameter in the tens despite their dense hub core.
+pub fn web_copy_model(n: usize, out_links: usize, copy_p: f64, seed: u64) -> Csr {
+    assert!(n >= out_links + 2);
+    assert!((0.0..=1.0).contains(&copy_p));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Adjacency-so-far, used as the prototype pool.
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut b = GraphBuilder::with_capacity(n, n * out_links);
+    // Seed: a small cycle so early prototypes have links.
+    let seed_n = (out_links + 2).min(n);
+    for u in 0..seed_n as u32 {
+        let v = (u + 1) % seed_n as u32;
+        b.add_edge(u, v);
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+    }
+    // Tendril sizing: ~0.2% of pages start a chain whose length grows
+    // slowly with n (the deepest archive on a bigger site is deeper).
+    let chain_len = ((n as f64).log2() * 0.75).round().max(2.0) as u32;
+    let mut u = seed_n as u32;
+    while u < n as u32 {
+        if rng.gen::<f64>() < 0.002 && u + chain_len < n as u32 {
+            // A navigation tendril hanging off a random earlier page.
+            let mut prev = rng.gen_range(0..u);
+            for c in 0..chain_len {
+                b.add_edge(prev, u + c);
+                adj[prev as usize].push(u + c);
+                adj[(u + c) as usize].push(prev);
+                prev = u + c;
+            }
+            u += chain_len;
+            continue;
+        }
+        let proto = rng.gen_range(0..u);
+        for k in 0..out_links {
+            let t = if rng.gen::<f64>() < copy_p && !adj[proto as usize].is_empty() {
+                let pl = &adj[proto as usize];
+                pl[k % pl.len()]
+            } else {
+                rng.gen_range(0..u)
+            };
+            if t != u {
+                b.add_edge(u, t);
+                adj[u as usize].push(t);
+                adj[t as usize].push(u);
+            }
+        }
+        u += 1;
+    }
+    b.build()
+}
+
+/// Product co-purchasing network: dense communities plus sparse
+/// random bridges.
+pub fn co_purchase(n: usize, params: CommunityParams, seed: u64) -> Csr {
+    assert!(n >= params.mean_size * 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * 4);
+    let mut community_starts: Vec<u32> = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let lo = (params.mean_size / 2).max(2);
+        let hi = params.mean_size + params.mean_size / 2;
+        let size = rng.gen_range(lo..=hi).min(n - start);
+        community_starts.push(start as u32);
+        // Intra-community Bernoulli edges, with a guaranteed spanning
+        // path so each community is internally connected.
+        for i in 0..size {
+            if i + 1 < size {
+                b.add_edge((start + i) as u32, (start + i + 1) as u32);
+            }
+            for j in (i + 2)..size {
+                if rng.gen::<f64>() < params.intra_p {
+                    b.add_edge((start + i) as u32, (start + j) as u32);
+                }
+            }
+        }
+        start += size;
+    }
+    // Bridges: each community connects to `bridges` random earlier
+    // communities (preferentially recent, like related products).
+    for (ci, &cs) in community_starts.iter().enumerate().skip(1) {
+        for _ in 0..params.bridges {
+            let other = rng.gen_range(0..ci);
+            let os = community_starts[other];
+            let oe = if other + 1 < community_starts.len() {
+                community_starts[other + 1]
+            } else {
+                n as u32
+            };
+            let ce = if ci + 1 < community_starts.len() { community_starts[ci + 1] } else { n as u32 };
+            let a = rng.gen_range(cs..ce);
+            let c = rng.gen_range(os..oe);
+            b.add_edge(a, c);
+        }
+    }
+    // Bestsellers: a few products are co-purchased across the whole
+    // catalog, giving the bounded-but-heavy degree tail of
+    // `com-amazon` (max degree 549 at n = 335k — roughly √n).
+    let bestseller_links = ((n as f64).sqrt() * 0.9) as usize;
+    for &cs in community_starts.iter() {
+        if rng.gen::<f64>() < 0.02 {
+            for _ in 0..bestseller_links {
+                let other = rng.gen_range(0..n as u32);
+                b.add_edge(cs, other);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{degree_gini, GraphStats};
+
+    #[test]
+    fn web_copy_model_class() {
+        let g = web_copy_model(8192, 8, 0.7, 1);
+        let s = GraphStats::compute_with_limit(&g, 0);
+        assert!(s.max_degree > 150, "web hubs expected, got {}", s.max_degree);
+        assert!(degree_gini(&g) > 0.3);
+        assert!(s.diameter <= 30, "web diameter small, got {}", s.diameter);
+        assert!(s.largest_component_frac > 0.99);
+    }
+
+    #[test]
+    fn co_purchase_class() {
+        let g = co_purchase(8192, CommunityParams::default(), 2);
+        let s = GraphStats::compute_with_limit(&g, 0);
+        // Bounded tail: bestsellers reach ~√n, nothing like the
+        // 10%-of-n hubs of scale-free graphs.
+        assert!(s.max_degree < 400, "co-purchase max degree bounded, got {}", s.max_degree);
+        assert!(
+            (s.max_degree as f64) < 0.05 * s.vertices as f64,
+            "no giant hubs: {} of {}",
+            s.max_degree,
+            s.vertices
+        );
+        assert!(s.avg_degree > 3.0 && s.avg_degree < 10.0, "avg {}", s.avg_degree);
+        // Moderate diameter (tens), larger than scale-free graphs of
+        // the same size.
+        assert!(s.diameter >= 8, "community diameter {}", s.diameter);
+        assert_eq!(s.components, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(web_copy_model(512, 6, 0.6, 5), web_copy_model(512, 6, 0.6, 5));
+        let p = CommunityParams::default();
+        assert_eq!(co_purchase(512, p, 5), co_purchase(512, p, 5));
+    }
+
+    #[test]
+    fn communities_are_connected() {
+        let g = co_purchase(2048, CommunityParams { bridges: 2, ..Default::default() }, 9);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.components, 1, "bridged communities must form one component");
+    }
+}

@@ -1,0 +1,175 @@
+//! Stochastic Kronecker (R-MAT) generator — the `kron_g500-logn*`
+//! family (Graph500 reference inputs).
+//!
+//! Each edge is placed by descending `scale` levels of a 2×2
+//! probability matrix `[[a, b], [c, d]]`; the Graph500 parameters
+//! (a = 0.57, b = c = 0.19, d = 0.05) produce heavily skewed degree
+//! distributions, diameter ~6, and a sizable population of isolated
+//! vertices — exactly the properties the paper leans on when it
+//! discusses the inflated TEPS of `kron_g500-logn20` (Table IV).
+
+use crate::csr::{Csr, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// R-MAT quadrant probabilities. Must sum to 1.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+    /// Per-level probability noise, as used by Graph500 to avoid
+    /// exact self-similarity ("smoothing"). 0 disables.
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// Graph500 reference parameters.
+    pub const GRAPH500: RmatParams =
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05, noise: 0.1 };
+
+    fn validate(&self) {
+        let s = self.a + self.b + self.c + self.d;
+        assert!((s - 1.0).abs() < 1e-9, "R-MAT quadrant probabilities must sum to 1, got {s}");
+        assert!(self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0);
+        assert!((0.0..=0.5).contains(&self.noise));
+    }
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        Self::GRAPH500
+    }
+}
+
+/// Sample `count` raw R-MAT directed edge endpoints at `2^scale`
+/// vertices. Duplicates and self-loops are *not* filtered here.
+pub fn rmat_edges(
+    scale: u32,
+    count: usize,
+    params: RmatParams,
+    seed: u64,
+) -> Vec<(VertexId, VertexId)> {
+    params.validate();
+    assert!(scale <= 31, "scale must keep vertex ids within u32");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            // Per-level noisy copy of the quadrant probabilities.
+            let jitter = |p: f64, rng: &mut SmallRng| {
+                if params.noise == 0.0 {
+                    p
+                } else {
+                    p * (1.0 + params.noise * (rng.gen::<f64>() - 0.5))
+                }
+            };
+            let (a, b, c, d) = (
+                jitter(params.a, &mut rng),
+                jitter(params.b, &mut rng),
+                jitter(params.c, &mut rng),
+                jitter(params.d, &mut rng),
+            );
+            let total = a + b + c + d;
+            let r = rng.gen::<f64>() * total;
+            u <<= 1;
+            v <<= 1;
+            if r < a {
+                // top-left quadrant
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((u, v));
+    }
+    edges
+}
+
+/// Generate an undirected Kronecker graph with `2^scale` vertices and
+/// `edge_factor * 2^scale` sampled edges (before dedup, matching
+/// Graph500 conventions — the deduplicated count is lower).
+pub fn kronecker(scale: u32, edge_factor: usize, seed: u64) -> Csr {
+    kronecker_with(scale, edge_factor, RmatParams::GRAPH500, seed)
+}
+
+/// As [`kronecker`], with explicit R-MAT parameters.
+pub fn kronecker_with(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Csr {
+    let n = 1usize << scale;
+    let raw = rmat_edges(scale, edge_factor * n, params, seed);
+    Csr::from_undirected_edges(n, raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{degree_gini, GraphStats};
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let g = kronecker(10, 8, 1);
+        assert_eq!(g.num_vertices(), 1024);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(kronecker(9, 8, 3), kronecker(9, 8, 3));
+        assert_ne!(kronecker(9, 8, 3), kronecker(9, 8, 4));
+    }
+
+    #[test]
+    fn skewed_degrees_and_isolated_vertices() {
+        let g = kronecker(12, 16, 7);
+        let s = GraphStats::compute_with_limit(&g, 0);
+        assert!(s.isolated > 0, "kronecker graphs should have isolated vertices");
+        assert!(
+            s.max_degree as f64 > 10.0 * s.avg_degree,
+            "kronecker max degree ({}) should dwarf the mean ({})",
+            s.max_degree,
+            s.avg_degree
+        );
+        assert!(degree_gini(&g) > 0.4, "kronecker degrees should be heavily skewed");
+    }
+
+    #[test]
+    fn small_diameter_class() {
+        let g = kronecker(12, 16, 5);
+        let s = GraphStats::compute_with_limit(&g, 0);
+        // Small-world: diameter within a small multiple of log2(n) = 12.
+        assert!(s.diameter <= 16, "kron diameter should be tiny, got {}", s.diameter);
+    }
+
+    #[test]
+    fn edge_budget_respected() {
+        let g = kronecker(10, 16, 2);
+        // After dedup/self-loop removal m is below the raw budget but
+        // still a large fraction of it.
+        assert!(g.num_undirected_edges() <= 16 * 1024);
+        assert!(g.num_undirected_edges() > 8 * 1024);
+    }
+
+    #[test]
+    fn zero_noise_supported() {
+        let p = RmatParams { noise: 0.0, ..RmatParams::GRAPH500 };
+        let g = kronecker_with(8, 8, p, 11);
+        assert_eq!(g.num_vertices(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn invalid_params_rejected() {
+        let p = RmatParams { a: 0.9, b: 0.3, c: 0.1, d: 0.1, noise: 0.0 };
+        let _ = rmat_edges(4, 10, p, 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Mesh generators standing in for the paper's `delaunay_n*` (random
+//! triangulations) and `af_shell9` (sheet-metal FEM) inputs.
+//!
+//! * [`triangulated_grid`] — a planar triangulation of a jittered
+//!   point grid. Average degree ≈ 6, max degree small, diameter
+//!   Θ(√n): the same structural class as the DIMACS `delaunay_n*`
+//!   instances (which average 5.99 and have diameter in the hundreds
+//!   at n = 2²⁰).
+//! * [`sheet_mesh`] — a wide-stencil quasi-2D lattice: every vertex
+//!   couples to all grid neighbors within Chebyshev radius `r`, like
+//!   a higher-order FEM discretization of a thin shell. With r = 2
+//!   the stencil has 24 neighbors, landing in `af_shell9`'s class
+//!   (uniform degree ≈ 34, tiny max degree, diameter ≈ 500).
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Triangulation of a `w × h` jittered grid: grid edges plus one
+/// (randomly oriented) diagonal per cell. Planar, avg degree ≈ 6.
+pub fn triangulated_grid(w: usize, h: usize, seed: u64) -> Csr {
+    assert!(w >= 2 && h >= 2, "triangulated grid needs at least 2x2 points");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let idx = |x: usize, y: usize| (y * w + x) as u32;
+    let mut b = GraphBuilder::with_capacity(w * h, 3 * w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(idx(x, y), idx(x + 1, y));
+            }
+            if y + 1 < h {
+                b.add_edge(idx(x, y), idx(x, y + 1));
+            }
+            if x + 1 < w && y + 1 < h {
+                // Randomly orient each cell's diagonal, like a
+                // Delaunay triangulation of jittered points would.
+                if rng.gen::<bool>() {
+                    b.add_edge(idx(x, y), idx(x + 1, y + 1));
+                } else {
+                    b.add_edge(idx(x + 1, y), idx(x, y + 1));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Delaunay-like triangulation: a [`triangulated_grid`] plus the
+/// *long-edge tail* real Delaunay triangulations of non-uniform
+/// points exhibit (edges spanning sparse regions). A small fraction
+/// of vertices gain one edge to a point several cells away, which is
+/// what pulls the DIMACS `delaunay_n20` diameter down to ~0.43× the
+/// grid side while leaving the average degree near 6 and the
+/// frontier evolution gradual.
+pub fn delaunay_like(w: usize, h: usize, seed: u64) -> Csr {
+    let base = triangulated_grid(w, h, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD31A_0145);
+    let idx = |x: usize, y: usize| (y * w + x) as u32;
+    let mut extra: Vec<(u32, u32)> = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if rng.gen::<f64>() < 0.10 {
+                let span = rng.gen_range(2..=8usize);
+                let (dx, dy) = match rng.gen_range(0..4u8) {
+                    0 => (span as isize, 0isize),
+                    1 => (0, span as isize),
+                    2 => (span as isize, span as isize),
+                    _ => (span as isize, -(span as isize)),
+                };
+                let (nx, ny) = (x as isize + dx, y as isize + dy);
+                if nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h {
+                    extra.push((idx(x, y), idx(nx as usize, ny as usize)));
+                }
+            }
+        }
+    }
+    let edges = base.arcs().filter(|&(u, v)| u < v).chain(extra);
+    Csr::from_undirected_edges(w * h, edges)
+}
+
+/// Quasi-2D shell mesh: `w × h` lattice, every vertex adjacent to all
+/// lattice points within Chebyshev distance `radius`.
+pub fn sheet_mesh(w: usize, h: usize, radius: usize) -> Csr {
+    assert!(radius >= 1, "stencil radius must be at least 1");
+    let idx = |x: usize, y: usize| (y * w + x) as u32;
+    let r = radius as isize;
+    // Each vertex emits edges only to "forward" stencil offsets so
+    // each undirected edge is generated once.
+    let mut offsets = Vec::new();
+    for dy in 0..=r {
+        for dx in -r..=r {
+            if dy == 0 && dx <= 0 {
+                continue;
+            }
+            offsets.push((dx, dy));
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(w * h, w * h * offsets.len());
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            for &(dx, dy) in &offsets {
+                let (nx, ny) = (x + dx, y + dy);
+                if nx >= 0 && ny >= 0 && nx < w as isize && ny < h as isize {
+                    b.add_edge(idx(x as usize, y as usize), idx(nx as usize, ny as usize));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{degree_gini, GraphStats};
+    use crate::traversal;
+
+    #[test]
+    fn triangulated_grid_counts() {
+        let (w, h) = (10, 8);
+        let g = triangulated_grid(w, h, 1);
+        assert_eq!(g.num_vertices(), 80);
+        // (w-1)*h horizontal + w*(h-1) vertical + (w-1)*(h-1) diagonals.
+        let expect = (w - 1) * h + w * (h - 1) + (w - 1) * (h - 1);
+        assert_eq!(g.num_undirected_edges() as usize, expect);
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn triangulated_grid_is_delaunay_class() {
+        let g = triangulated_grid(48, 48, 2);
+        let s = GraphStats::compute_with_limit(&g, 0);
+        assert!(s.avg_degree > 5.0 && s.avg_degree < 6.2, "avg degree {}", s.avg_degree);
+        assert!(s.max_degree <= 8);
+        // Diameter scales like sqrt(n): for 48x48 it's near 48..96.
+        assert!(s.diameter >= 47, "diameter {}", s.diameter);
+        assert!(degree_gini(&g) < 0.15, "mesh degrees must be near-uniform");
+    }
+
+    #[test]
+    fn triangulated_grid_deterministic() {
+        assert_eq!(triangulated_grid(12, 12, 5), triangulated_grid(12, 12, 5));
+        assert_ne!(triangulated_grid(12, 12, 5), triangulated_grid(12, 12, 6));
+    }
+
+    #[test]
+    fn delaunay_like_keeps_class_but_shrinks_diameter() {
+        let base = triangulated_grid(96, 96, 4);
+        let dl = delaunay_like(96, 96, 4);
+        let s = GraphStats::compute_with_limit(&dl, 0);
+        // Degree stays in the planar-triangulation band.
+        assert!(s.avg_degree > 5.9 && s.avg_degree < 6.6, "avg degree {}", s.avg_degree);
+        assert!(s.max_degree <= 12);
+        assert!(traversal::is_connected(&dl));
+        // The long-edge tail cuts the diameter roughly in half.
+        let d_base = traversal::diameter_estimate(&base, 4);
+        let d_dl = traversal::diameter_estimate(&dl, 4);
+        assert!(
+            (d_dl as f64) < 0.75 * d_base as f64,
+            "shortcuts should shrink the diameter: {d_base} -> {d_dl}"
+        );
+        assert!((d_dl as f64) > 0.25 * d_base as f64, "but not collapse it: {d_base} -> {d_dl}");
+    }
+
+    #[test]
+    fn sheet_mesh_interior_degree() {
+        let g = sheet_mesh(20, 20, 2);
+        // Interior vertices have the full 24-neighbor stencil.
+        let interior = (10usize * 20 + 10) as u32;
+        assert_eq!(g.degree(interior), 24);
+        assert!(traversal::is_connected(&g));
+        // Corner has the quarter stencil: (r+1)^2 - 1 = 8.
+        assert_eq!(g.degree(0), 8);
+    }
+
+    #[test]
+    fn sheet_mesh_diameter_scales_with_span() {
+        let g = sheet_mesh(60, 6, 2);
+        // BFS distance = ceil(Chebyshev / r); farthest pair spans 59
+        // columns -> about 30 hops.
+        let d = traversal::exact_diameter(&g);
+        assert!((28..=32).contains(&d), "diameter {d}");
+    }
+
+    #[test]
+    fn sheet_mesh_radius_one_is_king_graph() {
+        let g = sheet_mesh(5, 5, 1);
+        let center = (2 * 5 + 2) as u32;
+        assert_eq!(g.degree(center), 8);
+    }
+}

@@ -1,0 +1,120 @@
+//! Random geometric graphs (the `rgg_n_2_*` family of the 10th DIMACS
+//! challenge): `n` points uniform on the unit square, an edge between
+//! every pair within Euclidean distance `r`.
+//!
+//! Neighbor search uses a uniform grid with cell size `r`, so
+//! generation is O(n) for the near-threshold radii these benchmarks
+//! use. The DIMACS family sets `r` slightly above the connectivity
+//! threshold `sqrt(ln n / (π n))`, producing high-diameter,
+//! uniform-degree graphs — the structure where the paper's
+//! work-efficient method shines.
+
+use crate::csr::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Radius that yields an expected average degree of `deg` for `n`
+/// uniform points on the unit square: `E[deg] ≈ n π r²`.
+pub fn rgg_radius_for_degree(n: usize, deg: f64) -> f64 {
+    (deg / (n as f64 * std::f64::consts::PI)).sqrt()
+}
+
+/// Generate a random geometric graph with `n` points and connection
+/// radius `radius`.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Csr {
+    assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+
+    // Bucket points into a grid of cell size >= radius.
+    let cells = ((1.0 / radius).floor() as usize).clamp(1, 4096);
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        grid[cell_of(y) * cells + cell_of(x)].push(i as u32);
+    }
+
+    let r2 = radius * radius;
+    let mut edges = Vec::new();
+    for cy in 0..cells {
+        for cx in 0..cells {
+            for &i in &grid[cy * cells + cx] {
+                let (xi, yi) = pts[i as usize];
+                // Scan this cell and forward neighbors to visit each
+                // pair once.
+                for (dy, dx) in [(0isize, 0isize), (0, 1), (1, -1), (1, 0), (1, 1)] {
+                    let ny = cy as isize + dy;
+                    let nx = cx as isize + dx;
+                    if ny < 0 || nx < 0 || ny >= cells as isize || nx >= cells as isize {
+                        continue;
+                    }
+                    for &j in &grid[ny as usize * cells + nx as usize] {
+                        // Within the same cell only look at larger ids.
+                        if dy == 0 && dx == 0 && j <= i {
+                            continue;
+                        }
+                        let (xj, yj) = pts[j as usize];
+                        let (ddx, ddy) = (xi - xj, yi - yj);
+                        if ddx * ddx + ddy * ddy <= r2 {
+                            edges.push((i, j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Csr::from_undirected_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn deterministic() {
+        let a = random_geometric(500, 0.06, 42);
+        let b = random_geometric(500, 0.06, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degree_matches_expectation() {
+        let n = 4000;
+        let r = rgg_radius_for_degree(n, 12.0);
+        let g = random_geometric(n, r, 1);
+        let avg = 2.0 * g.num_undirected_edges() as f64 / n as f64;
+        assert!(
+            (avg - 12.0).abs() < 2.0,
+            "expected average degree near 12, got {avg}"
+        );
+    }
+
+    #[test]
+    fn high_diameter_class() {
+        let n = 4096;
+        let g = random_geometric(n, rgg_radius_for_degree(n, 13.0), 3);
+        let s = GraphStats::compute_with_limit(&g, 0); // estimate only
+        // A near-threshold RGG on 4k points has diameter on the order
+        // of sqrt(n)/deg ~ tens; certainly far above log2(n) ≈ 12.
+        assert!(s.diameter > 20, "rgg should be high-diameter, got {}", s.diameter);
+        assert!(s.largest_component_frac > 0.9, "rgg should be mostly connected");
+    }
+
+    #[test]
+    fn no_long_edges() {
+        let g = random_geometric(300, 0.08, 9);
+        // Regenerate points with the same seed to validate edge lengths.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let pts: Vec<(f64, f64)> = (0..300).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        for (u, v) in g.arcs() {
+            let (x1, y1) = pts[u as usize];
+            let (x2, y2) = pts[v as usize];
+            let d2 = (x1 - x2).powi(2) + (y1 - y2).powi(2);
+            assert!(d2 <= 0.08f64 * 0.08 + 1e-12);
+        }
+    }
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+}

@@ -1,0 +1,88 @@
+//! Watts–Strogatz small-world generator — the paper's `smallworld`
+//! dataset (n = 100,000, m ≈ 500,000, diameter 9) is exactly this
+//! model: a ring lattice with degree `k` whose edges are rewired with
+//! probability `p`.
+
+use crate::csr::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz graph: ring of `n` vertices, each connected to its
+/// `k/2` nearest neighbors on each side, each edge rewired to a
+/// uniform random endpoint with probability `p`.
+///
+/// `k` must be even and `< n`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Csr {
+    assert!(k % 2 == 0, "k must be even");
+    assert!(k < n, "k must be smaller than n");
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let half = (k / 2) as u32;
+    let n32 = n as u32;
+    let mut edges = Vec::with_capacity(n * k / 2);
+    for u in 0..n32 {
+        for j in 1..=half {
+            let v = (u + j) % n32;
+            if rng.gen::<f64>() < p {
+                // Rewire the far endpoint; avoid self-loops. Possible
+                // duplicates are collapsed by the CSR builder, which
+                // loses a few edges — the same behavior as the
+                // reference NetworkX implementation.
+                let mut w = rng.gen_range(0..n32);
+                while w == u {
+                    w = rng.gen_range(0..n32);
+                }
+                edges.push((u, w));
+            } else {
+                edges.push((u, v));
+            }
+        }
+    }
+    Csr::from_undirected_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+    use crate::traversal;
+
+    #[test]
+    fn lattice_when_p_zero() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.num_undirected_edges(), 40);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        // Ring lattice n=20, k=4: diameter = ceil((n/2)/ (k/2)) = 5.
+        assert_eq!(traversal::exact_diameter(&g), 5);
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let lattice = watts_strogatz(1000, 10, 0.0, 2);
+        let rewired = watts_strogatz(1000, 10, 0.1, 2);
+        let d0 = traversal::diameter_estimate(&lattice, 4);
+        let d1 = traversal::diameter_estimate(&rewired, 4);
+        assert!(d1 < d0 / 2, "rewiring should collapse the diameter ({d0} -> {d1})");
+    }
+
+    #[test]
+    fn small_world_class() {
+        let g = watts_strogatz(4096, 10, 0.1, 3);
+        let s = GraphStats::compute_with_limit(&g, 0);
+        assert!(s.diameter <= 12, "small-world diameter should be ~log n, got {}", s.diameter);
+        assert!(s.largest_component_frac > 0.99);
+        // Degrees stay near-uniform (unlike scale-free graphs).
+        assert!(s.max_degree < 25, "WS max degree stays small, got {}", s.max_degree);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(watts_strogatz(128, 6, 0.2, 9), watts_strogatz(128, 6, 0.2, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn odd_k_rejected() {
+        let _ = watts_strogatz(10, 3, 0.1, 0);
+    }
+}

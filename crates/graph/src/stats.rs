@@ -1,0 +1,189 @@
+//! Whole-graph statistics: the quantities reported in the paper's
+//! Table II (vertices, edges, max degree, diameter) plus structural
+//! descriptors (degree distribution, component structure) used to
+//! validate that generated graphs land in the right structural class.
+
+use crate::csr::Csr;
+use crate::traversal;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics for a graph, in the shape of the paper's
+/// Table II rows.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of vertices `n`.
+    pub vertices: usize,
+    /// Number of undirected edges `m`.
+    pub edges: u64,
+    /// Maximum vertex degree.
+    pub max_degree: u32,
+    /// Mean vertex degree (2m/n for undirected graphs).
+    pub avg_degree: f64,
+    /// Diameter (estimated by multi-sweep BFS for large graphs).
+    pub diameter: u32,
+    /// Whether the diameter is exact or a lower-bound estimate.
+    pub diameter_exact: bool,
+    /// Number of connected components.
+    pub components: usize,
+    /// Number of degree-zero vertices.
+    pub isolated: usize,
+    /// Fraction of vertices in the largest connected component.
+    pub largest_component_frac: f64,
+}
+
+impl GraphStats {
+    /// Compute statistics. Graphs with at most `exact_diameter_limit`
+    /// vertices get an exact diameter; larger ones use a 6-sweep
+    /// estimate (standard practice for dataset tables).
+    pub fn compute(g: &Csr) -> Self {
+        Self::compute_with_limit(g, 2048)
+    }
+
+    /// As [`GraphStats::compute`], with an explicit exact-diameter
+    /// cutoff.
+    pub fn compute_with_limit(g: &Csr, exact_diameter_limit: usize) -> Self {
+        let n = g.num_vertices();
+        let comps = traversal::connected_components(g);
+        let num_comps = comps.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+        let mut sizes = vec![0usize; num_comps];
+        for &c in &comps {
+            sizes[c as usize] += 1;
+        }
+        let largest = sizes.iter().copied().max().unwrap_or(0);
+        let exact = n <= exact_diameter_limit;
+        let diameter = if exact {
+            traversal::exact_diameter(g)
+        } else {
+            traversal::diameter_estimate(g, 6)
+        };
+        GraphStats {
+            vertices: n,
+            edges: g.num_undirected_edges(),
+            max_degree: g.max_degree(),
+            avg_degree: if n == 0 { 0.0 } else { 2.0 * g.num_undirected_edges() as f64 / n as f64 },
+            diameter,
+            diameter_exact: exact,
+            components: num_comps,
+            isolated: g.num_isolated(),
+            largest_component_frac: if n == 0 { 0.0 } else { largest as f64 / n as f64 },
+        }
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() as usize + 1];
+    for v in g.vertices() {
+        hist[g.degree(v) as usize] += 1;
+    }
+    hist
+}
+
+/// Gini coefficient of the degree distribution: 0 for perfectly
+/// uniform degrees, approaching 1 for extreme skew. Scale-free graphs
+/// land well above meshes/roads; the hybrid methods exploit exactly
+/// this difference, so tests pin generators to the right side of the
+/// divide.
+pub fn degree_gini(g: &Csr) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut degs: Vec<u64> = g.vertices().map(|v| g.degree(v) as u64).collect();
+    degs.sort_unstable();
+    let total: u64 = degs.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    // Gini = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n   with 1-based i.
+    let weighted: u128 = degs
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (i as u128 + 1) * d as u128)
+        .sum();
+    (2.0 * weighted as f64) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+/// Fit the tail exponent of a power-law degree distribution via the
+/// discrete maximum-likelihood estimator (Clauset–Shalizi–Newman's
+/// continuous approximation), considering vertices of degree >=
+/// `d_min`. Returns `None` when too few vertices qualify.
+pub fn power_law_alpha(g: &Csr, d_min: u32) -> Option<f64> {
+    let d_min = d_min.max(1);
+    let xs: Vec<f64> = g
+        .vertices()
+        .map(|v| g.degree(v) as f64)
+        .filter(|&d| d >= d_min as f64)
+        .collect();
+    if xs.len() < 16 {
+        return None;
+    }
+    let s: f64 = xs.iter().map(|&x| (x / (d_min as f64 - 0.5)).ln()).sum();
+    Some(1.0 + xs.len() as f64 / s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+
+    #[test]
+    fn stats_of_path() {
+        let g = Csr::from_undirected_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.diameter, 4);
+        assert!(s.diameter_exact);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.isolated, 0);
+        assert!((s.avg_degree - 1.6).abs() < 1e-12);
+        assert!((s.largest_component_frac - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_with_isolated_vertices() {
+        let g = Csr::from_undirected_edges(5, [(0, 1)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.components, 4);
+        assert_eq!(s.isolated, 3);
+        assert!((s.largest_component_frac - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = Csr::from_undirected_edges(6, [(0, 1), (0, 2), (0, 3), (4, 5)]);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+        assert_eq!(h[3], 1); // the hub
+        assert_eq!(h[1], 5);
+    }
+
+    #[test]
+    fn gini_zero_for_regular_graph() {
+        let cyc = Csr::from_undirected_edges(8, (0..8u32).map(|i| (i, (i + 1) % 8)));
+        assert!(degree_gini(&cyc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_large_for_star() {
+        let star = Csr::from_undirected_edges(32, (1..32u32).map(|i| (0, i)));
+        assert!(degree_gini(&star) > 0.4, "star should be highly skewed");
+    }
+
+    #[test]
+    fn power_law_alpha_requires_samples() {
+        let g = Csr::from_undirected_edges(4, [(0, 1), (1, 2)]);
+        assert!(power_law_alpha(&g, 1).is_none());
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Csr::from_undirected_edges(0, []);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.components, 0);
+        assert_eq!(degree_gini(&g), 0.0);
+    }
+}

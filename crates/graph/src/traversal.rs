@@ -1,0 +1,232 @@
+//! Sequential breadth-first traversal utilities.
+//!
+//! These are the host-side reference traversals: connected components,
+//! BFS distance maps, eccentricity, and frontier traces. The GPU
+//! methods in `bc-core` re-implement traversal against the simulator;
+//! everything here is plain host code used for statistics, tests, and
+//! ground truth.
+
+use crate::csr::{Csr, VertexId};
+use std::collections::VecDeque;
+
+/// Distance value used for unreached vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS distance from `source` to every vertex (`UNREACHED` where no
+/// path exists).
+pub fn bfs_distances(g: &Csr, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; g.num_vertices()];
+    let mut q = VecDeque::new();
+    dist[source as usize] = 0;
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The maximum finite BFS distance from `source` (its eccentricity
+/// within its component). Returns 0 for an isolated source.
+pub fn eccentricity(g: &Csr, source: VertexId) -> u32 {
+    bfs_distances(g, source)
+        .into_iter()
+        .filter(|&d| d != UNREACHED)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Sizes of each BFS level starting from `source`; element `i` is the
+/// number of vertices at distance `i`. This is the *vertex frontier*
+/// trace of Figure 3.
+pub fn frontier_sizes(g: &Csr, source: VertexId) -> Vec<usize> {
+    let dist = bfs_distances(g, source);
+    let max = dist.iter().copied().filter(|&d| d != UNREACHED).max().unwrap_or(0);
+    let mut sizes = vec![0usize; max as usize + 1];
+    for &d in &dist {
+        if d != UNREACHED {
+            sizes[d as usize] += 1;
+        }
+    }
+    sizes
+}
+
+/// For each BFS level, the number of directed edges leaving that
+/// level's vertices (the *edge frontier* of Table I).
+pub fn edge_frontier_sizes(g: &Csr, source: VertexId) -> Vec<u64> {
+    let dist = bfs_distances(g, source);
+    let max = dist.iter().copied().filter(|&d| d != UNREACHED).max().unwrap_or(0);
+    let mut sizes = vec![0u64; max as usize + 1];
+    for v in g.vertices() {
+        let d = dist[v as usize];
+        if d != UNREACHED {
+            sizes[d as usize] += g.degree(v) as u64;
+        }
+    }
+    sizes
+}
+
+/// Label every vertex with a connected-component id (0-based, in order
+/// of discovery). Requires a symmetric graph for meaningful results.
+pub fn connected_components(g: &Csr) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut q = VecDeque::new();
+    for s in 0..n as u32 {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = next;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = next;
+                    q.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Number of connected components.
+pub fn num_components(g: &Csr) -> usize {
+    connected_components(g).iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+}
+
+/// Is the graph connected? (Empty graphs count as connected.)
+pub fn is_connected(g: &Csr) -> bool {
+    num_components(g) <= 1
+}
+
+/// Exact diameter by running a BFS from every vertex. O(nm): only for
+/// small graphs and tests.
+pub fn exact_diameter(g: &Csr) -> u32 {
+    g.vertices().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// Diameter estimate via the double-sweep / multi-sweep heuristic:
+/// run a few rounds of "BFS to the farthest vertex found so far" from
+/// pseudo-random starts. Lower bound on the true diameter, usually
+/// tight on real networks; this is how dataset tables (like the
+/// paper's Table II) are normally produced for large graphs.
+pub fn diameter_estimate(g: &Csr, sweeps: usize) -> u32 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 0u32;
+    // Deterministic spread of starting vertices.
+    let mut start = 0u32;
+    for i in 0..sweeps.max(1) {
+        let dist = bfs_distances(g, start);
+        let (far, d) = dist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != UNREACHED)
+            .max_by_key(|&(_, &d)| d)
+            .map(|(v, &d)| (v as u32, d))
+            .unwrap_or((start, 0));
+        best = best.max(d);
+        start = far;
+        // After the sweep converges, restart elsewhere to escape a
+        // small component.
+        if d == 0 {
+            start = ((i as u64 + 1) * 0x9E37_79B9 % n as u64) as u32;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> Csr {
+        Csr::from_undirected_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let d = bfs_distances(&path5(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d2 = bfs_distances(&path5(), 2);
+        assert_eq!(d2, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreached_is_marked() {
+        let g = Csr::from_undirected_edges(4, [(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn eccentricity_of_path() {
+        assert_eq!(eccentricity(&path5(), 0), 4);
+        assert_eq!(eccentricity(&path5(), 2), 2);
+    }
+
+    #[test]
+    fn frontier_sizes_match_distances() {
+        let sizes = frontier_sizes(&path5(), 0);
+        assert_eq!(sizes, vec![1, 1, 1, 1, 1]);
+        let star = Csr::from_undirected_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(frontier_sizes(&star, 0), vec![1, 4]);
+    }
+
+    #[test]
+    fn edge_frontier_counts_outgoing_degree() {
+        let star = Csr::from_undirected_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        // Level 0 is the hub with degree 4; level 1 is 4 leaves of degree 1.
+        assert_eq!(edge_frontier_sizes(&star, 0), vec![4, 4]);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = Csr::from_undirected_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        let comp = connected_components(&g);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[0]);
+        assert_eq!(num_components(&g), 3);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&path5()));
+    }
+
+    #[test]
+    fn exact_diameter_of_known_shapes() {
+        assert_eq!(exact_diameter(&path5()), 4);
+        let cycle6 = Csr::from_undirected_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(exact_diameter(&cycle6), 3);
+    }
+
+    #[test]
+    fn diameter_estimate_is_lower_bound_and_tight_on_path() {
+        let g = path5();
+        let est = diameter_estimate(&g, 4);
+        assert_eq!(est, 4);
+        let est1 = diameter_estimate(&g, 1);
+        assert!(est1 <= 4);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Csr::from_undirected_edges(0, []);
+        assert_eq!(num_components(&g), 0);
+        assert!(is_connected(&g));
+        assert_eq!(exact_diameter(&g), 0);
+        assert_eq!(diameter_estimate(&g, 3), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Weighted graphs: a CSR with per-arc weights.
+//!
+//! The paper computes BC on unweighted graphs; its related-work
+//! section points at Davidson et al.'s GPU SSSP and calls hybrid
+//! strategies for that problem future work. This module provides the
+//! substrate for that extension: weighted adjacency aligned with the
+//! CSR arc order, consumed by `bc-core`'s Dijkstra-based Brandes.
+
+use crate::csr::{Csr, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A graph with a non-negative weight per directed arc. Symmetric
+/// graphs carry the same weight on both directions by construction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedCsr {
+    graph: Csr,
+    weights: Vec<f32>,
+}
+
+impl WeightedCsr {
+    /// Attach explicit per-arc weights (must match
+    /// [`Csr::num_directed_edges`] and be non-negative and finite).
+    pub fn new(graph: Csr, weights: Vec<f32>) -> Self {
+        assert_eq!(weights.len(), graph.num_directed_edges(), "one weight per arc");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        WeightedCsr { graph, weights }
+    }
+
+    /// Build from undirected weighted edges; both arcs of an edge get
+    /// its weight. Duplicate edges keep the smallest weight.
+    pub fn from_undirected_edges(
+        num_vertices: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId, f32)>,
+    ) -> Self {
+        let mut best: std::collections::HashMap<(u32, u32), f32> = std::collections::HashMap::new();
+        for (u, v, w) in edges {
+            assert!(w.is_finite() && w >= 0.0, "bad weight {w}");
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            best.entry(key).and_modify(|e| *e = e.min(w)).or_insert(w);
+        }
+        let graph = Csr::from_undirected_edges(num_vertices, best.keys().copied());
+        let mut weights = vec![0.0f32; graph.num_directed_edges()];
+        for u in graph.vertices() {
+            for (e, &v) in graph.edge_range(u).zip(graph.neighbors(u)) {
+                let key = if u < v { (u, v) } else { (v, u) };
+                weights[e] = best[&key];
+            }
+        }
+        WeightedCsr { graph, weights }
+    }
+
+    /// Assign uniform weight 1 to every arc of an existing graph
+    /// (weighted BC then equals unweighted BC — the cross-validation
+    /// hook).
+    pub fn with_unit_weights(graph: Csr) -> Self {
+        let m = graph.num_directed_edges();
+        WeightedCsr { graph, weights: vec![1.0; m] }
+    }
+
+    /// Assign deterministic pseudo-random weights in `[lo, hi)` to an
+    /// existing symmetric graph (both arc directions get the edge's
+    /// weight).
+    pub fn with_random_weights(graph: Csr, lo: f32, hi: f32, seed: u64) -> Self {
+        assert!(graph.is_symmetric(), "random edge weights need a symmetric graph");
+        assert!(lo >= 0.0 && hi > lo);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Draw one weight per undirected edge (u < v), mirror to both
+        // arcs.
+        let mut per_edge: std::collections::HashMap<(u32, u32), f32> =
+            std::collections::HashMap::new();
+        for (u, v) in graph.arcs() {
+            if u < v {
+                per_edge.insert((u, v), rng.gen_range(lo..hi));
+            }
+        }
+        let mut weights = vec![0.0f32; graph.num_directed_edges()];
+        for u in graph.vertices() {
+            for (e, &v) in graph.edge_range(u).zip(graph.neighbors(u)) {
+                let key = if u < v { (u, v) } else { (v, u) };
+                weights[e] = per_edge[&key];
+            }
+        }
+        WeightedCsr { graph, weights }
+    }
+
+    /// The underlying topology.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// Weight of arc `e` (index into the adjacency array).
+    #[inline]
+    pub fn weight(&self, e: usize) -> f32 {
+        self.weights[e]
+    }
+
+    /// All arc weights, adjacency-aligned.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Iterate `(edge_id, neighbor, weight)` for a vertex.
+    pub fn neighbors_weighted(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (usize, VertexId, f32)> + '_ {
+        self.graph
+            .edge_range(v)
+            .zip(self.graph.neighbors(v))
+            .map(move |(e, &w)| (e, w, self.weights[e]))
+    }
+
+    /// Multiply every weight by `factor` (> 0). Shortest-path
+    /// structure — and therefore BC — is invariant under this.
+    pub fn scale_weights(&mut self, factor: f32) {
+        assert!(factor > 0.0 && factor.is_finite());
+        for w in self.weights.iter_mut() {
+            *w *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn from_weighted_edges() {
+        let wg = WeightedCsr::from_undirected_edges(3, [(0, 1, 2.0), (1, 2, 3.0)]);
+        assert_eq!(wg.graph().num_undirected_edges(), 2);
+        // Both directions carry the weight.
+        for (_, v, w) in wg.neighbors_weighted(1) {
+            if v == 0 {
+                assert_eq!(w, 2.0);
+            } else {
+                assert_eq!(w, 3.0);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_keep_minimum() {
+        let wg = WeightedCsr::from_undirected_edges(2, [(0, 1, 5.0), (1, 0, 2.0)]);
+        assert_eq!(wg.weight(0), 2.0);
+    }
+
+    #[test]
+    fn unit_weights_cover_all_arcs() {
+        let g = gen::grid(3, 3);
+        let wg = WeightedCsr::with_unit_weights(g.clone());
+        assert_eq!(wg.weights().len(), g.num_directed_edges());
+        assert!(wg.weights().iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn random_weights_symmetric_and_deterministic() {
+        let g = gen::erdos_renyi(40, 100, 3);
+        let a = WeightedCsr::with_random_weights(g.clone(), 1.0, 10.0, 7);
+        let b = WeightedCsr::with_random_weights(g, 1.0, 10.0, 7);
+        assert_eq!(a, b);
+        // Symmetry: weight(u->v) == weight(v->u).
+        for u in a.graph().vertices() {
+            for (_, v, w) in a.neighbors_weighted(u) {
+                let back = a
+                    .neighbors_weighted(v)
+                    .find(|&(_, t, _)| t == u)
+                    .map(|(_, _, w)| w)
+                    .unwrap();
+                assert_eq!(w, back);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_weights() {
+        let mut wg = WeightedCsr::from_undirected_edges(2, [(0, 1, 2.0)]);
+        wg.scale_weights(2.5);
+        assert_eq!(wg.weight(0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per arc")]
+    fn weight_count_must_match() {
+        let g = gen::path(3);
+        let _ = WeightedCsr::new(g, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let g = gen::path(2);
+        let _ = WeightedCsr::new(g, vec![-1.0, 1.0]);
+    }
+}

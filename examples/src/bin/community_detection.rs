@@ -1,0 +1,111 @@
+//! Community detection via Girvan–Newman — one of the paper's §I
+//! motivating applications of betweenness centrality.
+//!
+//! Girvan–Newman repeatedly removes the edge with the highest edge
+//! betweenness; communities fall out as connected components. This
+//! example plants communities, recovers them, and scores the
+//! recovery.
+//!
+//! ```text
+//! cargo run -p bc-examples --release --bin community_detection
+//! ```
+
+use bc_core::brandes;
+use bc_graph::{gen, traversal, Csr};
+
+/// Remove the `count` highest-betweenness undirected edges.
+fn remove_top_edges(g: &Csr, count: usize) -> Csr {
+    let ebc = brandes::edge_betweenness(g);
+    // Undirected edge score = sum of both arc scores; collect one
+    // entry per undirected edge.
+    let mut edges: Vec<(f64, u32, u32)> = Vec::new();
+    for u in g.vertices() {
+        for (e, &v) in g.edge_range(u).zip(g.neighbors(u)) {
+            if u < v {
+                // The reverse arc carries the same halved score.
+                edges.push((2.0 * ebc[e], u, v));
+            }
+        }
+    }
+    edges.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let cut: std::collections::HashSet<(u32, u32)> =
+        edges.iter().take(count).map(|&(_, u, v)| (u, v)).collect();
+    let kept = g
+        .arcs()
+        .filter(|&(u, v)| u < v && !cut.contains(&(u, v)));
+    Csr::from_undirected_edges(g.num_vertices(), kept)
+}
+
+fn main() {
+    // Plant 8 communities of 24 vertices, densely connected inside,
+    // joined by exactly one bridge each to the next community.
+    let k = 8usize;
+    let size = 24usize;
+    let n = k * size;
+    let mut edges = Vec::new();
+    for c in 0..k {
+        let base = (c * size) as u32;
+        let comm = gen::erdos_renyi(size, size * 3, c as u64 + 1);
+        edges.extend(comm.arcs().filter(|&(u, v)| u < v).map(|(u, v)| (base + u, base + v)));
+        // One bridge to the next community (ring of communities).
+        let next = (((c + 1) % k) * size) as u32;
+        edges.push((base, next));
+    }
+    let g = Csr::from_undirected_edges(n, edges);
+    println!(
+        "planted {k} communities of {size} vertices: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_undirected_edges()
+    );
+
+    // Girvan–Newman: iteratively remove high-eBC edges until the
+    // graph splits into k components. Bridges carry all
+    // inter-community traffic, so they go first.
+    let mut current = g.clone();
+    let mut removed = 0usize;
+    while traversal::num_components(&current) < k {
+        current = remove_top_edges(&current, 1);
+        removed += 1;
+        if removed > 2 * k {
+            break;
+        }
+    }
+    let comps = traversal::connected_components(&current);
+    println!(
+        "removed {removed} edges -> {} components",
+        traversal::num_components(&current)
+    );
+
+    // Score recovery: every vertex's component should equal its
+    // planted community.
+    let mut correct = 0usize;
+    for c in 0..k {
+        // Majority label of the community's vertices.
+        let mut counts = std::collections::HashMap::new();
+        for v in 0..size {
+            *counts.entry(comps[c * size + v]).or_insert(0usize) += 1;
+        }
+        correct += counts.values().copied().max().unwrap_or(0);
+    }
+    let accuracy = correct as f64 / n as f64;
+    println!("community recovery accuracy: {:.1}%", accuracy * 100.0);
+    assert!(accuracy > 0.95, "Girvan-Newman should recover planted communities");
+
+    // Show the highest-betweenness edges of the original graph are
+    // indeed the bridges.
+    let ebc = brandes::edge_betweenness(&g);
+    let mut top: Vec<(f64, u32, u32)> = Vec::new();
+    for u in g.vertices() {
+        for (e, &v) in g.edge_range(u).zip(g.neighbors(u)) {
+            if u < v {
+                top.push((2.0 * ebc[e], u, v));
+            }
+        }
+    }
+    top.sort_by(|a, b| b.0.total_cmp(&a.0));
+    println!("\ntop-{k} edges by betweenness (expected: the {k} bridges):");
+    for (s, u, v) in top.iter().take(k) {
+        let bridge = (u / size as u32) != (v / size as u32);
+        println!("  {u:>3} -- {v:<3}  eBC {s:9.1}  {}", if bridge { "bridge" } else { "intra" });
+    }
+}

@@ -1,0 +1,37 @@
+//! Integration-test support crate.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only hosts
+//! small helpers shared between those test files.
+
+use bc_graph::Csr;
+
+/// Maximum relative error tolerated when comparing floating-point BC
+/// scores produced by different (but mathematically equivalent)
+/// summation orders.
+pub const BC_TOL: f64 = 1e-6;
+
+/// Assert that two BC score vectors agree within [`BC_TOL`] relative
+/// tolerance (absolute for near-zero entries).
+pub fn assert_scores_eq(expected: &[f64], actual: &[f64]) {
+    assert_eq!(expected.len(), actual.len(), "score length mismatch");
+    for (v, (e, a)) in expected.iter().zip(actual).enumerate() {
+        let scale = e.abs().max(1.0);
+        assert!(
+            (e - a).abs() <= BC_TOL * scale,
+            "BC mismatch at vertex {v}: expected {e}, got {a}"
+        );
+    }
+}
+
+/// A tiny deterministic graph menagerie used across integration tests.
+pub fn small_graphs() -> Vec<(&'static str, Csr)> {
+    use bc_graph::gen;
+    vec![
+        ("path_16", gen::path(16)),
+        ("cycle_17", gen::cycle(17)),
+        ("star_20", gen::star(20)),
+        ("complete_8", gen::complete(8)),
+        ("grid_5x7", gen::grid(5, 7)),
+        ("binary_tree_31", gen::balanced_tree(2, 4)),
+    ]
+}

@@ -1,0 +1,132 @@
+//! Cross-crate integration: cluster runs vs single-device runs, and
+//! I/O round-trips over generated graphs.
+
+use bc_cluster::{run_cluster, strong_scaling, ClusterConfig};
+use bc_core::{cpu_parallel, Method};
+use bc_graph::{gen, io, Csr, DatasetId};
+use bc_integration::assert_scores_eq;
+use proptest::prelude::*;
+
+#[test]
+fn cluster_matches_host_reference_across_classes() {
+    // ~2k-vertex instances: all n roots run, so scores must be exact.
+    for (d, reduction) in [
+        (DatasetId::Smallworld, 6),
+        (DatasetId::LuxembourgOsm, 6),
+        (DatasetId::KronG500Logn20, 9),
+    ] {
+        let g = d.generate(reduction, 11);
+        let n = g.num_vertices();
+        let cfg =
+            ClusterConfig { method: Method::WorkEfficient, ..ClusterConfig::keeneland(3) };
+        let run = run_cluster(&g, &cfg, n).unwrap();
+        let expect = cpu_parallel::betweenness(&g);
+        assert_scores_eq(&expect, &run.scores);
+    }
+}
+
+#[test]
+fn cluster_scores_independent_of_gpu_count() {
+    let g = gen::watts_strogatz(400, 6, 0.1, 3);
+    let base = ClusterConfig { method: Method::WorkEfficient, ..ClusterConfig::keeneland(1) };
+    let r1 = run_cluster(&g, &base, 400).unwrap();
+    let r8 = run_cluster(&g, &ClusterConfig { nodes: 8, ..base }, 400).unwrap();
+    assert_scores_eq(&r1.scores, &r8.scores);
+}
+
+#[test]
+fn strong_scaling_monotone_until_saturation() {
+    let g = gen::delaunay_like(180, 180, 1);
+    let base = ClusterConfig::keeneland(1);
+    let pts = strong_scaling(&g, &base, &[1, 2, 4, 8, 16], 64).unwrap();
+    for w in pts.windows(2) {
+        assert!(
+            w[1].report.total_seconds <= w[0].report.total_seconds * 1.05,
+            "more nodes should not slow the run: {} -> {}",
+            w[0].report.total_seconds,
+            w[1].report.total_seconds
+        );
+    }
+    // Early doublings are near-linear at this size.
+    assert!(pts[1].speedup > 1.6, "2-node speedup {:.2}", pts[1].speedup);
+}
+
+#[test]
+fn io_round_trips_for_every_generator_class() {
+    for d in DatasetId::ALL {
+        let g = d.small_instance(9);
+        let mut metis = Vec::new();
+        io::write_metis(&g, &mut metis).unwrap();
+        assert_eq!(io::read_metis(metis.as_slice()).unwrap(), g, "{} metis", d.name());
+
+        let mut mm = Vec::new();
+        io::write_matrix_market(&g, &mut mm).unwrap();
+        assert_eq!(io::read_matrix_market(mm.as_slice()).unwrap(), g, "{} mm", d.name());
+
+        let mut bin = Vec::new();
+        io::write_binary(&g, &mut bin).unwrap();
+        assert_eq!(io::read_binary(bin.as_slice()).unwrap(), g, "{} binary", d.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_io_round_trip_random(n in 2usize..80, frac in 0.0f64..0.8, seed in 0u64..100) {
+        let m = ((n * (n - 1) / 2) as f64 * frac) as usize;
+        let g = gen::erdos_renyi(n, m, seed);
+        let mut buf = Vec::new();
+        io::write_metis(&g, &mut buf).unwrap();
+        prop_assert_eq!(io::read_metis(buf.as_slice()).unwrap(), g.clone());
+        buf.clear();
+        io::write_binary(&g, &mut buf).unwrap();
+        prop_assert_eq!(io::read_binary(buf.as_slice()).unwrap(), g.clone());
+        buf.clear();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let el = io::read_edge_list(buf.as_slice()).unwrap();
+        // Edge lists drop isolated vertices but preserve structure.
+        prop_assert_eq!(el.num_undirected_edges(), g.num_undirected_edges());
+    }
+
+    #[test]
+    fn prop_relabel_preserves_bc_multiset(n in 4usize..40, frac in 0.2f64..0.9, seed in 0u64..50) {
+        use bc_core::brandes;
+        use bc_graph::builder;
+        let m = ((n * (n - 1) / 2) as f64 * frac) as usize;
+        let g = gen::erdos_renyi(n, m, seed);
+        // Reverse permutation.
+        let perm: Vec<u32> = (0..n as u32).rev().collect();
+        let h = builder::relabel(&g, &perm);
+        let mut bg = brandes::betweenness(&g);
+        let mut bh = brandes::betweenness(&h);
+        bg.sort_by(f64::total_cmp);
+        bh.sort_by(f64::total_cmp);
+        for (a, b) in bg.iter().zip(&bh) {
+            prop_assert!((a - b).abs() < 1e-7, "BC must be label-invariant");
+        }
+    }
+
+    #[test]
+    fn prop_approx_unbiased_at_full_sampling(n in 4usize..40, frac in 0.2f64..0.9, seed in 0u64..50) {
+        use bc_core::{approx, brandes, BcOptions};
+        let m = ((n * (n - 1) / 2) as f64 * frac) as usize;
+        let g = gen::erdos_renyi(n, m, seed);
+        let run = approx::approximate_bc(&g, &Method::WorkEfficient, n, seed, &BcOptions::default())
+            .unwrap();
+        let exact = brandes::betweenness(&g);
+        for (e, a) in exact.iter().zip(&run.scores) {
+            prop_assert!((e - a).abs() < 1e-7);
+        }
+    }
+}
+
+#[test]
+fn directed_graph_io_preserved_in_binary() {
+    let g = Csr::from_directed_edges(5, [(0u32, 1u32), (1, 2), (2, 0), (3, 4)]);
+    let mut buf = Vec::new();
+    io::write_binary(&g, &mut buf).unwrap();
+    let h = io::read_binary(buf.as_slice()).unwrap();
+    assert_eq!(g, h);
+    assert!(!h.is_symmetric());
+}

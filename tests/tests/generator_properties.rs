@@ -1,0 +1,136 @@
+//! Property tests on the graph substrate: every generator must
+//! produce well-formed, deterministic CSRs in its advertised
+//! structural class.
+
+use bc_graph::{gen, stats, traversal, Csr, DatasetId};
+use proptest::prelude::*;
+
+/// Structural sanity common to every undirected generator output.
+fn check_well_formed(g: &Csr) {
+    // Offsets monotone and adjacency within range are enforced by
+    // construction; check symmetry and no self-loops.
+    assert!(g.is_symmetric());
+    for (u, v) in g.arcs() {
+        assert_ne!(u, v, "self loop survived");
+        assert!(g.has_arc(v, u), "asymmetric arc {u}->{v}");
+    }
+    // Sorted, deduplicated adjacency.
+    for v in g.vertices() {
+        let nb = g.neighbors(v);
+        assert!(nb.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicated neighbors of {v}");
+    }
+}
+
+#[test]
+fn all_dataset_analogues_are_well_formed() {
+    for d in DatasetId::ALL {
+        check_well_formed(&d.small_instance(3));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_erdos_renyi_well_formed(n in 2usize..200, frac in 0.0f64..1.0, seed in 0u64..100) {
+        let m = ((n * (n - 1) / 2) as f64 * frac) as usize;
+        let g = gen::erdos_renyi(n, m, seed);
+        prop_assert_eq!(g.num_undirected_edges(), m as u64);
+        check_well_formed(&g);
+    }
+
+    #[test]
+    fn prop_watts_strogatz_class(n in 20usize..400, khalf in 1usize..4, seed in 0u64..100) {
+        let k = khalf * 2;
+        let g = gen::watts_strogatz(n, k, 0.1, seed);
+        check_well_formed(&g);
+        // Rewiring only collapses duplicates: m <= n*k/2.
+        prop_assert!(g.num_undirected_edges() <= (n * k / 2) as u64);
+        prop_assert!(g.num_undirected_edges() >= (n * k / 2) as u64 * 9 / 10);
+    }
+
+    #[test]
+    fn prop_kronecker_deterministic(scale in 4u32..10, ef in 2usize..16, seed in 0u64..100) {
+        let a = gen::kronecker(scale, ef, seed);
+        let b = gen::kronecker(scale, ef, seed);
+        prop_assert_eq!(&a, &b);
+        check_well_formed(&a);
+        prop_assert_eq!(a.num_vertices(), 1 << scale);
+    }
+
+    #[test]
+    fn prop_rgg_radius_monotone(n in 100usize..800, seed in 0u64..50) {
+        let small = gen::random_geometric(n, gen::rgg_radius_for_degree(n, 4.0), seed);
+        let large = gen::random_geometric(n, gen::rgg_radius_for_degree(n, 10.0), seed);
+        check_well_formed(&small);
+        // Same points, larger radius: strictly more (or equal) edges.
+        prop_assert!(large.num_undirected_edges() >= small.num_undirected_edges());
+    }
+
+    #[test]
+    fn prop_ba_connected(n in 10usize..300, m_attach in 1usize..5, seed in 0u64..100) {
+        let g = gen::barabasi_albert(n, m_attach, seed);
+        check_well_formed(&g);
+        prop_assert!(traversal::is_connected(&g), "BA growth must stay connected");
+    }
+
+    #[test]
+    fn prop_road_degree_bound(n in 200usize..4000, seed in 0u64..50) {
+        let g = gen::road_network(n, seed);
+        check_well_formed(&g);
+        prop_assert!(g.max_degree() <= 6, "roads cap at degree 6, got {}", g.max_degree());
+        let avg = 2.0 * g.num_undirected_edges() as f64 / g.num_vertices() as f64;
+        prop_assert!(avg < 3.0, "roads are nearly 1-D, avg degree {avg}");
+    }
+
+    #[test]
+    fn prop_mesh_planar_degree(w in 3usize..40, h in 3usize..40, seed in 0u64..50) {
+        let g = gen::triangulated_grid(w, h, seed);
+        check_well_formed(&g);
+        prop_assert!(g.max_degree() <= 8, "triangulation degree bound");
+        prop_assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn prop_degree_histogram_consistent(n in 10usize..200, frac in 0.1f64..0.9, seed in 0u64..50) {
+        let m = ((n * (n - 1) / 2) as f64 * frac) as usize;
+        let g = gen::erdos_renyi(n, m, seed);
+        let hist = stats::degree_histogram(&g);
+        let total_deg: usize = hist.iter().enumerate().map(|(d, &c)| d * c).sum();
+        prop_assert_eq!(total_deg as u64, 2 * g.num_undirected_edges());
+        let gini = stats::degree_gini(&g);
+        prop_assert!((0.0..=1.0).contains(&gini));
+    }
+
+    #[test]
+    fn prop_components_partition_vertices(n in 2usize..150, frac in 0.0f64..0.3, seed in 0u64..50) {
+        let m = ((n * (n - 1) / 2) as f64 * frac) as usize;
+        let g = gen::erdos_renyi(n, m, seed);
+        let comp = traversal::connected_components(&g);
+        prop_assert_eq!(comp.len(), n);
+        // Endpoints of every edge share a component.
+        for (u, v) in g.arcs() {
+            prop_assert_eq!(comp[u as usize], comp[v as usize]);
+        }
+        // Component count + non-isolated structure is consistent.
+        let k = traversal::num_components(&g);
+        prop_assert!(k >= 1 || n == 0);
+        prop_assert!(k <= n);
+    }
+
+    #[test]
+    fn prop_bfs_distance_triangle(n in 5usize..100, frac in 0.1f64..0.8, seed in 0u64..50) {
+        let m = ((n * (n - 1) / 2) as f64 * frac).max(1.0) as usize;
+        let g = gen::erdos_renyi(n, m, seed);
+        let d0 = traversal::bfs_distances(&g, 0);
+        // Adjacent vertices differ by at most 1 in BFS distance.
+        for (u, v) in g.arcs() {
+            let (du, dv) = (d0[u as usize], d0[v as usize]);
+            if du != u32::MAX && dv != u32::MAX {
+                prop_assert!(du.abs_diff(dv) <= 1, "BFS Lipschitz violated on {u}-{v}");
+            } else {
+                prop_assert_eq!(du, dv, "one endpoint reachable, the other not");
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's headline qualitative claims, asserted at test scale.
+//! EXPERIMENTS.md records the full-scale quantitative versions.
+
+use bc_core::{BcOptions, Method, RootSelection, SamplingParams};
+use bc_gpusim::SimError;
+use bc_graph::{DatasetId, GraphStats};
+
+fn opts(k: usize) -> BcOptions {
+    BcOptions { roots: RootSelection::Strided(k), ..Default::default() }
+}
+
+/// §IV-A / Table III: the work-efficient method dominates on every
+/// high-diameter class.
+#[test]
+fn work_efficient_dominates_high_diameter_classes() {
+    // Mid-size instances so frontier work dwarfs per-level overhead;
+    // luxembourg needs a larger slice (its edge list is tiny, so at
+    // small n both methods are sync-bound — a real effect Figure 5
+    // also shows).
+    for (d, reduction) in [
+        (DatasetId::LuxembourgOsm, 2),
+        (DatasetId::DelaunayN20, 4),
+        (DatasetId::AfShell9, 4),
+    ] {
+        let g = d.generate(reduction, 1);
+        let we = Method::WorkEfficient.run(&g, &opts(24)).unwrap().report.full_seconds;
+        let ep = Method::EdgeParallel.run(&g, &opts(24)).unwrap().report.full_seconds;
+        assert!(
+            ep > 2.0 * we,
+            "{}: EP {ep} should lose to WE {we} clearly",
+            d.name()
+        );
+    }
+}
+
+/// §IV-B: the hybrid and sampling methods are never much worse than
+/// the best single strategy on *any* class (the generality claim).
+#[test]
+fn adaptive_methods_are_performance_portable() {
+    for d in DatasetId::ALL {
+        let g = d.generate(5, 2);
+        let k = 48;
+        let we = Method::WorkEfficient.run(&g, &opts(k)).unwrap().report.full_seconds;
+        let ep = Method::EdgeParallel.run(&g, &opts(k)).unwrap().report.full_seconds;
+        let best = we.min(ep);
+        let n = g.num_vertices();
+        for m in [
+            Method::Hybrid(Default::default()),
+            Method::Sampling(SamplingParams {
+                n_samps: (512 * k / n.max(1)).max(3),
+                ..Default::default()
+            }),
+        ] {
+            let t = m.run(&g, &opts(k)).unwrap().report.full_seconds;
+            assert!(
+                t < 1.8 * best,
+                "{} on {}: {t} vs best single strategy {best}",
+                m.name(),
+                d.name()
+            );
+        }
+    }
+}
+
+/// §IV-C: Algorithm 5's decision matches the structural class for
+/// all ten datasets.
+#[test]
+fn sampling_decision_matches_class_on_all_datasets() {
+    // Algorithm 5 compares a √n-scaling depth against a log n
+    // threshold, so the classifier needs non-toy instances to be in
+    // its operating regime (at full scale the margin is enormous);
+    // reduction 4 = 1/16 of the published sizes.
+    for d in DatasetId::ALL {
+        let g = d.generate(4, 7);
+        let n = g.num_vertices();
+        let k = 48.min(n);
+        let run = Method::Sampling(SamplingParams { n_samps: 24.min(k / 2).max(3), ..Default::default() })
+            .run(&g, &opts(k))
+            .unwrap();
+        let chose_ep = run.report.sampling_chose_edge_parallel.unwrap();
+        assert_eq!(
+            chose_ep,
+            !d.prefers_work_efficient(),
+            "{}: Algorithm 5 chose edge-parallel = {chose_ep} (n = {n})",
+            d.name()
+        );
+    }
+}
+
+/// §III-B / Figure 5: GPU-FAN's O(n²) predecessor matrix exhausts the
+/// 6 GB Titan between 2^15 and 2^16 vertices; the paper's methods
+/// survive every Table II scale.
+#[test]
+fn gpu_fan_memory_wall() {
+    let small = DatasetId::DelaunayN20.generate(6, 3); // ~16k vertices
+    assert!(Method::GpuFan.run(&small, &opts(4)).is_ok());
+    let big = DatasetId::DelaunayN20.generate(4, 3); // ~65k vertices
+    assert!(matches!(
+        Method::GpuFan.run(&big, &opts(4)),
+        Err(SimError::OutOfMemory { .. })
+    ));
+    assert!(Method::WorkEfficient.run(&big, &opts(4)).is_ok());
+    assert!(Method::Sampling(Default::default()).run(&big, &opts(4)).is_ok());
+}
+
+/// Figure 3: peak vertex-frontier fraction separates the classes —
+/// over half of all vertices for small-world/scale-free graphs, a
+/// sliver for meshes and roads.
+#[test]
+fn frontier_peaks_separate_classes() {
+    use bc_core::frontier::trace_root;
+    let device = bc_gpusim::DeviceConfig::gtx_titan();
+    for d in [DatasetId::Smallworld, DatasetId::KronG500Logn20] {
+        let g = d.small_instance(5);
+        let t = trace_root(&g, 0, &device);
+        // Kron roots can be isolated; probe a few roots for the max.
+        let peak = (0..4u32)
+            .map(|r| {
+                trace_root(&g, r * (g.num_vertices() as u32 / 4), &device)
+                    .peak_fraction(g.num_vertices())
+            })
+            .fold(t.peak_fraction(g.num_vertices()), f64::max);
+        assert!(peak > 0.35, "{}: explosive frontier expected, peak {peak}", d.name());
+    }
+    for d in [DatasetId::LuxembourgOsm, DatasetId::RggN2_20, DatasetId::AfShell9] {
+        let g = d.generate(4, 5);
+        let t = trace_root(&g, 0, &device);
+        let peak = t.peak_fraction(g.num_vertices());
+        assert!(peak < 0.12, "{}: gradual frontier expected, peak {peak}", d.name());
+    }
+}
+
+/// §IV-B: choosing edge-parallel where work-efficient is right is
+/// far more costly than the reverse mistake.
+#[test]
+fn wrong_choice_asymmetry() {
+    let road = DatasetId::LuxembourgOsm.generate(3, 1);
+    let sw = DatasetId::Smallworld.generate(3, 1);
+    let k = 24;
+    let ep_penalty = Method::EdgeParallel.run(&road, &opts(k)).unwrap().report.full_seconds
+        / Method::WorkEfficient.run(&road, &opts(k)).unwrap().report.full_seconds;
+    let we_penalty = Method::WorkEfficient.run(&sw, &opts(k)).unwrap().report.full_seconds
+        / Method::EdgeParallel.run(&sw, &opts(k)).unwrap().report.full_seconds;
+    assert!(
+        ep_penalty > 2.0 * we_penalty,
+        "EP-on-road penalty ({ep_penalty:.1}x) must dwarf WE-on-smallworld ({we_penalty:.1}x)"
+    );
+}
+
+/// Table II sanity: the analogue statistics land in the published
+/// structural classes at full-ish scale for the small graphs.
+#[test]
+fn smallworld_analogue_matches_table2_row() {
+    // smallworld is cheap enough to generate at the paper's full
+    // scale (n = 100,000, m ≈ 500,000, diameter 9).
+    let g = DatasetId::Smallworld.generate(0, 4);
+    let s = GraphStats::compute_with_limit(&g, 0);
+    assert_eq!(s.vertices, 100_000);
+    assert!((s.edges as f64 - 499_998.0).abs() / 499_998.0 < 0.02, "m = {}", s.edges);
+    assert!(s.diameter <= 12, "diameter {} (paper: 9)", s.diameter);
+    assert!(s.max_degree <= 25, "max degree {} (paper: 17)", s.max_degree);
+}
