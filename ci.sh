@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a bench smoke run.
+#
+#   ./ci.sh        # build + tests + bench_trajectory smoke
+#   ./ci.sh fast   # build + tests only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" != "fast" ]]; then
+    # Smoke-scale trajectory: few roots, 2-thread parallel arm. The
+    # binary itself asserts bitwise thread-invariance of scores and
+    # simulated times on every (graph, method) pair.
+    echo "==> bench_trajectory smoke"
+    cargo run -q -p bc-bench --release --bin bench_trajectory -- --roots 8 --threads 2
+fi
+
+echo "==> ci OK"

@@ -1,0 +1,131 @@
+//! Bench trajectory: host wall-clock of the parallel multi-root
+//! runner at 1 and N threads across the generator suite, with the
+//! simulated device numbers held fixed.
+//!
+//! The parallel runner's contract is that the thread count changes
+//! *wall-clock* time only: scores are bitwise identical and the
+//! simulated `RunReport` (full_seconds, MTEPS) is unchanged, because
+//! per-root pricing is root-pure and merged in shard order. This
+//! binary measures the wall-clock trajectory and verifies the
+//! contract on every row, writing `results/BENCH_parallel.json`.
+//!
+//! Flags: `--roots K` (strided sample, default 96), `--threads N`
+//! (parallel arm, default = all host cores), `--seed S`.
+
+use bc_bench::{fmt_seconds, print_table, write_json, Args};
+use bc_core::{BcOptions, HybridParams, Method, RootSelection};
+use bc_graph::{gen, Csr};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchRecord {
+    graph: String,
+    n: usize,
+    m: u64,
+    method: String,
+    threads: usize,
+    wall_seconds: f64,
+    simulated_seconds: f64,
+    mteps: f64,
+}
+
+#[derive(Serialize)]
+struct BenchTrajectory {
+    /// Cores the host actually exposes — speedup is bounded by this,
+    /// whatever thread count was requested.
+    host_cores: usize,
+    parallel_threads: usize,
+    roots: usize,
+    seed: u64,
+    records: Vec<BenchRecord>,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seed = args.seed();
+    let roots = args.roots(96);
+    let host_cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let par_threads: usize = args.get("threads", host_cores.max(2));
+
+    let graphs: Vec<(&str, Csr)> = vec![
+        ("smallworld", gen::watts_strogatz(50_000, 10, 0.1, seed)),
+        ("mesh", gen::triangulated_grid(200, 250, seed)),
+        ("road", gen::road_network(50_000, seed)),
+        ("kron", gen::kronecker(15, 8, seed)),
+    ];
+    let methods = [Method::WorkEfficient, Method::Hybrid(HybridParams::default())];
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for (name, g) in &graphs {
+        for method in &methods {
+            let run_at = |threads: usize| {
+                let opts = BcOptions {
+                    roots: RootSelection::Strided(roots),
+                    threads,
+                    ..Default::default()
+                };
+                let t = Instant::now();
+                let run = method.run(g, &opts).expect("fits in device memory");
+                (t.elapsed().as_secs_f64(), run)
+            };
+            let (wall_1, run_1) = run_at(1);
+            let (wall_n, run_n) = run_at(par_threads);
+
+            // The contract this harness exists to watch: thread count
+            // must not perturb a single bit of the results.
+            assert_eq!(run_1.scores, run_n.scores, "{name}/{}", method.name());
+            assert_eq!(
+                run_1.report.full_seconds, run_n.report.full_seconds,
+                "{name}/{}: simulated time must not depend on host threads",
+                method.name()
+            );
+
+            for (threads, wall, run) in [(1, wall_1, &run_1), (par_threads, wall_n, &run_n)] {
+                records.push(BenchRecord {
+                    graph: name.to_string(),
+                    n: g.num_vertices(),
+                    m: g.num_undirected_edges(),
+                    method: method.name().to_string(),
+                    threads,
+                    wall_seconds: wall,
+                    simulated_seconds: run.report.full_seconds,
+                    mteps: run.report.mteps(),
+                });
+            }
+            rows.push(vec![
+                name.to_string(),
+                method.name().to_string(),
+                g.num_vertices().to_string(),
+                g.num_undirected_edges().to_string(),
+                fmt_seconds(wall_1),
+                fmt_seconds(wall_n),
+                format!("{:.2}x", wall_1 / wall_n.max(1e-12)),
+                fmt_seconds(run_1.report.full_seconds),
+                format!("{:.1}", run_1.report.mteps()),
+            ]);
+        }
+    }
+
+    println!(
+        "parallel runner trajectory: {roots} strided roots, 1 vs {par_threads} threads \
+         ({host_cores} host cores)\n"
+    );
+    print_table(
+        &["graph", "method", "n", "m", "wall@1", &format!("wall@{par_threads}"), "speedup",
+          "sim-full", "MTEPS"],
+        &rows,
+    );
+
+    write_json(
+        "BENCH_parallel",
+        &BenchTrajectory {
+            host_cores,
+            parallel_threads: par_threads,
+            roots,
+            seed,
+            records,
+        },
+    );
+}

@@ -9,7 +9,7 @@ use bc_gpusim::DeviceConfig;
 pub enum RunMethod {
     /// Host-side sequential Brandes.
     Sequential,
-    /// Host-side rayon-parallel Brandes.
+    /// Host-side multi-threaded Brandes.
     CpuParallel,
     /// One of the six simulated GPU methods.
     Simulated(Method),
@@ -44,6 +44,8 @@ pub struct Cli {
     pub roots: RootSelection,
     /// Simulated device.
     pub device: DeviceConfig,
+    /// Host threads for the multi-root runner (0 = auto).
+    pub threads: usize,
     /// Normalize scores.
     pub normalize: bool,
     /// Print the top-K vertices.
@@ -77,6 +79,8 @@ COMPUTATION:
                        hybrid | sampling             [default: sampling]
     --roots R          all | a number K (strided sample)  [default: all]
     --device D         titan | m2090                    [default: titan]
+    --threads T        host threads for the multi-root runner; scores
+                       are bitwise identical at any count [default: auto]
     --normalize        scale scores by (n-1)(n-2)[/2]
 
 OUTPUT:
@@ -96,6 +100,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         method: RunMethod::Simulated(Method::Sampling(SamplingParams::default())),
         roots: RootSelection::All,
         device: DeviceConfig::gtx_titan(),
+        threads: 0,
         normalize: false,
         top: 10,
         out: None,
@@ -130,6 +135,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     "m2090" => DeviceConfig::tesla_m2090(),
                     other => return Err(format!("unknown device '{other}'")),
                 }
+            }
+            "--threads" => {
+                cli.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?
             }
             "--normalize" => cli.normalize = true,
             "--top" => cli.top = value()?.parse().map_err(|e| format!("--top: {e}"))?,
@@ -180,13 +188,14 @@ mod tests {
     fn full_flag_set() {
         let cli = parse(&s(&[
             "--graph", "g.mtx", "--method", "we", "--roots", "128", "--device", "m2090",
-            "--normalize", "--top", "5", "--out", "scores.txt", "--json",
+            "--threads", "4", "--normalize", "--top", "5", "--out", "scores.txt", "--json",
         ]))
         .unwrap();
         assert_eq!(cli.graph.as_deref(), Some("g.mtx"));
         assert_eq!(cli.method.name(), "work-efficient");
         assert_eq!(cli.roots, RootSelection::Strided(128));
         assert_eq!(cli.device.name, "Tesla M2090");
+        assert_eq!(cli.threads, 4);
         assert!(cli.normalize && cli.json);
         assert_eq!(cli.top, 5);
         assert_eq!(cli.out.as_deref(), Some("scores.txt"));

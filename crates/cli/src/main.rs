@@ -7,7 +7,7 @@
 mod args;
 
 use args::{Cli, RunMethod};
-use bc_core::{brandes, cpu_parallel, BcOptions, RootSelection};
+use bc_core::{brandes, BcOptions, RootSelection};
 use bc_graph::{io, Csr, DatasetId};
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -72,7 +72,7 @@ fn run(cli: &Cli) -> Result<(), String> {
                 RunMethod::Sequential => {
                     brandes::betweenness_from_roots(&g, roots.iter().copied())
                 }
-                _ => cpu_parallel::betweenness_from_roots(&g, &roots),
+                _ => bc_core::parallel::cpu_betweenness_from_roots(&g, &roots, cli.threads),
             };
             if cli.normalize {
                 brandes::normalize(&mut scores, g.is_symmetric());
@@ -90,6 +90,7 @@ fn run(cli: &Cli) -> Result<(), String> {
                 device: cli.device.clone(),
                 roots: cli.roots.clone(),
                 normalize: cli.normalize,
+                threads: cli.threads,
             };
             let run = method.run(&g, &opts).map_err(|e| e.to_string())?;
             eprintln!(

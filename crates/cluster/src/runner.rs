@@ -12,8 +12,8 @@ use crate::partition;
 use bc_core::{BcOptions, Method, RootSelection};
 use bc_gpusim::{DeviceConfig, SimError};
 use bc_graph::Csr;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::thread;
 
 /// A cluster of identical nodes, each hosting `gpus_per_node`
 /// identical GPUs.
@@ -103,50 +103,55 @@ pub fn run_cluster(g: &Csr, cfg: &ClusterConfig, sample_roots: usize) -> Result<
     let roots = RootSelection::Strided(sample_roots.min(n)).resolve(n);
     let parts = partition::strided(&roots, gpus);
 
-    /// (sampled root count, summed block-seconds) from one GPU.
-    type GpuOutcome = Result<(usize, f64), SimError>;
-    let scores = Mutex::new(vec![0.0f64; n]);
-    let results: Mutex<Vec<(usize, GpuOutcome)>> = Mutex::new(Vec::with_capacity(gpus));
+    // Within each simulated GPU, the per-root engine is itself
+    // sharded across the host threads left over after one thread per
+    // GPU; results stay bitwise deterministic regardless.
+    let inner_threads = (bc_core::effective_threads(0) / gpus).max(1);
 
-    crossbeam::thread::scope(|scope| {
-        for (gpu, part) in parts.iter().enumerate() {
-            let scores = &scores;
-            let results = &results;
-            let cfg = &cfg;
-            scope.spawn(move |_| {
-                let opts = BcOptions {
-                    device: cfg.device.clone(),
-                    roots: RootSelection::Explicit(part.clone()),
-                    normalize: false,
-                };
-                let outcome = cfg.method.run(g, &opts).map(|run| {
-                    let mut total = scores.lock();
-                    for (t, s) in total.iter_mut().zip(&run.scores) {
-                        *t += s;
-                    }
+    /// (per-GPU scores, sampled root count, summed block-seconds).
+    type GpuOutcome = Result<(Vec<f64>, usize, f64), SimError>;
+    // Spawn one worker per GPU, then join **in GPU index order** and
+    // merge scores in that order — the accumulation order (and hence
+    // every last bit of the result) no longer depends on which worker
+    // finishes first.
+    let per_gpu: Vec<GpuOutcome> = thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|part| {
+                scope.spawn(move || -> GpuOutcome {
+                    let opts = BcOptions {
+                        device: cfg.device.clone(),
+                        roots: RootSelection::Explicit(part.clone()),
+                        normalize: false,
+                        threads: inner_threads,
+                    };
+                    let run = cfg.method.run(g, &opts)?;
                     // Total block-seconds, not makespan: a handful of
                     // sampled roots underfills the SMs, and
                     // extrapolating the makespan would hide the
                     // serialization the full root share experiences.
                     let block_seconds: f64 = run.report.per_root_seconds.iter().sum();
-                    (run.report.roots_processed, block_seconds)
-                });
-                results.lock().push((gpu, outcome));
-            });
-        }
-    })
-    .expect("GPU worker thread panicked");
-
-    let mut per_gpu = results.into_inner();
-    per_gpu.sort_by_key(|(gpu, _)| *gpu);
+                    Ok((run.scores, run.report.roots_processed, block_seconds))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("GPU worker thread panicked"))
+            .collect()
+    });
 
     // Extrapolate each GPU's sampled device time to its share of all
     // n roots.
     let sms = cfg.device.num_sms as f64;
+    let mut scores = vec![0.0f64; n];
     let mut gpu_seconds = Vec::with_capacity(gpus);
     let mut mean_pool = Vec::new();
-    for (gpu, outcome) in per_gpu {
-        let (sampled, block_secs) = outcome?;
+    for (gpu, outcome) in per_gpu.into_iter().enumerate() {
+        let (gpu_scores, sampled, block_secs) = outcome?;
+        for (t, s) in scores.iter_mut().zip(&gpu_scores) {
+            *t += s;
+        }
         let share = partition::strided_share(n, gpu, gpus);
         // The GPU's full-run time: its share of roots at the sampled
         // mean block-time, spread across its SMs.
@@ -185,7 +190,7 @@ pub fn run_cluster(g: &Csr, cfg: &ClusterConfig, sample_roots: usize) -> Result<
     };
 
     Ok(ClusterRun {
-        scores: scores.into_inner(),
+        scores,
         report: ClusterReport {
             nodes: cfg.nodes,
             gpus,
@@ -266,6 +271,18 @@ mod tests {
         assert_eq!(run.report.gpus, 24);
         assert!(run.report.gpu_seconds.iter().all(|t| t.is_finite()));
         assert!(run.report.total_seconds > 0.0);
+    }
+
+    #[test]
+    fn cluster_runs_are_bitwise_deterministic() {
+        // GPU-order merge: repeated runs must agree to the last bit
+        // even though worker completion order varies.
+        let g = gen::watts_strogatz(300, 6, 0.1, 2);
+        let cfg = ClusterConfig::keeneland(2);
+        let a = run_cluster(&g, &cfg, 96).unwrap();
+        let b = run_cluster(&g, &cfg, 96).unwrap();
+        assert_eq!(a.scores, b.scores);
+        assert_eq!(a.report.total_seconds, b.report.total_seconds);
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! sweep accumulating dependencies `δ` (Eq. 2 of the paper).
 
 use bc_graph::{Csr, VertexId};
-use std::collections::VecDeque;
 
 /// Result of a single-source shortest-path phase.
 #[derive(Clone, Debug)]
@@ -20,36 +19,119 @@ pub struct SingleSource {
     pub order: Vec<VertexId>,
 }
 
+/// Reusable buffers for a multi-root sequence of Brandes searches:
+/// the single-source state plus the δ scratch of the accumulation
+/// phase. Resets cost O(reached), not O(n), so a root touching a
+/// small component pays only for that component.
+pub struct BrandesWorkspace {
+    ss: SingleSource,
+    delta: Vec<f64>,
+}
+
+impl BrandesWorkspace {
+    /// Allocate buffers for an `n`-vertex graph.
+    pub fn new(n: usize) -> Self {
+        BrandesWorkspace {
+            ss: SingleSource {
+                dist: vec![u32::MAX; n],
+                sigma: vec![0.0f64; n],
+                order: Vec::with_capacity(n),
+            },
+            delta: vec![0.0f64; n],
+        }
+    }
+
+    /// The most recent search's state (valid after
+    /// [`single_source_into`]).
+    pub fn search(&self) -> &SingleSource {
+        &self.ss
+    }
+
+    /// Consume the workspace, keeping the search state.
+    pub fn into_search(self) -> SingleSource {
+        self.ss
+    }
+}
+
 /// Run the shortest-path counting phase from `source`.
 pub fn single_source(g: &Csr, source: VertexId) -> SingleSource {
-    let n = g.num_vertices();
-    let mut dist = vec![u32::MAX; n];
-    let mut sigma = vec![0.0f64; n];
-    let mut order = Vec::with_capacity(n);
-    let mut q = VecDeque::new();
-    dist[source as usize] = 0;
-    sigma[source as usize] = 1.0;
-    q.push_back(source);
-    while let Some(v) = q.pop_front() {
-        order.push(v);
-        let dv = dist[v as usize];
+    let mut ws = BrandesWorkspace::new(g.num_vertices());
+    single_source_into(g, source, &mut ws);
+    ws.into_search()
+}
+
+/// [`single_source`] into a reused workspace: only the vertices the
+/// *previous* search reached are reset (they are exactly the dirty
+/// entries — dist/sigma are written only on discovery), and the
+/// `order` vector doubles as the BFS queue via a head cursor, so the
+/// whole phase allocates nothing in steady state.
+pub fn single_source_into(g: &Csr, source: VertexId, ws: &mut BrandesWorkspace) {
+    let ss = &mut ws.ss;
+    for &v in &ss.order {
+        ss.dist[v as usize] = u32::MAX;
+        ss.sigma[v as usize] = 0.0;
+    }
+    ss.order.clear();
+    ss.dist[source as usize] = 0;
+    ss.sigma[source as usize] = 1.0;
+    ss.order.push(source);
+    let mut head = 0;
+    while head < ss.order.len() {
+        let v = ss.order[head];
+        head += 1;
+        let dv = ss.dist[v as usize];
         for &w in g.neighbors(v) {
-            if dist[w as usize] == u32::MAX {
-                dist[w as usize] = dv + 1;
-                q.push_back(w);
+            if ss.dist[w as usize] == u32::MAX {
+                ss.dist[w as usize] = dv + 1;
+                ss.order.push(w);
             }
-            if dist[w as usize] == dv + 1 {
-                sigma[w as usize] += sigma[v as usize];
+            if ss.dist[w as usize] == dv + 1 {
+                ss.sigma[w as usize] += ss.sigma[v as usize];
             }
         }
     }
-    SingleSource { dist, sigma, order }
 }
 
 /// Accumulate the dependencies of `source` into `bc`
 /// (`bc[v] += δ_s(v)` for all `v ≠ s`).
 pub fn accumulate(g: &Csr, source: VertexId, ss: &SingleSource, bc: &mut [f64]) {
-    let mut delta = vec![0.0f64; g.num_vertices()];
+    let mut scratch = Vec::new();
+    accumulate_into(&mut scratch, g, source, ss, bc);
+}
+
+/// [`accumulate`] with a caller-owned δ scratch vector, avoiding the
+/// per-root `vec![0.0; n]`. `scratch` is grown to `n` as needed; its
+/// entries must be zero on entry (an empty or freshly returned vector
+/// qualifies), and the function restores them to zero before
+/// returning by sweeping the search order.
+pub fn accumulate_into(
+    scratch: &mut Vec<f64>,
+    g: &Csr,
+    source: VertexId,
+    ss: &SingleSource,
+    bc: &mut [f64],
+) {
+    scratch.resize(g.num_vertices(), 0.0);
+    accumulate_core(g, source, ss, scratch, bc);
+}
+
+/// [`accumulate`] reading the search state out of a reused
+/// [`BrandesWorkspace`] and using its δ scratch.
+pub fn accumulate_from_workspace(
+    g: &Csr,
+    source: VertexId,
+    ws: &mut BrandesWorkspace,
+    bc: &mut [f64],
+) {
+    let BrandesWorkspace { ss, delta } = ws;
+    accumulate_core(g, source, ss, delta, bc);
+}
+
+/// Shared accumulation kernel. `delta` must be zero at every index on
+/// entry; it is re-zeroed (O(reached) sweep of `ss.order`) on exit —
+/// every read and write lands on a reached vertex, so the sweep
+/// restores the invariant exactly.
+fn accumulate_core(g: &Csr, source: VertexId, ss: &SingleSource, delta: &mut [f64], bc: &mut [f64]) {
     for &w in ss.order.iter().rev() {
         for &v in g.neighbors(w) {
             // v is a successor of w iff dist[v] == dist[w] + 1; the
@@ -64,6 +146,20 @@ pub fn accumulate(g: &Csr, source: VertexId, ss: &SingleSource, bc: &mut [f64]) 
         }
         if w != source {
             bc[w as usize] += delta[w as usize];
+        }
+    }
+    for &w in &ss.order {
+        delta[w as usize] = 0.0;
+    }
+}
+
+/// Halve `scores` when `g` is symmetric — undirected runs count each
+/// path from both endpoints. The single shared epilogue used by every
+/// driver (sequential, CPU-parallel, simulated GPU, cluster).
+pub fn halve_if_symmetric(g: &Csr, scores: &mut [f64]) {
+    if g.is_symmetric() {
+        for s in scores.iter_mut() {
+            *s *= 0.5;
         }
     }
 }
@@ -82,15 +178,12 @@ pub fn betweenness(g: &Csr) -> Vec<f64> {
 /// approximation and distributed drivers).
 pub fn betweenness_from_roots(g: &Csr, roots: impl IntoIterator<Item = VertexId>) -> Vec<f64> {
     let mut bc = vec![0.0f64; g.num_vertices()];
+    let mut ws = BrandesWorkspace::new(g.num_vertices());
     for s in roots {
-        let ss = single_source(g, s);
-        accumulate(g, s, &ss, &mut bc);
+        single_source_into(g, s, &mut ws);
+        accumulate_from_workspace(g, s, &mut ws, &mut bc);
     }
-    if g.is_symmetric() {
-        for b in bc.iter_mut() {
-            *b *= 0.5;
-        }
-    }
+    halve_if_symmetric(g, &mut bc);
     bc
 }
 
@@ -106,8 +199,10 @@ pub fn edge_betweenness(g: &Csr) -> Vec<f64> {
     let n = g.num_vertices();
     let mut ebc = vec![0.0f64; g.num_directed_edges()];
     let mut delta = vec![0.0f64; n];
+    let mut ws = BrandesWorkspace::new(n);
     for s in g.vertices() {
-        let ss = single_source(g, s);
+        single_source_into(g, s, &mut ws);
+        let ss = ws.search();
         delta.fill(0.0);
         for &w in ss.order.iter().rev() {
             for (e, &v) in g.edge_range(w).zip(g.neighbors(w)) {
@@ -121,11 +216,7 @@ pub fn edge_betweenness(g: &Csr) -> Vec<f64> {
             }
         }
     }
-    if g.is_symmetric() {
-        for b in ebc.iter_mut() {
-            *b *= 0.5;
-        }
-    }
+    halve_if_symmetric(g, &mut ebc);
     ebc
 }
 
@@ -376,6 +467,37 @@ mod tests {
             (total - dist_sum as f64).abs() < 1e-6,
             "edge BC total {total} vs pair distance sum {dist_sum}"
         );
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_searches() {
+        // Disconnected components stress the O(reached) reset: state
+        // left by a big-component search must not leak into a search
+        // rooted in the small one.
+        let g = Csr::from_undirected_edges(7, [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]);
+        let mut ws = BrandesWorkspace::new(7);
+        for s in [0u32, 4, 3, 6, 0] {
+            single_source_into(&g, s, &mut ws);
+            let fresh = single_source(&g, s);
+            assert_eq!(ws.search().dist, fresh.dist, "root {s}");
+            assert_eq!(ws.search().sigma, fresh.sigma, "root {s}");
+            assert_eq!(ws.search().order, fresh.order, "root {s}");
+        }
+    }
+
+    #[test]
+    fn accumulate_into_reuses_scratch() {
+        let g = gen::grid(3, 4);
+        let mut scratch = Vec::new();
+        let mut bc_scratch = vec![0.0; 12];
+        let mut bc_plain = vec![0.0; 12];
+        for s in g.vertices() {
+            let ss = single_source(&g, s);
+            accumulate_into(&mut scratch, &g, s, &ss, &mut bc_scratch);
+            accumulate(&g, s, &ss, &mut bc_plain);
+        }
+        assert_eq!(bc_scratch, bc_plain);
+        assert!(scratch.iter().all(|&d| d == 0.0), "scratch must leave zeroed");
     }
 
     #[test]

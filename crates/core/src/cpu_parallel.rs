@@ -1,54 +1,34 @@
-//! Multi-core CPU baseline: coarse-grained Brandes over roots with
-//! rayon.
+//! Multi-core CPU baseline: coarse-grained Brandes over roots.
 //!
-//! Each worker owns a private accumulator (the roots are independent
-//! — the same property the paper exploits across thread blocks and
-//! across GPUs), merged pairwise by rayon's reduction tree. This is
-//! the host-side reference for the examples and a sanity baseline
-//! for the simulated numbers.
+//! Each worker owns a private accumulator and a reused
+//! [`crate::brandes::BrandesWorkspace`] (the roots are independent —
+//! the same property the paper exploits across thread blocks and
+//! across GPUs). Shards are merged **in shard-index order** by the
+//! deterministic runner in [`crate::parallel`], so — unlike the old
+//! reduction-tree formulation, whose merge association depended on
+//! worker scheduling — the result is bitwise identical at any thread
+//! count. This is the host-side reference for the examples and a
+//! sanity baseline for the simulated numbers.
 
-use crate::brandes;
+use crate::parallel;
 use bc_graph::{Csr, VertexId};
-use rayon::prelude::*;
 
 /// Exact betweenness centrality using all available CPU cores.
 pub fn betweenness(g: &Csr) -> Vec<f64> {
     betweenness_from_roots(g, &(0..g.num_vertices() as u32).collect::<Vec<_>>())
 }
 
-/// Parallel BC contributions from an explicit root set.
+/// Parallel BC contributions from an explicit root set (symmetric
+/// halving applied, matching [`brandes::betweenness_from_roots`]).
+/// Thread count resolves per [`parallel::effective_threads`]`(0)`.
 pub fn betweenness_from_roots(g: &Csr, roots: &[VertexId]) -> Vec<f64> {
-    let n = g.num_vertices();
-    let mut bc = roots
-        .par_iter()
-        .fold(
-            || vec![0.0f64; n],
-            |mut acc, &s| {
-                let ss = brandes::single_source(g, s);
-                brandes::accumulate(g, s, &ss, &mut acc);
-                acc
-            },
-        )
-        .reduce(
-            || vec![0.0f64; n],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x += y;
-                }
-                a
-            },
-        );
-    if g.is_symmetric() {
-        for b in bc.iter_mut() {
-            *b *= 0.5;
-        }
-    }
-    bc
+    parallel::cpu_betweenness_from_roots(g, roots, 0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::brandes;
     use bc_graph::gen;
 
     #[test]
@@ -79,5 +59,15 @@ mod tests {
         let g = gen::path(8);
         let bc = betweenness_from_roots(&g, &[]);
         assert!(bc.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let g = gen::watts_strogatz(200, 6, 0.2, 3);
+        let roots: Vec<u32> = (0..200).collect();
+        let one = parallel::cpu_betweenness_from_roots(&g, &roots, 1);
+        for t in [2usize, 4, 8] {
+            assert_eq!(parallel::cpu_betweenness_from_roots(&g, &roots, t), one);
+        }
     }
 }

@@ -107,9 +107,16 @@ impl SearchWorkspace {
     }
 
     fn reset(&mut self, root: VertexId) {
-        self.dist.fill(INFINITY);
-        self.sigma.fill(0.0);
-        self.delta.fill(0.0);
+        // O(reached) reset: every dirty entry of dist/sigma/delta
+        // belongs to a vertex the previous search pushed onto `s`
+        // (dist and sigma are only written on discovery, delta only
+        // for stack members), so sweeping the old stack restores the
+        // pristine state without an O(n) fill.
+        for &v in &self.s {
+            self.dist[v as usize] = INFINITY;
+            self.sigma[v as usize] = 0.0;
+            self.delta[v as usize] = 0.0;
+        }
         self.s.clear();
         self.ends.clear();
         self.dist[root as usize] = 0;
@@ -155,6 +162,18 @@ pub struct RootOutcome {
     pub forward_level_seconds: Vec<f64>,
 }
 
+impl RootOutcome {
+    /// Clear for reuse without dropping the trace buffers.
+    pub fn reset(&mut self) {
+        self.counters = KernelCounters::default();
+        self.max_depth = 0;
+        self.reached = 0;
+        self.frontier_sizes.clear();
+        self.edge_frontier_sizes.clear();
+        self.forward_level_seconds.clear();
+    }
+}
+
 /// Run one root's shortest-path counting + dependency accumulation,
 /// adding δ contributions into `bc`, pricing every iteration with
 /// `model` on `device`.
@@ -167,6 +186,24 @@ pub fn process_root(
     bc: &mut [f64],
 ) -> RootOutcome {
     let mut out = RootOutcome::default();
+    process_root_into(g, root, device, ws, model, bc, &mut out);
+    out
+}
+
+/// [`process_root`] writing into a caller-owned [`RootOutcome`], so a
+/// multi-root loop reuses its trace buffers instead of reallocating
+/// them per root.
+#[allow(clippy::too_many_arguments)]
+pub fn process_root_into(
+    g: &Csr,
+    root: VertexId,
+    device: &DeviceConfig,
+    ws: &mut SearchWorkspace,
+    model: &mut dyn CostModel,
+    bc: &mut [f64],
+    out: &mut RootOutcome,
+) {
+    out.reset();
     ws.reset(root);
     model.begin_root(g, root);
 
@@ -267,7 +304,6 @@ pub fn process_root(
             bc[w as usize] += ws.delta[w as usize];
         }
     }
-    out
 }
 
 fn charge(counters: &mut KernelCounters, device: &DeviceConfig, priced: &PricedIteration) {
@@ -373,6 +409,42 @@ mod tests {
         assert_eq!(ws.sigma(), &[1.0, 1.0, 1.0, 1.0]);
         // δ along a path: δ(1) from successors 2,3...
         assert!(ws.delta()[1] > ws.delta()[2]);
+    }
+
+    #[test]
+    fn sweep_reset_matches_fresh_workspace() {
+        // Two components: searches from the small component must not
+        // see stale state left by the big one (and vice versa).
+        let g = Csr::from_undirected_edges(7, [(0, 1), (1, 2), (2, 3), (3, 0), (5, 6)]);
+        let device = DeviceConfig::gtx_titan();
+        let mut reused = SearchWorkspace::new(7);
+        for r in [0u32, 5, 4, 1, 6] {
+            let mut bc_reused = vec![0.0; 7];
+            let mut bc_fresh = vec![0.0; 7];
+            let out_reused =
+                process_root(&g, r, &device, &mut reused, &mut FreeModel, &mut bc_reused);
+            let mut fresh = SearchWorkspace::new(7);
+            let out_fresh =
+                process_root(&g, r, &device, &mut fresh, &mut FreeModel, &mut bc_fresh);
+            assert_eq!(bc_reused, bc_fresh, "root {r}");
+            assert_eq!(out_reused.reached, out_fresh.reached);
+            assert_eq!(reused.dist(), fresh.dist());
+            assert_eq!(reused.sigma(), fresh.sigma());
+        }
+    }
+
+    #[test]
+    fn root_outcome_reset_clears_traces() {
+        let g = gen::path(5);
+        let device = DeviceConfig::gtx_titan();
+        let mut ws = SearchWorkspace::new(5);
+        let mut bc = vec![0.0; 5];
+        let mut out = RootOutcome::default();
+        process_root_into(&g, 0, &device, &mut ws, &mut FreeModel, &mut bc, &mut out);
+        assert_eq!(out.reached, 5);
+        process_root_into(&g, 4, &device, &mut ws, &mut FreeModel, &mut bc, &mut out);
+        assert_eq!(out.frontier_sizes.len(), 5);
+        assert_eq!(out.reached, 5);
     }
 
     #[test]

@@ -31,9 +31,11 @@ pub mod cpu_parallel;
 pub mod engine;
 pub mod frontier;
 pub mod methods;
+pub mod parallel;
 mod solver;
 pub mod teps;
 pub mod weighted;
 
 pub use methods::models::{HybridParams, SamplingParams, Strategy};
+pub use parallel::{effective_threads, run_roots, RootsRun, ShardableCostModel};
 pub use solver::{run_with_cost_model, BcOptions, BcRun, Method, RootSelection, RunReport};

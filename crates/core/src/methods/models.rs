@@ -4,6 +4,7 @@
 
 use crate::engine::{CostModel, LevelInfo, Phase, PricedIteration};
 use crate::methods::cost;
+use crate::parallel::ShardableCostModel;
 use bc_graph::{Csr, VertexId};
 use bc_gpusim::DeviceConfig;
 use serde::{Deserialize, Serialize};
@@ -273,6 +274,61 @@ impl CostModel for SamplingPhaseModel {
                 cost::edge_parallel_level(g, device, level)
             }
         }
+    }
+}
+
+// ---- Shardability ----------------------------------------------------
+//
+// Every model's pricing is root-pure: `begin_root` resets all
+// per-root state (strategy, forward_choices), `trips` is cleared at
+// the top of each pricing call, and the remaining fields are either
+// fixed parameters or additive statistics. A fork therefore prices
+// any root exactly as the prototype would, and merging is a plain sum
+// of the iteration counters.
+
+impl ShardableCostModel for WorkEfficientModel {
+    fn fork(&self) -> Self {
+        WorkEfficientModel::with_config(self.config)
+    }
+}
+
+impl ShardableCostModel for EdgeParallelModel {
+    fn fork(&self) -> Self {
+        EdgeParallelModel
+    }
+}
+
+impl ShardableCostModel for VertexParallelModel {
+    fn fork(&self) -> Self {
+        VertexParallelModel::default()
+    }
+}
+
+impl ShardableCostModel for GpuFanModel {
+    fn fork(&self) -> Self {
+        GpuFanModel
+    }
+}
+
+impl ShardableCostModel for HybridModel {
+    fn fork(&self) -> Self {
+        HybridModel::new(self.params)
+    }
+
+    fn merge_worker(&mut self, worker: Self) {
+        self.work_efficient_iterations += worker.work_efficient_iterations;
+        self.edge_parallel_iterations += worker.edge_parallel_iterations;
+    }
+}
+
+impl ShardableCostModel for SamplingPhaseModel {
+    fn fork(&self) -> Self {
+        SamplingPhaseModel::new(self.min_frontier)
+    }
+
+    fn merge_worker(&mut self, worker: Self) {
+        self.work_efficient_iterations += worker.work_efficient_iterations;
+        self.edge_parallel_iterations += worker.edge_parallel_iterations;
     }
 }
 

@@ -1,0 +1,421 @@
+//! Parallel multi-root execution engine.
+//!
+//! Brandes' per-root searches are independent — the same
+//! coarse-grained parallelism the paper exploits across thread blocks
+//! (§III) and the cluster runner exploits across GPUs. This module
+//! shards a resolved root set across host threads while keeping the
+//! results **bitwise reproducible at any thread count**:
+//!
+//! * The shard partition depends only on the root count (never on the
+//!   thread count): at most [`MAX_SHARDS`] shards of equal size.
+//! * Each worker owns one reused [`SearchWorkspace`] and accumulates
+//!   each shard's δ contributions into a zeroed per-shard buffer, so
+//!   within-shard floating-point association is fixed.
+//! * Shard results are merged **in shard-index order** through an
+//!   ordered merger, regardless of completion order.
+//! * Cost models are forked per shard from a shared prototype
+//!   ([`ShardableCostModel::fork`]) and merged back in shard order, so
+//!   per-root *simulated* timing is identical to a sequential run
+//!   while *wall-clock* time drops with cores.
+//!
+//! One thread therefore produces exactly the same bytes as eight; the
+//! only tolerated difference is against the fully sequential
+//! single-accumulator path (different f64 association across shards,
+//! within 1e-9 on the equivalence tests).
+
+use crate::brandes;
+use crate::engine::{process_root_into, CostModel, FreeModel, RootOutcome, SearchWorkspace};
+use bc_graph::{Csr, VertexId};
+use bc_gpusim::{DeviceConfig, KernelCounters};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on the number of shards a root set is split into.
+///
+/// Fixing the partition at `ceil(roots / ceil(roots / MAX_SHARDS))`
+/// shards makes the floating-point merge order a function of the root
+/// count alone — the precondition for bitwise reproducibility across
+/// thread counts — while still exposing enough slack for dynamic load
+/// balancing on any realistic host.
+pub const MAX_SHARDS: usize = 64;
+
+/// A cost model that can be forked to worker shards and merged back.
+///
+/// The contract mirrors the engine's pricing semantics: pricing must
+/// be *root-pure* (a forked model prices any root exactly as the
+/// prototype would — all the in-tree models reset per-root state in
+/// [`CostModel::begin_root`] and keep only scratch buffers plus
+/// additive statistics), and [`merge_worker`] folds a fork's
+/// statistics back into the prototype. Merges are applied in
+/// shard-index order.
+///
+/// [`merge_worker`]: ShardableCostModel::merge_worker
+pub trait ShardableCostModel: CostModel + Send + Sync {
+    /// A fresh model pricing roots identically to `self`, with its
+    /// own scratch state.
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Fold a finished fork's statistics back into `self`. Models
+    /// without accumulated statistics keep the default no-op.
+    fn merge_worker(&mut self, _worker: Self)
+    where
+        Self: Sized,
+    {
+    }
+}
+
+impl ShardableCostModel for FreeModel {
+    fn fork(&self) -> Self {
+        FreeModel
+    }
+}
+
+/// Resolve a thread-count request: explicit `requested` wins, then
+/// the `RAYON_NUM_THREADS` environment variable (kept for continuity
+/// with the former rayon-based CPU path), then the host's available
+/// parallelism.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(k) = v.parse::<usize>() {
+            if k > 0 {
+                return k;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// Roots per shard for a given root count (the last shard may be
+/// short). Depends only on the root count.
+fn shard_size(num_roots: usize) -> usize {
+    num_roots.div_ceil(MAX_SHARDS).max(1)
+}
+
+/// Aggregated outcome of a sharded multi-root run, with per-root
+/// vectors in root order (exactly as a sequential loop would have
+/// produced them).
+#[derive(Clone, Debug)]
+pub struct RootsRun {
+    /// Summed δ contributions of all processed roots (no symmetry
+    /// halving, no normalization — the caller's epilogue applies
+    /// those).
+    pub scores: Vec<f64>,
+    /// Simulated block-seconds of each root, in root order.
+    pub per_root_seconds: Vec<f64>,
+    /// Max BFS depth of each root, in root order.
+    pub max_depths: Vec<u32>,
+    /// Work counters summed over all roots (shard-ordered merge).
+    pub counters: KernelCounters,
+}
+
+/// What one shard hands to the ordered merger besides its score
+/// accumulator.
+struct ShardMeta<M> {
+    first_root: usize,
+    per_root_seconds: Vec<f64>,
+    max_depths: Vec<u32>,
+    counters: KernelCounters,
+    model: M,
+}
+
+/// Merges per-shard score accumulators into the final vector in
+/// shard-index order, regardless of the order workers finish in, and
+/// recycles drained buffers so the steady state allocates nothing.
+struct OrderedMerger<Meta> {
+    n: usize,
+    state: Mutex<MergeInner<Meta>>,
+}
+
+struct MergeInner<Meta> {
+    /// Next shard index the merge is waiting on.
+    next: usize,
+    /// Finished shards that arrived ahead of `next`.
+    pending: BTreeMap<usize, (Vec<f64>, Meta)>,
+    scores: Vec<f64>,
+    /// Metas of drained shards, in shard order.
+    metas: Vec<Meta>,
+    /// Zeroed buffers ready for reuse.
+    pool: Vec<Vec<f64>>,
+}
+
+impl<Meta> OrderedMerger<Meta> {
+    fn new(n: usize) -> Self {
+        OrderedMerger {
+            n,
+            state: Mutex::new(MergeInner {
+                next: 0,
+                pending: BTreeMap::new(),
+                scores: vec![0.0; n],
+                metas: Vec::new(),
+                pool: Vec::new(),
+            }),
+        }
+    }
+
+    /// A zeroed accumulator for a worker starting up.
+    fn take_buffer(&self) -> Vec<f64> {
+        let recycled = self.state.lock().expect("merger poisoned").pool.pop();
+        recycled.unwrap_or_else(|| vec![0.0; self.n])
+    }
+
+    /// Hand over a finished shard; drain every shard that is now
+    /// contiguous with the merge frontier; hand back a zeroed buffer
+    /// for the worker's next shard.
+    fn deposit(&self, shard: usize, acc: Vec<f64>, meta: Meta) -> Vec<f64> {
+        let mut st = self.state.lock().expect("merger poisoned");
+        st.pending.insert(shard, (acc, meta));
+        loop {
+            let next = st.next;
+            let Some((mut buf, meta)) = st.pending.remove(&next) else {
+                break;
+            };
+            for (dst, src) in st.scores.iter_mut().zip(&buf) {
+                *dst += *src;
+            }
+            st.metas.push(meta);
+            buf.fill(0.0);
+            st.pool.push(buf);
+            st.next += 1;
+        }
+        st.pool.pop().unwrap_or_else(|| vec![0.0; self.n])
+    }
+
+    /// Return an unused buffer when a worker runs out of shards.
+    fn recycle(&self, acc: Vec<f64>) {
+        self.state.lock().expect("merger poisoned").pool.push(acc);
+    }
+
+    fn finish(self) -> (Vec<f64>, Vec<Meta>) {
+        let inner = self.state.into_inner().expect("merger poisoned");
+        assert!(inner.pending.is_empty(), "every shard must have been drained");
+        (inner.scores, inner.metas)
+    }
+}
+
+/// Run every root of `roots` through the engine under forks of
+/// `model`, sharded across `threads` host threads (0 = auto, see
+/// [`effective_threads`]).
+///
+/// Scores, per-root vectors, and counters are bitwise identical at
+/// any thread count; the fork's statistics are merged back into
+/// `model` in shard order.
+pub fn run_roots<M: ShardableCostModel>(
+    g: &Csr,
+    device: &DeviceConfig,
+    roots: &[VertexId],
+    threads: usize,
+    model: &mut M,
+) -> RootsRun {
+    let n = g.num_vertices();
+    let num_roots = roots.len();
+    if num_roots == 0 {
+        return RootsRun {
+            scores: vec![0.0; n],
+            per_root_seconds: Vec::new(),
+            max_depths: Vec::new(),
+            counters: KernelCounters::default(),
+        };
+    }
+    let size = shard_size(num_roots);
+    let shards = num_roots.div_ceil(size);
+    let workers = effective_threads(threads).min(shards).max(1);
+
+    let next = AtomicUsize::new(0);
+    let merger: OrderedMerger<ShardMeta<M>> = OrderedMerger::new(n);
+    let proto: &M = model;
+
+    let worker = |merger: &OrderedMerger<ShardMeta<M>>| {
+        let mut ws = SearchWorkspace::new(n);
+        let mut out = RootOutcome::default();
+        let mut acc = merger.take_buffer();
+        loop {
+            let shard = next.fetch_add(1, Ordering::Relaxed);
+            if shard >= shards {
+                break;
+            }
+            let lo = shard * size;
+            let hi = (lo + size).min(num_roots);
+            let mut m = proto.fork();
+            let mut per_root_seconds = Vec::with_capacity(hi - lo);
+            let mut max_depths = Vec::with_capacity(hi - lo);
+            let mut counters = KernelCounters::default();
+            for &r in &roots[lo..hi] {
+                process_root_into(g, r, device, &mut ws, &mut m, &mut acc, &mut out);
+                per_root_seconds.push(out.counters.seconds);
+                max_depths.push(out.max_depth);
+                counters.merge(&out.counters);
+            }
+            acc = merger.deposit(
+                shard,
+                acc,
+                ShardMeta { first_root: lo, per_root_seconds, max_depths, counters, model: m },
+            );
+        }
+        merger.recycle(acc);
+    };
+
+    if workers == 1 {
+        worker(&merger);
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(|| worker(&merger));
+            }
+            worker(&merger);
+        });
+    }
+
+    let (scores, metas) = merger.finish();
+    let mut per_root_seconds = vec![0.0f64; num_roots];
+    let mut max_depths = vec![0u32; num_roots];
+    let mut counters = KernelCounters::default();
+    for meta in metas {
+        let lo = meta.first_root;
+        per_root_seconds[lo..lo + meta.per_root_seconds.len()]
+            .copy_from_slice(&meta.per_root_seconds);
+        max_depths[lo..lo + meta.max_depths.len()].copy_from_slice(&meta.max_depths);
+        counters.merge(&meta.counters);
+        model.merge_worker(meta.model);
+    }
+    RootsRun { scores, per_root_seconds, max_depths, counters }
+}
+
+/// Exact CPU Brandes over an explicit root set, sharded across host
+/// threads with the same deterministic merge (and symmetric halving,
+/// matching [`brandes::betweenness_from_roots`]). Workers reuse one
+/// [`brandes::BrandesWorkspace`] each — no per-root allocation.
+pub fn cpu_betweenness_from_roots(g: &Csr, roots: &[VertexId], threads: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    let num_roots = roots.len();
+    if num_roots == 0 {
+        return vec![0.0; n];
+    }
+    let size = shard_size(num_roots);
+    let shards = num_roots.div_ceil(size);
+    let workers = effective_threads(threads).min(shards).max(1);
+
+    let next = AtomicUsize::new(0);
+    let merger: OrderedMerger<()> = OrderedMerger::new(n);
+
+    let worker = |merger: &OrderedMerger<()>| {
+        let mut ws = brandes::BrandesWorkspace::new(n);
+        let mut acc = merger.take_buffer();
+        loop {
+            let shard = next.fetch_add(1, Ordering::Relaxed);
+            if shard >= shards {
+                break;
+            }
+            let lo = shard * size;
+            let hi = (lo + size).min(num_roots);
+            for &r in &roots[lo..hi] {
+                brandes::single_source_into(g, r, &mut ws);
+                brandes::accumulate_from_workspace(g, r, &mut ws, &mut acc);
+            }
+            acc = merger.deposit(shard, acc, ());
+        }
+        merger.recycle(acc);
+    };
+
+    if workers == 1 {
+        worker(&merger);
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                scope.spawn(|| worker(&merger));
+            }
+            worker(&merger);
+        });
+    }
+
+    let (mut scores, _) = merger.finish();
+    brandes::halve_if_symmetric(g, &mut scores);
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_graph::gen;
+
+    fn titan() -> DeviceConfig {
+        DeviceConfig::gtx_titan()
+    }
+
+    #[test]
+    fn bitwise_identical_across_thread_counts() {
+        let g = gen::watts_strogatz(600, 8, 0.1, 7);
+        let roots: Vec<u32> = (0..600).collect();
+        let runs: Vec<RootsRun> = [1usize, 2, 5, 8]
+            .iter()
+            .map(|&t| run_roots(&g, &titan(), &roots, t, &mut FreeModel))
+            .collect();
+        for run in &runs[1..] {
+            assert_eq!(run.scores, runs[0].scores, "scores must be bitwise equal");
+            assert_eq!(run.per_root_seconds, runs[0].per_root_seconds);
+            assert_eq!(run.max_depths, runs[0].max_depths);
+            assert_eq!(run.counters, runs[0].counters);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_brandes() {
+        let g = gen::erdos_renyi(120, 360, 11);
+        let roots: Vec<u32> = (0..120).collect();
+        let mut run = run_roots(&g, &titan(), &roots, 4, &mut FreeModel);
+        brandes::halve_if_symmetric(&g, &mut run.scores);
+        let expect = brandes::betweenness(&g);
+        for (i, (e, a)) in expect.iter().zip(&run.scores).enumerate() {
+            assert!((e - a).abs() < 1e-9, "vertex {i}: {e} vs {a}");
+        }
+    }
+
+    #[test]
+    fn cpu_path_matches_sequential() {
+        let g = gen::grid(9, 9);
+        let roots: Vec<u32> = (0..81).collect();
+        let par = cpu_betweenness_from_roots(&g, &roots, 3);
+        let seq = brandes::betweenness(&g);
+        for (p, s) in par.iter().zip(&seq) {
+            assert!((p - s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_roots() {
+        let g = gen::path(5);
+        let run = run_roots(&g, &titan(), &[], 4, &mut FreeModel);
+        assert!(run.scores.iter().all(|&s| s == 0.0));
+        assert!(run.per_root_seconds.is_empty());
+        assert!(cpu_betweenness_from_roots(&g, &[], 2).iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn more_threads_than_shards() {
+        let g = gen::path(10);
+        let run = run_roots(&g, &titan(), &[0, 5], 64, &mut FreeModel);
+        assert_eq!(run.max_depths.len(), 2);
+        assert_eq!(run.max_depths[0], 9);
+    }
+
+    #[test]
+    fn effective_threads_resolution() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn shard_partition_is_thread_independent() {
+        assert_eq!(shard_size(1), 1);
+        assert_eq!(shard_size(64), 1);
+        assert_eq!(shard_size(65), 2);
+        assert_eq!(shard_size(1000), 16);
+        // 1000 roots -> 63 shards of 16 even though MAX_SHARDS is 64.
+        assert_eq!(1000usize.div_ceil(shard_size(1000)), 63);
+    }
+}

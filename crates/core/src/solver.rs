@@ -2,8 +2,8 @@
 //! exact BC scores plus a full simulation report.
 
 use crate::brandes;
-use crate::engine::{process_root, CostModel, SearchWorkspace};
 use crate::methods::cost::footprint;
+use crate::parallel::{self, ShardableCostModel};
 use crate::methods::models::{
     EdgeParallelModel, GpuFanModel, HybridModel, HybridParams, SamplingParams,
     SamplingPhaseModel, VertexParallelModel, WorkEfficientModel,
@@ -52,6 +52,10 @@ pub struct BcOptions {
     pub roots: RootSelection,
     /// Normalize scores by `(n-1)(n-2)` (halved when undirected).
     pub normalize: bool,
+    /// Host threads driving the multi-root runner (0 = auto: the
+    /// `RAYON_NUM_THREADS` environment variable, else all available
+    /// cores). Results are bitwise identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for BcOptions {
@@ -60,6 +64,7 @@ impl Default for BcOptions {
             device: DeviceConfig::gtx_titan(),
             roots: RootSelection::All,
             normalize: false,
+            threads: 0,
         }
     }
 }
@@ -141,7 +146,6 @@ impl Method {
         let _graph = mem.alloc(footprint::graph_bytes(g), "graph CSR arrays")?;
         let _locals = mem.alloc(self.local_bytes(g, device), "per-run local arrays")?;
 
-        let mut ws = SearchWorkspace::new(n);
         let mut scores = vec![0.0f64; n];
         let mut per_root_seconds = Vec::with_capacity(roots.len());
         let mut counters = KernelCounters::default();
@@ -149,41 +153,51 @@ impl Method {
         let mut strategy_iterations: Option<(u64, u64)> = None;
         let mut sampling_chose_edge_parallel = None;
 
-        let run_roots = |roots: &[VertexId],
-                             model: &mut dyn CostModel,
-                             ws: &mut SearchWorkspace,
-                             scores: &mut [f64],
-                             per_root_seconds: &mut Vec<f64>,
-                             counters: &mut KernelCounters,
-                             max_depths: &mut Vec<u32>| {
-            for &r in roots {
-                let out = process_root(g, r, device, ws, model, scores);
-                per_root_seconds.push(out.counters.seconds);
-                max_depths.push(out.max_depth);
-                counters.merge(&out.counters);
+        // Absorb one sharded multi-root phase into the run-wide
+        // aggregates: scores add elementwise (phases touch the same
+        // vector), the per-root vectors concatenate in phase order —
+        // exactly the layout the old sequential loop produced.
+        fn absorb(
+            run: parallel::RootsRun,
+            scores: &mut [f64],
+            per_root_seconds: &mut Vec<f64>,
+            max_depths: &mut Vec<u32>,
+            counters: &mut KernelCounters,
+        ) {
+            for (dst, src) in scores.iter_mut().zip(&run.scores) {
+                *dst += *src;
             }
-        };
+            per_root_seconds.extend_from_slice(&run.per_root_seconds);
+            max_depths.extend_from_slice(&run.max_depths);
+            counters.merge(&run.counters);
+        }
 
+        let threads = opts.threads;
         match self {
             Method::VertexParallel => {
                 let mut m = VertexParallelModel::default();
-                run_roots(&roots, &mut m, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+                let run = parallel::run_roots(g, device, &roots, threads, &mut m);
+                absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
             }
             Method::EdgeParallel => {
                 let mut m = EdgeParallelModel;
-                run_roots(&roots, &mut m, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+                let run = parallel::run_roots(g, device, &roots, threads, &mut m);
+                absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
             }
             Method::GpuFan => {
                 let mut m = GpuFanModel;
-                run_roots(&roots, &mut m, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+                let run = parallel::run_roots(g, device, &roots, threads, &mut m);
+                absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
             }
             Method::WorkEfficient => {
                 let mut m = WorkEfficientModel::default();
-                run_roots(&roots, &mut m, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+                let run = parallel::run_roots(g, device, &roots, threads, &mut m);
+                absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
             }
             Method::Hybrid(params) => {
                 let mut m = HybridModel::new(*params);
-                run_roots(&roots, &mut m, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+                let run = parallel::run_roots(g, device, &roots, threads, &mut m);
+                absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
                 strategy_iterations =
                     Some((m.work_efficient_iterations, m.edge_parallel_iterations));
             }
@@ -193,27 +207,26 @@ impl Method {
                 let n_samps = params.n_samps.min(roots.len());
                 let (sample_roots, rest_roots) = roots.split_at(n_samps);
                 let mut we = WorkEfficientModel::default();
-                run_roots(sample_roots, &mut we, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+                let run = parallel::run_roots(g, device, sample_roots, threads, &mut we);
+                absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
                 let mut keys = max_depths.clone();
                 let use_ep = params.choose_edge_parallel(n, &mut keys);
                 sampling_chose_edge_parallel = Some(use_ep);
                 // Phase 2: remaining roots with the chosen strategy.
                 if use_ep {
                     let mut m = SamplingPhaseModel::new(params.min_frontier);
-                    run_roots(rest_roots, &mut m, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+                    let run = parallel::run_roots(g, device, rest_roots, threads, &mut m);
+                    absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
                     strategy_iterations =
                         Some((m.work_efficient_iterations, m.edge_parallel_iterations));
                 } else {
-                    run_roots(rest_roots, &mut we, &mut ws, &mut scores, &mut per_root_seconds, &mut counters, &mut max_depths);
+                    let run = parallel::run_roots(g, device, rest_roots, threads, &mut we);
+                    absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
                 }
             }
         }
 
-        if g.is_symmetric() {
-            for s in scores.iter_mut() {
-                *s *= 0.5;
-            }
-        }
+        brandes::halve_if_symmetric(g, &mut scores);
         if opts.normalize {
             brandes::normalize(&mut scores, g.is_symmetric());
         }
@@ -251,15 +264,17 @@ impl Method {
     }
 }
 
-/// Run BC under an arbitrary [`CostModel`] with coarse-grained
-/// scheduling — the extension point for design-variant studies (the
-/// §IV-A ablations build `WorkEfficientModel::with_config` variants
-/// and price them here). `local_bytes` is the variant's device-memory
-/// footprint beyond the graph arrays.
-pub fn run_with_cost_model(
+/// Run BC under an arbitrary [`ShardableCostModel`] with
+/// coarse-grained scheduling — the extension point for design-variant
+/// studies (the §IV-A ablations build
+/// `WorkEfficientModel::with_config` variants and price them here).
+/// `local_bytes` is the variant's device-memory footprint beyond the
+/// graph arrays. Roots are sharded across `opts.threads` host threads
+/// like [`Method::run`].
+pub fn run_with_cost_model<M: ShardableCostModel>(
     g: &Csr,
     opts: &BcOptions,
-    model: &mut dyn CostModel,
+    model: &mut M,
     local_bytes: u64,
 ) -> Result<BcRun, SimError> {
     let n = g.num_vertices();
@@ -270,22 +285,9 @@ pub fn run_with_cost_model(
     let _graph = mem.alloc(footprint::graph_bytes(g), "graph CSR arrays")?;
     let _locals = mem.alloc(local_bytes, "per-run local arrays")?;
 
-    let mut ws = SearchWorkspace::new(n);
-    let mut scores = vec![0.0f64; n];
-    let mut per_root_seconds = Vec::with_capacity(roots.len());
-    let mut max_depths = Vec::with_capacity(roots.len());
-    let mut counters = KernelCounters::default();
-    for &r in &roots {
-        let out = process_root(g, r, device, &mut ws, model, &mut scores);
-        per_root_seconds.push(out.counters.seconds);
-        max_depths.push(out.max_depth);
-        counters.merge(&out.counters);
-    }
-    if g.is_symmetric() {
-        for s in scores.iter_mut() {
-            *s *= 0.5;
-        }
-    }
+    let run = parallel::run_roots(g, device, &roots, opts.threads, model);
+    let parallel::RootsRun { mut scores, per_root_seconds, max_depths, counters } = run;
+    brandes::halve_if_symmetric(g, &mut scores);
     if opts.normalize {
         brandes::normalize(&mut scores, g.is_symmetric());
     }
@@ -480,6 +482,41 @@ mod tests {
         let opts = BcOptions { roots: RootSelection::Strided(600), ..Default::default() };
         let run = Method::Sampling(SamplingParams::default()).run(&road, &opts).unwrap();
         assert_eq!(run.report.sampling_chose_edge_parallel, Some(false));
+    }
+
+    #[test]
+    fn reports_invariant_under_thread_count() {
+        let g = gen::watts_strogatz(400, 6, 0.1, 2);
+        for method in [
+            Method::WorkEfficient,
+            Method::Hybrid(HybridParams::default()),
+            Method::Sampling(SamplingParams { n_samps: 32, ..Default::default() }),
+        ] {
+            let run_at = |threads: usize| {
+                method
+                    .run(
+                        &g,
+                        &BcOptions {
+                            roots: RootSelection::Strided(96),
+                            threads,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+            };
+            let one = run_at(1);
+            let eight = run_at(8);
+            assert_eq!(one.scores, eight.scores, "{}", method.name());
+            assert_eq!(one.report.per_root_seconds, eight.report.per_root_seconds);
+            assert_eq!(one.report.max_depths, eight.report.max_depths);
+            assert_eq!(one.report.full_seconds, eight.report.full_seconds);
+            assert_eq!(one.report.teps, eight.report.teps);
+            assert_eq!(one.report.strategy_iterations, eight.report.strategy_iterations);
+            assert_eq!(
+                one.report.sampling_chose_edge_parallel,
+                eight.report.sampling_chose_edge_parallel
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Determinism contract of the parallel multi-root runner: scores
+//! are bitwise identical at every thread count (explicit or via
+//! `RAYON_NUM_THREADS`), and agree with sequential Brandes to 1e-9.
+
+use bc_core::engine::FreeModel;
+use bc_core::{brandes, cpu_parallel, parallel, BcOptions, Method, RootSelection};
+use bc_graph::{gen, Csr};
+
+/// A graph with several components of very different sizes — the
+/// worst case for the O(reached) workspace reset: a root in a tiny
+/// component must not observe state left behind by a search that
+/// covered the big one.
+fn multi_component_graph() -> Csr {
+    let mut edges = Vec::new();
+    // Component A: a 10x10 grid occupying vertices 0..100.
+    let g = gen::grid(10, 10);
+    for v in g.vertices() {
+        for &w in g.neighbors(v) {
+            if v < w {
+                edges.push((v, w));
+            }
+        }
+    }
+    // Component B: a triangle at 100..103.
+    edges.extend([(100, 101), (101, 102), (100, 102)]);
+    // Component C: a path at 103..108.
+    edges.extend((103..107).map(|v| (v, v + 1)));
+    // Vertices 108 and 109 stay isolated.
+    Csr::from_undirected_edges(110, edges)
+}
+
+fn assert_close(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!((x - y).abs() < 1e-9, "{what}: vertex {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn engine_runner_bitwise_across_thread_counts() {
+    for g in [gen::watts_strogatz(500, 8, 0.1, 9), multi_component_graph()] {
+        let roots: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        let device = bc_gpusim::DeviceConfig::gtx_titan();
+        let baseline = parallel::run_roots(&g, &device, &roots, 1, &mut FreeModel);
+        for threads in [2usize, 8] {
+            let run = parallel::run_roots(&g, &device, &roots, threads, &mut FreeModel);
+            assert_eq!(run.scores, baseline.scores, "threads={threads}");
+            assert_eq!(run.per_root_seconds, baseline.per_root_seconds);
+            assert_eq!(run.max_depths, baseline.max_depths);
+            assert_eq!(run.counters, baseline.counters);
+        }
+        // And the parallel result matches sequential Brandes to 1e-9.
+        let mut scores = baseline.scores.clone();
+        brandes::halve_if_symmetric(&g, &mut scores);
+        assert_close(&scores, &brandes::betweenness(&g), "vs sequential");
+    }
+}
+
+#[test]
+fn cpu_runner_bitwise_across_thread_counts() {
+    let g = multi_component_graph();
+    let roots: Vec<u32> = (0..110).collect();
+    let one = parallel::cpu_betweenness_from_roots(&g, &roots, 1);
+    for threads in [2usize, 8] {
+        assert_eq!(
+            parallel::cpu_betweenness_from_roots(&g, &roots, threads),
+            one,
+            "threads={threads}"
+        );
+    }
+    assert_close(&one, &brandes::betweenness(&g), "vs sequential");
+}
+
+#[test]
+fn rayon_num_threads_env_is_honored_and_bitwise() {
+    // threads = 0 defers to RAYON_NUM_THREADS; whatever it resolves
+    // to, the bits must not move. (Other tests in this binary never
+    // pass threads = 0, so mutating the variable here is safe even
+    // under the parallel test harness.)
+    let g = multi_component_graph();
+    let roots: Vec<u32> = (0..110).collect();
+    let baseline = parallel::cpu_betweenness_from_roots(&g, &roots, 1);
+    for setting in ["1", "2", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", setting);
+        assert_eq!(parallel::effective_threads(0), setting.parse::<usize>().unwrap());
+        assert_eq!(
+            parallel::cpu_betweenness_from_roots(&g, &roots, 0),
+            baseline,
+            "RAYON_NUM_THREADS={setting}"
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+    // Explicit thread counts always win over the environment.
+    std::env::set_var("RAYON_NUM_THREADS", "2");
+    assert_eq!(parallel::effective_threads(5), 5);
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn method_run_bitwise_across_thread_counts_on_disconnected_graph() {
+    let g = multi_component_graph();
+    let run_at = |threads: usize| {
+        Method::WorkEfficient
+            .run(&g, &BcOptions { roots: RootSelection::All, threads, ..Default::default() })
+            .unwrap()
+    };
+    let one = run_at(1);
+    for threads in [2usize, 8] {
+        let run = run_at(threads);
+        assert_eq!(run.scores, one.scores);
+        assert_eq!(run.report.per_root_seconds, one.report.per_root_seconds);
+        assert_eq!(run.report.full_seconds, one.report.full_seconds);
+    }
+    assert_close(&one.scores, &brandes::betweenness(&g), "vs sequential");
+}
+
+#[test]
+fn cpu_parallel_module_matches_brandes_on_disconnected_graph() {
+    let g = multi_component_graph();
+    let roots: Vec<u32> = (0..110).collect();
+    assert_close(
+        &cpu_parallel::betweenness_from_roots(&g, &roots),
+        &brandes::betweenness_from_roots(&g, roots.iter().copied()),
+        "cpu_parallel vs brandes",
+    );
+}

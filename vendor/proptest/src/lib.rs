@@ -1,0 +1,274 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's tests use: the `proptest!`
+//! macro with an optional `#![proptest_config(...)]` header, argument
+//! strategies that are integer/float ranges, `proptest::bool::ANY`,
+//! `proptest::collection::vec`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Unlike upstream there is no shrinking: cases are drawn from a
+//! generator seeded deterministically from the test's name, so a
+//! failure reproduces exactly on re-run; the panic message reports the
+//! failing case index.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of test values.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                use rand::Rng;
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                use rand::Rng;
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::Strategy;
+
+    /// Uniform boolean strategy type.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform over `true` / `false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::core::primitive::bool;
+        fn sample(&self, rng: &mut super::test_runner::TestRng) -> Self::Value {
+            use rand::Rng;
+            rng.0.gen::<Self::Value>()
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::Strategy;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: each case draws a length from `size`, then that
+    /// many elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut super::test_runner::TestRng) -> Self::Value {
+            use rand::Rng;
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.0.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runner plumbing used by the macros.
+pub mod test_runner {
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Per-run configuration (`cases` only in this stub).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of random cases to execute per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic generator driving a test's cases.
+    pub struct TestRng(pub rand::rngs::SmallRng);
+
+    /// Seed a generator from the test name (FNV-1a), so every run of a
+    /// given test replays the identical case sequence.
+    pub fn new_rng(test_name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(rand::rngs::SmallRng::seed_from_u64(h))
+    }
+
+    /// A failed `prop_assert!` within one case.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Build a failure carrying `msg`.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declare property tests: an optional
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` header, then
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expand one test item, then
+/// recurse on the remainder.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::new_rng(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failure aborts the
+/// current case with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "prop_assert_eq failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        #![proptest_config(crate::test_runner::Config::with_cases(16))]
+
+        #[test]
+        fn ranges_and_vecs(
+            n in 1usize..50,
+            x in 0.0f64..1.0,
+            flag in crate::bool::ANY,
+            v in crate::collection::vec(0u32..10, 0..20),
+        ) {
+            prop_assert!(n >= 1 && n < 50);
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(flag || !flag);
+            prop_assert!(v.len() < 20);
+            for e in &v {
+                prop_assert!(*e < 10, "element {e} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        use crate::Strategy;
+        let mut a = crate::test_runner::new_rng("some_test");
+        let mut b = crate::test_runner::new_rng("some_test");
+        for _ in 0..50 {
+            assert_eq!((0u64..1000).sample(&mut a), (0u64..1000).sample(&mut b));
+        }
+    }
+}

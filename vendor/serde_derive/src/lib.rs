@@ -1,0 +1,249 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the shapes this workspace actually declares — non-generic structs
+//! with named fields, and enums with unit or tuple variants — by
+//! hand-parsing the item's `TokenStream` (no `syn`/`quote`, which are
+//! unavailable offline) and emitting the impl as a parsed string.
+//!
+//! `Serialize` lowers to `serde::Value` (see the sibling `serde`
+//! stub): structs become objects keyed by field name; unit variants
+//! become their name as a string; tuple variants become a one-entry
+//! object `{name: value}` (or `{name: [values...]}` for arity > 1).
+//! `Deserialize` emits only the marker impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item the derive is attached to.
+struct Item {
+    is_enum: bool,
+    name: String,
+    body: Vec<TokenTree>,
+}
+
+/// Walk the item tokens: skip outer attributes and visibility, find
+/// the `struct`/`enum` keyword, the type name, and the brace-delimited
+/// body. Generic parameters never appear on derived types in this
+/// workspace; the parser rejects them loudly rather than mis-emitting.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut is_enum = false;
+    let mut name = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` plus the bracketed attribute group
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let id = id.to_string();
+                match id.as_str() {
+                    "pub" => {
+                        i += 1;
+                        // `pub(crate)` and friends carry a paren group.
+                        if matches!(
+                            tokens.get(i),
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                        ) {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    "struct" | "enum" => {
+                        is_enum = id == "enum";
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        name = Some(id.to_string());
+        i += 1;
+    }
+    let name = name.expect("derive target must have a name");
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("this serde stub does not support generic derive targets ({name})");
+    }
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Some(g.stream().into_iter().collect())
+            }
+            _ => None,
+        })
+        .unwrap_or_default(); // unit struct: no body group
+    Item {
+        is_enum,
+        name,
+        body,
+    }
+}
+
+/// Split a field/variant list at top-level commas. Only angle brackets
+/// need depth tracking: parens/brackets/braces arrive as nested
+/// `Group`s, so their commas never surface here.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// First identifier in a chunk after skipping attributes and
+/// visibility — the field or variant name.
+fn leading_ident(chunk: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    chunk.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => return Some(id.to_string()),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// For an enum variant chunk, the payload group right after the name
+/// (`(...)` tuple variant), if any.
+fn variant_payload(chunk: &[TokenTree]) -> Option<proc_macro::Group> {
+    let mut seen_name = false;
+    for t in chunk {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '#' => continue,
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket && !seen_name => continue,
+            TokenTree::Ident(_) if !seen_name => seen_name = true,
+            TokenTree::Group(g) if seen_name => return Some(g.clone()),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn serialize_struct(name: &str, body: &[TokenTree]) -> String {
+    let mut entries = String::new();
+    for chunk in split_top_level(body) {
+        let field = leading_ident(&chunk).expect("struct field must have a name");
+        entries.push_str(&format!(
+            "(\"{field}\".to_string(), ::serde::Serialize::to_value(&self.{field})),"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, body: &[TokenTree]) -> String {
+    let mut arms = String::new();
+    for chunk in split_top_level(body) {
+        let variant = leading_ident(&chunk).expect("enum variant must have a name");
+        match variant_payload(&chunk) {
+            None => {
+                arms.push_str(&format!(
+                    "{name}::{variant} => ::serde::Value::Str(\"{variant}\".to_string()),"
+                ));
+            }
+            Some(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+                let arity = split_top_level(&tokens).len();
+                let binds: Vec<String> = (0..arity).map(|k| format!("f{k}")).collect();
+                let bind_list = binds.join(", ");
+                let payload = if arity == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{variant}({bind_list}) => ::serde::Value::Object(vec![(\"{variant}\".to_string(), {payload})]),"
+                ));
+            }
+            Some(g) => {
+                let fields: Vec<String> = split_top_level(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                )
+                .iter()
+                .filter_map(|c| leading_ident(c))
+                .collect();
+                let bind_list = fields.join(", ");
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{variant} {{ {bind_list} }} => ::serde::Value::Object(vec![(\"{variant}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Derive `serde::Serialize` (lowering to `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = if item.is_enum {
+        serialize_enum(&item.name, &item.body)
+    } else {
+        serialize_struct(&item.name, &item.body)
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derive the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = item.name;
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}

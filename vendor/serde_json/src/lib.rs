@@ -1,0 +1,167 @@
+//! Offline stand-in for `serde_json`: renders the `serde` stub's
+//! [`Value`] tree as JSON text. Only serialization is provided —
+//! nothing in this workspace deserializes JSON.
+
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The stub's renderer is total, so this is
+/// never constructed; it exists so call sites handling
+/// `serde_json::Error` compile unchanged.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Render `value` as pretty-printed JSON (two-space indent, matching
+/// upstream `serde_json::to_string_pretty`).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                let s = x.to_string();
+                out.push_str(&s);
+                // `{}` prints 3.0 as "3"; keep it a JSON float like
+                // upstream does.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => {
+            render_seq(items.len(), indent, depth, out, '[', ']', |k, out| {
+                render(&items[k], indent, depth + 1, out)
+            });
+        }
+        Value::Object(entries) => {
+            render_seq(entries.len(), indent, depth, out, '{', '}', |k, out| {
+                let (key, val) = &entries[k];
+                escape_into(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, depth + 1, out)
+            });
+        }
+    }
+}
+
+fn render_seq(
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut item: impl FnMut(usize, &mut String),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for k in 0..len {
+        if k > 0 {
+            out.push(',');
+        }
+        newline_indent(indent, depth + 1, out);
+        item(k, out);
+    }
+    newline_indent(indent, depth, out);
+    out.push(close);
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("n".to_string(), Value::UInt(3)),
+            (
+                "scores".to_string(),
+                Value::Array(vec![Value::Float(1.0), Value::Float(0.5)]),
+            ),
+            ("label".to_string(), Value::Str("a\"b".to_string())),
+        ]);
+        assert_eq!(
+            to_string(&Wrapper(v.clone())).unwrap(),
+            r#"{"n":3,"scores":[1.0,0.5],"label":"a\"b"}"#
+        );
+        let pretty = to_string_pretty(&Wrapper(v)).unwrap();
+        assert!(pretty.contains("\n  \"n\": 3"));
+        assert!(pretty.contains("\n    1.0"));
+    }
+
+    struct Wrapper(Value);
+    impl Serialize for Wrapper {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        assert_eq!(
+            to_string_pretty(&Vec::<u32>::new()).unwrap(),
+            "[]".to_string()
+        );
+    }
+}
