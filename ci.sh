@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a bench smoke run.
+# Tier-1 verification, the lint gate, the bc-verify suite, and a
+# bench smoke run.
 #
-#   ./ci.sh        # build + tests + bench_trajectory smoke
+#   ./ci.sh        # build + tests + lint + verify suite + bench smoke
 #   ./ci.sh fast   # build + tests only
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -13,6 +14,16 @@ echo "==> cargo test -q"
 cargo test -q
 
 if [[ "${1:-}" != "fast" ]]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+
+    echo "==> cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+
+    # Race detector + invariant suite: seeded-bug self-test, the ten
+    # dataset analogues, and the exact-score identities.
+    echo "==> bc-verify suite"
+    cargo run -q -p bc-verify --release --bin bc-verify
     # Smoke-scale trajectory: few roots, 2-thread parallel arm. The
     # binary itself asserts bitwise thread-invariance of scores and
     # simulated times on every (graph, method) pair.

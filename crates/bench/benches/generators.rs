@@ -11,11 +11,17 @@ fn bench_generators(c: &mut Criterion) {
     group.bench_function("rgg", |b| {
         b.iter(|| gen::random_geometric(65_536, gen::rgg_radius_for_degree(65_536, 13.0), 1))
     });
-    group.bench_function("triangulated_grid", |b| b.iter(|| gen::triangulated_grid(256, 256, 1)));
+    group.bench_function("triangulated_grid", |b| {
+        b.iter(|| gen::triangulated_grid(256, 256, 1))
+    });
     group.bench_function("kronecker", |b| b.iter(|| gen::kronecker(16, 16, 1)));
-    group.bench_function("watts_strogatz", |b| b.iter(|| gen::watts_strogatz(65_536, 10, 0.1, 1)));
+    group.bench_function("watts_strogatz", |b| {
+        b.iter(|| gen::watts_strogatz(65_536, 10, 0.1, 1))
+    });
     group.bench_function("road_network", |b| b.iter(|| gen::road_network(65_536, 1)));
-    group.bench_function("barabasi_albert", |b| b.iter(|| gen::barabasi_albert(65_536, 4, 1)));
+    group.bench_function("barabasi_albert", |b| {
+        b.iter(|| gen::barabasi_albert(65_536, 4, 1))
+    });
     group.finish();
 }
 

@@ -21,15 +21,13 @@ fn bench_methods(c: &mut Criterion) {
     group.sample_size(10);
     for (gname, g) in &graphs {
         for m in &methods {
-            group.bench_with_input(
-                BenchmarkId::new(*gname, m.name()),
-                &(g, m),
-                |b, (g, m)| {
-                    let opts =
-                        BcOptions { roots: RootSelection::Strided(16), ..Default::default() };
-                    b.iter(|| m.run(g, &opts).unwrap().report.device_seconds)
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*gname, m.name()), &(g, m), |b, (g, m)| {
+                let opts = BcOptions {
+                    roots: RootSelection::Strided(16),
+                    ..Default::default()
+                };
+                b.iter(|| m.run(g, &opts).unwrap().report.device_seconds)
+            });
         }
     }
     group.finish();

@@ -26,7 +26,11 @@ fn bench_traversal(c: &mut Criterion) {
 
     let roots: Vec<u32> = (0..64).collect();
     for threads in [1usize, 0] {
-        let label = if threads == 1 { "sequential_64_roots" } else { "rayon_64_roots" };
+        let label = if threads == 1 {
+            "sequential_64_roots"
+        } else {
+            "rayon_64_roots"
+        };
         group.bench_with_input(BenchmarkId::new("roots", label), &threads, |b, &t| {
             if t == 1 {
                 b.iter(|| brandes::betweenness_from_roots(&g, roots.iter().copied()))

@@ -12,10 +12,12 @@
 //! ```
 
 use bc_bench::{fmt_seconds, print_table, write_json, Args};
-use bc_core::methods::cost::{PredecessorStorage, QueueAppend, WorkEfficientConfig};
 use bc_core::methods::cost::footprint;
+use bc_core::methods::cost::{PredecessorStorage, QueueAppend, WorkEfficientConfig};
 use bc_core::methods::models::WorkEfficientModel;
-use bc_core::{run_with_cost_model, BcOptions, HybridParams, Method, RootSelection, SamplingParams};
+use bc_core::{
+    run_with_cost_model, BcOptions, HybridParams, Method, RootSelection, SamplingParams,
+};
 use bc_gpusim::coarse_grained_makespan;
 use bc_graph::DatasetId;
 use serde::Serialize;
@@ -38,7 +40,10 @@ fn main() {
     let seed = args.seed();
     let mut rec = Record::default();
 
-    let opts = BcOptions { roots: RootSelection::Strided(k), ..Default::default() };
+    let opts = BcOptions {
+        roots: RootSelection::Strided(k),
+        ..Default::default()
+    };
     let high_diam = DatasetId::DelaunayN20.generate(reduction, seed);
     let small_world = DatasetId::Smallworld.generate(reduction, seed);
 
@@ -47,9 +52,21 @@ fn main() {
     let mut rows = Vec::new();
     for alpha in [64u64, 256, 768, 2048, u64::MAX] {
         let params = HybridParams { alpha, beta: 512 };
-        let hd = Method::Hybrid(params).run(&high_diam, &opts).unwrap().report.full_seconds;
-        let sw = Method::Hybrid(params).run(&small_world, &opts).unwrap().report.full_seconds;
-        let label = if alpha == u64::MAX { "inf".to_string() } else { alpha.to_string() };
+        let hd = Method::Hybrid(params)
+            .run(&high_diam, &opts)
+            .unwrap()
+            .report
+            .full_seconds;
+        let sw = Method::Hybrid(params)
+            .run(&small_world, &opts)
+            .unwrap()
+            .report
+            .full_seconds;
+        let label = if alpha == u64::MAX {
+            "inf".to_string()
+        } else {
+            alpha.to_string()
+        };
         rows.push(vec![label, fmt_seconds(hd), fmt_seconds(sw)]);
         rec.alpha_sweep.push((alpha, hd, sw));
     }
@@ -60,7 +77,11 @@ fn main() {
     let mut rows = Vec::new();
     for beta in [32u64, 128, 512, 2048, 8192] {
         let params = HybridParams { alpha: 768, beta };
-        let sw = Method::Hybrid(params).run(&small_world, &opts).unwrap().report.full_seconds;
+        let sw = Method::Hybrid(params)
+            .run(&small_world, &opts)
+            .unwrap()
+            .report
+            .full_seconds;
         rows.push(vec![beta.to_string(), fmt_seconds(sw)]);
         rec.beta_sweep.push((beta, sw));
     }
@@ -85,9 +106,16 @@ fn main() {
             fmt_seconds(sw_run.report.full_seconds),
             format!("{:?}", sw_run.report.sampling_chose_edge_parallel.unwrap()),
         ]);
-        rec.gamma_sweep.push((gamma, hd_run.report.full_seconds, sw_run.report.full_seconds));
+        rec.gamma_sweep.push((
+            gamma,
+            hd_run.report.full_seconds,
+            sw_run.report.full_seconds,
+        ));
     }
-    print_table(&["gamma", "delaunay t", "del->EP?", "smallworld t", "sw->EP?"], &rows);
+    print_table(
+        &["gamma", "delaunay t", "del->EP?", "smallworld t", "sw->EP?"],
+        &rows,
+    );
 
     // --- n_samps sweep on the small-world graph (counts are in
     // full-run units: 512 corresponds to the paper's setting at the
@@ -100,7 +128,11 @@ fn main() {
             n_samps: (n_samps_full * k).div_ceil(n_sw).max(1),
             ..Default::default()
         };
-        let sw = Method::Sampling(params).run(&small_world, &opts).unwrap().report.full_seconds;
+        let sw = Method::Sampling(params)
+            .run(&small_world, &opts)
+            .unwrap()
+            .report
+            .full_seconds;
         rows.push(vec![n_samps_full.to_string(), fmt_seconds(sw)]);
         rec.nsamps_sweep.push((n_samps_full, sw));
     }
@@ -117,22 +149,44 @@ fn main() {
         DatasetId::CaidaRouterLevel,
     ] {
         let g = d.generate(reduction, seed);
-        let we = Method::WorkEfficient.run(&g, &opts).unwrap().report.full_seconds;
-        let ep = Method::EdgeParallel.run(&g, &opts).unwrap().report.full_seconds;
+        let we = Method::WorkEfficient
+            .run(&g, &opts)
+            .unwrap()
+            .report
+            .full_seconds;
+        let ep = Method::EdgeParallel
+            .run(&g, &opts)
+            .unwrap()
+            .report
+            .full_seconds;
         wrong_we = wrong_we.max(we / ep);
     }
     let mut wrong_ep: f64 = 0.0;
-    for d in [DatasetId::DelaunayN20, DatasetId::LuxembourgOsm, DatasetId::AfShell9] {
+    for d in [
+        DatasetId::DelaunayN20,
+        DatasetId::LuxembourgOsm,
+        DatasetId::AfShell9,
+    ] {
         let g = d.generate(reduction, seed);
-        let we = Method::WorkEfficient.run(&g, &opts).unwrap().report.full_seconds;
-        let ep = Method::EdgeParallel.run(&g, &opts).unwrap().report.full_seconds;
+        let we = Method::WorkEfficient
+            .run(&g, &opts)
+            .unwrap()
+            .report
+            .full_seconds;
+        let ep = Method::EdgeParallel
+            .run(&g, &opts)
+            .unwrap()
+            .report
+            .full_seconds;
         wrong_ep = wrong_ep.max(ep / we);
     }
     println!("  WE where EP preferred: {wrong_we:.2}x slowdown (paper: <= 2.2x)");
     println!("  EP where WE preferred: {wrong_ep:.2}x slowdown (paper: > 10x)");
     println!("  => starting work-efficient is the safe default (Algorithm 4's choice)");
-    rec.wrong_choice.push(("WE-where-EP-preferred".into(), "worst".into(), wrong_we));
-    rec.wrong_choice.push(("EP-where-WE-preferred".into(), "worst".into(), wrong_ep));
+    rec.wrong_choice
+        .push(("WE-where-EP-preferred".into(), "worst".into(), wrong_we));
+    rec.wrong_choice
+        .push(("EP-where-WE-preferred".into(), "worst".into(), wrong_ep));
 
     // --- Root distribution across blocks ---
     println!("\nblock scheduling (makespan of per-root times, 14 blocks):");
@@ -154,10 +208,16 @@ fn main() {
     println!("\nwork-efficient kernel variants (paper defaults first):");
     let device = bc_gpusim::DeviceConfig::gtx_titan();
     let variants = [
-        ("atomic + neighbor-traversal (paper)", WorkEfficientConfig::default()),
+        (
+            "atomic + neighbor-traversal (paper)",
+            WorkEfficientConfig::default(),
+        ),
         (
             "prefix-sum queue append",
-            WorkEfficientConfig { queue_append: QueueAppend::PrefixSum, ..Default::default() },
+            WorkEfficientConfig {
+                queue_append: QueueAppend::PrefixSum,
+                ..Default::default()
+            },
         ),
         (
             "O(m) predecessor edge flags",
@@ -189,7 +249,10 @@ fn main() {
         ]);
         rec.variants.push((name.to_string(), hd, sw, bytes));
     }
-    print_table(&["variant", "delaunay t", "smallworld t", "local memory"], &rows);
+    print_table(
+        &["variant", "delaunay t", "smallworld t", "local memory"],
+        &rows,
+    );
     println!(
         "  (the paper keeps the atomic append — per-SM prefix sums scan the whole queue \
          alone — and discards predecessor storage, trading a little recomputation for \

@@ -45,7 +45,9 @@ fn main() {
     let args = Args::from_env();
     let seed = args.seed();
     let roots = args.roots(96);
-    let host_cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let host_cores = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
     let par_threads: usize = args.get("threads", host_cores.max(2));
 
     let graphs: Vec<(&str, Csr)> = vec![
@@ -54,7 +56,10 @@ fn main() {
         ("road", gen::road_network(50_000, seed)),
         ("kron", gen::kronecker(15, 8, seed)),
     ];
-    let methods = [Method::WorkEfficient, Method::Hybrid(HybridParams::default())];
+    let methods = [
+        Method::WorkEfficient,
+        Method::Hybrid(HybridParams::default()),
+    ];
 
     let mut records = Vec::new();
     let mut rows = Vec::new();
@@ -77,7 +82,8 @@ fn main() {
             // must not perturb a single bit of the results.
             assert_eq!(run_1.scores, run_n.scores, "{name}/{}", method.name());
             assert_eq!(
-                run_1.report.full_seconds, run_n.report.full_seconds,
+                run_1.report.full_seconds,
+                run_n.report.full_seconds,
                 "{name}/{}: simulated time must not depend on host threads",
                 method.name()
             );
@@ -113,8 +119,17 @@ fn main() {
          ({host_cores} host cores)\n"
     );
     print_table(
-        &["graph", "method", "n", "m", "wall@1", &format!("wall@{par_threads}"), "speedup",
-          "sim-full", "MTEPS"],
+        &[
+            "graph",
+            "method",
+            "n",
+            "m",
+            "wall@1",
+            &format!("wall@{par_threads}"),
+            "speedup",
+            "sim-full",
+            "MTEPS",
+        ],
         &rows,
     );
 

@@ -31,13 +31,23 @@ fn main() {
     println!("Figure 2 analogue (reduction = {reduction}, seed = {seed})");
     println!("one root per graph; counts over the whole search\n");
 
-    let methods =
-        [Method::VertexParallel, Method::EdgeParallel, Method::WorkEfficient];
+    let methods = [
+        Method::VertexParallel,
+        Method::EdgeParallel,
+        Method::WorkEfficient,
+    ];
     let mut rows = Vec::new();
     let mut records = Vec::new();
-    for d in [DatasetId::LuxembourgOsm, DatasetId::KronG500Logn20, DatasetId::Smallworld] {
+    for d in [
+        DatasetId::LuxembourgOsm,
+        DatasetId::KronG500Logn20,
+        DatasetId::Smallworld,
+    ] {
         let g = d.generate(reduction, seed);
-        let opts = BcOptions { roots: RootSelection::Explicit(vec![0]), ..Default::default() };
+        let opts = BcOptions {
+            roots: RootSelection::Explicit(vec![0]),
+            ..Default::default()
+        };
         for m in &methods {
             let run = m.run(&g, &opts).expect("fits");
             let c = run.report.counters;
@@ -62,7 +72,15 @@ fn main() {
         }
     }
     print_table(
-        &["graph", "method", "useful E", "wasted E", "wasted V-checks", "warp steps", "efficiency"],
+        &[
+            "graph",
+            "method",
+            "useful E",
+            "wasted E",
+            "wasted V-checks",
+            "warp steps",
+            "efficiency",
+        ],
         &rows,
     );
     println!(

@@ -36,7 +36,11 @@ fn sparkline(series: &[f64], max: f64) -> String {
             let lo = c * series.len() / cols;
             let hi = ((c + 1) * series.len() / cols).max(lo + 1);
             let v = series[lo..hi].iter().cloned().fold(0.0, f64::max);
-            let idx = if max <= 0.0 { 0 } else { ((v / max) * 7.0).round() as usize };
+            let idx = if max <= 0.0 {
+                0
+            } else {
+                ((v / max) * 7.0).round() as usize
+            };
             BARS[idx.min(7)]
         })
         .collect()
@@ -100,7 +104,11 @@ fn main() {
             "  {:>18}: {:5.1}%  ({})",
             d.name(),
             peak,
-            if d.prefers_work_efficient() { "gradual, small frontier" } else { "explosive frontier" }
+            if d.prefers_work_efficient() {
+                "gradual, small frontier"
+            } else {
+                "explosive frontier"
+            }
         );
     }
     write_json("fig3_frontiers", &records);

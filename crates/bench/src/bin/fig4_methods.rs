@@ -56,8 +56,13 @@ fn main() {
     let mut per_method_factors: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for d in graphs {
         let g = d.generate(reduction, seed);
-        let opts = BcOptions { roots: RootSelection::Strided(k), ..Default::default() };
-        let base = Method::EdgeParallel.run(&g, &opts).expect("edge-parallel fits");
+        let opts = BcOptions {
+            roots: RootSelection::Strided(k),
+            ..Default::default()
+        };
+        let base = Method::EdgeParallel
+            .run(&g, &opts)
+            .expect("edge-parallel fits");
         let mut speedups = Vec::new();
         for (mi, m) in methods(g.num_vertices()).iter().enumerate() {
             let run = m.run(&g, &opts).expect("method fits");
@@ -81,7 +86,13 @@ fn main() {
         });
     }
     print_table(
-        &["graph", "edge-parallel t", "work-efficient", "hybrid", "sampling"],
+        &[
+            "graph",
+            "edge-parallel t",
+            "work-efficient",
+            "hybrid",
+            "sampling",
+        ],
         &rows,
     );
     println!();

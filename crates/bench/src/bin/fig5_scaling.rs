@@ -59,7 +59,10 @@ fn main() {
         let mut rows = Vec::new();
         for scale in min_scale..=max_scale {
             let g = family_instance(family, scale, seed);
-            let opts = BcOptions { roots: RootSelection::Strided(k), ..Default::default() };
+            let opts = BcOptions {
+                roots: RootSelection::Strided(k),
+                ..Default::default()
+            };
             let fan = match Method::GpuFan.run(&g, &opts) {
                 Ok(run) => Some(run.report.full_seconds),
                 Err(e) => {
@@ -67,7 +70,9 @@ fn main() {
                     None
                 }
             };
-            let ep = Method::EdgeParallel.run(&g, &opts).expect("edge-parallel fits");
+            let ep = Method::EdgeParallel
+                .run(&g, &opts)
+                .expect("edge-parallel fits");
             let samp = Method::Sampling(bc_bench::scaled_sampling(g.num_vertices(), k))
                 .run(&g, &opts)
                 .expect("sampling fits");
@@ -89,7 +94,10 @@ fn main() {
                 sampling_seconds: samp.report.full_seconds,
             });
         }
-        print_table(&["scale", "n", "m", "gpu-fan", "edge-parallel", "sampling"], &rows);
+        print_table(
+            &["scale", "n", "m", "gpu-fan", "edge-parallel", "sampling"],
+            &rows,
+        );
         println!();
     }
     println!(

@@ -73,10 +73,9 @@ fn main() {
             }
             rows.push(row);
         }
-        let headers: Vec<String> =
-            std::iter::once("scale".to_string())
-                .chain(NODE_COUNTS.iter().map(|n| format!("{n} node")))
-                .collect();
+        let headers: Vec<String> = std::iter::once("scale".to_string())
+            .chain(NODE_COUNTS.iter().map(|n| format!("{n} node")))
+            .collect();
         let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
         print_table(&headers_ref, &rows);
         println!();

@@ -58,12 +58,20 @@ fn main() {
                 format!("{:.3}", t.rho_vt()),
                 format!("{:.3}", t.rho_et()),
             ]);
-            records.push(Record { dataset: d.name(), root, rho_vt: t.rho_vt(), rho_et: t.rho_et() });
+            records.push(Record {
+                dataset: d.name(),
+                root,
+                rho_vt: t.rho_vt(),
+                rho_et: t.rho_et(),
+            });
         }
     }
     print_table(&["graph", "root", "rho_vt", "rho_et"], &rows);
 
-    let min_vt = records.iter().map(|r| r.rho_vt).fold(f64::INFINITY, f64::min);
+    let min_vt = records
+        .iter()
+        .map(|r| r.rho_vt)
+        .fold(f64::INFINITY, f64::min);
     println!(
         "\nminimum rho_vt = {min_vt:.3} — the paper's claim is that the vertex frontier \
          correlates positively with iteration time regardless of root or structure"

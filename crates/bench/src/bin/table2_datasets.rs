@@ -26,7 +26,9 @@ fn main() {
     let seed = args.seed();
 
     println!("Table II analogue (reduction = {reduction}, seed = {seed})");
-    println!("paper columns are the published full-scale values; generated columns are our analogues\n");
+    println!(
+        "paper columns are the published full-scale values; generated columns are our analogues\n"
+    );
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -71,6 +73,8 @@ fn main() {
         ],
         &rows,
     );
-    println!("\n(diameters at reduced scale shrink with n; compare per-class magnitude, not decimals)");
+    println!(
+        "\n(diameters at reduced scale shrink with n; compare per-class magnitude, not decimals)"
+    );
     write_json("table2_datasets", &records);
 }

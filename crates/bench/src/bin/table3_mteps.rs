@@ -55,8 +55,13 @@ fn main() {
     let mut factors = Vec::new();
     for d in DatasetId::TABLE3 {
         let g = d.generate(reduction, seed);
-        let opts = BcOptions { roots: RootSelection::Strided(k), ..Default::default() };
-        let ep = Method::EdgeParallel.run(&g, &opts).expect("edge-parallel fits");
+        let opts = BcOptions {
+            roots: RootSelection::Strided(k),
+            ..Default::default()
+        };
+        let ep = Method::EdgeParallel
+            .run(&g, &opts)
+            .expect("edge-parallel fits");
         let samp = Method::Sampling(bc_bench::scaled_sampling(g.num_vertices(), k))
             .run(&g, &opts)
             .expect("sampling fits");
@@ -94,7 +99,15 @@ fn main() {
     }
     println!();
     print_table(
-        &["graph", "EP MTEPS", "samp MTEPS", "speedup", "EP(paper)", "samp(paper)", "speedup(paper)"],
+        &[
+            "graph",
+            "EP MTEPS",
+            "samp MTEPS",
+            "speedup",
+            "EP(paper)",
+            "samp(paper)",
+            "speedup(paper)",
+        ],
         &rows,
     );
     let gm = teps::geometric_mean(&factors);

@@ -40,7 +40,11 @@ fn main() {
 
     println!("Table IV analogue (reduction = {reduction}, {k} sampled roots, seed = {seed})\n");
 
-    let graphs = [DatasetId::RggN2_20, DatasetId::DelaunayN20, DatasetId::KronG500Logn20];
+    let graphs = [
+        DatasetId::RggN2_20,
+        DatasetId::DelaunayN20,
+        DatasetId::KronG500Logn20,
+    ];
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for d in graphs {
@@ -77,7 +81,15 @@ fn main() {
         });
     }
     print_table(
-        &["graph", "64-node GTEPS", "adj. GTEPS", "speedup/1node", "isolated", "GTEPS(paper)", "speedup(paper)"],
+        &[
+            "graph",
+            "64-node GTEPS",
+            "adj. GTEPS",
+            "speedup/1node",
+            "isolated",
+            "GTEPS(paper)",
+            "speedup(paper)",
+        ],
         &rows,
     );
     println!(

@@ -4,6 +4,9 @@
 //! DESIGN.md §4). Common concerns — CLI flags, deterministic seeds,
 //! table rendering, JSON result export — live here.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -74,7 +77,10 @@ pub fn scaled_sampling(n: usize, k: usize) -> bc_core::SamplingParams {
         return base;
     }
     let scaled = (base.n_samps * k).div_ceil(n.max(1)).max(3);
-    bc_core::SamplingParams { n_samps: scaled, ..base }
+    bc_core::SamplingParams {
+        n_samps: scaled,
+        ..base
+    }
 }
 
 /// Directory experiment outputs are written to (`results/`, created
@@ -115,7 +121,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     };
     let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", line(&hdr));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", line(row));
     }
@@ -149,7 +158,9 @@ mod tests {
         assert_eq!(args.seed(), 7);
         assert_eq!(args.reduction(3), 3);
         // Unparseable values fall back to the default.
-        let bad = Args { pairs: vec![("roots".into(), "xyz".into())] };
+        let bad = Args {
+            pairs: vec![("roots".into(), "xyz".into())],
+        };
         assert_eq!(bad.roots(9), 9);
     }
 

@@ -48,6 +48,9 @@ pub struct Cli {
     pub threads: usize,
     /// Normalize scores.
     pub normalize: bool,
+    /// Run the bc-verify checks (CSR invariants, traced replay of a
+    /// few roots, score sanity) on this run.
+    pub verify: bool,
     /// Print the top-K vertices.
     pub top: usize,
     /// Write all scores to this path.
@@ -83,6 +86,11 @@ COMPUTATION:
                        are bitwise identical at any count [default: auto]
     --normalize        scale scores by (n-1)(n-2)[/2]
 
+VERIFICATION:
+    --verify           run the bc-verify layer on this run: CSR
+                       invariants, race-checked traced replay of a few
+                       roots, and final-score sanity (exit 1 on failure)
+
 OUTPUT:
     --top K            print the K most central vertices  [default: 10]
     --out FILE         write one score per line to FILE
@@ -102,6 +110,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         device: DeviceConfig::gtx_titan(),
         threads: 0,
         normalize: false,
+        verify: false,
         top: 10,
         out: None,
         json: false,
@@ -109,7 +118,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
-            it.next().cloned().ok_or_else(|| format!("missing value for {flag}"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
         };
         match flag.as_str() {
             "--graph" => cli.graph = Some(value()?),
@@ -124,9 +135,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.roots = if v == "all" {
                     RootSelection::All
                 } else {
-                    RootSelection::Strided(
-                        v.parse().map_err(|e| format!("--roots: {e}"))?,
-                    )
+                    RootSelection::Strided(v.parse().map_err(|e| format!("--roots: {e}"))?)
                 };
             }
             "--device" => {
@@ -136,10 +145,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     other => return Err(format!("unknown device '{other}'")),
                 }
             }
-            "--threads" => {
-                cli.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?
-            }
+            "--threads" => cli.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?,
             "--normalize" => cli.normalize = true,
+            "--verify" => cli.verify = true,
             "--top" => cli.top = value()?.parse().map_err(|e| format!("--top: {e}"))?,
             "--out" => cli.out = Some(value()?),
             "--json" => cli.json = true,
@@ -148,7 +156,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         }
     }
     if cli.graph.is_some() == cli.dataset.is_some() {
-        return Err(format!("exactly one of --graph or --dataset is required\n\n{USAGE}"));
+        return Err(format!(
+            "exactly one of --graph or --dataset is required\n\n{USAGE}"
+        ));
     }
     Ok(cli)
 }
@@ -187,8 +197,23 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let cli = parse(&s(&[
-            "--graph", "g.mtx", "--method", "we", "--roots", "128", "--device", "m2090",
-            "--threads", "4", "--normalize", "--top", "5", "--out", "scores.txt", "--json",
+            "--graph",
+            "g.mtx",
+            "--method",
+            "we",
+            "--roots",
+            "128",
+            "--device",
+            "m2090",
+            "--threads",
+            "4",
+            "--normalize",
+            "--verify",
+            "--top",
+            "5",
+            "--out",
+            "scores.txt",
+            "--json",
         ]))
         .unwrap();
         assert_eq!(cli.graph.as_deref(), Some("g.mtx"));
@@ -196,7 +221,7 @@ mod tests {
         assert_eq!(cli.roots, RootSelection::Strided(128));
         assert_eq!(cli.device.name, "Tesla M2090");
         assert_eq!(cli.threads, 4);
-        assert!(cli.normalize && cli.json);
+        assert!(cli.normalize && cli.json && cli.verify);
         assert_eq!(cli.top, 5);
         assert_eq!(cli.out.as_deref(), Some("scores.txt"));
     }

@@ -4,6 +4,9 @@
 //! the simulated GPU) or a host reference, and reports scores plus
 //! the simulation report. See `--help`.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 mod args;
 
 use args::{Cli, RunMethod};
@@ -60,7 +63,11 @@ fn run(cli: &Cli) -> Result<(), String> {
         "graph: {} vertices, {} undirected edges ({}; loaded in {:.2?})",
         g.num_vertices(),
         g.num_undirected_edges(),
-        if g.is_symmetric() { "undirected" } else { "directed" },
+        if g.is_symmetric() {
+            "undirected"
+        } else {
+            "directed"
+        },
         t0.elapsed()
     );
 
@@ -69,9 +76,7 @@ fn run(cli: &Cli) -> Result<(), String> {
         RunMethod::Sequential | RunMethod::CpuParallel => {
             let roots = cli.roots.resolve(g.num_vertices());
             let mut scores = match cli.method {
-                RunMethod::Sequential => {
-                    brandes::betweenness_from_roots(&g, roots.iter().copied())
-                }
+                RunMethod::Sequential => brandes::betweenness_from_roots(&g, roots.iter().copied()),
                 _ => bc_core::parallel::cpu_betweenness_from_roots(&g, &roots, cli.threads),
             };
             if cli.normalize {
@@ -113,8 +118,11 @@ fn run(cli: &Cli) -> Result<(), String> {
 
     // Top-K table.
     if cli.top > 0 {
-        let mut ranked: Vec<(u32, f64)> =
-            scores.iter().enumerate().map(|(v, &s)| (v as u32, s)).collect();
+        let mut ranked: Vec<(u32, f64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(v, &s)| (v as u32, s))
+            .collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         println!("top {} vertices by betweenness:", cli.top.min(ranked.len()));
         for (v, s) in ranked.iter().take(cli.top) {
@@ -133,10 +141,75 @@ fn run(cli: &Cli) -> Result<(), String> {
 
     if cli.json {
         if let Some(report) = &report {
-            println!("{}", serde_json::to_string_pretty(report).map_err(|e| e.to_string())?);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(report).map_err(|e| e.to_string())?
+            );
         } else {
             eprintln!("(--json applies to simulated methods only)");
         }
     }
+
+    if cli.verify {
+        verify_run(cli, &g, &scores)?;
+    }
+    Ok(())
+}
+
+/// Run the bc-verify layer against this invocation's graph and
+/// scores: CSR invariants, a race-checked traced replay of a few
+/// roots, score sanity, and — for exact unnormalized all-roots runs
+/// on small graphs — the Brandes pair-sum identity.
+fn verify_run(cli: &Cli, g: &Csr, scores: &[f64]) -> Result<(), String> {
+    let t = Instant::now();
+    let mut problems = 0usize;
+
+    let csr = bc_verify::check_csr(g);
+    for v in &csr {
+        eprintln!("verify FAIL: {v}");
+    }
+    problems += csr.len();
+
+    let n = g.num_vertices();
+    let traced_roots = 4.min(n);
+    let mut events = 0u64;
+    for i in 0..traced_roots {
+        let root = ((i * n) / traced_roots) as u32;
+        let v = bc_verify::verify_root(g, root, &cli.device);
+        events += v.events;
+        for r in &v.races {
+            eprintln!("verify FAIL (root {root}): {r}");
+        }
+        for viol in &v.violations {
+            eprintln!("verify FAIL (root {root}): {viol}");
+        }
+        problems += v.races.len() + v.violations.len();
+    }
+
+    let bad_scores = bc_verify::check_scores(scores);
+    for v in &bad_scores {
+        eprintln!("verify FAIL: {v}");
+    }
+    problems += bad_scores.len();
+
+    // The pair-sum identity only holds for exact, unnormalized,
+    // all-roots scores, and costs an all-pairs BFS — gate it to small
+    // instances.
+    if cli.roots == RootSelection::All && !cli.normalize && n <= 4096 {
+        let pair = bc_verify::check_pair_sum(g, scores);
+        for v in &pair {
+            eprintln!("verify FAIL: {v}");
+        }
+        problems += pair.len();
+    }
+
+    if problems > 0 {
+        return Err(format!("--verify found {problems} problem(s)"));
+    }
+    eprintln!(
+        "verify: clean — CSR invariants, {traced_roots} traced roots ({events} events, race-free), \
+         score sanity ({:.2?})",
+        t.elapsed()
+    );
     Ok(())
 }

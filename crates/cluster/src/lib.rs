@@ -5,7 +5,8 @@
 //! threaded per-GPU execution with a final reduction ([`runner`]),
 //! and strong-scaling sweeps ([`scaling`]) for Figure 6 / Table IV.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod net;
 pub mod partition;

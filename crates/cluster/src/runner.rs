@@ -96,7 +96,11 @@ impl ClusterReport {
 /// Run exact BC on the cluster, simulating `sample_roots` roots per
 /// the usual extrapolation (§IV-C: per-root cost is uniform within a
 /// component, so `k` roots cost `k×` one root).
-pub fn run_cluster(g: &Csr, cfg: &ClusterConfig, sample_roots: usize) -> Result<ClusterRun, SimError> {
+pub fn run_cluster(
+    g: &Csr,
+    cfg: &ClusterConfig,
+    sample_roots: usize,
+) -> Result<ClusterRun, SimError> {
     let n = g.num_vertices();
     let gpus = cfg.total_gpus();
     assert!(gpus > 0, "cluster must have at least one GPU");
@@ -215,7 +219,10 @@ mod tests {
     #[test]
     fn cluster_scores_match_sequential_when_all_roots_sampled() {
         let g = gen::watts_strogatz(300, 6, 0.1, 1);
-        let cfg = ClusterConfig { method: Method::WorkEfficient, ..ClusterConfig::keeneland(2) };
+        let cfg = ClusterConfig {
+            method: Method::WorkEfficient,
+            ..ClusterConfig::keeneland(2)
+        };
         let run = run_cluster(&g, &cfg, 300).unwrap();
         let expect = brandes::betweenness(&g);
         for (i, (e, a)) in expect.iter().zip(&run.scores).enumerate() {
@@ -238,7 +245,10 @@ mod tests {
             speedup > 5.0,
             "8 nodes should speed up near-linearly at this scale, got {speedup:.2}x"
         );
-        assert!(speedup <= 8.5, "speedup cannot exceed node ratio, got {speedup:.2}x");
+        assert!(
+            speedup <= 8.5,
+            "speedup cannot exceed node ratio, got {speedup:.2}x"
+        );
     }
 
     #[test]
@@ -290,7 +300,13 @@ mod tests {
         // GPU-FAN's O(n^2) matrix exceeds 6 GB at n = 65k even on the
         // cluster (the graph is replicated, not partitioned).
         let g = gen::grid(256, 256);
-        let cfg = ClusterConfig { method: Method::GpuFan, ..ClusterConfig::keeneland(2) };
-        assert!(matches!(run_cluster(&g, &cfg, 8), Err(SimError::OutOfMemory { .. })));
+        let cfg = ClusterConfig {
+            method: Method::GpuFan,
+            ..ClusterConfig::keeneland(2)
+        };
+        assert!(matches!(
+            run_cluster(&g, &cfg, 8),
+            Err(SimError::OutOfMemory { .. })
+        ));
     }
 }

@@ -2,8 +2,8 @@
 //! Table IV.
 
 use crate::runner::{run_cluster, ClusterConfig, ClusterReport};
-use bc_graph::Csr;
 use bc_gpusim::SimError;
+use bc_graph::Csr;
 use serde::{Deserialize, Serialize};
 
 /// One point of a strong-scaling curve.
@@ -25,20 +25,34 @@ pub fn strong_scaling(
     node_counts: &[usize],
     sample_roots: usize,
 ) -> Result<Vec<ScalingPoint>, SimError> {
-    assert!(node_counts.contains(&1), "need the 1-node anchor for speedups");
+    assert!(
+        node_counts.contains(&1),
+        "need the 1-node anchor for speedups"
+    );
     let mut points = Vec::with_capacity(node_counts.len());
     let mut t1 = None;
     for &nodes in node_counts {
-        let cfg = ClusterConfig { nodes, ..base.clone() };
+        let cfg = ClusterConfig {
+            nodes,
+            ..base.clone()
+        };
         let run = run_cluster(g, &cfg, sample_roots)?;
         if nodes == 1 {
             t1 = Some(run.report.total_seconds);
         }
-        points.push(ScalingPoint { nodes, report: run.report, speedup: 0.0 });
+        points.push(ScalingPoint {
+            nodes,
+            report: run.report,
+            speedup: 0.0,
+        });
     }
     let t1 = t1.expect("1-node anchor ran");
     for p in points.iter_mut() {
-        p.speedup = if p.report.total_seconds > 0.0 { t1 / p.report.total_seconds } else { 0.0 };
+        p.speedup = if p.report.total_seconds > 0.0 {
+            t1 / p.report.total_seconds
+        } else {
+            0.0
+        };
     }
     Ok(points)
 }
@@ -57,8 +71,10 @@ mod tests {
     #[test]
     fn speedups_anchor_at_one() {
         let g = gen::triangulated_grid(48, 48, 1);
-        let base =
-            ClusterConfig { method: Method::WorkEfficient, ..ClusterConfig::keeneland(1) };
+        let base = ClusterConfig {
+            method: Method::WorkEfficient,
+            ..ClusterConfig::keeneland(1)
+        };
         let pts = strong_scaling(&g, &base, &[1, 2, 4], 64).unwrap();
         assert_eq!(pts[0].nodes, 1);
         assert!((pts[0].speedup - 1.0).abs() < 1e-9);

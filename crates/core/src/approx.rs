@@ -7,8 +7,8 @@
 //! the same engine and methods.
 
 use crate::solver::{BcOptions, BcRun, Method, RootSelection};
-use bc_graph::{Csr, VertexId};
 use bc_gpusim::SimError;
+use bc_graph::{Csr, VertexId};
 
 /// Deterministically sample `k` distinct source vertices using a
 /// multiplicative-hash shuffle of the id range (seeded).
@@ -22,14 +22,18 @@ pub fn sample_sources(n: usize, k: usize, seed: u64) -> Vec<VertexId> {
     // full permutation.
     let stride = coprime_stride(n as u64, seed);
     let start = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64;
-    (0..k as u64).map(|i| ((start + i * stride) % n as u64) as u32).collect()
+    (0..k as u64)
+        .map(|i| ((start + i * stride) % n as u64) as u32)
+        .collect()
 }
 
 fn coprime_stride(n: u64, seed: u64) -> u64 {
     if n <= 2 {
         return 1;
     }
-    let mut s = (seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+    let mut s = (seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
         % (n - 1))
         + 1;
     while gcd(s, n) != 1 {
@@ -58,7 +62,10 @@ pub fn approximate_bc(
     let n = g.num_vertices();
     let sources = sample_sources(n, k, seed);
     let count = sources.len();
-    let opts = BcOptions { roots: RootSelection::Explicit(sources), ..opts.clone() };
+    let opts = BcOptions {
+        roots: RootSelection::Explicit(sources),
+        ..opts.clone()
+    };
     let mut run = method.run(g, &opts)?;
     if count > 0 {
         let scale = n as f64 / count as f64;
@@ -117,8 +124,7 @@ mod tests {
     fn full_sampling_is_exact() {
         let g = gen::grid(5, 5);
         let exact = brandes::betweenness(&g);
-        let run =
-            approximate_bc(&g, &Method::WorkEfficient, 25, 3, &BcOptions::default()).unwrap();
+        let run = approximate_bc(&g, &Method::WorkEfficient, 25, 3, &BcOptions::default()).unwrap();
         for (e, a) in exact.iter().zip(&run.scores) {
             assert!((e - a).abs() < 1e-9, "k = n must be exact: {e} vs {a}");
         }
@@ -128,10 +134,13 @@ mod tests {
     fn half_sampling_tracks_exact_scores() {
         let g = gen::watts_strogatz(400, 8, 0.1, 3);
         let exact = brandes::betweenness(&g);
-        let run = approximate_bc(&g, &Method::WorkEfficient, 200, 1, &BcOptions::default())
-            .unwrap();
+        let run =
+            approximate_bc(&g, &Method::WorkEfficient, 200, 1, &BcOptions::default()).unwrap();
         let err = mean_relative_error(&exact, &run.scores, 50.0);
-        assert!(err < 0.5, "50% sampling should track big scores, err = {err}");
+        assert!(
+            err < 0.5,
+            "50% sampling should track big scores, err = {err}"
+        );
     }
 
     #[test]

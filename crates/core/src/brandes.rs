@@ -131,17 +131,21 @@ pub fn accumulate_from_workspace(
 /// entry; it is re-zeroed (O(reached) sweep of `ss.order`) on exit —
 /// every read and write lands on a reached vertex, so the sweep
 /// restores the invariant exactly.
-fn accumulate_core(g: &Csr, source: VertexId, ss: &SingleSource, delta: &mut [f64], bc: &mut [f64]) {
+fn accumulate_core(
+    g: &Csr,
+    source: VertexId,
+    ss: &SingleSource,
+    delta: &mut [f64],
+    bc: &mut [f64],
+) {
     for &w in ss.order.iter().rev() {
         for &v in g.neighbors(w) {
             // v is a successor of w iff dist[v] == dist[w] + 1; the
             // successor formulation (Madduri et al.) needs no
             // predecessor storage and no atomics.
-            if ss.dist[w as usize] != u32::MAX
-                && ss.dist[v as usize] == ss.dist[w as usize] + 1
-            {
-                delta[w as usize] += ss.sigma[w as usize] / ss.sigma[v as usize]
-                    * (1.0 + delta[v as usize]);
+            if ss.dist[w as usize] != u32::MAX && ss.dist[v as usize] == ss.dist[w as usize] + 1 {
+                delta[w as usize] +=
+                    ss.sigma[w as usize] / ss.sigma[v as usize] * (1.0 + delta[v as usize]);
             }
         }
         if w != source {
@@ -231,7 +235,11 @@ pub fn normalize(scores: &mut [f64], symmetric: bool) {
         }
         return;
     }
-    let denom = if symmetric { (n - 1.0) * (n - 2.0) / 2.0 } else { (n - 1.0) * (n - 2.0) };
+    let denom = if symmetric {
+        (n - 1.0) * (n - 2.0) / 2.0
+    } else {
+        (n - 1.0) * (n - 2.0)
+    };
     for s in scores.iter_mut() {
         *s /= denom;
     }
@@ -280,13 +288,27 @@ mod tests {
         // example.
         let g = figure1_graph();
         let bc = betweenness(&g);
-        assert!((bc[8 - 1] - 0.0).abs() < 1e-9, "vertex 8 has BC 0, got {}", bc[7]);
-        assert!((bc[9 - 1] - 0.0).abs() < 1e-9, "vertex 9 has BC 0, got {}", bc[8]);
+        assert!(
+            (bc[8 - 1] - 0.0).abs() < 1e-9,
+            "vertex 8 has BC 0, got {}",
+            bc[7]
+        );
+        assert!(
+            (bc[9 - 1] - 0.0).abs() < 1e-9,
+            "vertex 9 has BC 0, got {}",
+            bc[8]
+        );
         let max = bc.iter().cloned().fold(0.0, f64::max);
-        assert!((bc[4 - 1] - max).abs() < 1e-9, "vertex 4 must dominate: {bc:?}");
+        assert!(
+            (bc[4 - 1] - max).abs() < 1e-9,
+            "vertex 4 must dominate: {bc:?}"
+        );
         // Vertex 4 bridges the 3 right vertices to the 5 left ones
         // plus its share of intra-side traffic; at minimum 15 pairs.
-        assert!(bc[4 - 1] >= 15.0, "vertex 4 carries all cross traffic: {bc:?}");
+        assert!(
+            bc[4 - 1] >= 15.0,
+            "vertex 4 carries all cross traffic: {bc:?}"
+        );
     }
 
     #[test]
@@ -415,7 +437,11 @@ mod tests {
         let g = gen::star(5); // hub BC = C(4,2) = 6 = max possible for n=5 undirected
         let mut bc = betweenness(&g);
         normalize(&mut bc, true);
-        assert!((bc[0] - 1.0).abs() < 1e-9, "normalized hub must be 1.0, got {}", bc[0]);
+        assert!(
+            (bc[0] - 1.0).abs() < 1e-9,
+            "normalized hub must be 1.0, got {}",
+            bc[0]
+        );
     }
 
     #[test]
@@ -497,7 +523,10 @@ mod tests {
             accumulate(&g, s, &ss, &mut bc_plain);
         }
         assert_eq!(bc_scratch, bc_plain);
-        assert!(scratch.iter().all(|&d| d == 0.0), "scratch must leave zeroed");
+        assert!(
+            scratch.iter().all(|&d| d == 0.0),
+            "scratch must leave zeroed"
+        );
     }
 
     #[test]

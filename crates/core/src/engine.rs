@@ -11,8 +11,9 @@
 //! each iteration. This is the classic functional/timing split used
 //! by architecture simulators.
 
-use bc_graph::{Csr, VertexId};
+use bc_gpusim::trace::{AccessKind, KernelArray, NullSink, TraceEvent, TracePhase, TraceSink};
 use bc_gpusim::{DeviceConfig, IterationWork, KernelCounters};
+use bc_graph::{Csr, VertexId};
 
 /// Distance marker for undiscovered vertices (the paper's `∞`).
 pub const INFINITY: u32 = u32::MAX;
@@ -141,6 +142,26 @@ impl SearchWorkspace {
     pub fn delta(&self) -> &[f64] {
         &self.delta
     }
+
+    /// The stack `S` of the most recent root: reached vertices in
+    /// discovery order, level-segmented by [`Self::ends`].
+    pub fn stack(&self) -> &[VertexId] {
+        &self.s
+    }
+
+    /// Level boundaries of [`Self::stack`]: `ends[i]..ends[i + 1]` is
+    /// the slice of `S` at BFS depth `i`.
+    pub fn ends(&self) -> &[u32] {
+        &self.ends
+    }
+
+    /// Overwrite one σ entry. Fault-injection hook for the
+    /// verification layer's tests (`bc-verify` must prove its
+    /// σ-consistency check actually fires); not used by any solver
+    /// path.
+    pub fn corrupt_sigma_for_tests(&mut self, v: usize, value: f64) {
+        self.sigma[v] = value;
+    }
 }
 
 /// Per-root simulation outcome.
@@ -203,6 +224,30 @@ pub fn process_root_into(
     bc: &mut [f64],
     out: &mut RootOutcome,
 ) {
+    process_root_traced(g, root, device, ws, model, bc, out, &mut NullSink);
+}
+
+/// [`process_root_into`] additionally emitting the logical per-thread
+/// memory accesses of each level to `sink` — one event per read,
+/// write, or atomic a work-efficient GPU thread would perform on the
+/// named kernel arrays (`d`, `σ`, `δ`, `Q_curr`/`Q_next`, `S`/`ends`).
+///
+/// Logical thread ids are lane positions within the level's frontier.
+/// With [`NullSink`] every emission site compiles out
+/// ([`TraceSink::ENABLED`] is a constant `false`), which is how the
+/// untraced [`process_root_into`] keeps its cost; `bc-verify`'s
+/// recorder captures the events for race detection.
+#[allow(clippy::too_many_arguments)]
+pub fn process_root_traced<S: TraceSink>(
+    g: &Csr,
+    root: VertexId,
+    device: &DeviceConfig,
+    ws: &mut SearchWorkspace,
+    model: &mut dyn CostModel,
+    bc: &mut [f64],
+    out: &mut RootOutcome,
+    sink: &mut S,
+) {
     out.reset();
     ws.reset(root);
     model.begin_root(g, root);
@@ -218,19 +263,82 @@ pub fn process_root_into(
         if level_start == level_end {
             break;
         }
+        if S::ENABLED {
+            sink.begin_level(TracePhase::Forward, depth);
+        }
         let mut frontier_edges = 0u64;
         let mut updates = 0u64;
         // Expand the frontier; `s` grows with Q_next's contents.
         for qi in level_start..level_end {
             let v = ws.s[qi];
+            let lane = (qi - level_start) as u32;
+            if S::ENABLED {
+                // The thread dequeues its own Q_curr slot.
+                sink.record(TraceEvent {
+                    thread: lane,
+                    array: KernelArray::QCurr,
+                    index: qi as u32,
+                    kind: AccessKind::Read,
+                });
+            }
             frontier_edges += g.degree(v) as u64;
             for &w in g.neighbors(v) {
+                if S::ENABLED {
+                    // atomicCAS(d[w], ∞, d[v] + 1) on every inspected
+                    // edge (Algorithm 2, line 8).
+                    sink.record(TraceEvent {
+                        thread: lane,
+                        array: KernelArray::Dist,
+                        index: w,
+                        kind: AccessKind::AtomicCas,
+                    });
+                }
                 if ws.dist[w as usize] == INFINITY {
                     // atomicCAS(d[w], ∞, d[v] + 1) winner enqueues w.
                     ws.dist[w as usize] = depth + 1;
+                    if S::ENABLED {
+                        // Queue-tail bump, then the write into the
+                        // claimed Q_next slot.
+                        sink.record(TraceEvent {
+                            thread: lane,
+                            array: KernelArray::Ends,
+                            index: depth + 1,
+                            kind: AccessKind::AtomicAdd,
+                        });
+                        sink.record(TraceEvent {
+                            thread: lane,
+                            array: KernelArray::QNext,
+                            index: ws.s.len() as u32,
+                            kind: AccessKind::Write,
+                        });
+                    }
                     ws.s.push(w);
                 }
+                if S::ENABLED {
+                    // The plain d[w] == d[v] + 1 check (line 11): a
+                    // non-atomic read racing only against atomics.
+                    sink.record(TraceEvent {
+                        thread: lane,
+                        array: KernelArray::Dist,
+                        index: w,
+                        kind: AccessKind::Read,
+                    });
+                }
                 if ws.dist[w as usize] == depth + 1 {
+                    if S::ENABLED {
+                        sink.record(TraceEvent {
+                            thread: lane,
+                            array: KernelArray::Sigma,
+                            index: v,
+                            kind: AccessKind::Read,
+                        });
+                        sink.record(TraceEvent {
+                            thread: lane,
+                            array: KernelArray::Sigma,
+                            index: w,
+                            kind: AccessKind::AtomicAdd,
+                        });
+                    }
                     // atomicAdd(σ[w], σ[v])
                     ws.sigma[w as usize] += ws.sigma[v as usize];
                     updates += 1;
@@ -270,18 +378,70 @@ pub fn process_root_into(
     while d > 0 {
         let level_start = ws.ends[d as usize] as usize;
         let level_end = ws.ends[d as usize + 1] as usize;
+        if S::ENABLED {
+            sink.begin_level(TracePhase::Backward, d);
+        }
         let mut frontier_edges = 0u64;
         let mut updates = 0u64;
         for si in level_start..level_end {
             let w = ws.s[si];
+            let lane = (si - level_start) as u32;
+            if S::ENABLED {
+                // The thread reads its own stack slot, then σ[w].
+                sink.record(TraceEvent {
+                    thread: lane,
+                    array: KernelArray::Stack,
+                    index: si as u32,
+                    kind: AccessKind::Read,
+                });
+                sink.record(TraceEvent {
+                    thread: lane,
+                    array: KernelArray::Sigma,
+                    index: w,
+                    kind: AccessKind::Read,
+                });
+            }
             frontier_edges += g.degree(w) as u64;
             let sw = ws.sigma[w as usize];
             let mut dsw = 0.0f64;
             for &v in g.neighbors(w) {
+                if S::ENABLED {
+                    // The successor check d[v] == d + 1: plain read.
+                    sink.record(TraceEvent {
+                        thread: lane,
+                        array: KernelArray::Dist,
+                        index: v,
+                        kind: AccessKind::Read,
+                    });
+                }
                 if ws.dist[v as usize] == d + 1 {
+                    if S::ENABLED {
+                        sink.record(TraceEvent {
+                            thread: lane,
+                            array: KernelArray::Sigma,
+                            index: v,
+                            kind: AccessKind::Read,
+                        });
+                        sink.record(TraceEvent {
+                            thread: lane,
+                            array: KernelArray::Delta,
+                            index: v,
+                            kind: AccessKind::Read,
+                        });
+                    }
                     dsw += sw / ws.sigma[v as usize] * (1.0 + ws.delta[v as usize]);
                     updates += 1;
                 }
+            }
+            if S::ENABLED {
+                // δ[w] is written exactly once, by its owner — the
+                // atomic-free store Algorithm 3 is safe to make.
+                sink.record(TraceEvent {
+                    thread: lane,
+                    array: KernelArray::Delta,
+                    index: w,
+                    kind: AccessKind::Write,
+                });
             }
             ws.delta[w as usize] = dsw;
         }
@@ -424,8 +584,7 @@ mod tests {
             let out_reused =
                 process_root(&g, r, &device, &mut reused, &mut FreeModel, &mut bc_reused);
             let mut fresh = SearchWorkspace::new(7);
-            let out_fresh =
-                process_root(&g, r, &device, &mut fresh, &mut FreeModel, &mut bc_fresh);
+            let out_fresh = process_root(&g, r, &device, &mut fresh, &mut FreeModel, &mut bc_fresh);
             assert_eq!(bc_reused, bc_fresh, "root {r}");
             assert_eq!(out_reused.reached, out_fresh.reached);
             assert_eq!(reused.dist(), fresh.dist());

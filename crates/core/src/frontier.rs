@@ -4,8 +4,8 @@
 
 use crate::engine::{process_root, SearchWorkspace};
 use crate::methods::models::WorkEfficientModel;
-use bc_graph::{Csr, VertexId};
 use bc_gpusim::DeviceConfig;
+use bc_graph::{Csr, VertexId};
 use serde::{Deserialize, Serialize};
 
 /// Per-root frontier trace.
@@ -24,13 +24,20 @@ pub struct FrontierTrace {
 impl FrontierTrace {
     /// Vertex frontier as a percentage of `n` (Figure 3's y-axis).
     pub fn vertex_frontier_percent(&self, n: usize) -> Vec<f64> {
-        self.vertex_frontier.iter().map(|&f| 100.0 * f as f64 / n as f64).collect()
+        self.vertex_frontier
+            .iter()
+            .map(|&f| 100.0 * f as f64 / n as f64)
+            .collect()
     }
 
     /// ρ(vertex frontier, iteration time) — Table I's `ρ_{v,t}`.
     pub fn rho_vt(&self) -> f64 {
         pearson(
-            &self.vertex_frontier.iter().map(|&x| x as f64).collect::<Vec<_>>(),
+            &self
+                .vertex_frontier
+                .iter()
+                .map(|&x| x as f64)
+                .collect::<Vec<_>>(),
             &self.level_seconds,
         )
     }
@@ -38,7 +45,11 @@ impl FrontierTrace {
     /// ρ(edge frontier, iteration time) — Table I's `ρ_{e,t}`.
     pub fn rho_et(&self) -> f64 {
         pearson(
-            &self.edge_frontier.iter().map(|&x| x as f64).collect::<Vec<_>>(),
+            &self
+                .edge_frontier
+                .iter()
+                .map(|&x| x as f64)
+                .collect::<Vec<_>>(),
             &self.level_seconds,
         )
     }

@@ -23,7 +23,8 @@
 //!          run.report.full_seconds, run.report.mteps());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod approx;
 pub mod brandes;

@@ -17,8 +17,8 @@
 //!   list on one lane (the worst divergence of Figure 2).
 
 use crate::engine::{LevelInfo, Phase, PricedIteration};
-use bc_graph::Csr;
 use bc_gpusim::{warp, DeviceConfig, IterationWork};
+use bc_graph::Csr;
 
 /// Slack sectors charged per frontier adjacency list for
 /// misalignment (a list rarely starts on a transaction boundary).
@@ -132,7 +132,10 @@ pub fn work_efficient_level(
         // queue-counter atomic per discovered vertex, plus the
         // offsets lookup of each frontier vertex. All of these are
         // dependent gathers chained behind the adjacency read.
-        Phase::Forward => (e + level.updates + 2 * f, e + level.updates + level.discovered),
+        Phase::Forward => (
+            e + level.updates + 2 * f,
+            e + level.updates + level.discovered,
+        ),
         // Backward (successor check): plain reads of d[v], then
         // σ[v], δ[v] on matches — no atomics at all.
         Phase::Backward => (e + 2 * level.updates + 2 * f, 0),
@@ -140,7 +143,9 @@ pub fn work_efficient_level(
     PricedIteration {
         work: IterationWork {
             warp_steps,
-            coalesced_bytes: f * 4 + level.discovered * 4 + e * 4
+            coalesced_bytes: f * 4
+                + level.discovered * 4
+                + e * 4
                 + f * LIST_MISALIGN_SECTORS * device.scattered_tx_bytes as u64,
             scattered_accesses: scattered,
             working_set_bytes: bc_working_set_bytes(g),
@@ -256,8 +261,8 @@ pub fn gpu_fan_level(g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) -> P
 /// Device-memory footprint of each method's per-run state (graph
 /// arrays excluded — those are charged separately).
 pub mod footprint {
-    use bc_graph::Csr;
     use bc_gpusim::DeviceConfig;
+    use bc_graph::Csr;
 
     /// CSR arrays on the device.
     pub fn graph_bytes(g: &Csr) -> u64 {
@@ -348,7 +353,10 @@ mod tests {
         let pb = edge_parallel_level(&g, &d, &bigl);
         assert_eq!(ps.work.warp_steps, pb.work.warp_steps);
         assert_eq!(ps.work.coalesced_bytes, pb.work.coalesced_bytes);
-        assert!(ps.wasted_edges > pb.wasted_edges, "bigger frontier wastes less");
+        assert!(
+            ps.wasted_edges > pb.wasted_edges,
+            "bigger frontier wastes less"
+        );
     }
 
     #[test]
@@ -384,7 +392,10 @@ mod tests {
         let we = work_efficient_level(&g, &d, &l, &mut trips);
         assert_eq!(we.work.atomics, 0, "successor approach needs no atomics");
         let ep = edge_parallel_level(&g, &d, &l);
-        assert!(ep.work.atomics > 0, "edge-parallel accumulation still needs atomics");
+        assert!(
+            ep.work.atomics > 0,
+            "edge-parallel accumulation still needs atomics"
+        );
     }
 
     #[test]
@@ -418,22 +429,25 @@ mod tests {
         let mut trips = Vec::new();
         let frontier: Vec<u32> = (0..600).collect();
         let l = level(&frontier, &g, Phase::Forward);
-        let base = work_efficient_level_cfg(
-            &g,
-            &d,
-            &l,
-            &mut trips,
-            WorkEfficientConfig::default(),
-        );
+        let base = work_efficient_level_cfg(&g, &d, &l, &mut trips, WorkEfficientConfig::default());
         let scan = work_efficient_level_cfg(
             &g,
             &d,
             &l,
             &mut trips,
-            WorkEfficientConfig { queue_append: QueueAppend::PrefixSum, ..Default::default() },
+            WorkEfficientConfig {
+                queue_append: QueueAppend::PrefixSum,
+                ..Default::default()
+            },
         );
-        assert!(scan.work.atomics < base.work.atomics, "scan removes tail atomics");
-        assert!(scan.work.warp_steps > base.work.warp_steps, "scan adds lockstep work");
+        assert!(
+            scan.work.atomics < base.work.atomics,
+            "scan removes tail atomics"
+        );
+        assert!(
+            scan.work.warp_steps > base.work.warp_steps,
+            "scan adds lockstep work"
+        );
     }
 
     #[test]
@@ -443,8 +457,7 @@ mod tests {
         let mut trips = Vec::new();
         let frontier: Vec<u32> = (0..64).collect();
         let l = level(&frontier, &g, Phase::Backward);
-        let base =
-            work_efficient_level_cfg(&g, &d, &l, &mut trips, WorkEfficientConfig::default());
+        let base = work_efficient_level_cfg(&g, &d, &l, &mut trips, WorkEfficientConfig::default());
         let flags = work_efficient_level_cfg(
             &g,
             &d,

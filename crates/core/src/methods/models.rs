@@ -5,8 +5,8 @@
 use crate::engine::{CostModel, LevelInfo, Phase, PricedIteration};
 use crate::methods::cost;
 use crate::parallel::ShardableCostModel;
-use bc_graph::{Csr, VertexId};
 use bc_gpusim::DeviceConfig;
+use bc_graph::{Csr, VertexId};
 use serde::{Deserialize, Serialize};
 
 /// The two base strategies the hybrid methods alternate between.
@@ -29,7 +29,10 @@ impl WorkEfficientModel {
     /// A model with non-default design-variant knobs (see
     /// [`cost::WorkEfficientConfig`]) — used by the §IV-A ablations.
     pub fn with_config(config: cost::WorkEfficientConfig) -> Self {
-        WorkEfficientModel { trips: Vec::new(), config }
+        WorkEfficientModel {
+            trips: Vec::new(),
+            config,
+        }
     }
 }
 
@@ -86,7 +89,10 @@ pub struct HybridParams {
 
 impl Default for HybridParams {
     fn default() -> Self {
-        HybridParams { alpha: 768, beta: 512 }
+        HybridParams {
+            alpha: 768,
+            beta: 512,
+        }
     }
 }
 
@@ -198,7 +204,11 @@ pub struct SamplingParams {
 
 impl Default for SamplingParams {
     fn default() -> Self {
-        SamplingParams { n_samps: 512, gamma: 4.0, min_frontier: 512 }
+        SamplingParams {
+            n_samps: 512,
+            gamma: 4.0,
+            min_frontier: 512,
+        }
     }
 }
 
@@ -374,7 +384,10 @@ mod tests {
     fn hybrid_alpha_sensitivity() {
         // With a huge α the hybrid never reconsiders.
         let g = gen::star(5000);
-        let mut m = HybridModel::new(HybridParams { alpha: u64::MAX, beta: 512 });
+        let mut m = HybridModel::new(HybridParams {
+            alpha: u64::MAX,
+            beta: 512,
+        });
         drive(&g, &mut m);
         assert_eq!(m.edge_parallel_iterations, 0);
     }

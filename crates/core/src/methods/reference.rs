@@ -63,10 +63,7 @@ pub fn edge_parallel_bc(g: &Csr) -> Vec<f64> {
 
 /// Shared scaffolding: run `expand(depth)` until fixpoint per root,
 /// then accumulate dependencies with a full scan per depth.
-fn bc_with(
-    g: &Csr,
-    mut expand: impl FnMut(&Csr, &mut [u32], &mut [f64], u32) -> bool,
-) -> Vec<f64> {
+fn bc_with(g: &Csr, mut expand: impl FnMut(&Csr, &mut [u32], &mut [f64], u32) -> bool) -> Vec<f64> {
     let n = g.num_vertices();
     let mut bc = vec![0.0f64; n];
     let mut dist = vec![INF; n];
@@ -93,8 +90,7 @@ fn bc_with(
                 let mut dsw = 0.0;
                 for &v in g.neighbors(w) {
                     if dist[v as usize] == d + 1 {
-                        dsw += sigma[w as usize] / sigma[v as usize]
-                            * (1.0 + delta[v as usize]);
+                        dsw += sigma[w as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
                     }
                 }
                 delta[w as usize] = dsw;

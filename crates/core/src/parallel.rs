@@ -25,8 +25,8 @@
 
 use crate::brandes;
 use crate::engine::{process_root_into, CostModel, FreeModel, RootOutcome, SearchWorkspace};
-use bc_graph::{Csr, VertexId};
 use bc_gpusim::{DeviceConfig, KernelCounters};
+use bc_graph::{Csr, VertexId};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -88,7 +88,9 @@ pub fn effective_threads(requested: usize) -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
 }
 
 /// Roots per shard for a given root count (the last shard may be
@@ -168,8 +170,23 @@ impl<Meta> OrderedMerger<Meta> {
     /// contiguous with the merge frontier; hand back a zeroed buffer
     /// for the worker's next shard.
     fn deposit(&self, shard: usize, acc: Vec<f64>, meta: Meta) -> Vec<f64> {
+        debug_assert_eq!(
+            acc.len(),
+            self.n,
+            "shard {shard} accumulator has the wrong length"
+        );
+        // No finiteness check here: σ path counts are f64 and overflow
+        // to ∞ on extreme-diameter meshes (δ then holds ∞/∞ = NaN), so
+        // finite shards are a per-graph property, not a merger
+        // invariant. `bc_verify::check_scores` flags overflow when the
+        // caller opts into verification.
         let mut st = self.state.lock().expect("merger poisoned");
-        st.pending.insert(shard, (acc, meta));
+        debug_assert!(
+            shard >= st.next,
+            "shard {shard} deposited after it was already merged"
+        );
+        let displaced = st.pending.insert(shard, (acc, meta));
+        debug_assert!(displaced.is_none(), "shard {shard} deposited twice");
         loop {
             let next = st.next;
             let Some((mut buf, meta)) = st.pending.remove(&next) else {
@@ -188,12 +205,21 @@ impl<Meta> OrderedMerger<Meta> {
 
     /// Return an unused buffer when a worker runs out of shards.
     fn recycle(&self, acc: Vec<f64>) {
+        // Pool buffers are handed out as accumulators without
+        // re-zeroing, so anything entering the pool must be pristine.
+        debug_assert!(
+            acc.iter().all(|&v| v == 0.0),
+            "a dirty accumulator must be deposited, not recycled"
+        );
         self.state.lock().expect("merger poisoned").pool.push(acc);
     }
 
     fn finish(self) -> (Vec<f64>, Vec<Meta>) {
         let inner = self.state.into_inner().expect("merger poisoned");
-        assert!(inner.pending.is_empty(), "every shard must have been drained");
+        assert!(
+            inner.pending.is_empty(),
+            "every shard must have been drained"
+        );
         (inner.scores, inner.metas)
     }
 }
@@ -254,7 +280,13 @@ pub fn run_roots<M: ShardableCostModel>(
             acc = merger.deposit(
                 shard,
                 acc,
-                ShardMeta { first_root: lo, per_root_seconds, max_depths, counters, model: m },
+                ShardMeta {
+                    first_root: lo,
+                    per_root_seconds,
+                    max_depths,
+                    counters,
+                    model: m,
+                },
             );
         }
         merger.recycle(acc);
@@ -283,7 +315,12 @@ pub fn run_roots<M: ShardableCostModel>(
         counters.merge(&meta.counters);
         model.merge_worker(meta.model);
     }
-    RootsRun { scores, per_root_seconds, max_depths, counters }
+    RootsRun {
+        scores,
+        per_root_seconds,
+        max_depths,
+        counters,
+    }
 }
 
 /// Exact CPU Brandes over an explicit root set, sharded across host
@@ -392,7 +429,9 @@ mod tests {
         let run = run_roots(&g, &titan(), &[], 4, &mut FreeModel);
         assert!(run.scores.iter().all(|&s| s == 0.0));
         assert!(run.per_root_seconds.is_empty());
-        assert!(cpu_betweenness_from_roots(&g, &[], 2).iter().all(|&s| s == 0.0));
+        assert!(cpu_betweenness_from_roots(&g, &[], 2)
+            .iter()
+            .all(|&s| s == 0.0));
     }
 
     #[test]

@@ -3,14 +3,14 @@
 
 use crate::brandes;
 use crate::methods::cost::footprint;
-use crate::parallel::{self, ShardableCostModel};
 use crate::methods::models::{
-    EdgeParallelModel, GpuFanModel, HybridModel, HybridParams, SamplingParams,
-    SamplingPhaseModel, VertexParallelModel, WorkEfficientModel,
+    EdgeParallelModel, GpuFanModel, HybridModel, HybridParams, SamplingParams, SamplingPhaseModel,
+    VertexParallelModel, WorkEfficientModel,
 };
+use crate::parallel::{self, ShardableCostModel};
 use crate::teps;
-use bc_graph::{Csr, VertexId};
 use bc_gpusim::{coarse_grained_makespan, DeviceConfig, DeviceMemory, KernelCounters, SimError};
+use bc_graph::{Csr, VertexId};
 use serde::{Deserialize, Serialize};
 
 /// Which source vertices to process.
@@ -177,27 +177,57 @@ impl Method {
             Method::VertexParallel => {
                 let mut m = VertexParallelModel::default();
                 let run = parallel::run_roots(g, device, &roots, threads, &mut m);
-                absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
+                absorb(
+                    run,
+                    &mut scores,
+                    &mut per_root_seconds,
+                    &mut max_depths,
+                    &mut counters,
+                );
             }
             Method::EdgeParallel => {
                 let mut m = EdgeParallelModel;
                 let run = parallel::run_roots(g, device, &roots, threads, &mut m);
-                absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
+                absorb(
+                    run,
+                    &mut scores,
+                    &mut per_root_seconds,
+                    &mut max_depths,
+                    &mut counters,
+                );
             }
             Method::GpuFan => {
                 let mut m = GpuFanModel;
                 let run = parallel::run_roots(g, device, &roots, threads, &mut m);
-                absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
+                absorb(
+                    run,
+                    &mut scores,
+                    &mut per_root_seconds,
+                    &mut max_depths,
+                    &mut counters,
+                );
             }
             Method::WorkEfficient => {
                 let mut m = WorkEfficientModel::default();
                 let run = parallel::run_roots(g, device, &roots, threads, &mut m);
-                absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
+                absorb(
+                    run,
+                    &mut scores,
+                    &mut per_root_seconds,
+                    &mut max_depths,
+                    &mut counters,
+                );
             }
             Method::Hybrid(params) => {
                 let mut m = HybridModel::new(*params);
                 let run = parallel::run_roots(g, device, &roots, threads, &mut m);
-                absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
+                absorb(
+                    run,
+                    &mut scores,
+                    &mut per_root_seconds,
+                    &mut max_depths,
+                    &mut counters,
+                );
                 strategy_iterations =
                     Some((m.work_efficient_iterations, m.edge_parallel_iterations));
             }
@@ -208,7 +238,13 @@ impl Method {
                 let (sample_roots, rest_roots) = roots.split_at(n_samps);
                 let mut we = WorkEfficientModel::default();
                 let run = parallel::run_roots(g, device, sample_roots, threads, &mut we);
-                absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
+                absorb(
+                    run,
+                    &mut scores,
+                    &mut per_root_seconds,
+                    &mut max_depths,
+                    &mut counters,
+                );
                 let mut keys = max_depths.clone();
                 let use_ep = params.choose_edge_parallel(n, &mut keys);
                 sampling_chose_edge_parallel = Some(use_ep);
@@ -216,12 +252,24 @@ impl Method {
                 if use_ep {
                     let mut m = SamplingPhaseModel::new(params.min_frontier);
                     let run = parallel::run_roots(g, device, rest_roots, threads, &mut m);
-                    absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
+                    absorb(
+                        run,
+                        &mut scores,
+                        &mut per_root_seconds,
+                        &mut max_depths,
+                        &mut counters,
+                    );
                     strategy_iterations =
                         Some((m.work_efficient_iterations, m.edge_parallel_iterations));
                 } else {
                     let run = parallel::run_roots(g, device, rest_roots, threads, &mut we);
-                    absorb(run, &mut scores, &mut per_root_seconds, &mut max_depths, &mut counters);
+                    absorb(
+                        run,
+                        &mut scores,
+                        &mut per_root_seconds,
+                        &mut max_depths,
+                        &mut counters,
+                    );
                 }
             }
         }
@@ -286,7 +334,12 @@ pub fn run_with_cost_model<M: ShardableCostModel>(
     let _locals = mem.alloc(local_bytes, "per-run local arrays")?;
 
     let run = parallel::run_roots(g, device, &roots, opts.threads, model);
-    let parallel::RootsRun { mut scores, per_root_seconds, max_depths, counters } = run;
+    let parallel::RootsRun {
+        mut scores,
+        per_root_seconds,
+        max_depths,
+        counters,
+    } = run;
     brandes::halve_if_symmetric(g, &mut scores);
     if opts.normalize {
         brandes::normalize(&mut scores, g.is_symmetric());
@@ -411,7 +464,10 @@ mod tests {
     #[test]
     fn partial_roots_extrapolate() {
         let g = gen::watts_strogatz(512, 6, 0.1, 1);
-        let opts = BcOptions { roots: RootSelection::Strided(64), ..Default::default() };
+        let opts = BcOptions {
+            roots: RootSelection::Strided(64),
+            ..Default::default()
+        };
         let run = Method::WorkEfficient.run(&g, &opts).unwrap();
         assert_eq!(run.report.roots_processed, 64);
         let ratio = run.report.full_seconds / run.report.device_seconds;
@@ -424,12 +480,24 @@ mod tests {
         // n = 65,536 needs a 16 GiB predecessor matrix > 6 GB Titan.
         let g = gen::grid(256, 256);
         let err = Method::GpuFan
-            .run(&g, &BcOptions { roots: RootSelection::FirstK(1), ..Default::default() })
+            .run(
+                &g,
+                &BcOptions {
+                    roots: RootSelection::FirstK(1),
+                    ..Default::default()
+                },
+            )
             .unwrap_err();
         assert!(matches!(err, SimError::OutOfMemory { .. }), "{err}");
         // The work-efficient method handles the same graph fine.
         assert!(Method::WorkEfficient
-            .run(&g, &BcOptions { roots: RootSelection::FirstK(1), ..Default::default() })
+            .run(
+                &g,
+                &BcOptions {
+                    roots: RootSelection::FirstK(1),
+                    ..Default::default()
+                }
+            )
             .is_ok());
     }
 
@@ -440,7 +508,10 @@ mod tests {
         // re-inspects the whole edge list at every one of ~1400
         // levels.
         let g = gen::triangulated_grid(24, 1400, 1);
-        let opts = BcOptions { roots: RootSelection::Strided(8), ..Default::default() };
+        let opts = BcOptions {
+            roots: RootSelection::Strided(8),
+            ..Default::default()
+        };
         let we = Method::WorkEfficient.run(&g, &opts).unwrap();
         let ep = Method::EdgeParallel.run(&g, &opts).unwrap();
         assert!(
@@ -458,7 +529,10 @@ mod tests {
         // regime Fig. 4 measures, where EP's streaming wins back the
         // wasted-work deficit).
         let g = gen::watts_strogatz(200_000, 10, 0.1, 5);
-        let opts = BcOptions { roots: RootSelection::Strided(12), ..Default::default() };
+        let opts = BcOptions {
+            roots: RootSelection::Strided(12),
+            ..Default::default()
+        };
         let we = Method::WorkEfficient.run(&g, &opts).unwrap();
         let ep = Method::EdgeParallel.run(&g, &opts).unwrap();
         // Fig. 4: on small-world graphs pure work-efficient is
@@ -474,13 +548,23 @@ mod tests {
     #[test]
     fn sampling_decision_matches_graph_class() {
         let sw = gen::watts_strogatz(4096, 10, 0.1, 5);
-        let opts = BcOptions { roots: RootSelection::Strided(600), ..Default::default() };
-        let run = Method::Sampling(SamplingParams::default()).run(&sw, &opts).unwrap();
+        let opts = BcOptions {
+            roots: RootSelection::Strided(600),
+            ..Default::default()
+        };
+        let run = Method::Sampling(SamplingParams::default())
+            .run(&sw, &opts)
+            .unwrap();
         assert_eq!(run.report.sampling_chose_edge_parallel, Some(true));
 
         let road = gen::road_network(4096, 2);
-        let opts = BcOptions { roots: RootSelection::Strided(600), ..Default::default() };
-        let run = Method::Sampling(SamplingParams::default()).run(&road, &opts).unwrap();
+        let opts = BcOptions {
+            roots: RootSelection::Strided(600),
+            ..Default::default()
+        };
+        let run = Method::Sampling(SamplingParams::default())
+            .run(&road, &opts)
+            .unwrap();
         assert_eq!(run.report.sampling_chose_edge_parallel, Some(false));
     }
 
@@ -490,7 +574,10 @@ mod tests {
         for method in [
             Method::WorkEfficient,
             Method::Hybrid(HybridParams::default()),
-            Method::Sampling(SamplingParams { n_samps: 32, ..Default::default() }),
+            Method::Sampling(SamplingParams {
+                n_samps: 32,
+                ..Default::default()
+            }),
         ] {
             let run_at = |threads: usize| {
                 method
@@ -511,7 +598,10 @@ mod tests {
             assert_eq!(one.report.max_depths, eight.report.max_depths);
             assert_eq!(one.report.full_seconds, eight.report.full_seconds);
             assert_eq!(one.report.teps, eight.report.teps);
-            assert_eq!(one.report.strategy_iterations, eight.report.strategy_iterations);
+            assert_eq!(
+                one.report.strategy_iterations,
+                eight.report.strategy_iterations
+            );
             assert_eq!(
                 one.report.sampling_chose_edge_parallel,
                 eight.report.sampling_chose_edge_parallel
@@ -522,9 +612,16 @@ mod tests {
     #[test]
     fn normalization_applies() {
         let g = gen::star(64);
-        let opts = BcOptions { normalize: true, ..Default::default() };
+        let opts = BcOptions {
+            normalize: true,
+            ..Default::default()
+        };
         let run = Method::WorkEfficient.run(&g, &opts).unwrap();
-        assert!((run.scores[0] - 1.0).abs() < 1e-9, "hub normalizes to 1, got {}", run.scores[0]);
+        assert!(
+            (run.scores[0] - 1.0).abs() < 1e-9,
+            "hub normalizes to 1, got {}",
+            run.scores[0]
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl Eq for HeapItem {}
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap by distance.
-        other.dist.total_cmp(&self.dist).then_with(|| other.vertex.cmp(&self.vertex))
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.vertex.cmp(&self.vertex))
     }
 }
 
@@ -66,7 +69,10 @@ pub fn weighted_single_source(wg: &WeightedCsr, source: VertexId) -> WeightedSin
     let mut heap = BinaryHeap::new();
     dist[source as usize] = 0.0;
     sigma[source as usize] = 1.0;
-    heap.push(HeapItem { dist: 0.0, vertex: source });
+    heap.push(HeapItem {
+        dist: 0.0,
+        vertex: source,
+    });
     while let Some(HeapItem { dist: d, vertex: v }) = heap.pop() {
         if settled[v as usize] {
             continue;
@@ -79,7 +85,10 @@ pub fn weighted_single_source(wg: &WeightedCsr, source: VertexId) -> WeightedSin
             if cand < cur && !close(cand, cur) {
                 dist[w as usize] = cand;
                 sigma[w as usize] = sigma[v as usize];
-                heap.push(HeapItem { dist: cand, vertex: w });
+                heap.push(HeapItem {
+                    dist: cand,
+                    vertex: w,
+                });
             } else if close(cand, cur) && !settled[w as usize] {
                 sigma[w as usize] += sigma[v as usize];
             }
@@ -167,7 +176,12 @@ mod tests {
         // goes through 3, not 1.
         let wg = bc_graph::WeightedCsr::from_undirected_edges(
             4,
-            [(0u32, 1u32, 10.0f32), (1, 2, 10.0), (0, 3, 1.0), (3, 2, 1.0)],
+            [
+                (0u32, 1u32, 10.0f32),
+                (1, 2, 10.0),
+                (0, 3, 1.0),
+                (3, 2, 1.0),
+            ],
         );
         let bc = weighted_betweenness(&wg);
         assert!(bc[3] > 0.9, "vertex 3 carries the cheap route: {bc:?}");
@@ -222,10 +236,8 @@ mod tests {
     #[test]
     fn zero_weight_edges_allowed() {
         // Zero-weight edge merges two vertices distance-wise.
-        let wg = bc_graph::WeightedCsr::from_undirected_edges(
-            3,
-            [(0u32, 1u32, 0.0f32), (1, 2, 1.0)],
-        );
+        let wg =
+            bc_graph::WeightedCsr::from_undirected_edges(3, [(0u32, 1u32, 0.0f32), (1, 2, 1.0)]);
         let ss = weighted_single_source(&wg, 0);
         assert_eq!(ss.dist[1], 0.0);
         assert_eq!(ss.dist[2], 1.0);

@@ -17,15 +17,35 @@ pub enum SimError {
         /// What the allocation was for.
         what: String,
     },
+    /// A free would drive the allocation accounting below zero — a
+    /// double free, or an allocation returned to the wrong tracker.
+    /// The tracker's accounting is left untouched when this is
+    /// reported.
+    AccountingUnderflow {
+        /// Bytes the failing free tried to release.
+        freed: u64,
+        /// Bytes the tracker had accounted as allocated.
+        in_use: u64,
+    },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OutOfMemory { requested, in_use, capacity, what } => write!(
+            SimError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+                what,
+            } => write!(
                 f,
                 "simulated device out of memory allocating {requested} B for {what} \
                  ({in_use} B of {capacity} B already in use)"
+            ),
+            SimError::AccountingUnderflow { freed, in_use } => write!(
+                f,
+                "simulated device-memory accounting underflow: freeing {freed} B with only \
+                 {in_use} B allocated (double free, or an allocation from another tracker)"
             ),
         }
     }

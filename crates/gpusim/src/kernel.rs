@@ -83,7 +83,11 @@ mod tests {
     fn charge_accumulates_and_prices() {
         let d = DeviceConfig::gtx_titan();
         let mut k = KernelCounters::default();
-        let w = IterationWork { warp_steps: 100, coalesced_bytes: 64, ..Default::default() };
+        let w = IterationWork {
+            warp_steps: 100,
+            coalesced_bytes: 64,
+            ..Default::default()
+        };
         k.charge(&d, &w);
         k.charge(&d, &w);
         assert_eq!(k.iterations, 2);

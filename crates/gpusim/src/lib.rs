@@ -19,15 +19,20 @@
 //! * [`DeviceMemory`] — allocation tracking with faithful
 //!   out-of-memory failures;
 //! * [`coarse_grained_makespan`] — the strided block-to-root schedule
-//!   used by coarse-grained BC kernels.
+//!   used by coarse-grained BC kernels;
+//! * [`trace`] — logical per-thread memory-access events behind the
+//!   zero-cost-when-disabled [`trace::TraceSink`] trait, consumed by
+//!   the `bc-verify` race detector.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod device;
 mod error;
 mod kernel;
 mod memory;
 mod timing;
+pub mod trace;
 pub mod warp;
 
 pub use device::DeviceConfig;

@@ -20,7 +20,11 @@ pub struct DeviceMemory {
 impl DeviceMemory {
     /// A tracker for a device with `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        DeviceMemory { capacity, allocated: 0, peak: 0 }
+        DeviceMemory {
+            capacity,
+            allocated: 0,
+            peak: 0,
+        }
     }
 
     /// Allocate `bytes`, failing with [`SimError::OutOfMemory`] when
@@ -41,9 +45,22 @@ impl DeviceMemory {
     }
 
     /// Release an allocation previously obtained from [`Self::alloc`].
-    pub fn free(&mut self, a: Allocation) {
-        debug_assert!(self.allocated >= a.bytes, "double free in simulated device memory");
-        self.allocated = self.allocated.saturating_sub(a.bytes);
+    ///
+    /// Fails with [`SimError::AccountingUnderflow`] when the receipt
+    /// releases more bytes than this tracker has allocated — a double
+    /// free, or a receipt from a different tracker. The accounting is
+    /// left untouched on failure (silently saturating here would
+    /// corrupt `in_use` for the rest of the run and mask the bug in
+    /// release builds).
+    pub fn free(&mut self, a: Allocation) -> Result<(), SimError> {
+        if a.bytes > self.allocated {
+            return Err(SimError::AccountingUnderflow {
+                freed: a.bytes,
+                in_use: self.allocated,
+            });
+        }
+        self.allocated -= a.bytes;
+        Ok(())
     }
 
     /// Bytes currently allocated.
@@ -86,7 +103,7 @@ mod tests {
         let mut mem = DeviceMemory::new(1000);
         let a = mem.alloc(600, "arrays").unwrap();
         assert_eq!(mem.in_use(), 600);
-        mem.free(a);
+        mem.free(a).unwrap();
         assert_eq!(mem.in_use(), 0);
         assert_eq!(mem.peak(), 600);
     }
@@ -97,12 +114,18 @@ mod tests {
         let _keep = mem.alloc(800, "graph").unwrap();
         let err = mem.alloc(300, "predecessors").unwrap_err();
         match err {
-            SimError::OutOfMemory { requested, in_use, capacity, what } => {
+            SimError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+                what,
+            } => {
                 assert_eq!(requested, 300);
                 assert_eq!(in_use, 800);
                 assert_eq!(capacity, 1000);
                 assert_eq!(what, "predecessors");
             }
+            other => panic!("expected OutOfMemory, got {other:?}"),
         }
     }
 
@@ -118,9 +141,30 @@ mod tests {
         let mut mem = DeviceMemory::new(1000);
         let a = mem.alloc(400, "a").unwrap();
         let b = mem.alloc(500, "b").unwrap();
-        mem.free(a);
-        mem.free(b);
+        mem.free(a).unwrap();
+        mem.free(b).unwrap();
         let _c = mem.alloc(100, "c").unwrap();
         assert_eq!(mem.peak(), 900);
+    }
+
+    #[test]
+    fn foreign_free_is_an_error_not_a_saturation() {
+        let mut big = DeviceMemory::new(1000);
+        let mut small = DeviceMemory::new(1000);
+        let from_big = big.alloc(700, "arrays").unwrap();
+        let _keep = small.alloc(100, "arrays").unwrap();
+        // Returning `big`'s receipt to `small` must not silently
+        // saturate `small`'s accounting to zero.
+        let err = small.free(from_big).unwrap_err();
+        match err {
+            SimError::AccountingUnderflow { freed, in_use } => {
+                assert_eq!(freed, 700);
+                assert_eq!(in_use, 100);
+            }
+            other => panic!("expected AccountingUnderflow, got {other:?}"),
+        }
+        // Accounting untouched by the failed free.
+        assert_eq!(small.in_use(), 100);
+        assert_eq!(big.in_use(), 700);
     }
 }

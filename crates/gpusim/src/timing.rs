@@ -73,8 +73,7 @@ impl IterationWork {
     /// Effective bytes this iteration moves through DRAM.
     pub fn effective_bytes(&self, device: &DeviceConfig) -> u64 {
         self.coalesced_bytes
-            + (self.random_accesses + self.scattered_accesses)
-                * device.scattered_tx_bytes as u64
+            + (self.random_accesses + self.scattered_accesses) * device.scattered_tx_bytes as u64
     }
 }
 
@@ -110,10 +109,9 @@ impl DeviceConfig {
                 * self.scattered_tx_bytes as f64
                 * miss;
         let bw_s = dram_bytes / self.sm_bandwidth_bytes_s();
-        let gather_s = w.scattered_accesses as f64
-            * self.gather_latency_ns(w.working_set_bytes)
-            * 1e-9
-            / self.scattered_mlp;
+        let gather_s =
+            w.scattered_accesses as f64 * self.gather_latency_ns(w.working_set_bytes) * 1e-9
+                / self.scattered_mlp;
         let mem_s = bw_s.max(gather_s);
 
         // Contended atomics serialize: each conflict costs a full
@@ -121,7 +119,11 @@ impl DeviceConfig {
         let contention_s = self.cycles_to_seconds(w.contended_atomics as f64 * self.atomic_cycles);
 
         let overhead_s = self.iteration_overhead_ns * 1e-9
-            + if w.global_sync { self.global_sync_ns * 1e-9 } else { 0.0 };
+            + if w.global_sync {
+                self.global_sync_ns * 1e-9
+            } else {
+                0.0
+            };
 
         compute_s.max(mem_s) + contention_s + overhead_s
     }
@@ -159,8 +161,10 @@ mod tests {
     fn global_sync_adds_cost() {
         let d = dev();
         let base = d.block_iteration_seconds(&IterationWork::default());
-        let with_sync =
-            d.block_iteration_seconds(&IterationWork { global_sync: true, ..Default::default() });
+        let with_sync = d.block_iteration_seconds(&IterationWork {
+            global_sync: true,
+            ..Default::default()
+        });
         assert!((with_sync - base - d.global_sync_ns * 1e-9).abs() < 1e-15);
     }
 
@@ -168,7 +172,10 @@ mod tests {
     fn bandwidth_bound_iteration() {
         let d = dev();
         // 100 MB coalesced: clearly bandwidth bound.
-        let w = IterationWork { coalesced_bytes: 100_000_000, ..Default::default() };
+        let w = IterationWork {
+            coalesced_bytes: 100_000_000,
+            ..Default::default()
+        };
         let s = d.block_iteration_seconds(&w);
         let expect = 100e6 / d.sm_bandwidth_bytes_s() + d.iteration_overhead_ns * 1e-9;
         assert!((s - expect).abs() / expect < 1e-9);
@@ -190,14 +197,23 @@ mod tests {
             coalesced_bytes: words * 4,
             ..Default::default()
         });
-        assert!(gathers > 4.0 * random, "dependent {gathers} vs random {random}");
-        assert!(random > 4.0 * coalesced, "random {random} vs coalesced {coalesced}");
+        assert!(
+            gathers > 4.0 * random,
+            "dependent {gathers} vs random {random}"
+        );
+        assert!(
+            random > 4.0 * coalesced,
+            "random {random} vs coalesced {coalesced}"
+        );
     }
 
     #[test]
     fn l2_resident_working_sets_are_cheap() {
         let d = dev();
-        let base = IterationWork { scattered_accesses: 1_000_000, ..Default::default() };
+        let base = IterationWork {
+            scattered_accesses: 1_000_000,
+            ..Default::default()
+        };
         let miss = d.block_iteration_seconds(&base);
         let hit = d.block_iteration_seconds(&IterationWork {
             working_set_bytes: d.l2_bytes / 4, // fully resident
@@ -231,10 +247,12 @@ mod tests {
     #[test]
     fn compute_bound_iteration() {
         let d = dev();
-        let w = IterationWork { warp_steps: 10_000_000, ..Default::default() };
+        let w = IterationWork {
+            warp_steps: 10_000_000,
+            ..Default::default()
+        };
         let s = d.block_iteration_seconds(&w);
-        let expect =
-            d.cycles_to_seconds(1e7 * d.warp_step_cycles) + d.iteration_overhead_ns * 1e-9;
+        let expect = d.cycles_to_seconds(1e7 * d.warp_step_cycles) + d.iteration_overhead_ns * 1e-9;
         assert!((s - expect).abs() / expect < 1e-9);
     }
 
@@ -255,7 +273,11 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = IterationWork { warp_steps: 1, coalesced_bytes: 2, ..Default::default() };
+        let mut a = IterationWork {
+            warp_steps: 1,
+            coalesced_bytes: 2,
+            ..Default::default()
+        };
         let b = IterationWork {
             warp_steps: 10,
             scattered_accesses: 5,

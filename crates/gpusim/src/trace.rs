@@ -1,0 +1,185 @@
+//! Logical kernel memory-access tracing.
+//!
+//! The cost models (`bc_core::methods::cost`) *price* the atomics the
+//! paper's kernels issue; this module lets the engine *emit* the
+//! accesses those atomics protect, so a checker (`bc-verify`) can
+//! replay them and prove the pricing assumptions — most importantly
+//! that the successor-checking dependency accumulation of Algorithm 3
+//! is race-free **without** atomics while a predecessor-style
+//! (edge-parallel) accumulation is not.
+//!
+//! Events are *logical*: one per access a GPU thread would perform on
+//! the named per-root kernel arrays, attributed to the lane (thread)
+//! that the work-efficient kernel would assign the access to. The
+//! engine stays single-threaded; the trace reconstructs the
+//! concurrency structure of one simulated kernel launch per level.
+//!
+//! Tracing is zero-cost when disabled: the engine is generic over
+//! [`TraceSink`] and every emission site is guarded by the associated
+//! constant [`TraceSink::ENABLED`], which is `false` for [`NullSink`],
+//! so the event construction compiles out of untraced builds.
+
+/// The named per-root arrays of the paper's Algorithms 1–3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelArray {
+    /// `d` — BFS distances.
+    Dist,
+    /// `σ` — shortest-path counts.
+    Sigma,
+    /// `δ` — dependency accumulators.
+    Delta,
+    /// `Q_curr` — the current frontier queue.
+    QCurr,
+    /// `Q_next` — the next frontier queue.
+    QNext,
+    /// `S` — the level-segmented discovery stack.
+    Stack,
+    /// `ends` — the stack's level boundaries (its tail doubles as the
+    /// `Q_next` length counter the forward kernel bumps atomically).
+    Ends,
+}
+
+impl KernelArray {
+    /// The paper's name for the array.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelArray::Dist => "d",
+            KernelArray::Sigma => "sigma",
+            KernelArray::Delta => "delta",
+            KernelArray::QCurr => "Q_curr",
+            KernelArray::QNext => "Q_next",
+            KernelArray::Stack => "S",
+            KernelArray::Ends => "ends",
+        }
+    }
+}
+
+/// How a logical thread touched one array cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// Plain (non-atomic) load.
+    Read,
+    /// Plain (non-atomic) store.
+    Write,
+    /// `atomicCAS` — the deduplicating distance update of Algorithm 2.
+    AtomicCas,
+    /// `atomicAdd` — σ accumulation and queue-tail bumps.
+    AtomicAdd,
+}
+
+impl AccessKind {
+    /// Does this access modify the cell?
+    pub fn is_write(self) -> bool {
+        !matches!(self, AccessKind::Read)
+    }
+
+    /// Is this access hardware-synchronized (word-coherent RMW)?
+    pub fn is_atomic(self) -> bool {
+        matches!(self, AccessKind::AtomicCas | AccessKind::AtomicAdd)
+    }
+}
+
+/// Which half of Brandes' algorithm a traced level belongs to
+/// (mirrors `bc_core::engine::Phase` without the reverse dependency).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TracePhase {
+    /// Shortest-path calculation (Algorithm 2).
+    Forward,
+    /// Dependency accumulation (Algorithm 3).
+    Backward,
+}
+
+/// One logical access by one logical thread.
+///
+/// `thread` is the lane the work-efficient kernel assigns the access
+/// to — the position of the owning vertex (or edge, for synthesized
+/// edge-parallel traces) within the level's frontier. Accesses by the
+/// same logical thread are ordered by program order; accesses by
+/// different threads within one level are concurrent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceEvent {
+    /// Logical lane id within the level.
+    pub thread: u32,
+    /// Which kernel array was touched.
+    pub array: KernelArray,
+    /// Cell index within the array.
+    pub index: u32,
+    /// Access flavor.
+    pub kind: AccessKind,
+}
+
+/// Receiver for the engine's access events.
+///
+/// A level corresponds to one simulated kernel launch: every event
+/// recorded between two [`begin_level`] calls executes concurrently
+/// across its logical threads, with a device-wide barrier between
+/// levels.
+///
+/// [`begin_level`]: TraceSink::begin_level
+pub trait TraceSink {
+    /// Statically `true` when this sink observes events. Emission
+    /// sites are guarded by this constant so a disabled sink costs
+    /// nothing — not even event construction.
+    const ENABLED: bool = true;
+
+    /// A new level (kernel launch) begins; subsequent events belong
+    /// to it.
+    fn begin_level(&mut self, phase: TracePhase, depth: u32);
+
+    /// One logical access within the current level.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The disabled sink: all emission sites compile out.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
+    fn begin_level(&mut self, _phase: TracePhase, _depth: u32) {}
+
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_classification() {
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+        assert!(AccessKind::AtomicCas.is_write() && AccessKind::AtomicCas.is_atomic());
+        assert!(AccessKind::AtomicAdd.is_atomic());
+        assert!(!AccessKind::Write.is_atomic());
+        assert!(!AccessKind::Read.is_atomic());
+    }
+
+    #[test]
+    fn array_names_match_paper() {
+        assert_eq!(KernelArray::Dist.name(), "d");
+        assert_eq!(KernelArray::Ends.name(), "ends");
+        assert_eq!(KernelArray::QNext.name(), "Q_next");
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        // Read through a function parameter so the assertion isn't a
+        // compile-time constant to the lint.
+        fn enabled<S: TraceSink>(_: &S) -> bool {
+            S::ENABLED
+        }
+        assert!(!enabled(&NullSink));
+        // And is still callable (the guard, not the sink, removes the
+        // call site).
+        let mut s = NullSink;
+        s.begin_level(TracePhase::Forward, 0);
+        s.record(TraceEvent {
+            thread: 0,
+            array: KernelArray::Dist,
+            index: 0,
+            kind: AccessKind::Read,
+        });
+    }
+}

@@ -10,7 +10,10 @@ use crate::csr::Csr;
 /// once. Uses the standard forward/degree-ordered merge, O(Σ d(v)²)
 /// worst case but fast on sparse graphs.
 pub fn triangle_count(g: &Csr) -> u64 {
-    assert!(g.is_symmetric(), "triangle counting expects an undirected graph");
+    assert!(
+        g.is_symmetric(),
+        "triangle counting expects an undirected graph"
+    );
     let mut count = 0u64;
     for u in g.vertices() {
         let nu = g.neighbors(u);
@@ -129,7 +132,10 @@ mod tests {
         // A triangulated grid cell pair: (w-1)(h-1) triangles per
         // diagonal... just check positivity and determinism.
         let g = gen::triangulated_grid(5, 5, 1);
-        assert!(triangle_count(&g) >= 16, "each cell contributes 2 triangles");
+        assert!(
+            triangle_count(&g) >= 16,
+            "each cell contributes 2 triangles"
+        );
     }
 
     #[test]

@@ -19,8 +19,14 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Create a builder for a graph with `num_vertices` vertices.
     pub fn new(num_vertices: usize) -> Self {
-        assert!(num_vertices <= u32::MAX as usize, "vertex ids must fit in u32");
-        Self { num_vertices, edges: Vec::new() }
+        assert!(
+            num_vertices <= u32::MAX as usize,
+            "vertex ids must fit in u32"
+        );
+        Self {
+            num_vertices,
+            edges: Vec::new(),
+        }
     }
 
     /// Create a builder with pre-reserved edge capacity.
@@ -129,10 +135,11 @@ pub fn largest_component(g: &Csr) -> (Csr, Vec<VertexId>) {
 pub fn disjoint_union(a: &Csr, b: &Csr) -> Csr {
     let shift = a.num_vertices() as u32;
     let n = a.num_vertices() + b.num_vertices();
-    let edges = a
-        .arcs()
-        .filter(|&(u, v)| u < v)
-        .chain(b.arcs().filter(|&(u, v)| u < v).map(|(u, v)| (u + shift, v + shift)));
+    let edges = a.arcs().filter(|&(u, v)| u < v).chain(
+        b.arcs()
+            .filter(|&(u, v)| u < v)
+            .map(|(u, v)| (u + shift, v + shift)),
+    );
     Csr::from_undirected_edges(n, edges)
 }
 

@@ -66,12 +66,21 @@ impl Csr {
             "adjacency entry out of range (n = {n})"
         );
         let undirected_edges = if symmetric {
-            debug_assert_eq!(adj.len() % 2, 0, "symmetric graph with odd directed edge count");
+            debug_assert_eq!(
+                adj.len() % 2,
+                0,
+                "symmetric graph with odd directed edge count"
+            );
             (adj.len() / 2) as u64
         } else {
             adj.len() as u64
         };
-        Self { offsets, adj, undirected_edges, symmetric }
+        Self {
+            offsets,
+            adj,
+            undirected_edges,
+            symmetric,
+        }
     }
 
     /// Build an undirected CSR from an edge list.
@@ -109,9 +118,7 @@ impl Csr {
     ) -> Self {
         let mut dir: Vec<(VertexId, VertexId)> = edges
             .into_iter()
-            .inspect(|&(u, v)| {
-                assert!((u as usize) < num_vertices && (v as usize) < num_vertices)
-            })
+            .inspect(|&(u, v)| assert!((u as usize) < num_vertices && (v as usize) < num_vertices))
             .filter(|&(u, v)| u != v)
             .collect();
         dir.sort_unstable();

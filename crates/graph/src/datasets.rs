@@ -240,7 +240,11 @@ impl DatasetId {
             }
             DatasetId::ComAmazon => gen::co_purchase(
                 n,
-                gen::CommunityParams { mean_size: 12, intra_p: 0.3, bridges: 3 },
+                gen::CommunityParams {
+                    mean_size: 12,
+                    intra_p: 0.3,
+                    bridges: 3,
+                },
                 seed,
             ),
             DatasetId::DelaunayN20 => {
@@ -301,7 +305,12 @@ mod tests {
     fn small_instances_generate() {
         for d in DatasetId::ALL {
             let g = d.small_instance(7);
-            assert!(g.num_vertices() >= 64, "{}: n = {}", d.name(), g.num_vertices());
+            assert!(
+                g.num_vertices() >= 64,
+                "{}: n = {}",
+                d.name(),
+                g.num_vertices()
+            );
             assert!(g.num_undirected_edges() > 0, "{}", d.name());
         }
     }
@@ -324,7 +333,11 @@ mod tests {
 
     #[test]
     fn high_diameter_datasets_generate_high_diameter_graphs() {
-        for d in [DatasetId::LuxembourgOsm, DatasetId::RggN2_20, DatasetId::DelaunayN20] {
+        for d in [
+            DatasetId::LuxembourgOsm,
+            DatasetId::RggN2_20,
+            DatasetId::DelaunayN20,
+        ] {
             let g = d.small_instance(11);
             let s = GraphStats::compute_with_limit(&g, 0);
             let n = g.num_vertices() as f64;
@@ -343,7 +356,11 @@ mod tests {
 
     #[test]
     fn low_diameter_datasets_generate_low_diameter_graphs() {
-        for d in [DatasetId::KronG500Logn20, DatasetId::Smallworld, DatasetId::LocGowalla] {
+        for d in [
+            DatasetId::KronG500Logn20,
+            DatasetId::Smallworld,
+            DatasetId::LocGowalla,
+        ] {
             let g = d.small_instance(13);
             let s = GraphStats::compute_with_limit(&g, 0);
             let n = g.num_vertices() as f64;

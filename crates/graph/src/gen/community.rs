@@ -30,7 +30,11 @@ pub struct CommunityParams {
 
 impl Default for CommunityParams {
     fn default() -> Self {
-        CommunityParams { mean_size: 12, intra_p: 0.35, bridges: 3 }
+        CommunityParams {
+            mean_size: 12,
+            intra_p: 0.35,
+            bridges: 3,
+        }
     }
 }
 
@@ -131,7 +135,11 @@ pub fn co_purchase(n: usize, params: CommunityParams, seed: u64) -> Csr {
             } else {
                 n as u32
             };
-            let ce = if ci + 1 < community_starts.len() { community_starts[ci + 1] } else { n as u32 };
+            let ce = if ci + 1 < community_starts.len() {
+                community_starts[ci + 1]
+            } else {
+                n as u32
+            };
             let a = rng.gen_range(cs..ce);
             let c = rng.gen_range(os..oe);
             b.add_edge(a, c);
@@ -161,7 +169,11 @@ mod tests {
     fn web_copy_model_class() {
         let g = web_copy_model(8192, 8, 0.7, 1);
         let s = GraphStats::compute_with_limit(&g, 0);
-        assert!(s.max_degree > 150, "web hubs expected, got {}", s.max_degree);
+        assert!(
+            s.max_degree > 150,
+            "web hubs expected, got {}",
+            s.max_degree
+        );
         assert!(degree_gini(&g) > 0.3);
         assert!(s.diameter <= 30, "web diameter small, got {}", s.diameter);
         assert!(s.largest_component_frac > 0.99);
@@ -173,14 +185,22 @@ mod tests {
         let s = GraphStats::compute_with_limit(&g, 0);
         // Bounded tail: bestsellers reach ~√n, nothing like the
         // 10%-of-n hubs of scale-free graphs.
-        assert!(s.max_degree < 400, "co-purchase max degree bounded, got {}", s.max_degree);
+        assert!(
+            s.max_degree < 400,
+            "co-purchase max degree bounded, got {}",
+            s.max_degree
+        );
         assert!(
             (s.max_degree as f64) < 0.05 * s.vertices as f64,
             "no giant hubs: {} of {}",
             s.max_degree,
             s.vertices
         );
-        assert!(s.avg_degree > 3.0 && s.avg_degree < 10.0, "avg {}", s.avg_degree);
+        assert!(
+            s.avg_degree > 3.0 && s.avg_degree < 10.0,
+            "avg {}",
+            s.avg_degree
+        );
         // Moderate diameter (tens), larger than scale-free graphs of
         // the same size.
         assert!(s.diameter >= 8, "community diameter {}", s.diameter);
@@ -189,15 +209,28 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(web_copy_model(512, 6, 0.6, 5), web_copy_model(512, 6, 0.6, 5));
+        assert_eq!(
+            web_copy_model(512, 6, 0.6, 5),
+            web_copy_model(512, 6, 0.6, 5)
+        );
         let p = CommunityParams::default();
         assert_eq!(co_purchase(512, p, 5), co_purchase(512, p, 5));
     }
 
     #[test]
     fn communities_are_connected() {
-        let g = co_purchase(2048, CommunityParams { bridges: 2, ..Default::default() }, 9);
+        let g = co_purchase(
+            2048,
+            CommunityParams {
+                bridges: 2,
+                ..Default::default()
+            },
+            9,
+        );
         let s = GraphStats::compute(&g);
-        assert_eq!(s.components, 1, "bridged communities must form one component");
+        assert_eq!(
+            s.components, 1,
+            "bridged communities must form one component"
+        );
     }
 }

@@ -123,7 +123,12 @@ impl<'a> Triangulation<'a> {
 
     fn circumcircle_contains(&self, t: u32, p: (f64, f64)) -> bool {
         let tri = self.tris[t as usize];
-        in_circle(self.point(tri.v[0]), self.point(tri.v[1]), self.point(tri.v[2]), p) > 1e-12
+        in_circle(
+            self.point(tri.v[0]),
+            self.point(tri.v[1]),
+            self.point(tri.v[2]),
+            p,
+        ) > 1e-12
     }
 
     /// Insert point `pi` (index into `pts`).
@@ -174,7 +179,11 @@ impl<'a> Triangulation<'a> {
             // CCW: boundary edge (a, b) keeps its orientation, p on
             // the inside. Edge opposite p is (a, b) -> neighbor
             // outside; edges (b, p) and (p, a) pair with siblings.
-            self.tris.push(Tri { v: [pi, a, b], n: [outside, NONE, NONE], alive: true });
+            self.tris.push(Tri {
+                v: [pi, a, b],
+                n: [outside, NONE, NONE],
+                alive: true,
+            });
             if outside != NONE {
                 // Fix the outside triangle's back-pointer.
                 let out = &mut self.tris[outside as usize];
@@ -213,8 +222,12 @@ pub fn delaunay_triangulation(points: &[(f64, f64)]) -> Csr {
     assert!(n >= 3, "triangulation needs at least 3 points");
 
     // Super-triangle comfortably enclosing the bounding box.
-    let (mut min_x, mut min_y, mut max_x, mut max_y) =
-        (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    let (mut min_x, mut min_y, mut max_x, mut max_y) = (
+        f64::INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NEG_INFINITY,
+    );
     for &(x, y) in points {
         min_x = min_x.min(x);
         min_y = min_y.min(y);
@@ -234,7 +247,11 @@ pub fn delaunay_triangulation(points: &[(f64, f64)]) -> Csr {
 
     let mut tri = Triangulation {
         pts: &pts,
-        tris: vec![Tri { v: [sv0, sv1, sv2], n: [NONE, NONE, NONE], alive: true }],
+        tris: vec![Tri {
+            v: [sv0, sv1, sv2],
+            n: [NONE, NONE, NONE],
+            alive: true,
+        }],
         last: 0,
     };
 
@@ -267,7 +284,9 @@ pub fn delaunay_triangulation(points: &[(f64, f64)]) -> Csr {
 /// inputs.
 pub fn delaunay_random(n: usize, seed: u64) -> Csr {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     delaunay_triangulation(&pts)
 }
 
@@ -305,7 +324,9 @@ mod tests {
         // moderate random instance.
         let n = 180;
         let mut rng = SmallRng::seed_from_u64(33);
-        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         let g = delaunay_triangulation(&pts);
         // Reconstruct triangles from the graph: for every edge (a,b),
         // any common neighbor c forming an empty-circumcircle triangle
@@ -330,7 +351,11 @@ mod tests {
                     // three lies strictly inside (a genuine Delaunay
                     // violation).
                     let (pa, pb, pc) = (pts[a as usize], pts[bv as usize], pts[cv as usize]);
-                    let (pa, pb, pc) = if orient(pa, pb, pc) > 0.0 { (pa, pb, pc) } else { (pa, pc, pb) };
+                    let (pa, pb, pc) = if orient(pa, pb, pc) > 0.0 {
+                        (pa, pb, pc)
+                    } else {
+                        (pa, pc, pb)
+                    };
                     let is_face_violated = g
                         .neighbors(a)
                         .iter()
@@ -369,15 +394,14 @@ mod tests {
         let mut hull: Vec<usize> = Vec::new();
         for pass in 0..2 {
             let start = hull.len();
-            let it: Box<dyn Iterator<Item = &usize>> =
-                if pass == 0 { Box::new(idx.iter()) } else { Box::new(idx.iter().rev()) };
+            let it: Box<dyn Iterator<Item = &usize>> = if pass == 0 {
+                Box::new(idx.iter())
+            } else {
+                Box::new(idx.iter().rev())
+            };
             for &i in it {
                 while hull.len() >= start + 2 {
-                    let o = orient(
-                        pts[hull[hull.len() - 2]],
-                        pts[hull[hull.len() - 1]],
-                        pts[i],
-                    );
+                    let o = orient(pts[hull[hull.len() - 2]], pts[hull[hull.len() - 1]], pts[i]);
                     if o <= 1e-15 {
                         hull.pop();
                     } else {
@@ -396,10 +420,18 @@ mod tests {
         let g = delaunay_random(3000, 5);
         let s = GraphStats::compute_with_limit(&g, 0);
         assert_eq!(s.components, 1);
-        assert!(s.avg_degree > 5.8 && s.avg_degree < 6.0, "avg degree {}", s.avg_degree);
+        assert!(
+            s.avg_degree > 5.8 && s.avg_degree < 6.0,
+            "avg degree {}",
+            s.avg_degree
+        );
         assert!(s.max_degree < 20, "max degree {}", s.max_degree);
         // Diameter in the √n class.
-        assert!(s.diameter as f64 > (3000.0f64).sqrt() * 0.4, "diameter {}", s.diameter);
+        assert!(
+            s.diameter as f64 > (3000.0f64).sqrt() * 0.4,
+            "diameter {}",
+            s.diameter
+        );
     }
 
     #[test]

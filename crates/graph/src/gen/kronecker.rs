@@ -31,12 +31,20 @@ pub struct RmatParams {
 
 impl RmatParams {
     /// Graph500 reference parameters.
-    pub const GRAPH500: RmatParams =
-        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05, noise: 0.1 };
+    pub const GRAPH500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+        noise: 0.1,
+    };
 
     fn validate(&self) {
         let s = self.a + self.b + self.c + self.d;
-        assert!((s - 1.0).abs() < 1e-9, "R-MAT quadrant probabilities must sum to 1, got {s}");
+        assert!(
+            (s - 1.0).abs() < 1e-9,
+            "R-MAT quadrant probabilities must sum to 1, got {s}"
+        );
         assert!(self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0);
         assert!((0.0..=0.5).contains(&self.noise));
     }
@@ -132,14 +140,20 @@ mod tests {
     fn skewed_degrees_and_isolated_vertices() {
         let g = kronecker(12, 16, 7);
         let s = GraphStats::compute_with_limit(&g, 0);
-        assert!(s.isolated > 0, "kronecker graphs should have isolated vertices");
+        assert!(
+            s.isolated > 0,
+            "kronecker graphs should have isolated vertices"
+        );
         assert!(
             s.max_degree as f64 > 10.0 * s.avg_degree,
             "kronecker max degree ({}) should dwarf the mean ({})",
             s.max_degree,
             s.avg_degree
         );
-        assert!(degree_gini(&g) > 0.4, "kronecker degrees should be heavily skewed");
+        assert!(
+            degree_gini(&g) > 0.4,
+            "kronecker degrees should be heavily skewed"
+        );
     }
 
     #[test]
@@ -147,7 +161,11 @@ mod tests {
         let g = kronecker(12, 16, 5);
         let s = GraphStats::compute_with_limit(&g, 0);
         // Small-world: diameter within a small multiple of log2(n) = 12.
-        assert!(s.diameter <= 16, "kron diameter should be tiny, got {}", s.diameter);
+        assert!(
+            s.diameter <= 16,
+            "kron diameter should be tiny, got {}",
+            s.diameter
+        );
     }
 
     #[test]
@@ -161,7 +179,10 @@ mod tests {
 
     #[test]
     fn zero_noise_supported() {
-        let p = RmatParams { noise: 0.0, ..RmatParams::GRAPH500 };
+        let p = RmatParams {
+            noise: 0.0,
+            ..RmatParams::GRAPH500
+        };
         let g = kronecker_with(8, 8, p, 11);
         assert_eq!(g.num_vertices(), 256);
     }
@@ -169,7 +190,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn invalid_params_rejected() {
-        let p = RmatParams { a: 0.9, b: 0.3, c: 0.1, d: 0.1, noise: 0.0 };
+        let p = RmatParams {
+            a: 0.9,
+            b: 0.3,
+            c: 0.1,
+            d: 0.1,
+            noise: 0.0,
+        };
         let _ = rmat_edges(4, 10, p, 0);
     }
 }

@@ -20,7 +20,10 @@ use rand::{Rng, SeedableRng};
 /// Triangulation of a `w × h` jittered grid: grid edges plus one
 /// (randomly oriented) diagonal per cell. Planar, avg degree ≈ 6.
 pub fn triangulated_grid(w: usize, h: usize, seed: u64) -> Csr {
-    assert!(w >= 2 && h >= 2, "triangulated grid needs at least 2x2 points");
+    assert!(
+        w >= 2 && h >= 2,
+        "triangulated grid needs at least 2x2 points"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let idx = |x: usize, y: usize| (y * w + x) as u32;
     let mut b = GraphBuilder::with_capacity(w * h, 3 * w * h);
@@ -131,7 +134,11 @@ mod tests {
     fn triangulated_grid_is_delaunay_class() {
         let g = triangulated_grid(48, 48, 2);
         let s = GraphStats::compute_with_limit(&g, 0);
-        assert!(s.avg_degree > 5.0 && s.avg_degree < 6.2, "avg degree {}", s.avg_degree);
+        assert!(
+            s.avg_degree > 5.0 && s.avg_degree < 6.2,
+            "avg degree {}",
+            s.avg_degree
+        );
         assert!(s.max_degree <= 8);
         // Diameter scales like sqrt(n): for 48x48 it's near 48..96.
         assert!(s.diameter >= 47, "diameter {}", s.diameter);
@@ -150,7 +157,11 @@ mod tests {
         let dl = delaunay_like(96, 96, 4);
         let s = GraphStats::compute_with_limit(&dl, 0);
         // Degree stays in the planar-triangulation band.
-        assert!(s.avg_degree > 5.9 && s.avg_degree < 6.6, "avg degree {}", s.avg_degree);
+        assert!(
+            s.avg_degree > 5.9 && s.avg_degree < 6.6,
+            "avg degree {}",
+            s.avg_degree
+        );
         assert!(s.max_degree <= 12);
         assert!(traversal::is_connected(&dl));
         // The long-edge tail cuts the diameter roughly in half.
@@ -160,7 +171,10 @@ mod tests {
             (d_dl as f64) < 0.75 * d_base as f64,
             "shortcuts should shrink the diameter: {d_base} -> {d_dl}"
         );
-        assert!((d_dl as f64) > 0.25 * d_base as f64, "but not collapse it: {d_base} -> {d_dl}");
+        assert!(
+            (d_dl as f64) > 0.25 * d_base as f64,
+            "but not collapse it: {d_base} -> {d_dl}"
+        );
     }
 
     #[test]

@@ -155,9 +155,17 @@ mod tests {
     fn ba_is_scale_free() {
         let g = barabasi_albert(4096, 4, 2);
         let s = GraphStats::compute_with_limit(&g, 0);
-        assert!(s.max_degree > 80, "BA hubs should dominate, got {}", s.max_degree);
+        assert!(
+            s.max_degree > 80,
+            "BA hubs should dominate, got {}",
+            s.max_degree
+        );
         assert!(degree_gini(&g) > 0.3);
-        assert!(s.diameter <= 10, "BA diameter should be small, got {}", s.diameter);
+        assert!(
+            s.diameter <= 10,
+            "BA diameter should be small, got {}",
+            s.diameter
+        );
         assert_eq!(s.components, 1);
     }
 
@@ -167,7 +175,11 @@ mod tests {
         let s = GraphStats::compute_with_limit(&g, 0);
         // caida-like: sparse (avg deg ~6 in the paper graph is 6.3;
         // ours ~3.7-4), skewed, small diameter.
-        assert!(s.avg_degree > 2.5 && s.avg_degree < 8.0, "avg {}", s.avg_degree);
+        assert!(
+            s.avg_degree > 2.5 && s.avg_degree < 8.0,
+            "avg {}",
+            s.avg_degree
+        );
         assert!(s.max_degree as f64 > 15.0 * s.avg_degree);
         assert!(s.diameter <= 30);
         assert_eq!(s.components, 1);
@@ -177,8 +189,16 @@ mod tests {
     fn geosocial_class() {
         let g = geosocial(8192, 10.0, 4);
         let s = GraphStats::compute_with_limit(&g, 0);
-        assert!(s.avg_degree > 6.0 && s.avg_degree < 12.0, "avg {}", s.avg_degree);
-        assert!(s.max_degree > 100, "geosocial hubs expected, got {}", s.max_degree);
+        assert!(
+            s.avg_degree > 6.0 && s.avg_degree < 12.0,
+            "avg {}",
+            s.avg_degree
+        );
+        assert!(
+            s.max_degree > 100,
+            "geosocial hubs expected, got {}",
+            s.max_degree
+        );
         assert!(s.diameter <= 20);
         assert!(s.largest_component_frac > 0.99);
     }

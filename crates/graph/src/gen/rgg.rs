@@ -24,7 +24,9 @@ pub fn rgg_radius_for_degree(n: usize, deg: f64) -> f64 {
 pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Csr {
     assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0, 1]");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
 
     // Bucket points into a grid of cell size >= radius.
     let cells = ((1.0 / radius).floor() as usize).clamp(1, 4096);
@@ -95,10 +97,17 @@ mod tests {
         let n = 4096;
         let g = random_geometric(n, rgg_radius_for_degree(n, 13.0), 3);
         let s = GraphStats::compute_with_limit(&g, 0); // estimate only
-        // A near-threshold RGG on 4k points has diameter on the order
-        // of sqrt(n)/deg ~ tens; certainly far above log2(n) ≈ 12.
-        assert!(s.diameter > 20, "rgg should be high-diameter, got {}", s.diameter);
-        assert!(s.largest_component_frac > 0.9, "rgg should be mostly connected");
+                                                       // A near-threshold RGG on 4k points has diameter on the order
+                                                       // of sqrt(n)/deg ~ tens; certainly far above log2(n) ≈ 12.
+        assert!(
+            s.diameter > 20,
+            "rgg should be high-diameter, got {}",
+            s.diameter
+        );
+        assert!(
+            s.largest_component_frac > 0.9,
+            "rgg should be mostly connected"
+        );
     }
 
     #[test]
@@ -106,7 +115,9 @@ mod tests {
         let g = random_geometric(300, 0.08, 9);
         // Regenerate points with the same seed to validate edge lengths.
         let mut rng = SmallRng::seed_from_u64(9);
-        let pts: Vec<(f64, f64)> = (0..300).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let pts: Vec<(f64, f64)> = (0..300)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         for (u, v) in g.arcs() {
             let (x1, y1) = pts[u as usize];
             let (x2, y2) = pts[v as usize];

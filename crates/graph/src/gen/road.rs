@@ -83,10 +83,22 @@ mod tests {
             "vertex count {} too far from target",
             s.vertices
         );
-        assert!(s.avg_degree > 1.7 && s.avg_degree < 2.6, "avg degree {}", s.avg_degree);
-        assert!(s.max_degree <= 6, "road max degree {} exceeds 6", s.max_degree);
+        assert!(
+            s.avg_degree > 1.7 && s.avg_degree < 2.6,
+            "avg degree {}",
+            s.avg_degree
+        );
+        assert!(
+            s.max_degree <= 6,
+            "road max degree {} exceeds 6",
+            s.max_degree
+        );
         // Massive diameter relative to log2(n) ≈ 14.
-        assert!(s.diameter > 200, "road diameter should be huge, got {}", s.diameter);
+        assert!(
+            s.diameter > 200,
+            "road diameter should be huge, got {}",
+            s.diameter
+        );
         assert!(s.largest_component_frac > 0.85, "roads mostly connected");
     }
 

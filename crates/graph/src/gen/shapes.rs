@@ -71,7 +71,10 @@ pub fn balanced_tree(b: usize, depth: usize) -> Csr {
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
     assert!(n >= 2 || m == 0, "need at least 2 vertices to place edges");
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_edges, "requested more edges than the complete graph holds");
+    assert!(
+        m <= max_edges,
+        "requested more edges than the complete graph holds"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut chosen = std::collections::HashSet::with_capacity(m * 2);
     let mut edges = Vec::with_capacity(m);

@@ -62,22 +62,36 @@ mod tests {
         let rewired = watts_strogatz(1000, 10, 0.1, 2);
         let d0 = traversal::diameter_estimate(&lattice, 4);
         let d1 = traversal::diameter_estimate(&rewired, 4);
-        assert!(d1 < d0 / 2, "rewiring should collapse the diameter ({d0} -> {d1})");
+        assert!(
+            d1 < d0 / 2,
+            "rewiring should collapse the diameter ({d0} -> {d1})"
+        );
     }
 
     #[test]
     fn small_world_class() {
         let g = watts_strogatz(4096, 10, 0.1, 3);
         let s = GraphStats::compute_with_limit(&g, 0);
-        assert!(s.diameter <= 12, "small-world diameter should be ~log n, got {}", s.diameter);
+        assert!(
+            s.diameter <= 12,
+            "small-world diameter should be ~log n, got {}",
+            s.diameter
+        );
         assert!(s.largest_component_frac > 0.99);
         // Degrees stay near-uniform (unlike scale-free graphs).
-        assert!(s.max_degree < 25, "WS max degree stays small, got {}", s.max_degree);
+        assert!(
+            s.max_degree < 25,
+            "WS max degree stays small, got {}",
+            s.max_degree
+        );
     }
 
     #[test]
     fn deterministic() {
-        assert_eq!(watts_strogatz(128, 6, 0.2, 9), watts_strogatz(128, 6, 0.2, 9));
+        assert_eq!(
+            watts_strogatz(128, 6, 0.2, 9),
+            watts_strogatz(128, 6, 0.2, 9)
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl From<io::Error> for IoError {
 }
 
 fn perr(line: usize, message: impl Into<String>) -> IoError {
-    IoError::Parse { line, message: message.into() }
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Read a METIS/DIMACS `.graph` file as an undirected graph.
@@ -77,7 +80,10 @@ pub fn read_metis(r: impl Read) -> Result<Csr, IoError> {
                 .ok_or_else(|| perr(line_no, "missing edge count"))?;
             if let Some(fmt) = it.next() {
                 if !fmt.trim_start_matches('0').is_empty() {
-                    return Err(perr(line_no, format!("unsupported METIS fmt field '{fmt}' (weights not supported)")));
+                    return Err(perr(
+                        line_no,
+                        format!("unsupported METIS fmt field '{fmt}' (weights not supported)"),
+                    ));
                 }
             }
             edges.reserve(m as usize);
@@ -105,14 +111,23 @@ pub fn read_metis(r: impl Read) -> Result<Csr, IoError> {
         return Err(perr(0, "empty file"));
     }
     if (vertex as usize) < n {
-        return Err(perr(0, format!("expected {n} adjacency lines, found {vertex}")));
+        return Err(perr(
+            0,
+            format!("expected {n} adjacency lines, found {vertex}"),
+        ));
     }
     let g = Csr::from_undirected_edges(n, edges);
     if g.num_undirected_edges() != m {
         // Tolerate mismatch (many published files count loosely) but
         // only within the dedup direction.
         if g.num_undirected_edges() > m {
-            return Err(perr(0, format!("edge count mismatch: header {m}, found {}", g.num_undirected_edges())));
+            return Err(perr(
+                0,
+                format!(
+                    "edge count mismatch: header {m}, found {}",
+                    g.num_undirected_edges()
+                ),
+            ));
         }
     }
     Ok(g)
@@ -162,9 +177,18 @@ pub fn read_matrix_market(r: impl Read) -> Result<Csr, IoError> {
         }
         let mut it = t.split_whitespace();
         if dims.is_none() {
-            let rows: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| perr(line_no, "bad size line"))?;
-            let cols: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| perr(line_no, "bad size line"))?;
-            let nnz: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| perr(line_no, "bad size line"))?;
+            let rows: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| perr(line_no, "bad size line"))?;
+            let cols: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| perr(line_no, "bad size line"))?;
+            let nnz: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| perr(line_no, "bad size line"))?;
             if rows != cols {
                 return Err(perr(line_no, "adjacency matrix must be square"));
             }
@@ -173,8 +197,14 @@ pub fn read_matrix_market(r: impl Read) -> Result<Csr, IoError> {
             continue;
         }
         let n = dims.unwrap().0;
-        let u: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| perr(line_no, "bad entry"))?;
-        let v: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| perr(line_no, "bad entry"))?;
+        let u: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| perr(line_no, "bad entry"))?;
+        let v: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| perr(line_no, "bad entry"))?;
         if u == 0 || v == 0 || u > n as u64 || v > n as u64 {
             return Err(perr(line_no, format!("index ({u},{v}) out of range")));
         }
@@ -189,7 +219,13 @@ pub fn read_matrix_market(r: impl Read) -> Result<Csr, IoError> {
 pub fn write_matrix_market(g: &Csr, w: impl Write) -> io::Result<()> {
     let mut out = BufWriter::new(w);
     writeln!(out, "%%MatrixMarket matrix coordinate pattern symmetric")?;
-    writeln!(out, "{} {} {}", g.num_vertices(), g.num_vertices(), g.num_undirected_edges())?;
+    writeln!(
+        out,
+        "{} {} {}",
+        g.num_vertices(),
+        g.num_vertices(),
+        g.num_undirected_edges()
+    )?;
     for (u, v) in g.arcs() {
         if u >= v {
             // lower triangle only, 1-indexed
@@ -213,8 +249,14 @@ pub fn read_edge_list(r: impl Read) -> Result<Csr, IoError> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let u: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| perr(line_no, "bad edge line"))?;
-        let v: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| perr(line_no, "bad edge line"))?;
+        let u: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| perr(line_no, "bad edge line"))?;
+        let v: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| perr(line_no, "bad edge line"))?;
         let id = |x: u64, remap: &mut std::collections::HashMap<u64, u32>| {
             let next = remap.len() as u32;
             *remap.entry(x).or_insert(next)
@@ -228,7 +270,12 @@ pub fn read_edge_list(r: impl Read) -> Result<Csr, IoError> {
 /// Write a graph as a plain edge list (each undirected edge once).
 pub fn write_edge_list(g: &Csr, w: impl Write) -> io::Result<()> {
     let mut out = BufWriter::new(w);
-    writeln!(out, "# Undirected graph: {} nodes, {} edges", g.num_vertices(), g.num_undirected_edges())?;
+    writeln!(
+        out,
+        "# Undirected graph: {} nodes, {} edges",
+        g.num_vertices(),
+        g.num_undirected_edges()
+    )?;
     for (u, v) in g.arcs() {
         if u < v {
             writeln!(out, "{u}\t{v}")?;
@@ -314,7 +361,10 @@ mod tests {
     #[test]
     fn metis_rejects_out_of_range() {
         let text = "2 1\n3\n1\n";
-        assert!(matches!(read_metis(text.as_bytes()), Err(IoError::Parse { .. })));
+        assert!(matches!(
+            read_metis(text.as_bytes()),
+            Err(IoError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -335,7 +385,10 @@ mod tests {
     #[test]
     fn matrix_market_rejects_garbage() {
         assert!(read_matrix_market("hello\n".as_bytes()).is_err());
-        assert!(read_matrix_market("%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1\n".as_bytes()
+        )
+        .is_err());
     }
 
     #[test]

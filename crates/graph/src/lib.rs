@@ -16,7 +16,8 @@
 //! * [`stats`] / [`traversal`] — structural statistics and reference
 //!   BFS utilities.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod builder;
@@ -25,8 +26,8 @@ pub mod datasets;
 pub mod gen;
 pub mod io;
 pub mod stats;
-pub mod weighted;
 pub mod traversal;
+pub mod weighted;
 
 pub use csr::{Csr, EdgeId, VertexId};
 pub use datasets::{DatasetId, GraphClass};

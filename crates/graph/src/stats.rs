@@ -60,12 +60,20 @@ impl GraphStats {
             vertices: n,
             edges: g.num_undirected_edges(),
             max_degree: g.max_degree(),
-            avg_degree: if n == 0 { 0.0 } else { 2.0 * g.num_undirected_edges() as f64 / n as f64 },
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * g.num_undirected_edges() as f64 / n as f64
+            },
             diameter,
             diameter_exact: exact,
             components: num_comps,
             isolated: g.num_isolated(),
-            largest_component_frac: if n == 0 { 0.0 } else { largest as f64 / n as f64 },
+            largest_component_frac: if n == 0 {
+                0.0
+            } else {
+                largest as f64 / n as f64
+            },
         }
     }
 }

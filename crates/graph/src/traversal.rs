@@ -46,7 +46,12 @@ pub fn eccentricity(g: &Csr, source: VertexId) -> u32 {
 /// trace of Figure 3.
 pub fn frontier_sizes(g: &Csr, source: VertexId) -> Vec<usize> {
     let dist = bfs_distances(g, source);
-    let max = dist.iter().copied().filter(|&d| d != UNREACHED).max().unwrap_or(0);
+    let max = dist
+        .iter()
+        .copied()
+        .filter(|&d| d != UNREACHED)
+        .max()
+        .unwrap_or(0);
     let mut sizes = vec![0usize; max as usize + 1];
     for &d in &dist {
         if d != UNREACHED {
@@ -60,7 +65,12 @@ pub fn frontier_sizes(g: &Csr, source: VertexId) -> Vec<usize> {
 /// level's vertices (the *edge frontier* of Table I).
 pub fn edge_frontier_sizes(g: &Csr, source: VertexId) -> Vec<u64> {
     let dist = bfs_distances(g, source);
-    let max = dist.iter().copied().filter(|&d| d != UNREACHED).max().unwrap_or(0);
+    let max = dist
+        .iter()
+        .copied()
+        .filter(|&d| d != UNREACHED)
+        .max()
+        .unwrap_or(0);
     let mut sizes = vec![0u64; max as usize + 1];
     for v in g.vertices() {
         let d = dist[v as usize];
@@ -99,7 +109,11 @@ pub fn connected_components(g: &Csr) -> Vec<u32> {
 
 /// Number of connected components.
 pub fn num_components(g: &Csr) -> usize {
-    connected_components(g).iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+    connected_components(g)
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Is the graph connected? (Empty graphs count as connected.)
@@ -208,7 +222,8 @@ mod tests {
     #[test]
     fn exact_diameter_of_known_shapes() {
         assert_eq!(exact_diameter(&path5()), 4);
-        let cycle6 = Csr::from_undirected_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let cycle6 =
+            Csr::from_undirected_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         assert_eq!(exact_diameter(&cycle6), 3);
     }
 

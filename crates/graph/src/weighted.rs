@@ -22,7 +22,11 @@ impl WeightedCsr {
     /// Attach explicit per-arc weights (must match
     /// [`Csr::num_directed_edges`] and be non-negative and finite).
     pub fn new(graph: Csr, weights: Vec<f32>) -> Self {
-        assert_eq!(weights.len(), graph.num_directed_edges(), "one weight per arc");
+        assert_eq!(
+            weights.len(),
+            graph.num_directed_edges(),
+            "one weight per arc"
+        );
         assert!(
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "weights must be finite and non-negative"
@@ -61,14 +65,20 @@ impl WeightedCsr {
     /// hook).
     pub fn with_unit_weights(graph: Csr) -> Self {
         let m = graph.num_directed_edges();
-        WeightedCsr { graph, weights: vec![1.0; m] }
+        WeightedCsr {
+            graph,
+            weights: vec![1.0; m],
+        }
     }
 
     /// Assign deterministic pseudo-random weights in `[lo, hi)` to an
     /// existing symmetric graph (both arc directions get the edge's
     /// weight).
     pub fn with_random_weights(graph: Csr, lo: f32, hi: f32, seed: u64) -> Self {
-        assert!(graph.is_symmetric(), "random edge weights need a symmetric graph");
+        assert!(
+            graph.is_symmetric(),
+            "random edge weights need a symmetric graph"
+        );
         assert!(lo >= 0.0 && hi > lo);
         let mut rng = SmallRng::seed_from_u64(seed);
         // Draw one weight per undirected edge (u < v), mirror to both

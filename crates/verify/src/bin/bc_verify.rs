@@ -1,0 +1,238 @@
+//! `bc-verify` — the full verification suite.
+//!
+//! Stages:
+//! 1. **Seeded-bug self-test** — the race detector must flag the
+//!    deliberately broken atomic-free predecessor-style accumulation
+//!    and must pass both its atomic variant and the engine's real
+//!    successor-based sweep on the same graphs. A detector that
+//!    cannot find a planted race proves nothing by staying silent.
+//! 2. **Dataset sweep** — every Table II analogue: CSR
+//!    well-formedness, then traced replay of several roots (race
+//!    detection, structural invariants, priced-vs-traced atomics).
+//! 3. **Exact-score identities** — small all-roots runs checked
+//!    against the Brandes pair-sum identity.
+//!
+//! Exit status is non-zero if any stage fails.
+
+#![forbid(unsafe_code)]
+
+use bc_core::engine::{process_root, FreeModel, SearchWorkspace};
+use bc_gpusim::DeviceConfig;
+use bc_graph::{gen, Csr, DatasetId};
+use bc_verify::trace::predecessor_accumulation_trace;
+use bc_verify::{check_csr, check_pair_sum, check_scores, check_trace, verify_root};
+use std::process::ExitCode;
+
+struct Options {
+    reduction: u32,
+    roots: usize,
+    seed: u64,
+}
+
+const USAGE: &str = "bc-verify: race-detect and invariant-check the simulated BC kernels
+
+USAGE:
+    bc-verify [--reduction N] [--roots N] [--seed N]
+
+OPTIONS:
+    --reduction N   Dataset size reduction in powers of two [default: 8]
+    --roots N       Traced roots per dataset [default: 4]
+    --seed N        Generator seed [default: 42]
+    -h, --help      Print this help
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        reduction: 8,
+        roots: 4,
+        seed: 42,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--reduction" => {
+                opts.reduction = value("--reduction")?
+                    .parse()
+                    .map_err(|e| format!("--reduction: {e}"))?;
+            }
+            "--roots" => {
+                opts.roots = value("--roots")?
+                    .parse()
+                    .map_err(|e| format!("--roots: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if opts.roots == 0 {
+        return Err("--roots must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+/// Stage 1: the planted race. Returns the number of failures.
+fn seeded_bug_self_test(device: &DeviceConfig) -> usize {
+    let mut failures = 0;
+    let graphs: Vec<(&str, Csr)> = vec![
+        ("grid(8,8)", gen::grid(8, 8)),
+        ("erdos_renyi(200,600)", gen::erdos_renyi(200, 600, 9)),
+        ("watts_strogatz(150,6)", gen::watts_strogatz(150, 6, 0.1, 4)),
+    ];
+    for (name, g) in &graphs {
+        let mut ws = SearchWorkspace::new(g.num_vertices());
+        let mut bc = vec![0.0; g.num_vertices()];
+        process_root(g, 0, device, &mut ws, &mut FreeModel, &mut bc);
+
+        let broken = check_trace(&predecessor_accumulation_trace(g, &ws, false));
+        if broken.is_empty() {
+            println!("FAIL seeded-bug {name}: atomic-free predecessor accumulation NOT flagged");
+            failures += 1;
+        } else {
+            println!(
+                "ok   seeded-bug {name}: broken accumulation flagged ({} racy cells, e.g. {})",
+                broken.len(),
+                broken[0]
+            );
+        }
+
+        let fixed = check_trace(&predecessor_accumulation_trace(g, &ws, true));
+        if !fixed.is_empty() {
+            println!(
+                "FAIL seeded-bug {name}: atomicAdd accumulation wrongly flagged: {}",
+                fixed[0]
+            );
+            failures += 1;
+        }
+
+        let real = verify_root(g, 0, device);
+        if !real.is_clean() {
+            println!(
+                "FAIL seeded-bug {name}: successor-based sweep not clean: {:?} {:?}",
+                real.races, real.violations
+            );
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// Stage 2: the dataset sweep. Returns the number of failures.
+fn dataset_sweep(opts: &Options, device: &DeviceConfig) -> usize {
+    let mut failures = 0;
+    for d in DatasetId::ALL {
+        let g = d.generate(opts.reduction, opts.seed);
+        let n = g.num_vertices();
+        let csr = check_csr(&g);
+        if !csr.is_empty() {
+            for v in &csr {
+                println!("FAIL {}: {v}", d.name());
+            }
+            failures += csr.len();
+            continue;
+        }
+        // Deterministic spread of roots across the id space.
+        let mut races = 0;
+        let mut violations = 0;
+        let mut events = 0u64;
+        for i in 0..opts.roots {
+            let root = ((i * n) / opts.roots) as u32;
+            let v = verify_root(&g, root, device);
+            races += v.races.len();
+            violations += v.violations.len();
+            events += v.events;
+            for r in &v.races {
+                println!("FAIL {} root {root}: {r}", d.name());
+            }
+            for viol in &v.violations {
+                println!("FAIL {} root {root}: {viol}", d.name());
+            }
+        }
+        if races + violations == 0 {
+            println!(
+                "ok   {:<18} n={:<7} 2m={:<8} roots={} events={}",
+                d.name(),
+                n,
+                g.num_directed_edges(),
+                opts.roots,
+                events
+            );
+        } else {
+            failures += races + violations;
+        }
+    }
+    failures
+}
+
+/// Stage 3: exact all-roots runs against the pair-sum identity.
+fn exact_identity_checks(device: &DeviceConfig) -> usize {
+    let mut failures = 0;
+    let graphs: Vec<(&str, Csr)> = vec![
+        ("path(32)", gen::path(32)),
+        ("grid(8,6)", gen::grid(8, 6)),
+        ("erdos_renyi(120,400)", gen::erdos_renyi(120, 400, 17)),
+    ];
+    for (name, g) in &graphs {
+        let mut ws = SearchWorkspace::new(g.num_vertices());
+        let mut bc = vec![0.0; g.num_vertices()];
+        for r in g.vertices() {
+            process_root(g, r, device, &mut ws, &mut FreeModel, &mut bc);
+        }
+        if g.is_symmetric() {
+            for b in bc.iter_mut() {
+                *b *= 0.5;
+            }
+        }
+        let mut bad = check_scores(&bc);
+        bad.extend(check_pair_sum(g, &bc));
+        if bad.is_empty() {
+            println!("ok   exact-scores {name}: pair-sum identity holds");
+        } else {
+            for v in &bad {
+                println!("FAIL exact-scores {name}: {v}");
+            }
+            failures += bad.len();
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let device = DeviceConfig::gtx_titan();
+
+    println!("== stage 1: seeded-bug self-test ==");
+    let mut failures = seeded_bug_self_test(&device);
+    println!(
+        "== stage 2: dataset sweep (reduction {}, seed {}) ==",
+        opts.reduction, opts.seed
+    );
+    failures += dataset_sweep(&opts, &device);
+    println!("== stage 3: exact-score identities ==");
+    failures += exact_identity_checks(&device);
+
+    if failures == 0 {
+        println!("bc-verify: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        println!("bc-verify: {failures} check(s) FAILED");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,46 @@
+//! # bc-verify — kernel-trace race detection and invariant checking
+//!
+//! The paper's central correctness claims are *concurrency* claims:
+//! atomicCAS-deduplicated queue insertion admits each vertex into
+//! `Q_next` exactly once (Algorithm 2), and the successor-checking
+//! dependency accumulation (Algorithm 3, via Madduri et al. and
+//! Green & Bader) is safe **without atomics** — while edge-parallel
+//! accumulation is only safe *with* them. The cost models in
+//! `bc_core::methods::cost` price exactly those atomics; this crate
+//! turns the pricing assumptions into machine-checked facts:
+//!
+//! * [`trace`] — records the engine's logical per-thread access
+//!   events ([`bc_gpusim::trace`]) into a replayable [`Trace`], and
+//!   synthesizes the *predecessor-style* accumulation trace the paper
+//!   rejects (with and without atomics);
+//! * [`race`] — a phase-aware detector flagging write–write and
+//!   unsynchronized read–write conflicts between logical threads of
+//!   one level (one simulated kernel launch);
+//! * [`invariants`] — structural passes: CSR well-formedness, stack
+//!   segmentation (`ends` monotonicity, frontier dedup),
+//!   σ-consistency, the per-root dependency identity
+//!   `Σ δ(v) = Σ (d(t) − 1)`, and final-score sanity including the
+//!   Brandes pair-sum identity;
+//! * [`replay`] — drives one root through the traced engine under a
+//!   recording cost model and cross-checks priced atomics against
+//!   traced atomics per level.
+//!
+//! The `bc-verify` binary runs the whole suite over the bundled
+//! dataset analogues plus a seeded-bug self-test (the broken
+//! atomic-free predecessor accumulation **must** be flagged); the
+//! `hybrid-bc --verify` flag runs the same checks on a live run.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod invariants;
+pub mod race;
+pub mod replay;
+pub mod trace;
+
+pub use invariants::{
+    check_csr, check_csr_parts, check_pair_sum, check_scores, check_search_state, Violation,
+};
+pub use race::{check_trace, RaceReport};
+pub use replay::{verify_root, RootVerification};
+pub use trace::{LevelTrace, RecordingSink, Trace};

@@ -1,0 +1,209 @@
+//! Replayable access traces: the recorder for the engine's events and
+//! the synthesized predecessor-style accumulation traces.
+
+use bc_core::engine::SearchWorkspace;
+use bc_gpusim::trace::{AccessKind, KernelArray, TraceEvent, TracePhase, TraceSink};
+use bc_graph::Csr;
+
+/// Every event of one simulated kernel launch (one BFS or
+/// accumulation level): all events execute concurrently across their
+/// logical threads, with a device-wide barrier before the next level.
+#[derive(Clone, Debug)]
+pub struct LevelTrace {
+    /// Which half of the algorithm the launch belongs to.
+    pub phase: TracePhase,
+    /// BFS depth of the processed vertices.
+    pub depth: u32,
+    /// The level's accesses, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl LevelTrace {
+    /// Number of atomic accesses in this level.
+    pub fn atomic_events(&self) -> u64 {
+        self.events.iter().filter(|e| e.kind.is_atomic()).count() as u64
+    }
+}
+
+/// A full per-root trace: forward levels in depth order, then
+/// backward levels from the deepest processed level down to depth 1.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// The recorded kernel launches.
+    pub levels: Vec<LevelTrace>,
+}
+
+impl Trace {
+    /// Total recorded events.
+    pub fn num_events(&self) -> u64 {
+        self.levels.iter().map(|l| l.events.len() as u64).sum()
+    }
+
+    /// The subset of levels in `phase`.
+    pub fn phase_levels(&self, phase: TracePhase) -> impl Iterator<Item = &LevelTrace> {
+        self.levels.iter().filter(move |l| l.phase == phase)
+    }
+}
+
+/// A [`TraceSink`] that keeps every event, for offline checking.
+#[derive(Clone, Debug, Default)]
+pub struct RecordingSink {
+    /// The trace accumulated so far.
+    pub trace: Trace,
+}
+
+impl TraceSink for RecordingSink {
+    fn begin_level(&mut self, phase: TracePhase, depth: u32) {
+        self.trace.levels.push(LevelTrace {
+            phase,
+            depth,
+            events: Vec::new(),
+        });
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        let level = self
+            .trace
+            .levels
+            .last_mut()
+            .expect("the engine begins a level before recording events");
+        level.events.push(event);
+    }
+}
+
+/// Synthesize the dependency-accumulation trace of a
+/// **predecessor-based, edge-parallel** kernel (Jia et al.) over the
+/// search state left in `ws` by a forward pass: one logical thread
+/// per tree edge `(v, w)` with `d[w] + 1 = d[v]`, each contributing
+/// `σ[w]/σ[v]·(1 + δ[v])` into the *predecessor's* `δ[w]`.
+///
+/// With `atomic = false` the contribution is a plain read-modify-write
+/// of `δ[w]` — the deliberately broken variant §IV-A warns about:
+/// sibling edges sharing a predecessor collide, and the race detector
+/// must flag it. With `atomic = true` it is an `atomicAdd`, the
+/// synchronization edge-parallel accumulation actually requires, and
+/// the trace must pass.
+pub fn predecessor_accumulation_trace(g: &Csr, ws: &SearchWorkspace, atomic: bool) -> Trace {
+    let s = ws.stack();
+    let ends = ws.ends();
+    let dist = ws.dist();
+    let mut trace = Trace::default();
+    let num_segments = ends.len() - 1;
+    // Mirror the engine's backward schedule: process depth d by
+    // pulling contributions out of depth d + 1.
+    for d in (1..num_segments.saturating_sub(1)).rev() {
+        let mut level = LevelTrace {
+            phase: TracePhase::Backward,
+            depth: d as u32,
+            events: Vec::new(),
+        };
+        let mut lane = 0u32;
+        for &v in &s[ends[d + 1] as usize..ends[d + 2] as usize] {
+            for &w in g.neighbors(v) {
+                if dist[w as usize] as usize + 1 != dist[v as usize] as usize {
+                    continue;
+                }
+                // This lane owns the tree edge (v, w).
+                let mut push = |array, index, kind| {
+                    level.events.push(TraceEvent {
+                        thread: lane,
+                        array,
+                        index,
+                        kind,
+                    });
+                };
+                push(KernelArray::Dist, w, AccessKind::Read);
+                push(KernelArray::Sigma, v, AccessKind::Read);
+                push(KernelArray::Sigma, w, AccessKind::Read);
+                push(KernelArray::Delta, v, AccessKind::Read);
+                if atomic {
+                    push(KernelArray::Delta, w, AccessKind::AtomicAdd);
+                } else {
+                    // Plain load + store of a shared δ cell.
+                    push(KernelArray::Delta, w, AccessKind::Read);
+                    push(KernelArray::Delta, w, AccessKind::Write);
+                }
+                lane += 1;
+            }
+        }
+        trace.levels.push(level);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_core::engine::{process_root_traced, FreeModel, RootOutcome};
+    use bc_gpusim::DeviceConfig;
+    use bc_graph::gen;
+
+    fn record(g: &Csr, root: u32) -> (Trace, SearchWorkspace) {
+        let mut ws = SearchWorkspace::new(g.num_vertices());
+        let mut bc = vec![0.0; g.num_vertices()];
+        let mut out = RootOutcome::default();
+        let mut sink = RecordingSink::default();
+        process_root_traced(
+            g,
+            root,
+            &DeviceConfig::gtx_titan(),
+            &mut ws,
+            &mut FreeModel,
+            &mut bc,
+            &mut out,
+            &mut sink,
+        );
+        (sink.trace, ws)
+    }
+
+    #[test]
+    fn recorded_levels_match_search_shape() {
+        let g = gen::path(6);
+        let (trace, _) = record(&g, 0);
+        // Forward: depths 0..=5; backward: depths 4..=1.
+        let forward: Vec<u32> = trace
+            .phase_levels(TracePhase::Forward)
+            .map(|l| l.depth)
+            .collect();
+        let backward: Vec<u32> = trace
+            .phase_levels(TracePhase::Backward)
+            .map(|l| l.depth)
+            .collect();
+        assert_eq!(forward, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(backward, vec![4, 3, 2, 1]);
+        assert!(trace.num_events() > 0);
+    }
+
+    #[test]
+    fn backward_levels_have_no_atomics() {
+        let g = gen::grid(5, 5);
+        let (trace, _) = record(&g, 0);
+        for level in trace.phase_levels(TracePhase::Backward) {
+            assert_eq!(
+                level.atomic_events(),
+                0,
+                "successor sweep must be atomic-free"
+            );
+        }
+        // While the forward phase is full of them.
+        assert!(trace
+            .phase_levels(TracePhase::Forward)
+            .any(|l| l.atomic_events() > 0));
+    }
+
+    #[test]
+    fn predecessor_trace_covers_all_tree_edges() {
+        let g = gen::grid(4, 4);
+        let (_, ws) = record(&g, 0);
+        let plain = predecessor_accumulation_trace(&g, &ws, false);
+        let atomic = predecessor_accumulation_trace(&g, &ws, true);
+        // Same schedule, one extra event per edge in the plain
+        // variant (read + write vs one atomic).
+        assert_eq!(plain.levels.len(), atomic.levels.len());
+        assert!(plain.num_events() > atomic.num_events());
+        assert!(atomic
+            .levels
+            .iter()
+            .all(|l| l.phase == TracePhase::Backward));
+    }
+}

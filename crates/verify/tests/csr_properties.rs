@@ -1,0 +1,94 @@
+//! Property tests for the CSR invariant pass: construction from any
+//! edge list must validate, and corrupted raw arrays must always be
+//! rejected.
+
+use bc_graph::Csr;
+use bc_verify::{check_csr, check_csr_parts, verify_root};
+use proptest::prelude::*;
+
+/// Decode a packed `u64` into an edge over `n` vertices. The vendored
+/// proptest has no tuple strategies, so pairs travel packed.
+fn unpack_edge(code: u64, n: usize) -> (u32, u32) {
+    let n = n as u64;
+    ((code % n) as u32, ((code / n) % n) as u32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_built_csrs_always_validate(
+        n in 1usize..120,
+        codes in proptest::collection::vec(0u64..1_000_000, 0..300),
+    ) {
+        let edges: Vec<(u32, u32)> = codes.iter().map(|&c| unpack_edge(c, n)).collect();
+        let g = Csr::from_undirected_edges(n, edges);
+        let violations = check_csr(&g);
+        prop_assert!(violations.is_empty(), "round-tripped CSR rejected: {:?}", violations);
+    }
+
+    #[test]
+    fn prop_corrupted_offsets_always_rejected(
+        n in 2usize..100,
+        codes in proptest::collection::vec(0u64..1_000_000, 1..250),
+        victim_sel in 0usize..1_000_000,
+    ) {
+        let edges: Vec<(u32, u32)> = codes.iter().map(|&c| unpack_edge(c, n)).collect();
+        let g = Csr::from_undirected_edges(n, edges);
+        let mut offsets = g.offsets().to_vec();
+        // Push an interior offset past the terminal: violates either
+        // monotonicity or the terminal == adj.len() shape check no
+        // matter which interior slot is hit.
+        let victim = 1 + victim_sel % (offsets.len() - 1);
+        offsets[victim] = g.adj_array().len() as u32 + 1;
+        let violations = check_csr_parts(&offsets, g.adj_array(), g.is_symmetric());
+        prop_assert!(
+            !violations.is_empty(),
+            "corrupted offsets[{}] accepted (n = {})",
+            victim,
+            n
+        );
+    }
+
+    #[test]
+    fn prop_corrupted_targets_always_rejected(
+        n in 1usize..100,
+        codes in proptest::collection::vec(0u64..1_000_000, 2..250),
+        victim_sel in 0usize..1_000_000,
+    ) {
+        let edges: Vec<(u32, u32)> = codes.iter().map(|&c| unpack_edge(c, n)).collect();
+        let mut edges = edges;
+        // Guarantee at least one arc survives dedup/self-loop drop.
+        if n >= 2 {
+            edges.push((0, 1));
+        }
+        let g = Csr::from_undirected_edges(n, edges);
+        let mut adj = g.adj_array().to_vec();
+        if adj.is_empty() {
+            return Ok(());
+        }
+        let victim = victim_sel % adj.len();
+        adj[victim] = n as u32; // one past the last valid vertex id
+        let violations = check_csr_parts(g.offsets(), &adj, g.is_symmetric());
+        prop_assert!(!violations.is_empty(), "out-of-range target accepted");
+    }
+
+    #[test]
+    fn prop_work_efficient_sweep_is_race_free(
+        n in 2usize..80,
+        codes in proptest::collection::vec(0u64..1_000_000, 1..200),
+        root_sel in 0usize..1_000_000,
+    ) {
+        let edges: Vec<(u32, u32)> = codes.iter().map(|&c| unpack_edge(c, n)).collect();
+        let g = Csr::from_undirected_edges(n, edges);
+        let root = (root_sel % n) as u32;
+        let v = verify_root(&g, root, &bc_gpusim::DeviceConfig::gtx_titan());
+        prop_assert!(
+            v.is_clean(),
+            "root {}: races {:?}, violations {:?}",
+            root,
+            v.races,
+            v.violations
+        );
+    }
+}

@@ -30,9 +30,7 @@ fn remove_top_edges(g: &Csr, count: usize) -> Csr {
     edges.sort_by(|a, b| b.0.total_cmp(&a.0));
     let cut: std::collections::HashSet<(u32, u32)> =
         edges.iter().take(count).map(|&(_, u, v)| (u, v)).collect();
-    let kept = g
-        .arcs()
-        .filter(|&(u, v)| u < v && !cut.contains(&(u, v)));
+    let kept = g.arcs().filter(|&(u, v)| u < v && !cut.contains(&(u, v)));
     Csr::from_undirected_edges(g.num_vertices(), kept)
 }
 
@@ -46,7 +44,11 @@ fn main() {
     for c in 0..k {
         let base = (c * size) as u32;
         let comm = gen::erdos_renyi(size, size * 3, c as u64 + 1);
-        edges.extend(comm.arcs().filter(|&(u, v)| u < v).map(|(u, v)| (base + u, base + v)));
+        edges.extend(
+            comm.arcs()
+                .filter(|&(u, v)| u < v)
+                .map(|(u, v)| (base + u, base + v)),
+        );
         // One bridge to the next community (ring of communities).
         let next = (((c + 1) % k) * size) as u32;
         edges.push((base, next));
@@ -89,7 +91,10 @@ fn main() {
     }
     let accuracy = correct as f64 / n as f64;
     println!("community recovery accuracy: {:.1}%", accuracy * 100.0);
-    assert!(accuracy > 0.95, "Girvan-Newman should recover planted communities");
+    assert!(
+        accuracy > 0.95,
+        "Girvan-Newman should recover planted communities"
+    );
 
     // Show the highest-betweenness edges of the original graph are
     // indeed the bridges.
@@ -106,6 +111,9 @@ fn main() {
     println!("\ntop-{k} edges by betweenness (expected: the {k} bridges):");
     for (s, u, v) in top.iter().take(k) {
         let bridge = (u / size as u32) != (v / size as u32);
-        println!("  {u:>3} -- {v:<3}  eBC {s:9.1}  {}", if bridge { "bridge" } else { "intra" });
+        println!(
+            "  {u:>3} -- {v:<3}  eBC {s:9.1}  {}",
+            if bridge { "bridge" } else { "intra" }
+        );
     }
 }

@@ -63,8 +63,9 @@ fn main() {
     let mut by_degree: Vec<u32> = (0..g.num_vertices() as u32).collect();
     by_degree.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
     // "Random": a fixed arbitrary spread.
-    let random: Vec<u32> =
-        (0..g.num_vertices() as u32).filter(|v| v % 97 == 3).collect();
+    let random: Vec<u32> = (0..g.num_vertices() as u32)
+        .filter(|v| v % 97 == 3)
+        .collect();
 
     // Adaptive BC attack: recompute BC after every removal — the
     // scenario that makes the paper's fast exact BC valuable (each
@@ -83,7 +84,8 @@ fn main() {
             let dead: std::collections::HashSet<u32> = adaptive.iter().copied().collect();
             current = Csr::from_undirected_edges(
                 g.num_vertices(),
-                g.arcs().filter(|&(u, v)| u < v && !dead.contains(&u) && !dead.contains(&v)),
+                g.arcs()
+                    .filter(|&(u, v)| u < v && !dead.contains(&u) && !dead.contains(&v)),
             );
         }
     }

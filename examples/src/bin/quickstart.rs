@@ -31,8 +31,11 @@ fn main() {
     println!("sequential vs rayon CPU baseline: max |Δ| = {max_dev:.2e}");
 
     // The five most central vertices.
-    let mut ranked: Vec<(u32, f64)> =
-        exact.iter().enumerate().map(|(v, &s)| (v as u32, s)).collect();
+    let mut ranked: Vec<(u32, f64)> = exact
+        .iter()
+        .enumerate()
+        .map(|(v, &s)| (v as u32, s))
+        .collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\ntop-5 vertices by betweenness:");
     for (v, s) in ranked.iter().take(5) {
@@ -41,8 +44,14 @@ fn main() {
 
     // Every simulated GPU method computes the same scores; the
     // simulated GTX Titan time tells you which strategy you'd want.
-    println!("\nsimulated GeForce GTX Titan, exact BC (all {} roots):", g.num_vertices());
-    println!("{:>16}  {:>12}  {:>10}  {:>12}", "method", "sim. time", "MTEPS", "max |Δ|");
+    println!(
+        "\nsimulated GeForce GTX Titan, exact BC (all {} roots):",
+        g.num_vertices()
+    );
+    println!(
+        "{:>16}  {:>12}  {:>10}  {:>12}",
+        "method", "sim. time", "MTEPS", "max |Δ|"
+    );
     for method in Method::all() {
         match method.run(&g, &BcOptions::default()) {
             Ok(run) => {

@@ -26,7 +26,9 @@ fn main() {
     // Exact BC. Roads are the work-efficient method's home turf; the
     // sampling method would reach the same decision (check it).
     let opts = BcOptions::default();
-    let exact_run = Method::Sampling(Default::default()).run(&g, &opts).expect("fits");
+    let exact_run = Method::Sampling(Default::default())
+        .run(&g, &opts)
+        .expect("fits");
     assert_eq!(
         exact_run.report.sampling_chose_edge_parallel,
         Some(false),
@@ -63,10 +65,11 @@ fn main() {
         let run = approx::approximate_bc(&g, &Method::WorkEfficient, k, 3, &opts).expect("fits");
         let err = approx::mean_relative_error(&exact_run.scores, &run.scores, floor.max(1.0));
         let mut approx_ranked: Vec<u32> = (0..g.num_vertices() as u32).collect();
-        approx_ranked
-            .sort_by(|&a, &b| run.scores[b as usize].total_cmp(&run.scores[a as usize]));
-        let overlap =
-            approx_ranked[..20].iter().filter(|v| exact_top.contains(v)).count();
+        approx_ranked.sort_by(|&a, &b| run.scores[b as usize].total_cmp(&run.scores[a as usize]));
+        let overlap = approx_ranked[..20]
+            .iter()
+            .filter(|v| exact_top.contains(v))
+            .count();
         println!(
             "{k:>8}  {:>10.3}s  {:>13.1}%  {overlap:>13}/20",
             run.report.device_seconds,

@@ -44,12 +44,22 @@ fn main() {
 
     let k = 25;
     println!("\ntop-{k} intersection agreement with hop-count BC:");
-    println!("  near-uniform travel times (0.9-1.1x): {:>2}/{k}", top_k_overlap(&hops, &bc_mild, k));
-    println!("  congested network       (1-10x):      {:>2}/{k}", top_k_overlap(&hops, &bc_wild, k));
+    println!(
+        "  near-uniform travel times (0.9-1.1x): {:>2}/{k}",
+        top_k_overlap(&hops, &bc_mild, k)
+    );
+    println!(
+        "  congested network       (1-10x):      {:>2}/{k}",
+        top_k_overlap(&hops, &bc_wild, k)
+    );
 
     // The single most central intersection under each model.
     let argmax = |s: &[f64]| {
-        s.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
+        s.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap()
     };
     println!("\nmost central intersection:");
     println!("  hop count:    {}", argmax(&hops));

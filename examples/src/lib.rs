@@ -5,3 +5,6 @@
 //! * `power_grid` — adaptive contingency analysis;
 //! * `road_analysis` — exact vs source-sampled approximate BC;
 //! * `weighted_roads` — Dijkstra-based weighted BC (§VI future work).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]

@@ -3,6 +3,9 @@
 //! The actual tests live in `tests/tests/*.rs`; this library only hosts
 //! small helpers shared between those test files.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use bc_graph::Csr;
 
 /// Maximum relative error tolerated when comparing floating-point BC

@@ -17,8 +17,10 @@ fn cluster_matches_host_reference_across_classes() {
     ] {
         let g = d.generate(reduction, 11);
         let n = g.num_vertices();
-        let cfg =
-            ClusterConfig { method: Method::WorkEfficient, ..ClusterConfig::keeneland(3) };
+        let cfg = ClusterConfig {
+            method: Method::WorkEfficient,
+            ..ClusterConfig::keeneland(3)
+        };
         let run = run_cluster(&g, &cfg, n).unwrap();
         let expect = cpu_parallel::betweenness(&g);
         assert_scores_eq(&expect, &run.scores);
@@ -28,7 +30,10 @@ fn cluster_matches_host_reference_across_classes() {
 #[test]
 fn cluster_scores_independent_of_gpu_count() {
     let g = gen::watts_strogatz(400, 6, 0.1, 3);
-    let base = ClusterConfig { method: Method::WorkEfficient, ..ClusterConfig::keeneland(1) };
+    let base = ClusterConfig {
+        method: Method::WorkEfficient,
+        ..ClusterConfig::keeneland(1)
+    };
     let r1 = run_cluster(&g, &base, 400).unwrap();
     let r8 = run_cluster(&g, &ClusterConfig { nodes: 8, ..base }, 400).unwrap();
     assert_scores_eq(&r1.scores, &r8.scores);
@@ -57,15 +62,30 @@ fn io_round_trips_for_every_generator_class() {
         let g = d.small_instance(9);
         let mut metis = Vec::new();
         io::write_metis(&g, &mut metis).unwrap();
-        assert_eq!(io::read_metis(metis.as_slice()).unwrap(), g, "{} metis", d.name());
+        assert_eq!(
+            io::read_metis(metis.as_slice()).unwrap(),
+            g,
+            "{} metis",
+            d.name()
+        );
 
         let mut mm = Vec::new();
         io::write_matrix_market(&g, &mut mm).unwrap();
-        assert_eq!(io::read_matrix_market(mm.as_slice()).unwrap(), g, "{} mm", d.name());
+        assert_eq!(
+            io::read_matrix_market(mm.as_slice()).unwrap(),
+            g,
+            "{} mm",
+            d.name()
+        );
 
         let mut bin = Vec::new();
         io::write_binary(&g, &mut bin).unwrap();
-        assert_eq!(io::read_binary(bin.as_slice()).unwrap(), g, "{} binary", d.name());
+        assert_eq!(
+            io::read_binary(bin.as_slice()).unwrap(),
+            g,
+            "{} binary",
+            d.name()
+        );
     }
 }
 

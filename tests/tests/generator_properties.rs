@@ -17,7 +17,10 @@ fn check_well_formed(g: &Csr) {
     // Sorted, deduplicated adjacency.
     for v in g.vertices() {
         let nb = g.neighbors(v);
-        assert!(nb.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicated neighbors of {v}");
+        assert!(
+            nb.windows(2).all(|w| w[0] < w[1]),
+            "unsorted/duplicated neighbors of {v}"
+        );
     }
 }
 

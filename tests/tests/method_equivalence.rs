@@ -77,13 +77,29 @@ fn partial_root_runs_sum_to_full() {
     let g = gen::watts_strogatz(500, 6, 0.2, 9);
     let expect = brandes::betweenness(&g);
     let first = Method::WorkEfficient
-        .run(&g, &BcOptions { roots: RootSelection::Explicit((0..250).collect()), ..Default::default() })
+        .run(
+            &g,
+            &BcOptions {
+                roots: RootSelection::Explicit((0..250).collect()),
+                ..Default::default()
+            },
+        )
         .unwrap();
     let second = Method::WorkEfficient
-        .run(&g, &BcOptions { roots: RootSelection::Explicit((250..500).collect()), ..Default::default() })
+        .run(
+            &g,
+            &BcOptions {
+                roots: RootSelection::Explicit((250..500).collect()),
+                ..Default::default()
+            },
+        )
         .unwrap();
-    let sum: Vec<f64> =
-        first.scores.iter().zip(&second.scores).map(|(a, b)| a + b).collect();
+    let sum: Vec<f64> = first
+        .scores
+        .iter()
+        .zip(&second.scores)
+        .map(|(a, b)| a + b)
+        .collect();
     assert_scores_eq(&expect, &sum);
 }
 

@@ -6,7 +6,10 @@ use bc_gpusim::SimError;
 use bc_graph::{DatasetId, GraphStats};
 
 fn opts(k: usize) -> BcOptions {
-    BcOptions { roots: RootSelection::Strided(k), ..Default::default() }
+    BcOptions {
+        roots: RootSelection::Strided(k),
+        ..Default::default()
+    }
 }
 
 /// §IV-A / Table III: the work-efficient method dominates on every
@@ -23,8 +26,16 @@ fn work_efficient_dominates_high_diameter_classes() {
         (DatasetId::AfShell9, 4),
     ] {
         let g = d.generate(reduction, 1);
-        let we = Method::WorkEfficient.run(&g, &opts(24)).unwrap().report.full_seconds;
-        let ep = Method::EdgeParallel.run(&g, &opts(24)).unwrap().report.full_seconds;
+        let we = Method::WorkEfficient
+            .run(&g, &opts(24))
+            .unwrap()
+            .report
+            .full_seconds;
+        let ep = Method::EdgeParallel
+            .run(&g, &opts(24))
+            .unwrap()
+            .report
+            .full_seconds;
         assert!(
             ep > 2.0 * we,
             "{}: EP {ep} should lose to WE {we} clearly",
@@ -40,8 +51,16 @@ fn adaptive_methods_are_performance_portable() {
     for d in DatasetId::ALL {
         let g = d.generate(5, 2);
         let k = 48;
-        let we = Method::WorkEfficient.run(&g, &opts(k)).unwrap().report.full_seconds;
-        let ep = Method::EdgeParallel.run(&g, &opts(k)).unwrap().report.full_seconds;
+        let we = Method::WorkEfficient
+            .run(&g, &opts(k))
+            .unwrap()
+            .report
+            .full_seconds;
+        let ep = Method::EdgeParallel
+            .run(&g, &opts(k))
+            .unwrap()
+            .report
+            .full_seconds;
         let best = we.min(ep);
         let n = g.num_vertices();
         for m in [
@@ -74,9 +93,12 @@ fn sampling_decision_matches_class_on_all_datasets() {
         let g = d.generate(4, 7);
         let n = g.num_vertices();
         let k = 48.min(n);
-        let run = Method::Sampling(SamplingParams { n_samps: 24.min(k / 2).max(3), ..Default::default() })
-            .run(&g, &opts(k))
-            .unwrap();
+        let run = Method::Sampling(SamplingParams {
+            n_samps: 24.min(k / 2).max(3),
+            ..Default::default()
+        })
+        .run(&g, &opts(k))
+        .unwrap();
         let chose_ep = run.report.sampling_chose_edge_parallel.unwrap();
         assert_eq!(
             chose_ep,
@@ -100,7 +122,9 @@ fn gpu_fan_memory_wall() {
         Err(SimError::OutOfMemory { .. })
     ));
     assert!(Method::WorkEfficient.run(&big, &opts(4)).is_ok());
-    assert!(Method::Sampling(Default::default()).run(&big, &opts(4)).is_ok());
+    assert!(Method::Sampling(Default::default())
+        .run(&big, &opts(4))
+        .is_ok());
 }
 
 /// Figure 3: peak vertex-frontier fraction separates the classes —
@@ -120,13 +144,25 @@ fn frontier_peaks_separate_classes() {
                     .peak_fraction(g.num_vertices())
             })
             .fold(t.peak_fraction(g.num_vertices()), f64::max);
-        assert!(peak > 0.35, "{}: explosive frontier expected, peak {peak}", d.name());
+        assert!(
+            peak > 0.35,
+            "{}: explosive frontier expected, peak {peak}",
+            d.name()
+        );
     }
-    for d in [DatasetId::LuxembourgOsm, DatasetId::RggN2_20, DatasetId::AfShell9] {
+    for d in [
+        DatasetId::LuxembourgOsm,
+        DatasetId::RggN2_20,
+        DatasetId::AfShell9,
+    ] {
         let g = d.generate(4, 5);
         let t = trace_root(&g, 0, &device);
         let peak = t.peak_fraction(g.num_vertices());
-        assert!(peak < 0.12, "{}: gradual frontier expected, peak {peak}", d.name());
+        assert!(
+            peak < 0.12,
+            "{}: gradual frontier expected, peak {peak}",
+            d.name()
+        );
     }
 }
 
@@ -137,10 +173,26 @@ fn wrong_choice_asymmetry() {
     let road = DatasetId::LuxembourgOsm.generate(3, 1);
     let sw = DatasetId::Smallworld.generate(3, 1);
     let k = 24;
-    let ep_penalty = Method::EdgeParallel.run(&road, &opts(k)).unwrap().report.full_seconds
-        / Method::WorkEfficient.run(&road, &opts(k)).unwrap().report.full_seconds;
-    let we_penalty = Method::WorkEfficient.run(&sw, &opts(k)).unwrap().report.full_seconds
-        / Method::EdgeParallel.run(&sw, &opts(k)).unwrap().report.full_seconds;
+    let ep_penalty = Method::EdgeParallel
+        .run(&road, &opts(k))
+        .unwrap()
+        .report
+        .full_seconds
+        / Method::WorkEfficient
+            .run(&road, &opts(k))
+            .unwrap()
+            .report
+            .full_seconds;
+    let we_penalty = Method::WorkEfficient
+        .run(&sw, &opts(k))
+        .unwrap()
+        .report
+        .full_seconds
+        / Method::EdgeParallel
+            .run(&sw, &opts(k))
+            .unwrap()
+            .report
+            .full_seconds;
     assert!(
         ep_penalty > 2.0 * we_penalty,
         "EP-on-road penalty ({ep_penalty:.1}x) must dwarf WE-on-smallworld ({we_penalty:.1}x)"
@@ -156,7 +208,15 @@ fn smallworld_analogue_matches_table2_row() {
     let g = DatasetId::Smallworld.generate(0, 4);
     let s = GraphStats::compute_with_limit(&g, 0);
     assert_eq!(s.vertices, 100_000);
-    assert!((s.edges as f64 - 499_998.0).abs() / 499_998.0 < 0.02, "m = {}", s.edges);
+    assert!(
+        (s.edges as f64 - 499_998.0).abs() / 499_998.0 < 0.02,
+        "m = {}",
+        s.edges
+    );
     assert!(s.diameter <= 12, "diameter {} (paper: 9)", s.diameter);
-    assert!(s.max_degree <= 25, "max degree {} (paper: 17)", s.max_degree);
+    assert!(
+        s.max_degree <= 25,
+        "max degree {} (paper: 17)",
+        s.max_degree
+    );
 }

@@ -82,7 +82,10 @@ fn rayon_num_threads_env_is_honored_and_bitwise() {
     let baseline = parallel::cpu_betweenness_from_roots(&g, &roots, 1);
     for setting in ["1", "2", "8"] {
         std::env::set_var("RAYON_NUM_THREADS", setting);
-        assert_eq!(parallel::effective_threads(0), setting.parse::<usize>().unwrap());
+        assert_eq!(
+            parallel::effective_threads(0),
+            setting.parse::<usize>().unwrap()
+        );
         assert_eq!(
             parallel::cpu_betweenness_from_roots(&g, &roots, 0),
             baseline,
@@ -101,7 +104,14 @@ fn method_run_bitwise_across_thread_counts_on_disconnected_graph() {
     let g = multi_component_graph();
     let run_at = |threads: usize| {
         Method::WorkEfficient
-            .run(&g, &BcOptions { roots: RootSelection::All, threads, ..Default::default() })
+            .run(
+                &g,
+                &BcOptions {
+                    roots: RootSelection::All,
+                    threads,
+                    ..Default::default()
+                },
+            )
             .unwrap()
     };
     let one = run_at(1);

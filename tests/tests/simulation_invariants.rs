@@ -12,29 +12,49 @@ fn useful_edge_inspections_match_reachable_edges() {
     // directed edge exactly once, the backward pass re-inspects the
     // edges of every level except the deepest and level 0.
     let g = gen::grid(10, 10);
-    let opts = BcOptions { roots: RootSelection::Explicit(vec![0]), ..Default::default() };
+    let opts = BcOptions {
+        roots: RootSelection::Explicit(vec![0]),
+        ..Default::default()
+    };
     let run = Method::WorkEfficient.run(&g, &opts).unwrap();
     let m2 = g.num_directed_edges() as u64;
     let c = &run.report.counters;
-    assert!(c.useful_edge_inspections >= m2, "forward pass alone covers all {m2} arcs");
+    assert!(
+        c.useful_edge_inspections >= m2,
+        "forward pass alone covers all {m2} arcs"
+    );
     assert!(
         c.useful_edge_inspections <= 2 * m2,
         "at most both passes: {} vs {}",
         c.useful_edge_inspections,
         2 * m2
     );
-    assert_eq!(c.wasted_edge_inspections, 0, "work-efficient wastes nothing");
+    assert_eq!(
+        c.wasted_edge_inspections, 0,
+        "work-efficient wastes nothing"
+    );
 }
 
 #[test]
 fn edge_parallel_waste_grows_with_diameter() {
-    let opts = BcOptions { roots: RootSelection::Explicit(vec![0]), ..Default::default() };
+    let opts = BcOptions {
+        roots: RootSelection::Explicit(vec![0]),
+        ..Default::default()
+    };
     let path = gen::path(256);
     let star = gen::star(256);
-    let wasted_path =
-        Method::EdgeParallel.run(&path, &opts).unwrap().report.counters.wasted_edge_inspections;
-    let wasted_star =
-        Method::EdgeParallel.run(&star, &opts).unwrap().report.counters.wasted_edge_inspections;
+    let wasted_path = Method::EdgeParallel
+        .run(&path, &opts)
+        .unwrap()
+        .report
+        .counters
+        .wasted_edge_inspections;
+    let wasted_star = Method::EdgeParallel
+        .run(&star, &opts)
+        .unwrap()
+        .report
+        .counters
+        .wasted_edge_inspections;
     assert!(
         wasted_path > 20 * wasted_star,
         "per-depth all-edges scans: path {wasted_path} vs star {wasted_star}"
@@ -45,7 +65,10 @@ fn edge_parallel_waste_grows_with_diameter() {
 fn iteration_count_tracks_eccentricity() {
     let g = gen::path(100);
     for root in [0u32, 50] {
-        let opts = BcOptions { roots: RootSelection::Explicit(vec![root]), ..Default::default() };
+        let opts = BcOptions {
+            roots: RootSelection::Explicit(vec![root]),
+            ..Default::default()
+        };
         let run = Method::WorkEfficient.run(&g, &opts).unwrap();
         let ecc = traversal::eccentricity(&g, root) as u64;
         // init + forward levels (ecc + 1) + backward levels (ecc - 1).
@@ -60,7 +83,10 @@ fn iteration_count_tracks_eccentricity() {
 #[test]
 fn vertex_parallel_checks_every_vertex_every_level() {
     let g = gen::path(64);
-    let opts = BcOptions { roots: RootSelection::Explicit(vec![0]), ..Default::default() };
+    let opts = BcOptions {
+        roots: RootSelection::Explicit(vec![0]),
+        ..Default::default()
+    };
     let run = Method::VertexParallel.run(&g, &opts).unwrap();
     let c = &run.report.counters;
     // 64 levels x (n - frontier) wasted checks — O(n^2) in total.
@@ -79,16 +105,30 @@ fn device_seconds_scale_with_sm_count() {
     let mut fat = DeviceConfig::gtx_titan();
     fat.num_sms *= 2;
     fat.mem_bandwidth_gb_s *= 2.0; // keep per-SM bandwidth equal
-    let opts14 = BcOptions { roots: RootSelection::Strided(56), ..Default::default() };
+    let opts14 = BcOptions {
+        roots: RootSelection::Strided(56),
+        ..Default::default()
+    };
     let opts28 = BcOptions {
         roots: RootSelection::Strided(56),
         device: fat,
         ..Default::default()
     };
-    let t14 = Method::WorkEfficient.run(&g, &opts14).unwrap().report.device_seconds;
-    let t28 = Method::WorkEfficient.run(&g, &opts28).unwrap().report.device_seconds;
+    let t14 = Method::WorkEfficient
+        .run(&g, &opts14)
+        .unwrap()
+        .report
+        .device_seconds;
+    let t28 = Method::WorkEfficient
+        .run(&g, &opts28)
+        .unwrap()
+        .report
+        .device_seconds;
     let ratio = t14 / t28;
-    assert!((1.6..=2.4).contains(&ratio), "doubling SMs should ~halve time, got {ratio:.2}");
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "doubling SMs should ~halve time, got {ratio:.2}"
+    );
 }
 
 proptest! {

@@ -79,14 +79,20 @@ impl BenchmarkGroup<'_> {
     }
 
     fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
-        let mut bencher = Bencher { seconds: Vec::new() };
+        let mut bencher = Bencher {
+            seconds: Vec::new(),
+        };
         // Warm-up sample, discarded.
         f(&mut bencher);
         bencher.seconds.clear();
         for _ in 0..self.sample_size {
             f(&mut bencher);
         }
-        let min = bencher.seconds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = bencher
+            .seconds
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let mean = bencher.seconds.iter().sum::<f64>() / bencher.seconds.len().max(1) as f64;
         println!(
             "bench {}/{}: min {:.3e} s, mean {:.3e} s ({} samples)",

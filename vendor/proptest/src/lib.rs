@@ -252,9 +252,9 @@ mod tests {
             flag in crate::bool::ANY,
             v in crate::collection::vec(0u32..10, 0..20),
         ) {
-            prop_assert!(n >= 1 && n < 50);
+            prop_assert!((1..50).contains(&n));
             prop_assert!((0.0..1.0).contains(&x));
-            prop_assert!(flag || !flag);
+            prop_assert!(usize::from(flag) <= 1);
             prop_assert!(v.len() < 20);
             for e in &v {
                 prop_assert!(*e < 10, "element {e} out of range");

@@ -197,18 +197,15 @@ fn serialize_enum(name: &str, body: &[TokenTree]) -> String {
                 ));
             }
             Some(g) => {
-                let fields: Vec<String> = split_top_level(
-                    &g.stream().into_iter().collect::<Vec<_>>(),
-                )
-                .iter()
-                .filter_map(|c| leading_ident(c))
-                .collect();
+                let fields: Vec<String> =
+                    split_top_level(&g.stream().into_iter().collect::<Vec<_>>())
+                        .iter()
+                        .filter_map(|c| leading_ident(c))
+                        .collect();
                 let bind_list = fields.join(", ");
                 let items: Vec<String> = fields
                     .iter()
-                    .map(|f| {
-                        format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
-                    })
+                    .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
                     .collect();
                 arms.push_str(&format!(
                     "{name}::{variant} {{ {bind_list} }} => ::serde::Value::Object(vec![(\"{variant}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
