@@ -29,6 +29,11 @@ if [[ "${1:-}" != "fast" ]]; then
     # simulated times on every (graph, method) pair.
     echo "==> bench_trajectory smoke"
     cargo run -q -p bc-bench --release --bin bench_trajectory -- --roots 8 --threads 2
+    # Direction-optimizing smoke: push vs pull vs auto on small
+    # graphs; the binary asserts the three modes are bitwise
+    # identical at every thread count.
+    echo "==> bench_direction smoke"
+    cargo run -q -p bc-bench --release --bin bench_direction -- --quick 1 --roots 4
 fi
 
 echo "==> ci OK"

@@ -1,0 +1,164 @@
+//! Bench trajectory: push vs direction-optimized (auto) traversal
+//! across graph classes, at the scale where the per-vertex search
+//! state spills the simulated L2 (n ≈ 200k, the regime the bottom-up
+//! kernel is built for).
+//!
+//! The direction-optimizing contract is that `--traversal` changes
+//! *simulated time* only: scores are bitwise identical in every mode
+//! and at every host thread count. This binary verifies the contract
+//! on every row, measures the simulated push/pull/auto times, and
+//! writes `results/BENCH_direction.json` with the push-vs-auto
+//! speedups — expected ≥ 1.5× on the frontier-saturating classes
+//! (small-world, scale-free) and ≈ 1.0× (never worse than 5%) on
+//! the high-diameter classes (road, mesh) where the Beamer automaton
+//! must simply stay out of the way.
+//!
+//! Flags: `--roots K` (strided sample, default 8), `--seed S`,
+//! `--quick 1` (CI smoke: ~20× smaller graphs, no speedup claims —
+//! small graphs fit in L2, where pull has nothing to win).
+
+use bc_bench::{fmt_seconds, print_table, write_json, Args};
+use bc_core::{BcOptions, Method, RootSelection, TraversalMode};
+use bc_graph::{gen, Csr};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DirectionRecord {
+    graph: String,
+    n: usize,
+    m: u64,
+    push_seconds: f64,
+    pull_seconds: f64,
+    auto_seconds: f64,
+    /// push_seconds / auto_seconds.
+    auto_speedup: f64,
+    /// push_seconds / pull_seconds.
+    pull_speedup: f64,
+    /// (push, bottom-up) forward launches of the auto run.
+    auto_launches: (u64, u64),
+}
+
+#[derive(Serialize)]
+struct DirectionBench {
+    roots: usize,
+    seed: u64,
+    quick: bool,
+    records: Vec<DirectionRecord>,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seed = args.seed();
+    let roots = args.roots(8);
+    let quick = args.get("quick", 0u32) != 0;
+
+    // Full scale keeps 12n bytes (the push working set of d + σ + δ)
+    // well past the Titan's 1.5 MB L2 while pull's 4n σ bytes and the
+    // n/8 bitmap stay inside it — the operating point DESIGN.md §10
+    // prices. Scale-free uses preferential attachment rather than
+    // Kronecker because n is freely tunable into that window (2^18 =
+    // 262144 undershoots it, and RMAT's isolated vertices dilute the
+    // saturated levels the bottom-up kernel feeds on).
+    let graphs: Vec<(&str, Csr)> = if quick {
+        vec![
+            ("smallworld", gen::watts_strogatz(16_000, 16, 0.1, seed)),
+            ("scalefree", gen::barabasi_albert(15_000, 12, seed)),
+            ("road", gen::road_network(10_000, seed)),
+            ("mesh", gen::triangulated_grid(100, 100, seed)),
+        ]
+    } else {
+        vec![
+            ("smallworld", gen::watts_strogatz(350_000, 16, 0.1, seed)),
+            ("scalefree", gen::barabasi_albert(300_000, 12, seed)),
+            ("road", gen::road_network(200_000, seed)),
+            ("mesh", gen::triangulated_grid(400, 500, seed)),
+        ]
+    };
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for (name, g) in &graphs {
+        let run_mode = |traversal: TraversalMode, threads: usize| {
+            Method::WorkEfficient
+                .run(
+                    g,
+                    &BcOptions {
+                        roots: RootSelection::Strided(roots),
+                        threads,
+                        traversal,
+                        ..Default::default()
+                    },
+                )
+                .expect("fits in device memory")
+        };
+        let push = run_mode(TraversalMode::Push, 0);
+        let pull = run_mode(TraversalMode::Pull, 0);
+        let auto = run_mode(TraversalMode::Auto, 0);
+
+        // The contract this harness exists to watch: the traversal
+        // direction must not perturb a single bit of the scores, at
+        // any thread count.
+        assert_eq!(push.scores, pull.scores, "{name}: pull");
+        assert_eq!(push.scores, auto.scores, "{name}: auto");
+        let auto_1 = run_mode(TraversalMode::Auto, 1);
+        assert_eq!(auto.scores, auto_1.scores, "{name}: auto threads");
+        assert_eq!(
+            auto.report.per_root_seconds, auto_1.report.per_root_seconds,
+            "{name}: simulated time must not depend on host threads"
+        );
+
+        let auto_launches = auto
+            .report
+            .traversal_iterations
+            .expect("auto runs are direction-aware");
+        let rec = DirectionRecord {
+            graph: name.to_string(),
+            n: g.num_vertices(),
+            m: g.num_undirected_edges(),
+            push_seconds: push.report.full_seconds,
+            pull_seconds: pull.report.full_seconds,
+            auto_seconds: auto.report.full_seconds,
+            auto_speedup: push.report.full_seconds / auto.report.full_seconds,
+            pull_speedup: push.report.full_seconds / pull.report.full_seconds,
+            auto_launches,
+        };
+        rows.push(vec![
+            name.to_string(),
+            g.num_vertices().to_string(),
+            g.num_undirected_edges().to_string(),
+            fmt_seconds(rec.push_seconds),
+            fmt_seconds(rec.pull_seconds),
+            fmt_seconds(rec.auto_seconds),
+            format!("{:.2}x", rec.auto_speedup),
+            format!("{}/{}", auto_launches.0, auto_launches.1),
+        ]);
+        records.push(rec);
+    }
+
+    println!(
+        "direction-optimizing traversal: {roots} strided roots, work-efficient method{}\n",
+        if quick { " (quick smoke scale)" } else { "" }
+    );
+    print_table(
+        &[
+            "graph", "n", "m", "push", "pull", "auto", "speedup", "fwd p/b",
+        ],
+        &rows,
+    );
+
+    write_json(
+        // Quick smoke runs must not clobber the committed full-scale
+        // trajectory.
+        if quick {
+            "BENCH_direction_smoke"
+        } else {
+            "BENCH_direction"
+        },
+        &DirectionBench {
+            roots,
+            seed,
+            quick,
+            records,
+        },
+    );
+}

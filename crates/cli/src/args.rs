@@ -1,7 +1,7 @@
 //! Argument parsing for the `hybrid-bc` binary. Hand-rolled (no CLI
 //! dependency): `--flag value` pairs plus `--help`.
 
-use bc_core::{HybridParams, Method, RootSelection, SamplingParams};
+use bc_core::{HybridParams, Method, RootSelection, SamplingParams, TraversalMode};
 use bc_gpusim::DeviceConfig;
 
 /// How to execute the computation.
@@ -46,6 +46,8 @@ pub struct Cli {
     pub device: DeviceConfig,
     /// Host threads for the multi-root runner (0 = auto).
     pub threads: usize,
+    /// Forward-sweep direction for the frontier-queue methods.
+    pub traversal: TraversalMode,
     /// Normalize scores.
     pub normalize: bool,
     /// Run the bc-verify checks (CSR invariants, traced replay of a
@@ -84,6 +86,10 @@ COMPUTATION:
     --device D         titan | m2090                    [default: titan]
     --threads T        host threads for the multi-root runner; scores
                        are bitwise identical at any count [default: auto]
+    --traversal T      push | pull | auto — forward-sweep direction for
+                       the frontier-queue methods; auto switches to the
+                       bottom-up bitmap kernel on saturated frontiers
+                       (scores are bitwise identical)   [default: push]
     --normalize        scale scores by (n-1)(n-2)[/2]
 
 VERIFICATION:
@@ -109,6 +115,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         roots: RootSelection::All,
         device: DeviceConfig::gtx_titan(),
         threads: 0,
+        traversal: TraversalMode::Push,
         normalize: false,
         verify: false,
         top: 10,
@@ -146,6 +153,14 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 }
             }
             "--threads" => cli.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?,
+            "--traversal" => {
+                cli.traversal = match value()?.as_str() {
+                    "push" => TraversalMode::Push,
+                    "pull" => TraversalMode::Pull,
+                    "auto" => TraversalMode::Auto,
+                    other => return Err(format!("unknown traversal '{other}'")),
+                }
+            }
             "--normalize" => cli.normalize = true,
             "--verify" => cli.verify = true,
             "--top" => cli.top = value()?.parse().map_err(|e| format!("--top: {e}"))?,
@@ -207,6 +222,8 @@ mod tests {
             "m2090",
             "--threads",
             "4",
+            "--traversal",
+            "auto",
             "--normalize",
             "--verify",
             "--top",
@@ -221,6 +238,7 @@ mod tests {
         assert_eq!(cli.roots, RootSelection::Strided(128));
         assert_eq!(cli.device.name, "Tesla M2090");
         assert_eq!(cli.threads, 4);
+        assert_eq!(cli.traversal, TraversalMode::Auto);
         assert!(cli.normalize && cli.json && cli.verify);
         assert_eq!(cli.top, 5);
         assert_eq!(cli.out.as_deref(), Some("scores.txt"));
@@ -245,6 +263,19 @@ mod tests {
         assert!(parse(&s(&["--dataset", "smallworld", "--wat", "1"])).is_err());
         assert!(parse(&s(&["--dataset", "smallworld", "--method", "magic"])).is_err());
         assert!(parse(&s(&["--dataset", "smallworld", "--device", "h100"])).is_err());
+        assert!(parse(&s(&["--dataset", "smallworld", "--traversal", "sideways"])).is_err());
+    }
+
+    #[test]
+    fn traversal_modes_parse() {
+        for (name, mode) in [
+            ("push", TraversalMode::Push),
+            ("pull", TraversalMode::Pull),
+            ("auto", TraversalMode::Auto),
+        ] {
+            let cli = parse(&s(&["--dataset", "smallworld", "--traversal", name])).unwrap();
+            assert_eq!(cli.traversal, mode);
+        }
     }
 
     #[test]

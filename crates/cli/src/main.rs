@@ -96,6 +96,7 @@ fn run(cli: &Cli) -> Result<(), String> {
                 roots: cli.roots.clone(),
                 normalize: cli.normalize,
                 threads: cli.threads,
+                traversal: cli.traversal,
             };
             let run = method.run(&g, &opts).map_err(|e| e.to_string())?;
             eprintln!(
@@ -106,6 +107,12 @@ fn run(cli: &Cli) -> Result<(), String> {
                 run.report.mteps(),
                 t1.elapsed()
             );
+            if let Some((push, pull)) = run.report.traversal_iterations {
+                eprintln!(
+                    "traversal {}: {push} push / {pull} bottom-up forward launches",
+                    cli.traversal.name()
+                );
+            }
             if let RootSelection::Strided(k) = cli.roots {
                 eprintln!(
                     "(scores are partial sums over {k} sampled roots; simulated time is \
@@ -175,7 +182,19 @@ fn verify_run(cli: &Cli, g: &Csr, scores: &[f64]) -> Result<(), String> {
     let mut events = 0u64;
     for i in 0..traced_roots {
         let root = ((i * n) / traced_roots) as u32;
-        let v = bc_verify::verify_root(g, root, &cli.device);
+        // Replay under the traversal the run actually used, so a
+        // pull/auto invocation race-checks the bottom-up kernel it
+        // launched, not just the push path.
+        let v = if cli.traversal == bc_core::TraversalMode::Push {
+            bc_verify::verify_root(g, root, &cli.device)
+        } else {
+            bc_verify::verify_root_with(
+                g,
+                root,
+                &cli.device,
+                bc_core::DirectionOptimizingModel::new(cli.traversal),
+            )
+        };
         events += v.events;
         for r in &v.races {
             eprintln!("verify FAIL (root {root}): {r}");

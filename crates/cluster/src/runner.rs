@@ -9,7 +9,7 @@
 
 use crate::net::NetworkConfig;
 use crate::partition;
-use bc_core::{BcOptions, Method, RootSelection};
+use bc_core::{BcOptions, Method, RootSelection, TraversalMode};
 use bc_gpusim::{DeviceConfig, SimError};
 use bc_graph::Csr;
 use serde::{Deserialize, Serialize};
@@ -29,6 +29,10 @@ pub struct ClusterConfig {
     pub network: NetworkConfig,
     /// BC method every GPU runs.
     pub method: Method,
+    /// Forward-sweep direction every GPU uses (the per-root search
+    /// is identical on every GPU, so the cluster result stays
+    /// bitwise identical in every mode).
+    pub traversal: TraversalMode,
 }
 
 impl ClusterConfig {
@@ -42,6 +46,7 @@ impl ClusterConfig {
             device: DeviceConfig::tesla_m2090(),
             network: NetworkConfig::keeneland(),
             method: Method::Sampling(Default::default()),
+            traversal: TraversalMode::Push,
         }
     }
 
@@ -128,6 +133,7 @@ pub fn run_cluster(
                         roots: RootSelection::Explicit(part.clone()),
                         normalize: false,
                         threads: inner_threads,
+                        traversal: cfg.traversal,
                     };
                     let run = cfg.method.run(g, &opts)?;
                     // Total block-seconds, not makespan: a handful of
@@ -293,6 +299,25 @@ mod tests {
         let b = run_cluster(&g, &cfg, 96).unwrap();
         assert_eq!(a.scores, b.scores);
         assert_eq!(a.report.total_seconds, b.report.total_seconds);
+    }
+
+    #[test]
+    fn auto_traversal_matches_push_across_node_counts() {
+        // Direction optimization is per-root and purely local, so at
+        // any fixed node count the cluster scores stay bitwise equal
+        // to the push baseline. (Different node counts group the
+        // per-root additions differently and may drift by an ulp —
+        // push drifts identically, so the comparison is per count.)
+        let g = gen::watts_strogatz(300, 8, 0.1, 4);
+        for nodes in [1, 2, 4] {
+            let push = run_cluster(&g, &ClusterConfig::keeneland(nodes), 96).unwrap();
+            let cfg = ClusterConfig {
+                traversal: TraversalMode::Auto,
+                ..ClusterConfig::keeneland(nodes)
+            };
+            let auto = run_cluster(&g, &cfg, 96).unwrap();
+            assert_eq!(push.scores, auto.scores, "{nodes} nodes");
+        }
     }
 
     #[test]

@@ -27,6 +27,54 @@ pub enum Phase {
     Backward,
 }
 
+/// Direction of one forward BFS level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Traversal {
+    /// Top-down: frontier vertices push discoveries to their
+    /// neighbors through atomicCAS-deduplicated queues (Algorithm 2).
+    Push,
+    /// Bottom-up: unvisited vertices pull from parents found in an
+    /// O(n)-bit frontier bitmap (Beamer-style direction
+    /// optimization), with no per-edge CAS and no σ atomicAdd.
+    Pull,
+}
+
+/// Pre-level frontier statistics handed to
+/// [`CostModel::choose_traversal`] — everything a Beamer-style
+/// direction heuristic needs, gathered before the level runs.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontierSnapshot {
+    /// BFS depth about to be processed.
+    pub depth: u32,
+    /// Vertices in the upcoming frontier (`Q_curr` occupancy).
+    pub frontier_vertices: u64,
+    /// Directed edges out of the upcoming frontier.
+    pub frontier_edges: u64,
+    /// Vertices discovered so far, frontier included.
+    pub visited_vertices: u64,
+    /// Directed edges out of every discovered vertex, frontier
+    /// included (so `2m - visited_edges` bounds the unexplored side).
+    pub visited_edges: u64,
+}
+
+/// Bottom-up statistics of one pull level, for pull-aware pricing.
+#[derive(Debug)]
+pub struct PullLevelInfo<'a> {
+    /// Vertices still unvisited when the level began (the vertices
+    /// the bottom-up kernel scans adjacency for).
+    pub unvisited: u64,
+    /// Directed edges out of those unvisited vertices (the level's
+    /// worst-case probe count).
+    pub unvisited_edges: u64,
+    /// Whether this level had to materialize the frontier bitmap
+    /// from `Q_curr` (true on a push→pull switch; steady-state pull
+    /// levels reuse the previous level's next bitmap by swap).
+    pub rebuilt_frontier_bitmap: bool,
+    /// Degree of each unvisited vertex in scan order, for SIMT
+    /// divergence pricing of the adjacency scans.
+    pub unvisited_degrees: &'a [u32],
+}
+
 /// Everything a cost model may inspect about one search iteration.
 #[derive(Debug)]
 pub struct LevelInfo<'a> {
@@ -34,6 +82,9 @@ pub struct LevelInfo<'a> {
     pub phase: Phase,
     /// BFS depth of the vertices being processed.
     pub depth: u32,
+    /// How the level executed ([`Traversal::Push`] for every
+    /// backward level — the successor sweep has no pull variant).
+    pub traversal: Traversal,
     /// The vertices processed this iteration (the vertex frontier —
     /// `Q_curr` forward, the `S` segment backward).
     pub frontier: &'a [VertexId],
@@ -43,6 +94,9 @@ pub struct LevelInfo<'a> {
     pub discovered: u64,
     /// σ additions (forward) or δ contributions (backward) performed.
     pub updates: u64,
+    /// Bottom-up statistics, present exactly when `traversal` is
+    /// [`Traversal::Pull`].
+    pub pull: Option<PullLevelInfo<'a>>,
 }
 
 /// An iteration's price plus its bookkeeping of wasted work.
@@ -82,6 +136,21 @@ pub trait CostModel {
 
     /// Price one search iteration.
     fn price(&mut self, g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) -> PricedIteration;
+
+    /// Pick the direction of the upcoming forward level. Consulted
+    /// once per level, before it runs, and only on symmetric
+    /// adjacency (a bottom-up vertex must see its in-edges in its own
+    /// list). The decision must depend only on the snapshot and
+    /// per-root state reset in [`CostModel::begin_root`], so every
+    /// thread count replays the same per-root schedule bitwise.
+    fn choose_traversal(
+        &mut self,
+        _g: &Csr,
+        _device: &DeviceConfig,
+        _frontier: &FrontierSnapshot,
+    ) -> Traversal {
+        Traversal::Push
+    }
 }
 
 /// Reusable per-root buffers (Algorithm 1 state).
@@ -93,6 +162,9 @@ pub struct SearchWorkspace {
     s: Vec<VertexId>,
     /// `ends[i]..ends[i+1]` is the slice of `S` at depth `i`.
     ends: Vec<u32>,
+    /// Scratch: degrees of the unvisited vertices of the most recent
+    /// pull level, in scan order (for divergence pricing).
+    pull_degrees: Vec<u32>,
 }
 
 impl SearchWorkspace {
@@ -104,6 +176,7 @@ impl SearchWorkspace {
             delta: vec![0.0; n],
             s: Vec::with_capacity(n),
             ends: Vec::with_capacity(64),
+            pull_degrees: Vec::new(),
         }
     }
 
@@ -181,6 +254,8 @@ pub struct RootOutcome {
     /// Simulated seconds of each forward level (Table I's per-
     /// iteration time).
     pub forward_level_seconds: Vec<f64>,
+    /// Direction each forward level executed in.
+    pub forward_traversals: Vec<Traversal>,
 }
 
 impl RootOutcome {
@@ -192,7 +267,30 @@ impl RootOutcome {
         self.frontier_sizes.clear();
         self.edge_frontier_sizes.clear();
         self.forward_level_seconds.clear();
+        self.forward_traversals.clear();
     }
+
+    /// Forward levels that ran bottom-up.
+    pub fn pull_levels(&self) -> usize {
+        self.forward_traversals
+            .iter()
+            .filter(|&&t| t == Traversal::Pull)
+            .count()
+    }
+}
+
+/// Immutable parameters naming one root's simulation: the graph, the
+/// root, and the device whose timing model prices each iteration.
+/// Bundled so the `process_root_*` entry points stay at a signature
+/// size that reads as what it is — one search, one set of knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RootContext<'a> {
+    /// The graph being searched.
+    pub g: &'a Csr,
+    /// The search root.
+    pub root: VertexId,
+    /// The simulated device pricing each iteration.
+    pub device: &'a DeviceConfig,
 }
 
 /// Run one root's shortest-path counting + dependency accumulation,
@@ -207,47 +305,44 @@ pub fn process_root(
     bc: &mut [f64],
 ) -> RootOutcome {
     let mut out = RootOutcome::default();
-    process_root_into(g, root, device, ws, model, bc, &mut out);
+    process_root_into(&RootContext { g, root, device }, ws, model, bc, &mut out);
     out
 }
 
 /// [`process_root`] writing into a caller-owned [`RootOutcome`], so a
 /// multi-root loop reuses its trace buffers instead of reallocating
 /// them per root.
-#[allow(clippy::too_many_arguments)]
 pub fn process_root_into(
-    g: &Csr,
-    root: VertexId,
-    device: &DeviceConfig,
+    ctx: &RootContext<'_>,
     ws: &mut SearchWorkspace,
     model: &mut dyn CostModel,
     bc: &mut [f64],
     out: &mut RootOutcome,
 ) {
-    process_root_traced(g, root, device, ws, model, bc, out, &mut NullSink);
+    process_root_traced(ctx, ws, model, bc, out, &mut NullSink);
 }
 
 /// [`process_root_into`] additionally emitting the logical per-thread
 /// memory accesses of each level to `sink` — one event per read,
-/// write, or atomic a work-efficient GPU thread would perform on the
-/// named kernel arrays (`d`, `σ`, `δ`, `Q_curr`/`Q_next`, `S`/`ends`).
+/// write, or atomic a GPU thread would perform on the named kernel
+/// arrays (`d`, `σ`, `δ`, `Q_curr`/`Q_next`, `S`/`ends`, and the
+/// bottom-up sweep's `visited`/`F_curr`/`F_next` bitmaps).
 ///
-/// Logical thread ids are lane positions within the level's frontier.
-/// With [`NullSink`] every emission site compiles out
-/// ([`TraceSink::ENABLED`] is a constant `false`), which is how the
-/// untraced [`process_root_into`] keeps its cost; `bc-verify`'s
-/// recorder captures the events for race detection.
-#[allow(clippy::too_many_arguments)]
+/// Logical thread ids are lane positions within the level's frontier
+/// (push), or vertex/word ids (pull — one lane per unvisited vertex,
+/// one per visited-bitmap word). With [`NullSink`] every emission
+/// site compiles out ([`TraceSink::ENABLED`] is a constant `false`),
+/// which is how the untraced [`process_root_into`] keeps its cost;
+/// `bc-verify`'s recorder captures the events for race detection.
 pub fn process_root_traced<S: TraceSink>(
-    g: &Csr,
-    root: VertexId,
-    device: &DeviceConfig,
+    ctx: &RootContext<'_>,
     ws: &mut SearchWorkspace,
     model: &mut dyn CostModel,
     bc: &mut [f64],
     out: &mut RootOutcome,
     sink: &mut S,
 ) {
+    let (g, root, device) = (ctx.g, ctx.root, ctx.device);
     out.reset();
     ws.reset(root);
     model.begin_root(g, root);
@@ -257,110 +352,274 @@ pub fn process_root_traced<S: TraceSink>(
 
     // ---- Stage 1: shortest-path calculation (Algorithm 2) ----
     let mut depth = 0u32;
+    let mut visited_edges = 0u64;
+    let mut prev_pull = false;
     loop {
         let level_start = ws.ends[depth as usize] as usize;
         let level_end = ws.ends[depth as usize + 1] as usize;
         if level_start == level_end {
             break;
         }
+        let frontier_edges: u64 = ws.s[level_start..level_end]
+            .iter()
+            .map(|&v| g.degree(v) as u64)
+            .sum();
+        visited_edges += frontier_edges;
+        // Direction choice happens before the level runs, from
+        // already-known frontier statistics. Pull needs symmetric
+        // adjacency (a vertex scanning its own list must see its
+        // in-edges), so directed graphs always push.
+        let traversal = if g.is_symmetric() {
+            model.choose_traversal(
+                g,
+                device,
+                &FrontierSnapshot {
+                    depth,
+                    frontier_vertices: (level_end - level_start) as u64,
+                    frontier_edges,
+                    visited_vertices: level_end as u64,
+                    visited_edges,
+                },
+            )
+        } else {
+            Traversal::Push
+        };
         if S::ENABLED {
             sink.begin_level(TracePhase::Forward, depth);
         }
-        let mut frontier_edges = 0u64;
         let mut updates = 0u64;
-        // Expand the frontier; `s` grows with Q_next's contents.
-        for qi in level_start..level_end {
-            let v = ws.s[qi];
-            let lane = (qi - level_start) as u32;
-            if S::ENABLED {
-                // The thread dequeues its own Q_curr slot.
-                sink.record(TraceEvent {
-                    thread: lane,
-                    array: KernelArray::QCurr,
-                    index: qi as u32,
-                    kind: AccessKind::Read,
-                });
-            }
-            frontier_edges += g.degree(v) as u64;
-            for &w in g.neighbors(v) {
-                if S::ENABLED {
-                    // atomicCAS(d[w], ∞, d[v] + 1) on every inspected
-                    // edge (Algorithm 2, line 8).
-                    sink.record(TraceEvent {
-                        thread: lane,
-                        array: KernelArray::Dist,
-                        index: w,
-                        kind: AccessKind::AtomicCas,
-                    });
-                }
-                if ws.dist[w as usize] == INFINITY {
-                    // atomicCAS(d[w], ∞, d[v] + 1) winner enqueues w.
-                    ws.dist[w as usize] = depth + 1;
+        let mut pull_unvisited = 0u64;
+        let mut pull_unvisited_edges = 0u64;
+        match traversal {
+            Traversal::Push => {
+                // Expand the frontier; `s` grows with Q_next's
+                // contents.
+                for qi in level_start..level_end {
+                    let v = ws.s[qi];
+                    let lane = (qi - level_start) as u32;
                     if S::ENABLED {
-                        // Queue-tail bump, then the write into the
-                        // claimed Q_next slot.
+                        // The thread dequeues its own Q_curr slot.
                         sink.record(TraceEvent {
                             thread: lane,
-                            array: KernelArray::Ends,
-                            index: depth + 1,
-                            kind: AccessKind::AtomicAdd,
-                        });
-                        sink.record(TraceEvent {
-                            thread: lane,
-                            array: KernelArray::QNext,
-                            index: ws.s.len() as u32,
-                            kind: AccessKind::Write,
-                        });
-                    }
-                    ws.s.push(w);
-                }
-                if S::ENABLED {
-                    // The plain d[w] == d[v] + 1 check (line 11): a
-                    // non-atomic read racing only against atomics.
-                    sink.record(TraceEvent {
-                        thread: lane,
-                        array: KernelArray::Dist,
-                        index: w,
-                        kind: AccessKind::Read,
-                    });
-                }
-                if ws.dist[w as usize] == depth + 1 {
-                    if S::ENABLED {
-                        sink.record(TraceEvent {
-                            thread: lane,
-                            array: KernelArray::Sigma,
-                            index: v,
+                            array: KernelArray::QCurr,
+                            index: qi as u32,
                             kind: AccessKind::Read,
                         });
+                    }
+                    for &w in g.neighbors(v) {
+                        if S::ENABLED {
+                            // atomicCAS(d[w], ∞, d[v] + 1) on every
+                            // inspected edge (Algorithm 2, line 8).
+                            sink.record(TraceEvent {
+                                thread: lane,
+                                array: KernelArray::Dist,
+                                index: w,
+                                kind: AccessKind::AtomicCas,
+                            });
+                        }
+                        if ws.dist[w as usize] == INFINITY {
+                            // atomicCAS(d[w], ∞, d[v] + 1) winner
+                            // enqueues w.
+                            ws.dist[w as usize] = depth + 1;
+                            if S::ENABLED {
+                                // Queue-tail bump, then the write
+                                // into the claimed Q_next slot.
+                                sink.record(TraceEvent {
+                                    thread: lane,
+                                    array: KernelArray::Ends,
+                                    index: depth + 1,
+                                    kind: AccessKind::AtomicAdd,
+                                });
+                                sink.record(TraceEvent {
+                                    thread: lane,
+                                    array: KernelArray::QNext,
+                                    index: ws.s.len() as u32,
+                                    kind: AccessKind::Write,
+                                });
+                            }
+                            ws.s.push(w);
+                        }
+                        if S::ENABLED {
+                            // The plain d[w] == d[v] + 1 check (line
+                            // 11): a non-atomic read racing only
+                            // against atomics.
+                            sink.record(TraceEvent {
+                                thread: lane,
+                                array: KernelArray::Dist,
+                                index: w,
+                                kind: AccessKind::Read,
+                            });
+                        }
+                        if ws.dist[w as usize] == depth + 1 {
+                            if S::ENABLED {
+                                sink.record(TraceEvent {
+                                    thread: lane,
+                                    array: KernelArray::Sigma,
+                                    index: v,
+                                    kind: AccessKind::Read,
+                                });
+                                sink.record(TraceEvent {
+                                    thread: lane,
+                                    array: KernelArray::Sigma,
+                                    index: w,
+                                    kind: AccessKind::AtomicAdd,
+                                });
+                            }
+                            // atomicAdd(σ[w], σ[v])
+                            ws.sigma[w as usize] += ws.sigma[v as usize];
+                            updates += 1;
+                        }
+                    }
+                }
+            }
+            Traversal::Pull => {
+                // Pass A — the bottom-up kernel this level prices:
+                // every unvisited vertex scans its own adjacency for
+                // parents in the frontier bitmap, with no early exit
+                // (σ needs *every* parent at depth `depth`, so the
+                // scan may not stop at the first match). The bitmaps
+                // are logical: the functional code reads `dist`, the
+                // trace emits the bitmap accesses the kernel issues —
+                // exactly as the push path compares `dist` while
+                // tracing an atomicCAS.
+                let n = g.num_vertices();
+                ws.pull_degrees.clear();
+                if S::ENABLED {
+                    // One lane per visited-bitmap word: the scan that
+                    // yields this lane's unvisited vertices.
+                    for word in 0..(n as u32).div_ceil(32) {
                         sink.record(TraceEvent {
-                            thread: lane,
-                            array: KernelArray::Sigma,
-                            index: w,
-                            kind: AccessKind::AtomicAdd,
+                            thread: word,
+                            array: KernelArray::VisitedBits,
+                            index: word,
+                            kind: AccessKind::Read,
                         });
                     }
-                    // atomicAdd(σ[w], σ[v])
-                    ws.sigma[w as usize] += ws.sigma[v as usize];
-                    updates += 1;
+                }
+                for w in 0..n as u32 {
+                    if ws.dist[w as usize] != INFINITY {
+                        continue;
+                    }
+                    pull_unvisited += 1;
+                    let deg = g.degree(w);
+                    pull_unvisited_edges += deg as u64;
+                    ws.pull_degrees.push(deg);
+                    let mut parents = 0u64;
+                    for &v in g.neighbors(w) {
+                        if S::ENABLED {
+                            // F_curr membership probe for the
+                            // neighbor — a read-only bitmap this
+                            // level, so no synchronization.
+                            sink.record(TraceEvent {
+                                thread: w,
+                                array: KernelArray::FrontierBits,
+                                index: v / 32,
+                                kind: AccessKind::Read,
+                            });
+                        }
+                        if ws.dist[v as usize] == depth {
+                            if S::ENABLED {
+                                // Parent σ gather: frontier cells are
+                                // never written during a pull level.
+                                sink.record(TraceEvent {
+                                    thread: w,
+                                    array: KernelArray::Sigma,
+                                    index: v,
+                                    kind: AccessKind::Read,
+                                });
+                            }
+                            parents += 1;
+                        }
+                    }
+                    if parents > 0 {
+                        ws.dist[w as usize] = depth + 1;
+                        if S::ENABLED {
+                            // The owner alone writes its d and σ —
+                            // pull needs no CAS and no σ atomicAdd.
+                            // Discovery is announced with one
+                            // word-granular atomicOr into F_next.
+                            sink.record(TraceEvent {
+                                thread: w,
+                                array: KernelArray::Dist,
+                                index: w,
+                                kind: AccessKind::Write,
+                            });
+                            sink.record(TraceEvent {
+                                thread: w,
+                                array: KernelArray::Sigma,
+                                index: w,
+                                kind: AccessKind::Write,
+                            });
+                            sink.record(TraceEvent {
+                                thread: w,
+                                array: KernelArray::NextBits,
+                                index: w / 32,
+                                kind: AccessKind::AtomicOr,
+                            });
+                        }
+                    }
+                }
+                // Pass B — the bookkeeping launch that compacts
+                // F_next into `S` and accumulates σ. It replays the
+                // push kernel's discovery and accumulation order
+                // exactly, so σ (an order-sensitive f64 sum) and the
+                // stack layout stay bitwise identical to push mode;
+                // its memory traffic is folded into the level's price
+                // (`methods::cost::bottom_up_level`), not traced.
+                for qi in level_start..level_end {
+                    let v = ws.s[qi];
+                    // σ of a frontier vertex is never touched during
+                    // its own level, so hoisting the read is exact.
+                    let sv = ws.sigma[v as usize];
+                    for &w in g.neighbors(v) {
+                        if ws.dist[w as usize] == depth + 1 {
+                            if ws.sigma[w as usize] == 0.0 {
+                                // First touch enqueues w at exactly
+                                // the position push's winning CAS
+                                // would have (σ of a discovered but
+                                // untouched vertex is 0, and frontier
+                                // σ is always positive).
+                                ws.s.push(w);
+                            }
+                            ws.sigma[w as usize] += sv;
+                            updates += 1;
+                        }
+                    }
                 }
             }
         }
         let discovered = ws.s.len() - level_end;
+        let pull = (traversal == Traversal::Pull).then_some(PullLevelInfo {
+            unvisited: pull_unvisited,
+            unvisited_edges: pull_unvisited_edges,
+            rebuilt_frontier_bitmap: !prev_pull,
+            unvisited_degrees: &ws.pull_degrees,
+        });
         let info = LevelInfo {
             phase: Phase::Forward,
             depth,
+            traversal,
             frontier: &ws.s[level_start..level_end],
             frontier_edges,
             discovered: discovered as u64,
             updates,
+            pull,
         };
         let priced = model.price(g, device, &info);
         let level_seconds = device.block_iteration_seconds(&priced.work);
         charge(&mut out.counters, device, &priced);
-        out.counters.useful_edge_inspections += frontier_edges;
+        // Push inspects the frontier's out-edges; pull's useful
+        // probes are the ones that found a frontier parent (the rest
+        // are the model's wasted_edges).
+        out.counters.useful_edge_inspections += match traversal {
+            Traversal::Push => frontier_edges,
+            Traversal::Pull => updates,
+        };
         out.frontier_sizes.push(level_end - level_start);
         out.edge_frontier_sizes.push(frontier_edges);
         out.forward_level_seconds.push(level_seconds);
+        out.forward_traversals.push(traversal);
+        prev_pull = traversal == Traversal::Pull;
 
         if discovered == 0 {
             break;
@@ -448,10 +707,12 @@ pub fn process_root_traced<S: TraceSink>(
         let info = LevelInfo {
             phase: Phase::Backward,
             depth: d,
+            traversal: Traversal::Push,
             frontier: &ws.s[level_start..level_end],
             frontier_edges,
             discovered: 0,
             updates,
+            pull: None,
         };
         let priced = model.price(g, device, &info);
         charge(&mut out.counters, device, &priced);
@@ -599,11 +860,84 @@ mod tests {
         let mut ws = SearchWorkspace::new(5);
         let mut bc = vec![0.0; 5];
         let mut out = RootOutcome::default();
-        process_root_into(&g, 0, &device, &mut ws, &mut FreeModel, &mut bc, &mut out);
+        let ctx = |root| RootContext {
+            g: &g,
+            root,
+            device: &device,
+        };
+        process_root_into(&ctx(0), &mut ws, &mut FreeModel, &mut bc, &mut out);
         assert_eq!(out.reached, 5);
-        process_root_into(&g, 4, &device, &mut ws, &mut FreeModel, &mut bc, &mut out);
+        process_root_into(&ctx(4), &mut ws, &mut FreeModel, &mut bc, &mut out);
         assert_eq!(out.frontier_sizes.len(), 5);
         assert_eq!(out.reached, 5);
+        assert_eq!(out.forward_traversals.len(), out.frontier_sizes.len());
+        assert_eq!(out.pull_levels(), 0, "default models never pull");
+    }
+
+    /// Forces every forward level to run bottom-up (prices nothing).
+    struct AlwaysPull;
+
+    impl CostModel for AlwaysPull {
+        fn price(&mut self, _g: &Csr, _d: &DeviceConfig, _l: &LevelInfo<'_>) -> PricedIteration {
+            PricedIteration::default()
+        }
+        fn choose_traversal(
+            &mut self,
+            _g: &Csr,
+            _d: &DeviceConfig,
+            _f: &FrontierSnapshot,
+        ) -> Traversal {
+            Traversal::Pull
+        }
+    }
+
+    #[test]
+    fn pull_levels_are_bitwise_identical_to_push() {
+        let device = DeviceConfig::gtx_titan();
+        for g in [
+            gen::path(12),
+            gen::star(9),
+            gen::grid(7, 5),
+            gen::cycle(9),
+            gen::erdos_renyi(80, 200, 3),
+            Csr::from_undirected_edges(7, [(0, 1), (1, 2), (2, 3), (3, 0), (5, 6)]),
+        ] {
+            for root in [0u32, (g.num_vertices() as u32).saturating_sub(1)] {
+                let n = g.num_vertices();
+                let (mut push_ws, mut pull_ws) = (SearchWorkspace::new(n), SearchWorkspace::new(n));
+                let mut push_bc = vec![0.0; n];
+                let mut pull_bc = vec![0.0; n];
+                let push_out = process_root(
+                    &g,
+                    root,
+                    &device,
+                    &mut push_ws,
+                    &mut FreeModel,
+                    &mut push_bc,
+                );
+                let pull_out = process_root(
+                    &g,
+                    root,
+                    &device,
+                    &mut pull_ws,
+                    &mut AlwaysPull,
+                    &mut pull_bc,
+                );
+                assert_eq!(push_ws.dist(), pull_ws.dist(), "root {root}");
+                assert_eq!(push_ws.sigma(), pull_ws.sigma(), "root {root}");
+                assert_eq!(push_ws.stack(), pull_ws.stack(), "root {root}");
+                assert_eq!(push_ws.ends(), pull_ws.ends(), "root {root}");
+                assert_eq!(push_ws.delta(), pull_ws.delta(), "root {root}");
+                assert_eq!(push_bc, pull_bc, "root {root}");
+                assert_eq!(push_out.max_depth, pull_out.max_depth);
+                assert_eq!(push_out.frontier_sizes, pull_out.frontier_sizes);
+                assert_eq!(push_out.edge_frontier_sizes, pull_out.edge_frontier_sizes);
+                // Every forward level of a reachable search pulled.
+                if pull_out.max_depth > 0 {
+                    assert!(pull_out.pull_levels() > 0);
+                }
+            }
+        }
     }
 
     #[test]

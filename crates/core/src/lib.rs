@@ -37,6 +37,10 @@ mod solver;
 pub mod teps;
 pub mod weighted;
 
-pub use methods::models::{HybridParams, SamplingParams, Strategy};
+pub use engine::Traversal;
+pub use methods::models::{
+    DirectionOptimizingModel, DirectionParams, HybridParams, SamplingParams, Strategy,
+    TraversalMode,
+};
 pub use parallel::{effective_threads, run_roots, RootsRun, ShardableCostModel};
 pub use solver::{run_with_cost_model, BcOptions, BcRun, Method, RootSelection, RunReport};

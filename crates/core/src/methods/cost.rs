@@ -20,6 +20,16 @@ use crate::engine::{LevelInfo, Phase, PricedIteration};
 use bc_gpusim::{warp, DeviceConfig, IterationWork};
 use bc_graph::Csr;
 
+/// Per-vertex state a bottom-up scattered gather touches: σ alone
+/// (one 4-byte word). The pull kernel takes frontier membership from
+/// the L2-resident bitmap instead of gathering `d`, and never reads
+/// δ in the forward sweep, so its working set is a third of
+/// [`bc_working_set_bytes`] — the cache-residency edge that makes
+/// pull win exactly where push thrashes.
+fn pull_working_set_bytes(g: &Csr) -> u64 {
+    4 * g.num_vertices() as u64
+}
+
 /// Slack sectors charged per frontier adjacency list for
 /// misalignment (a list rarely starts on a transaction boundary).
 const LIST_MISALIGN_SECTORS: u64 = 1;
@@ -154,6 +164,76 @@ pub fn work_efficient_level(
         },
         wasted_edges: 0,
         wasted_vertex_checks: 0,
+    }
+}
+
+/// Price one bottom-up (pull) forward iteration: every unvisited
+/// vertex scans its own adjacency for parents in the frontier
+/// bitmap, with no per-edge CAS, no σ `atomicAdd`, and no queue-tail
+/// contention — the only synchronization left is one word-granular
+/// `atomicOr` into `F_next` per discovered vertex.
+///
+/// The level the caller passes must carry
+/// [`PullLevelInfo`](crate::engine::PullLevelInfo) statistics
+/// (`level.pull`), which the engine fills whenever a level executes
+/// bottom-up.
+///
+/// Cost structure:
+/// * the visited-bitmap scan streams `n/32` words and balances one
+///   lane per vertex bit;
+/// * adjacency scans stream the unvisited vertices' lists
+///   (coalesced) with round-robin divergence over their degrees;
+/// * each inspected edge probes one frontier-bitmap word — priced as
+///   an L2-latency [`IterationWork::bitmap_accesses`] probe, not a
+///   DRAM gather;
+/// * σ parent gathers (`updates`) and the owner's d/σ stores
+///   (`2 × discovered`) are the only scattered word traffic, against
+///   a σ-only working set;
+/// * the F_next→`S` compaction (the bookkeeping pass that keeps the
+///   backward sweep unchanged) streams the bitmap once more and
+///   appends `discovered` queue slots;
+/// * a push→pull switch additionally scatters `Q_curr` into frontier
+///   bits and streams `d` once to seed the visited bitmap.
+pub fn bottom_up_level(g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) -> PricedIteration {
+    let pull = level
+        .pull
+        .as_ref()
+        .expect("bottom-up pricing requires the engine's pull statistics");
+    let n = g.num_vertices() as u64;
+    let words = n.div_ceil(32);
+    let tx = device.scattered_tx_bytes as u64;
+    let scan_steps = warp::balanced_warp_steps(n, device.threads_per_block, device.warp_size);
+    let adj_steps = warp::round_robin_warp_steps(
+        pull.unvisited_degrees,
+        device.threads_per_block,
+        device.warp_size,
+    );
+    let mut work = IterationWork {
+        warp_steps: scan_steps + adj_steps,
+        coalesced_bytes: words * 4                       // visited-bitmap stream
+            + pull.unvisited * 8                         // offsets pair per scanned list
+            + pull.unvisited_edges * 4                   // adjacency lists
+            + pull.unvisited * LIST_MISALIGN_SECTORS * tx
+            + words * 4                                  // F_next compaction stream
+            + level.discovered * 4, // S appends
+        bitmap_accesses: pull.unvisited_edges,
+        scattered_accesses: level.updates + 2 * level.discovered,
+        working_set_bytes: pull_working_set_bytes(g),
+        atomics: level.discovered,
+        ..Default::default()
+    };
+    if pull.rebuilt_frontier_bitmap {
+        // Direction switch: scatter Q_curr into F_curr bits (random
+        // single-word writes in a bookkeeping launch, so they carry
+        // no atomic count into the traced level) and seed the
+        // visited bitmap by streaming d once.
+        work.random_accesses += level.frontier.len() as u64;
+        work.coalesced_bytes += n * 4 + words * 4;
+    }
+    PricedIteration {
+        work,
+        wasted_edges: pull.unvisited_edges.saturating_sub(level.updates),
+        wasted_vertex_checks: n.saturating_sub(pull.unvisited),
     }
 }
 
@@ -294,6 +374,15 @@ pub mod footprint {
         }
     }
 
+    /// Direction-optimizing locals: the work-efficient arrays plus
+    /// three n-bit bitmaps (visited, `F_curr`, `F_next`) per
+    /// resident block — a 32× denser frontier representation than
+    /// another queue.
+    pub fn direction_optimizing_bytes(g: &Csr, device: &DeviceConfig) -> u64 {
+        let n = g.num_vertices() as u64;
+        work_efficient_bytes(g, device) + 3 * n.div_ceil(8) * device.num_sms as u64
+    }
+
     /// Jia et al. locals: d, σ, δ O(n) plus the O(m) boolean
     /// predecessor map, per resident block, plus one shared per-edge
     /// source array.
@@ -314,17 +403,43 @@ pub mod footprint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::Phase;
+    use crate::engine::{Phase, PullLevelInfo, Traversal};
     use bc_graph::gen;
 
     fn level<'a>(frontier: &'a [u32], g: &Csr, phase: Phase) -> LevelInfo<'a> {
         LevelInfo {
             phase,
             depth: 1,
+            traversal: Traversal::Push,
             frontier,
             frontier_edges: frontier.iter().map(|&v| g.degree(v) as u64).sum(),
             discovered: 3,
             updates: 4,
+            pull: None,
+        }
+    }
+
+    fn pull_level<'a>(
+        frontier: &'a [u32],
+        g: &Csr,
+        degrees: &'a [u32],
+        rebuilt: bool,
+    ) -> LevelInfo<'a> {
+        let unvisited_edges = degrees.iter().map(|&d| d as u64).sum();
+        LevelInfo {
+            phase: Phase::Forward,
+            depth: 1,
+            traversal: Traversal::Pull,
+            frontier,
+            frontier_edges: frontier.iter().map(|&v| g.degree(v) as u64).sum(),
+            discovered: 3,
+            updates: 4,
+            pull: Some(PullLevelInfo {
+                unvisited: degrees.len() as u64,
+                unvisited_edges,
+                rebuilt_frontier_bitmap: rebuilt,
+                unvisited_degrees: degrees,
+            }),
         }
     }
 
@@ -408,6 +523,50 @@ mod tests {
         assert!(fan.work.warp_steps < ep.work.warp_steps);
         assert!(fan.work.global_sync);
         assert!(!ep.work.global_sync);
+    }
+
+    #[test]
+    fn bottom_up_prices_only_one_atomic_per_discovery() {
+        let g = gen::grid(32, 32);
+        let d = DeviceConfig::gtx_titan();
+        let frontier: Vec<u32> = (0..100).collect();
+        let degrees: Vec<u32> = vec![4; 500];
+        let l = pull_level(&frontier, &g, &degrees, false);
+        let p = bottom_up_level(&g, &d, &l);
+        assert_eq!(p.work.atomics, l.discovered);
+        assert_eq!(p.work.bitmap_accesses, 2000, "one probe per scanned edge");
+        assert_eq!(p.wasted_edges, 2000 - l.updates);
+        // σ-only working set, a third of push's d+σ+δ.
+        assert_eq!(p.work.working_set_bytes * 3, 12 * g.num_vertices() as u64);
+        // The rebuild surcharge only applies on a push→pull switch.
+        let switched = bottom_up_level(&g, &d, &pull_level(&frontier, &g, &degrees, true));
+        assert!(switched.work.random_accesses > p.work.random_accesses);
+        assert!(switched.work.coalesced_bytes > p.work.coalesced_bytes);
+        assert_eq!(switched.work.atomics, p.work.atomics);
+    }
+
+    #[test]
+    fn bottom_up_beats_work_efficient_on_saturated_levels_of_big_graphs() {
+        // A graph whose 12n push working set spills L2 while pull's
+        // 4n stays resident: the regime the direction switch targets.
+        let g = gen::watts_strogatz(200_000, 10, 0.05, 7);
+        let d = DeviceConfig::gtx_titan();
+        let mut trips = Vec::new();
+        // A saturated level: half the graph on the frontier, most of
+        // the rest still unvisited.
+        let frontier: Vec<u32> = (0..100_000).collect();
+        let degrees: Vec<u32> = vec![10; 90_000];
+        let mut l = pull_level(&frontier, &g, &degrees, true);
+        l.discovered = 80_000;
+        l.updates = 150_000;
+        let pull = bottom_up_level(&g, &d, &l);
+        let push = work_efficient_level(&g, &d, &l, &mut trips);
+        let pull_s = d.block_iteration_seconds(&pull.work);
+        let push_s = d.block_iteration_seconds(&push.work);
+        assert!(
+            pull_s * 2.0 < push_s,
+            "saturated pull {pull_s} vs push {push_s}"
+        );
     }
 
     #[test]

@@ -2,20 +2,181 @@
 //! including the per-iteration strategy switching of the hybrid
 //! (Algorithm 4) and sampling (Algorithm 5) methods.
 
-use crate::engine::{CostModel, LevelInfo, Phase, PricedIteration};
+use crate::engine::{CostModel, FrontierSnapshot, LevelInfo, Phase, PricedIteration, Traversal};
 use crate::methods::cost;
 use crate::parallel::ShardableCostModel;
 use bc_gpusim::DeviceConfig;
 use bc_graph::{Csr, VertexId};
 use serde::{Deserialize, Serialize};
 
-/// The two base strategies the hybrid methods alternate between.
+/// The base strategies the hybrid methods alternate between.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Strategy {
     /// Queue-based frontier traversal (this paper).
     WorkEfficient,
     /// All-edges inspection (Jia et al.).
     EdgeParallel,
+    /// Bottom-up bitmap traversal (Beamer-style pull), available to
+    /// the hybrid selector on saturated forward levels.
+    BottomUp,
+}
+
+/// Which traversal directions a run may use (the CLI's
+/// `--traversal {push,pull,auto}`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraversalMode {
+    /// Always top-down — the paper's queue kernels, and the mode
+    /// every pre-existing method is equivalent to.
+    #[default]
+    Push,
+    /// Force every forward level bottom-up (on symmetric graphs) —
+    /// the ablation endpoint that shows why switching matters.
+    Pull,
+    /// Beamer-style direction optimization: switch to pull when the
+    /// frontier saturates, back to push when it drains.
+    Auto,
+}
+
+impl TraversalMode {
+    /// CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraversalMode::Push => "push",
+            TraversalMode::Pull => "pull",
+            TraversalMode::Auto => "auto",
+        }
+    }
+}
+
+/// Parameters of the Beamer-style direction switch, driven by the
+/// engine's per-level [`FrontierSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DirectionParams {
+    /// Push→pull when `frontier_edges × alpha` exceeds the
+    /// unexplored directed edges (Beamer's growing-frontier test;
+    /// his CPU-tuned default is 14).
+    pub alpha: u64,
+    /// Pull→push when the vertex frontier shrinks below `n / beta`
+    /// (Beamer's shrinking-frontier test; default 24).
+    pub beta: u64,
+}
+
+impl Default for DirectionParams {
+    fn default() -> Self {
+        DirectionParams {
+            alpha: 14,
+            beta: 24,
+        }
+    }
+}
+
+impl DirectionParams {
+    /// One step of the sticky Beamer automaton: given the direction
+    /// the previous level ran in and the upcoming level's frontier
+    /// snapshot, pick the next direction. Pure in its inputs, so the
+    /// per-root schedule is identical at every thread count.
+    pub fn next(&self, current: Traversal, g: &Csr, f: &FrontierSnapshot) -> Traversal {
+        let n = g.num_vertices() as u64;
+        let unexplored = (g.num_directed_edges() as u64).saturating_sub(f.visited_edges);
+        match current {
+            Traversal::Push => {
+                // The edge test alone also fires on the *tail* of a
+                // deep search (unexplored → 0 with a thin frontier);
+                // requiring the frontier to clear the pull→push exit
+                // threshold keeps the automaton hysteresis-consistent
+                // and pulls only on genuinely saturated levels.
+                let saturated = f.frontier_edges.saturating_mul(self.alpha) > unexplored;
+                let wide = f.frontier_vertices.saturating_mul(self.beta) >= n;
+                if f.depth > 0 && saturated && wide {
+                    Traversal::Pull
+                } else {
+                    Traversal::Push
+                }
+            }
+            Traversal::Pull => {
+                if f.frontier_vertices.saturating_mul(self.beta) < n {
+                    Traversal::Push
+                } else {
+                    Traversal::Pull
+                }
+            }
+        }
+    }
+}
+
+/// Direction-optimizing pricing: work-efficient push kernels with
+/// bottom-up pull levels wherever the Beamer automaton (or a forced
+/// [`TraversalMode`]) engages them. With [`TraversalMode::Push`]
+/// this prices identically to [`WorkEfficientModel`] at its default
+/// configuration.
+#[derive(Debug)]
+pub struct DirectionOptimizingModel {
+    mode: TraversalMode,
+    params: DirectionParams,
+    current: Traversal,
+    trips: Vec<u32>,
+    /// Forward levels priced top-down.
+    pub push_iterations: u64,
+    /// Forward levels priced bottom-up.
+    pub pull_iterations: u64,
+}
+
+impl DirectionOptimizingModel {
+    /// A model with default Beamer parameters.
+    pub fn new(mode: TraversalMode) -> Self {
+        Self::with_params(mode, DirectionParams::default())
+    }
+
+    /// A model with explicit α/β.
+    pub fn with_params(mode: TraversalMode, params: DirectionParams) -> Self {
+        DirectionOptimizingModel {
+            mode,
+            params,
+            current: Traversal::Push,
+            trips: Vec::new(),
+            push_iterations: 0,
+            pull_iterations: 0,
+        }
+    }
+
+    /// The traversal mode this model enforces.
+    pub fn mode(&self) -> TraversalMode {
+        self.mode
+    }
+}
+
+impl CostModel for DirectionOptimizingModel {
+    fn begin_root(&mut self, _g: &Csr, _root: VertexId) {
+        // Every search opens pushing: the root-only frontier is the
+        // worst possible pull input.
+        self.current = Traversal::Push;
+    }
+
+    fn choose_traversal(
+        &mut self,
+        g: &Csr,
+        _device: &DeviceConfig,
+        frontier: &FrontierSnapshot,
+    ) -> Traversal {
+        self.current = match self.mode {
+            TraversalMode::Push => Traversal::Push,
+            TraversalMode::Pull => Traversal::Pull,
+            TraversalMode::Auto => self.params.next(self.current, g, frontier),
+        };
+        self.current
+    }
+
+    fn price(&mut self, g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) -> PricedIteration {
+        if level.phase == Phase::Forward && level.traversal == Traversal::Pull {
+            self.pull_iterations += 1;
+            return cost::bottom_up_level(g, device, level);
+        }
+        if level.phase == Phase::Forward {
+            self.push_iterations += 1;
+        }
+        // Backward levels always run the unchanged successor sweep.
+        cost::work_efficient_level(g, device, level, &mut self.trips)
+    }
 }
 
 /// Work-efficient pricing for every iteration.
@@ -98,10 +259,17 @@ impl Default for HybridParams {
 
 /// Hybrid pricing: starts work-efficient, reconsiders whenever the
 /// frontier size changes by more than α, switching to edge-parallel
-/// when the next frontier exceeds β.
+/// when the next frontier exceeds β. With a non-push
+/// [`TraversalMode`] the Beamer automaton adds bottom-up as a third
+/// strategy: a forward level the engine runs bottom-up is priced as
+/// the pull kernel regardless of the push-side α/β state, and its
+/// backward counterpart still runs the unchanged successor sweep.
 #[derive(Debug)]
 pub struct HybridModel {
     params: HybridParams,
+    traversal: TraversalMode,
+    direction: DirectionParams,
+    current_traversal: Traversal,
     strategy: Strategy,
     /// Strategy used at each forward depth, replayed by the backward
     /// sweep (the accumulation processes the same levels).
@@ -112,19 +280,32 @@ pub struct HybridModel {
     pub work_efficient_iterations: u64,
     /// See [`HybridModel::work_efficient_iterations`].
     pub edge_parallel_iterations: u64,
+    /// Forward levels priced as the bottom-up pull kernel.
+    pub bottom_up_iterations: u64,
 }
 
 impl HybridModel {
-    /// A hybrid model with the given α/β.
+    /// A hybrid model with the given α/β (push-only, the paper's
+    /// Algorithm 4).
     pub fn new(params: HybridParams) -> Self {
         HybridModel {
             params,
+            traversal: TraversalMode::Push,
+            direction: DirectionParams::default(),
+            current_traversal: Traversal::Push,
             strategy: Strategy::WorkEfficient,
             forward_choices: Vec::new(),
             trips: Vec::new(),
             work_efficient_iterations: 0,
             edge_parallel_iterations: 0,
+            bottom_up_iterations: 0,
         }
+    }
+
+    /// Enable a traversal mode (builder style).
+    pub fn with_traversal(mut self, traversal: TraversalMode) -> Self {
+        self.traversal = traversal;
+        self
     }
 
     fn price_with(
@@ -143,6 +324,18 @@ impl HybridModel {
                 self.edge_parallel_iterations += 1;
                 cost::edge_parallel_level(g, device, level)
             }
+            Strategy::BottomUp => match level.phase {
+                Phase::Forward => {
+                    self.bottom_up_iterations += 1;
+                    cost::bottom_up_level(g, device, level)
+                }
+                // The backward sweep of a bottom-up depth is the
+                // same successor sweep every other depth runs.
+                Phase::Backward => {
+                    self.work_efficient_iterations += 1;
+                    cost::work_efficient_level(g, device, level, &mut self.trips)
+                }
+            },
         }
     }
 }
@@ -153,13 +346,35 @@ impl CostModel for HybridModel {
         // just the root, and a wrong edge-parallel guess is the
         // costlier mistake (§IV-B).
         self.strategy = Strategy::WorkEfficient;
+        self.current_traversal = Traversal::Push;
         self.forward_choices.clear();
+    }
+
+    fn choose_traversal(
+        &mut self,
+        g: &Csr,
+        _device: &DeviceConfig,
+        frontier: &FrontierSnapshot,
+    ) -> Traversal {
+        self.current_traversal = match self.traversal {
+            TraversalMode::Push => Traversal::Push,
+            TraversalMode::Pull => Traversal::Pull,
+            TraversalMode::Auto => self.direction.next(self.current_traversal, g, frontier),
+        };
+        self.current_traversal
     }
 
     fn price(&mut self, g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) -> PricedIteration {
         match level.phase {
             Phase::Forward => {
-                let strategy = self.strategy;
+                // A bottom-up level overrides the push-side strategy
+                // choice; the α/β automaton below still advances so
+                // the right push kernel resumes when pull disengages.
+                let strategy = if level.traversal == Traversal::Pull {
+                    Strategy::BottomUp
+                } else {
+                    self.strategy
+                };
                 self.forward_choices.push(strategy);
                 let priced = self.price_with(strategy, g, device, level);
                 // Algorithm 4: reconsider only when the frontier
@@ -275,7 +490,10 @@ impl CostModel for SamplingPhaseModel {
                 .unwrap_or(Strategy::WorkEfficient),
         };
         match strategy {
-            Strategy::WorkEfficient => {
+            // The sampling selector only assigns the two push
+            // strategies; BottomUp folds into work-efficient so the
+            // match stays total if that ever changes.
+            Strategy::WorkEfficient | Strategy::BottomUp => {
                 self.work_efficient_iterations += 1;
                 cost::work_efficient_level(g, device, level, &mut self.trips)
             }
@@ -322,12 +540,24 @@ impl ShardableCostModel for GpuFanModel {
 
 impl ShardableCostModel for HybridModel {
     fn fork(&self) -> Self {
-        HybridModel::new(self.params)
+        HybridModel::new(self.params).with_traversal(self.traversal)
     }
 
     fn merge_worker(&mut self, worker: Self) {
         self.work_efficient_iterations += worker.work_efficient_iterations;
         self.edge_parallel_iterations += worker.edge_parallel_iterations;
+        self.bottom_up_iterations += worker.bottom_up_iterations;
+    }
+}
+
+impl ShardableCostModel for DirectionOptimizingModel {
+    fn fork(&self) -> Self {
+        DirectionOptimizingModel::with_params(self.mode, self.params)
+    }
+
+    fn merge_worker(&mut self, worker: Self) {
+        self.push_iterations += worker.push_iterations;
+        self.pull_iterations += worker.pull_iterations;
     }
 }
 
@@ -417,6 +647,118 @@ mod tests {
         // level (frontier = 4999) is edge-parallel.
         assert!(m.work_efficient_iterations > 0);
         assert!(m.edge_parallel_iterations > 0);
+    }
+
+    #[test]
+    fn direction_model_pulls_on_saturated_frontiers_only() {
+        let device = DeviceConfig::gtx_titan();
+        // Small-world: one or two saturated levels → auto pulls.
+        let sw = gen::watts_strogatz(4000, 8, 0.1, 11);
+        // A long path never saturates → auto stays push.
+        let road = gen::path(4000);
+        let drive_out = |g: &Csr, mode: TraversalMode| {
+            let mut m = DirectionOptimizingModel::new(mode);
+            let mut ws = SearchWorkspace::new(g.num_vertices());
+            let mut bc = vec![0.0; g.num_vertices()];
+            for root in g.vertices().take(4) {
+                process_root(g, root, &device, &mut ws, &mut m, &mut bc);
+            }
+            (m.push_iterations, m.pull_iterations)
+        };
+        let (_, sw_pull) = drive_out(&sw, TraversalMode::Auto);
+        assert!(sw_pull > 0, "small-world saturation must engage pull");
+        let (road_push, road_pull) = drive_out(&road, TraversalMode::Auto);
+        assert_eq!(road_pull, 0, "thin frontiers must never pull");
+        assert!(road_push > 0);
+        let (forced_push, forced_pull) = drive_out(&sw, TraversalMode::Pull);
+        assert_eq!(forced_push, 0, "forced pull mode never pushes");
+        assert!(forced_pull > 0);
+        let (p, no_pull) = drive_out(&sw, TraversalMode::Push);
+        assert_eq!(no_pull, 0);
+        assert!(p > 0);
+    }
+
+    #[test]
+    fn direction_auto_prices_cheaper_than_push_on_saturated_graphs() {
+        // The simulated-seconds claim behind the bench: on a graph
+        // whose push working set spills L2, auto beats push.
+        let g = gen::watts_strogatz(60_000, 10, 0.1, 3);
+        let device = DeviceConfig::gtx_titan();
+        let seconds = |mode: TraversalMode| {
+            let mut m = DirectionOptimizingModel::new(mode);
+            let mut ws = SearchWorkspace::new(g.num_vertices());
+            let mut bc = vec![0.0; g.num_vertices()];
+            let mut total = 0.0;
+            for root in g.vertices().take(2) {
+                total += process_root(&g, root, &device, &mut ws, &mut m, &mut bc)
+                    .counters
+                    .seconds;
+            }
+            total
+        };
+        let push = seconds(TraversalMode::Push);
+        let auto = seconds(TraversalMode::Auto);
+        assert!(auto < push, "auto {auto} must beat push {push}");
+    }
+
+    #[test]
+    fn hybrid_engages_bottom_up_in_auto_mode_only() {
+        let g = gen::watts_strogatz(4000, 8, 0.1, 11);
+        let mut push_only = HybridModel::new(HybridParams::default());
+        drive(&g, &mut push_only);
+        assert_eq!(push_only.bottom_up_iterations, 0);
+        let mut auto =
+            HybridModel::new(HybridParams::default()).with_traversal(TraversalMode::Auto);
+        drive(&g, &mut auto);
+        assert!(
+            auto.bottom_up_iterations > 0,
+            "hybrid auto must use the third strategy on saturation"
+        );
+    }
+
+    #[test]
+    fn beamer_automaton_is_sticky_and_pure() {
+        let g = gen::star(100);
+        let p = DirectionParams::default();
+        let snap = |depth, fv, fe, ve| FrontierSnapshot {
+            depth,
+            frontier_vertices: fv,
+            frontier_edges: fe,
+            visited_vertices: fv,
+            visited_edges: ve,
+        };
+        // Tiny frontier from push: stay push.
+        assert_eq!(
+            p.next(Traversal::Push, &g, &snap(1, 1, 2, 4)),
+            Traversal::Push
+        );
+        // Saturated frontier: switch (99 directed edges unexplored
+        // bound crossed by 90 × 14).
+        assert_eq!(
+            p.next(Traversal::Push, &g, &snap(1, 50, 90, 99)),
+            Traversal::Pull
+        );
+        // Depth 0 never pulls regardless of size.
+        assert_eq!(
+            p.next(Traversal::Push, &g, &snap(0, 50, 90, 99)),
+            Traversal::Push
+        );
+        // A thin frontier at the tail of a deep search trips the
+        // edge test (unexplored ≈ 0) but must stay push.
+        assert_eq!(
+            p.next(Traversal::Push, &g, &snap(7, 1, 2, 197)),
+            Traversal::Push
+        );
+        // From pull, a still-large frontier stays pull…
+        assert_eq!(
+            p.next(Traversal::Pull, &g, &snap(2, 50, 90, 150)),
+            Traversal::Pull
+        );
+        // …and a drained one reverts (n = 100, 100/24 ≈ 4).
+        assert_eq!(
+            p.next(Traversal::Pull, &g, &snap(3, 2, 4, 190)),
+            Traversal::Push
+        );
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //! within 1e-9 on the equivalence tests).
 
 use crate::brandes;
-use crate::engine::{process_root_into, CostModel, FreeModel, RootOutcome, SearchWorkspace};
+use crate::engine::{
+    process_root_into, CostModel, FreeModel, RootContext, RootOutcome, SearchWorkspace,
+};
 use bc_gpusim::{DeviceConfig, KernelCounters};
 use bc_graph::{Csr, VertexId};
 use std::collections::BTreeMap;
@@ -272,7 +274,8 @@ pub fn run_roots<M: ShardableCostModel>(
             let mut max_depths = Vec::with_capacity(hi - lo);
             let mut counters = KernelCounters::default();
             for &r in &roots[lo..hi] {
-                process_root_into(g, r, device, &mut ws, &mut m, &mut acc, &mut out);
+                let ctx = RootContext { g, root: r, device };
+                process_root_into(&ctx, &mut ws, &mut m, &mut acc, &mut out);
                 per_root_seconds.push(out.counters.seconds);
                 max_depths.push(out.max_depth);
                 counters.merge(&out.counters);

@@ -4,8 +4,8 @@
 use crate::brandes;
 use crate::methods::cost::footprint;
 use crate::methods::models::{
-    EdgeParallelModel, GpuFanModel, HybridModel, HybridParams, SamplingParams, SamplingPhaseModel,
-    VertexParallelModel, WorkEfficientModel,
+    DirectionOptimizingModel, EdgeParallelModel, GpuFanModel, HybridModel, HybridParams,
+    SamplingParams, SamplingPhaseModel, TraversalMode, VertexParallelModel, WorkEfficientModel,
 };
 use crate::parallel::{self, ShardableCostModel};
 use crate::teps;
@@ -56,6 +56,13 @@ pub struct BcOptions {
     /// `RAYON_NUM_THREADS` environment variable, else all available
     /// cores). Results are bitwise identical at any setting.
     pub threads: usize,
+    /// Forward-sweep traversal direction for the frontier-queue
+    /// methods (work-efficient, hybrid, and sampling's work-efficient
+    /// phases). `Auto` engages the Beamer switch; scores are bitwise
+    /// identical in every mode. The dense methods (vertex-parallel,
+    /// edge-parallel, GPU-FAN) have no frontier to pull from and
+    /// ignore this.
+    pub traversal: TraversalMode,
 }
 
 impl Default for BcOptions {
@@ -65,6 +72,7 @@ impl Default for BcOptions {
             roots: RootSelection::All,
             normalize: false,
             threads: 0,
+            traversal: TraversalMode::Push,
         }
     }
 }
@@ -151,6 +159,7 @@ impl Method {
         let mut counters = KernelCounters::default();
         let mut max_depths = Vec::with_capacity(roots.len());
         let mut strategy_iterations: Option<(u64, u64)> = None;
+        let mut traversal_iterations: Option<(u64, u64)> = None;
         let mut sampling_chose_edge_parallel = None;
 
         // Absorb one sharded multi-root phase into the run-wide
@@ -208,18 +217,33 @@ impl Method {
                 );
             }
             Method::WorkEfficient => {
-                let mut m = WorkEfficientModel::default();
-                let run = parallel::run_roots(g, device, &roots, threads, &mut m);
-                absorb(
-                    run,
-                    &mut scores,
-                    &mut per_root_seconds,
-                    &mut max_depths,
-                    &mut counters,
-                );
+                if opts.traversal == TraversalMode::Push {
+                    // The historical path, bitwise-unchanged in both
+                    // scores and pricing.
+                    let mut m = WorkEfficientModel::default();
+                    let run = parallel::run_roots(g, device, &roots, threads, &mut m);
+                    absorb(
+                        run,
+                        &mut scores,
+                        &mut per_root_seconds,
+                        &mut max_depths,
+                        &mut counters,
+                    );
+                } else {
+                    let mut m = DirectionOptimizingModel::new(opts.traversal);
+                    let run = parallel::run_roots(g, device, &roots, threads, &mut m);
+                    absorb(
+                        run,
+                        &mut scores,
+                        &mut per_root_seconds,
+                        &mut max_depths,
+                        &mut counters,
+                    );
+                    traversal_iterations = Some((m.push_iterations, m.pull_iterations));
+                }
             }
             Method::Hybrid(params) => {
-                let mut m = HybridModel::new(*params);
+                let mut m = HybridModel::new(*params).with_traversal(opts.traversal);
                 let run = parallel::run_roots(g, device, &roots, threads, &mut m);
                 absorb(
                     run,
@@ -230,13 +254,26 @@ impl Method {
                 );
                 strategy_iterations =
                     Some((m.work_efficient_iterations, m.edge_parallel_iterations));
+                if opts.traversal != TraversalMode::Push {
+                    // Pushed forward levels = everything the push
+                    // strategies priced minus the backward sweeps,
+                    // which the report does not split; expose the
+                    // launch counts the model does track.
+                    traversal_iterations = Some((
+                        m.work_efficient_iterations + m.edge_parallel_iterations,
+                        m.bottom_up_iterations,
+                    ));
+                }
             }
             Method::Sampling(params) => {
                 // Phase 1: sample roots work-efficiently, recording
-                // max BFS depths (Algorithm 5's keys).
+                // max BFS depths (Algorithm 5's keys). The sampling
+                // phases honor the traversal mode; the edge-parallel
+                // phase streams all edges and has no frontier to
+                // pull from, so it always pushes.
                 let n_samps = params.n_samps.min(roots.len());
                 let (sample_roots, rest_roots) = roots.split_at(n_samps);
-                let mut we = WorkEfficientModel::default();
+                let mut we = DirectionOptimizingModel::new(opts.traversal);
                 let run = parallel::run_roots(g, device, sample_roots, threads, &mut we);
                 absorb(
                     run,
@@ -270,6 +307,9 @@ impl Method {
                         &mut max_depths,
                         &mut counters,
                     );
+                }
+                if opts.traversal != TraversalMode::Push {
+                    traversal_iterations = Some((we.push_iterations, we.pull_iterations));
                 }
             }
         }
@@ -306,6 +346,7 @@ impl Method {
                 per_root_seconds,
                 max_depths,
                 strategy_iterations,
+                traversal_iterations,
                 sampling_chose_edge_parallel,
             },
         })
@@ -366,6 +407,7 @@ pub fn run_with_cost_model<M: ShardableCostModel>(
             per_root_seconds,
             max_depths,
             strategy_iterations: None,
+            traversal_iterations: None,
             sampling_chose_edge_parallel: None,
         },
     })
@@ -410,6 +452,10 @@ pub struct RunReport {
     /// (work-efficient, edge-parallel) iteration counts for the
     /// switching methods.
     pub strategy_iterations: Option<(u64, u64)>,
+    /// (push-priced, pull-priced) kernel-launch counts when the run
+    /// was direction-aware (`traversal != push`); `None` on the
+    /// unchanged push-only paths.
+    pub traversal_iterations: Option<(u64, u64)>,
     /// The sampling method's Algorithm 5 decision, if it ran.
     pub sampling_chose_edge_parallel: Option<bool>,
 }
@@ -610,6 +656,99 @@ mod tests {
     }
 
     #[test]
+    fn traversal_modes_are_bitwise_identical() {
+        // The direction of the forward sweep is a pricing concern
+        // only: push, pull, and auto must produce the same bits for
+        // every frontier-queue method.
+        let g = gen::watts_strogatz(600, 8, 0.1, 9);
+        let opts_mode = |traversal| BcOptions {
+            roots: RootSelection::Strided(48),
+            traversal,
+            ..Default::default()
+        };
+        for method in [
+            Method::WorkEfficient,
+            Method::Hybrid(HybridParams::default()),
+            Method::Sampling(SamplingParams {
+                n_samps: 16,
+                ..Default::default()
+            }),
+        ] {
+            let push = method.run(&g, &opts_mode(TraversalMode::Push)).unwrap();
+            let pull = method.run(&g, &opts_mode(TraversalMode::Pull)).unwrap();
+            let auto = method.run(&g, &opts_mode(TraversalMode::Auto)).unwrap();
+            assert_eq!(push.scores, pull.scores, "{} pull", method.name());
+            assert_eq!(push.scores, auto.scores, "{} auto", method.name());
+            assert_eq!(
+                push.report.max_depths,
+                auto.report.max_depths,
+                "{}",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn auto_traversal_reports_pull_launches() {
+        // Saturated small-world frontiers engage the bottom-up
+        // kernel and the report says so; the push run stays `None`.
+        let g = gen::watts_strogatz(4000, 8, 0.1, 13);
+        let opts = BcOptions {
+            roots: RootSelection::Strided(8),
+            traversal: TraversalMode::Auto,
+            ..Default::default()
+        };
+        let run = Method::WorkEfficient.run(&g, &opts).unwrap();
+        let (push, pull) = run
+            .report
+            .traversal_iterations
+            .expect("direction-aware run");
+        assert!(pull > 0, "auto must pull on saturated levels");
+        assert!(push > 0, "every root's first level pushes");
+        let baseline = Method::WorkEfficient
+            .run(
+                &g,
+                &BcOptions {
+                    roots: RootSelection::Strided(8),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(baseline.report.traversal_iterations, None);
+        // (No timing claim at n = 4000 — the pull payoff needs a
+        // working set that spills L2; see the 60k-vertex model test
+        // and the bench trajectory for that.)
+    }
+
+    #[test]
+    fn traversal_reports_invariant_under_thread_count() {
+        let g = gen::watts_strogatz(400, 6, 0.1, 2);
+        for mode in [TraversalMode::Pull, TraversalMode::Auto] {
+            let run_at = |threads: usize| {
+                Method::WorkEfficient
+                    .run(
+                        &g,
+                        &BcOptions {
+                            roots: RootSelection::Strided(96),
+                            threads,
+                            traversal: mode,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+            };
+            let one = run_at(1);
+            let eight = run_at(8);
+            assert_eq!(one.scores, eight.scores, "{mode:?}");
+            assert_eq!(one.report.per_root_seconds, eight.report.per_root_seconds);
+            assert_eq!(
+                one.report.traversal_iterations,
+                eight.report.traversal_iterations
+            );
+        }
+    }
+
+    #[test]
     fn normalization_applies() {
         let g = gen::star(64);
         let opts = BcOptions {
@@ -639,6 +778,7 @@ mod tests {
             per_root_seconds: vec![],
             max_depths: vec![],
             strategy_iterations: None,
+            traversal_iterations: None,
             sampling_chose_edge_parallel: None,
         };
         assert!((r.mteps() - 2500.0).abs() < 1e-9);

@@ -26,6 +26,8 @@ pub struct KernelCounters {
     pub random_accesses: u64,
     /// Dependent scattered gathers performed.
     pub scattered_accesses: u64,
+    /// Bitmap probes performed (bottom-up frontier checks).
+    pub bitmap_accesses: u64,
     /// Atomic operations (including contended ones).
     pub atomics: u64,
     /// Simulated block-seconds consumed.
@@ -40,6 +42,7 @@ impl KernelCounters {
         self.coalesced_bytes += work.coalesced_bytes;
         self.random_accesses += work.random_accesses;
         self.scattered_accesses += work.scattered_accesses;
+        self.bitmap_accesses += work.bitmap_accesses;
         self.atomics += work.atomics + work.contended_atomics;
         self.seconds += device.block_iteration_seconds(work);
     }
@@ -54,6 +57,7 @@ impl KernelCounters {
         self.coalesced_bytes += other.coalesced_bytes;
         self.random_accesses += other.random_accesses;
         self.scattered_accesses += other.scattered_accesses;
+        self.bitmap_accesses += other.bitmap_accesses;
         self.atomics += other.atomics;
         self.seconds += other.seconds;
     }
@@ -119,6 +123,7 @@ mod tests {
             coalesced_bytes: 6,
             random_accesses: 2,
             scattered_accesses: 7,
+            bitmap_accesses: 11,
             atomics: 8,
             seconds: 9.0,
         };

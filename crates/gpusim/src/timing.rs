@@ -43,6 +43,13 @@ pub struct IterationWork {
     /// Dependent scattered 4-byte gathers (latency-priced against
     /// `scattered_mlp`).
     pub scattered_accesses: u64,
+    /// Dependent probes into an O(n)-bit frontier/visited bitmap
+    /// (bottom-up sweeps). A bitmap is 32× denser than the word
+    /// arrays behind `scattered_accesses` — n/8 bytes sit in L2 for
+    /// every graph this simulator handles — so these are priced at L2
+    /// latency against the same `scattered_mlp` budget, and consume
+    /// no DRAM bandwidth.
+    pub bitmap_accesses: u64,
     /// Bytes of the randomly-accessed working set backing the
     /// scattered gathers (0 = assume it misses L2).
     pub working_set_bytes: u64,
@@ -64,6 +71,7 @@ impl IterationWork {
         self.coalesced_bytes += other.coalesced_bytes;
         self.random_accesses += other.random_accesses;
         self.scattered_accesses += other.scattered_accesses;
+        self.bitmap_accesses += other.bitmap_accesses;
         self.working_set_bytes = self.working_set_bytes.max(other.working_set_bytes);
         self.atomics += other.atomics;
         self.contended_atomics += other.contended_atomics;
@@ -112,7 +120,10 @@ impl DeviceConfig {
         let gather_s =
             w.scattered_accesses as f64 * self.gather_latency_ns(w.working_set_bytes) * 1e-9
                 / self.scattered_mlp;
-        let mem_s = bw_s.max(gather_s);
+        // Bitmap probes share the scattered-load MLP budget but
+        // always hit L2 (n/8 bytes of bits vs 1.5 MB of cache).
+        let bitmap_s = w.bitmap_accesses as f64 * self.l2_latency_ns * 1e-9 / self.scattered_mlp;
+        let mem_s = bw_s.max(gather_s + bitmap_s);
 
         // Contended atomics serialize: each conflict costs a full
         // atomic round trip, not amortized across the warp.
@@ -281,6 +292,7 @@ mod tests {
         let b = IterationWork {
             warp_steps: 10,
             scattered_accesses: 5,
+            bitmap_accesses: 7,
             random_accesses: 2,
             working_set_bytes: 100,
             atomics: 3,
@@ -292,11 +304,38 @@ mod tests {
         assert_eq!(a.warp_steps, 11);
         assert_eq!(a.coalesced_bytes, 10);
         assert_eq!(a.scattered_accesses, 5);
+        assert_eq!(a.bitmap_accesses, 7);
         assert_eq!(a.random_accesses, 2);
         assert_eq!(a.working_set_bytes, 100);
         assert_eq!(a.atomics, 3);
         assert_eq!(a.contended_atomics, 1);
         assert!(a.global_sync);
+    }
+
+    #[test]
+    fn bitmap_probes_price_at_l2_latency() {
+        let d = dev();
+        let probes = 1_000_000u64;
+        let bitmap = d.block_iteration_seconds(&IterationWork {
+            bitmap_accesses: probes,
+            ..Default::default()
+        });
+        let expect = probes as f64 * d.l2_latency_ns * 1e-9 / d.scattered_mlp
+            + d.iteration_overhead_ns * 1e-9;
+        assert!((bitmap - expect).abs() / expect < 1e-9);
+        // Far cheaper than the same count of DRAM-missing gathers,
+        // and they stack on top of gather latency (shared MLP).
+        let gathers = d.block_iteration_seconds(&IterationWork {
+            scattered_accesses: probes,
+            ..Default::default()
+        });
+        assert!(gathers > 5.0 * bitmap, "gathers {gathers} bitmap {bitmap}");
+        let both = d.block_iteration_seconds(&IterationWork {
+            scattered_accesses: probes,
+            bitmap_accesses: probes,
+            ..Default::default()
+        });
+        assert!(both > gathers, "bitmap probes must add latency");
     }
 
     #[test]

@@ -37,6 +37,15 @@ pub enum KernelArray {
     /// `ends` — the stack's level boundaries (its tail doubles as the
     /// `Q_next` length counter the forward kernel bumps atomically).
     Ends,
+    /// `visited` — the bottom-up sweep's visited bitmap; indexed by
+    /// 32-bit **word**, not by vertex.
+    VisitedBits,
+    /// `F_curr` — the bottom-up sweep's current-frontier bitmap;
+    /// indexed by 32-bit word.
+    FrontierBits,
+    /// `F_next` — the bottom-up sweep's next-frontier bitmap; indexed
+    /// by 32-bit word. Discoveries set bits with `atomicOr`.
+    NextBits,
 }
 
 impl KernelArray {
@@ -50,6 +59,9 @@ impl KernelArray {
             KernelArray::QNext => "Q_next",
             KernelArray::Stack => "S",
             KernelArray::Ends => "ends",
+            KernelArray::VisitedBits => "visited",
+            KernelArray::FrontierBits => "F_curr",
+            KernelArray::NextBits => "F_next",
         }
     }
 }
@@ -65,6 +77,8 @@ pub enum AccessKind {
     AtomicCas,
     /// `atomicAdd` — σ accumulation and queue-tail bumps.
     AtomicAdd,
+    /// `atomicOr` — word-granular bitmap sets in the bottom-up sweep.
+    AtomicOr,
 }
 
 impl AccessKind {
@@ -75,7 +89,10 @@ impl AccessKind {
 
     /// Is this access hardware-synchronized (word-coherent RMW)?
     pub fn is_atomic(self) -> bool {
-        matches!(self, AccessKind::AtomicCas | AccessKind::AtomicAdd)
+        matches!(
+            self,
+            AccessKind::AtomicCas | AccessKind::AtomicAdd | AccessKind::AtomicOr
+        )
     }
 }
 
@@ -152,6 +169,7 @@ mod tests {
         assert!(AccessKind::Write.is_write());
         assert!(AccessKind::AtomicCas.is_write() && AccessKind::AtomicCas.is_atomic());
         assert!(AccessKind::AtomicAdd.is_atomic());
+        assert!(AccessKind::AtomicOr.is_write() && AccessKind::AtomicOr.is_atomic());
         assert!(!AccessKind::Write.is_atomic());
         assert!(!AccessKind::Read.is_atomic());
     }
@@ -161,6 +179,9 @@ mod tests {
         assert_eq!(KernelArray::Dist.name(), "d");
         assert_eq!(KernelArray::Ends.name(), "ends");
         assert_eq!(KernelArray::QNext.name(), "Q_next");
+        assert_eq!(KernelArray::VisitedBits.name(), "visited");
+        assert_eq!(KernelArray::FrontierBits.name(), "F_curr");
+        assert_eq!(KernelArray::NextBits.name(), "F_next");
     }
 
     #[test]

@@ -3,12 +3,16 @@
 //! Stages:
 //! 1. **Seeded-bug self-test** — the race detector must flag the
 //!    deliberately broken atomic-free predecessor-style accumulation
-//!    and must pass both its atomic variant and the engine's real
-//!    successor-based sweep on the same graphs. A detector that
-//!    cannot find a planted race proves nothing by staying silent.
+//!    *and* the bottom-up pull kernel whose `F_next` announcement
+//!    drops its word-granular `atomicOr`, and must pass the atomic
+//!    variants plus the engine's real kernels on the same graphs. A
+//!    detector that cannot find a planted race proves nothing by
+//!    staying silent.
 //! 2. **Dataset sweep** — every Table II analogue: CSR
 //!    well-formedness, then traced replay of several roots (race
-//!    detection, structural invariants, priced-vs-traced atomics).
+//!    detection, structural invariants, priced-vs-traced atomics)
+//!    under both the push model and the direction-optimizing model
+//!    (whose saturated levels run the bottom-up kernel).
 //! 3. **Exact-score identities** — small all-roots runs checked
 //!    against the Brandes pair-sum identity.
 //!
@@ -17,10 +21,13 @@
 #![forbid(unsafe_code)]
 
 use bc_core::engine::{process_root, FreeModel, SearchWorkspace};
+use bc_core::{DirectionOptimizingModel, TraversalMode};
 use bc_gpusim::DeviceConfig;
 use bc_graph::{gen, Csr, DatasetId};
-use bc_verify::trace::predecessor_accumulation_trace;
-use bc_verify::{check_csr, check_pair_sum, check_scores, check_trace, verify_root};
+use bc_verify::trace::{predecessor_accumulation_trace, pull_bitmap_trace};
+use bc_verify::{
+    check_csr, check_pair_sum, check_scores, check_trace, verify_root, verify_root_with,
+};
 use std::process::ExitCode;
 
 struct Options {
@@ -124,6 +131,29 @@ fn seeded_bug_self_test(device: &DeviceConfig) -> usize {
             );
             failures += 1;
         }
+
+        // The pull kernel's planted bug: dropping the atomicOr on
+        // the shared F_next words must be flagged, the real
+        // word-granular atomic variant must pass.
+        let broken_pull = check_trace(&pull_bitmap_trace(g, &ws, false));
+        if broken_pull.is_empty() {
+            println!("FAIL seeded-bug {name}: plain F_next bitmap update NOT flagged");
+            failures += 1;
+        } else {
+            println!(
+                "ok   seeded-bug {name}: broken pull announcement flagged ({} racy words, e.g. {})",
+                broken_pull.len(),
+                broken_pull[0]
+            );
+        }
+        let fixed_pull = check_trace(&pull_bitmap_trace(g, &ws, true));
+        if !fixed_pull.is_empty() {
+            println!(
+                "FAIL seeded-bug {name}: atomicOr pull announcement wrongly flagged: {}",
+                fixed_pull[0]
+            );
+            failures += 1;
+        }
     }
     failures
 }
@@ -142,26 +172,37 @@ fn dataset_sweep(opts: &Options, device: &DeviceConfig) -> usize {
             failures += csr.len();
             continue;
         }
-        // Deterministic spread of roots across the id space.
+        // Deterministic spread of roots across the id space, each
+        // replayed under the push model and under the
+        // direction-optimizing automaton (which race-checks the
+        // bottom-up kernel wherever frontiers saturate).
         let mut races = 0;
         let mut violations = 0;
         let mut events = 0u64;
         for i in 0..opts.roots {
             let root = ((i * n) / opts.roots) as u32;
-            let v = verify_root(&g, root, device);
-            races += v.races.len();
-            violations += v.violations.len();
-            events += v.events;
-            for r in &v.races {
-                println!("FAIL {} root {root}: {r}", d.name());
-            }
-            for viol in &v.violations {
-                println!("FAIL {} root {root}: {viol}", d.name());
+            let push = verify_root(&g, root, device);
+            let auto = verify_root_with(
+                &g,
+                root,
+                device,
+                DirectionOptimizingModel::new(TraversalMode::Auto),
+            );
+            for v in [&push, &auto] {
+                races += v.races.len();
+                violations += v.violations.len();
+                events += v.events;
+                for r in &v.races {
+                    println!("FAIL {} root {root}: {r}", d.name());
+                }
+                for viol in &v.violations {
+                    println!("FAIL {} root {root}: {viol}", d.name());
+                }
             }
         }
         if races + violations == 0 {
             println!(
-                "ok   {:<18} n={:<7} 2m={:<8} roots={} events={}",
+                "ok   {:<18} n={:<7} 2m={:<8} roots={} events={} (push+auto)",
                 d.name(),
                 n,
                 g.num_directed_edges(),

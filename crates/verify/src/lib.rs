@@ -42,5 +42,5 @@ pub use invariants::{
     check_csr, check_csr_parts, check_pair_sum, check_scores, check_search_state, Violation,
 };
 pub use race::{check_trace, RaceReport};
-pub use replay::{verify_root, RootVerification};
-pub use trace::{LevelTrace, RecordingSink, Trace};
+pub use replay::{verify_root, verify_root_with, RootVerification};
+pub use trace::{pull_bitmap_trace, LevelTrace, RecordingSink, Trace};

@@ -208,6 +208,28 @@ mod tests {
     }
 
     #[test]
+    fn shared_bitmap_words_need_the_atomic_or() {
+        use KernelArray::NextBits;
+        // Two discovered vertices in the same 32-id block announce
+        // into the same F_next word.
+        let safe = level(vec![
+            (3, NextBits, 0, AccessKind::AtomicOr),
+            (17, NextBits, 0, AccessKind::AtomicOr),
+        ]);
+        assert!(check_level(&safe).is_empty());
+        let racy = level(vec![
+            (3, NextBits, 0, Read),
+            (3, NextBits, 0, Write),
+            (17, NextBits, 0, Read),
+            (17, NextBits, 0, Write),
+        ]);
+        let r = check_level(&racy);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].array, NextBits);
+        assert_eq!(r[0].kind, RaceKind::WriteWrite);
+    }
+
+    #[test]
     fn one_report_per_cell() {
         let l = level(vec![
             (0, Delta, 7, Write),

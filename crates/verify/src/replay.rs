@@ -14,7 +14,8 @@ use crate::invariants::{check_search_state, Violation};
 use crate::race::{check_trace, RaceReport};
 use crate::trace::RecordingSink;
 use bc_core::engine::{
-    process_root_traced, CostModel, LevelInfo, Phase, PricedIteration, RootOutcome, SearchWorkspace,
+    process_root_traced, CostModel, FrontierSnapshot, LevelInfo, Phase, PricedIteration,
+    RootContext, RootOutcome, SearchWorkspace, Traversal,
 };
 use bc_core::methods::models::WorkEfficientModel;
 use bc_gpusim::trace::TracePhase;
@@ -63,6 +64,15 @@ impl<M: CostModel> CostModel for RecordingModel<M> {
         });
         priced
     }
+
+    fn choose_traversal(
+        &mut self,
+        g: &Csr,
+        device: &DeviceConfig,
+        frontier: &FrontierSnapshot,
+    ) -> Traversal {
+        self.inner.choose_traversal(g, device, frontier)
+    }
 }
 
 /// Everything [`verify_root`] concluded about one root.
@@ -92,13 +102,35 @@ impl RootVerification {
 /// resulting search state, and per-level agreement between priced and
 /// traced atomics.
 pub fn verify_root(g: &Csr, root: VertexId, device: &DeviceConfig) -> RootVerification {
+    verify_root_with(g, root, device, WorkEfficientModel::default())
+}
+
+/// [`verify_root`] with a caller-chosen cost model — the model also
+/// decides the traversal direction of each forward level, so passing
+/// a `DirectionOptimizingModel` verifies the bottom-up kernel's
+/// traced accesses and pricing, while the default work-efficient
+/// model verifies the push path.
+pub fn verify_root_with<M: CostModel>(
+    g: &Csr,
+    root: VertexId,
+    device: &DeviceConfig,
+    inner: M,
+) -> RootVerification {
     let mut ws = SearchWorkspace::new(g.num_vertices());
     let mut bc = vec![0.0; g.num_vertices()];
     let mut out = RootOutcome::default();
     let mut sink = RecordingSink::default();
-    let mut model = RecordingModel::<WorkEfficientModel>::default();
+    let mut model = RecordingModel {
+        inner,
+        levels: Vec::new(),
+    };
     process_root_traced(
-        g, root, device, &mut ws, &mut model, &mut bc, &mut out, &mut sink,
+        &RootContext { g, root, device },
+        &mut ws,
+        &mut model,
+        &mut bc,
+        &mut out,
+        &mut sink,
     );
 
     let trace = sink.trace;
@@ -179,6 +211,28 @@ mod tests {
                 v.violations
             );
             assert!(v.levels > 0 && v.events > 0);
+        }
+    }
+
+    #[test]
+    fn pull_and_auto_kernels_verify_clean() {
+        use bc_core::{DirectionOptimizingModel, TraversalMode};
+        let device = DeviceConfig::gtx_titan();
+        for g in [
+            gen::star(64),
+            gen::erdos_renyi(200, 800, 9),
+            gen::watts_strogatz(400, 8, 0.1, 5),
+        ] {
+            for mode in [TraversalMode::Pull, TraversalMode::Auto] {
+                let v = verify_root_with(&g, 0, &device, DirectionOptimizingModel::new(mode));
+                assert!(
+                    v.is_clean(),
+                    "{mode:?}: races {:?}\nviolations {:?}",
+                    v.races,
+                    v.violations
+                );
+                assert!(v.levels > 0 && v.events > 0);
+            }
         }
     }
 

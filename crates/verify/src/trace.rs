@@ -131,10 +131,85 @@ pub fn predecessor_accumulation_trace(g: &Csr, ws: &SearchWorkspace, atomic: boo
     trace
 }
 
+/// Synthesize the forward-sweep trace of a **bottom-up (pull)**
+/// kernel over the finished search state in `ws`: at every depth `d`,
+/// one logical thread per still-unvisited vertex scans its own
+/// adjacency for frontier parents (`F_curr` membership probes against
+/// the level's frontier bitmap), gathers their σ, and — on discovery
+/// — writes its own `d`/`σ` cells and announces itself in the
+/// `F_next` bitmap.
+///
+/// With `atomic = true` the announcement is the word-granular
+/// `atomicOr` the engine's pull kernel performs: the only cells
+/// multiple threads write are the shared `F_next` words, and the
+/// atomic makes that safe — the detector must pass it. With
+/// `atomic = false` the announcement is a plain load–or–store of the
+/// shared word, the seeded bug: any two discovered vertices whose ids
+/// share a 32-bit word collide, and the detector must flag it.
+pub fn pull_bitmap_trace(g: &Csr, ws: &SearchWorkspace, atomic: bool) -> Trace {
+    let dist = ws.dist();
+    let ends = ws.ends();
+    let n = g.num_vertices() as u32;
+    let words = n.div_ceil(32);
+    let mut trace = Trace::default();
+    for d in 0..(ends.len() - 1) as u32 {
+        let mut level = LevelTrace {
+            phase: TracePhase::Forward,
+            depth: d,
+            events: Vec::new(),
+        };
+        let mut push = |thread, array, index, kind| {
+            level.events.push(TraceEvent {
+                thread,
+                array,
+                index,
+                kind,
+            });
+        };
+        // The visited-bitmap scan that yields each lane's unvisited
+        // vertices (one lane per word, read-only).
+        for word in 0..words {
+            push(word, KernelArray::VisitedBits, word, AccessKind::Read);
+        }
+        for w in 0..n {
+            // `dist` is final but monotone: a vertex discovered at
+            // depth e was unvisited at every level before e, so the
+            // finished state reconstructs each level's unvisited set
+            // (unreached vertices scan at every level, exactly as in
+            // the engine).
+            if dist[w as usize] <= d {
+                continue;
+            }
+            let mut parents = 0u64;
+            for &v in g.neighbors(w) {
+                push(w, KernelArray::FrontierBits, v / 32, AccessKind::Read);
+                if dist[v as usize] == d {
+                    push(w, KernelArray::Sigma, v, AccessKind::Read);
+                    parents += 1;
+                }
+            }
+            if parents > 0 {
+                push(w, KernelArray::Dist, w, AccessKind::Write);
+                push(w, KernelArray::Sigma, w, AccessKind::Write);
+                if atomic {
+                    push(w, KernelArray::NextBits, w / 32, AccessKind::AtomicOr);
+                } else {
+                    // Plain read-modify-write of the shared F_next
+                    // word — the deliberately broken variant.
+                    push(w, KernelArray::NextBits, w / 32, AccessKind::Read);
+                    push(w, KernelArray::NextBits, w / 32, AccessKind::Write);
+                }
+            }
+        }
+        trace.levels.push(level);
+    }
+    trace
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bc_core::engine::{process_root_traced, FreeModel, RootOutcome};
+    use bc_core::engine::{process_root_traced, FreeModel, RootContext, RootOutcome};
     use bc_gpusim::DeviceConfig;
     use bc_graph::gen;
 
@@ -143,10 +218,13 @@ mod tests {
         let mut bc = vec![0.0; g.num_vertices()];
         let mut out = RootOutcome::default();
         let mut sink = RecordingSink::default();
+        let device = DeviceConfig::gtx_titan();
         process_root_traced(
-            g,
-            root,
-            &DeviceConfig::gtx_titan(),
+            &RootContext {
+                g,
+                root,
+                device: &device,
+            },
             &mut ws,
             &mut FreeModel,
             &mut bc,
@@ -189,6 +267,45 @@ mod tests {
         assert!(trace
             .phase_levels(TracePhase::Forward)
             .any(|l| l.atomic_events() > 0));
+    }
+
+    #[test]
+    fn pull_trace_is_atomic_free_except_discovery() {
+        let g = gen::erdos_renyi(100, 300, 7);
+        let (_, ws) = record(&g, 0);
+        let safe = pull_bitmap_trace(&g, &ws, true);
+        let racy = pull_bitmap_trace(&g, &ws, false);
+        assert_eq!(safe.levels.len(), racy.levels.len());
+        assert!(safe.levels.iter().all(|l| l.phase == TracePhase::Forward));
+        // Exactly one atomic per discovered vertex, none elsewhere.
+        let discovered: u64 = {
+            let dist = ws.dist();
+            (0..g.num_vertices())
+                .filter(|&v| dist[v] != u32::MAX && dist[v] > 0)
+                .count() as u64
+        };
+        let atomics: u64 = safe.levels.iter().map(|l| l.atomic_events()).sum();
+        assert_eq!(atomics, discovered);
+        assert_eq!(
+            racy.levels.iter().map(|l| l.atomic_events()).sum::<u64>(),
+            0
+        );
+    }
+
+    #[test]
+    fn pull_race_detector_flags_only_the_broken_variant() {
+        use crate::race::check_trace;
+        // A star's wide level discovers many vertices per F_next
+        // word, the worst case for the plain read–or–write bug.
+        for g in [gen::star(40), gen::erdos_renyi(120, 400, 3)] {
+            let (_, ws) = record(&g, 0);
+            assert!(check_trace(&pull_bitmap_trace(&g, &ws, true)).is_empty());
+            let races = check_trace(&pull_bitmap_trace(&g, &ws, false));
+            assert!(
+                races.iter().any(|r| r.array == KernelArray::NextBits),
+                "plain F_next update must race: {races:?}"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! `RAYON_NUM_THREADS`), and agree with sequential Brandes to 1e-9.
 
 use bc_core::engine::FreeModel;
-use bc_core::{brandes, cpu_parallel, parallel, BcOptions, Method, RootSelection};
+use bc_core::{brandes, cpu_parallel, parallel, BcOptions, Method, RootSelection, TraversalMode};
 use bc_graph::{gen, Csr};
 
 /// A graph with several components of very different sizes — the
@@ -122,6 +122,79 @@ fn method_run_bitwise_across_thread_counts_on_disconnected_graph() {
         assert_eq!(run.report.full_seconds, one.report.full_seconds);
     }
     assert_close(&one.scores, &brandes::betweenness(&g), "vs sequential");
+}
+
+#[test]
+fn traversal_modes_bitwise_identical_across_generators_and_threads() {
+    // The direction-optimizing contract: push, pull, and auto produce
+    // the same bits as the push baseline on every generator family,
+    // every root set, and every thread count.
+    let graphs: Vec<(&str, Csr)> = vec![
+        ("watts_strogatz", gen::watts_strogatz(500, 8, 0.1, 9)),
+        ("erdos_renyi", gen::erdos_renyi(400, 1600, 21)),
+        ("star", gen::star(300)),
+        ("grid", gen::grid(20, 18)),
+        ("road_network", gen::road_network(360, 6)),
+        ("triangulated_grid", gen::triangulated_grid(18, 20, 2)),
+        ("multi_component", multi_component_graph()),
+    ];
+    for (name, g) in &graphs {
+        for roots in [
+            RootSelection::All,
+            RootSelection::Strided(48),
+            RootSelection::Explicit(vec![0, (g.num_vertices() - 1) as u32]),
+        ] {
+            let baseline = Method::WorkEfficient
+                .run(
+                    g,
+                    &BcOptions {
+                        roots: roots.clone(),
+                        threads: 1,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            for mode in [
+                TraversalMode::Push,
+                TraversalMode::Pull,
+                TraversalMode::Auto,
+            ] {
+                for threads in [1usize, 2, 4] {
+                    let run = Method::WorkEfficient
+                        .run(
+                            g,
+                            &BcOptions {
+                                roots: roots.clone(),
+                                threads,
+                                traversal: mode,
+                                ..Default::default()
+                            },
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        run.scores, baseline.scores,
+                        "{name} {roots:?} {mode:?} threads={threads}"
+                    );
+                    assert_eq!(
+                        run.report.max_depths, baseline.report.max_depths,
+                        "{name} {roots:?} {mode:?} threads={threads}"
+                    );
+                }
+            }
+        }
+        // The scores are also correct, not merely consistent
+        // (Method::run halves symmetric scores, like Brandes).
+        let auto = Method::WorkEfficient
+            .run(
+                g,
+                &BcOptions {
+                    traversal: TraversalMode::Auto,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_close(&auto.scores, &brandes::betweenness(g), name);
+    }
 }
 
 #[test]
