@@ -34,6 +34,17 @@ if [[ "${1:-}" != "fast" ]]; then
     # identical at every thread count.
     echo "==> bench_direction smoke"
     cargo run -q -p bc-bench --release --bin bench_direction -- --quick 1 --roots 4
+    # Fault-injection smoke: the sweep binary asserts every
+    # recoverable fault plan reproduces the fault-free scores bitwise
+    # (bc-verify stage 4 covers the same claim at suite scale).
+    echo "==> bench_faults smoke"
+    cargo run -q -p bc-bench --release --bin bench_faults -- --quick 1
+    # CLI fault path: a faulted cluster run must recover, verify, and
+    # report its counters.
+    echo "==> cluster --faults smoke"
+    cargo run -q -p hybrid-bc --release -- --dataset smallworld --reduction 7 \
+        --method work-efficient --cluster 2 --roots 16 \
+        --faults seed=7,transient=0.2,dead=1,drop=0.3 --top 0 --verify
 fi
 
 echo "==> ci OK"

@@ -35,7 +35,7 @@ fn bench_traversal(c: &mut Criterion) {
             if t == 1 {
                 b.iter(|| brandes::betweenness_from_roots(&g, roots.iter().copied()))
             } else {
-                b.iter(|| cpu_parallel::betweenness_from_roots(&g, &roots))
+                b.iter(|| cpu_parallel::betweenness_from_roots(&g, &roots).unwrap())
             }
         });
     }

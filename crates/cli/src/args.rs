@@ -1,6 +1,7 @@
 //! Argument parsing for the `hybrid-bc` binary. Hand-rolled (no CLI
 //! dependency): `--flag value` pairs plus `--help`.
 
+use bc_cluster::FaultPlan;
 use bc_core::{HybridParams, Method, RootSelection, SamplingParams, TraversalMode};
 use bc_gpusim::DeviceConfig;
 
@@ -48,6 +49,11 @@ pub struct Cli {
     pub threads: usize,
     /// Forward-sweep direction for the frontier-queue methods.
     pub traversal: TraversalMode,
+    /// Run on a simulated multi-node cluster with this many nodes
+    /// (3 GPUs each) instead of a single device.
+    pub cluster: Option<usize>,
+    /// Deterministic fault-injection plan for `--cluster` runs.
+    pub faults: FaultPlan,
     /// Normalize scores.
     pub normalize: bool,
     /// Run the bc-verify checks (CSR invariants, traced replay of a
@@ -92,6 +98,20 @@ COMPUTATION:
                        (scores are bitwise identical)   [default: push]
     --normalize        scale scores by (n-1)(n-2)[/2]
 
+CLUSTER:
+    --cluster NODES    run on a simulated cluster of NODES nodes
+                       (3 GPUs each, Keeneland interconnect); roots are
+                       scheduled per-GPU at root granularity and merged
+                       in root order (bitwise identical at any shape)
+    --faults SPEC      inject a deterministic fault schedule into the
+                       cluster run; comma-separated key=value pairs:
+                       seed=N transient=P oom=P panic=P attempts=N
+                       backoff=S backoff_cap=S dead=I+J death_fraction=F
+                       straggle=I+J slowdown=X drop=P corrupt=P
+                       e.g. --faults seed=7,transient=0.05,dead=1,drop=0.1
+                       (recoverable schedules return scores bitwise
+                       identical to the fault-free run)
+
 VERIFICATION:
     --verify           run the bc-verify layer on this run: CSR
                        invariants, race-checked traced replay of a few
@@ -116,6 +136,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         device: DeviceConfig::gtx_titan(),
         threads: 0,
         traversal: TraversalMode::Push,
+        cluster: None,
+        faults: FaultPlan::none(),
         normalize: false,
         verify: false,
         top: 10,
@@ -161,6 +183,10 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     other => return Err(format!("unknown traversal '{other}'")),
                 }
             }
+            "--cluster" => {
+                cli.cluster = Some(value()?.parse().map_err(|e| format!("--cluster: {e}"))?)
+            }
+            "--faults" => cli.faults = FaultPlan::parse(&value()?)?,
             "--normalize" => cli.normalize = true,
             "--verify" => cli.verify = true,
             "--top" => cli.top = value()?.parse().map_err(|e| format!("--top: {e}"))?,
@@ -173,6 +199,17 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     if cli.graph.is_some() == cli.dataset.is_some() {
         return Err(format!(
             "exactly one of --graph or --dataset is required\n\n{USAGE}"
+        ));
+    }
+    if !cli.faults.is_none() && cli.cluster.is_none() {
+        return Err(
+            "--faults requires --cluster (faults are injected into the cluster runner)".to_owned(),
+        );
+    }
+    if cli.cluster.is_some() && !matches!(cli.method, RunMethod::Simulated(_)) {
+        return Err(format!(
+            "--cluster runs simulated GPU methods only, not '{}'",
+            cli.method.name()
         ));
     }
     Ok(cli)
@@ -276,6 +313,57 @@ mod tests {
             let cli = parse(&s(&["--dataset", "smallworld", "--traversal", name])).unwrap();
             assert_eq!(cli.traversal, mode);
         }
+    }
+
+    #[test]
+    fn cluster_and_faults_parse() {
+        let cli = parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--cluster",
+            "4",
+            "--faults",
+            "seed=9,transient=0.1,dead=1+2,drop=0.05",
+        ]))
+        .unwrap();
+        assert_eq!(cli.cluster, Some(4));
+        assert_eq!(cli.faults.seed, 9);
+        assert_eq!(cli.faults.transient_rate, 0.1);
+        assert_eq!(cli.faults.dead_gpus, vec![1, 2]);
+        assert_eq!(cli.faults.reduce_drop_rate, 0.05);
+    }
+
+    #[test]
+    fn faults_require_cluster() {
+        assert!(parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--faults",
+            "transient=0.1"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn cluster_rejects_host_methods_and_bad_specs() {
+        assert!(parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--cluster",
+            "2",
+            "--method",
+            "cpu"
+        ]))
+        .is_err());
+        assert!(parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--cluster",
+            "2",
+            "--faults",
+            "transient=lots"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -71,13 +71,18 @@ fn run(cli: &Cli) -> Result<(), String> {
         t0.elapsed()
     );
 
+    if let Some(nodes) = cli.cluster {
+        return run_on_cluster(cli, &g, nodes);
+    }
+
     let t1 = Instant::now();
     let (scores, report) = match &cli.method {
         RunMethod::Sequential | RunMethod::CpuParallel => {
             let roots = cli.roots.resolve(g.num_vertices());
             let mut scores = match cli.method {
                 RunMethod::Sequential => brandes::betweenness_from_roots(&g, roots.iter().copied()),
-                _ => bc_core::parallel::cpu_betweenness_from_roots(&g, &roots, cli.threads),
+                _ => bc_core::parallel::cpu_betweenness_from_roots(&g, &roots, cli.threads)
+                    .map_err(|e| e.to_string())?,
             };
             if cli.normalize {
                 brandes::normalize(&mut scores, g.is_symmetric());
@@ -159,6 +164,131 @@ fn run(cli: &Cli) -> Result<(), String> {
 
     if cli.verify {
         verify_run(cli, &g, &scores)?;
+    }
+    Ok(())
+}
+
+/// `--cluster N`: run the multi-GPU runner, optionally under an
+/// injected fault schedule, and report scores, timing, and the fault
+/// counters. Recoverable fault schedules yield scores bitwise
+/// identical to the fault-free run; unrecoverable ones exit with the
+/// structured error (and a note on what partial work completed).
+fn run_on_cluster(cli: &Cli, g: &Csr, nodes: usize) -> Result<(), String> {
+    let RunMethod::Simulated(method) = &cli.method else {
+        return Err("--cluster requires a simulated GPU method".to_owned());
+    };
+    let n = g.num_vertices();
+    let cfg = bc_cluster::ClusterConfig {
+        nodes,
+        gpus_per_node: 3,
+        device: cli.device.clone(),
+        network: bc_cluster::NetworkConfig::keeneland(),
+        method: method.clone(),
+        traversal: cli.traversal,
+    };
+    let sample_roots = match &cli.roots {
+        RootSelection::All => n,
+        RootSelection::FirstK(k) | RootSelection::Strided(k) => *k,
+        RootSelection::Explicit(v) => v.len(),
+    };
+
+    let t = Instant::now();
+    let run = match bc_cluster::run_cluster_with_faults(g, &cfg, sample_roots, &cli.faults) {
+        Ok(run) => run,
+        Err(e) => {
+            if let Some(partial) = e.partial() {
+                eprintln!(
+                    "partial result before failure: {} root(s) completed, checksum {:#018x}",
+                    partial.report.roots_sampled, partial.report.checksum
+                );
+            }
+            return Err(e.to_string());
+        }
+    };
+    let report = run.report;
+    eprintln!(
+        "{} on {} node(s) / {} simulated {}: {:.3}s simulated \
+         ({:.2} GTEPS; compute {:.3}s + reduce {:.3}s), {:.2?} host wall time",
+        method.name(),
+        report.nodes,
+        report.gpus,
+        cli.device.name,
+        report.total_seconds,
+        report.gteps(),
+        report.compute_seconds,
+        report.reduce_seconds,
+        t.elapsed()
+    );
+    let f = &report.faults;
+    if !cli.faults.is_none() {
+        eprintln!(
+            "faults: {} transient / {} oom / {} panics contained; {} retries \
+             ({:.3}s backoff); {} GPU(s) lost, {} root(s) reassigned ({:.3}s); \
+             {} straggler(s) (+{:.3}s); reduce {} dropped / {} corrupted; \
+             +{:.3}s total",
+            f.transient_faults,
+            f.oom_faults,
+            f.panics_contained,
+            f.retries,
+            f.backoff_seconds,
+            f.dead_gpus,
+            f.reassigned_roots,
+            f.reassign_seconds,
+            f.straggler_gpus,
+            f.straggler_seconds,
+            f.reduce_drops,
+            f.reduce_corruptions,
+            f.added_seconds
+        );
+        eprintln!(
+            "scores verified: checksum {:#018x} (bitwise identical to the fault-free schedule)",
+            report.checksum
+        );
+    }
+    if report.roots_sampled < n {
+        eprintln!(
+            "(scores are partial sums over {} sampled roots; simulated time is \
+             extrapolated to all roots)",
+            report.roots_sampled
+        );
+    }
+
+    let mut scores = run.scores;
+    if cli.normalize {
+        brandes::normalize(&mut scores, g.is_symmetric());
+    }
+
+    if cli.top > 0 {
+        let mut ranked: Vec<(u32, f64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(v, &s)| (v as u32, s))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("top {} vertices by betweenness:", cli.top.min(ranked.len()));
+        for (v, s) in ranked.iter().take(cli.top) {
+            println!("{v:>10}  {s:.6}");
+        }
+    }
+
+    if let Some(path) = &cli.out {
+        let mut w = BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?);
+        for s in &scores {
+            writeln!(w, "{s}").map_err(|e| e.to_string())?;
+        }
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!("wrote {} scores to {path}", scores.len());
+    }
+
+    if cli.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    }
+
+    if cli.verify {
+        verify_run(cli, g, &scores)?;
     }
     Ok(())
 }

@@ -1,0 +1,580 @@
+//! Deterministic fault injection for the cluster runner.
+//!
+//! A 192-GPU Keeneland job (the paper's §V-D scale) does not finish
+//! without surviving faults: transient launch failures, devices
+//! falling off the bus mid-run, stragglers, and lossy reductions. The
+//! simulator's host never fails, so faults are *injected* — and
+//! injected **deterministically**: every decision is a pure hash of
+//! `(seed, kind, gpu, root, attempt)`, so a fault schedule is a
+//! function of the [`FaultPlan`] alone. The same plan replays the
+//! same faults run after run, timing included, and the scheduler can
+//! precompute the whole schedule before spawning a single worker.
+//!
+//! The recovery invariant the runner builds on top (see
+//! `runner::run_cluster_with_faults`): because scores are merged in
+//! **global root order**, any *recoverable* plan yields scores
+//! bitwise identical to the fault-free run — faults may move roots
+//! between GPUs and stretch the simulated clock, but never touch the
+//! arithmetic.
+
+use bc_gpusim::{FaultHook, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Marker prefixing every injected panic payload, so the process-wide
+/// panic hook can keep injected deaths off stderr while genuine
+/// panics still print.
+pub const INJECTED_PANIC_PREFIX: &str = "injected fault:";
+
+/// What kind of fault an attempt draws.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Retryable device hiccup (ECC error, spurious launch failure).
+    Transient,
+    /// Transient allocator failure (fragmentation); retryable here,
+    /// unlike a genuine capacity [`SimError::OutOfMemory`].
+    Oom,
+    /// The worker thread dies mid-kernel; the scheduler must contain
+    /// the unwind.
+    Panic,
+}
+
+/// What a reduce message draws at one tree level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceFault {
+    /// The message never arrives; noticed at the ack timeout,
+    /// then retransmitted.
+    Dropped,
+    /// The message arrives but fails its checksum; retransmitted
+    /// immediately.
+    Corrupted,
+}
+
+/// A seeded, fully deterministic fault schedule.
+///
+/// `FaultPlan::none()` (also [`Default`]) injects nothing — the
+/// fault-free baseline every faulted run must match bitwise.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for every hash decision.
+    pub seed: u64,
+    /// Per-attempt probability of a transient device fault.
+    pub transient_rate: f64,
+    /// Per-attempt probability of a transient allocator failure.
+    pub oom_rate: f64,
+    /// Per-attempt probability of the worker panicking.
+    pub panic_rate: f64,
+    /// Attempts a root gets on one GPU before migrating elsewhere.
+    pub max_attempts: u32,
+    /// First retry backoff, seconds; doubles per attempt.
+    pub backoff_base_seconds: f64,
+    /// Backoff ceiling, seconds.
+    pub backoff_cap_seconds: f64,
+    /// GPUs that die permanently mid-run (indices into the cluster's
+    /// flat GPU list; out-of-range indices are ignored).
+    pub dead_gpus: Vec<usize>,
+    /// Fraction of its assigned roots a dying GPU completes before
+    /// the loss; the rest are orphaned and reassigned.
+    pub death_fraction: f64,
+    /// GPUs whose compute time is stretched by
+    /// [`straggler_slowdown`](Self::straggler_slowdown).
+    pub straggler_gpus: Vec<usize>,
+    /// Multiplier on a straggler's compute time (≥ 1).
+    pub straggler_slowdown: f64,
+    /// Per-message probability a reduce hop is dropped.
+    pub reduce_drop_rate: f64,
+    /// Per-message probability a reduce hop is corrupted.
+    pub reduce_corrupt_rate: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The fault-free plan: nothing ever fails.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            transient_rate: 0.0,
+            oom_rate: 0.0,
+            panic_rate: 0.0,
+            max_attempts: 4,
+            backoff_base_seconds: 0.05,
+            backoff_cap_seconds: 1.0,
+            dead_gpus: Vec::new(),
+            death_fraction: 0.5,
+            straggler_gpus: Vec::new(),
+            straggler_slowdown: 1.0,
+            reduce_drop_rate: 0.0,
+            reduce_corrupt_rate: 0.0,
+        }
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_none(&self) -> bool {
+        self.transient_rate == 0.0
+            && self.oom_rate == 0.0
+            && self.panic_rate == 0.0
+            && self.dead_gpus.is_empty()
+            && (self.straggler_gpus.is_empty() || self.straggler_slowdown == 1.0)
+            && self.reduce_drop_rate == 0.0
+            && self.reduce_corrupt_rate == 0.0
+    }
+
+    /// Parse a `--faults` spec: comma-separated `key=value` pairs.
+    ///
+    /// Keys: `seed`, `transient`, `oom`, `panic`, `attempts`,
+    /// `backoff`, `backoff_cap`, `dead` (`+`-separated GPU indices),
+    /// `death_fraction`, `straggle` (`+`-separated GPU indices),
+    /// `slowdown`, `drop`, `corrupt`. Example:
+    /// `seed=7,transient=0.05,dead=1+4,death_fraction=0.3,drop=0.1`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for pair in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("--faults entry '{pair}' is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let num = |what: &str| -> Result<f64, String> {
+                value
+                    .parse::<f64>()
+                    .map_err(|_| format!("--faults {what}={value} is not a number"))
+            };
+            let gpu_list = || -> Result<Vec<usize>, String> {
+                value
+                    .split('+')
+                    .map(|t| {
+                        t.trim().parse::<usize>().map_err(|_| {
+                            format!("--faults {key}={value}: '{t}' is not a GPU index")
+                        })
+                    })
+                    .collect()
+            };
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("--faults seed={value} is not an integer"))?;
+                }
+                "transient" => plan.transient_rate = num("transient")?,
+                "oom" => plan.oom_rate = num("oom")?,
+                "panic" => plan.panic_rate = num("panic")?,
+                "attempts" => {
+                    plan.max_attempts = value
+                        .parse::<u32>()
+                        .map_err(|_| format!("--faults attempts={value} is not an integer"))?;
+                }
+                "backoff" => plan.backoff_base_seconds = num("backoff")?,
+                "backoff_cap" => plan.backoff_cap_seconds = num("backoff_cap")?,
+                "dead" => plan.dead_gpus = gpu_list()?,
+                "death_fraction" => plan.death_fraction = num("death_fraction")?,
+                "straggle" => plan.straggler_gpus = gpu_list()?,
+                "slowdown" => plan.straggler_slowdown = num("slowdown")?,
+                "drop" => plan.reduce_drop_rate = num("drop")?,
+                "corrupt" => plan.reduce_corrupt_rate = num("corrupt")?,
+                other => return Err(format!("--faults: unknown key '{other}'")),
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Reject plans whose parameters are outside their domains.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("transient", self.transient_rate),
+            ("oom", self.oom_rate),
+            ("panic", self.panic_rate),
+            ("death_fraction", self.death_fraction),
+            ("drop", self.reduce_drop_rate),
+            ("corrupt", self.reduce_corrupt_rate),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault plan: {name}={p} must be in [0, 1]"));
+            }
+        }
+        if self.max_attempts == 0 {
+            return Err("fault plan: attempts must be >= 1".into());
+        }
+        if self.straggler_slowdown < 1.0 {
+            return Err(format!(
+                "fault plan: slowdown={} must be >= 1",
+                self.straggler_slowdown
+            ));
+        }
+        if self.backoff_base_seconds < 0.0 || self.backoff_cap_seconds < 0.0 {
+            return Err("fault plan: backoff times must be >= 0".into());
+        }
+        Ok(())
+    }
+
+    /// A uniform draw in `[0, 1)` from the plan seed, a decision tag,
+    /// and up to three keys — the pure core every decision reduces
+    /// to.
+    fn draw(&self, tag: u64, a: u64, b: u64, c: u64) -> f64 {
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(tag);
+        for k in [a, b, c] {
+            x = splitmix64(x ^ splitmix64(k.wrapping_add(0xd1b5_4a32_d192_ed03)));
+        }
+        (splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Does attempt `attempt` of `root` on `gpu` fault, and how?
+    /// Pure: the same triple always answers the same.
+    pub fn attempt_fault(&self, gpu: usize, root: u32, attempt: u32) -> Option<FaultKind> {
+        let (g, r, a) = (gpu as u64, root as u64, attempt as u64);
+        if self.draw(1, g, r, a) < self.panic_rate {
+            return Some(FaultKind::Panic);
+        }
+        if self.draw(2, g, r, a) < self.oom_rate {
+            return Some(FaultKind::Oom);
+        }
+        if self.draw(3, g, r, a) < self.transient_rate {
+            return Some(FaultKind::Transient);
+        }
+        None
+    }
+
+    /// Capped exponential backoff charged before retry `attempt + 1`.
+    pub fn backoff_seconds(&self, attempt: u32) -> f64 {
+        let exp = 2f64.powi(attempt.saturating_sub(1).min(62) as i32);
+        (self.backoff_base_seconds * exp).min(self.backoff_cap_seconds)
+    }
+
+    /// If `gpu` dies, how many of its `assigned` roots it completes
+    /// first; `None` for healthy GPUs.
+    pub fn death_point(&self, gpu: usize, assigned: usize) -> Option<usize> {
+        if self.dead_gpus.contains(&gpu) {
+            Some(((self.death_fraction * assigned as f64).floor() as usize).min(assigned))
+        } else {
+            None
+        }
+    }
+
+    /// Compute-time multiplier for `gpu` (1.0 unless it straggles).
+    pub fn straggler_factor(&self, gpu: usize) -> f64 {
+        if self.straggler_gpus.contains(&gpu) {
+            self.straggler_slowdown
+        } else {
+            1.0
+        }
+    }
+
+    /// Does transmission `attempt` at reduce-tree level `depth`
+    /// fault, and how? Pure in `(depth, attempt)`.
+    pub fn reduce_fault(&self, depth: usize, attempt: u32) -> Option<ReduceFault> {
+        let (d, a) = (depth as u64, attempt as u64);
+        if self.draw(4, d, a, 0) < self.reduce_drop_rate {
+            return Some(ReduceFault::Dropped);
+        }
+        if self.draw(5, d, a, 0) < self.reduce_corrupt_rate {
+            return Some(ReduceFault::Corrupted);
+        }
+        None
+    }
+}
+
+impl FaultHook for FaultPlan {
+    /// Inject the planned fault for this `(worker, unit, attempt)`
+    /// triple: `Ok` to proceed, `Err` for transient/OOM faults, or a
+    /// panic (with [`INJECTED_PANIC_PREFIX`]) for a worker death the
+    /// caller must contain.
+    fn before_attempt(&self, worker: usize, unit: u32, attempt: u32) -> Result<(), SimError> {
+        match self.attempt_fault(worker, unit, attempt) {
+            None => Ok(()),
+            Some(FaultKind::Panic) => {
+                silence_injected_panics();
+                panic!(
+                    "{INJECTED_PANIC_PREFIX} worker {worker} died executing \
+                     root {unit} (attempt {attempt})"
+                );
+            }
+            Some(FaultKind::Oom) => Err(SimError::OutOfMemory {
+                requested: 0,
+                in_use: 0,
+                capacity: 0,
+                what: format!("injected allocator fault on root {unit} (attempt {attempt})"),
+            }),
+            Some(FaultKind::Transient) => Err(SimError::TransientFault {
+                what: format!("root {unit} on gpu {worker}"),
+                attempt,
+            }),
+        }
+    }
+}
+
+/// Keep injected panics (payloads starting with
+/// [`INJECTED_PANIC_PREFIX`]) off stderr; every other panic still
+/// reaches the previously installed hook. Installed once per
+/// process, idempotent and race-free.
+fn silence_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let injected = payload
+                .downcast_ref::<String>()
+                .map(|s| s.starts_with(INJECTED_PANIC_PREFIX))
+                .or_else(|| {
+                    payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.starts_with(INJECTED_PANIC_PREFIX))
+                })
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// FNV-1a over the raw bits of every score — the checksum each rank
+/// attaches to its reduce message so corruption is detected on
+/// arrival.
+pub fn score_checksum(scores: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in scores {
+        for byte in s.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// What the fault layer did during one cluster run — all zeros on a
+/// fault-free run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Transient device faults injected.
+    pub transient_faults: u64,
+    /// Transient allocator (OOM) faults injected.
+    pub oom_faults: u64,
+    /// Worker panics injected and contained via `catch_unwind`.
+    pub panics_contained: u64,
+    /// Retries issued (failed attempts followed by another attempt on
+    /// the same GPU).
+    pub retries: u64,
+    /// Simulated seconds spent in retry backoff, summed over GPUs.
+    pub backoff_seconds: f64,
+    /// GPUs lost permanently mid-run.
+    pub dead_gpus: u64,
+    /// Roots that changed GPUs (orphaned by a death, or migrated
+    /// after exhausting retries).
+    pub reassigned_roots: u64,
+    /// Simulated seconds charged for re-setup + graph re-upload on
+    /// adopting GPUs.
+    pub reassign_seconds: f64,
+    /// GPUs running slowed.
+    pub straggler_gpus: u64,
+    /// Extra simulated seconds stragglers added to their GPU clocks.
+    pub straggler_seconds: f64,
+    /// Reduce messages dropped (ack timeout + retransmit).
+    pub reduce_drops: u64,
+    /// Reduce messages corrupted (checksum mismatch + retransmit).
+    pub reduce_corruptions: u64,
+    /// Total simulated seconds the fault schedule added end to end.
+    pub added_seconds: f64,
+}
+
+impl FaultCounters {
+    /// Total injected per-attempt faults.
+    pub fn total_faults(&self) -> u64 {
+        self.transient_faults + self.oom_faults + self.panics_contained
+    }
+}
+
+/// splitmix64 — the standard 64-bit finalizer-style mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure() {
+        let plan = FaultPlan {
+            transient_rate: 0.3,
+            oom_rate: 0.1,
+            panic_rate: 0.05,
+            seed: 42,
+            ..FaultPlan::none()
+        };
+        for gpu in 0..4 {
+            for root in 0..50u32 {
+                for attempt in 1..4 {
+                    assert_eq!(
+                        plan.attempt_fault(gpu, root, attempt),
+                        plan.attempt_fault(gpu, root, attempt)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rates_zero_and_one_are_exact() {
+        let none = FaultPlan::none();
+        assert!(none.is_none());
+        for root in 0..100u32 {
+            assert_eq!(none.attempt_fault(0, root, 1), None);
+        }
+        let always = FaultPlan {
+            transient_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        for root in 0..100u32 {
+            assert_eq!(always.attempt_fault(0, root, 1), Some(FaultKind::Transient));
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_schedule() {
+        let a = FaultPlan {
+            transient_rate: 0.5,
+            seed: 1,
+            ..FaultPlan::none()
+        };
+        let b = FaultPlan {
+            seed: 2,
+            ..a.clone()
+        };
+        let schedule = |p: &FaultPlan| -> Vec<bool> {
+            (0..200u32)
+                .map(|r| p.attempt_fault(0, r, 1).is_some())
+                .collect()
+        };
+        assert_ne!(schedule(&a), schedule(&b));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let plan = FaultPlan::none();
+        assert_eq!(plan.backoff_seconds(1), 0.05);
+        assert_eq!(plan.backoff_seconds(2), 0.10);
+        assert_eq!(plan.backoff_seconds(3), 0.20);
+        assert_eq!(plan.backoff_seconds(30), 1.0, "capped");
+    }
+
+    #[test]
+    fn death_point_scales_with_assignment() {
+        let plan = FaultPlan {
+            dead_gpus: vec![2],
+            death_fraction: 0.5,
+            ..FaultPlan::none()
+        };
+        assert_eq!(plan.death_point(2, 10), Some(5));
+        assert_eq!(plan.death_point(2, 3), Some(1));
+        assert_eq!(plan.death_point(1, 10), None);
+    }
+
+    #[test]
+    fn parse_round_trips_every_key() {
+        let plan = FaultPlan::parse(
+            "seed=7,transient=0.05,oom=0.01,panic=0.02,attempts=3,backoff=0.1,\
+             backoff_cap=2.0,dead=1+4,death_fraction=0.3,straggle=0+2,slowdown=2.5,\
+             drop=0.1,corrupt=0.2",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.transient_rate, 0.05);
+        assert_eq!(plan.oom_rate, 0.01);
+        assert_eq!(plan.panic_rate, 0.02);
+        assert_eq!(plan.max_attempts, 3);
+        assert_eq!(plan.backoff_base_seconds, 0.1);
+        assert_eq!(plan.backoff_cap_seconds, 2.0);
+        assert_eq!(plan.dead_gpus, vec![1, 4]);
+        assert_eq!(plan.death_fraction, 0.3);
+        assert_eq!(plan.straggler_gpus, vec![0, 2]);
+        assert_eq!(plan.straggler_slowdown, 2.5);
+        assert_eq!(plan.reduce_drop_rate, 0.1);
+        assert_eq!(plan.reduce_corrupt_rate, 0.2);
+        assert!(!plan.is_none());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("transient=lots").is_err());
+        assert!(FaultPlan::parse("unknown_key=1").is_err());
+        assert!(FaultPlan::parse("transient=1.5").is_err(), "out of range");
+        assert!(
+            FaultPlan::parse("slowdown=0.5").is_err(),
+            "speedup is not a fault"
+        );
+        assert!(FaultPlan::parse("attempts=0").is_err());
+        assert!(
+            FaultPlan::parse("").unwrap().is_none(),
+            "empty spec = no faults"
+        );
+    }
+
+    #[test]
+    fn hook_injects_planned_errors() {
+        let plan = FaultPlan {
+            transient_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let err = plan.before_attempt(3, 17, 2).unwrap_err();
+        assert!(err.is_transient());
+        let oom = FaultPlan {
+            oom_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            oom.before_attempt(0, 0, 1),
+            Err(SimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_panic_is_catchable_and_marked() {
+        let plan = FaultPlan {
+            panic_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.before_attempt(1, 9, 1)
+        }));
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.starts_with(INJECTED_PANIC_PREFIX));
+        assert!(msg.contains("worker 1"));
+        assert!(msg.contains("root 9"));
+    }
+
+    #[test]
+    fn checksum_sees_every_bit() {
+        let a = vec![1.0, 2.0, 3.0];
+        let mut b = a.clone();
+        assert_eq!(score_checksum(&a), score_checksum(&b));
+        b[1] = f64::from_bits(b[1].to_bits() ^ 1);
+        assert_ne!(score_checksum(&a), score_checksum(&b));
+        assert_ne!(score_checksum(&[0.0]), score_checksum(&[-0.0]));
+    }
+
+    #[test]
+    fn reduce_faults_are_pure_and_rate_bounded() {
+        let plan = FaultPlan {
+            reduce_drop_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        assert_eq!(plan.reduce_fault(0, 1), Some(ReduceFault::Dropped));
+        assert_eq!(plan.reduce_fault(0, 1), plan.reduce_fault(0, 1));
+        assert_eq!(FaultPlan::none().reduce_fault(3, 1), None);
+    }
+}

@@ -3,16 +3,23 @@
 //! The paper's §V-D substrate: root partitioning across GPUs
 //! ([`partition`]), a Keeneland-like interconnect model ([`net`]),
 //! threaded per-GPU execution with a final reduction ([`runner`]),
-//! and strong-scaling sweeps ([`scaling`]) for Figure 6 / Table IV.
+//! strong-scaling sweeps ([`scaling`]) for Figure 6 / Table IV, and a
+//! deterministic fault-injection + fault-tolerance layer ([`fault`],
+//! [`error`]) that keeps recoverable faulted runs bitwise identical
+//! to fault-free ones.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod error;
+pub mod fault;
 pub mod net;
 pub mod partition;
 pub mod runner;
 pub mod scaling;
 
+pub use error::{ClusterError, GpuMemoryDiagnostic};
+pub use fault::{score_checksum, FaultCounters, FaultKind, FaultPlan, ReduceFault};
 pub use net::NetworkConfig;
-pub use runner::{run_cluster, ClusterConfig, ClusterReport, ClusterRun};
+pub use runner::{run_cluster, run_cluster_with_faults, ClusterConfig, ClusterReport, ClusterRun};
 pub use scaling::{efficiency, strong_scaling, ScalingPoint};

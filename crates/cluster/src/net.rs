@@ -17,6 +17,10 @@ pub struct NetworkConfig {
     /// graph upload, kernel setup), seconds. This is what bends the
     /// paper's Figure 6 away from linear at small problem sizes.
     pub setup_seconds: f64,
+    /// How long a rank waits before declaring a reduce message lost
+    /// and requesting a retransmission, seconds. Charged once per
+    /// dropped message on top of the retransmitted hop.
+    pub ack_timeout_seconds: f64,
 }
 
 impl NetworkConfig {
@@ -27,6 +31,7 @@ impl NetworkConfig {
             mpi_bandwidth_gb_s: 3.2,
             pcie_gb_s: 6.0,
             setup_seconds: 0.12,
+            ack_timeout_seconds: 0.002,
         }
     }
 
@@ -48,6 +53,33 @@ impl NetworkConfig {
     /// Device-to-host copy time for `bytes`.
     pub fn d2h_seconds(&self, bytes: u64) -> f64 {
         bytes as f64 / (self.pcie_gb_s * 1e9)
+    }
+
+    /// Host-to-device copy time for `bytes` (PCIe is symmetric in
+    /// this model).
+    pub fn h2d_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.pcie_gb_s * 1e9)
+    }
+
+    /// Cost of re-homing work after a device loss: a fresh context on
+    /// the surviving GPU's queue plus re-uploading the graph arrays
+    /// (`graph_bytes`). Charged to each survivor that adopts orphaned
+    /// roots from a dead GPU.
+    pub fn reassign_seconds(&self, graph_bytes: u64) -> f64 {
+        self.setup_seconds + self.h2d_seconds(graph_bytes)
+    }
+
+    /// Extra time one dropped reduce message costs: the receiver's
+    /// ack timeout plus the retransmitted hop.
+    pub fn drop_retry_seconds(&self, bytes: u64) -> f64 {
+        self.ack_timeout_seconds + self.mpi_hop_seconds(bytes)
+    }
+
+    /// Extra time one corrupted reduce message costs: the checksum
+    /// mismatch is detected on arrival (no timeout), so only the
+    /// retransmitted hop is charged.
+    pub fn corrupt_retry_seconds(&self, bytes: u64) -> f64 {
+        self.mpi_hop_seconds(bytes)
     }
 }
 
@@ -83,5 +115,28 @@ mod tests {
     fn d2h_uses_pcie() {
         let n = NetworkConfig::keeneland();
         assert!((n.d2h_seconds(6_000_000_000) - 1.0).abs() < 1e-9);
+        assert_eq!(n.d2h_seconds(1 << 20), n.h2d_seconds(1 << 20));
+    }
+
+    #[test]
+    fn reassignment_charges_setup_plus_upload() {
+        let n = NetworkConfig::keeneland();
+        let bytes = 3_000_000_000u64;
+        let expect = n.setup_seconds + n.h2d_seconds(bytes);
+        assert!((n.reassign_seconds(bytes) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_costs_more_than_corruption() {
+        // A drop is only noticed at the ack timeout; a corruption is
+        // caught by the checksum on arrival.
+        let n = NetworkConfig::keeneland();
+        let bytes = 1_000_000u64;
+        assert!(n.drop_retry_seconds(bytes) > n.corrupt_retry_seconds(bytes));
+        assert!(
+            (n.drop_retry_seconds(bytes) - n.corrupt_retry_seconds(bytes) - n.ack_timeout_seconds)
+                .abs()
+                < 1e-12
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! Multi-GPU / multi-node execution.
+//! Multi-GPU / multi-node execution with fault tolerance.
 //!
 //! Mirrors the paper's §V-D setup: the graph is replicated on every
 //! GPU, roots are distributed across GPUs, per-GPU scores are
@@ -6,14 +6,42 @@
 //! `MPI_Reduce`. Each simulated GPU is driven by a real host thread
 //! (the coarse-grained parallelism is genuinely executed), while the
 //! timing comes from the per-GPU simulation plus the network model.
+//!
+//! # Fault tolerance
+//!
+//! Work is scheduled at **root granularity**: each root is one unit
+//! of work that can be retried (capped exponential backoff), migrated
+//! to another GPU after exhausting its retry budget, or adopted by a
+//! survivor when its GPU dies mid-run (priced as re-setup plus graph
+//! re-upload through the network model). Because the injected fault
+//! schedule ([`FaultPlan`]) is a pure function of its seed, the
+//! entire schedule — deaths, retries, migrations — is precomputed
+//! before any worker spawns, and the executed run replays it exactly.
+//!
+//! Scores are merged in **global root order** regardless of which GPU
+//! computed each root, so any *recoverable* fault schedule produces
+//! scores bitwise identical to the fault-free run (and to runs at any
+//! other node count). Unrecoverable schedules surface as a structured
+//! [`ClusterError`] carrying the partial result — never as a process
+//! panic: injected worker deaths and genuine worker panics alike are
+//! contained with `catch_unwind`.
 
+use crate::error::{ClusterError, GpuMemoryDiagnostic};
+use crate::fault::{score_checksum, FaultCounters, FaultKind, FaultPlan, ReduceFault};
 use crate::net::NetworkConfig;
-use crate::partition;
+use bc_core::methods::cost::footprint;
 use bc_core::{BcOptions, Method, RootSelection, TraversalMode};
-use bc_gpusim::{DeviceConfig, SimError};
+use bc_gpusim::{DeviceConfig, FaultHook, SimError};
 use bc_graph::Csr;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 use std::thread;
+
+/// Transmissions attempted per reduce-tree level before the run is
+/// declared unreducible.
+const REDUCE_ATTEMPT_CAP: u32 = 64;
 
 /// A cluster of identical nodes, each hosting `gpus_per_node`
 /// identical GPUs.
@@ -59,7 +87,8 @@ impl ClusterConfig {
 /// Result of a cluster run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ClusterRun {
-    /// Accumulated BC contributions from all processed roots.
+    /// Accumulated BC contributions from all processed roots, merged
+    /// in global root order.
     pub scores: Vec<f64>,
     /// Timing and work breakdown.
     pub report: ClusterReport,
@@ -77,18 +106,25 @@ pub struct ClusterReport {
     pub vertices: usize,
     /// Graph undirected edges.
     pub edges: u64,
-    /// Sampled roots actually simulated.
+    /// Sampled roots actually completed.
     pub roots_sampled: usize,
-    /// Extrapolated busy time of each GPU (compute only).
+    /// Extrapolated busy time of each GPU (compute plus its share of
+    /// fault penalties: backoff, reassignment, straggling).
     pub gpu_seconds: Vec<f64>,
     /// Slowest GPU including setup and result copy-back.
     pub compute_seconds: f64,
-    /// The final cross-node reduction.
+    /// The final cross-node reduction, retransmissions included.
     pub reduce_seconds: f64,
     /// End-to-end time for the full exact computation.
     pub total_seconds: f64,
     /// TEPS_BC at cluster scale (Table IV's metric).
     pub teps: f64,
+    /// What the fault layer injected and recovered from (all zeros on
+    /// a fault-free run).
+    pub faults: FaultCounters,
+    /// FNV-1a checksum of the final scores — the integrity tag each
+    /// rank attaches to its reduce message.
+    pub checksum: u64,
 }
 
 impl ClusterReport {
@@ -98,100 +134,509 @@ impl ClusterReport {
     }
 }
 
-/// Run exact BC on the cluster, simulating `sample_roots` roots per
-/// the usual extrapolation (§IV-C: per-root cost is uniform within a
-/// component, so `k` roots cost `k×` one root).
+/// One scheduled visit of a root on a GPU: `attempts` hook
+/// consultations, the last of which succeeds iff `executes`.
+#[derive(Clone, Debug)]
+struct Task {
+    /// Global index into the resolved root list (the merge key).
+    idx: usize,
+    root: u32,
+    attempts: u32,
+    executes: bool,
+}
+
+/// Everything one GPU will do, decided before any worker spawns.
+#[derive(Clone, Debug, Default)]
+struct GpuSchedule {
+    tasks: Vec<Task>,
+    /// Reassignment events charged to this GPU (adopting a dead
+    /// GPU's orphans, or receiving a migrated root).
+    adoptions: u32,
+}
+
+/// The fully precomputed, deterministic execution schedule.
+struct Schedule {
+    per_gpu: Vec<GpuSchedule>,
+    dead: Vec<usize>,
+    /// Per global root index: will this root complete somewhere?
+    expected: Vec<bool>,
+    /// First root (in scheduling order) that exhausted its budget on
+    /// every surviving GPU: `(root, gpus_tried, last_error)`.
+    failed: Option<(u32, usize, String)>,
+    reassigned_roots: u64,
+}
+
+/// The mutable state threaded through schedule construction: the
+/// per-GPU task lists plus the round-robin migration cursor and the
+/// reassignment counter.
+struct Placer<'a> {
+    plan: &'a FaultPlan,
+    alive: &'a [usize],
+    per_gpu: Vec<GpuSchedule>,
+    cursor: usize,
+    reassigned: u64,
+}
+
+impl Placer<'_> {
+    /// Simulate one root's attempt/migration trajectory starting on
+    /// `start_gpu`; record every visit in the schedule. `Err` means
+    /// the root failed on every GPU it could reach.
+    fn place_root(
+        &mut self,
+        start_gpu: usize,
+        idx: usize,
+        root: u32,
+    ) -> Result<(), (usize, String)> {
+        let plan = self.plan;
+        let mut tried: Vec<usize> = Vec::new();
+        let mut current = start_gpu;
+        loop {
+            let success = (1..=plan.max_attempts)
+                .find(|&attempt| plan.attempt_fault(current, root, attempt).is_none());
+            if let Some(attempt) = success {
+                self.per_gpu[current].tasks.push(Task {
+                    idx,
+                    root,
+                    attempts: attempt,
+                    executes: true,
+                });
+                return Ok(());
+            }
+            self.per_gpu[current].tasks.push(Task {
+                idx,
+                root,
+                attempts: plan.max_attempts,
+                executes: false,
+            });
+            tried.push(current);
+            let next = (0..self.alive.len())
+                .map(|k| self.alive[(self.cursor + k) % self.alive.len().max(1)])
+                .find(|g| !tried.contains(g));
+            match next {
+                Some(gpu) => {
+                    self.cursor += 1;
+                    self.reassigned += 1;
+                    self.per_gpu[gpu].adoptions += 1;
+                    current = gpu;
+                }
+                None => {
+                    let last = match plan.attempt_fault(current, root, plan.max_attempts) {
+                        Some(FaultKind::Panic) => format!("injected worker panic on gpu {current}"),
+                        Some(FaultKind::Oom) => {
+                            format!("injected allocator fault on gpu {current}")
+                        }
+                        _ => format!("injected transient fault on gpu {current}"),
+                    };
+                    return Err((tried.len(), last));
+                }
+            }
+        }
+    }
+}
+
+/// Precompute the whole run: initial strided assignment, death
+/// points, orphan adoption, and every retry/migration trajectory.
+fn build_schedule(roots: &[u32], gpus: usize, plan: &FaultPlan) -> Schedule {
+    let mut dead: Vec<usize> = plan
+        .dead_gpus
+        .iter()
+        .copied()
+        .filter(|&g| g < gpus)
+        .collect();
+    dead.sort_unstable();
+    dead.dedup();
+    let alive: Vec<usize> = (0..gpus).filter(|g| !dead.contains(g)).collect();
+
+    let mut initial: Vec<Vec<(usize, u32)>> = vec![Vec::new(); gpus];
+    for (i, &r) in roots.iter().enumerate() {
+        initial[i % gpus].push((i, r));
+    }
+
+    let mut placer = Placer {
+        plan,
+        alive: &alive,
+        per_gpu: vec![GpuSchedule::default(); gpus],
+        cursor: 0,
+        reassigned: 0,
+    };
+    let mut expected = vec![false; roots.len()];
+    let mut failed: Option<(u32, usize, String)> = None;
+    // Orphans of each dead GPU, gathered in (dead-gpu, local) order.
+    let mut orphans: Vec<(usize, Vec<(usize, u32)>)> = Vec::new();
+
+    for (gpu, list) in initial.into_iter().enumerate() {
+        let keep = plan.death_point(gpu, list.len()).unwrap_or(list.len());
+        for (j, (idx, root)) in list.into_iter().enumerate() {
+            if j < keep {
+                match placer.place_root(gpu, idx, root) {
+                    Ok(()) => expected[idx] = true,
+                    Err((tried, last)) => {
+                        failed.get_or_insert((root, tried, last));
+                    }
+                }
+            } else {
+                match orphans.last_mut() {
+                    Some((g, bucket)) if *g == gpu => bucket.push((idx, root)),
+                    _ => orphans.push((gpu, vec![(idx, root)])),
+                }
+            }
+        }
+    }
+
+    // Round-robin the orphans over the survivors. Re-setup + graph
+    // re-upload is charged once per (survivor, dead GPU) adoption,
+    // not once per root: the survivor re-establishes a context for
+    // the dead GPU's workload a single time.
+    let mut adopted = vec![vec![false; orphans.len()]; gpus];
+    for (bucket_i, (_, bucket)) in orphans.into_iter().enumerate() {
+        for (idx, root) in bucket {
+            if alive.is_empty() {
+                continue; // nobody left; surfaced as AllGpusLost
+            }
+            let target = alive[placer.cursor % alive.len()];
+            placer.cursor += 1;
+            placer.reassigned += 1;
+            if !adopted[target][bucket_i] {
+                adopted[target][bucket_i] = true;
+                placer.per_gpu[target].adoptions += 1;
+            }
+            match placer.place_root(target, idx, root) {
+                Ok(()) => expected[idx] = true,
+                Err((tried, last)) => {
+                    failed.get_or_insert((root, tried, last));
+                }
+            }
+        }
+    }
+
+    Schedule {
+        per_gpu: placer.per_gpu,
+        dead,
+        expected,
+        failed,
+        reassigned_roots: placer.reassigned,
+    }
+}
+
+/// Merges per-root score contributions into the final vector in
+/// **global root order**, regardless of which GPU finished which root
+/// when — the invariant that keeps faulted scores bitwise identical
+/// to fault-free ones.
+struct RootMerger {
+    state: Mutex<MergerState>,
+}
+
+struct MergerState {
+    next: usize,
+    expected: Vec<bool>,
+    pending: BTreeMap<usize, Vec<f64>>,
+    scores: Vec<f64>,
+}
+
+impl RootMerger {
+    fn new(n: usize, expected: Vec<bool>) -> Self {
+        RootMerger {
+            state: Mutex::new(MergerState {
+                next: 0,
+                expected,
+                pending: BTreeMap::new(),
+                scores: vec![0.0; n],
+            }),
+        }
+    }
+
+    /// Hand in root `idx`'s contribution; drains every contiguously
+    /// available root so pending stays O(GPUs) in the steady state.
+    fn deposit(&self, idx: usize, contribution: Vec<f64>) {
+        let mut s = self.state.lock().expect("root merger poisoned");
+        s.pending.insert(idx, contribution);
+        loop {
+            let next = s.next;
+            if next >= s.expected.len() {
+                break;
+            }
+            if !s.expected[next] {
+                s.next += 1;
+                continue;
+            }
+            let Some(v) = s.pending.remove(&next) else {
+                break;
+            };
+            for (dst, src) in s.scores.iter_mut().zip(&v) {
+                *dst += *src;
+            }
+            s.next += 1;
+        }
+    }
+
+    /// Final scores; any stragglers left pending (possible only on
+    /// error paths) merge in ascending root order.
+    fn finish(self) -> Vec<f64> {
+        let mut s = self.state.into_inner().expect("root merger poisoned");
+        let pending = std::mem::take(&mut s.pending);
+        for (_, v) in pending {
+            for (dst, src) in s.scores.iter_mut().zip(&v) {
+                *dst += *src;
+            }
+        }
+        s.scores
+    }
+}
+
+/// What one GPU worker reports back.
+#[derive(Default)]
+struct WorkerOut {
+    done: usize,
+    block_seconds: f64,
+    backoff_seconds: f64,
+    transient: u64,
+    oom: u64,
+    panics: u64,
+    retries: u64,
+    /// A *genuine* failure (non-injected panic or unexpected
+    /// simulator error) that aborted this worker.
+    fatal: Option<String>,
+}
+
+/// Stringify a contained panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Run exact BC on the cluster without fault injection, simulating
+/// `sample_roots` roots per the usual extrapolation (§IV-C: per-root
+/// cost is uniform within a component, so `k` roots cost `k×` one
+/// root).
 pub fn run_cluster(
     g: &Csr,
     cfg: &ClusterConfig,
     sample_roots: usize,
-) -> Result<ClusterRun, SimError> {
+) -> Result<ClusterRun, ClusterError> {
+    run_cluster_with_faults(g, cfg, sample_roots, &FaultPlan::none())
+}
+
+/// Run exact BC on the cluster under a deterministic fault plan.
+///
+/// Any *recoverable* plan returns scores bitwise identical to the
+/// fault-free run — faults reshuffle which GPU computes which root
+/// and stretch the simulated clock, but the root-ordered merge pins
+/// the arithmetic. Unrecoverable plans return a structured
+/// [`ClusterError`] carrying the partial result; no injected fault
+/// ever escapes as a panic.
+pub fn run_cluster_with_faults(
+    g: &Csr,
+    cfg: &ClusterConfig,
+    sample_roots: usize,
+    plan: &FaultPlan,
+) -> Result<ClusterRun, ClusterError> {
     let n = g.num_vertices();
     let gpus = cfg.total_gpus();
-    assert!(gpus > 0, "cluster must have at least one GPU");
+    if gpus == 0 {
+        return Err(ClusterError::InvalidConfig {
+            what: format!(
+                "cluster must have at least one GPU ({} node(s) x {} GPU(s)/node)",
+                cfg.nodes, cfg.gpus_per_node
+            ),
+        });
+    }
+    if let Err(what) = plan.validate() {
+        return Err(ClusterError::InvalidConfig { what });
+    }
+
+    // Pre-flight device-memory check: the graph is replicated, so a
+    // method whose footprint exceeds one GPU exceeds every GPU.
+    // Rejecting here (GPU-FAN's O(n²) fate at scale) beats spawning
+    // workers that would all fail identically.
+    let graph_bytes = footprint::graph_bytes(g);
+    let required = graph_bytes + cfg.method.local_bytes(g, &cfg.device);
+    let available = cfg.device.global_mem_bytes;
+    if required > available {
+        return Err(ClusterError::InsufficientMemory {
+            method: cfg.method.name().to_owned(),
+            diagnostics: (0..gpus)
+                .map(|gpu| GpuMemoryDiagnostic {
+                    gpu,
+                    required_bytes: required,
+                    available_bytes: available,
+                })
+                .collect(),
+        });
+    }
+
     let roots = RootSelection::Strided(sample_roots.min(n)).resolve(n);
-    let parts = partition::strided(&roots, gpus);
+    let schedule = build_schedule(&roots, gpus, plan);
+    let merger = RootMerger::new(n, schedule.expected.clone());
 
-    // Within each simulated GPU, the per-root engine is itself
-    // sharded across the host threads left over after one thread per
-    // GPU; results stay bitwise deterministic regardless.
-    let inner_threads = (bc_core::effective_threads(0) / gpus).max(1);
-
-    /// (per-GPU scores, sampled root count, summed block-seconds).
-    type GpuOutcome = Result<(Vec<f64>, usize, f64), SimError>;
-    // Spawn one worker per GPU, then join **in GPU index order** and
-    // merge scores in that order — the accumulation order (and hence
-    // every last bit of the result) no longer depends on which worker
-    // finishes first.
-    let per_gpu: Vec<GpuOutcome> = thread::scope(|scope| {
-        let handles: Vec<_> = parts
+    // Execute the precomputed schedule, one host thread per GPU. The
+    // workers re-consult the (pure) plan through the bc_gpusim fault
+    // hook so containment genuinely runs, but every outcome matches
+    // what the scheduler already decided.
+    let outs: Vec<WorkerOut> = thread::scope(|scope| {
+        let handles: Vec<_> = schedule
+            .per_gpu
             .iter()
-            .map(|part| {
-                scope.spawn(move || -> GpuOutcome {
-                    let opts = BcOptions {
-                        device: cfg.device.clone(),
-                        roots: RootSelection::Explicit(part.clone()),
-                        normalize: false,
-                        threads: inner_threads,
-                        traversal: cfg.traversal,
-                    };
-                    let run = cfg.method.run(g, &opts)?;
-                    // Total block-seconds, not makespan: a handful of
-                    // sampled roots underfills the SMs, and
-                    // extrapolating the makespan would hide the
-                    // serialization the full root share experiences.
-                    let block_seconds: f64 = run.report.per_root_seconds.iter().sum();
-                    Ok((run.scores, run.report.roots_processed, block_seconds))
+            .enumerate()
+            .map(|(gpu, gpu_sched)| {
+                let merger = &merger;
+                scope.spawn(move || -> WorkerOut {
+                    let mut out = WorkerOut::default();
+                    for task in &gpu_sched.tasks {
+                        let failed_attempts = if task.executes {
+                            task.attempts - 1
+                        } else {
+                            task.attempts
+                        };
+                        for attempt in 1..=failed_attempts {
+                            let hook = catch_unwind(AssertUnwindSafe(|| {
+                                plan.before_attempt(gpu, task.root, attempt)
+                            }));
+                            match hook {
+                                Ok(Ok(())) => {}
+                                Ok(Err(SimError::OutOfMemory { .. })) => out.oom += 1,
+                                Ok(Err(_)) => out.transient += 1,
+                                Err(_) => out.panics += 1,
+                            }
+                            out.backoff_seconds += plan.backoff_seconds(attempt);
+                            if attempt < failed_attempts || task.executes {
+                                out.retries += 1;
+                            }
+                        }
+                        if !task.executes {
+                            continue;
+                        }
+                        let hook = catch_unwind(AssertUnwindSafe(|| {
+                            plan.before_attempt(gpu, task.root, task.attempts)
+                        }));
+                        if !matches!(hook, Ok(Ok(()))) {
+                            out.fatal = Some(format!(
+                                "fault plan is not pure: attempt {} of root {} on gpu {gpu} \
+                                 changed outcome between scheduling and execution",
+                                task.attempts, task.root
+                            ));
+                            return out;
+                        }
+                        let opts = BcOptions {
+                            device: cfg.device.clone(),
+                            roots: RootSelection::Explicit(vec![task.root]),
+                            normalize: false,
+                            threads: 1,
+                            traversal: cfg.traversal,
+                        };
+                        match catch_unwind(AssertUnwindSafe(|| cfg.method.run(g, &opts))) {
+                            Ok(Ok(run)) => {
+                                out.block_seconds +=
+                                    run.report.per_root_seconds.iter().sum::<f64>();
+                                out.done += 1;
+                                merger.deposit(task.idx, run.scores);
+                            }
+                            Ok(Err(e)) => {
+                                out.fatal = Some(e.to_string());
+                                return out;
+                            }
+                            Err(payload) => {
+                                out.fatal = Some(panic_message(payload));
+                                return out;
+                            }
+                        }
+                    }
+                    out
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("GPU worker thread panicked"))
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(payload) => WorkerOut {
+                    fatal: Some(panic_message(payload)),
+                    ..WorkerOut::default()
+                },
+            })
             .collect()
     });
 
-    // Extrapolate each GPU's sampled device time to its share of all
-    // n roots.
-    let sms = cfg.device.num_sms as f64;
-    let mut scores = vec![0.0f64; n];
-    let mut gpu_seconds = Vec::with_capacity(gpus);
-    let mut mean_pool = Vec::new();
-    for (gpu, outcome) in per_gpu.into_iter().enumerate() {
-        let (gpu_scores, sampled, block_secs) = outcome?;
-        for (t, s) in scores.iter_mut().zip(&gpu_scores) {
-            *t += s;
-        }
-        let share = partition::strided_share(n, gpu, gpus);
-        // The GPU's full-run time: its share of roots at the sampled
-        // mean block-time, spread across its SMs.
-        let time = if sampled == 0 {
-            f64::NAN
-        } else {
-            block_secs * share as f64 / sampled as f64 / sms
-        };
-        if time.is_finite() {
-            mean_pool.push(time);
-        }
-        gpu_seconds.push(time);
-    }
-    // GPUs that received no samples (more GPUs than sampled roots)
-    // still own a share; charge them the mean.
-    let fallback = if mean_pool.is_empty() {
-        0.0
-    } else {
-        mean_pool.iter().sum::<f64>() / mean_pool.len() as f64
+    // --- Assemble counters and the extrapolated timing model. ---
+    let mut counters = FaultCounters {
+        dead_gpus: schedule.dead.len() as u64,
+        reassigned_roots: schedule.reassigned_roots,
+        straggler_gpus: (0..gpus)
+            .filter(|&gpu| plan.straggler_factor(gpu) > 1.0)
+            .count() as u64,
+        ..FaultCounters::default()
     };
-    for t in gpu_seconds.iter_mut() {
-        if t.is_nan() {
-            *t = fallback;
-        }
+
+    let sms = f64::from(cfg.device.num_sms);
+    let total_done: usize = outs.iter().map(|o| o.done).sum();
+    let mut gpu_seconds = Vec::with_capacity(gpus);
+    for (gpu, o) in outs.iter().enumerate() {
+        counters.transient_faults += o.transient;
+        counters.oom_faults += o.oom;
+        counters.panics_contained += o.panics;
+        counters.retries += o.retries;
+        counters.backoff_seconds += o.backoff_seconds;
+        // Extrapolation under redistribution: GPU g's share of the
+        // full n-root run is proportional to the sampled roots it
+        // actually completed, at its sampled mean per-root time.
+        let base = if total_done > 0 {
+            o.block_seconds * n as f64 / total_done as f64 / sms
+        } else {
+            0.0
+        };
+        let slowed = base * plan.straggler_factor(gpu);
+        counters.straggler_seconds += slowed - base;
+        let reassign =
+            f64::from(schedule.per_gpu[gpu].adoptions) * cfg.network.reassign_seconds(graph_bytes);
+        counters.reassign_seconds += reassign;
+        gpu_seconds.push(slowed + o.backoff_seconds + reassign);
     }
 
     let score_bytes = n as u64 * 8;
     let per_gpu_overhead = cfg.network.setup_seconds + cfg.network.d2h_seconds(score_bytes);
     let compute_seconds = gpu_seconds.iter().fold(0.0f64, |a, &b| a.max(b)) + per_gpu_overhead;
-    let reduce_seconds = cfg.network.reduce_seconds(cfg.nodes, score_bytes);
+
+    // Checksum-verified binomial-tree reduce: each level retransmits
+    // until its message survives (a drop is noticed at the ack
+    // timeout, a corruption on arrival), or gives up at the cap.
+    let mut reduce_extra = 0.0;
+    let mut reduce_failure: Option<(usize, u32)> = None;
+    let depth_levels = if cfg.nodes <= 1 {
+        0
+    } else {
+        (cfg.nodes as f64).log2().ceil() as usize
+    };
+    'levels: for depth in 0..depth_levels {
+        let mut attempt = 1u32;
+        loop {
+            match plan.reduce_fault(depth, attempt) {
+                None => break,
+                Some(ReduceFault::Dropped) => {
+                    counters.reduce_drops += 1;
+                    reduce_extra += cfg.network.drop_retry_seconds(score_bytes);
+                }
+                Some(ReduceFault::Corrupted) => {
+                    counters.reduce_corruptions += 1;
+                    reduce_extra += cfg.network.corrupt_retry_seconds(score_bytes);
+                }
+            }
+            attempt += 1;
+            if attempt > REDUCE_ATTEMPT_CAP {
+                reduce_failure = Some((depth, attempt - 1));
+                break 'levels;
+            }
+        }
+    }
+    let reduce_seconds = cfg.network.reduce_seconds(cfg.nodes, score_bytes) + reduce_extra;
+    counters.added_seconds = counters.backoff_seconds
+        + counters.reassign_seconds
+        + counters.straggler_seconds
+        + reduce_extra;
+
     let total_seconds = compute_seconds + reduce_seconds;
     let teps = if total_seconds > 0.0 {
         g.num_undirected_edges() as f64 * n as f64 / total_seconds
@@ -199,21 +644,62 @@ pub fn run_cluster(
         0.0
     };
 
-    Ok(ClusterRun {
-        scores,
+    let scores = merger.finish();
+    let run = ClusterRun {
         report: ClusterReport {
             nodes: cfg.nodes,
             gpus,
             vertices: n,
             edges: g.num_undirected_edges(),
-            roots_sampled: roots.len(),
+            roots_sampled: total_done,
             gpu_seconds,
             compute_seconds,
             reduce_seconds,
             total_seconds,
             teps,
+            faults: counters,
+            checksum: score_checksum(&scores),
         },
-    })
+        scores,
+    };
+
+    // --- Structured failure, most fundamental first. A genuine
+    // worker failure outranks everything: it means results are
+    // missing for a reason the fault model did not plan. ---
+    if let Some((gpu, message)) = outs
+        .iter()
+        .enumerate()
+        .find_map(|(gpu, o)| o.fatal.as_ref().map(|m| (gpu, m.clone())))
+    {
+        return Err(ClusterError::WorkerPanicked {
+            gpu,
+            message,
+            partial: Box::new(run),
+        });
+    }
+    if schedule.dead.len() == gpus {
+        return Err(ClusterError::AllGpusLost {
+            dead: schedule.dead,
+            completed_roots: total_done,
+            partial: Box::new(run),
+        });
+    }
+    if let Some((root, gpus_tried, last_error)) = schedule.failed {
+        return Err(ClusterError::RootFailed {
+            root,
+            gpus_tried,
+            last_error,
+            partial: Box::new(run),
+        });
+    }
+    if let Some((depth, attempts)) = reduce_failure {
+        return Err(ClusterError::ReduceFailed {
+            depth,
+            attempts,
+            partial: Box::new(run),
+        });
+    }
+    Ok(run)
 }
 
 #[cfg(test)]
@@ -236,6 +722,8 @@ mod tests {
         }
         assert_eq!(run.report.roots_sampled, 300);
         assert_eq!(run.report.gpus, 6);
+        assert_eq!(run.report.faults, FaultCounters::default());
+        assert_eq!(run.report.checksum, score_checksum(&run.scores));
     }
 
     #[test]
@@ -291,7 +779,7 @@ mod tests {
 
     #[test]
     fn cluster_runs_are_bitwise_deterministic() {
-        // GPU-order merge: repeated runs must agree to the last bit
+        // Root-order merge: repeated runs must agree to the last bit
         // even though worker completion order varies.
         let g = gen::watts_strogatz(300, 6, 0.1, 2);
         let cfg = ClusterConfig::keeneland(2);
@@ -302,12 +790,23 @@ mod tests {
     }
 
     #[test]
+    fn scores_are_bitwise_identical_across_node_counts() {
+        // The merge runs in global root order no matter which GPU
+        // computed which root, so even *different cluster shapes*
+        // agree to the last bit.
+        let g = gen::watts_strogatz(300, 6, 0.1, 5);
+        let one = run_cluster(&g, &ClusterConfig::keeneland(1), 96).unwrap();
+        for nodes in [2, 4, 8] {
+            let r = run_cluster(&g, &ClusterConfig::keeneland(nodes), 96).unwrap();
+            assert_eq!(one.scores, r.scores, "{nodes} nodes");
+        }
+    }
+
+    #[test]
     fn auto_traversal_matches_push_across_node_counts() {
-        // Direction optimization is per-root and purely local, so at
-        // any fixed node count the cluster scores stay bitwise equal
-        // to the push baseline. (Different node counts group the
-        // per-root additions differently and may drift by an ulp —
-        // push drifts identically, so the comparison is per count.)
+        // Direction optimization is per-root and purely local, so
+        // the cluster scores stay bitwise equal to the push baseline
+        // at any node count.
         let g = gen::watts_strogatz(300, 8, 0.1, 4);
         for nodes in [1, 2, 4] {
             let push = run_cluster(&g, &ClusterConfig::keeneland(nodes), 96).unwrap();
@@ -321,17 +820,202 @@ mod tests {
     }
 
     #[test]
-    fn oom_propagates_from_workers() {
+    fn oom_is_rejected_preflight() {
         // GPU-FAN's O(n^2) matrix exceeds 6 GB at n = 65k even on the
-        // cluster (the graph is replicated, not partitioned).
+        // cluster (the graph is replicated, not partitioned). The
+        // pre-flight check rejects it before any worker spawns, with
+        // a per-GPU diagnosis.
         let g = gen::grid(256, 256);
         let cfg = ClusterConfig {
             method: Method::GpuFan,
             ..ClusterConfig::keeneland(2)
         };
+        match run_cluster(&g, &cfg, 8) {
+            Err(ClusterError::InsufficientMemory {
+                method,
+                diagnostics,
+            }) => {
+                assert_eq!(method, "gpu-fan");
+                assert_eq!(diagnostics.len(), 6, "one diagnostic per GPU");
+                for (i, d) in diagnostics.iter().enumerate() {
+                    assert_eq!(d.gpu, i);
+                    assert!(d.required_bytes > d.available_bytes);
+                }
+            }
+            other => panic!("expected InsufficientMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_gpus_is_a_structured_error() {
+        let g = gen::path(8);
+        let cfg = ClusterConfig {
+            nodes: 0,
+            ..ClusterConfig::keeneland(1)
+        };
         assert!(matches!(
-            run_cluster(&g, &cfg, 8),
-            Err(SimError::OutOfMemory { .. })
+            run_cluster(&g, &cfg, 4),
+            Err(ClusterError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn transient_faults_leave_scores_bitwise_identical() {
+        let g = gen::watts_strogatz(200, 6, 0.1, 7);
+        let cfg = ClusterConfig::keeneland(2);
+        let clean = run_cluster(&g, &cfg, 64).unwrap();
+        let plan = FaultPlan {
+            transient_rate: 0.2,
+            oom_rate: 0.05,
+            seed: 11,
+            ..FaultPlan::none()
+        };
+        let faulted = run_cluster_with_faults(&g, &cfg, 64, &plan).unwrap();
+        assert_eq!(clean.scores, faulted.scores);
+        assert_eq!(clean.report.checksum, faulted.report.checksum);
+        assert!(faulted.report.faults.transient_faults > 0);
+        assert!(faulted.report.faults.retries > 0);
+        assert!(faulted.report.faults.backoff_seconds > 0.0);
+        assert!(
+            faulted.report.total_seconds > clean.report.total_seconds,
+            "recovery must cost simulated time"
+        );
+    }
+
+    #[test]
+    fn dead_gpu_orphans_are_adopted_bitwise() {
+        let g = gen::watts_strogatz(200, 6, 0.1, 8);
+        let cfg = ClusterConfig::keeneland(2);
+        let clean = run_cluster(&g, &cfg, 60).unwrap();
+        let plan = FaultPlan {
+            dead_gpus: vec![1, 4],
+            death_fraction: 0.25,
+            ..FaultPlan::none()
+        };
+        let faulted = run_cluster_with_faults(&g, &cfg, 60, &plan).unwrap();
+        assert_eq!(clean.scores, faulted.scores);
+        assert_eq!(faulted.report.faults.dead_gpus, 2);
+        assert!(faulted.report.faults.reassigned_roots > 0);
+        assert!(faulted.report.faults.reassign_seconds > 0.0);
+        assert_eq!(faulted.report.roots_sampled, clean.report.roots_sampled);
+    }
+
+    #[test]
+    fn injected_panics_are_contained_and_recovered() {
+        let g = gen::watts_strogatz(200, 6, 0.1, 9);
+        let cfg = ClusterConfig::keeneland(2);
+        let clean = run_cluster(&g, &cfg, 48).unwrap();
+        let plan = FaultPlan {
+            panic_rate: 0.2,
+            seed: 3,
+            ..FaultPlan::none()
+        };
+        let faulted = run_cluster_with_faults(&g, &cfg, 48, &plan).unwrap();
+        assert_eq!(clean.scores, faulted.scores);
+        assert!(faulted.report.faults.panics_contained > 0);
+    }
+
+    #[test]
+    fn stragglers_stretch_the_clock_not_the_scores() {
+        let g = gen::watts_strogatz(200, 6, 0.1, 10);
+        let cfg = ClusterConfig::keeneland(2);
+        let clean = run_cluster(&g, &cfg, 48).unwrap();
+        let plan = FaultPlan {
+            straggler_gpus: vec![0],
+            straggler_slowdown: 3.0,
+            ..FaultPlan::none()
+        };
+        let faulted = run_cluster_with_faults(&g, &cfg, 48, &plan).unwrap();
+        assert_eq!(clean.scores, faulted.scores);
+        assert_eq!(faulted.report.faults.straggler_gpus, 1);
+        assert!(faulted.report.faults.straggler_seconds > 0.0);
+        assert!(faulted.report.total_seconds > clean.report.total_seconds);
+    }
+
+    #[test]
+    fn reduce_faults_are_priced_and_scores_survive() {
+        let g = gen::watts_strogatz(200, 6, 0.1, 12);
+        let cfg = ClusterConfig::keeneland(4);
+        let clean = run_cluster(&g, &cfg, 48).unwrap();
+        let plan = FaultPlan {
+            reduce_drop_rate: 0.6,
+            reduce_corrupt_rate: 0.2,
+            seed: 5,
+            ..FaultPlan::none()
+        };
+        let faulted = run_cluster_with_faults(&g, &cfg, 48, &plan).unwrap();
+        assert_eq!(clean.scores, faulted.scores);
+        let f = &faulted.report.faults;
+        assert!(f.reduce_drops + f.reduce_corruptions > 0);
+        assert!(faulted.report.reduce_seconds > clean.report.reduce_seconds);
+    }
+
+    #[test]
+    fn unreducible_plan_returns_partial() {
+        let g = gen::grid(12, 12);
+        let cfg = ClusterConfig::keeneland(2);
+        let plan = FaultPlan {
+            reduce_drop_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        match run_cluster_with_faults(&g, &cfg, 16, &plan) {
+            Err(ClusterError::ReduceFailed { partial, .. }) => {
+                let clean = run_cluster(&g, &cfg, 16).unwrap();
+                assert_eq!(partial.scores, clean.scores, "node-local work completed");
+            }
+            other => panic!("expected ReduceFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_gpus_lost_returns_partial() {
+        let g = gen::watts_strogatz(200, 6, 0.1, 13);
+        let cfg = ClusterConfig::keeneland(2);
+        let plan = FaultPlan {
+            dead_gpus: (0..6).collect(),
+            death_fraction: 0.5,
+            ..FaultPlan::none()
+        };
+        match run_cluster_with_faults(&g, &cfg, 48, &plan) {
+            Err(e @ ClusterError::AllGpusLost { .. }) => {
+                let ClusterError::AllGpusLost {
+                    ref dead,
+                    completed_roots,
+                    ref partial,
+                } = e
+                else {
+                    unreachable!()
+                };
+                assert_eq!(dead.len(), 6);
+                assert!(completed_roots > 0, "half of each share completed");
+                assert!(completed_roots < 48);
+                assert!(partial.scores.iter().any(|&s| s > 0.0));
+                assert_eq!(partial.report.roots_sampled, completed_roots);
+                assert!(e.partial().is_some());
+            }
+            other => panic!("expected AllGpusLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_bitwise_deterministic() {
+        let g = gen::watts_strogatz(200, 6, 0.1, 14);
+        let cfg = ClusterConfig::keeneland(2);
+        let plan = FaultPlan {
+            transient_rate: 0.15,
+            panic_rate: 0.05,
+            dead_gpus: vec![2],
+            death_fraction: 0.5,
+            straggler_gpus: vec![0],
+            straggler_slowdown: 2.0,
+            reduce_drop_rate: 0.3,
+            seed: 21,
+            ..FaultPlan::none()
+        };
+        let a = run_cluster_with_faults(&g, &cfg, 48, &plan).unwrap();
+        let b = run_cluster_with_faults(&g, &cfg, 48, &plan).unwrap();
+        assert_eq!(a.scores, b.scores);
+        assert_eq!(a.report.total_seconds, b.report.total_seconds);
+        assert_eq!(a.report.faults, b.report.faults);
     }
 }

@@ -1,8 +1,8 @@
 //! Strong-scaling sweeps — the machinery behind Figure 6 and
 //! Table IV.
 
+use crate::error::ClusterError;
 use crate::runner::{run_cluster, ClusterConfig, ClusterReport};
-use bc_gpusim::SimError;
 use bc_graph::Csr;
 use serde::{Deserialize, Serialize};
 
@@ -24,7 +24,7 @@ pub fn strong_scaling(
     base: &ClusterConfig,
     node_counts: &[usize],
     sample_roots: usize,
-) -> Result<Vec<ScalingPoint>, SimError> {
+) -> Result<Vec<ScalingPoint>, ClusterError> {
     assert!(
         node_counts.contains(&1),
         "need the 1-node anchor for speedups"

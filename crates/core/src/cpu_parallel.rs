@@ -11,17 +11,22 @@
 //! sanity baseline for the simulated numbers.
 
 use crate::parallel;
+use bc_gpusim::SimError;
 use bc_graph::{Csr, VertexId};
 
 /// Exact betweenness centrality using all available CPU cores.
-pub fn betweenness(g: &Csr) -> Vec<f64> {
+///
+/// Errors only if a worker thread panics (contained by
+/// [`parallel::cpu_betweenness_from_roots`] into
+/// [`SimError::WorkerPanic`] naming the shard).
+pub fn betweenness(g: &Csr) -> Result<Vec<f64>, SimError> {
     betweenness_from_roots(g, &(0..g.num_vertices() as u32).collect::<Vec<_>>())
 }
 
 /// Parallel BC contributions from an explicit root set (symmetric
 /// halving applied, matching [`brandes::betweenness_from_roots`]).
 /// Thread count resolves per [`parallel::effective_threads`]`(0)`.
-pub fn betweenness_from_roots(g: &Csr, roots: &[VertexId]) -> Vec<f64> {
+pub fn betweenness_from_roots(g: &Csr, roots: &[VertexId]) -> Result<Vec<f64>, SimError> {
     parallel::cpu_betweenness_from_roots(g, roots, 0)
 }
 
@@ -36,7 +41,7 @@ mod tests {
         for seed in 0..2 {
             let g = gen::erdos_renyi(128, 400, seed);
             let seq = brandes::betweenness(&g);
-            let par = betweenness(&g);
+            let par = betweenness(&g).unwrap();
             for (s, p) in seq.iter().zip(&par) {
                 assert!((s - p).abs() < 1e-7, "{s} vs {p}");
             }
@@ -47,7 +52,7 @@ mod tests {
     fn subset_of_roots() {
         let g = gen::grid(6, 6);
         let roots: Vec<u32> = (0..18).collect();
-        let par = betweenness_from_roots(&g, &roots);
+        let par = betweenness_from_roots(&g, &roots).unwrap();
         let seq = brandes::betweenness_from_roots(&g, roots.iter().copied());
         for (s, p) in seq.iter().zip(&par) {
             assert!((s - p).abs() < 1e-9);
@@ -57,7 +62,7 @@ mod tests {
     #[test]
     fn empty_roots_give_zero() {
         let g = gen::path(8);
-        let bc = betweenness_from_roots(&g, &[]);
+        let bc = betweenness_from_roots(&g, &[]).unwrap();
         assert!(bc.iter().all(|&x| x == 0.0));
     }
 
@@ -65,9 +70,12 @@ mod tests {
     fn thread_count_does_not_change_bits() {
         let g = gen::watts_strogatz(200, 6, 0.2, 3);
         let roots: Vec<u32> = (0..200).collect();
-        let one = parallel::cpu_betweenness_from_roots(&g, &roots, 1);
+        let one = parallel::cpu_betweenness_from_roots(&g, &roots, 1).unwrap();
         for t in [2usize, 4, 8] {
-            assert_eq!(parallel::cpu_betweenness_from_roots(&g, &roots, t), one);
+            assert_eq!(
+                parallel::cpu_betweenness_from_roots(&g, &roots, t).unwrap(),
+                one
+            );
         }
     }
 }

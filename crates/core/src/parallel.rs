@@ -27,11 +27,57 @@ use crate::brandes;
 use crate::engine::{
     process_root_into, CostModel, FreeModel, RootContext, RootOutcome, SearchWorkspace,
 };
-use bc_gpusim::{DeviceConfig, KernelCounters};
+use bc_gpusim::{DeviceConfig, KernelCounters, SimError};
 use bc_graph::{Csr, VertexId};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Stringify a panic payload (the `Box<dyn Any>` a contained panic
+/// hands back) for structured error reporting.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// First panic observed across the shard workers: `(shard, message)`.
+/// Workers that panic record here and raise the abort flag instead of
+/// unwinding through the thread scope.
+struct PanicSlot {
+    slot: Mutex<Option<(usize, String)>>,
+    abort: AtomicBool,
+}
+
+impl PanicSlot {
+    fn new() -> Self {
+        PanicSlot {
+            slot: Mutex::new(None),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    fn record(&self, shard: usize, payload: Box<dyn std::any::Any + Send>) {
+        let msg = panic_message(payload);
+        let mut slot = self.slot.lock().expect("panic slot poisoned");
+        slot.get_or_insert((shard, msg));
+        self.abort.store(true, Ordering::Release);
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    fn into_error(self) -> Option<SimError> {
+        let slot = self.slot.into_inner().expect("panic slot poisoned");
+        slot.map(|(worker, what)| SimError::WorkerPanic { worker, what })
+    }
+}
 
 /// Upper bound on the number of shards a root set is split into.
 ///
@@ -233,22 +279,27 @@ impl<Meta> OrderedMerger<Meta> {
 /// Scores, per-root vectors, and counters are bitwise identical at
 /// any thread count; the fork's statistics are merged back into
 /// `model` in shard order.
+///
+/// A panic inside a worker (a buggy cost model, a corrupted graph) is
+/// contained: the remaining workers drain, and the first panic comes
+/// back as [`SimError::WorkerPanic`] naming the shard index instead
+/// of unwinding through the calling thread.
 pub fn run_roots<M: ShardableCostModel>(
     g: &Csr,
     device: &DeviceConfig,
     roots: &[VertexId],
     threads: usize,
     model: &mut M,
-) -> RootsRun {
+) -> Result<RootsRun, SimError> {
     let n = g.num_vertices();
     let num_roots = roots.len();
     if num_roots == 0 {
-        return RootsRun {
+        return Ok(RootsRun {
             scores: vec![0.0; n],
             per_root_seconds: Vec::new(),
             max_depths: Vec::new(),
             counters: KernelCounters::default(),
-        };
+        });
     }
     let size = shard_size(num_roots);
     let shards = num_roots.div_ceil(size);
@@ -256,6 +307,7 @@ pub fn run_roots<M: ShardableCostModel>(
 
     let next = AtomicUsize::new(0);
     let merger: OrderedMerger<ShardMeta<M>> = OrderedMerger::new(n);
+    let panics = PanicSlot::new();
     let proto: &M = model;
 
     let worker = |merger: &OrderedMerger<ShardMeta<M>>| {
@@ -263,34 +315,51 @@ pub fn run_roots<M: ShardableCostModel>(
         let mut out = RootOutcome::default();
         let mut acc = merger.take_buffer();
         loop {
+            if panics.aborted() {
+                // `acc` is clean here (a dirty one is only possible on
+                // this worker's own panic path, which breaks out
+                // without reaching the recycle below).
+                break;
+            }
             let shard = next.fetch_add(1, Ordering::Relaxed);
             if shard >= shards {
                 break;
             }
             let lo = shard * size;
             let hi = (lo + size).min(num_roots);
-            let mut m = proto.fork();
-            let mut per_root_seconds = Vec::with_capacity(hi - lo);
-            let mut max_depths = Vec::with_capacity(hi - lo);
-            let mut counters = KernelCounters::default();
-            for &r in &roots[lo..hi] {
-                let ctx = RootContext { g, root: r, device };
-                process_root_into(&ctx, &mut ws, &mut m, &mut acc, &mut out);
-                per_root_seconds.push(out.counters.seconds);
-                max_depths.push(out.max_depth);
-                counters.merge(&out.counters);
-            }
-            acc = merger.deposit(
-                shard,
-                acc,
+            // Contain panics from the per-root engine / cost model:
+            // `ws`, `out`, and `acc` may be mid-update when a panic
+            // unwinds, but they are never touched again afterwards
+            // (the worker stops), so AssertUnwindSafe is sound.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let mut m = proto.fork();
+                let mut per_root_seconds = Vec::with_capacity(hi - lo);
+                let mut max_depths = Vec::with_capacity(hi - lo);
+                let mut counters = KernelCounters::default();
+                for &r in &roots[lo..hi] {
+                    let ctx = RootContext { g, root: r, device };
+                    process_root_into(&ctx, &mut ws, &mut m, &mut acc, &mut out);
+                    per_root_seconds.push(out.counters.seconds);
+                    max_depths.push(out.max_depth);
+                    counters.merge(&out.counters);
+                }
                 ShardMeta {
                     first_root: lo,
                     per_root_seconds,
                     max_depths,
                     counters,
                     model: m,
-                },
-            );
+                }
+            }));
+            match attempt {
+                Ok(meta) => acc = merger.deposit(shard, acc, meta),
+                Err(payload) => {
+                    panics.record(shard, payload);
+                    // The accumulator holds partial contributions of
+                    // the panicked shard — poisoned, do not recycle.
+                    return;
+                }
+            }
         }
         merger.recycle(acc);
     };
@@ -306,6 +375,9 @@ pub fn run_roots<M: ShardableCostModel>(
         });
     }
 
+    if let Some(err) = panics.into_error() {
+        return Err(err);
+    }
     let (scores, metas) = merger.finish();
     let mut per_root_seconds = vec![0.0f64; num_roots];
     let mut max_depths = vec![0u32; num_roots];
@@ -318,23 +390,30 @@ pub fn run_roots<M: ShardableCostModel>(
         counters.merge(&meta.counters);
         model.merge_worker(meta.model);
     }
-    RootsRun {
+    Ok(RootsRun {
         scores,
         per_root_seconds,
         max_depths,
         counters,
-    }
+    })
 }
 
 /// Exact CPU Brandes over an explicit root set, sharded across host
 /// threads with the same deterministic merge (and symmetric halving,
 /// matching [`brandes::betweenness_from_roots`]). Workers reuse one
 /// [`brandes::BrandesWorkspace`] each — no per-root allocation.
-pub fn cpu_betweenness_from_roots(g: &Csr, roots: &[VertexId], threads: usize) -> Vec<f64> {
+///
+/// Worker panics are contained like [`run_roots`]'s: the first one
+/// comes back as [`SimError::WorkerPanic`] naming the shard index.
+pub fn cpu_betweenness_from_roots(
+    g: &Csr,
+    roots: &[VertexId],
+    threads: usize,
+) -> Result<Vec<f64>, SimError> {
     let n = g.num_vertices();
     let num_roots = roots.len();
     if num_roots == 0 {
-        return vec![0.0; n];
+        return Ok(vec![0.0; n]);
     }
     let size = shard_size(num_roots);
     let shards = num_roots.div_ceil(size);
@@ -342,22 +421,34 @@ pub fn cpu_betweenness_from_roots(g: &Csr, roots: &[VertexId], threads: usize) -
 
     let next = AtomicUsize::new(0);
     let merger: OrderedMerger<()> = OrderedMerger::new(n);
+    let panics = PanicSlot::new();
 
     let worker = |merger: &OrderedMerger<()>| {
         let mut ws = brandes::BrandesWorkspace::new(n);
         let mut acc = merger.take_buffer();
         loop {
+            if panics.aborted() {
+                break;
+            }
             let shard = next.fetch_add(1, Ordering::Relaxed);
             if shard >= shards {
                 break;
             }
             let lo = shard * size;
             let hi = (lo + size).min(num_roots);
-            for &r in &roots[lo..hi] {
-                brandes::single_source_into(g, r, &mut ws);
-                brandes::accumulate_from_workspace(g, r, &mut ws, &mut acc);
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                for &r in &roots[lo..hi] {
+                    brandes::single_source_into(g, r, &mut ws);
+                    brandes::accumulate_from_workspace(g, r, &mut ws, &mut acc);
+                }
+            }));
+            match attempt {
+                Ok(()) => acc = merger.deposit(shard, acc, ()),
+                Err(payload) => {
+                    panics.record(shard, payload);
+                    return;
+                }
             }
-            acc = merger.deposit(shard, acc, ());
         }
         merger.recycle(acc);
     };
@@ -373,14 +464,18 @@ pub fn cpu_betweenness_from_roots(g: &Csr, roots: &[VertexId], threads: usize) -
         });
     }
 
+    if let Some(err) = panics.into_error() {
+        return Err(err);
+    }
     let (mut scores, _) = merger.finish();
     brandes::halve_if_symmetric(g, &mut scores);
-    scores
+    Ok(scores)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{LevelInfo, PricedIteration};
     use bc_graph::gen;
 
     fn titan() -> DeviceConfig {
@@ -393,7 +488,7 @@ mod tests {
         let roots: Vec<u32> = (0..600).collect();
         let runs: Vec<RootsRun> = [1usize, 2, 5, 8]
             .iter()
-            .map(|&t| run_roots(&g, &titan(), &roots, t, &mut FreeModel))
+            .map(|&t| run_roots(&g, &titan(), &roots, t, &mut FreeModel).unwrap())
             .collect();
         for run in &runs[1..] {
             assert_eq!(run.scores, runs[0].scores, "scores must be bitwise equal");
@@ -407,7 +502,7 @@ mod tests {
     fn matches_sequential_brandes() {
         let g = gen::erdos_renyi(120, 360, 11);
         let roots: Vec<u32> = (0..120).collect();
-        let mut run = run_roots(&g, &titan(), &roots, 4, &mut FreeModel);
+        let mut run = run_roots(&g, &titan(), &roots, 4, &mut FreeModel).unwrap();
         brandes::halve_if_symmetric(&g, &mut run.scores);
         let expect = brandes::betweenness(&g);
         for (i, (e, a)) in expect.iter().zip(&run.scores).enumerate() {
@@ -419,7 +514,7 @@ mod tests {
     fn cpu_path_matches_sequential() {
         let g = gen::grid(9, 9);
         let roots: Vec<u32> = (0..81).collect();
-        let par = cpu_betweenness_from_roots(&g, &roots, 3);
+        let par = cpu_betweenness_from_roots(&g, &roots, 3).unwrap();
         let seq = brandes::betweenness(&g);
         for (p, s) in par.iter().zip(&seq) {
             assert!((p - s).abs() < 1e-9);
@@ -429,10 +524,11 @@ mod tests {
     #[test]
     fn empty_roots() {
         let g = gen::path(5);
-        let run = run_roots(&g, &titan(), &[], 4, &mut FreeModel);
+        let run = run_roots(&g, &titan(), &[], 4, &mut FreeModel).unwrap();
         assert!(run.scores.iter().all(|&s| s == 0.0));
         assert!(run.per_root_seconds.is_empty());
         assert!(cpu_betweenness_from_roots(&g, &[], 2)
+            .unwrap()
             .iter()
             .all(|&s| s == 0.0));
     }
@@ -440,9 +536,73 @@ mod tests {
     #[test]
     fn more_threads_than_shards() {
         let g = gen::path(10);
-        let run = run_roots(&g, &titan(), &[0, 5], 64, &mut FreeModel);
+        let run = run_roots(&g, &titan(), &[0, 5], 64, &mut FreeModel).unwrap();
         assert_eq!(run.max_depths.len(), 2);
         assert_eq!(run.max_depths[0], 9);
+    }
+
+    /// Prices like [`FreeModel`] but panics when it meets `bad_root`
+    /// — a stand-in for a buggy cost model or a corrupted workspace.
+    struct PanickyModel {
+        bad_root: u32,
+    }
+
+    impl CostModel for PanickyModel {
+        fn begin_root(&mut self, _g: &Csr, root: VertexId) {
+            assert!(root != self.bad_root, "injected model panic on root {root}");
+        }
+        fn price(&mut self, _g: &Csr, _d: &DeviceConfig, _l: &LevelInfo<'_>) -> PricedIteration {
+            PricedIteration::default()
+        }
+    }
+
+    impl ShardableCostModel for PanickyModel {
+        fn fork(&self) -> Self {
+            PanickyModel {
+                bad_root: self.bad_root,
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_names_the_shard() {
+        let g = gen::watts_strogatz(200, 6, 0.1, 1);
+        let roots: Vec<u32> = (0..200).collect();
+        // Root 77 lives in shard 77 / shard_size(200) = 19.
+        let bad_shard = 77 / shard_size(200);
+        for threads in [1usize, 4] {
+            let err = run_roots(
+                &g,
+                &titan(),
+                &roots,
+                threads,
+                &mut PanickyModel { bad_root: 77 },
+            )
+            .unwrap_err();
+            match err {
+                SimError::WorkerPanic { worker, ref what } => {
+                    assert_eq!(worker, bad_shard, "error must name the faulty shard");
+                    assert!(what.contains("root 77"), "payload preserved: {what}");
+                }
+                other => panic!("expected WorkerPanic, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panic_free_runs_are_unaffected_by_containment() {
+        let g = gen::grid(8, 8);
+        let roots: Vec<u32> = (0..64).collect();
+        let guarded = run_roots(
+            &g,
+            &titan(),
+            &roots,
+            4,
+            &mut PanickyModel { bad_root: 9999 },
+        )
+        .unwrap();
+        let free = run_roots(&g, &titan(), &roots, 4, &mut FreeModel).unwrap();
+        assert_eq!(guarded.scores, free.scores);
     }
 
     #[test]

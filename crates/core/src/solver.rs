@@ -185,7 +185,7 @@ impl Method {
         match self {
             Method::VertexParallel => {
                 let mut m = VertexParallelModel::default();
-                let run = parallel::run_roots(g, device, &roots, threads, &mut m);
+                let run = parallel::run_roots(g, device, &roots, threads, &mut m)?;
                 absorb(
                     run,
                     &mut scores,
@@ -196,7 +196,7 @@ impl Method {
             }
             Method::EdgeParallel => {
                 let mut m = EdgeParallelModel;
-                let run = parallel::run_roots(g, device, &roots, threads, &mut m);
+                let run = parallel::run_roots(g, device, &roots, threads, &mut m)?;
                 absorb(
                     run,
                     &mut scores,
@@ -207,7 +207,7 @@ impl Method {
             }
             Method::GpuFan => {
                 let mut m = GpuFanModel;
-                let run = parallel::run_roots(g, device, &roots, threads, &mut m);
+                let run = parallel::run_roots(g, device, &roots, threads, &mut m)?;
                 absorb(
                     run,
                     &mut scores,
@@ -221,7 +221,7 @@ impl Method {
                     // The historical path, bitwise-unchanged in both
                     // scores and pricing.
                     let mut m = WorkEfficientModel::default();
-                    let run = parallel::run_roots(g, device, &roots, threads, &mut m);
+                    let run = parallel::run_roots(g, device, &roots, threads, &mut m)?;
                     absorb(
                         run,
                         &mut scores,
@@ -231,7 +231,7 @@ impl Method {
                     );
                 } else {
                     let mut m = DirectionOptimizingModel::new(opts.traversal);
-                    let run = parallel::run_roots(g, device, &roots, threads, &mut m);
+                    let run = parallel::run_roots(g, device, &roots, threads, &mut m)?;
                     absorb(
                         run,
                         &mut scores,
@@ -244,7 +244,7 @@ impl Method {
             }
             Method::Hybrid(params) => {
                 let mut m = HybridModel::new(*params).with_traversal(opts.traversal);
-                let run = parallel::run_roots(g, device, &roots, threads, &mut m);
+                let run = parallel::run_roots(g, device, &roots, threads, &mut m)?;
                 absorb(
                     run,
                     &mut scores,
@@ -274,7 +274,7 @@ impl Method {
                 let n_samps = params.n_samps.min(roots.len());
                 let (sample_roots, rest_roots) = roots.split_at(n_samps);
                 let mut we = DirectionOptimizingModel::new(opts.traversal);
-                let run = parallel::run_roots(g, device, sample_roots, threads, &mut we);
+                let run = parallel::run_roots(g, device, sample_roots, threads, &mut we)?;
                 absorb(
                     run,
                     &mut scores,
@@ -288,7 +288,7 @@ impl Method {
                 // Phase 2: remaining roots with the chosen strategy.
                 if use_ep {
                     let mut m = SamplingPhaseModel::new(params.min_frontier);
-                    let run = parallel::run_roots(g, device, rest_roots, threads, &mut m);
+                    let run = parallel::run_roots(g, device, rest_roots, threads, &mut m)?;
                     absorb(
                         run,
                         &mut scores,
@@ -299,7 +299,7 @@ impl Method {
                     strategy_iterations =
                         Some((m.work_efficient_iterations, m.edge_parallel_iterations));
                 } else {
-                    let run = parallel::run_roots(g, device, rest_roots, threads, &mut we);
+                    let run = parallel::run_roots(g, device, rest_roots, threads, &mut we)?;
                     absorb(
                         run,
                         &mut scores,
@@ -374,7 +374,7 @@ pub fn run_with_cost_model<M: ShardableCostModel>(
     let _graph = mem.alloc(footprint::graph_bytes(g), "graph CSR arrays")?;
     let _locals = mem.alloc(local_bytes, "per-run local arrays")?;
 
-    let run = parallel::run_roots(g, device, &roots, opts.threads, model);
+    let run = parallel::run_roots(g, device, &roots, opts.threads, model)?;
     let parallel::RootsRun {
         mut scores,
         per_root_seconds,

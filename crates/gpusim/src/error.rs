@@ -27,6 +27,44 @@ pub enum SimError {
         /// Bytes the tracker had accounted as allocated.
         in_use: u64,
     },
+    /// A transient device fault (an ECC hiccup, a spurious launch
+    /// failure, allocator fragmentation). Retryable: re-issuing the
+    /// same work is expected to succeed.
+    TransientFault {
+        /// What the fault hit.
+        what: String,
+        /// Which attempt of the work unit faulted (1-based).
+        attempt: u32,
+    },
+    /// A device disappeared permanently (XID error, node reboot,
+    /// falling off the bus). Work assigned to it must move elsewhere.
+    DeviceLost {
+        /// Index of the lost device within its worker pool.
+        device: usize,
+        /// What the device was doing when it was lost.
+        what: String,
+    },
+    /// A host worker thread driving a simulated device panicked; the
+    /// panic was contained instead of propagating.
+    WorkerPanic {
+        /// Index of the panicking worker (GPU index in the cluster
+        /// runner, shard index in the multi-root runner).
+        worker: usize,
+        /// The panic payload, stringified.
+        what: String,
+    },
+}
+
+impl SimError {
+    /// Is retrying the same work expected to succeed?
+    ///
+    /// Only [`SimError::TransientFault`] qualifies: genuine
+    /// out-of-memory is a capacity fact, accounting underflow is a
+    /// bug, a lost device stays lost, and a contained panic needs a
+    /// structural decision by the caller.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::TransientFault { .. })
+    }
 }
 
 impl fmt::Display for SimError {
@@ -47,6 +85,16 @@ impl fmt::Display for SimError {
                 "simulated device-memory accounting underflow: freeing {freed} B with only \
                  {in_use} B allocated (double free, or an allocation from another tracker)"
             ),
+            SimError::TransientFault { what, attempt } => write!(
+                f,
+                "transient simulated device fault on {what} (attempt {attempt}); retryable"
+            ),
+            SimError::DeviceLost { device, what } => {
+                write!(f, "simulated device {device} lost while {what}")
+            }
+            SimError::WorkerPanic { worker, what } => {
+                write!(f, "worker {worker} panicked: {what}")
+            }
         }
     }
 }

@@ -22,13 +22,18 @@
 //!   used by coarse-grained BC kernels;
 //! * [`trace`] — logical per-thread memory-access events behind the
 //!   zero-cost-when-disabled [`trace::TraceSink`] trait, consumed by
-//!   the `bc-verify` race detector.
+//!   the `bc-verify` race detector;
+//! * [`fault`] — deterministic fault-injection hooks ([`FaultHook`])
+//!   through which a scheduler receives simulated transient faults,
+//!   device losses, OOMs, and worker panics, consumed by the
+//!   fault-tolerant cluster runner.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod device;
 mod error;
+pub mod fault;
 mod kernel;
 mod memory;
 mod timing;
@@ -37,6 +42,7 @@ pub mod warp;
 
 pub use device::DeviceConfig;
 pub use error::SimError;
+pub use fault::{FaultHook, NoFaults};
 pub use kernel::KernelCounters;
 pub use memory::{Allocation, DeviceMemory};
 pub use timing::{coarse_grained_makespan, IterationWork};

@@ -15,6 +15,11 @@
 //!    (whose saturated levels run the bottom-up kernel).
 //! 3. **Exact-score identities** — small all-roots runs checked
 //!    against the Brandes pair-sum identity.
+//! 4. **Fault-tolerance equivalence** — the cluster runner under a
+//!    battery of seeded fault plans (retries, contained panics, GPU
+//!    deaths, stragglers, lossy reduces) must return scores bitwise
+//!    identical to the fault-free run, and an unrecoverable plan must
+//!    fail structurally, never via a process panic.
 //!
 //! Exit status is non-zero if any stage fails.
 
@@ -249,6 +254,62 @@ fn exact_identity_checks(device: &DeviceConfig) -> usize {
     failures
 }
 
+/// Stage 4: fault/fault-free bitwise equivalence on the cluster
+/// runner, plus structured (non-panicking) failure for an
+/// unrecoverable plan. Returns the number of failures.
+fn fault_tolerance_checks(seed: u64) -> usize {
+    use bc_cluster::{run_cluster_with_faults, ClusterConfig, ClusterError, FaultPlan};
+    let mut failures = 0;
+    let graphs: Vec<(&str, Csr)> = vec![
+        ("watts_strogatz(200,6)", gen::watts_strogatz(200, 6, 0.1, 6)),
+        ("grid(16,16)", gen::grid(16, 16)),
+    ];
+    let plans = bc_verify::recoverable_plans(seed);
+    for (name, g) in &graphs {
+        for nodes in [2usize, 4] {
+            let cfg = ClusterConfig::keeneland(nodes);
+            let violations = bc_verify::check_fault_equivalence(g, &cfg, 32, &plans);
+            if violations.is_empty() {
+                println!(
+                    "ok   fault-equiv {name} nodes={nodes}: {} plan(s) bitwise identical",
+                    plans.len()
+                );
+            } else {
+                for v in &violations {
+                    println!("FAIL fault-equiv {name} nodes={nodes}: {v}");
+                }
+                failures += violations.len();
+            }
+        }
+    }
+    // An unrecoverable plan must come back as a structured error
+    // carrying the partial result — not a panic, not a clean exit.
+    let g = gen::grid(12, 12);
+    let plan = FaultPlan {
+        dead_gpus: (0..6).collect(),
+        death_fraction: 0.5,
+        ..FaultPlan::none()
+    };
+    match run_cluster_with_faults(&g, &ClusterConfig::keeneland(2), 24, &plan) {
+        Err(ClusterError::AllGpusLost {
+            completed_roots, ..
+        }) if completed_roots > 0 => {
+            println!(
+                "ok   fault-unrecoverable: all-GPUs-dead surfaced structurally \
+                 ({completed_roots} roots completed before the losses)"
+            );
+        }
+        other => {
+            println!(
+                "FAIL fault-unrecoverable: expected AllGpusLost with partial progress, got {:?}",
+                other.map(|r| r.report.roots_sampled)
+            );
+            failures += 1;
+        }
+    }
+    failures
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -268,6 +329,8 @@ fn main() -> ExitCode {
     failures += dataset_sweep(&opts, &device);
     println!("== stage 3: exact-score identities ==");
     failures += exact_identity_checks(&device);
+    println!("== stage 4: fault-tolerance equivalence ==");
+    failures += fault_tolerance_checks(opts.seed);
 
     if failures == 0 {
         println!("bc-verify: all checks passed");

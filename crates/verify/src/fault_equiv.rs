@@ -1,0 +1,197 @@
+//! Fault/fault-free equivalence checks for the cluster runner.
+//!
+//! The fault-tolerance layer's correctness claim is absolute: a
+//! *recoverable* fault schedule — retries, contained worker deaths,
+//! GPU losses with orphan adoption, lossy reductions — must not
+//! change a single bit of the final scores, because the merge runs in
+//! global root order no matter which GPU computed which root. This
+//! module turns that claim into a checked fact: run fault-free, run
+//! under a battery of seeded fault plans, and demand bitwise equality
+//! (scores and checksum) plus honest fault accounting.
+
+use crate::invariants::Violation;
+use bc_cluster::{run_cluster_with_faults, ClusterConfig, FaultPlan};
+use bc_graph::Csr;
+
+/// A labelled battery of recoverable fault plans covering every
+/// injection mechanism, seeded from `seed`.
+pub fn recoverable_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "transient-retries",
+            FaultPlan {
+                transient_rate: 0.2,
+                oom_rate: 0.05,
+                seed,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "contained-panics",
+            FaultPlan {
+                panic_rate: 0.15,
+                seed: seed ^ 1,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "gpu-death-adoption",
+            FaultPlan {
+                dead_gpus: vec![1],
+                death_fraction: 0.4,
+                transient_rate: 0.1,
+                seed: seed ^ 2,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "straggler",
+            FaultPlan {
+                straggler_gpus: vec![0],
+                straggler_slowdown: 4.0,
+                seed: seed ^ 3,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "lossy-reduce",
+            FaultPlan {
+                reduce_drop_rate: 0.4,
+                reduce_corrupt_rate: 0.2,
+                seed: seed ^ 4,
+                ..FaultPlan::none()
+            },
+        ),
+        (
+            "everything-at-once",
+            FaultPlan {
+                transient_rate: 0.1,
+                oom_rate: 0.05,
+                panic_rate: 0.05,
+                dead_gpus: vec![2],
+                death_fraction: 0.5,
+                straggler_gpus: vec![0],
+                straggler_slowdown: 2.0,
+                reduce_drop_rate: 0.2,
+                seed: seed ^ 5,
+                ..FaultPlan::none()
+            },
+        ),
+    ]
+}
+
+/// Run `cfg` on `g` fault-free and under every plan in `plans`;
+/// return a violation for every bit that moved (scores, checksum) or
+/// every plan whose counters claim nothing was injected.
+pub fn check_fault_equivalence(
+    g: &Csr,
+    cfg: &ClusterConfig,
+    sample_roots: usize,
+    plans: &[(&'static str, FaultPlan)],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut battery_injected = 0u64;
+    let clean = match run_cluster_with_faults(g, cfg, sample_roots, &FaultPlan::none()) {
+        Ok(run) => run,
+        Err(e) => {
+            violations.push(Violation {
+                check: "fault.baseline_runs",
+                detail: format!("fault-free cluster run failed: {e}"),
+            });
+            return violations;
+        }
+    };
+    for (label, plan) in plans {
+        let faulted = match run_cluster_with_faults(g, cfg, sample_roots, plan) {
+            Ok(run) => run,
+            Err(e) => {
+                violations.push(Violation {
+                    check: "fault.plan_recoverable",
+                    detail: format!("plan '{label}' was not recovered from: {e}"),
+                });
+                continue;
+            }
+        };
+        if faulted.scores != clean.scores {
+            let first = clean
+                .scores
+                .iter()
+                .zip(&faulted.scores)
+                .position(|(a, b)| a.to_bits() != b.to_bits());
+            violations.push(Violation {
+                check: "fault.scores_bitwise_equal",
+                detail: format!(
+                    "plan '{label}' changed the scores (first diff at vertex {first:?})"
+                ),
+            });
+        }
+        if faulted.report.checksum != clean.report.checksum {
+            violations.push(Violation {
+                check: "fault.checksum_equal",
+                detail: format!(
+                    "plan '{label}' checksum {:#018x} != fault-free {:#018x}",
+                    faulted.report.checksum, clean.report.checksum
+                ),
+            });
+        }
+        let f = &faulted.report.faults;
+        battery_injected += f.total_faults()
+            + f.dead_gpus
+            + f.straggler_gpus
+            + f.reduce_drops
+            + f.reduce_corruptions;
+        if f.added_seconds < 0.0 {
+            violations.push(Violation {
+                check: "fault.added_time_nonnegative",
+                detail: format!(
+                    "plan '{label}' claims negative added time ({})",
+                    f.added_seconds
+                ),
+            });
+        }
+    }
+    // A battery whose counters say nothing was ever injected proved
+    // nothing (a single low-rate plan may legitimately draw no
+    // faults for some seeds; the whole battery must not). Only
+    // meaningful when every plan otherwise passed — an unrecoverable
+    // plan self-evidently injected something.
+    if !plans.is_empty() && battery_injected == 0 && violations.is_empty() {
+        violations.push(Violation {
+            check: "fault.counters_honest",
+            detail: "battery reports zero injected faults across all plans — \
+                     the equivalence check proved nothing"
+                .into(),
+        });
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_graph::gen;
+
+    #[test]
+    fn battery_passes_on_a_healthy_runner() {
+        let g = gen::watts_strogatz(150, 6, 0.1, 3);
+        let cfg = ClusterConfig::keeneland(2);
+        let v = check_fault_equivalence(&g, &cfg, 32, &recoverable_plans(42));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unrecoverable_plan_is_reported_not_panicked() {
+        let g = gen::grid(10, 10);
+        let cfg = ClusterConfig::keeneland(1);
+        let all_dead = vec![(
+            "all-dead",
+            FaultPlan {
+                dead_gpus: vec![0, 1, 2],
+                ..FaultPlan::none()
+            },
+        )];
+        let v = check_fault_equivalence(&g, &cfg, 16, &all_dead);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "fault.plan_recoverable");
+    }
+}

@@ -23,7 +23,11 @@
 //!   Brandes pair-sum identity;
 //! * [`replay`] — drives one root through the traced engine under a
 //!   recording cost model and cross-checks priced atomics against
-//!   traced atomics per level.
+//!   traced atomics per level;
+//! * [`fault_equiv`] — runs the cluster under a battery of seeded
+//!   fault plans and asserts the scores stay bitwise identical to
+//!   the fault-free run (the fault-tolerance layer's correctness
+//!   claim).
 //!
 //! The `bc-verify` binary runs the whole suite over the bundled
 //! dataset analogues plus a seeded-bug self-test (the broken
@@ -33,11 +37,13 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod fault_equiv;
 pub mod invariants;
 pub mod race;
 pub mod replay;
 pub mod trace;
 
+pub use fault_equiv::{check_fault_equivalence, recoverable_plans};
 pub use invariants::{
     check_csr, check_csr_parts, check_pair_sum, check_scores, check_search_state, Violation,
 };

@@ -22,7 +22,7 @@ fn cluster_matches_host_reference_across_classes() {
             ..ClusterConfig::keeneland(3)
         };
         let run = run_cluster(&g, &cfg, n).unwrap();
-        let expect = cpu_parallel::betweenness(&g);
+        let expect = cpu_parallel::betweenness(&g).unwrap();
         assert_scores_eq(&expect, &run.scores);
     }
 }

@@ -1,0 +1,174 @@
+//! Fault-tolerance guarantees of the cluster runner, end to end.
+//!
+//! The contract under test: a *recoverable* fault schedule — whatever
+//! mix of transient errors, contained panics, GPU deaths, stragglers,
+//! and lossy reductions it injects — changes the clock but not one
+//! bit of the scores, at any cluster width; and an *unrecoverable*
+//! schedule comes back as a structured [`ClusterError`] carrying the
+//! partial result, never as a process panic.
+
+use bc_cluster::{run_cluster_with_faults, score_checksum, ClusterConfig, ClusterError, FaultPlan};
+use bc_graph::gen;
+use proptest::prelude::*;
+
+fn baseline(g: &bc_graph::Csr, nodes: usize, roots: usize) -> bc_cluster::ClusterRun {
+    run_cluster_with_faults(
+        g,
+        &ClusterConfig::keeneland(nodes),
+        roots,
+        &FaultPlan::none(),
+    )
+    .expect("fault-free run succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any recoverable plan proptest can dream up yields scores
+    /// bitwise identical to the fault-free run at 1, 2, and 8 nodes —
+    /// and identical *across* those widths.
+    #[test]
+    fn prop_recoverable_plans_are_invisible_in_the_scores(
+        seed in 0u64..1000,
+        transient in 0.0f64..0.35,
+        oom in 0.0f64..0.15,
+        panic_rate in 0.0f64..0.2,
+        dead_sel in 0usize..4,
+        death_fraction in 0.0f64..1.0,
+        straggler_sel in 0usize..4,
+        drop in 0.0f64..0.4,
+        corrupt in 0.0f64..0.3,
+    ) {
+        let g = gen::watts_strogatz(120, 4, 0.1, 5);
+        let roots = 24;
+        let plan = FaultPlan {
+            seed,
+            transient_rate: transient,
+            oom_rate: oom,
+            panic_rate,
+            // Selector 3 means "no such GPU" — the stub proptest has
+            // no Option strategy.
+            dead_gpus: (dead_sel < 3).then_some(dead_sel).into_iter().collect(),
+            death_fraction,
+            straggler_gpus: (straggler_sel < 3).then_some(straggler_sel).into_iter().collect(),
+            straggler_slowdown: 3.0,
+            reduce_drop_rate: drop,
+            reduce_corrupt_rate: corrupt,
+            ..FaultPlan::none()
+        };
+        let clean = baseline(&g, 2, roots);
+        for nodes in [1usize, 2, 8] {
+            let cfg = ClusterConfig::keeneland(nodes);
+            let faulted = run_cluster_with_faults(&g, &cfg, roots, &plan)
+                .expect("recoverable plan is recovered from");
+            prop_assert!(
+                faulted.scores.iter().zip(&clean.scores)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "scores moved at {nodes} node(s), seed {seed}"
+            );
+            prop_assert_eq!(faulted.report.checksum, clean.report.checksum);
+            prop_assert_eq!(faulted.report.checksum, score_checksum(&faulted.scores));
+            prop_assert!(faulted.report.faults.added_seconds >= 0.0);
+            prop_assert!(faulted.report.total_seconds >= clean.report.total_seconds - 1e-9
+                || nodes != 2);
+        }
+    }
+
+    /// The same plan replayed twice is bitwise identical in scores
+    /// *and* in every counter and clock — the schedule is a pure
+    /// function of (plan, graph, config).
+    #[test]
+    fn prop_faulted_runs_replay_exactly(seed in 0u64..500) {
+        let g = gen::erdos_renyi(100, 300, 3);
+        let plan = FaultPlan {
+            seed,
+            transient_rate: 0.2,
+            panic_rate: 0.1,
+            dead_gpus: vec![1],
+            death_fraction: 0.5,
+            reduce_drop_rate: 0.3,
+            ..FaultPlan::none()
+        };
+        let cfg = ClusterConfig::keeneland(2);
+        let a = run_cluster_with_faults(&g, &cfg, 20, &plan).expect("recoverable");
+        let b = run_cluster_with_faults(&g, &cfg, 20, &plan).expect("recoverable");
+        prop_assert_eq!(&a.scores, &b.scores);
+        prop_assert_eq!(a.report.faults, b.report.faults);
+        prop_assert_eq!(a.report.total_seconds.to_bits(), b.report.total_seconds.to_bits());
+    }
+}
+
+/// Killing every GPU mid-run is unrecoverable: the error is
+/// structured, names the dead devices, and carries the roots that
+/// completed before the lights went out.
+#[test]
+fn all_gpus_dead_returns_partial_report_not_a_panic() {
+    let g = gen::grid(12, 12);
+    let plan = FaultPlan {
+        dead_gpus: (0..6).collect(),
+        death_fraction: 0.5,
+        ..FaultPlan::none()
+    };
+    match run_cluster_with_faults(&g, &ClusterConfig::keeneland(2), 24, &plan) {
+        Err(ClusterError::AllGpusLost {
+            dead,
+            completed_roots,
+            partial,
+        }) => {
+            assert_eq!(dead, (0..6).collect::<Vec<_>>());
+            assert!(
+                completed_roots > 0,
+                "death_fraction 0.5 completes work first"
+            );
+            assert_eq!(partial.report.roots_sampled, completed_roots);
+            assert_eq!(partial.report.checksum, score_checksum(&partial.scores));
+            assert_eq!(partial.report.faults.dead_gpus, 6);
+        }
+        other => panic!("expected AllGpusLost, got {other:?}"),
+    }
+}
+
+/// An error-path result still exposes the partial run through the
+/// generic accessor the CLI uses.
+#[test]
+fn cluster_error_partial_accessor_matches_variant() {
+    let g = gen::path(40);
+    let plan = FaultPlan {
+        dead_gpus: vec![0, 1, 2],
+        death_fraction: 0.25,
+        ..FaultPlan::none()
+    };
+    let err = run_cluster_with_faults(&g, &ClusterConfig::keeneland(1), 16, &plan)
+        .expect_err("all three GPUs of the single node are dead");
+    let partial = err.partial().expect("AllGpusLost carries a partial run");
+    assert!(partial.report.roots_sampled < 16);
+    assert!(err.to_string().contains("lost"));
+}
+
+/// A plan that panics on every single attempt of every root is still
+/// unrecoverable-but-contained: the process survives, the error is
+/// structural.
+#[test]
+fn saturating_panics_never_escape_the_runner() {
+    let g = gen::grid(8, 8);
+    let plan = FaultPlan {
+        panic_rate: 1.0,
+        max_attempts: 3,
+        ..FaultPlan::none()
+    };
+    let err = run_cluster_with_faults(&g, &ClusterConfig::keeneland(1), 8, &plan)
+        .expect_err("every attempt panics, every GPU exhausts its retries");
+    match err {
+        ClusterError::RootFailed {
+            root,
+            gpus_tried,
+            last_error,
+            ..
+        } => {
+            assert_eq!(root, 0, "first root in schedule order fails first");
+            assert_eq!(gpus_tried, 3, "all three GPUs were tried");
+            assert!(last_error.contains("injected"), "{last_error}");
+        }
+        other => panic!("expected RootFailed, got {other}"),
+    }
+}

@@ -41,9 +41,9 @@ fn engine_runner_bitwise_across_thread_counts() {
     for g in [gen::watts_strogatz(500, 8, 0.1, 9), multi_component_graph()] {
         let roots: Vec<u32> = (0..g.num_vertices() as u32).collect();
         let device = bc_gpusim::DeviceConfig::gtx_titan();
-        let baseline = parallel::run_roots(&g, &device, &roots, 1, &mut FreeModel);
+        let baseline = parallel::run_roots(&g, &device, &roots, 1, &mut FreeModel).unwrap();
         for threads in [2usize, 8] {
-            let run = parallel::run_roots(&g, &device, &roots, threads, &mut FreeModel);
+            let run = parallel::run_roots(&g, &device, &roots, threads, &mut FreeModel).unwrap();
             assert_eq!(run.scores, baseline.scores, "threads={threads}");
             assert_eq!(run.per_root_seconds, baseline.per_root_seconds);
             assert_eq!(run.max_depths, baseline.max_depths);
@@ -60,10 +60,10 @@ fn engine_runner_bitwise_across_thread_counts() {
 fn cpu_runner_bitwise_across_thread_counts() {
     let g = multi_component_graph();
     let roots: Vec<u32> = (0..110).collect();
-    let one = parallel::cpu_betweenness_from_roots(&g, &roots, 1);
+    let one = parallel::cpu_betweenness_from_roots(&g, &roots, 1).unwrap();
     for threads in [2usize, 8] {
         assert_eq!(
-            parallel::cpu_betweenness_from_roots(&g, &roots, threads),
+            parallel::cpu_betweenness_from_roots(&g, &roots, threads).unwrap(),
             one,
             "threads={threads}"
         );
@@ -79,7 +79,7 @@ fn rayon_num_threads_env_is_honored_and_bitwise() {
     // under the parallel test harness.)
     let g = multi_component_graph();
     let roots: Vec<u32> = (0..110).collect();
-    let baseline = parallel::cpu_betweenness_from_roots(&g, &roots, 1);
+    let baseline = parallel::cpu_betweenness_from_roots(&g, &roots, 1).unwrap();
     for setting in ["1", "2", "8"] {
         std::env::set_var("RAYON_NUM_THREADS", setting);
         assert_eq!(
@@ -87,7 +87,7 @@ fn rayon_num_threads_env_is_honored_and_bitwise() {
             setting.parse::<usize>().unwrap()
         );
         assert_eq!(
-            parallel::cpu_betweenness_from_roots(&g, &roots, 0),
+            parallel::cpu_betweenness_from_roots(&g, &roots, 0).unwrap(),
             baseline,
             "RAYON_NUM_THREADS={setting}"
         );
@@ -202,7 +202,7 @@ fn cpu_parallel_module_matches_brandes_on_disconnected_graph() {
     let g = multi_component_graph();
     let roots: Vec<u32> = (0..110).collect();
     assert_close(
-        &cpu_parallel::betweenness_from_roots(&g, &roots),
+        &cpu_parallel::betweenness_from_roots(&g, &roots).unwrap(),
         &brandes::betweenness_from_roots(&g, roots.iter().copied()),
         "cpu_parallel vs brandes",
     );
