@@ -21,7 +21,8 @@ if [[ "${1:-}" != "fast" ]]; then
     cargo clippy --workspace --all-targets -- -D warnings
 
     # Race detector + invariant suite: seeded-bug self-test, the ten
-    # dataset analogues, and the exact-score identities.
+    # dataset analogues, the exact-score identities, and the stage-5
+    # metrics-vs-trace counter cross-check.
     echo "==> bc-verify suite"
     cargo run -q -p bc-verify --release --bin bc-verify
     # Smoke-scale trajectory: few roots, 2-thread parallel arm. The
@@ -45,6 +46,20 @@ if [[ "${1:-}" != "fast" ]]; then
     cargo run -q -p hybrid-bc --release -- --dataset smallworld --reduction 7 \
         --method work-efficient --cluster 2 --roots 16 \
         --faults seed=7,transient=0.2,dead=1,drop=0.3 --top 0 --verify
+    # Metrics smoke: the sweep binary asserts metering is bitwise
+    # observation-only per (dataset, method) row, and the CLI flag
+    # must produce a well-formed JSONL stream on both the
+    # single-device and cluster paths.
+    echo "==> bench_metrics smoke"
+    cargo run -q -p bc-bench --release --bin bench_metrics -- --quick 1
+    echo "==> cli --metrics smoke"
+    cargo run -q -p hybrid-bc --release -- --dataset smallworld --reduction 7 \
+        --method hybrid --roots 16 --metrics results/ci_metrics.jsonl --top 0
+    grep -q '"kind":"summary"' results/ci_metrics.jsonl
+    cargo run -q -p hybrid-bc --release -- --dataset smallworld --reduction 7 \
+        --method work-efficient --cluster 2 --roots 16 \
+        --metrics results/ci_metrics_cluster.jsonl --top 0
+    grep -q '"kind":"cluster_summary"' results/ci_metrics_cluster.jsonl
 fi
 
 echo "==> ci OK"

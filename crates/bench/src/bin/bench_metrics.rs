@@ -1,0 +1,167 @@
+//! E-metrics — exercise the observability layer end to end: run each
+//! method metered over the dataset battery, assert the metered run is
+//! bitwise identical to the plain one, and report what the counters
+//! say (frontier peaks, CAS win rates, direction switches, warp
+//! efficiency, memory transactions).
+//!
+//! ```text
+//! cargo run -p bc-bench --release --bin bench_metrics \
+//!     [--reduction 6] [--roots K] [--seed S] [--quick 1]
+//! ```
+//!
+//! Writes `results/BENCH_metrics.json` (per-method summaries) and
+//! `results/BENCH_metrics.jsonl` (the raw per-root JSONL stream of
+//! the last dataset, as `hybrid-bc --metrics` would emit it).
+//!
+//! The claim under test is the tentpole's: metering observes, it does
+//! not perturb — scores and the simulated clock agree to the last bit
+//! with the instrumented sinks attached.
+
+use bc_bench::{fmt_seconds, out_dir, print_table, scaled_sampling, write_json, Args};
+use bc_core::{BcOptions, Method, RootSelection};
+use bc_graph::DatasetId;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct MetricsPoint {
+    dataset: &'static str,
+    method: &'static str,
+    roots: usize,
+    levels: u64,
+    max_frontier: u64,
+    edges_inspected: u64,
+    cas_attempts: u64,
+    cas_wins: u64,
+    cas_win_rate: f64,
+    priced_atomics: u64,
+    push_levels: u64,
+    pull_levels: u64,
+    switches_to_pull: u64,
+    switches_to_push: u64,
+    kernel_launches: u64,
+    warp_efficiency: f64,
+    memory_transactions: u64,
+    simulated_seconds: f64,
+    bitwise_identical: bool,
+}
+
+fn methods(n: usize, k: usize) -> Vec<(&'static str, Method)> {
+    vec![
+        ("work-efficient", Method::WorkEfficient),
+        ("hybrid", Method::Hybrid(Default::default())),
+        ("sampling", Method::Sampling(scaled_sampling(n, k))),
+    ]
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick: u32 = args.get("quick", 0);
+    let reduction = args.reduction(if quick > 0 { 8 } else { 6 });
+    let k = args.roots(if quick > 0 { 8 } else { 32 });
+    let seed = args.seed();
+    let datasets: &[DatasetId] = if quick > 0 {
+        &DatasetId::ALL[..3]
+    } else {
+        &DatasetId::ALL
+    };
+
+    println!(
+        "Metrics layer: {} dataset(s) at reduction {reduction}, {k} sampled roots, seed = {seed}\n",
+        datasets.len()
+    );
+
+    let mut points = Vec::new();
+    let mut mismatches = 0usize;
+    let mut last_jsonl = String::new();
+    for d in datasets {
+        let g = d.generate(reduction, seed);
+        let n = g.num_vertices();
+        let mut rows = Vec::new();
+        for (label, method) in methods(n, k) {
+            let opts = BcOptions {
+                roots: RootSelection::Strided(k),
+                ..BcOptions::default()
+            };
+            let plain = method.run(&g, &opts).expect("plain run fits in memory");
+            let (metered, metrics) = method
+                .run_metered(&g, &opts)
+                .expect("metered run fits in memory");
+            let identical = plain.scores == metered.scores
+                && plain.report.full_seconds == metered.report.full_seconds
+                && plain.report.per_root_seconds == metered.report.per_root_seconds;
+            if !identical {
+                mismatches += 1;
+            }
+            let s = &metrics.summary;
+            let win_rate = if s.cas_attempts > 0 {
+                s.cas_wins as f64 / s.cas_attempts as f64
+            } else {
+                0.0
+            };
+            rows.push(vec![
+                label.to_string(),
+                format!("{}", s.levels),
+                format!("{}", s.max_frontier),
+                format!("{}", s.edges_inspected),
+                format!("{:.1}%", 100.0 * win_rate),
+                format!("{}/{}", s.push_levels, s.pull_levels),
+                format!("{:.1}%", 100.0 * s.hardware.warp_efficiency),
+                fmt_seconds(metered.report.full_seconds),
+                if identical { "yes".into() } else { "NO".into() },
+            ]);
+            points.push(MetricsPoint {
+                dataset: d.name(),
+                method: label,
+                roots: metered.report.roots_processed,
+                levels: s.levels,
+                max_frontier: s.max_frontier,
+                edges_inspected: s.edges_inspected,
+                cas_attempts: s.cas_attempts,
+                cas_wins: s.cas_wins,
+                cas_win_rate: win_rate,
+                priced_atomics: s.priced_atomics,
+                push_levels: s.push_levels,
+                pull_levels: s.pull_levels,
+                switches_to_pull: s.switches_to_pull,
+                switches_to_push: s.switches_to_push,
+                kernel_launches: s.hardware.kernel_launches,
+                warp_efficiency: s.hardware.warp_efficiency,
+                memory_transactions: s.hardware.memory_transactions,
+                simulated_seconds: metered.report.full_seconds,
+                bitwise_identical: identical,
+            });
+            if label == "sampling" {
+                last_jsonl = bc_metrics::run_to_jsonl(&metrics);
+            }
+        }
+        println!("-- {}: n={} 2m={} --", d.name(), n, g.num_directed_edges());
+        print_table(
+            &[
+                "method",
+                "levels",
+                "maxQ",
+                "edges",
+                "cas-win",
+                "push/pull",
+                "warp-eff",
+                "time",
+                "bitwise",
+            ],
+            &rows,
+        );
+        println!();
+    }
+
+    println!(
+        "claim under test: the metrics sinks only copy values the engine already \
+         computed — metering never changes a score or a priced second"
+    );
+    write_json("BENCH_metrics", &points);
+    let jsonl_path = out_dir().join("BENCH_metrics.jsonl");
+    std::fs::write(&jsonl_path, &last_jsonl).expect("write metrics JSONL");
+    eprintln!("wrote {}", jsonl_path.display());
+    assert_eq!(
+        mismatches, 0,
+        "{mismatches} metered run(s) diverged from the plain run — metering must be observation-only"
+    );
+}

@@ -65,6 +65,9 @@ pub struct Cli {
     pub out: Option<String>,
     /// Emit the run report as JSON on stdout.
     pub json: bool,
+    /// Run metered and write per-root / per-GPU metrics as JSONL to
+    /// this path.
+    pub metrics: Option<String>,
 }
 
 /// Usage text.
@@ -121,6 +124,13 @@ OUTPUT:
     --top K            print the K most central vertices  [default: 10]
     --out FILE         write one score per line to FILE
     --json             print the simulation report as JSON
+    --metrics FILE     run metered and write structured metrics as
+                       JSONL to FILE: per-root per-level frontier /
+                       edge / atomic / direction counters (single
+                       device) or per-GPU phase timelines (--cluster),
+                       each followed by an aggregated summary line;
+                       scores and simulated timings stay bitwise
+                       identical to the unmetered run
     --help             this text
 ";
 
@@ -143,6 +153,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         top: 10,
         out: None,
         json: false,
+        metrics: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -192,6 +203,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--top" => cli.top = value()?.parse().map_err(|e| format!("--top: {e}"))?,
             "--out" => cli.out = Some(value()?),
             "--json" => cli.json = true,
+            "--metrics" => cli.metrics = Some(value()?),
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
         }
@@ -209,6 +221,12 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     if cli.cluster.is_some() && !matches!(cli.method, RunMethod::Simulated(_)) {
         return Err(format!(
             "--cluster runs simulated GPU methods only, not '{}'",
+            cli.method.name()
+        ));
+    }
+    if cli.metrics.is_some() && !matches!(cli.method, RunMethod::Simulated(_)) {
+        return Err(format!(
+            "--metrics instruments the simulated GPU methods only, not '{}'",
             cli.method.name()
         ));
     }
@@ -362,6 +380,27 @@ mod tests {
             "2",
             "--faults",
             "transient=lots"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn metrics_parses_and_requires_a_simulated_method() {
+        let cli = parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--metrics",
+            "metrics.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(cli.metrics.as_deref(), Some("metrics.jsonl"));
+        assert!(parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--method",
+            "cpu",
+            "--metrics",
+            "m.jsonl"
         ]))
         .is_err());
     }

@@ -103,7 +103,19 @@ fn run(cli: &Cli) -> Result<(), String> {
                 threads: cli.threads,
                 traversal: cli.traversal,
             };
-            let run = method.run(&g, &opts).map_err(|e| e.to_string())?;
+            // Metering only observes values the engine already
+            // computed, so the metered run is bitwise identical.
+            let run = if let Some(path) = &cli.metrics {
+                let (run, metrics) = method.run_metered(&g, &opts).map_err(|e| e.to_string())?;
+                write_metrics(path, &bc_metrics::run_to_jsonl(&metrics))?;
+                eprintln!(
+                    "wrote metrics for {} root(s) to {path}",
+                    metrics.per_root.len()
+                );
+                run
+            } else {
+                method.run(&g, &opts).map_err(|e| e.to_string())?
+            };
             eprintln!(
                 "{} on simulated {}: {:.3}s simulated ({:.1} MTEPS), {:.2?} host wall time",
                 method.name(),
@@ -193,8 +205,14 @@ fn run_on_cluster(cli: &Cli, g: &Csr, nodes: usize) -> Result<(), String> {
     };
 
     let t = Instant::now();
-    let run = match bc_cluster::run_cluster_with_faults(g, &cfg, sample_roots, &cli.faults) {
-        Ok(run) => run,
+    let outcome = if cli.metrics.is_some() {
+        bc_cluster::run_cluster_with_faults_metered(g, &cfg, sample_roots, &cli.faults)
+    } else {
+        bc_cluster::run_cluster_with_faults(g, &cfg, sample_roots, &cli.faults)
+            .map(|run| (run, bc_metrics::ClusterMetrics::default()))
+    };
+    let (run, cluster_metrics) = match outcome {
+        Ok(out) => out,
         Err(e) => {
             if let Some(partial) = e.partial() {
                 eprintln!(
@@ -205,6 +223,13 @@ fn run_on_cluster(cli: &Cli, g: &Csr, nodes: usize) -> Result<(), String> {
             return Err(e.to_string());
         }
     };
+    if let Some(path) = &cli.metrics {
+        write_metrics(path, &bc_metrics::cluster_to_jsonl(&cluster_metrics))?;
+        eprintln!(
+            "wrote metrics for {} GPU(s) to {path}",
+            cluster_metrics.per_gpu.len()
+        );
+    }
     let report = run.report;
     eprintln!(
         "{} on {} node(s) / {} simulated {}: {:.3}s simulated \
@@ -291,6 +316,13 @@ fn run_on_cluster(cli: &Cli, g: &Csr, nodes: usize) -> Result<(), String> {
         verify_run(cli, g, &scores)?;
     }
     Ok(())
+}
+
+/// Write a metrics JSONL blob (`--metrics FILE`).
+fn write_metrics(path: &str, jsonl: &str) -> Result<(), String> {
+    let mut w = BufWriter::new(File::create(path).map_err(|e| format!("create {path}: {e}"))?);
+    w.write_all(jsonl.as_bytes()).map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())
 }
 
 /// Run the bc-verify layer against this invocation's graph and

@@ -21,5 +21,8 @@ pub mod scaling;
 pub use error::{ClusterError, GpuMemoryDiagnostic};
 pub use fault::{score_checksum, FaultCounters, FaultKind, FaultPlan, ReduceFault};
 pub use net::NetworkConfig;
-pub use runner::{run_cluster, run_cluster_with_faults, ClusterConfig, ClusterReport, ClusterRun};
+pub use runner::{
+    run_cluster, run_cluster_with_faults, run_cluster_with_faults_metered, ClusterConfig,
+    ClusterReport, ClusterRun,
+};
 pub use scaling::{efficiency, strong_scaling, ScalingPoint};

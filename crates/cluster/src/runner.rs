@@ -33,6 +33,7 @@ use bc_core::methods::cost::footprint;
 use bc_core::{BcOptions, Method, RootSelection, TraversalMode};
 use bc_gpusim::{DeviceConfig, FaultHook, SimError};
 use bc_graph::Csr;
+use bc_metrics::{ClusterMetrics, ClusterMetricsSummary, GpuTimeline};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -125,6 +126,10 @@ pub struct ClusterReport {
     /// FNV-1a checksum of the final scores — the integrity tag each
     /// rank attaches to its reduce message.
     pub checksum: u64,
+    /// Aggregated per-GPU phase metrics when the run was metered
+    /// ([`run_cluster_with_faults_metered`]); `None` — and zero
+    /// bookkeeping — on plain runs.
+    pub metrics: Option<ClusterMetricsSummary>,
 }
 
 impl ClusterReport {
@@ -435,6 +440,34 @@ pub fn run_cluster_with_faults(
     sample_roots: usize,
     plan: &FaultPlan,
 ) -> Result<ClusterRun, ClusterError> {
+    run_cluster_inner(g, cfg, sample_roots, plan, false).map(|(run, _)| run)
+}
+
+/// [`run_cluster_with_faults`] with per-GPU phase metrics.
+///
+/// Every [`GpuTimeline`] field is a duration or count the runner
+/// already computes while assembling the timing model, so metering a
+/// cluster run cannot change its scores or its clock: the run is
+/// bitwise identical to the unmetered one. The aggregated
+/// [`ClusterMetricsSummary`] is also embedded in the returned
+/// [`ClusterReport`] (`report.metrics`).
+pub fn run_cluster_with_faults_metered(
+    g: &Csr,
+    cfg: &ClusterConfig,
+    sample_roots: usize,
+    plan: &FaultPlan,
+) -> Result<(ClusterRun, ClusterMetrics), ClusterError> {
+    run_cluster_inner(g, cfg, sample_roots, plan, true)
+        .map(|(run, m)| (run, m.expect("metered cluster run yields metrics")))
+}
+
+fn run_cluster_inner(
+    g: &Csr,
+    cfg: &ClusterConfig,
+    sample_roots: usize,
+    plan: &FaultPlan,
+    metered: bool,
+) -> Result<(ClusterRun, Option<ClusterMetrics>), ClusterError> {
     let n = g.num_vertices();
     let gpus = cfg.total_gpus();
     if gpus == 0 {
@@ -574,6 +607,7 @@ pub fn run_cluster_with_faults(
     let sms = f64::from(cfg.device.num_sms);
     let total_done: usize = outs.iter().map(|o| o.done).sum();
     let mut gpu_seconds = Vec::with_capacity(gpus);
+    let mut timelines: Vec<GpuTimeline> = Vec::new();
     for (gpu, o) in outs.iter().enumerate() {
         counters.transient_faults += o.transient;
         counters.oom_faults += o.oom;
@@ -594,6 +628,22 @@ pub fn run_cluster_with_faults(
             f64::from(schedule.per_gpu[gpu].adoptions) * cfg.network.reassign_seconds(graph_bytes);
         counters.reassign_seconds += reassign;
         gpu_seconds.push(slowed + o.backoff_seconds + reassign);
+        if metered {
+            // setup_seconds and reduce_seconds are priced below, once
+            // the slowest GPU and the reduce tree are known.
+            timelines.push(GpuTimeline {
+                gpu,
+                roots_done: o.done as u64,
+                adoptions: u64::from(schedule.per_gpu[gpu].adoptions),
+                retries: o.retries,
+                setup_seconds: 0.0,
+                compute_seconds: base,
+                retry_seconds: o.backoff_seconds,
+                migration_seconds: reassign,
+                straggler_seconds: slowed - base,
+                reduce_seconds: 0.0,
+            });
+        }
     }
 
     let score_bytes = n as u64 * 8;
@@ -644,6 +694,18 @@ pub fn run_cluster_with_faults(
         0.0
     };
 
+    let cluster_metrics = metered.then(|| {
+        for t in &mut timelines {
+            t.setup_seconds = per_gpu_overhead;
+            t.reduce_seconds = reduce_seconds;
+        }
+        let summary = ClusterMetricsSummary::from_timelines(&timelines, schedule.dead.len() as u64);
+        ClusterMetrics {
+            per_gpu: std::mem::take(&mut timelines),
+            summary,
+        }
+    });
+
     let scores = merger.finish();
     let run = ClusterRun {
         report: ClusterReport {
@@ -659,6 +721,7 @@ pub fn run_cluster_with_faults(
             teps,
             faults: counters,
             checksum: score_checksum(&scores),
+            metrics: cluster_metrics.as_ref().map(|m| m.summary),
         },
         scores,
     };
@@ -699,7 +762,7 @@ pub fn run_cluster_with_faults(
             partial: Box::new(run),
         });
     }
-    Ok(run)
+    Ok((run, cluster_metrics))
 }
 
 #[cfg(test)]
@@ -994,6 +1057,51 @@ mod tests {
                 assert!(e.partial().is_some());
             }
             other => panic!("expected AllGpusLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metered_cluster_run_is_bitwise_identical_and_accounted() {
+        let g = gen::watts_strogatz(200, 6, 0.1, 15);
+        let cfg = ClusterConfig::keeneland(2);
+        let plan = FaultPlan {
+            transient_rate: 0.15,
+            dead_gpus: vec![1],
+            death_fraction: 0.5,
+            straggler_gpus: vec![0],
+            straggler_slowdown: 2.0,
+            ..FaultPlan::none()
+        };
+        let plain = run_cluster_with_faults(&g, &cfg, 48, &plan).unwrap();
+        let (metered, metrics) = run_cluster_with_faults_metered(&g, &cfg, 48, &plan).unwrap();
+
+        // Metering is observation only: scores and every priced
+        // second agree to the last bit.
+        assert_eq!(plain.scores, metered.scores);
+        assert_eq!(plain.report.total_seconds, metered.report.total_seconds);
+        assert_eq!(plain.report.gpu_seconds, metered.report.gpu_seconds);
+        assert_eq!(plain.report.faults, metered.report.faults);
+        assert!(plain.report.metrics.is_none());
+
+        // The timelines reconstruct the runner's own accounting.
+        assert_eq!(metrics.per_gpu.len(), 6);
+        let s = metered.report.metrics.expect("metered run embeds summary");
+        assert_eq!(s.gpus, 6);
+        assert_eq!(s.dead_gpus, 1);
+        assert_eq!(s.roots_done, metered.report.roots_sampled as u64);
+        assert_eq!(s.retries, metered.report.faults.retries);
+        assert!((s.retry_seconds - metered.report.faults.backoff_seconds).abs() < 1e-12);
+        assert!((s.migration_seconds - metered.report.faults.reassign_seconds).abs() < 1e-12);
+        assert!((s.straggler_seconds - metered.report.faults.straggler_seconds).abs() < 1e-12);
+        for (gpu, t) in metrics.per_gpu.iter().enumerate() {
+            assert_eq!(t.gpu, gpu);
+            let billed =
+                t.compute_seconds + t.straggler_seconds + t.retry_seconds + t.migration_seconds;
+            assert!(
+                (billed - metered.report.gpu_seconds[gpu]).abs() < 1e-12,
+                "gpu {gpu}: timeline {billed} vs report {}",
+                metered.report.gpu_seconds[gpu]
+            );
         }
     }
 

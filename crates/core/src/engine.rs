@@ -14,6 +14,9 @@
 use bc_gpusim::trace::{AccessKind, KernelArray, NullSink, TraceEvent, TracePhase, TraceSink};
 use bc_gpusim::{DeviceConfig, IterationWork, KernelCounters};
 use bc_graph::{Csr, VertexId};
+use bc_metrics::{
+    LevelMetrics, MetricPhase, MetricTraversal, MetricsSink, NullMetrics, SwitchReason,
+};
 
 /// Distance marker for undiscovered vertices (the paper's `∞`).
 pub const INFINITY: u32 = u32::MAX;
@@ -342,10 +345,37 @@ pub fn process_root_traced<S: TraceSink>(
     out: &mut RootOutcome,
     sink: &mut S,
 ) {
+    process_root_observed(ctx, ws, model, bc, out, sink, &mut NullMetrics);
+}
+
+/// [`process_root_traced`] additionally emitting one [`LevelMetrics`]
+/// record per kernel launch to `metrics` — the aggregate counters the
+/// paper argues with (`|Q_curr|`/`|Q_next|`, edges inspected, CAS
+/// outcomes, priced atomics, the direction decision and its reason),
+/// captured *after* each level is priced.
+///
+/// The metrics sink only observes values the engine already computed
+/// for pricing, so a metered run's scores and priced timings are
+/// bitwise identical to an unmetered one; with [`NullMetrics`]
+/// (`MetricsSink::ENABLED == false`) every emission site — record
+/// construction included — compiles out, exactly like the trace
+/// layer's [`NullSink`].
+pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
+    ctx: &RootContext<'_>,
+    ws: &mut SearchWorkspace,
+    model: &mut dyn CostModel,
+    bc: &mut [f64],
+    out: &mut RootOutcome,
+    sink: &mut S,
+    metrics: &mut M,
+) {
     let (g, root, device) = (ctx.g, ctx.root, ctx.device);
     out.reset();
     ws.reset(root);
     model.begin_root(g, root);
+    if M::ENABLED {
+        metrics.begin_root(root);
+    }
 
     let init = model.price_init(g, device);
     charge(&mut out.counters, device, &init);
@@ -619,6 +649,49 @@ pub fn process_root_traced<S: TraceSink>(
         out.edge_frontier_sizes.push(frontier_edges);
         out.forward_level_seconds.push(level_seconds);
         out.forward_traversals.push(traversal);
+        if M::ENABLED {
+            // Decision provenance: `prev_pull` still holds the
+            // previous level's direction here.
+            let switch = if depth == 0 {
+                SwitchReason::Start
+            } else {
+                match (prev_pull, traversal == Traversal::Pull) {
+                    (false, false) => SwitchReason::StayPush,
+                    (false, true) => SwitchReason::SwitchToPull,
+                    (true, true) => SwitchReason::StayPull,
+                    (true, false) => SwitchReason::SwitchToPush,
+                }
+            };
+            metrics.record_level(LevelMetrics {
+                phase: MetricPhase::Forward,
+                depth,
+                traversal: match traversal {
+                    Traversal::Push => MetricTraversal::Push,
+                    Traversal::Pull => MetricTraversal::Pull,
+                },
+                q_curr: (level_end - level_start) as u64,
+                q_next: discovered as u64,
+                edges_inspected: match traversal {
+                    Traversal::Push => frontier_edges,
+                    Traversal::Pull => pull_unvisited_edges,
+                },
+                updates,
+                // Push dedups with one atomicCAS per inspected edge;
+                // the winners are exactly the discoveries. Pull has
+                // no CAS at all.
+                cas_attempts: match traversal {
+                    Traversal::Push => frontier_edges,
+                    Traversal::Pull => 0,
+                },
+                cas_wins: match traversal {
+                    Traversal::Push => discovered as u64,
+                    Traversal::Pull => 0,
+                },
+                priced_atomics: priced.work.atomics,
+                seconds: level_seconds,
+                switch: Some(switch),
+            });
+        }
         prev_pull = traversal == Traversal::Pull;
 
         if discovered == 0 {
@@ -717,6 +790,22 @@ pub fn process_root_traced<S: TraceSink>(
         let priced = model.price(g, device, &info);
         charge(&mut out.counters, device, &priced);
         out.counters.useful_edge_inspections += frontier_edges;
+        if M::ENABLED {
+            metrics.record_level(LevelMetrics {
+                phase: MetricPhase::Backward,
+                depth: d,
+                traversal: MetricTraversal::Push,
+                q_curr: (level_end - level_start) as u64,
+                q_next: 0,
+                edges_inspected: frontier_edges,
+                updates,
+                cas_attempts: 0,
+                cas_wins: 0,
+                priced_atomics: priced.work.atomics,
+                seconds: device.block_iteration_seconds(&priced.work),
+                switch: None,
+            });
+        }
         d -= 1;
     }
 
@@ -937,6 +1026,70 @@ mod tests {
                     assert!(pull_out.pull_levels() > 0);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn metrics_records_mirror_the_search() {
+        use bc_metrics::MetricsRecorder;
+        let g = gen::erdos_renyi(80, 200, 11);
+        let device = DeviceConfig::gtx_titan();
+        let mut ws = SearchWorkspace::new(g.num_vertices());
+        let mut bc = vec![0.0; g.num_vertices()];
+        let mut out = RootOutcome::default();
+        let mut rec = MetricsRecorder::default();
+        process_root_observed(
+            &RootContext {
+                g: &g,
+                root: 0,
+                device: &device,
+            },
+            &mut ws,
+            &mut FreeModel,
+            &mut bc,
+            &mut out,
+            &mut NullSink,
+            &mut rec,
+        );
+        assert_eq!(rec.roots.len(), 1);
+        let root = &rec.roots[0];
+        assert_eq!(root.root, 0);
+        assert_eq!(root.forward_levels(), out.frontier_sizes.len());
+        assert_eq!(root.max_depth(), out.max_depth);
+        let forward: Vec<_> = root
+            .levels
+            .iter()
+            .filter(|l| l.phase == bc_metrics::MetricPhase::Forward)
+            .collect();
+        // Q_curr per level is the frontier trace; discoveries cover
+        // everything reached except the root itself.
+        let q_currs: Vec<u64> = forward.iter().map(|l| l.q_curr).collect();
+        let sizes: Vec<u64> = out.frontier_sizes.iter().map(|&s| s as u64).collect();
+        assert_eq!(q_currs, sizes);
+        let discovered: u64 = forward.iter().map(|l| l.q_next).sum();
+        assert_eq!(discovered, out.reached as u64 - 1);
+        // Push levels attempt one CAS per inspected edge and win one
+        // per discovery; the level seconds are the priced trace.
+        for (l, (&edges, &secs)) in forward.iter().zip(
+            out.edge_frontier_sizes
+                .iter()
+                .zip(&out.forward_level_seconds),
+        ) {
+            assert_eq!(l.edges_inspected, edges);
+            assert_eq!(l.cas_attempts, edges);
+            assert_eq!(l.cas_wins, l.q_next);
+            assert_eq!(l.seconds, secs);
+        }
+        assert_eq!(forward[0].switch, Some(bc_metrics::SwitchReason::Start));
+        // Backward levels carry no CAS and no switch.
+        for l in root
+            .levels
+            .iter()
+            .filter(|l| l.phase == bc_metrics::MetricPhase::Backward)
+        {
+            assert_eq!(l.cas_attempts, 0);
+            assert_eq!(l.q_next, 0);
+            assert!(l.switch.is_none());
         }
     }
 

@@ -42,5 +42,5 @@ pub use methods::models::{
     DirectionOptimizingModel, DirectionParams, HybridParams, SamplingParams, Strategy,
     TraversalMode,
 };
-pub use parallel::{effective_threads, run_roots, RootsRun, ShardableCostModel};
+pub use parallel::{effective_threads, run_roots, run_roots_metered, RootsRun, ShardableCostModel};
 pub use solver::{run_with_cost_model, BcOptions, BcRun, Method, RootSelection, RunReport};

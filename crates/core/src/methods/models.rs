@@ -257,6 +257,31 @@ impl Default for HybridParams {
     }
 }
 
+impl HybridParams {
+    /// Algorithm 4's per-level reconsideration, as a pure function of
+    /// one level's observable frontier numbers: with the frontier
+    /// changing by `q_change` (`||Q_next| - |Q_curr||`) and
+    /// `discovered` vertices entering `Q_next`, returns the strategy
+    /// the switch selects for *subsequent* levels, or `None` when the
+    /// change stays within α and the current strategy persists.
+    ///
+    /// This is the same predicate [`HybridModel`] applies after
+    /// pricing each forward level, exposed so the recorded metrics
+    /// stream (which carries exactly `q_curr`/`q_next`) can be
+    /// audited against the paper's claimed switch points.
+    pub fn switch_decision(&self, q_change: u64, discovered: u64) -> Option<Strategy> {
+        if q_change > self.alpha {
+            Some(if discovered > self.beta {
+                Strategy::EdgeParallel
+            } else {
+                Strategy::WorkEfficient
+            })
+        } else {
+            None
+        }
+    }
+}
+
 /// Hybrid pricing: starts work-efficient, reconsiders whenever the
 /// frontier size changes by more than α, switching to edge-parallel
 /// when the next frontier exceeds β. With a non-push
@@ -381,12 +406,8 @@ impl CostModel for HybridModel {
                 // changes substantially.
                 let q_curr = level.frontier.len() as u64;
                 let q_change = level.discovered.abs_diff(q_curr);
-                if q_change > self.params.alpha {
-                    self.strategy = if level.discovered > self.params.beta {
-                        Strategy::EdgeParallel
-                    } else {
-                        Strategy::WorkEfficient
-                    };
+                if let Some(next) = self.params.switch_decision(q_change, level.discovered) {
+                    self.strategy = next;
                 }
                 priced
             }

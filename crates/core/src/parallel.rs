@@ -25,10 +25,13 @@
 
 use crate::brandes;
 use crate::engine::{
-    process_root_into, CostModel, FreeModel, RootContext, RootOutcome, SearchWorkspace,
+    process_root_into, process_root_observed, CostModel, FreeModel, RootContext, RootOutcome,
+    SearchWorkspace,
 };
+use bc_gpusim::trace::NullSink;
 use bc_gpusim::{DeviceConfig, KernelCounters, SimError};
 use bc_graph::{Csr, VertexId};
+use bc_metrics::{MetricsRecorder, RootMetrics};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -172,6 +175,10 @@ struct ShardMeta<M> {
     max_depths: Vec<u32>,
     counters: KernelCounters,
     model: M,
+    /// Per-root metric records (empty on unmetered runs). Shards are
+    /// contiguous root ranges drained in shard order, so appending
+    /// these restores global root order.
+    metrics: Vec<RootMetrics>,
 }
 
 /// Merges per-shard score accumulators into the final vector in
@@ -291,15 +298,44 @@ pub fn run_roots<M: ShardableCostModel>(
     threads: usize,
     model: &mut M,
 ) -> Result<RootsRun, SimError> {
+    run_roots_inner::<M, false>(g, device, roots, threads, model).map(|(run, _)| run)
+}
+
+/// [`run_roots`] additionally collecting one [`RootMetrics`] record
+/// per root (in global root order), via a per-shard
+/// [`MetricsRecorder`] merged back through the same ordered merger as
+/// the scores. The recorders only observe values the engine already
+/// computed, so everything in the returned [`RootsRun`] is bitwise
+/// identical to the unmetered call's.
+pub fn run_roots_metered<M: ShardableCostModel>(
+    g: &Csr,
+    device: &DeviceConfig,
+    roots: &[VertexId],
+    threads: usize,
+    model: &mut M,
+) -> Result<(RootsRun, Vec<RootMetrics>), SimError> {
+    run_roots_inner::<M, true>(g, device, roots, threads, model)
+}
+
+fn run_roots_inner<M: ShardableCostModel, const METERED: bool>(
+    g: &Csr,
+    device: &DeviceConfig,
+    roots: &[VertexId],
+    threads: usize,
+    model: &mut M,
+) -> Result<(RootsRun, Vec<RootMetrics>), SimError> {
     let n = g.num_vertices();
     let num_roots = roots.len();
     if num_roots == 0 {
-        return Ok(RootsRun {
-            scores: vec![0.0; n],
-            per_root_seconds: Vec::new(),
-            max_depths: Vec::new(),
-            counters: KernelCounters::default(),
-        });
+        return Ok((
+            RootsRun {
+                scores: vec![0.0; n],
+                per_root_seconds: Vec::new(),
+                max_depths: Vec::new(),
+                counters: KernelCounters::default(),
+            },
+            Vec::new(),
+        ));
     }
     let size = shard_size(num_roots);
     let shards = num_roots.div_ceil(size);
@@ -336,9 +372,22 @@ pub fn run_roots<M: ShardableCostModel>(
                 let mut per_root_seconds = Vec::with_capacity(hi - lo);
                 let mut max_depths = Vec::with_capacity(hi - lo);
                 let mut counters = KernelCounters::default();
+                let mut recorder = MetricsRecorder::default();
                 for &r in &roots[lo..hi] {
                     let ctx = RootContext { g, root: r, device };
-                    process_root_into(&ctx, &mut ws, &mut m, &mut acc, &mut out);
+                    if METERED {
+                        process_root_observed(
+                            &ctx,
+                            &mut ws,
+                            &mut m,
+                            &mut acc,
+                            &mut out,
+                            &mut NullSink,
+                            &mut recorder,
+                        );
+                    } else {
+                        process_root_into(&ctx, &mut ws, &mut m, &mut acc, &mut out);
+                    }
                     per_root_seconds.push(out.counters.seconds);
                     max_depths.push(out.max_depth);
                     counters.merge(&out.counters);
@@ -349,6 +398,7 @@ pub fn run_roots<M: ShardableCostModel>(
                     max_depths,
                     counters,
                     model: m,
+                    metrics: recorder.roots,
                 }
             }));
             match attempt {
@@ -382,6 +432,7 @@ pub fn run_roots<M: ShardableCostModel>(
     let mut per_root_seconds = vec![0.0f64; num_roots];
     let mut max_depths = vec![0u32; num_roots];
     let mut counters = KernelCounters::default();
+    let mut metrics = Vec::new();
     for meta in metas {
         let lo = meta.first_root;
         per_root_seconds[lo..lo + meta.per_root_seconds.len()]
@@ -389,13 +440,17 @@ pub fn run_roots<M: ShardableCostModel>(
         max_depths[lo..lo + meta.max_depths.len()].copy_from_slice(&meta.max_depths);
         counters.merge(&meta.counters);
         model.merge_worker(meta.model);
+        metrics.extend(meta.metrics);
     }
-    Ok(RootsRun {
-        scores,
-        per_root_seconds,
-        max_depths,
-        counters,
-    })
+    Ok((
+        RootsRun {
+            scores,
+            per_root_seconds,
+            max_depths,
+            counters,
+        },
+        metrics,
+    ))
 }
 
 /// Exact CPU Brandes over an explicit root set, sharded across host
@@ -495,6 +550,25 @@ mod tests {
             assert_eq!(run.per_root_seconds, runs[0].per_root_seconds);
             assert_eq!(run.max_depths, runs[0].max_depths);
             assert_eq!(run.counters, runs[0].counters);
+        }
+    }
+
+    #[test]
+    fn metered_run_is_bitwise_identical_and_root_ordered() {
+        let g = gen::watts_strogatz(300, 6, 0.1, 3);
+        let roots: Vec<u32> = (0..300).collect();
+        let plain = run_roots(&g, &titan(), &roots, 4, &mut FreeModel).unwrap();
+        for threads in [1usize, 2, 8] {
+            let (run, metrics) =
+                run_roots_metered(&g, &titan(), &roots, threads, &mut FreeModel).unwrap();
+            assert_eq!(run.scores, plain.scores);
+            assert_eq!(run.per_root_seconds, plain.per_root_seconds);
+            assert_eq!(run.counters, plain.counters);
+            let order: Vec<u32> = metrics.iter().map(|m| m.root).collect();
+            assert_eq!(order, roots, "metrics arrive in global root order");
+            for (m, &d) in metrics.iter().zip(&run.max_depths) {
+                assert_eq!(m.max_depth(), d);
+            }
         }
     }
 

@@ -11,7 +11,41 @@ use crate::parallel::{self, ShardableCostModel};
 use crate::teps;
 use bc_gpusim::{coarse_grained_makespan, DeviceConfig, DeviceMemory, KernelCounters, SimError};
 use bc_graph::{Csr, VertexId};
+use bc_metrics::{HardwareSummary, MetricsSummary, RootMetrics, RunMetrics};
 use serde::{Deserialize, Serialize};
+
+/// Roll the run-wide kernel counters up into the hardware summary a
+/// metered report embeds.
+fn hardware_summary(counters: &KernelCounters, device: &DeviceConfig) -> HardwareSummary {
+    HardwareSummary {
+        kernel_launches: counters.kernel_launches(),
+        warp_steps: counters.warp_steps,
+        warp_efficiency: counters.warp_efficiency(device),
+        memory_transactions: counters.memory_transactions(device),
+        atomics: counters.atomics,
+        seconds: counters.seconds,
+    }
+}
+
+/// Run one sharded multi-root phase, collecting per-root metrics into
+/// `metrics` when `METERED` (the unmetered instantiation calls the
+/// plain runner, whose hooks compile out).
+fn run_phase<M: ShardableCostModel, const METERED: bool>(
+    g: &Csr,
+    device: &DeviceConfig,
+    roots: &[VertexId],
+    threads: usize,
+    model: &mut M,
+    metrics: &mut Vec<RootMetrics>,
+) -> Result<parallel::RootsRun, SimError> {
+    if METERED {
+        let (run, phase_metrics) = parallel::run_roots_metered(g, device, roots, threads, model)?;
+        metrics.extend(phase_metrics);
+        Ok(run)
+    } else {
+        parallel::run_roots(g, device, roots, threads, model)
+    }
+}
 
 /// Which source vertices to process.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -146,6 +180,26 @@ impl Method {
     /// graph plus local state exceed device memory (GPU-FAN's fate
     /// at scale).
     pub fn run(&self, g: &Csr, opts: &BcOptions) -> Result<BcRun, SimError> {
+        self.run_impl::<false>(g, opts).map(|(run, _)| run)
+    }
+
+    /// [`Method::run`] with the metrics layer engaged: additionally
+    /// returns the per-root level records and embeds their aggregate
+    /// (plus the hardware roll-up) in `report.metrics`. Everything
+    /// else in the returned [`BcRun`] — scores and every priced
+    /// timing — is bitwise identical to [`Method::run`]'s output,
+    /// because the metrics sink only observes values the engine
+    /// already computed.
+    pub fn run_metered(&self, g: &Csr, opts: &BcOptions) -> Result<(BcRun, RunMetrics), SimError> {
+        self.run_impl::<true>(g, opts)
+            .map(|(run, metrics)| (run, metrics.expect("metered run collects metrics")))
+    }
+
+    fn run_impl<const METERED: bool>(
+        &self,
+        g: &Csr,
+        opts: &BcOptions,
+    ) -> Result<(BcRun, Option<RunMetrics>), SimError> {
         let n = g.num_vertices();
         let device = &opts.device;
         let roots = opts.roots.resolve(n);
@@ -161,6 +215,9 @@ impl Method {
         let mut strategy_iterations: Option<(u64, u64)> = None;
         let mut traversal_iterations: Option<(u64, u64)> = None;
         let mut sampling_chose_edge_parallel = None;
+        // Per-root metric records, in phase order (the same order the
+        // per-root vectors concatenate in). Stays empty unmetered.
+        let mut metrics_stream: Vec<RootMetrics> = Vec::new();
 
         // Absorb one sharded multi-root phase into the run-wide
         // aggregates: scores add elementwise (phases touch the same
@@ -185,7 +242,14 @@ impl Method {
         match self {
             Method::VertexParallel => {
                 let mut m = VertexParallelModel::default();
-                let run = parallel::run_roots(g, device, &roots, threads, &mut m)?;
+                let run = run_phase::<_, METERED>(
+                    g,
+                    device,
+                    &roots,
+                    threads,
+                    &mut m,
+                    &mut metrics_stream,
+                )?;
                 absorb(
                     run,
                     &mut scores,
@@ -196,7 +260,14 @@ impl Method {
             }
             Method::EdgeParallel => {
                 let mut m = EdgeParallelModel;
-                let run = parallel::run_roots(g, device, &roots, threads, &mut m)?;
+                let run = run_phase::<_, METERED>(
+                    g,
+                    device,
+                    &roots,
+                    threads,
+                    &mut m,
+                    &mut metrics_stream,
+                )?;
                 absorb(
                     run,
                     &mut scores,
@@ -207,7 +278,14 @@ impl Method {
             }
             Method::GpuFan => {
                 let mut m = GpuFanModel;
-                let run = parallel::run_roots(g, device, &roots, threads, &mut m)?;
+                let run = run_phase::<_, METERED>(
+                    g,
+                    device,
+                    &roots,
+                    threads,
+                    &mut m,
+                    &mut metrics_stream,
+                )?;
                 absorb(
                     run,
                     &mut scores,
@@ -221,7 +299,14 @@ impl Method {
                     // The historical path, bitwise-unchanged in both
                     // scores and pricing.
                     let mut m = WorkEfficientModel::default();
-                    let run = parallel::run_roots(g, device, &roots, threads, &mut m)?;
+                    let run = run_phase::<_, METERED>(
+                        g,
+                        device,
+                        &roots,
+                        threads,
+                        &mut m,
+                        &mut metrics_stream,
+                    )?;
                     absorb(
                         run,
                         &mut scores,
@@ -231,7 +316,14 @@ impl Method {
                     );
                 } else {
                     let mut m = DirectionOptimizingModel::new(opts.traversal);
-                    let run = parallel::run_roots(g, device, &roots, threads, &mut m)?;
+                    let run = run_phase::<_, METERED>(
+                        g,
+                        device,
+                        &roots,
+                        threads,
+                        &mut m,
+                        &mut metrics_stream,
+                    )?;
                     absorb(
                         run,
                         &mut scores,
@@ -244,7 +336,14 @@ impl Method {
             }
             Method::Hybrid(params) => {
                 let mut m = HybridModel::new(*params).with_traversal(opts.traversal);
-                let run = parallel::run_roots(g, device, &roots, threads, &mut m)?;
+                let run = run_phase::<_, METERED>(
+                    g,
+                    device,
+                    &roots,
+                    threads,
+                    &mut m,
+                    &mut metrics_stream,
+                )?;
                 absorb(
                     run,
                     &mut scores,
@@ -274,7 +373,14 @@ impl Method {
                 let n_samps = params.n_samps.min(roots.len());
                 let (sample_roots, rest_roots) = roots.split_at(n_samps);
                 let mut we = DirectionOptimizingModel::new(opts.traversal);
-                let run = parallel::run_roots(g, device, sample_roots, threads, &mut we)?;
+                let run = run_phase::<_, METERED>(
+                    g,
+                    device,
+                    sample_roots,
+                    threads,
+                    &mut we,
+                    &mut metrics_stream,
+                )?;
                 absorb(
                     run,
                     &mut scores,
@@ -288,7 +394,14 @@ impl Method {
                 // Phase 2: remaining roots with the chosen strategy.
                 if use_ep {
                     let mut m = SamplingPhaseModel::new(params.min_frontier);
-                    let run = parallel::run_roots(g, device, rest_roots, threads, &mut m)?;
+                    let run = run_phase::<_, METERED>(
+                        g,
+                        device,
+                        rest_roots,
+                        threads,
+                        &mut m,
+                        &mut metrics_stream,
+                    )?;
                     absorb(
                         run,
                         &mut scores,
@@ -299,7 +412,14 @@ impl Method {
                     strategy_iterations =
                         Some((m.work_efficient_iterations, m.edge_parallel_iterations));
                 } else {
-                    let run = parallel::run_roots(g, device, rest_roots, threads, &mut we)?;
+                    let run = run_phase::<_, METERED>(
+                        g,
+                        device,
+                        rest_roots,
+                        threads,
+                        &mut we,
+                        &mut metrics_stream,
+                    )?;
                     absorb(
                         run,
                         &mut scores,
@@ -331,25 +451,37 @@ impl Method {
         };
         let teps = teps::teps_bc(g.num_undirected_edges(), n as u64, full_seconds);
 
-        Ok(BcRun {
-            scores,
-            report: RunReport {
-                method: self.name().to_owned(),
-                device: device.name.clone(),
-                vertices: n,
-                edges: g.num_undirected_edges(),
-                roots_processed: roots.len(),
-                device_seconds,
-                full_seconds,
-                teps,
-                counters,
-                per_root_seconds,
-                max_depths,
-                strategy_iterations,
-                traversal_iterations,
-                sampling_chose_edge_parallel,
+        let run_metrics = METERED.then(|| {
+            let summary =
+                MetricsSummary::from_roots(&metrics_stream, hardware_summary(&counters, device));
+            RunMetrics {
+                per_root: metrics_stream,
+                summary,
+            }
+        });
+        Ok((
+            BcRun {
+                scores,
+                report: RunReport {
+                    method: self.name().to_owned(),
+                    device: device.name.clone(),
+                    vertices: n,
+                    edges: g.num_undirected_edges(),
+                    roots_processed: roots.len(),
+                    device_seconds,
+                    full_seconds,
+                    teps,
+                    counters,
+                    per_root_seconds,
+                    max_depths,
+                    strategy_iterations,
+                    traversal_iterations,
+                    sampling_chose_edge_parallel,
+                    metrics: run_metrics.as_ref().map(|m| m.summary),
+                },
             },
-        })
+            run_metrics,
+        ))
     }
 }
 
@@ -409,6 +541,7 @@ pub fn run_with_cost_model<M: ShardableCostModel>(
             strategy_iterations: None,
             traversal_iterations: None,
             sampling_chose_edge_parallel: None,
+            metrics: None,
         },
     })
 }
@@ -458,6 +591,10 @@ pub struct RunReport {
     pub traversal_iterations: Option<(u64, u64)>,
     /// The sampling method's Algorithm 5 decision, if it ran.
     pub sampling_chose_edge_parallel: Option<bool>,
+    /// Aggregated metrics when the run was metered
+    /// ([`Method::run_metered`]); `None` — and zero overhead — on
+    /// plain runs.
+    pub metrics: Option<MetricsSummary>,
 }
 
 impl RunReport {
@@ -612,6 +749,50 @@ mod tests {
             .run(&road, &opts)
             .unwrap();
         assert_eq!(run.report.sampling_chose_edge_parallel, Some(false));
+    }
+
+    #[test]
+    fn metered_run_matches_plain_run_bitwise() {
+        let g = gen::watts_strogatz(400, 6, 0.1, 2);
+        let opts = BcOptions {
+            roots: RootSelection::Strided(64),
+            threads: 4,
+            ..Default::default()
+        };
+        for method in [
+            Method::WorkEfficient,
+            Method::EdgeParallel,
+            Method::Hybrid(HybridParams::default()),
+            Method::Sampling(SamplingParams {
+                n_samps: 16,
+                ..Default::default()
+            }),
+        ] {
+            let plain = method.run(&g, &opts).unwrap();
+            let (metered, metrics) = method.run_metered(&g, &opts).unwrap();
+            assert_eq!(plain.scores, metered.scores, "{}", method.name());
+            assert_eq!(
+                plain.report.per_root_seconds,
+                metered.report.per_root_seconds
+            );
+            assert_eq!(plain.report.full_seconds, metered.report.full_seconds);
+            assert_eq!(plain.report.counters, metered.report.counters);
+            assert_eq!(plain.report.metrics, None, "plain runs carry no summary");
+            let summary = metered.report.metrics.expect("metered summary");
+            assert_eq!(summary, metrics.summary);
+            assert_eq!(summary.roots as usize, metrics.per_root.len());
+            assert_eq!(summary.roots as usize, plain.report.roots_processed);
+            // The summary's hardware roll-up is the report's counters.
+            assert_eq!(
+                summary.hardware.kernel_launches,
+                metered.report.counters.iterations
+            );
+            assert_eq!(summary.hardware.seconds, metered.report.counters.seconds);
+            // Per-root max depths agree with the report's.
+            for (m, &d) in metrics.per_root.iter().zip(&metered.report.max_depths) {
+                assert_eq!(m.max_depth(), d, "{}", method.name());
+            }
+        }
     }
 
     #[test]
@@ -780,6 +961,7 @@ mod tests {
             strategy_iterations: None,
             traversal_iterations: None,
             sampling_chose_edge_parallel: None,
+            metrics: None,
         };
         assert!((r.mteps() - 2500.0).abs() < 1e-9);
         assert!((r.gteps() - 2.5).abs() < 1e-9);

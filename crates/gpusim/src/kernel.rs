@@ -77,6 +77,38 @@ impl KernelCounters {
             self.useful_edge_inspections as f64 / total as f64
         }
     }
+
+    /// Simulated kernel launches: the engine issues one launch per
+    /// processed level, so this is the iteration count.
+    pub fn kernel_launches(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Mean fraction of `device`'s warp lanes doing useful work per
+    /// lockstep step: inspections (edges plus wasted vertex checks)
+    /// over the lanes the issued steps could have filled. Returns
+    /// 0.0 when no steps were issued; capped at 1.0 — inspection
+    /// counting is coarser than the warp scheduler, so a fully packed
+    /// warp can appear to exceed its lane budget.
+    pub fn warp_efficiency(&self, device: &DeviceConfig) -> f64 {
+        let lanes = self.warp_steps * device.warp_size as u64;
+        if lanes == 0 {
+            return 0.0;
+        }
+        let useful = self.total_edge_inspections() + self.wasted_vertex_checks;
+        (useful as f64 / lanes as f64).min(1.0)
+    }
+
+    /// Modeled DRAM transactions on `device`: coalesced bytes divided
+    /// into full-width transactions, plus one narrow transaction per
+    /// random/scattered access and per 32-probe bitmap word burst.
+    pub fn memory_transactions(&self, device: &DeviceConfig) -> u64 {
+        let coalesced = self
+            .coalesced_bytes
+            .div_ceil(device.coalesced_tx_bytes.max(1) as u64);
+        let bitmap_words = self.bitmap_accesses.div_ceil(32);
+        coalesced + self.random_accesses + self.scattered_accesses + bitmap_words
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +142,40 @@ mod tests {
         k.wasted_edge_inspections = 75;
         assert_eq!(k.total_edge_inspections(), 100);
         assert!((k.work_efficiency() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hardware_stat_helpers() {
+        let d = DeviceConfig::gtx_titan();
+        let k = KernelCounters::default();
+        assert_eq!(k.warp_efficiency(&d), 0.0);
+        assert_eq!(k.memory_transactions(&d), 0);
+        assert_eq!(k.kernel_launches(), 0);
+
+        let k = KernelCounters {
+            iterations: 3,
+            useful_edge_inspections: 40,
+            wasted_edge_inspections: 8,
+            wasted_vertex_checks: 16,
+            warp_steps: 4,
+            coalesced_bytes: 300,
+            random_accesses: 5,
+            scattered_accesses: 7,
+            bitmap_accesses: 65,
+            ..Default::default()
+        };
+        assert_eq!(k.kernel_launches(), 3);
+        // 64 useful inspections over 4 × 32 = 128 lanes.
+        assert!((k.warp_efficiency(&d) - 0.5).abs() < 1e-12);
+        // ceil(300/128) + 5 + 7 + ceil(65/32) = 3 + 12 + 3.
+        assert_eq!(k.memory_transactions(&d), 18);
+        // A packed warp never reports above 1.0.
+        let dense = KernelCounters {
+            useful_edge_inspections: 1000,
+            warp_steps: 1,
+            ..Default::default()
+        };
+        assert_eq!(dense.warp_efficiency(&d), 1.0);
     }
 
     #[test]

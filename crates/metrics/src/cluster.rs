@@ -1,0 +1,145 @@
+//! Per-GPU cluster timelines: where each device's wall-clock went,
+//! phase by phase, under the fault runner.
+
+use serde::Serialize;
+
+/// One GPU's phase breakdown for a cluster run. Every field is a
+/// duration the runner already computed while assembling the device's
+/// makespan, so recording the timeline cannot change the timing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct GpuTimeline {
+    /// Global GPU index (`node * gpus_per_node + local`).
+    pub gpu: usize,
+    /// Roots this GPU finished (including adopted orphans).
+    pub roots_done: u64,
+    /// Orphan roots adopted from dead GPUs.
+    pub adoptions: u64,
+    /// Transient-fault retries this GPU absorbed.
+    pub retries: u64,
+    /// Host→device setup plus final device→host copy.
+    pub setup_seconds: f64,
+    /// Useful compute: the priced per-root block time at this GPU's
+    /// share of the roots (before fault overheads).
+    pub compute_seconds: f64,
+    /// Exponential-backoff time spent re-running transient faults.
+    pub retry_seconds: f64,
+    /// Work-migration cost of adopting orphans over the interconnect.
+    pub migration_seconds: f64,
+    /// Extra time a straggler slowdown added on top of compute.
+    pub straggler_seconds: f64,
+    /// This run's reduction tree time (shared across GPUs).
+    pub reduce_seconds: f64,
+}
+
+impl GpuTimeline {
+    /// The timeline's total: what this GPU contributed to the
+    /// cluster's critical path if it was the slowest device.
+    pub fn total_seconds(&self) -> f64 {
+        self.setup_seconds
+            + self.compute_seconds
+            + self.retry_seconds
+            + self.migration_seconds
+            + self.straggler_seconds
+            + self.reduce_seconds
+    }
+}
+
+/// The aggregated cluster metrics embedded in a `ClusterReport` when
+/// a run is metered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct ClusterMetricsSummary {
+    /// GPUs that survived to the reduction.
+    pub gpus: u64,
+    /// GPUs the fault plan killed.
+    pub dead_gpus: u64,
+    /// Roots completed across the cluster.
+    pub roots_done: u64,
+    /// Orphan adoptions across the cluster.
+    pub adoptions: u64,
+    /// Transient retries across the cluster.
+    pub retries: u64,
+    /// Index of the GPU with the largest timeline total.
+    pub slowest_gpu: usize,
+    /// Sum of per-GPU compute phases.
+    pub compute_seconds: f64,
+    /// Sum of per-GPU retry-backoff phases.
+    pub retry_seconds: f64,
+    /// Sum of per-GPU migration phases.
+    pub migration_seconds: f64,
+    /// Sum of per-GPU straggler overheads.
+    pub straggler_seconds: f64,
+    /// The reduction tree's time (counted once).
+    pub reduce_seconds: f64,
+}
+
+impl ClusterMetricsSummary {
+    /// Aggregate per-GPU timelines.
+    pub fn from_timelines(timelines: &[GpuTimeline], dead_gpus: u64) -> Self {
+        let mut s = ClusterMetricsSummary {
+            gpus: timelines.len() as u64,
+            dead_gpus,
+            ..Default::default()
+        };
+        let mut slowest = f64::NEG_INFINITY;
+        for t in timelines {
+            s.roots_done += t.roots_done;
+            s.adoptions += t.adoptions;
+            s.retries += t.retries;
+            s.compute_seconds += t.compute_seconds;
+            s.retry_seconds += t.retry_seconds;
+            s.migration_seconds += t.migration_seconds;
+            s.straggler_seconds += t.straggler_seconds;
+            s.reduce_seconds = t.reduce_seconds;
+            if t.total_seconds() > slowest {
+                slowest = t.total_seconds();
+                s.slowest_gpu = t.gpu;
+            }
+        }
+        s
+    }
+}
+
+/// Everything a metered cluster run produced.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterMetrics {
+    /// One timeline per GPU (dead ones included — they may have
+    /// finished work before dying), in GPU-index order.
+    pub per_gpu: Vec<GpuTimeline>,
+    /// The roll-up embedded in the cluster report.
+    pub summary: ClusterMetricsSummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_finds_the_slowest_gpu() {
+        let timelines = vec![
+            GpuTimeline {
+                gpu: 0,
+                roots_done: 8,
+                compute_seconds: 1.0,
+                reduce_seconds: 0.25,
+                ..Default::default()
+            },
+            GpuTimeline {
+                gpu: 1,
+                roots_done: 8,
+                retries: 3,
+                compute_seconds: 1.0,
+                retry_seconds: 0.5,
+                reduce_seconds: 0.25,
+                ..Default::default()
+            },
+        ];
+        let s = ClusterMetricsSummary::from_timelines(&timelines, 1);
+        assert_eq!(s.gpus, 2);
+        assert_eq!(s.dead_gpus, 1);
+        assert_eq!(s.roots_done, 16);
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.slowest_gpu, 1);
+        assert_eq!(s.reduce_seconds, 0.25);
+        assert!((timelines[1].total_seconds() - 1.75).abs() < 1e-12);
+    }
+}

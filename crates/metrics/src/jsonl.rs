@@ -1,0 +1,85 @@
+//! JSONL rendering: one self-describing `{"kind": ..., "data": ...}`
+//! object per line, so a stream mixes record types without a schema
+//! side channel. The `summary` / `cluster_summary` line is always
+//! last, mirroring how the aggregate is derived from the stream.
+
+use crate::cluster::ClusterMetrics;
+use crate::summary::RunMetrics;
+use serde::Serialize;
+
+fn line<T: Serialize>(kind: &str, data: &T, out: &mut String) {
+    out.push_str("{\"kind\":\"");
+    out.push_str(kind);
+    out.push_str("\",\"data\":");
+    out.push_str(&serde_json::to_string(data).expect("the stub renderer is total"));
+    out.push_str("}\n");
+}
+
+/// Render a metered solver run: one `root` line per source vertex in
+/// global root order, then the `summary` line.
+pub fn run_to_jsonl(metrics: &RunMetrics) -> String {
+    let mut out = String::new();
+    for root in &metrics.per_root {
+        line("root", root, &mut out);
+    }
+    line("summary", &metrics.summary, &mut out);
+    out
+}
+
+/// Render a metered cluster run: one `gpu` timeline line per
+/// surviving device, then the `cluster_summary` line.
+pub fn cluster_to_jsonl(metrics: &ClusterMetrics) -> String {
+    let mut out = String::new();
+    for gpu in &metrics.per_gpu {
+        line("gpu", gpu, &mut out);
+    }
+    line("cluster_summary", &metrics.summary, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterMetricsSummary, GpuTimeline};
+    use crate::record::RootMetrics;
+    use crate::summary::MetricsSummary;
+
+    #[test]
+    fn run_jsonl_has_one_object_per_line() {
+        let metrics = RunMetrics {
+            per_root: vec![
+                RootMetrics {
+                    root: 0,
+                    levels: Vec::new(),
+                },
+                RootMetrics {
+                    root: 5,
+                    levels: Vec::new(),
+                },
+            ],
+            summary: MetricsSummary::default(),
+        };
+        let text = run_to_jsonl(&metrics);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"kind\":\"root\""));
+        assert!(lines[1].contains("\"root\":5"));
+        assert!(lines[2].starts_with("{\"kind\":\"summary\""));
+        for l in &lines {
+            assert!(l.ends_with('}'), "each line is a complete object: {l}");
+        }
+    }
+
+    #[test]
+    fn cluster_jsonl_ends_with_the_summary() {
+        let metrics = ClusterMetrics {
+            per_gpu: vec![GpuTimeline::default()],
+            summary: ClusterMetricsSummary::default(),
+        };
+        let text = cluster_to_jsonl(&metrics);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"kind\":\"gpu\""));
+        assert!(lines[1].starts_with("{\"kind\":\"cluster_summary\""));
+    }
+}

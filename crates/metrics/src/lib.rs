@@ -1,0 +1,37 @@
+//! # bc-metrics — structured metrics & observability
+//!
+//! The quantitative counterpart to the trace layer: where
+//! `bc_gpusim::trace` records every simulated memory access for race
+//! detection, this crate records the *aggregates* the paper argues
+//! with — per-level frontier sizes (`Q_curr`/`Q_next`), edges
+//! inspected, dedup-CAS outcomes, priced atomics, and the direction
+//! automaton's push/pull decisions — plus whole-run hardware
+//! summaries (warp efficiency, memory transactions, kernel launches)
+//! and per-GPU cluster phase timelines.
+//!
+//! The hook family mirrors [`bc_gpusim::trace::TraceSink`]: a
+//! [`MetricsSink`] trait with an associated `const ENABLED`, a
+//! [`NullMetrics`] no-op whose `ENABLED = false` lets every emission
+//! site compile away, and a [`MetricsRecorder`] that keeps everything.
+//! Because the sinks observe values the engine has already computed,
+//! enabling them cannot perturb scores or priced timings: recorders
+//! only copy, never reorder.
+//!
+//! Everything is serializable through the vendored `serde` stub and
+//! renders to JSONL via [`jsonl`] — one self-describing `{"kind":
+//! ..., "data": ...}` object per line.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cluster;
+pub mod jsonl;
+pub mod record;
+pub mod sink;
+pub mod summary;
+
+pub use cluster::{ClusterMetrics, ClusterMetricsSummary, GpuTimeline};
+pub use jsonl::{cluster_to_jsonl, run_to_jsonl};
+pub use record::{LevelMetrics, MetricPhase, MetricTraversal, RootMetrics, SwitchReason};
+pub use sink::{MetricsRecorder, MetricsSink, NullMetrics};
+pub use summary::{HardwareSummary, MetricsSummary, RunMetrics};

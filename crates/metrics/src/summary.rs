@@ -1,0 +1,153 @@
+//! Whole-run aggregates: the hardware roll-up and the summary that
+//! rides inside `RunReport`.
+
+use crate::record::{MetricPhase, MetricTraversal, RootMetrics, SwitchReason};
+use serde::Serialize;
+
+/// Simulated-hardware statistics for a whole run, rolled up from the
+/// device model's kernel counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct HardwareSummary {
+    /// Simulated kernel launches (one per processed level).
+    pub kernel_launches: u64,
+    /// Warp execution steps across all launches.
+    pub warp_steps: u64,
+    /// Useful lanes per warp step, in `[0, 1]`: edge inspections
+    /// divided by `warp_steps × 32`.
+    pub warp_efficiency: f64,
+    /// Modeled DRAM transactions (coalesced segments + uncoalesced
+    /// and bitmap accesses).
+    pub memory_transactions: u64,
+    /// Priced atomic operations.
+    pub atomics: u64,
+    /// Total simulated seconds across the run's launches.
+    pub seconds: f64,
+}
+
+/// The aggregated metrics embedded in a `RunReport` when a run is
+/// metered; `None` there means metrics were disabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct MetricsSummary {
+    /// Roots whose searches were recorded.
+    pub roots: u64,
+    /// Kernel launches recorded (forward + backward levels).
+    pub levels: u64,
+    /// Largest `|Q_curr|` any level saw.
+    pub max_frontier: u64,
+    /// Edges inspected across all levels.
+    pub edges_inspected: u64,
+    /// σ/δ accumulations across all levels.
+    pub updates: u64,
+    /// Depth-dedup CAS attempts (push forward levels).
+    pub cas_attempts: u64,
+    /// CAS attempts that discovered a vertex.
+    pub cas_wins: u64,
+    /// Atomics the cost model priced across all levels.
+    pub priced_atomics: u64,
+    /// Forward levels run top-down.
+    pub push_levels: u64,
+    /// Forward levels run bottom-up.
+    pub pull_levels: u64,
+    /// Push→pull direction switches.
+    pub switches_to_pull: u64,
+    /// Pull→push direction switches.
+    pub switches_to_push: u64,
+    /// Device-model roll-up.
+    pub hardware: HardwareSummary,
+}
+
+impl MetricsSummary {
+    /// Aggregate `roots` under the given hardware roll-up.
+    pub fn from_roots(roots: &[RootMetrics], hardware: HardwareSummary) -> Self {
+        let mut s = MetricsSummary {
+            roots: roots.len() as u64,
+            hardware,
+            ..Default::default()
+        };
+        for root in roots {
+            for l in &root.levels {
+                s.levels += 1;
+                s.max_frontier = s.max_frontier.max(l.q_curr);
+                s.edges_inspected += l.edges_inspected;
+                s.updates += l.updates;
+                s.cas_attempts += l.cas_attempts;
+                s.cas_wins += l.cas_wins;
+                s.priced_atomics += l.priced_atomics;
+                if l.phase == MetricPhase::Forward {
+                    match l.traversal {
+                        MetricTraversal::Push => s.push_levels += 1,
+                        MetricTraversal::Pull => s.pull_levels += 1,
+                    }
+                }
+                match l.switch {
+                    Some(SwitchReason::SwitchToPull) => s.switches_to_pull += 1,
+                    Some(SwitchReason::SwitchToPush) => s.switches_to_push += 1,
+                    _ => {}
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Everything a metered run produced: the full per-root stream (the
+/// JSONL payload) and its aggregate.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Per-root level records, in global root order.
+    pub per_root: Vec<RootMetrics>,
+    /// The roll-up embedded in the run's report.
+    pub summary: MetricsSummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LevelMetrics;
+
+    fn level(traversal: MetricTraversal, switch: Option<SwitchReason>) -> LevelMetrics {
+        LevelMetrics {
+            phase: MetricPhase::Forward,
+            depth: 0,
+            traversal,
+            q_curr: 5,
+            q_next: 3,
+            edges_inspected: 10,
+            updates: 4,
+            cas_attempts: 10,
+            cas_wins: 3,
+            priced_atomics: 13,
+            seconds: 1e-6,
+            switch,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_levels_and_switches() {
+        let roots = vec![RootMetrics {
+            root: 0,
+            levels: vec![
+                level(MetricTraversal::Push, Some(SwitchReason::Start)),
+                level(MetricTraversal::Pull, Some(SwitchReason::SwitchToPull)),
+                level(MetricTraversal::Push, Some(SwitchReason::SwitchToPush)),
+            ],
+        }];
+        let s = MetricsSummary::from_roots(&roots, HardwareSummary::default());
+        assert_eq!(s.roots, 1);
+        assert_eq!(s.levels, 3);
+        assert_eq!(s.max_frontier, 5);
+        assert_eq!(s.edges_inspected, 30);
+        assert_eq!(s.push_levels, 2);
+        assert_eq!(s.pull_levels, 1);
+        assert_eq!(s.switches_to_pull, 1);
+        assert_eq!(s.switches_to_push, 1);
+        assert_eq!(s.cas_attempts, 30);
+        assert_eq!(s.cas_wins, 9);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = MetricsSummary::from_roots(&[], HardwareSummary::default());
+        assert_eq!(s, MetricsSummary::default());
+    }
+}

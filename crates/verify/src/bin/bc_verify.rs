@@ -20,6 +20,13 @@
 //!    deaths, stragglers, lossy reduces) must return scores bitwise
 //!    identical to the fault-free run, and an unrecoverable plan must
 //!    fail structurally, never via a process panic.
+//! 5. **Metrics ↔ trace cross-check** — every Table II analogue again,
+//!    this time with the `bc_metrics` recorder and the trace recorder
+//!    attached to the same search: each exported counter (edges
+//!    inspected, CAS attempts/wins, σ-updates, priced atomics, frontier
+//!    sizes) must equal the corresponding access-event count in the
+//!    kernel trace, level by level, under both the push model and the
+//!    direction-optimizing automaton.
 //!
 //! Exit status is non-zero if any stage fails.
 
@@ -310,6 +317,49 @@ fn fault_tolerance_checks(seed: u64) -> usize {
     failures
 }
 
+/// Stage 5: the metrics counters against the kernel trace, over the
+/// full dataset battery. Returns the number of failures.
+fn metrics_cross_checks(opts: &Options, device: &DeviceConfig) -> usize {
+    use bc_core::methods::models::WorkEfficientModel;
+    let mut failures = 0;
+    for d in DatasetId::ALL {
+        let g = d.generate(opts.reduction, opts.seed);
+        let n = g.num_vertices();
+        let mut violations = 0;
+        let mut levels = 0usize;
+        for i in 0..opts.roots {
+            let root = ((i * n) / opts.roots) as u32;
+            let push =
+                bc_verify::check_root_metrics(&g, root, device, WorkEfficientModel::default());
+            let auto = bc_verify::check_root_metrics(
+                &g,
+                root,
+                device,
+                DirectionOptimizingModel::new(TraversalMode::Auto),
+            );
+            for c in [&push, &auto] {
+                violations += c.violations.len();
+                levels += c.levels;
+                for v in &c.violations {
+                    println!("FAIL {} root {root}: {v}", d.name());
+                }
+            }
+        }
+        if violations == 0 {
+            println!(
+                "ok   {:<18} n={:<7} roots={} levels={} counters == trace (push+auto)",
+                d.name(),
+                n,
+                opts.roots,
+                levels
+            );
+        } else {
+            failures += violations;
+        }
+    }
+    failures
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -331,6 +381,11 @@ fn main() -> ExitCode {
     failures += exact_identity_checks(&device);
     println!("== stage 4: fault-tolerance equivalence ==");
     failures += fault_tolerance_checks(opts.seed);
+    println!(
+        "== stage 5: metrics-vs-trace cross-check (reduction {}, seed {}) ==",
+        opts.reduction, opts.seed
+    );
+    failures += metrics_cross_checks(&opts, &device);
 
     if failures == 0 {
         println!("bc-verify: all checks passed");

@@ -27,7 +27,12 @@
 //! * [`fault_equiv`] — runs the cluster under a battery of seeded
 //!   fault plans and asserts the scores stay bitwise identical to
 //!   the fault-free run (the fault-tolerance layer's correctness
-//!   claim).
+//!   claim);
+//! * [`metrics_check`] — runs one root with the trace recorder and
+//!   the [`bc_metrics`] recorder attached simultaneously and checks
+//!   every exported counter (edges inspected, CAS attempts/wins,
+//!   σ-updates, priced atomics) against the corresponding access
+//!   events in the trace.
 //!
 //! The `bc-verify` binary runs the whole suite over the bundled
 //! dataset analogues plus a seeded-bug self-test (the broken
@@ -39,6 +44,7 @@
 
 pub mod fault_equiv;
 pub mod invariants;
+pub mod metrics_check;
 pub mod race;
 pub mod replay;
 pub mod trace;
@@ -47,6 +53,7 @@ pub use fault_equiv::{check_fault_equivalence, recoverable_plans};
 pub use invariants::{
     check_csr, check_csr_parts, check_pair_sum, check_scores, check_search_state, Violation,
 };
+pub use metrics_check::{check_root_metrics, MetricsCrossCheck};
 pub use race::{check_trace, RaceReport};
 pub use replay::{verify_root, verify_root_with, RootVerification};
 pub use trace::{pull_bitmap_trace, LevelTrace, RecordingSink, Trace};

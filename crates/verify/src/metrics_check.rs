@@ -1,0 +1,221 @@
+//! Metrics ↔ trace cross-checking: run one root with a recording
+//! trace sink *and* a metrics recorder attached, then verify that
+//! every counter `bc_metrics` reports is exactly the number of
+//! corresponding access events in the kernel trace.
+//!
+//! The two layers observe the engine independently — the trace sink
+//! records individual simulated memory accesses as they are emitted
+//! inside the kernel loops, while the metrics sink copies the
+//! engine's per-level aggregates after each launch. Agreement between
+//! them is therefore a real consistency statement: the counters the
+//! observability layer exports are the counts a race detector would
+//! reconstruct from the raw access stream, level by level.
+//!
+//! Checked per forward push level: `cas_attempts` = `edges_inspected`
+//! = traced `Dist`/`atomicCAS` events (Algorithm 2 dedups with one
+//! CAS per inspected edge), `cas_wins` = `q_next` = traced
+//! `Q_next` writes (each won CAS enqueues exactly once), and
+//! `updates` = traced σ `atomicAdd`s. Per pull level:
+//! `edges_inspected` = traced frontier-bitmap probes and `q_next` =
+//! traced `F_next` `atomicOr`s. Per level of either phase:
+//! `priced_atomics` = the trace's atomic-event count, and backward
+//! levels are atomic-free.
+
+use crate::invariants::Violation;
+use crate::trace::RecordingSink;
+use bc_core::engine::{
+    process_root_observed, CostModel, RootContext, RootOutcome, SearchWorkspace,
+};
+use bc_gpusim::trace::{AccessKind, KernelArray, TraceEvent, TracePhase};
+use bc_gpusim::DeviceConfig;
+use bc_graph::{Csr, VertexId};
+use bc_metrics::{LevelMetrics, MetricPhase, MetricTraversal, MetricsRecorder};
+
+/// Outcome of cross-checking one root's metrics against its trace.
+#[derive(Debug)]
+pub struct MetricsCrossCheck {
+    /// The checked root.
+    pub root: VertexId,
+    /// Levels compared (forward + backward).
+    pub levels: usize,
+    /// Counter/trace disagreements (must be empty).
+    pub violations: Vec<Violation>,
+}
+
+impl MetricsCrossCheck {
+    /// True when every counter matched its traced count.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn count(events: &[TraceEvent], array: KernelArray, kind: AccessKind) -> u64 {
+    events
+        .iter()
+        .filter(|e| e.array == array && e.kind == kind)
+        .count() as u64
+}
+
+fn check_level(
+    traced: &crate::trace::LevelTrace,
+    m: &LevelMetrics,
+    violations: &mut Vec<Violation>,
+) {
+    let mut expect = |check: &'static str, metric: u64, from_trace: u64| {
+        if metric != from_trace {
+            violations.push(Violation {
+                check,
+                detail: format!(
+                    "{:?} depth {}: metrics report {metric} but the trace performs {from_trace}",
+                    traced.phase, traced.depth
+                ),
+            });
+        }
+    };
+    match (m.phase, m.traversal) {
+        (MetricPhase::Forward, MetricTraversal::Push) => {
+            let cas = count(&traced.events, KernelArray::Dist, AccessKind::AtomicCas);
+            let enq = count(&traced.events, KernelArray::QNext, AccessKind::Write);
+            let sigma = count(&traced.events, KernelArray::Sigma, AccessKind::AtomicAdd);
+            expect("metrics.cas_attempts", m.cas_attempts, cas);
+            expect("metrics.edges_inspected", m.edges_inspected, cas);
+            expect("metrics.cas_wins", m.cas_wins, enq);
+            expect("metrics.q_next", m.q_next, enq);
+            expect("metrics.updates", m.updates, sigma);
+        }
+        (MetricPhase::Forward, MetricTraversal::Pull) => {
+            let probes = count(&traced.events, KernelArray::FrontierBits, AccessKind::Read);
+            let discovered = count(&traced.events, KernelArray::NextBits, AccessKind::AtomicOr);
+            expect("metrics.edges_inspected", m.edges_inspected, probes);
+            expect("metrics.q_next", m.q_next, discovered);
+            expect("metrics.cas_attempts", m.cas_attempts, 0);
+            expect("metrics.cas_wins", m.cas_wins, 0);
+        }
+        (MetricPhase::Backward, _) => {
+            expect("metrics.backward_atomic_free", m.priced_atomics, 0);
+        }
+    }
+    expect(
+        "metrics.priced_atomics",
+        m.priced_atomics,
+        traced.atomic_events(),
+    );
+}
+
+/// Run one observed search from `root` under `model` with both the
+/// trace recorder and the metrics recorder attached, and check every
+/// per-level counter against the access trace.
+pub fn check_root_metrics<M: CostModel>(
+    g: &Csr,
+    root: VertexId,
+    device: &DeviceConfig,
+    mut model: M,
+) -> MetricsCrossCheck {
+    let mut ws = SearchWorkspace::new(g.num_vertices());
+    let mut bc = vec![0.0; g.num_vertices()];
+    let mut out = RootOutcome::default();
+    let mut sink = RecordingSink::default();
+    let mut recorder = MetricsRecorder::default();
+    process_root_observed(
+        &RootContext { g, root, device },
+        &mut ws,
+        &mut model,
+        &mut bc,
+        &mut out,
+        &mut sink,
+        &mut recorder,
+    );
+
+    let trace = sink.trace;
+    let mut violations = Vec::new();
+    let levels = match recorder.roots.as_slice() {
+        [r] if r.root == root => &r.levels,
+        other => {
+            violations.push(Violation {
+                check: "metrics.roots",
+                detail: format!(
+                    "expected one recorded root ({root}), got {:?}",
+                    other.iter().map(|r| r.root).collect::<Vec<_>>()
+                ),
+            });
+            return MetricsCrossCheck {
+                root,
+                levels: 0,
+                violations,
+            };
+        }
+    };
+
+    if trace.levels.len() != levels.len() {
+        violations.push(Violation {
+            check: "metrics.levels",
+            detail: format!(
+                "trace recorded {} levels but metrics recorded {}",
+                trace.levels.len(),
+                levels.len()
+            ),
+        });
+    }
+    for (traced, m) in trace.levels.iter().zip(levels) {
+        let phase = match m.phase {
+            MetricPhase::Forward => TracePhase::Forward,
+            MetricPhase::Backward => TracePhase::Backward,
+        };
+        if (traced.phase, traced.depth) != (phase, m.depth) {
+            violations.push(Violation {
+                check: "metrics.schedule",
+                detail: format!(
+                    "trace level ({:?}, depth {}) recorded by metrics as ({:?}, depth {})",
+                    traced.phase, traced.depth, m.phase, m.depth
+                ),
+            });
+            continue;
+        }
+        check_level(traced, m, &mut violations);
+    }
+
+    MetricsCrossCheck {
+        root,
+        levels: trace.levels.len(),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_core::methods::models::WorkEfficientModel;
+    use bc_core::{DirectionOptimizingModel, TraversalMode};
+    use bc_graph::gen;
+
+    #[test]
+    fn push_metrics_match_the_trace() {
+        let device = DeviceConfig::gtx_titan();
+        for g in [
+            gen::path(10),
+            gen::star(16),
+            gen::grid(6, 5),
+            gen::erdos_renyi(150, 450, 5),
+        ] {
+            let c = check_root_metrics(&g, 0, &device, WorkEfficientModel::default());
+            assert!(c.is_clean(), "violations: {:?}", c.violations);
+            assert!(c.levels > 0);
+        }
+    }
+
+    #[test]
+    fn pull_and_auto_metrics_match_the_trace() {
+        let device = DeviceConfig::gtx_titan();
+        for g in [
+            gen::star(64),
+            gen::erdos_renyi(200, 800, 9),
+            gen::watts_strogatz(400, 8, 0.1, 5),
+        ] {
+            for mode in [TraversalMode::Pull, TraversalMode::Auto] {
+                let c = check_root_metrics(&g, 0, &device, DirectionOptimizingModel::new(mode));
+                assert!(c.is_clean(), "{mode:?}: {:?}", c.violations);
+                assert!(c.levels > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Paper-claims regression driven by the metrics stream: the switch
+//! points the hybrid (Algorithm 4, α = 768 / β = 512) and sampling
+//! (Algorithm 5, median depth vs γ·log₂ n) methods report must be
+//! re-derivable from the recorded per-level frontier counters alone.
+//!
+//! Replaying the published predicates over `q_curr`/`q_next` (hybrid)
+//! and the sampled roots' max depths (sampling) must reproduce the
+//! solver's own decisions exactly — edge-parallel fires early on
+//! scale-free inputs and never on road-like meshes.
+
+use bc_core::{BcOptions, HybridParams, Method, RootSelection, SamplingParams, Strategy};
+use bc_graph::{gen, Csr};
+use bc_metrics::{MetricPhase, MetricTraversal, RootMetrics};
+
+/// Replay Algorithm 4 over one root's recorded levels: returns the
+/// (work-efficient, edge-parallel) iteration counts the hybrid model
+/// must have charged, plus every `(depth, strategy)` switch decision
+/// the α/β predicate fires.
+fn replay_hybrid(params: &HybridParams, m: &RootMetrics) -> (u64, u64, Vec<(u32, Strategy)>) {
+    let mut strategy = Strategy::WorkEfficient;
+    let mut forward_choices: Vec<Strategy> = Vec::new();
+    let mut switches = Vec::new();
+    let (mut we, mut ep) = (0u64, 0u64);
+    for level in &m.levels {
+        match level.phase {
+            MetricPhase::Forward => {
+                let chosen = if level.traversal == MetricTraversal::Pull {
+                    Strategy::BottomUp
+                } else {
+                    strategy
+                };
+                forward_choices.push(chosen);
+                match chosen {
+                    Strategy::WorkEfficient => we += 1,
+                    Strategy::EdgeParallel => ep += 1,
+                    Strategy::BottomUp => {}
+                }
+                // Algorithm 4 reconsiders after each level using the
+                // very numbers the metrics layer records.
+                let q_change = level.q_next.abs_diff(level.q_curr);
+                if let Some(next) = params.switch_decision(q_change, level.q_next) {
+                    switches.push((level.depth, next));
+                    strategy = next;
+                }
+            }
+            MetricPhase::Backward => {
+                // The backward sweep replays the forward depth's
+                // choice; a bottom-up forward level still runs the
+                // work-efficient successor sweep backward.
+                match forward_choices
+                    .get(level.depth as usize)
+                    .copied()
+                    .unwrap_or(Strategy::WorkEfficient)
+                {
+                    Strategy::EdgeParallel => ep += 1,
+                    _ => we += 1,
+                }
+            }
+        }
+    }
+    (we, ep, switches)
+}
+
+fn run_hybrid(g: &Csr, k: usize) -> (bc_core::BcRun, Vec<RootMetrics>) {
+    let opts = BcOptions {
+        roots: RootSelection::Strided(k),
+        ..BcOptions::default()
+    };
+    let (run, metrics) = Method::Hybrid(HybridParams::default())
+        .run_metered(g, &opts)
+        .expect("fits in device memory");
+    (run, metrics.per_root)
+}
+
+#[test]
+fn hybrid_switch_fires_early_on_scale_free_graphs() {
+    let g = gen::barabasi_albert(4096, 8, 5);
+    let params = HybridParams::default();
+    let (run, per_root) = run_hybrid(&g, 8);
+
+    let (mut we, mut ep) = (0u64, 0u64);
+    let mut first_ep_depth = u32::MAX;
+    for m in &per_root {
+        let (w, e, switches) = replay_hybrid(&params, m);
+        we += w;
+        ep += e;
+        for (depth, strategy) in switches {
+            if strategy == Strategy::EdgeParallel {
+                first_ep_depth = first_ep_depth.min(depth);
+            }
+            // β gate: edge-parallel is only ever chosen with more
+            // than β vertices entering the next frontier.
+            if strategy == Strategy::EdgeParallel {
+                let level = m
+                    .levels
+                    .iter()
+                    .find(|l| l.phase == MetricPhase::Forward && l.depth == depth)
+                    .unwrap();
+                assert!(level.q_next > params.beta, "β violated at depth {depth}");
+            }
+        }
+    }
+    // The replayed counts must equal what the model itself charged.
+    assert_eq!(run.report.strategy_iterations, Some((we, ep)));
+    assert!(ep > 0, "scale-free input must trigger edge-parallel");
+    assert!(
+        first_ep_depth <= 2,
+        "the frontier explosion fires the switch within the first levels, \
+         not at depth {first_ep_depth}"
+    );
+}
+
+#[test]
+fn hybrid_never_switches_on_road_like_meshes() {
+    // A triangulated grid's frontier grows by a perimeter's worth of
+    // vertices per level — far below α = 768.
+    let g = gen::triangulated_grid(48, 48, 1);
+    let params = HybridParams::default();
+    let (run, per_root) = run_hybrid(&g, 8);
+
+    let (mut we, mut ep) = (0u64, 0u64);
+    for m in &per_root {
+        let (w, e, switches) = replay_hybrid(&params, m);
+        we += w;
+        ep += e;
+        assert!(
+            switches.is_empty(),
+            "root {}: no frontier delta may cross α on a mesh",
+            m.root
+        );
+        for level in &m.levels {
+            assert!(level.q_next.abs_diff(level.q_curr) <= params.alpha);
+        }
+    }
+    assert_eq!(run.report.strategy_iterations, Some((we, ep)));
+    assert_eq!(ep, 0, "road-like input must stay work-efficient");
+}
+
+/// Run the sampling method metered and re-derive Algorithm 5's
+/// decision from the first `n_samps` recorded roots (the sample phase
+/// runs first, so its metrics lead the stream).
+fn replayed_sampling_decision(g: &Csr, params: SamplingParams, k: usize) -> (bool, bool) {
+    let opts = BcOptions {
+        roots: RootSelection::Strided(k),
+        ..BcOptions::default()
+    };
+    let (run, metrics) = Method::Sampling(params)
+        .run_metered(g, &opts)
+        .expect("fits in device memory");
+    let reported = run
+        .report
+        .sampling_chose_edge_parallel
+        .expect("sampling reports its decision");
+    let mut depths: Vec<u32> = metrics.per_root[..params.n_samps.min(k)]
+        .iter()
+        .map(RootMetrics::max_depth)
+        .collect();
+    let replayed = params.choose_edge_parallel(g.num_vertices(), &mut depths);
+    (reported, replayed)
+}
+
+#[test]
+fn sampling_median_depth_decision_replays_from_metrics() {
+    let params = SamplingParams {
+        n_samps: 4,
+        gamma: 4.0,
+        min_frontier: 512,
+    };
+    // Scale-free: the median sampled depth sits far below
+    // 4·log₂(4096) = 48, so the remaining roots go edge-parallel.
+    let sf = gen::barabasi_albert(4096, 8, 9);
+    let (reported, replayed) = replayed_sampling_decision(&sf, params, 16);
+    assert_eq!(reported, replayed, "scale-free decision must replay");
+    assert!(reported, "shallow BFS depths must choose edge-parallel");
+
+    // Road-like: eccentricities on a 90×90 triangulated grid exceed
+    // 4·log₂(8100) ≈ 52, so sampling keeps the work-efficient kernel.
+    let road = gen::triangulated_grid(90, 90, 2);
+    let (reported, replayed) = replayed_sampling_decision(&road, params, 16);
+    assert_eq!(reported, replayed, "road decision must replay");
+    assert!(!reported, "deep BFS depths must keep work-efficient");
+}
