@@ -60,6 +60,16 @@ if [[ "${1:-}" != "fast" ]]; then
         --method work-efficient --cluster 2 --roots 16 \
         --metrics results/ci_metrics_cluster.jsonl --top 0
     grep -q '"kind":"cluster_summary"' results/ci_metrics_cluster.jsonl
+    # Scheduler smoke: the bench asserts every schedule reproduces the
+    # static scores bitwise; the CLI run exercises the work-stealing
+    # path end to end and must emit per-worker records in the JSONL.
+    echo "==> bench_schedule smoke"
+    cargo run -q -p bc-bench --release --bin bench_schedule -- --quick 1
+    echo "==> cli --schedule smoke"
+    cargo run -q -p hybrid-bc --release -- --dataset smallworld --reduction 7 \
+        --method work-efficient --schedule work-stealing --threads 4 --roots 32 \
+        --metrics results/ci_metrics_schedule.jsonl --top 0 --verify
+    grep -q '"kind":"worker"' results/ci_metrics_schedule.jsonl
 fi
 
 echo "==> ci OK"

@@ -2,7 +2,7 @@
 //! dependency): `--flag value` pairs plus `--help`.
 
 use bc_cluster::FaultPlan;
-use bc_core::{HybridParams, Method, RootSelection, SamplingParams, TraversalMode};
+use bc_core::{HybridParams, Method, RootSelection, SamplingParams, Schedule, TraversalMode};
 use bc_gpusim::DeviceConfig;
 
 /// How to execute the computation.
@@ -49,6 +49,9 @@ pub struct Cli {
     pub threads: usize,
     /// Forward-sweep direction for the frontier-queue methods.
     pub traversal: TraversalMode,
+    /// How root shards are assigned to host workers (and roots to
+    /// GPUs under `--cluster`).
+    pub schedule: Schedule,
     /// Run on a simulated multi-node cluster with this many nodes
     /// (3 GPUs each) instead of a single device.
     pub cluster: Option<usize>,
@@ -99,6 +102,12 @@ COMPUTATION:
                        the frontier-queue methods; auto switches to the
                        bottom-up bitmap kernel on saturated frontiers
                        (scores are bitwise identical)   [default: push]
+    --schedule S       static | guided | work-stealing — how root
+                       shards are assigned to host workers (and roots
+                       to GPUs with --cluster); dynamic schedules seed
+                       queues longest-first from a per-root cost
+                       estimate, and scores stay bitwise identical
+                       under every schedule             [default: static]
     --normalize        scale scores by (n-1)(n-2)[/2]
 
 CLUSTER:
@@ -146,6 +155,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         device: DeviceConfig::gtx_titan(),
         threads: 0,
         traversal: TraversalMode::Push,
+        schedule: Schedule::Static,
         cluster: None,
         faults: FaultPlan::none(),
         normalize: false,
@@ -194,6 +204,12 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                     other => return Err(format!("unknown traversal '{other}'")),
                 }
             }
+            "--schedule" => {
+                let v = value()?;
+                cli.schedule = Schedule::parse(&v).ok_or_else(|| {
+                    format!("unknown schedule '{v}' (static | guided | work-stealing)")
+                })?;
+            }
             "--cluster" => {
                 cli.cluster = Some(value()?.parse().map_err(|e| format!("--cluster: {e}"))?)
             }
@@ -222,6 +238,12 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         return Err(format!(
             "--cluster runs simulated GPU methods only, not '{}'",
             cli.method.name()
+        ));
+    }
+    if cli.schedule != Schedule::Static && cli.method == RunMethod::Sequential {
+        return Err(format!(
+            "--schedule {} needs a multi-root runner; the sequential method has none",
+            cli.schedule
         ));
     }
     if cli.metrics.is_some() && !matches!(cli.method, RunMethod::Simulated(_)) {
@@ -331,6 +353,43 @@ mod tests {
             let cli = parse(&s(&["--dataset", "smallworld", "--traversal", name])).unwrap();
             assert_eq!(cli.traversal, mode);
         }
+    }
+
+    #[test]
+    fn schedules_parse_and_validate() {
+        assert_eq!(
+            parse(&s(&["--dataset", "smallworld"])).unwrap().schedule,
+            Schedule::Static
+        );
+        for (name, schedule) in [
+            ("static", Schedule::Static),
+            ("guided", Schedule::Guided),
+            ("work-stealing", Schedule::WorkStealing),
+        ] {
+            let cli = parse(&s(&["--dataset", "smallworld", "--schedule", name])).unwrap();
+            assert_eq!(cli.schedule, schedule);
+        }
+        assert!(parse(&s(&["--dataset", "smallworld", "--schedule", "chaotic"])).is_err());
+        // The sequential method has no multi-root runner to schedule.
+        assert!(parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--method",
+            "sequential",
+            "--schedule",
+            "guided"
+        ]))
+        .is_err());
+        // cpu and simulated methods both accept dynamic schedules.
+        assert!(parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--method",
+            "cpu",
+            "--schedule",
+            "work-stealing"
+        ]))
+        .is_ok());
     }
 
     #[test]

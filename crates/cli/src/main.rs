@@ -81,8 +81,13 @@ fn run(cli: &Cli) -> Result<(), String> {
             let roots = cli.roots.resolve(g.num_vertices());
             let mut scores = match cli.method {
                 RunMethod::Sequential => brandes::betweenness_from_roots(&g, roots.iter().copied()),
-                _ => bc_core::parallel::cpu_betweenness_from_roots(&g, &roots, cli.threads)
-                    .map_err(|e| e.to_string())?,
+                _ => bc_core::parallel::cpu_betweenness_from_roots_scheduled(
+                    &g,
+                    &roots,
+                    cli.threads,
+                    cli.schedule,
+                )
+                .map_err(|e| e.to_string())?,
             };
             if cli.normalize {
                 brandes::normalize(&mut scores, g.is_symmetric());
@@ -102,6 +107,7 @@ fn run(cli: &Cli) -> Result<(), String> {
                 normalize: cli.normalize,
                 threads: cli.threads,
                 traversal: cli.traversal,
+                schedule: cli.schedule,
             };
             // Metering only observes values the engine already
             // computed, so the metered run is bitwise identical.
@@ -197,6 +203,7 @@ fn run_on_cluster(cli: &Cli, g: &Csr, nodes: usize) -> Result<(), String> {
         network: bc_cluster::NetworkConfig::keeneland(),
         method: method.clone(),
         traversal: cli.traversal,
+        schedule: cli.schedule,
     };
     let sample_roots = match &cli.roots {
         RootSelection::All => n,

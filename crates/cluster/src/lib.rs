@@ -18,6 +18,7 @@ pub mod partition;
 pub mod runner;
 pub mod scaling;
 
+pub use bc_core::Schedule;
 pub use error::{ClusterError, GpuMemoryDiagnostic};
 pub use fault::{score_checksum, FaultCounters, FaultKind, FaultPlan, ReduceFault};
 pub use net::NetworkConfig;

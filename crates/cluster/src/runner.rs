@@ -30,8 +30,9 @@ use crate::error::{ClusterError, GpuMemoryDiagnostic};
 use crate::fault::{score_checksum, FaultCounters, FaultKind, FaultPlan, ReduceFault};
 use crate::net::NetworkConfig;
 use bc_core::methods::cost::footprint;
-use bc_core::{BcOptions, Method, RootSelection, TraversalMode};
+use bc_core::{plan_assignment, BcOptions, Method, RootSelection, Schedule, TraversalMode};
 use bc_gpusim::{DeviceConfig, FaultHook, SimError};
+use bc_graph::stats::RootCostEstimator;
 use bc_graph::Csr;
 use bc_metrics::{ClusterMetrics, ClusterMetricsSummary, GpuTimeline};
 use serde::{Deserialize, Serialize};
@@ -62,6 +63,14 @@ pub struct ClusterConfig {
     /// is identical on every GPU, so the cluster result stays
     /// bitwise identical in every mode).
     pub traversal: TraversalMode,
+    /// How roots are assigned to GPUs. [`Schedule::Static`] keeps the
+    /// historical strided (round-robin) layout; the dynamic schedules
+    /// plan the assignment from per-root cost estimates. Assignment is
+    /// all that changes — the root-ordered merge keeps the scores
+    /// bitwise identical under every schedule, and the [`FaultPlan`]
+    /// replay stays exact because planning happens before any worker
+    /// spawns.
+    pub schedule: Schedule,
 }
 
 impl ClusterConfig {
@@ -76,6 +85,7 @@ impl ClusterConfig {
             network: NetworkConfig::keeneland(),
             method: Method::Sampling(Default::default()),
             traversal: TraversalMode::Push,
+            schedule: Schedule::Static,
         }
     }
 
@@ -160,7 +170,7 @@ struct GpuSchedule {
 }
 
 /// The fully precomputed, deterministic execution schedule.
-struct Schedule {
+struct ExecutionSchedule {
     per_gpu: Vec<GpuSchedule>,
     dead: Vec<usize>,
     /// Per global root index: will this root complete somewhere?
@@ -239,9 +249,49 @@ impl Placer<'_> {
     }
 }
 
-/// Precompute the whole run: initial strided assignment, death
+/// Decide which GPU initially owns each root, before faults are
+/// layered on. [`Schedule::Static`] reproduces the historical strided
+/// assignment (`root i → GPU i mod gpus`) byte for byte; the dynamic
+/// schedules estimate per-root cost with [`RootCostEstimator`] and
+/// plan via [`plan_assignment`], so skewed root mixes spread by work
+/// rather than by count. Purely a function of `(g, roots, gpus,
+/// schedule)` — the [`FaultPlan`] replay depends on it being
+/// deterministic.
+fn initial_assignment(
+    g: &Csr,
+    roots: &[u32],
+    gpus: usize,
+    schedule: Schedule,
+) -> Vec<Vec<(usize, u32)>> {
+    let mut initial: Vec<Vec<(usize, u32)>> = vec![Vec::new(); gpus];
+    if schedule == Schedule::Static || gpus <= 1 {
+        for (i, &r) in roots.iter().enumerate() {
+            initial[i % gpus].push((i, r));
+        }
+        return initial;
+    }
+    let est = RootCostEstimator::new(g, 2);
+    let costs: Vec<f64> = roots.iter().map(|&r| est.estimate(r)).collect();
+    for (gpu, idxs) in plan_assignment(&costs, gpus, schedule)
+        .into_iter()
+        .enumerate()
+    {
+        for i in idxs {
+            initial[gpu].push((i, roots[i]));
+        }
+    }
+    initial
+}
+
+/// Precompute the whole run: initial cost-planned assignment, death
 /// points, orphan adoption, and every retry/migration trajectory.
-fn build_schedule(roots: &[u32], gpus: usize, plan: &FaultPlan) -> Schedule {
+fn build_schedule(
+    g: &Csr,
+    roots: &[u32],
+    gpus: usize,
+    plan: &FaultPlan,
+    schedule: Schedule,
+) -> ExecutionSchedule {
     let mut dead: Vec<usize> = plan
         .dead_gpus
         .iter()
@@ -252,10 +302,7 @@ fn build_schedule(roots: &[u32], gpus: usize, plan: &FaultPlan) -> Schedule {
     dead.dedup();
     let alive: Vec<usize> = (0..gpus).filter(|g| !dead.contains(g)).collect();
 
-    let mut initial: Vec<Vec<(usize, u32)>> = vec![Vec::new(); gpus];
-    for (i, &r) in roots.iter().enumerate() {
-        initial[i % gpus].push((i, r));
-    }
+    let initial = initial_assignment(g, roots, gpus, schedule);
 
     let mut placer = Placer {
         plan,
@@ -314,7 +361,7 @@ fn build_schedule(roots: &[u32], gpus: usize, plan: &FaultPlan) -> Schedule {
         }
     }
 
-    Schedule {
+    ExecutionSchedule {
         per_gpu: placer.per_gpu,
         dead,
         expected,
@@ -503,7 +550,7 @@ fn run_cluster_inner(
     }
 
     let roots = RootSelection::Strided(sample_roots.min(n)).resolve(n);
-    let schedule = build_schedule(&roots, gpus, plan);
+    let schedule = build_schedule(g, &roots, gpus, plan, cfg.schedule);
     let merger = RootMerger::new(n, schedule.expected.clone());
 
     // Execute the precomputed schedule, one host thread per GPU. The
@@ -560,6 +607,7 @@ fn run_cluster_inner(
                             normalize: false,
                             threads: 1,
                             traversal: cfg.traversal,
+                            schedule: Schedule::Static,
                         };
                         match catch_unwind(AssertUnwindSafe(|| cfg.method.run(g, &opts))) {
                             Ok(Ok(run)) => {
@@ -1102,6 +1150,71 @@ mod tests {
                 "gpu {gpu}: timeline {billed} vs report {}",
                 metered.report.gpu_seconds[gpu]
             );
+        }
+    }
+
+    #[test]
+    fn dynamic_schedules_keep_cluster_scores_bitwise_identical() {
+        // Cost-planned assignment moves roots between GPUs, but the
+        // root-ordered merge pins the arithmetic: every schedule
+        // agrees with the strided baseline to the last bit, faulted
+        // or not.
+        let g = gen::watts_strogatz(300, 6, 0.1, 6);
+        let base = run_cluster(&g, &ClusterConfig::keeneland(2), 96).unwrap();
+        let plan = FaultPlan {
+            transient_rate: 0.15,
+            dead_gpus: vec![1],
+            death_fraction: 0.5,
+            seed: 17,
+            ..FaultPlan::none()
+        };
+        for schedule in [Schedule::Guided, Schedule::WorkStealing] {
+            let cfg = ClusterConfig {
+                schedule,
+                ..ClusterConfig::keeneland(2)
+            };
+            let clean = run_cluster(&g, &cfg, 96).unwrap();
+            assert_eq!(base.scores, clean.scores, "{schedule} clean");
+            assert_eq!(clean.report.roots_sampled, 96);
+            let faulted = run_cluster_with_faults(&g, &cfg, 96, &plan).unwrap();
+            assert_eq!(base.scores, faulted.scores, "{schedule} faulted");
+            assert!(faulted.report.faults.reassigned_roots > 0);
+        }
+    }
+
+    #[test]
+    fn dynamic_schedules_balance_skewed_roots_across_gpus() {
+        // Two components of very different depth: a long path (deep,
+        // expensive searches) and a small-world blob (shallow, cheap).
+        // Static round-robin ignores cost; the planned schedules put
+        // roughly equal estimated work on each GPU, so no GPU gets
+        // all of the expensive roots.
+        let path: Vec<(u32, u32)> = (0..999u32).map(|i| (i, i + 1)).collect();
+        let blob = gen::watts_strogatz(1000, 8, 0.1, 3);
+        let blob_edges = blob
+            .vertices()
+            .flat_map(|u| blob.neighbors(u).iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| u < v)
+            .map(|(u, v)| (u + 1000, v + 1000));
+        let edges = path.iter().copied().chain(blob_edges);
+        let g = Csr::from_undirected_edges(2000, edges);
+        let roots: Vec<u32> = (0..2000).step_by(125).map(|r| r as u32).collect();
+        let est = RootCostEstimator::new(&g, 2);
+        let costs: Vec<f64> = roots.iter().map(|&r| est.estimate(r)).collect();
+        for schedule in [Schedule::Guided, Schedule::WorkStealing] {
+            let initial = initial_assignment(&g, &roots, 4, schedule);
+            let loads: Vec<f64> = initial
+                .iter()
+                .map(|list| list.iter().map(|&(i, _)| costs[i]).sum())
+                .collect();
+            let max = loads.iter().fold(0.0f64, |a, &b| a.max(b));
+            let min = loads.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            assert!(
+                max / min < 2.0,
+                "{schedule}: planned loads should be near-even, got {loads:?}"
+            );
+            let total: usize = initial.iter().map(Vec::len).sum();
+            assert_eq!(total, roots.len(), "{schedule}: every root assigned once");
         }
     }
 

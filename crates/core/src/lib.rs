@@ -33,6 +33,7 @@ pub mod engine;
 pub mod frontier;
 pub mod methods;
 pub mod parallel;
+pub mod schedule;
 mod solver;
 pub mod teps;
 pub mod weighted;
@@ -42,5 +43,9 @@ pub use methods::models::{
     DirectionOptimizingModel, DirectionParams, HybridParams, SamplingParams, Strategy,
     TraversalMode,
 };
-pub use parallel::{effective_threads, run_roots, run_roots_metered, RootsRun, ShardableCostModel};
+pub use parallel::{
+    cpu_betweenness_from_roots_scheduled, effective_threads, run_roots, run_roots_metered,
+    run_roots_scheduled, run_roots_scheduled_metered, RootsRun, ShardableCostModel,
+};
+pub use schedule::{plan_assignment, Schedule};
 pub use solver::{run_with_cost_model, BcOptions, BcRun, Method, RootSelection, RunReport};

@@ -7,7 +7,8 @@
 //! results **bitwise reproducible at any thread count**:
 //!
 //! * The shard partition depends only on the root count (never on the
-//!   thread count): at most [`MAX_SHARDS`] shards of equal size.
+//!   thread count or the schedule): at most [`MAX_SHARDS`] shards of
+//!   equal size.
 //! * Each worker owns one reused [`SearchWorkspace`] and accumulates
 //!   each shard's δ contributions into a zeroed per-shard buffer, so
 //!   within-shard floating-point association is fixed.
@@ -18,8 +19,13 @@
 //!   per-root *simulated* timing is identical to a sequential run
 //!   while *wall-clock* time drops with cores.
 //!
-//! One thread therefore produces exactly the same bytes as eight; the
-//! only tolerated difference is against the fully sequential
+//! Which worker executes which shard — and when — is delegated to a
+//! [`Schedule`] ([`crate::schedule`]): static blocks, guided shrinking
+//! chunks behind an LPT-sorted cursor, or work-stealing deques seeded
+//! by the [`bc_graph::stats::RootCostEstimator`]. Because the merge
+//! order is fixed above, the schedule moves wall-clock only: one
+//! thread produces exactly the same bytes as eight under any schedule.
+//! The only tolerated difference is against the fully sequential
 //! single-accumulator path (different f64 association across shards,
 //! within 1e-9 on the equivalence tests).
 
@@ -28,14 +34,16 @@ use crate::engine::{
     process_root_into, process_root_observed, CostModel, FreeModel, RootContext, RootOutcome,
     SearchWorkspace,
 };
+use crate::schedule::{Schedule, ShardQueue};
 use bc_gpusim::trace::NullSink;
 use bc_gpusim::{DeviceConfig, KernelCounters, SimError};
 use bc_graph::{Csr, VertexId};
-use bc_metrics::{MetricsRecorder, RootMetrics};
+use bc_metrics::{MetricsRecorder, RootMetrics, WorkerMetrics};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Stringify a panic payload (the `Box<dyn Any>` a contained panic
 /// hands back) for structured error reporting.
@@ -145,9 +153,35 @@ pub fn effective_threads(requested: usize) -> usize {
 }
 
 /// Roots per shard for a given root count (the last shard may be
-/// short). Depends only on the root count.
+/// short). Depends only on the root count — never on the thread count
+/// or schedule, so the floating-point merge structure is fixed.
 fn shard_size(num_roots: usize) -> usize {
     num_roots.div_ceil(MAX_SHARDS).max(1)
+}
+
+/// Per-shard cost estimates for LPT seeding, or `None` when the
+/// schedule ignores them. A shard's cost is the sum of its roots'
+/// [`bc_graph::stats::RootCostEstimator`] estimates.
+fn shard_costs(
+    g: &Csr,
+    roots: &[VertexId],
+    size: usize,
+    shards: usize,
+    schedule: Schedule,
+) -> Option<Vec<f64>> {
+    if schedule == Schedule::Static || shards <= 1 {
+        return None;
+    }
+    let est = bc_graph::stats::RootCostEstimator::new(g, 2);
+    Some(
+        (0..shards)
+            .map(|s| {
+                let lo = s * size;
+                let hi = (lo + size).min(roots.len());
+                roots[lo..hi].iter().map(|&r| est.estimate(r)).sum()
+            })
+            .collect(),
+    )
 }
 
 /// Aggregated outcome of a sharded multi-root run, with per-root
@@ -298,7 +332,21 @@ pub fn run_roots<M: ShardableCostModel>(
     threads: usize,
     model: &mut M,
 ) -> Result<RootsRun, SimError> {
-    run_roots_inner::<M, false>(g, device, roots, threads, model).map(|(run, _)| run)
+    run_roots_scheduled(g, device, roots, threads, Schedule::Static, model)
+}
+
+/// [`run_roots`] under an explicit [`Schedule`]. Scores, per-root
+/// vectors, and counters are bitwise identical across schedules and
+/// thread counts — the schedule changes wall-clock only.
+pub fn run_roots_scheduled<M: ShardableCostModel>(
+    g: &Csr,
+    device: &DeviceConfig,
+    roots: &[VertexId],
+    threads: usize,
+    schedule: Schedule,
+    model: &mut M,
+) -> Result<RootsRun, SimError> {
+    run_roots_inner::<M, false>(g, device, roots, threads, schedule, model).map(|(run, _, _)| run)
 }
 
 /// [`run_roots`] additionally collecting one [`RootMetrics`] record
@@ -314,7 +362,22 @@ pub fn run_roots_metered<M: ShardableCostModel>(
     threads: usize,
     model: &mut M,
 ) -> Result<(RootsRun, Vec<RootMetrics>), SimError> {
-    run_roots_inner::<M, true>(g, device, roots, threads, model)
+    run_roots_inner::<M, true>(g, device, roots, threads, Schedule::Static, model)
+        .map(|(run, metrics, _)| (run, metrics))
+}
+
+/// [`run_roots_scheduled`] with metering: per-root records plus one
+/// [`WorkerMetrics`] per worker thread (ordered by worker index)
+/// describing what that worker claimed, stole, and waited for.
+pub fn run_roots_scheduled_metered<M: ShardableCostModel>(
+    g: &Csr,
+    device: &DeviceConfig,
+    roots: &[VertexId],
+    threads: usize,
+    schedule: Schedule,
+    model: &mut M,
+) -> Result<(RootsRun, Vec<RootMetrics>, Vec<WorkerMetrics>), SimError> {
+    run_roots_inner::<M, true>(g, device, roots, threads, schedule, model)
 }
 
 fn run_roots_inner<M: ShardableCostModel, const METERED: bool>(
@@ -322,8 +385,9 @@ fn run_roots_inner<M: ShardableCostModel, const METERED: bool>(
     device: &DeviceConfig,
     roots: &[VertexId],
     threads: usize,
+    schedule: Schedule,
     model: &mut M,
-) -> Result<(RootsRun, Vec<RootMetrics>), SimError> {
+) -> Result<(RootsRun, Vec<RootMetrics>, Vec<WorkerMetrics>), SimError> {
     let n = g.num_vertices();
     let num_roots = roots.len();
     if num_roots == 0 {
@@ -335,21 +399,28 @@ fn run_roots_inner<M: ShardableCostModel, const METERED: bool>(
                 counters: KernelCounters::default(),
             },
             Vec::new(),
+            Vec::new(),
         ));
     }
     let size = shard_size(num_roots);
     let shards = num_roots.div_ceil(size);
     let workers = effective_threads(threads).min(shards).max(1);
 
-    let next = AtomicUsize::new(0);
+    let costs = shard_costs(g, roots, size, shards, schedule);
+    let queue = ShardQueue::new(schedule, shards, workers, costs.as_deref());
     let merger: OrderedMerger<ShardMeta<M>> = OrderedMerger::new(n);
     let panics = PanicSlot::new();
+    let worker_out: Mutex<Vec<WorkerMetrics>> = Mutex::new(Vec::new());
     let proto: &M = model;
 
-    let worker = |merger: &OrderedMerger<ShardMeta<M>>| {
+    let worker = |worker_id: usize, merger: &OrderedMerger<ShardMeta<M>>| {
         let mut ws = SearchWorkspace::new(n);
         let mut out = RootOutcome::default();
         let mut acc = merger.take_buffer();
+        let mut state = queue.worker_state(worker_id);
+        let mut busy = 0.0f64;
+        let mut idle = 0.0f64;
+        let mut roots_done = 0u64;
         loop {
             if panics.aborted() {
                 // `acc` is clean here (a dirty one is only possible on
@@ -357,12 +428,20 @@ fn run_roots_inner<M: ShardableCostModel, const METERED: bool>(
                 // without reaching the recycle below).
                 break;
             }
-            let shard = next.fetch_add(1, Ordering::Relaxed);
-            if shard >= shards {
-                break;
+            // Claims are timed only on the metered path: unmetered
+            // runs pay zero clock reads.
+            let claim_started = METERED.then(Instant::now);
+            let claimed = queue.claim(&mut state);
+            if let Some(t) = claim_started {
+                idle += t.elapsed().as_secs_f64();
             }
+            let Some(shard) = claimed else {
+                break;
+            };
+            let shard = shard as usize;
             let lo = shard * size;
             let hi = (lo + size).min(num_roots);
+            let work_started = METERED.then(Instant::now);
             // Contain panics from the per-root engine / cost model:
             // `ws`, `out`, and `acc` may be mid-update when a panic
             // unwinds, but they are never touched again afterwards
@@ -402,7 +481,13 @@ fn run_roots_inner<M: ShardableCostModel, const METERED: bool>(
                 }
             }));
             match attempt {
-                Ok(meta) => acc = merger.deposit(shard, acc, meta),
+                Ok(meta) => {
+                    if let Some(t) = work_started {
+                        busy += t.elapsed().as_secs_f64();
+                    }
+                    roots_done += (hi - lo) as u64;
+                    acc = merger.deposit(shard, acc, meta);
+                }
                 Err(payload) => {
                     panics.record(shard, payload);
                     // The accumulator holds partial contributions of
@@ -412,16 +497,37 @@ fn run_roots_inner<M: ShardableCostModel, const METERED: bool>(
             }
         }
         merger.recycle(acc);
+        if METERED {
+            worker_out
+                .lock()
+                .expect("worker metrics poisoned")
+                .push(WorkerMetrics {
+                    worker: worker_id as u64,
+                    phase: 0,
+                    schedule: schedule.name().to_owned(),
+                    phase_roots: num_roots as u64,
+                    shard_size: size as u64,
+                    shards: state.stats.shards,
+                    roots_processed: roots_done,
+                    steals: state.stats.steals,
+                    failed_steal_attempts: state.stats.failed_steal_attempts,
+                    max_queue_depth: state.stats.max_queue_depth,
+                    busy_seconds: busy,
+                    idle_seconds: idle,
+                });
+        }
     };
 
     if workers == 1 {
-        worker(&merger);
+        worker(0, &merger);
     } else {
         std::thread::scope(|scope| {
-            for _ in 1..workers {
-                scope.spawn(|| worker(&merger));
+            let worker = &worker;
+            let merger = &merger;
+            for id in 1..workers {
+                scope.spawn(move || worker(id, merger));
             }
-            worker(&merger);
+            worker(0, merger);
         });
     }
 
@@ -442,6 +548,8 @@ fn run_roots_inner<M: ShardableCostModel, const METERED: bool>(
         model.merge_worker(meta.model);
         metrics.extend(meta.metrics);
     }
+    let mut per_worker = worker_out.into_inner().expect("worker metrics poisoned");
+    per_worker.sort_by_key(|w| w.worker);
     Ok((
         RootsRun {
             scores,
@@ -450,6 +558,7 @@ fn run_roots_inner<M: ShardableCostModel, const METERED: bool>(
             counters,
         },
         metrics,
+        per_worker,
     ))
 }
 
@@ -465,6 +574,18 @@ pub fn cpu_betweenness_from_roots(
     roots: &[VertexId],
     threads: usize,
 ) -> Result<Vec<f64>, SimError> {
+    cpu_betweenness_from_roots_scheduled(g, roots, threads, Schedule::Static)
+}
+
+/// [`cpu_betweenness_from_roots`] under an explicit [`Schedule`];
+/// like the engine runner, the schedule moves wall-clock only — the
+/// scores are bitwise identical across schedules and thread counts.
+pub fn cpu_betweenness_from_roots_scheduled(
+    g: &Csr,
+    roots: &[VertexId],
+    threads: usize,
+    schedule: Schedule,
+) -> Result<Vec<f64>, SimError> {
     let n = g.num_vertices();
     let num_roots = roots.len();
     if num_roots == 0 {
@@ -474,21 +595,23 @@ pub fn cpu_betweenness_from_roots(
     let shards = num_roots.div_ceil(size);
     let workers = effective_threads(threads).min(shards).max(1);
 
-    let next = AtomicUsize::new(0);
+    let costs = shard_costs(g, roots, size, shards, schedule);
+    let queue = ShardQueue::new(schedule, shards, workers, costs.as_deref());
     let merger: OrderedMerger<()> = OrderedMerger::new(n);
     let panics = PanicSlot::new();
 
-    let worker = |merger: &OrderedMerger<()>| {
+    let worker = |worker_id: usize, merger: &OrderedMerger<()>| {
         let mut ws = brandes::BrandesWorkspace::new(n);
         let mut acc = merger.take_buffer();
+        let mut state = queue.worker_state(worker_id);
         loop {
             if panics.aborted() {
                 break;
             }
-            let shard = next.fetch_add(1, Ordering::Relaxed);
-            if shard >= shards {
+            let Some(shard) = queue.claim(&mut state) else {
                 break;
-            }
+            };
+            let shard = shard as usize;
             let lo = shard * size;
             let hi = (lo + size).min(num_roots);
             let attempt = catch_unwind(AssertUnwindSafe(|| {
@@ -509,13 +632,15 @@ pub fn cpu_betweenness_from_roots(
     };
 
     if workers == 1 {
-        worker(&merger);
+        worker(0, &merger);
     } else {
         std::thread::scope(|scope| {
-            for _ in 1..workers {
-                scope.spawn(|| worker(&merger));
+            let worker = &worker;
+            let merger = &merger;
+            for id in 1..workers {
+                scope.spawn(move || worker(id, merger));
             }
-            worker(&merger);
+            worker(0, merger);
         });
     }
 
@@ -693,5 +818,125 @@ mod tests {
         assert_eq!(shard_size(1000), 16);
         // 1000 roots -> 63 shards of 16 even though MAX_SHARDS is 64.
         assert_eq!(1000usize.div_ceil(shard_size(1000)), 63);
+    }
+
+    /// The partition covers `0..num_roots` exactly once, as
+    /// `shards - 1` full shards plus a (possibly short, never empty)
+    /// last shard.
+    fn assert_partition(num_roots: usize) {
+        let size = shard_size(num_roots);
+        let shards = num_roots.div_ceil(size);
+        assert!(shards <= MAX_SHARDS, "{num_roots} roots -> {shards} shards");
+        let mut covered = 0usize;
+        for s in 0..shards {
+            let lo = s * size;
+            let hi = (lo + size).min(num_roots);
+            assert_eq!(lo, covered, "shard {s} starts at the previous end");
+            assert!(hi > lo, "shard {s} of {num_roots} roots is empty");
+            if s + 1 < shards {
+                assert_eq!(hi - lo, size, "only the last shard may be short");
+            }
+            covered = hi;
+        }
+        assert_eq!(covered, num_roots, "shards cover every root");
+    }
+
+    #[test]
+    fn shard_size_edge_behavior() {
+        // Fewer roots than MAX_SHARDS: one root per shard, one shard
+        // per root.
+        for n in 1..=MAX_SHARDS {
+            assert_eq!(shard_size(n), 1);
+            assert_eq!(n.div_ceil(shard_size(n)), n);
+        }
+        // Exact multiples of MAX_SHARDS: every shard full.
+        for mult in [2usize, 3, 10] {
+            let n = MAX_SHARDS * mult;
+            assert_eq!(shard_size(n), mult);
+            assert_eq!(n % shard_size(n), 0);
+        }
+        // Uneven last shard: 130 roots -> shards of 3, and the 44th
+        // shard holds the single leftover root.
+        let n = 130;
+        let size = shard_size(n);
+        assert_eq!(size, 3);
+        let shards = n.div_ceil(size);
+        assert_eq!(shards, 44);
+        assert_eq!(
+            n - (shards - 1) * size,
+            1,
+            "last shard is short but nonempty"
+        );
+        // The partition is well-formed at every interesting size. The
+        // thread count never enters `shard_size`'s signature, so the
+        // partition is thread-count-independent by construction.
+        for n in [1usize, 5, 63, 64, 65, 127, 128, 129, 1000, 4096, 4097] {
+            assert_partition(n);
+        }
+    }
+
+    #[test]
+    fn scheduled_runs_are_bitwise_identical_to_static() {
+        // A skewed graph: a deep road-like chain component and a
+        // shallow dense one, so the dynamic schedules actually move
+        // shards between workers.
+        let mut edges: Vec<(u32, u32)> = (0..149u32).map(|v| (v, v + 1)).collect();
+        let sw = gen::watts_strogatz(150, 6, 0.1, 3);
+        for v in sw.vertices() {
+            for &w in sw.neighbors(v) {
+                if v < w {
+                    edges.push((v + 150, w + 150));
+                }
+            }
+        }
+        let g = bc_graph::Csr::from_undirected_edges(300, edges);
+        let roots: Vec<u32> = (0..300).collect();
+        let baseline = run_roots(&g, &titan(), &roots, 1, &mut FreeModel).unwrap();
+        for schedule in Schedule::ALL {
+            for threads in [1usize, 3, 8] {
+                let run =
+                    run_roots_scheduled(&g, &titan(), &roots, threads, schedule, &mut FreeModel)
+                        .unwrap();
+                assert_eq!(run.scores, baseline.scores, "{schedule} x {threads}");
+                assert_eq!(run.per_root_seconds, baseline.per_root_seconds);
+                assert_eq!(run.max_depths, baseline.max_depths);
+                assert_eq!(run.counters, baseline.counters);
+                let cpu =
+                    cpu_betweenness_from_roots_scheduled(&g, &roots, threads, schedule).unwrap();
+                let cpu_base = cpu_betweenness_from_roots(&g, &roots, 1).unwrap();
+                assert_eq!(cpu, cpu_base, "cpu {schedule} x {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_metered_reports_a_complete_worker_partition() {
+        let g = gen::watts_strogatz(256, 6, 0.1, 9);
+        let roots: Vec<u32> = (0..256).collect();
+        let shards = 256usize.div_ceil(shard_size(256));
+        for schedule in Schedule::ALL {
+            let (_, _, workers) =
+                run_roots_scheduled_metered(&g, &titan(), &roots, 4, schedule, &mut FreeModel)
+                    .unwrap();
+            assert_eq!(workers.len(), 4, "{schedule}");
+            let mut claimed: Vec<u32> = workers.iter().flat_map(|w| w.shards.clone()).collect();
+            claimed.sort_unstable();
+            assert_eq!(
+                claimed,
+                (0..shards as u32).collect::<Vec<_>>(),
+                "{schedule}: workers partition the shard space"
+            );
+            let roots_processed: u64 = workers.iter().map(|w| w.roots_processed).sum();
+            assert_eq!(roots_processed, 256, "{schedule}");
+            for w in &workers {
+                assert_eq!(w.schedule, schedule.name());
+                assert_eq!(w.phase_roots, 256);
+                assert_eq!(w.shard_size, shard_size(256) as u64);
+                assert!(w.busy_seconds >= 0.0 && w.idle_seconds >= 0.0);
+                if schedule != Schedule::WorkStealing {
+                    assert_eq!(w.steals, 0, "only work-stealing steals");
+                }
+            }
+        }
     }
 }

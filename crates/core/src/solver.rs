@@ -8,10 +8,11 @@ use crate::methods::models::{
     SamplingParams, SamplingPhaseModel, TraversalMode, VertexParallelModel, WorkEfficientModel,
 };
 use crate::parallel::{self, ShardableCostModel};
+use crate::schedule::Schedule;
 use crate::teps;
 use bc_gpusim::{coarse_grained_makespan, DeviceConfig, DeviceMemory, KernelCounters, SimError};
 use bc_graph::{Csr, VertexId};
-use bc_metrics::{HardwareSummary, MetricsSummary, RootMetrics, RunMetrics};
+use bc_metrics::{HardwareSummary, MetricsSummary, RootMetrics, RunMetrics, WorkerMetrics};
 use serde::{Deserialize, Serialize};
 
 /// Roll the run-wide kernel counters up into the hardware summary a
@@ -27,23 +28,34 @@ fn hardware_summary(counters: &KernelCounters, device: &DeviceConfig) -> Hardwar
     }
 }
 
-/// Run one sharded multi-root phase, collecting per-root metrics into
-/// `metrics` when `METERED` (the unmetered instantiation calls the
-/// plain runner, whose hooks compile out).
+/// Run one sharded multi-root phase under the run's [`Schedule`],
+/// collecting per-root and per-worker metrics into the streams when
+/// `METERED` (the unmetered instantiation calls the plain runner,
+/// whose hooks compile out). `phase` stamps the worker records so
+/// multi-batch methods (Sampling) keep their batches apart.
+#[allow(clippy::too_many_arguments)]
 fn run_phase<M: ShardableCostModel, const METERED: bool>(
     g: &Csr,
     device: &DeviceConfig,
     roots: &[VertexId],
     threads: usize,
+    schedule: Schedule,
+    phase: u64,
     model: &mut M,
     metrics: &mut Vec<RootMetrics>,
+    workers: &mut Vec<WorkerMetrics>,
 ) -> Result<parallel::RootsRun, SimError> {
     if METERED {
-        let (run, phase_metrics) = parallel::run_roots_metered(g, device, roots, threads, model)?;
+        let (run, phase_metrics, mut phase_workers) =
+            parallel::run_roots_scheduled_metered(g, device, roots, threads, schedule, model)?;
+        for w in &mut phase_workers {
+            w.phase = phase;
+        }
         metrics.extend(phase_metrics);
+        workers.extend(phase_workers);
         Ok(run)
     } else {
-        parallel::run_roots(g, device, roots, threads, model)
+        parallel::run_roots_scheduled(g, device, roots, threads, schedule, model)
     }
 }
 
@@ -97,6 +109,11 @@ pub struct BcOptions {
     /// edge-parallel, GPU-FAN) have no frontier to pull from and
     /// ignore this.
     pub traversal: TraversalMode,
+    /// How root shards are assigned to host threads (static blocks,
+    /// guided shrinking chunks, or work-stealing deques). Scores are
+    /// bitwise identical under every schedule — the assignment is
+    /// dynamic, the merge order is not.
+    pub schedule: Schedule,
 }
 
 impl Default for BcOptions {
@@ -107,6 +124,7 @@ impl Default for BcOptions {
             normalize: false,
             threads: 0,
             traversal: TraversalMode::Push,
+            schedule: Schedule::Static,
         }
     }
 }
@@ -218,6 +236,8 @@ impl Method {
         // Per-root metric records, in phase order (the same order the
         // per-root vectors concatenate in). Stays empty unmetered.
         let mut metrics_stream: Vec<RootMetrics> = Vec::new();
+        // Per-worker scheduling records, stamped with the phase index.
+        let mut workers_stream: Vec<WorkerMetrics> = Vec::new();
 
         // Absorb one sharded multi-root phase into the run-wide
         // aggregates: scores add elementwise (phases touch the same
@@ -239,6 +259,7 @@ impl Method {
         }
 
         let threads = opts.threads;
+        let schedule = opts.schedule;
         match self {
             Method::VertexParallel => {
                 let mut m = VertexParallelModel::default();
@@ -247,8 +268,11 @@ impl Method {
                     device,
                     &roots,
                     threads,
+                    schedule,
+                    0,
                     &mut m,
                     &mut metrics_stream,
+                    &mut workers_stream,
                 )?;
                 absorb(
                     run,
@@ -265,8 +289,11 @@ impl Method {
                     device,
                     &roots,
                     threads,
+                    schedule,
+                    0,
                     &mut m,
                     &mut metrics_stream,
+                    &mut workers_stream,
                 )?;
                 absorb(
                     run,
@@ -283,8 +310,11 @@ impl Method {
                     device,
                     &roots,
                     threads,
+                    schedule,
+                    0,
                     &mut m,
                     &mut metrics_stream,
+                    &mut workers_stream,
                 )?;
                 absorb(
                     run,
@@ -304,8 +334,11 @@ impl Method {
                         device,
                         &roots,
                         threads,
+                        schedule,
+                        0,
                         &mut m,
                         &mut metrics_stream,
+                        &mut workers_stream,
                     )?;
                     absorb(
                         run,
@@ -321,8 +354,11 @@ impl Method {
                         device,
                         &roots,
                         threads,
+                        schedule,
+                        0,
                         &mut m,
                         &mut metrics_stream,
+                        &mut workers_stream,
                     )?;
                     absorb(
                         run,
@@ -341,8 +377,11 @@ impl Method {
                     device,
                     &roots,
                     threads,
+                    schedule,
+                    0,
                     &mut m,
                     &mut metrics_stream,
+                    &mut workers_stream,
                 )?;
                 absorb(
                     run,
@@ -378,8 +417,11 @@ impl Method {
                     device,
                     sample_roots,
                     threads,
+                    schedule,
+                    0,
                     &mut we,
                     &mut metrics_stream,
+                    &mut workers_stream,
                 )?;
                 absorb(
                     run,
@@ -399,8 +441,11 @@ impl Method {
                         device,
                         rest_roots,
                         threads,
+                        schedule,
+                        1,
                         &mut m,
                         &mut metrics_stream,
+                        &mut workers_stream,
                     )?;
                     absorb(
                         run,
@@ -417,8 +462,11 @@ impl Method {
                         device,
                         rest_roots,
                         threads,
+                        schedule,
+                        1,
                         &mut we,
                         &mut metrics_stream,
+                        &mut workers_stream,
                     )?;
                     absorb(
                         run,
@@ -456,6 +504,7 @@ impl Method {
                 MetricsSummary::from_roots(&metrics_stream, hardware_summary(&counters, device));
             RunMetrics {
                 per_root: metrics_stream,
+                per_worker: workers_stream,
                 summary,
             }
         });
@@ -506,7 +555,7 @@ pub fn run_with_cost_model<M: ShardableCostModel>(
     let _graph = mem.alloc(footprint::graph_bytes(g), "graph CSR arrays")?;
     let _locals = mem.alloc(local_bytes, "per-run local arrays")?;
 
-    let run = parallel::run_roots(g, device, &roots, opts.threads, model)?;
+    let run = parallel::run_roots_scheduled(g, device, &roots, opts.threads, opts.schedule, model)?;
     let parallel::RootsRun {
         mut scores,
         per_root_seconds,

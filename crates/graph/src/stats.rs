@@ -78,6 +78,97 @@ impl GraphStats {
     }
 }
 
+/// Simulated cost per BFS level: every level of a search pays a fixed
+/// launch/synchronization overhead on top of its edge work, so
+/// high-diameter roots (road networks) cost far more than their edge
+/// count suggests. Expressed in edge-work units.
+const LEVEL_COST: f64 = 32.0;
+
+/// Only the largest few components get eccentricity sweeps; smaller
+/// ones fall back to the component-weight term, which dominates their
+/// cost anyway. Bounds the probe at `ECC_SWEEP_COMPONENTS * sweeps`
+/// BFS traversals however fragmented the graph is.
+const ECC_SWEEP_COMPONENTS: usize = 8;
+
+/// Deterministic per-root cost estimator for schedule seeding (LPT).
+///
+/// A Brandes search from root `r` touches exactly `r`'s connected
+/// component — `n_c + m_c` units of work — and runs one level per BFS
+/// depth, so its cost is estimated as the component weight plus
+/// [`LEVEL_COST`] times a lower bound on `r`'s eccentricity. The
+/// bounds come from multi-sweep BFS (the [`traversal::diameter_estimate`]
+/// technique): every sweep from `s` gives `d(s, v) <= ecc(v)` for all
+/// reached `v`, and restarting from the farthest vertex tightens the
+/// bound where it matters (the periphery).
+///
+/// The estimate only ranks roots for load balancing — schedules merge
+/// deterministically regardless — so a cheap lower bound is enough;
+/// what matters is that construction is a pure function of the graph.
+#[derive(Clone, Debug)]
+pub struct RootCostEstimator {
+    comp: Vec<u32>,
+    comp_weight: Vec<f64>,
+    ecc_lb: Vec<u32>,
+}
+
+impl RootCostEstimator {
+    /// Probe `g` with `sweeps` BFS sweeps per major component.
+    pub fn new(g: &Csr, sweeps: usize) -> Self {
+        let n = g.num_vertices();
+        let comp = traversal::connected_components(g);
+        let num_comps = comp.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+        let mut comp_weight = vec![0.0f64; num_comps];
+        let mut comp_min_vertex = vec![u32::MAX; num_comps];
+        let mut comp_size = vec![0usize; num_comps];
+        for v in g.vertices() {
+            let c = comp[v as usize] as usize;
+            // Component weight = vertices + degree sum (2m_c): the
+            // O(n_c + m_c) work of one search over the component.
+            comp_weight[c] += 1.0 + g.degree(v) as f64;
+            comp_min_vertex[c] = comp_min_vertex[c].min(v);
+            comp_size[c] += 1;
+        }
+
+        let mut ecc_lb = vec![0u32; n];
+        let mut major: Vec<usize> = (0..num_comps).filter(|&c| comp_size[c] >= 2).collect();
+        major.sort_by_key(|&c| (std::cmp::Reverse(comp_size[c]), c));
+        for &c in major.iter().take(ECC_SWEEP_COMPONENTS) {
+            let mut start = comp_min_vertex[c];
+            for _ in 0..sweeps.max(1) {
+                let dist = traversal::bfs_distances(g, start);
+                let mut farthest = start;
+                for v in g.vertices() {
+                    let d = dist[v as usize];
+                    if d == traversal::UNREACHED {
+                        continue;
+                    }
+                    ecc_lb[v as usize] = ecc_lb[v as usize].max(d);
+                    if d > dist[farthest as usize] {
+                        farthest = v;
+                    }
+                }
+                if farthest == start {
+                    break; // the sweep converged (e.g. a clique)
+                }
+                start = farthest;
+            }
+        }
+        RootCostEstimator {
+            comp,
+            comp_weight,
+            ecc_lb,
+        }
+    }
+
+    /// Estimated cost of a full search from `root`, in edge-work
+    /// units. Deterministic; roots in the same component differ only
+    /// by their eccentricity bounds.
+    pub fn estimate(&self, root: u32) -> f64 {
+        let c = self.comp[root as usize] as usize;
+        self.comp_weight[c] + LEVEL_COST * self.ecc_lb[root as usize] as f64
+    }
+}
+
 /// Degree histogram: `hist[d]` = number of vertices of degree `d`.
 pub fn degree_histogram(g: &Csr) -> Vec<usize> {
     let mut hist = vec![0usize; g.max_degree() as usize + 1];
@@ -184,6 +275,41 @@ mod tests {
     fn power_law_alpha_requires_samples() {
         let g = Csr::from_undirected_edges(4, [(0, 1), (1, 2)]);
         assert!(power_law_alpha(&g, 1).is_none());
+    }
+
+    #[test]
+    fn cost_estimator_ranks_deep_roots_above_shallow_ones() {
+        // A long path and a star of the same vertex count: path roots
+        // pay ~n levels, star roots pay ~2 — the estimator must rank
+        // every path root above every star root.
+        let mut edges: Vec<(u32, u32)> = (0..63u32).map(|v| (v, v + 1)).collect();
+        edges.extend((65..128u32).map(|v| (64, v)));
+        let g = Csr::from_undirected_edges(128, edges);
+        let est = RootCostEstimator::new(&g, 2);
+        let path_min = (0..64u32).map(|r| est.estimate(r)).fold(f64::MAX, f64::min);
+        let star_max = (64..128u32).map(|r| est.estimate(r)).fold(0.0, f64::max);
+        assert!(
+            path_min > star_max,
+            "path roots ({path_min}) must outrank star roots ({star_max})"
+        );
+        // Same component => same weight term; construction is pure.
+        let again = RootCostEstimator::new(&g, 2);
+        for r in 0..128u32 {
+            assert_eq!(est.estimate(r).to_bits(), again.estimate(r).to_bits());
+        }
+    }
+
+    #[test]
+    fn cost_estimator_handles_isolated_and_tiny_components() {
+        let g = Csr::from_undirected_edges(6, [(0, 1)]);
+        let est = RootCostEstimator::new(&g, 3);
+        assert!(
+            est.estimate(0) > est.estimate(2),
+            "an edge outweighs an isolate"
+        );
+        assert_eq!(est.estimate(2), 1.0, "an isolated root costs its own visit");
+        let empty = RootCostEstimator::new(&Csr::from_undirected_edges(0, []), 2);
+        drop(empty);
     }
 
     #[test]

@@ -16,11 +16,15 @@ fn line<T: Serialize>(kind: &str, data: &T, out: &mut String) {
 }
 
 /// Render a metered solver run: one `root` line per source vertex in
-/// global root order, then the `summary` line.
+/// global root order, one `worker` line per scheduler worker, then
+/// the `summary` line.
 pub fn run_to_jsonl(metrics: &RunMetrics) -> String {
     let mut out = String::new();
     for root in &metrics.per_root {
         line("root", root, &mut out);
+    }
+    for worker in &metrics.per_worker {
+        line("worker", worker, &mut out);
     }
     line("summary", &metrics.summary, &mut out);
     out
@@ -57,14 +61,22 @@ mod tests {
                     levels: Vec::new(),
                 },
             ],
+            per_worker: vec![crate::worker::WorkerMetrics {
+                worker: 0,
+                schedule: "guided".to_owned(),
+                shards: vec![0, 1],
+                ..Default::default()
+            }],
             summary: MetricsSummary::default(),
         };
         let text = run_to_jsonl(&metrics);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("{\"kind\":\"root\""));
         assert!(lines[1].contains("\"root\":5"));
-        assert!(lines[2].starts_with("{\"kind\":\"summary\""));
+        assert!(lines[2].starts_with("{\"kind\":\"worker\""));
+        assert!(lines[2].contains("\"schedule\":\"guided\""));
+        assert!(lines[3].starts_with("{\"kind\":\"summary\""));
         for l in &lines {
             assert!(l.ends_with('}'), "each line is a complete object: {l}");
         }

@@ -29,9 +29,11 @@ pub mod jsonl;
 pub mod record;
 pub mod sink;
 pub mod summary;
+pub mod worker;
 
 pub use cluster::{ClusterMetrics, ClusterMetricsSummary, GpuTimeline};
 pub use jsonl::{cluster_to_jsonl, run_to_jsonl};
 pub use record::{LevelMetrics, MetricPhase, MetricTraversal, RootMetrics, SwitchReason};
 pub use sink::{MetricsRecorder, MetricsSink, NullMetrics};
 pub use summary::{HardwareSummary, MetricsSummary, RunMetrics};
+pub use worker::WorkerMetrics;

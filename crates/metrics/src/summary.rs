@@ -91,11 +91,15 @@ impl MetricsSummary {
 }
 
 /// Everything a metered run produced: the full per-root stream (the
-/// JSONL payload) and its aggregate.
+/// JSONL payload), per-worker scheduling records, and the aggregate.
 #[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
     /// Per-root level records, in global root order.
     pub per_root: Vec<RootMetrics>,
+    /// Per-worker scheduling records, ordered by phase then worker
+    /// index. Wall-clock observations — intentionally kept out of
+    /// [`MetricsSummary`] so the summary stays reproducible.
+    pub per_worker: Vec<crate::worker::WorkerMetrics>,
     /// The roll-up embedded in the run's report.
     pub summary: MetricsSummary,
 }

@@ -1,0 +1,69 @@
+//! Per-worker scheduling metrics: what each host thread of a
+//! scheduled multi-root run claimed, stole, and waited for.
+//!
+//! Unlike the per-root records, these are *wall-clock* observations —
+//! busy and idle seconds vary run to run — so they live in the
+//! exported [`crate::RunMetrics`] stream (`kind: worker` JSONL lines)
+//! but deliberately **not** in [`crate::MetricsSummary`], which is
+//! embedded in `RunReport` and compared bitwise by the determinism
+//! batteries. The structural fields (`shards`, `roots_processed`,
+//! `phase_roots`, `shard_size`) are enough for `bc-verify` to replay
+//! the assignment and check that the workers' claims partition the
+//! shard space exactly once.
+
+use serde::Serialize;
+
+/// One worker thread's scheduling record for one solver phase.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct WorkerMetrics {
+    /// Worker index within the phase (`0..workers`).
+    pub worker: u64,
+    /// Solver phase this record belongs to (methods that run several
+    /// root batches, like Sampling, emit one group per batch).
+    pub phase: u64,
+    /// The schedule that drove the assignment, in kebab-case
+    /// (`static`, `guided`, or `work-stealing`).
+    pub schedule: String,
+    /// Roots in this phase (across all workers).
+    pub phase_roots: u64,
+    /// Roots per shard in this phase (the last shard may be short).
+    pub shard_size: u64,
+    /// Shard indices this worker processed, in claim order.
+    pub shards: Vec<u32>,
+    /// Roots this worker processed (the sizes of its shards summed).
+    pub roots_processed: u64,
+    /// Successful steals (work-stealing only; zero otherwise).
+    pub steals: u64,
+    /// Steal attempts that lost the race to a drained victim.
+    pub failed_steal_attempts: u64,
+    /// Deepest claim source this worker observed at claim time.
+    pub max_queue_depth: u64,
+    /// Wall-clock seconds spent processing shards.
+    pub busy_seconds: f64,
+    /// Wall-clock seconds spent claiming (queue contention, steal
+    /// scans, and the final failed claim).
+    pub idle_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_metrics_serialize_to_json() {
+        let w = WorkerMetrics {
+            worker: 1,
+            schedule: "work-stealing".to_owned(),
+            phase_roots: 64,
+            shard_size: 1,
+            shards: vec![3, 7],
+            roots_processed: 2,
+            steals: 1,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&w).expect("total renderer");
+        assert!(json.contains("\"schedule\":\"work-stealing\""));
+        assert!(json.contains("\"shards\":[3,7]"));
+        assert!(json.contains("\"steals\":1"));
+    }
+}

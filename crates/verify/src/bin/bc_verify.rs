@@ -360,6 +360,72 @@ fn metrics_cross_checks(opts: &Options, device: &DeviceConfig) -> usize {
     failures
 }
 
+/// Stage 5 (continued): scheduled-run replay. Each dynamic schedule
+/// runs the metered solver at 4 threads and must reproduce the static
+/// run's scores and per-root metrics stream bitwise, and its
+/// per-worker records must replay cleanly against shard geometry
+/// (partition exact, root counts re-derived, steal counters only
+/// where stealing is allowed). Returns the number of failures.
+fn schedule_replay_checks(device: &DeviceConfig) -> usize {
+    use bc_core::{BcOptions, Method, RootSelection, Schedule};
+    let mut failures = 0;
+    let g = gen::watts_strogatz(512, 6, 0.1, 23);
+    let run = |schedule: Schedule| {
+        let opts = BcOptions {
+            device: device.clone(),
+            roots: RootSelection::Strided(256),
+            normalize: false,
+            threads: 4,
+            traversal: TraversalMode::Auto,
+            schedule,
+        };
+        Method::Sampling(Default::default()).run_metered(&g, &opts)
+    };
+    let (base_run, base_metrics) = match run(Schedule::Static) {
+        Ok(out) => out,
+        Err(e) => {
+            println!("FAIL schedule-replay static: {e}");
+            return 1;
+        }
+    };
+    for schedule in [Schedule::Guided, Schedule::WorkStealing] {
+        let (r, m) = match run(schedule) {
+            Ok(out) => out,
+            Err(e) => {
+                println!("FAIL schedule-replay {schedule}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let mut bad = 0;
+        if r.scores != base_run.scores {
+            println!("FAIL schedule-replay {schedule}: scores differ from the static run");
+            bad += 1;
+        }
+        if m.per_root != base_metrics.per_root {
+            println!(
+                "FAIL schedule-replay {schedule}: per-root metrics stream differs from static"
+            );
+            bad += 1;
+        }
+        let violations = bc_verify::check_worker_metrics(&m.per_worker);
+        for v in &violations {
+            println!("FAIL schedule-replay {schedule}: {v}");
+        }
+        bad += violations.len();
+        failures += bad;
+        if bad == 0 {
+            let steals: u64 = m.per_worker.iter().map(|w| w.steals).sum();
+            println!(
+                "ok   schedule-replay {schedule}: scores + per-root stream bitwise identical \
+                 to static; {} worker record(s) replay cleanly ({steals} steal(s))",
+                m.per_worker.len()
+            );
+        }
+    }
+    failures
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -386,6 +452,7 @@ fn main() -> ExitCode {
         opts.reduction, opts.seed
     );
     failures += metrics_cross_checks(&opts, &device);
+    failures += schedule_replay_checks(&device);
 
     if failures == 0 {
         println!("bc-verify: all checks passed");

@@ -53,7 +53,7 @@ pub use fault_equiv::{check_fault_equivalence, recoverable_plans};
 pub use invariants::{
     check_csr, check_csr_parts, check_pair_sum, check_scores, check_search_state, Violation,
 };
-pub use metrics_check::{check_root_metrics, MetricsCrossCheck};
+pub use metrics_check::{check_root_metrics, check_worker_metrics, MetricsCrossCheck};
 pub use race::{check_trace, RaceReport};
 pub use replay::{verify_root, verify_root_with, RootVerification};
 pub use trace::{pull_bitmap_trace, LevelTrace, RecordingSink, Trace};

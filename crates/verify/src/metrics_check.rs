@@ -29,7 +29,8 @@ use bc_core::engine::{
 use bc_gpusim::trace::{AccessKind, KernelArray, TraceEvent, TracePhase};
 use bc_gpusim::DeviceConfig;
 use bc_graph::{Csr, VertexId};
-use bc_metrics::{LevelMetrics, MetricPhase, MetricTraversal, MetricsRecorder};
+use bc_metrics::{LevelMetrics, MetricPhase, MetricTraversal, MetricsRecorder, WorkerMetrics};
+use std::collections::BTreeMap;
 
 /// Outcome of cross-checking one root's metrics against its trace.
 #[derive(Debug)]
@@ -181,11 +182,143 @@ pub fn check_root_metrics<M: CostModel>(
     }
 }
 
+/// Cross-check a metered run's per-worker scheduling records against
+/// a replay of the wall assignment.
+///
+/// The records are grouped by phase (the sampling method runs two).
+/// Within a phase every worker must agree on the schedule name, the
+/// root count, and the shard size; the shards they claim must
+/// partition the phase's shard range exactly once; and each worker's
+/// `roots_processed` must re-derive from pure shard geometry
+/// (`min(shard_size, phase_roots - shard * shard_size)` summed over
+/// its claims). Steal counters may be nonzero only under
+/// work-stealing, and the wall-clock observations must be finite and
+/// non-negative. A dynamic scheduler that dropped or double-ran a
+/// shard — or misattributed work between workers — fails here even
+/// though the root-ordered merge would mask it in the scores.
+pub fn check_worker_metrics(workers: &[WorkerMetrics]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut phases: BTreeMap<u64, Vec<&WorkerMetrics>> = BTreeMap::new();
+    for w in workers {
+        phases.entry(w.phase).or_default().push(w);
+    }
+    for (phase, group) in phases {
+        let first = group[0];
+        let mut fail = |check: &'static str, detail: String| {
+            violations.push(Violation { check, detail });
+        };
+        for w in &group {
+            if (w.phase_roots, w.shard_size, w.schedule.as_str())
+                != (first.phase_roots, first.shard_size, first.schedule.as_str())
+            {
+                fail(
+                    "worker.phase_consistency",
+                    format!(
+                        "phase {phase}: worker {} reports ({}, {}, {}) but worker {} \
+                         reports ({}, {}, {})",
+                        w.worker,
+                        w.phase_roots,
+                        w.shard_size,
+                        w.schedule,
+                        first.worker,
+                        first.phase_roots,
+                        first.shard_size,
+                        first.schedule
+                    ),
+                );
+            }
+        }
+        if first.shard_size == 0 {
+            fail(
+                "worker.shard_size",
+                format!("phase {phase}: shard size is zero"),
+            );
+            continue;
+        }
+        let shards = first.phase_roots.div_ceil(first.shard_size);
+        let mut claimed = vec![0u64; shards as usize];
+        for w in &group {
+            for &s in &w.shards {
+                match claimed.get_mut(s as usize) {
+                    Some(c) => *c += 1,
+                    None => fail(
+                        "worker.shard_range",
+                        format!(
+                            "phase {phase}: worker {} claims shard {s} but only {shards} exist",
+                            w.worker
+                        ),
+                    ),
+                }
+            }
+        }
+        for (s, &c) in claimed.iter().enumerate() {
+            if c != 1 {
+                fail(
+                    "worker.shard_partition",
+                    format!("phase {phase}: shard {s} claimed {c} times (must be exactly once)"),
+                );
+            }
+        }
+        for w in &group {
+            let expect: u64 = w
+                .shards
+                .iter()
+                .filter(|&&s| u64::from(s) < shards)
+                .map(|&s| {
+                    (first.phase_roots - u64::from(s) * first.shard_size).min(first.shard_size)
+                })
+                .sum();
+            if w.roots_processed != expect {
+                fail(
+                    "worker.roots_replay",
+                    format!(
+                        "phase {phase}: worker {} processed {} roots but its claimed shards \
+                         replay to {expect}",
+                        w.worker, w.roots_processed
+                    ),
+                );
+            }
+            if w.max_queue_depth > shards {
+                fail(
+                    "worker.queue_depth",
+                    format!(
+                        "phase {phase}: worker {} saw queue depth {} with only {shards} shards",
+                        w.worker, w.max_queue_depth
+                    ),
+                );
+            }
+            if w.schedule != "work-stealing" && (w.steals > 0 || w.failed_steal_attempts > 0) {
+                fail(
+                    "worker.steals",
+                    format!(
+                        "phase {phase}: worker {} reports {} steals / {} failed attempts under \
+                         the {} schedule",
+                        w.worker, w.steals, w.failed_steal_attempts, w.schedule
+                    ),
+                );
+            }
+            for (name, v) in [("busy", w.busy_seconds), ("idle", w.idle_seconds)] {
+                if !v.is_finite() || v < 0.0 {
+                    fail(
+                        "worker.wall_clock",
+                        format!(
+                            "phase {phase}: worker {} reports {name}_seconds = {v} \
+                             (must be finite and non-negative)",
+                            w.worker
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use bc_core::methods::models::WorkEfficientModel;
-    use bc_core::{DirectionOptimizingModel, TraversalMode};
+    use bc_core::{DirectionOptimizingModel, Schedule, TraversalMode};
     use bc_graph::gen;
 
     #[test]
@@ -201,6 +334,63 @@ mod tests {
             assert!(c.is_clean(), "violations: {:?}", c.violations);
             assert!(c.levels > 0);
         }
+    }
+
+    #[test]
+    fn worker_metrics_replay_cleanly_under_every_schedule() {
+        let g = gen::watts_strogatz(256, 6, 0.1, 7);
+        let roots: Vec<u32> = (0..256).collect();
+        let device = DeviceConfig::gtx_titan();
+        for schedule in Schedule::ALL {
+            let (_, _, workers) = bc_core::run_roots_scheduled_metered(
+                &g,
+                &device,
+                &roots,
+                4,
+                schedule,
+                &mut WorkEfficientModel::default(),
+            )
+            .unwrap();
+            let v = check_worker_metrics(&workers);
+            assert!(v.is_empty(), "{schedule}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn tampered_worker_records_are_flagged() {
+        let g = gen::watts_strogatz(256, 6, 0.1, 7);
+        let roots: Vec<u32> = (0..256).collect();
+        let device = DeviceConfig::gtx_titan();
+        let (_, _, workers) = bc_core::run_roots_scheduled_metered(
+            &g,
+            &device,
+            &roots,
+            4,
+            Schedule::Guided,
+            &mut WorkEfficientModel::default(),
+        )
+        .unwrap();
+
+        // Dropping a worker's shard claim breaks the partition.
+        let mut dropped = workers.clone();
+        dropped[0].shards.pop();
+        assert!(check_worker_metrics(&dropped)
+            .iter()
+            .any(|v| v.check == "worker.shard_partition"));
+
+        // Inflating a processed-root count fails the geometry replay.
+        let mut inflated = workers.clone();
+        inflated[1].roots_processed += 1;
+        assert!(check_worker_metrics(&inflated)
+            .iter()
+            .any(|v| v.check == "worker.roots_replay"));
+
+        // Steals cannot appear under a non-stealing schedule.
+        let mut stolen = workers;
+        stolen[2].steals = 3;
+        assert!(check_worker_metrics(&stolen)
+            .iter()
+            .any(|v| v.check == "worker.steals"));
     }
 
     #[test]

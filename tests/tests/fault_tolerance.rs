@@ -7,7 +7,9 @@
 //! schedule comes back as a structured [`ClusterError`] carrying the
 //! partial result, never as a process panic.
 
-use bc_cluster::{run_cluster_with_faults, score_checksum, ClusterConfig, ClusterError, FaultPlan};
+use bc_cluster::{
+    run_cluster_with_faults, score_checksum, ClusterConfig, ClusterError, FaultPlan, Schedule,
+};
 use bc_graph::gen;
 use proptest::prelude::*;
 
@@ -72,6 +74,56 @@ proptest! {
             prop_assert!(faulted.report.total_seconds >= clean.report.total_seconds - 1e-9
                 || nodes != 2);
         }
+    }
+
+    /// Dynamic schedules compose with fault injection: an arbitrary
+    /// root subset (the strided selection is a pure function of the
+    /// count) run under guided or work-stealing assignment with any
+    /// recoverable fault plan is bitwise identical to the fault-free
+    /// *static* run of the same subset. Cost-planned seeding moves
+    /// roots to different GPUs and faults then migrate them again —
+    /// the root-ordered merge must erase both.
+    #[test]
+    fn prop_dynamic_schedules_with_faults_match_static_fault_free(
+        seed in 0u64..1000,
+        roots in 1usize..=96,
+        sched_sel in 0usize..2,
+        transient in 0.0f64..0.3,
+        panic_rate in 0.0f64..0.2,
+        dead_sel in 0usize..4,
+        death_fraction in 0.0f64..1.0,
+        drop in 0.0f64..0.4,
+    ) {
+        let g = gen::watts_strogatz(150, 6, 0.1, 9);
+        let schedule = if sched_sel == 0 {
+            Schedule::Guided
+        } else {
+            Schedule::WorkStealing
+        };
+        let plan = FaultPlan {
+            seed,
+            transient_rate: transient,
+            panic_rate,
+            dead_gpus: (dead_sel < 3).then_some(dead_sel).into_iter().collect(),
+            death_fraction,
+            reduce_drop_rate: drop,
+            ..FaultPlan::none()
+        };
+        let clean = baseline(&g, 2, roots);
+        let cfg = ClusterConfig {
+            schedule,
+            ..ClusterConfig::keeneland(2)
+        };
+        let faulted = run_cluster_with_faults(&g, &cfg, roots, &plan)
+            .expect("recoverable plan under a dynamic schedule is recovered from");
+        prop_assert!(
+            faulted.scores.iter().zip(&clean.scores)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "scores moved under {} with {} root(s), seed {}",
+            schedule, roots, seed
+        );
+        prop_assert_eq!(faulted.report.checksum, clean.report.checksum);
+        prop_assert_eq!(faulted.report.checksum, score_checksum(&faulted.scores));
     }
 
     /// The same plan replayed twice is bitwise identical in scores

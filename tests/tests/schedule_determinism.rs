@@ -1,0 +1,144 @@
+//! Determinism contract of the dynamic root scheduler: every
+//! schedule (static, guided, work-stealing) at every thread count and
+//! under every traversal mode produces scores — and metered per-root
+//! streams — bitwise identical to the static single-threaded run.
+//! Only the *assignment* of shards to workers is dynamic; the
+//! root-ordered merge pins the floating-point association.
+
+use bc_core::{parallel, BcOptions, Method, RootSelection, Schedule, TraversalMode};
+use bc_graph::{gen, Csr};
+
+/// A skewed two-component graph: a long path (deep, expensive roots)
+/// next to a small-world blob (shallow, cheap ones). Shard costs
+/// differ wildly, so a scheduler that let assignment leak into merge
+/// order would show it here.
+fn skewed_graph() -> Csr {
+    let mut edges: Vec<(u32, u32)> = (0..199u32).map(|i| (i, i + 1)).collect();
+    let blob = gen::watts_strogatz(200, 6, 0.1, 11);
+    for v in blob.vertices() {
+        for &w in blob.neighbors(v) {
+            if v < w {
+                edges.push((v + 200, w + 200));
+            }
+        }
+    }
+    Csr::from_undirected_edges(400, edges)
+}
+
+#[test]
+fn all_schedules_threads_and_traversals_are_bitwise_identical() {
+    let g = skewed_graph();
+    let opts = |schedule, threads, traversal| BcOptions {
+        roots: RootSelection::Strided(128),
+        threads,
+        traversal,
+        schedule,
+        ..Default::default()
+    };
+    let push_baseline = Method::WorkEfficient
+        .run(&g, &opts(Schedule::Static, 1, TraversalMode::Push))
+        .unwrap();
+    for traversal in [
+        TraversalMode::Push,
+        TraversalMode::Pull,
+        TraversalMode::Auto,
+    ] {
+        // Scores are bitwise identical across traversal modes too;
+        // simulated timings are only comparable within one mode (pull
+        // levels price differently), so each mode carries its own
+        // static single-threaded timing baseline.
+        let baseline = Method::WorkEfficient
+            .run(&g, &opts(Schedule::Static, 1, traversal))
+            .unwrap();
+        assert_eq!(baseline.scores, push_baseline.scores, "{traversal:?}");
+        for schedule in Schedule::ALL {
+            for threads in [1usize, 3, 8] {
+                let run = Method::WorkEfficient
+                    .run(&g, &opts(schedule, threads, traversal))
+                    .unwrap();
+                let tag = format!("{schedule} threads={threads} {traversal:?}");
+                assert_eq!(run.scores, push_baseline.scores, "{tag}");
+                assert_eq!(
+                    run.report.per_root_seconds, baseline.report.per_root_seconds,
+                    "{tag}"
+                );
+                assert_eq!(run.report.max_depths, baseline.report.max_depths, "{tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn metered_streams_and_summaries_match_static_under_every_schedule() {
+    // The metrics stream is emitted in global root order regardless
+    // of which worker ran which shard, so the full per-root stream —
+    // and the aggregated summary embedded in the report — must be
+    // identical to the static run's, not merely equivalent.
+    let g = skewed_graph();
+    let opts = |schedule, threads| BcOptions {
+        roots: RootSelection::Strided(96),
+        threads,
+        traversal: TraversalMode::Auto,
+        schedule,
+        ..Default::default()
+    };
+    let (base_run, base_metrics) = Method::Sampling(Default::default())
+        .run_metered(&g, &opts(Schedule::Static, 1))
+        .unwrap();
+    for schedule in Schedule::ALL {
+        for threads in [1usize, 3, 8] {
+            let (run, metrics) = Method::Sampling(Default::default())
+                .run_metered(&g, &opts(schedule, threads))
+                .unwrap();
+            let tag = format!("{schedule} threads={threads}");
+            assert_eq!(run.scores, base_run.scores, "{tag}");
+            assert_eq!(metrics.per_root, base_metrics.per_root, "{tag}");
+            assert_eq!(metrics.summary, base_metrics.summary, "{tag}");
+            assert_eq!(run.report.metrics, base_run.report.metrics, "{tag}");
+            // The worker records are the only part allowed to differ
+            // (they describe the dynamic assignment), and they must
+            // replay cleanly against shard geometry.
+            let violations = bc_verify::check_worker_metrics(&metrics.per_worker);
+            assert!(violations.is_empty(), "{tag}: {violations:?}");
+            assert!(!metrics.per_worker.is_empty(), "{tag}");
+            for phase in [0u64, 1] {
+                let count = metrics
+                    .per_worker
+                    .iter()
+                    .filter(|w| w.phase == phase)
+                    .count();
+                assert!(
+                    count <= threads,
+                    "{tag}: phase {phase} has {count} worker records for {threads} threads"
+                );
+            }
+            assert!(
+                metrics.per_worker.iter().all(|w| w.phase <= 1),
+                "{tag}: sampling runs at most two phases"
+            );
+        }
+    }
+}
+
+#[test]
+fn cpu_runner_is_bitwise_identical_under_every_schedule() {
+    let g = skewed_graph();
+    let roots: Vec<u32> = (0..400).collect();
+    let baseline = parallel::cpu_betweenness_from_roots(&g, &roots, 1).unwrap();
+    for schedule in Schedule::ALL {
+        for threads in [1usize, 3, 8] {
+            let scores =
+                parallel::cpu_betweenness_from_roots_scheduled(&g, &roots, threads, schedule)
+                    .unwrap();
+            assert_eq!(scores, baseline, "{schedule} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn schedule_parse_round_trips_the_cli_names() {
+    for schedule in Schedule::ALL {
+        assert_eq!(Schedule::parse(schedule.name()), Some(schedule));
+    }
+    assert_eq!(Schedule::parse("nonsense"), None);
+}
