@@ -20,6 +20,24 @@ if [[ "${1:-}" != "fast" ]]; then
     echo "==> cargo clippy -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
 
+    # Docs gate: rustdoc must build clean (broken intra-doc links and
+    # invalid HTML are errors, not noise).
+    echo "==> cargo doc -D warnings"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+    # Static-analysis gate: the kernel-IR race prover (backward sweep
+    # and pull discovery race-free for ALL inputs, minimal atomic sets
+    # = declared = priced), the exhaustive scheduler-interleaving
+    # explorer at the full 4x6 bound, and the spec-vs-trace
+    # conformance replay over all ten dataset analogues.
+    echo "==> bc-analyze gate"
+    cargo run -q -p bc-analyze --release --bin bc-analyze
+    # The analyzer's own regression suite: every seeded bug
+    # (predecessor-style accumulation, CAS-less dedup, level
+    # off-by-one, torn steal, completion-order merge) must be flagged.
+    echo "==> bc-analyze mutation battery"
+    cargo run -q -p bc-analyze --release --bin bc-analyze -- --mutation-battery --quick
+
     # Race detector + invariant suite: seeded-bug self-test, the ten
     # dataset analogues, the exact-score identities, and the stage-5
     # metrics-vs-trace counter cross-check.

@@ -1,0 +1,150 @@
+//! `bc-analyze` — the static-analysis gate.
+//!
+//! Default run: all three passes over the real kernels and scheduler —
+//! the kernel-IR race prover (with atomic-set audit), the exhaustive
+//! scheduler-interleaving explorer at the full 4×6 bound, and the
+//! spec-vs-trace conformance replay over every dataset analogue.
+//! Exit status is non-zero if any pass finds a violation.
+//!
+//! `--mutant NAME` seeds one bug and *inverts* the expectation: exit 0
+//! iff the analyzer flags it. `--mutation-battery` does that for every
+//! seeded bug at once.
+
+#![forbid(unsafe_code)]
+
+use bc_analyze::mutants::Mutant;
+use bc_analyze::{analyze, analyze_with_mutant, mutation_battery, AnalyzeOptions};
+use std::process::ExitCode;
+
+struct Options {
+    analyze: AnalyzeOptions,
+    mutant: Option<Mutant>,
+    battery: bool,
+}
+
+const USAGE: &str =
+    "bc-analyze: prove the simulated BC kernels race-free and the shard scheduler lossless
+
+USAGE:
+    bc-analyze [--quick] [--roots N] [--seed N] [--max-states N]
+               [--datasets N] [--mutant NAME | --mutation-battery]
+
+OPTIONS:
+    --quick             Quick explorer bound (3 workers x 4 shards) instead of 4x6
+    --roots N           Conformance roots per dataset [default: 2]
+    --seed N            Dataset generator seed [default: 7]
+    --max-states N      Override the explorer's state budget
+    --datasets N        Replay only the first N dataset analogues [default: all 10]
+    --mutant NAME       Seed one bug; exit 0 iff the analyzer flags it.
+                        Names: predecessor-accumulation, dedup-without-cas,
+                        level-off-by-one, non-atomic-steal, completion-order-merge
+    --mutation-battery  Seed every bug in turn; exit 0 iff all are flagged
+    -h, --help          Print this help
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        analyze: AnalyzeOptions::default(),
+        mutant: None,
+        battery: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--quick" => opts.analyze.quick = true,
+            "--roots" => {
+                opts.analyze.roots = value("--roots")?
+                    .parse()
+                    .map_err(|e| format!("--roots: {e}"))?;
+            }
+            "--seed" => {
+                opts.analyze.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--max-states" => {
+                opts.analyze.max_states = Some(
+                    value("--max-states")?
+                        .parse()
+                        .map_err(|e| format!("--max-states: {e}"))?,
+                );
+            }
+            "--datasets" => {
+                opts.analyze.datasets = Some(
+                    value("--datasets")?
+                        .parse()
+                        .map_err(|e| format!("--datasets: {e}"))?,
+                );
+            }
+            "--mutant" => {
+                let name = value("--mutant")?;
+                opts.mutant =
+                    Some(Mutant::parse(&name).ok_or_else(|| format!("unknown mutant: {name}"))?);
+            }
+            "--mutation-battery" => opts.battery = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if opts.analyze.roots == 0 {
+        return Err("--roots must be at least 1".into());
+    }
+    if opts.mutant.is_some() && opts.battery {
+        return Err("--mutant and --mutation-battery are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bc-analyze: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.battery {
+        let (all, lines) = mutation_battery(&opts.analyze);
+        print!("{lines}");
+        return if all {
+            println!(
+                "mutation battery: all {} seeded bugs flagged",
+                Mutant::ALL.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            println!("mutation battery: FAILED (a seeded bug survived the analyzer)");
+            ExitCode::FAILURE
+        };
+    }
+
+    if let Some(m) = opts.mutant {
+        let (flagged, evidence) = analyze_with_mutant(m, &opts.analyze);
+        return if flagged {
+            println!("mutant {m}: flagged");
+            print!("{evidence}");
+            ExitCode::SUCCESS
+        } else {
+            println!("mutant {m}: MISSED — the analyzer accepted a seeded bug");
+            ExitCode::FAILURE
+        };
+    }
+
+    let report = analyze(&opts.analyze);
+    print!("{}", report.render());
+    if report.is_clean() {
+        println!("bc-analyze: all passes clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("bc-analyze: FAILED");
+        ExitCode::FAILURE
+    }
+}

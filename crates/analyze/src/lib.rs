@@ -1,0 +1,319 @@
+//! `bc-analyze` — the static-analysis gate over the simulated BC
+//! kernels and their scheduler.
+//!
+//! Three passes, one verdict:
+//!
+//! 1. **Prover** ([`prover`]): abstract-interprets the symbolic
+//!    kernel IR ([`bc_core::kernel_spec`]) and proves per-launch
+//!    write-disjointness for *all* inputs — the paper's "the
+//!    successor-based accumulation needs no atomics" as a theorem —
+//!    and derives each kernel's minimal atomic set, which must equal
+//!    both the declared and the priced set.
+//! 2. **Explorer** ([`model`]): a bounded exhaustive interleaving
+//!    exploration of the shard scheduler (steal/claim/steal-back-half
+//!    and the guided cursor), asserting no shard is lost, duplicated,
+//!    or merged out of root-index order under *any* schedule of
+//!    worker steps.
+//! 3. **Conformance** ([`conformance`]): replays recorded engine
+//!    traces from the dataset analogues against the IR, so the specs
+//!    the prover trusts can never drift from the engine that emits
+//!    the accesses.
+//!
+//! The [`mutants`] battery seeds classic BC bugs (predecessor-style
+//! accumulation, CAS-less dedup, an off-by-one level segment, a racy
+//! steal, completion-order merging) and demands the gate reject every
+//! one — the analyzer's own regression suite.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod conformance;
+pub mod model;
+pub mod mutants;
+pub mod prover;
+
+use bc_core::Schedule;
+use conformance::{check_conformance, ConformanceOptions, ConformanceReport};
+use model::{explore, ModelConfig, ModelError, SchedulerMutant};
+use mutants::Mutant;
+use prover::{prove, ProverReport, SpecSet};
+
+/// Knobs for one full analysis run.
+#[derive(Clone, Debug)]
+pub struct AnalyzeOptions {
+    /// Roots per dataset in the conformance pass.
+    pub roots: usize,
+    /// Dataset generator seed.
+    pub seed: u64,
+    /// Use the quick explorer bound (3×4) instead of the full 4×6.
+    pub quick: bool,
+    /// Override the explorer's state budget.
+    pub max_states: Option<usize>,
+    /// Restrict conformance to this many datasets (None = all ten).
+    pub datasets: Option<usize>,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> AnalyzeOptions {
+        AnalyzeOptions {
+            roots: 2,
+            seed: 7,
+            quick: false,
+            max_states: None,
+            datasets: None,
+        }
+    }
+}
+
+impl AnalyzeOptions {
+    /// The CLI smoke configuration: quick bound, one root, a couple
+    /// of datasets — seconds, not minutes.
+    pub fn smoke() -> AnalyzeOptions {
+        AnalyzeOptions {
+            roots: 1,
+            quick: true,
+            datasets: Some(2),
+            ..AnalyzeOptions::default()
+        }
+    }
+
+    fn model_config(&self) -> ModelConfig {
+        let mut cfg = if self.quick {
+            ModelConfig::quick()
+        } else {
+            ModelConfig::full()
+        };
+        if let Some(m) = self.max_states {
+            cfg.max_states = m;
+        }
+        cfg
+    }
+
+    fn conformance_options(&self) -> ConformanceOptions {
+        let mut opts = ConformanceOptions::full(self.roots, self.seed);
+        if let Some(k) = self.datasets {
+            opts.datasets.truncate(k);
+        }
+        opts
+    }
+}
+
+/// Outcome of one scheduler exploration.
+#[derive(Clone, Debug)]
+pub struct ExplorationOutcome {
+    /// The schedule explored.
+    pub schedule: Schedule,
+    /// Whether the cost vector was skewed (vs unit).
+    pub skewed: bool,
+    /// `Ok` = exhausted clean; `Err` = violation or budget.
+    pub result: Result<model::Exploration, ModelError>,
+}
+
+/// The combined verdict of all three passes.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// The prover's launch proofs and atomic audits.
+    pub prover: ProverReport,
+    /// One exploration per schedule × cost shape.
+    pub explorations: Vec<ExplorationOutcome>,
+    /// The trace-replay verdict.
+    pub conformance: ConformanceReport,
+}
+
+impl AnalysisReport {
+    /// True when every pass is clean.
+    pub fn is_clean(&self) -> bool {
+        self.prover.is_clean()
+            && self.explorations.iter().all(|e| e.result.is_ok())
+            && self.conformance.is_clean()
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== kernel IR prover ==\n");
+        for l in &self.prover.launches {
+            let axioms: Vec<String> = l.axioms_used.iter().map(|a| a.to_string()).collect();
+            if l.is_race_free() {
+                out.push_str(&format!(
+                    "  {:<13} race-free for all inputs (axioms: {})\n",
+                    l.launch.to_string(),
+                    if axioms.is_empty() {
+                        "none".to_string()
+                    } else {
+                        axioms.join(", ")
+                    }
+                ));
+            } else {
+                out.push_str(&format!("  {:<13} RACY:\n", l.launch.to_string()));
+                for r in &l.races {
+                    out.push_str(&format!("    {r}\n"));
+                }
+            }
+        }
+        for a in &self.prover.audits {
+            let show = |v: &Vec<_>| format!("{v:?}");
+            if a.agrees() {
+                out.push_str(&format!(
+                    "  {:<15} minimal atomics = declared = priced: {}\n",
+                    a.kernel.to_string(),
+                    show(&a.required)
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  {:<15} ATOMIC DRIFT: declared {} required {} priced {}\n",
+                    a.kernel.to_string(),
+                    show(&a.declared),
+                    show(&a.required),
+                    show(&a.priced)
+                ));
+            }
+        }
+        out.push_str("== scheduler interleaving explorer ==\n");
+        for e in &self.explorations {
+            let costs = if e.skewed { "skewed" } else { "unit" };
+            match &e.result {
+                Ok(x) => out.push_str(&format!(
+                    "  {:<13} {costs:<6} exhausted: {} states, {} terminals, 0 violations\n",
+                    e.schedule.to_string(),
+                    x.states,
+                    x.terminals
+                )),
+                Err(err) => out.push_str(&format!(
+                    "  {:<13} {costs:<6} FAILED: {err}\n",
+                    e.schedule.to_string()
+                )),
+            }
+        }
+        out.push_str("== spec-vs-trace conformance ==\n");
+        out.push_str(&format!(
+            "  {} datasets, {} runs, {} levels, {} events, {} violations\n",
+            self.conformance.datasets,
+            self.conformance.runs,
+            self.conformance.levels,
+            self.conformance.events,
+            self.conformance.error_count
+        ));
+        for e in &self.conformance.errors {
+            out.push_str(&format!("    {e}\n"));
+        }
+        if self.conformance.error_count > self.conformance.errors.len() as u64 {
+            out.push_str(&format!(
+                "    … and {} more\n",
+                self.conformance.error_count - self.conformance.errors.len() as u64
+            ));
+        }
+        for u in &self.conformance.unhit_specs {
+            out.push_str(&format!("    UNHIT SPEC: {u}\n"));
+        }
+        out
+    }
+}
+
+fn run_explorations(cfg: &ModelConfig, mutant: Option<SchedulerMutant>) -> Vec<ExplorationOutcome> {
+    let mut out = Vec::new();
+    for schedule in Schedule::ALL {
+        for cfg in [cfg.clone(), cfg.skewed()] {
+            out.push(ExplorationOutcome {
+                schedule,
+                skewed: cfg.costs.is_some(),
+                result: explore(schedule, &cfg, mutant),
+            });
+        }
+    }
+    out
+}
+
+/// Run all three passes over the *real* kernel specs and scheduler.
+pub fn analyze(opts: &AnalyzeOptions) -> AnalysisReport {
+    AnalysisReport {
+        prover: prove(&SpecSet::real()),
+        explorations: run_explorations(&opts.model_config(), None),
+        conformance: check_conformance(&opts.conformance_options()),
+    }
+}
+
+/// Run the pass responsible for `mutant` with the bug seeded.
+/// Returns `true` when the analyzer **flagged** the bug (the desired
+/// outcome) and the rendered evidence.
+pub fn analyze_with_mutant(mutant: Mutant, opts: &AnalyzeOptions) -> (bool, String) {
+    match mutant {
+        Mutant::Spec(m) => {
+            let report = prove(&m.apply());
+            let mut evidence = String::new();
+            for l in report.launches.iter().filter(|l| !l.is_race_free()) {
+                for r in &l.races {
+                    evidence.push_str(&format!("  {}: {r}\n", l.launch));
+                }
+            }
+            for a in report.audits.iter().filter(|a| !a.agrees()) {
+                evidence.push_str(&format!(
+                    "  {}: declared {:?} != required {:?}\n",
+                    a.kernel, a.declared, a.required
+                ));
+            }
+            (!report.is_clean(), evidence)
+        }
+        Mutant::Scheduler(m) => {
+            let failures: Vec<String> = run_explorations(&opts.model_config(), Some(m))
+                .into_iter()
+                .filter_map(|e| match e.result {
+                    // Budget exhaustion is not a caught bug.
+                    Err(ModelError::Violation(v)) => Some(format!(
+                        "  {} ({}): {} via [{}]\n",
+                        e.schedule,
+                        if e.skewed { "skewed" } else { "unit" },
+                        v.kind,
+                        v.steps.join(", ")
+                    )),
+                    _ => None,
+                })
+                .collect();
+            (!failures.is_empty(), failures.concat())
+        }
+    }
+}
+
+/// Run the whole mutation battery: every seeded bug must be flagged.
+/// Returns `(all_flagged, per-mutant lines)`.
+pub fn mutation_battery(opts: &AnalyzeOptions) -> (bool, String) {
+    let mut all = true;
+    let mut out = String::new();
+    for m in Mutant::ALL {
+        let (flagged, evidence) = analyze_with_mutant(m, opts);
+        all &= flagged;
+        out.push_str(&format!(
+            "{:<24} {}\n",
+            m.to_string(),
+            if flagged { "flagged" } else { "MISSED" }
+        ));
+        if flagged {
+            let first = evidence.lines().next().unwrap_or("");
+            out.push_str(&format!("  {}\n", first.trim_start()));
+        }
+    }
+    (all, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_analysis_is_clean() {
+        let report = analyze(&AnalyzeOptions::smoke());
+        assert!(report.is_clean(), "{}", report.render());
+        let rendered = report.render();
+        assert!(rendered.contains("race-free for all inputs"));
+        assert!(rendered.contains("0 violations"));
+    }
+
+    #[test]
+    fn battery_flags_every_mutant_at_smoke_bounds() {
+        let (all, lines) = mutation_battery(&AnalyzeOptions::smoke());
+        assert!(all, "{lines}");
+        for m in Mutant::ALL {
+            assert!(lines.contains(m.name()), "{lines}");
+        }
+    }
+}

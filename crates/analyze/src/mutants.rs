@@ -1,0 +1,191 @@
+//! The mutation battery: seeded bugs the analyzer must catch.
+//!
+//! Each mutant plants one classic betweenness-centrality
+//! implementation error — the exact bugs the paper's design choices
+//! exist to rule out — and the gate demands that `bc-analyze` reject
+//! every one of them. A static-analysis pass that cannot flag a
+//! predecessor-style δ accumulation or a CAS-less frontier proves
+//! nothing when it blesses the real kernels; the battery is the
+//! analyzer's own regression suite.
+//!
+//! Three mutants rewrite kernel specs (caught by the prover); two
+//! rewrite the scheduler model (caught by the interleaving explorer,
+//! see [`crate::model::SchedulerMutant`]).
+
+use crate::model::SchedulerMutant;
+use crate::prover::SpecSet;
+use bc_core::kernel_spec::{IndexExpr, KernelId, SegmentClass};
+use bc_gpusim::trace::{AccessKind, KernelArray};
+
+/// A seeded kernel-spec bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecMutant {
+    /// Accumulate δ at the *predecessor* side, Brandes-style: the
+    /// backward sweep's δ store targets `NeighborOfOwn` instead of the
+    /// lane's own vertex. Two lanes sharing a predecessor now
+    /// plain-write the same cell — the very race the paper's
+    /// successor-based formulation (its Algorithm 3) eliminates.
+    PredecessorAccumulation,
+    /// Discover frontiers with a plain write instead of `atomicCAS` on
+    /// `d`. The direct duplicate-discovery race appears, **and** the
+    /// exactly-once property dies, so [`Axiom::DistinctFrontier`] is
+    /// no longer discharged and the backward sweep's proof collapses
+    /// too — one seeded bug, cascading refutations.
+    ///
+    /// [`Axiom::DistinctFrontier`]: bc_core::kernel_spec::Axiom
+    DedupWithoutCas,
+    /// Read successor δ from the *current* level segment instead of
+    /// the next one — the off-by-one that breaks the level-segment
+    /// partition argument and lets the read collide with another
+    /// lane's δ store.
+    LevelSegmentOffByOne,
+}
+
+impl SpecMutant {
+    /// Every spec mutant.
+    pub const ALL: [SpecMutant; 3] = [
+        SpecMutant::PredecessorAccumulation,
+        SpecMutant::DedupWithoutCas,
+        SpecMutant::LevelSegmentOffByOne,
+    ];
+
+    /// Stable kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecMutant::PredecessorAccumulation => "predecessor-accumulation",
+            SpecMutant::DedupWithoutCas => "dedup-without-cas",
+            SpecMutant::LevelSegmentOffByOne => "level-off-by-one",
+        }
+    }
+
+    /// The real spec set with this bug planted.
+    pub fn apply(self) -> SpecSet {
+        let mut specs = SpecSet::real();
+        match self {
+            SpecMutant::PredecessorAccumulation => {
+                let sweep = specs.get_mut(KernelId::BackwardSweep);
+                let store = sweep
+                    .accesses
+                    .iter_mut()
+                    .find(|a| a.array == KernelArray::Delta && a.kind == AccessKind::Write)
+                    .expect("the sweep has one delta store");
+                store.index = IndexExpr::NeighborOfOwn;
+            }
+            SpecMutant::DedupWithoutCas => {
+                let dedup = specs.get_mut(KernelId::FrontierDedup);
+                let cas = dedup
+                    .accesses
+                    .iter_mut()
+                    .find(|a| a.array == KernelArray::Dist && a.kind == AccessKind::AtomicCas)
+                    .expect("the dedup kernel has the CAS");
+                cas.kind = AccessKind::Write;
+            }
+            SpecMutant::LevelSegmentOffByOne => {
+                let sweep = specs.get_mut(KernelId::BackwardSweep);
+                let read = sweep
+                    .accesses
+                    .iter_mut()
+                    .find(|a| a.array == KernelArray::Delta && a.kind == AccessKind::Read)
+                    .expect("the sweep reads successor delta");
+                read.segment = SegmentClass::Current;
+            }
+        }
+        specs
+    }
+}
+
+/// Every seeded bug, kernel-spec and scheduler alike, under one name
+/// space for the CLI's `--mutant` flag and the battery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutant {
+    /// A kernel-spec bug, refuted by the prover.
+    Spec(SpecMutant),
+    /// A scheduler bug, refuted by the interleaving explorer.
+    Scheduler(SchedulerMutant),
+}
+
+impl Mutant {
+    /// The whole battery.
+    pub const ALL: [Mutant; 5] = [
+        Mutant::Spec(SpecMutant::PredecessorAccumulation),
+        Mutant::Spec(SpecMutant::DedupWithoutCas),
+        Mutant::Spec(SpecMutant::LevelSegmentOffByOne),
+        Mutant::Scheduler(SchedulerMutant::NonAtomicSteal),
+        Mutant::Scheduler(SchedulerMutant::CompletionOrderMerge),
+    ];
+
+    /// Stable kebab-case name (the CLI's `--mutant` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutant::Spec(m) => m.name(),
+            Mutant::Scheduler(m) => m.name(),
+        }
+    }
+
+    /// Parse a `--mutant` flag value.
+    pub fn parse(s: &str) -> Option<Mutant> {
+        Mutant::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+impl std::fmt::Display for Mutant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::prove;
+    use bc_core::kernel_spec::LaunchId;
+
+    #[test]
+    fn predecessor_accumulation_races_the_backward_sweep() {
+        let report = prove(&SpecMutant::PredecessorAccumulation.apply());
+        let backward = report
+            .launches
+            .iter()
+            .find(|l| l.launch == LaunchId::Backward)
+            .unwrap();
+        assert!(!backward.is_race_free(), "shared-predecessor δ race");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn dedup_without_cas_cascades_to_the_backward_proof() {
+        let specs = SpecMutant::DedupWithoutCas.apply();
+        assert!(!specs.discharges_distinct_frontier());
+        let report = prove(&specs);
+        let racy: Vec<_> = report
+            .launches
+            .iter()
+            .filter(|l| !l.is_race_free())
+            .map(|l| l.launch)
+            .collect();
+        assert!(racy.contains(&LaunchId::ForwardPush), "direct dedup race");
+        assert!(
+            racy.contains(&LaunchId::Backward),
+            "losing DistinctFrontier must sink the sweep's proof too"
+        );
+    }
+
+    #[test]
+    fn level_off_by_one_breaks_the_partition_argument() {
+        let report = prove(&SpecMutant::LevelSegmentOffByOne.apply());
+        let backward = report
+            .launches
+            .iter()
+            .find(|l| l.launch == LaunchId::Backward)
+            .unwrap();
+        assert!(!backward.is_race_free(), "read/write δ collision");
+    }
+
+    #[test]
+    fn mutant_names_round_trip() {
+        for m in Mutant::ALL {
+            assert_eq!(Mutant::parse(m.name()), Some(m), "{m}");
+        }
+        assert_eq!(Mutant::parse("no-such-mutant"), None);
+    }
+}

@@ -24,7 +24,7 @@ pub fn betweenness(g: &Csr) -> Result<Vec<f64>, SimError> {
 }
 
 /// Parallel BC contributions from an explicit root set (symmetric
-/// halving applied, matching [`brandes::betweenness_from_roots`]).
+/// halving applied, matching [`crate::brandes::betweenness_from_roots`]).
 /// Thread count resolves per [`parallel::effective_threads`]`(0)`.
 pub fn betweenness_from_roots(g: &Csr, roots: &[VertexId]) -> Result<Vec<f64>, SimError> {
     parallel::cpu_betweenness_from_roots(g, roots, 0)

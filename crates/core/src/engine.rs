@@ -10,6 +10,13 @@
 //! accumulation) and asks a method-specific [`CostModel`] to price
 //! each iteration. This is the classic functional/timing split used
 //! by architecture simulators.
+//!
+//! Every memory access the simulated kernels below emit (via
+//! [`TraceSink`]) must be admitted by the symbolic access
+//! specifications in [`crate::kernel_spec`]; `bc-analyze` replays
+//! recorded traces against those specs, so changes to the emission
+//! sites here must be mirrored there (the conformance gate fails
+//! otherwise).
 
 use bc_gpusim::trace::{AccessKind, KernelArray, NullSink, TraceEvent, TracePhase, TraceSink};
 use bc_gpusim::{DeviceConfig, IterationWork, KernelCounters};
@@ -641,10 +648,14 @@ pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
         // Push inspects the frontier's out-edges; pull's useful
         // probes are the ones that found a frontier parent (the rest
         // are the model's wasted_edges).
-        out.counters.useful_edge_inspections += match traversal {
-            Traversal::Push => frontier_edges,
-            Traversal::Pull => updates,
-        };
+        bc_gpusim::counter_add(
+            &mut out.counters.useful_edge_inspections,
+            match traversal {
+                Traversal::Push => frontier_edges,
+                Traversal::Pull => updates,
+            },
+            "useful_edge_inspections",
+        );
         out.frontier_sizes.push(level_end - level_start);
         out.edge_frontier_sizes.push(frontier_edges);
         out.forward_level_seconds.push(level_seconds);
@@ -789,7 +800,11 @@ pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
         };
         let priced = model.price(g, device, &info);
         charge(&mut out.counters, device, &priced);
-        out.counters.useful_edge_inspections += frontier_edges;
+        bc_gpusim::counter_add(
+            &mut out.counters.useful_edge_inspections,
+            frontier_edges,
+            "useful_edge_inspections",
+        );
         if M::ENABLED {
             metrics.record_level(LevelMetrics {
                 phase: MetricPhase::Backward,
@@ -818,8 +833,16 @@ pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
 
 fn charge(counters: &mut KernelCounters, device: &DeviceConfig, priced: &PricedIteration) {
     counters.charge(device, &priced.work);
-    counters.wasted_edge_inspections += priced.wasted_edges;
-    counters.wasted_vertex_checks += priced.wasted_vertex_checks;
+    bc_gpusim::counter_add(
+        &mut counters.wasted_edge_inspections,
+        priced.wasted_edges,
+        "wasted_edge_inspections",
+    );
+    bc_gpusim::counter_add(
+        &mut counters.wasted_vertex_checks,
+        priced.wasted_vertex_checks,
+        "wasted_vertex_checks",
+    );
 }
 
 /// A cost model that prices nothing — used when only the functional

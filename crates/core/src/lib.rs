@@ -31,6 +31,7 @@ pub mod brandes;
 pub mod cpu_parallel;
 pub mod engine;
 pub mod frontier;
+pub mod kernel_spec;
 pub mod methods;
 pub mod parallel;
 pub mod schedule;
@@ -47,5 +48,5 @@ pub use parallel::{
     cpu_betweenness_from_roots_scheduled, effective_threads, run_roots, run_roots_metered,
     run_roots_scheduled, run_roots_scheduled_metered, RootsRun, ShardableCostModel,
 };
-pub use schedule::{plan_assignment, Schedule};
+pub use schedule::{guided_chunk, lpt_order, lpt_seed, plan_assignment, Schedule};
 pub use solver::{run_with_cost_model, BcOptions, BcRun, Method, RootSelection, RunReport};

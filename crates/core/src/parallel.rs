@@ -418,8 +418,13 @@ fn run_roots_inner<M: ShardableCostModel, const METERED: bool>(
         let mut out = RootOutcome::default();
         let mut acc = merger.take_buffer();
         let mut state = queue.worker_state(worker_id);
-        let mut busy = 0.0f64;
-        let mut idle = 0.0f64;
+        // Busy/idle are accumulated as integer nanoseconds with
+        // checked adds (u128 holds ~10^22 years of them) and only
+        // converted to f64 seconds once at the end: repeated f64 `+=`
+        // of tiny elapsed times loses precision as the sum grows, and
+        // the utilization metrics divide these numbers.
+        let mut busy_nanos = 0u128;
+        let mut idle_nanos = 0u128;
         let mut roots_done = 0u64;
         loop {
             if panics.aborted() {
@@ -433,7 +438,9 @@ fn run_roots_inner<M: ShardableCostModel, const METERED: bool>(
             let claim_started = METERED.then(Instant::now);
             let claimed = queue.claim(&mut state);
             if let Some(t) = claim_started {
-                idle += t.elapsed().as_secs_f64();
+                idle_nanos = idle_nanos
+                    .checked_add(t.elapsed().as_nanos())
+                    .expect("idle nanos overflow u128");
             }
             let Some(shard) = claimed else {
                 break;
@@ -483,7 +490,9 @@ fn run_roots_inner<M: ShardableCostModel, const METERED: bool>(
             match attempt {
                 Ok(meta) => {
                     if let Some(t) = work_started {
-                        busy += t.elapsed().as_secs_f64();
+                        busy_nanos = busy_nanos
+                            .checked_add(t.elapsed().as_nanos())
+                            .expect("busy nanos overflow u128");
                     }
                     roots_done += (hi - lo) as u64;
                     acc = merger.deposit(shard, acc, meta);
@@ -512,8 +521,8 @@ fn run_roots_inner<M: ShardableCostModel, const METERED: bool>(
                     steals: state.stats.steals,
                     failed_steal_attempts: state.stats.failed_steal_attempts,
                     max_queue_depth: state.stats.max_queue_depth,
-                    busy_seconds: busy,
-                    idle_seconds: idle,
+                    busy_seconds: busy_nanos as f64 * 1e-9,
+                    idle_seconds: idle_nanos as f64 * 1e-9,
                 });
         }
     };

@@ -107,14 +107,45 @@ fn least_loaded(loads: &[f64]) -> usize {
 }
 
 /// Shard indices sorted by descending estimated cost (ties ascending
-/// by index), or plain index order when no costs are given.
-fn lpt_order(shards: usize, costs: Option<&[f64]>) -> Vec<u32> {
+/// by index — `total_cmp` plus the index tiebreak make the order a
+/// pure function of the inputs), or plain index order when no costs
+/// are given.
+///
+/// Public so the `bc-analyze` scheduler model seeds its abstract
+/// queues with the *same* order the runner uses.
+pub fn lpt_order(shards: usize, costs: Option<&[f64]>) -> Vec<u32> {
     let mut order: Vec<u32> = (0..shards as u32).collect();
     if let Some(c) = costs {
         debug_assert_eq!(c.len(), shards);
         order.sort_by(|&a, &b| c[b as usize].total_cmp(&c[a as usize]).then(a.cmp(&b)));
     }
     order
+}
+
+/// The guided schedule's chunk size: claim `remaining / (2·workers)`
+/// shards, minimum 1, from the shared cursor. Factored out so the
+/// runner (`ShardQueue::claim`), the cluster planner
+/// ([`plan_assignment`]), and the `bc-analyze` interleaving model all
+/// compute the identical geometric shrink.
+pub fn guided_chunk(remaining: usize, workers: usize) -> usize {
+    (remaining / (2 * workers.max(1))).max(1)
+}
+
+/// LPT-greedy seeding: deal shards in [`lpt_order`] to the currently
+/// least-loaded worker (ties to the lowest index). This is both the
+/// work-stealing runner's initial deque fill and the fixed point its
+/// steal-based balancing converges to, which is why the cluster
+/// planner reuses it verbatim.
+pub fn lpt_seed(shards: usize, workers: usize, costs: Option<&[f64]>) -> Vec<Vec<u32>> {
+    let workers = workers.max(1);
+    let mut queues: Vec<Vec<u32>> = (0..workers).map(|_| Vec::new()).collect();
+    let mut loads = vec![0.0f64; workers];
+    for &s in &lpt_order(shards, costs) {
+        let w = least_loaded(&loads);
+        queues[w].push(s);
+        loads[w] += costs.map_or(1.0, |c| c[s as usize]);
+    }
+    queues
 }
 
 /// The shared claim source the workers of one run draw shards from.
@@ -167,19 +198,12 @@ impl ShardQueue {
                 next: AtomicUsize::new(0),
                 workers,
             },
-            Schedule::WorkStealing => {
-                let mut queues: Vec<VecDeque<u32>> =
-                    (0..workers).map(|_| VecDeque::new()).collect();
-                let mut loads = vec![0.0f64; workers];
-                for &s in &lpt_order(shards, costs) {
-                    let w = least_loaded(&loads);
-                    queues[w].push_back(s);
-                    loads[w] += costs.map_or(1.0, |c| c[s as usize]);
-                }
-                ShardQueue::Stealing {
-                    queues: queues.into_iter().map(Mutex::new).collect(),
-                }
-            }
+            Schedule::WorkStealing => ShardQueue::Stealing {
+                queues: lpt_seed(shards, workers, costs)
+                    .into_iter()
+                    .map(|q| Mutex::new(q.into_iter().collect()))
+                    .collect(),
+            },
         }
     }
 
@@ -219,7 +243,7 @@ impl ShardQueue {
                     // cursor moves — that only perturbs the chunk size,
                     // never which shards exist or how they merge.
                     let remaining = len.saturating_sub(next.load(Ordering::Relaxed));
-                    let take = (remaining / (2 * workers)).max(1);
+                    let take = guided_chunk(remaining, *workers);
                     let lo = next.fetch_add(take, Ordering::Relaxed);
                     if lo >= len {
                         return None;
@@ -304,11 +328,11 @@ pub fn plan_assignment(costs: &[f64], workers: usize, schedule: Schedule) -> Vec
             }
         }
         Schedule::WorkStealing => {
-            let mut loads = vec![0.0f64; workers];
-            for s in lpt_order(costs.len(), Some(costs)) {
-                let w = least_loaded(&loads);
-                out[w].push(s as usize);
-                loads[w] += costs[s as usize];
+            for (w, q) in lpt_seed(costs.len(), workers, Some(costs))
+                .into_iter()
+                .enumerate()
+            {
+                out[w] = q.into_iter().map(|s| s as usize).collect();
             }
         }
         Schedule::Guided => {
@@ -317,7 +341,7 @@ pub fn plan_assignment(costs: &[f64], workers: usize, schedule: Schedule) -> Vec
             let mut pos = 0;
             while pos < order.len() {
                 let remaining = order.len() - pos;
-                let take = (remaining / (2 * workers)).max(1).min(remaining);
+                let take = guided_chunk(remaining, workers).min(remaining);
                 let w = least_loaded(&loads);
                 for &s in &order[pos..pos + take] {
                     out[w].push(s as usize);
@@ -464,6 +488,72 @@ mod tests {
             items.sort_unstable();
             assert_eq!(items, (0..7).collect::<Vec<_>>(), "{schedule}");
         }
+    }
+
+    #[test]
+    fn zero_shards_yield_no_claims_anywhere() {
+        for schedule in Schedule::ALL {
+            let q = ShardQueue::new(schedule, 0, 4, None);
+            for w in 0..4 {
+                let mut st = q.worker_state(w);
+                assert_eq!(q.claim(&mut st), None, "{schedule} worker {w}");
+                assert!(st.stats.shards.is_empty());
+            }
+        }
+        assert!(lpt_order(0, None).is_empty());
+        assert_eq!(lpt_seed(0, 3, None), vec![Vec::new(); 3]);
+    }
+
+    #[test]
+    fn more_workers_than_shards_leaves_late_workers_empty_handed() {
+        let costs = [4.0, 2.0];
+        for schedule in Schedule::ALL {
+            let q = ShardQueue::new(schedule, 2, 8, Some(&costs));
+            let per_worker = drain_all(&q, 8);
+            let all: Vec<u32> = per_worker.concat();
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1], "{schedule}: both shards, exactly once");
+            let nonempty = per_worker.iter().filter(|w| !w.is_empty()).count();
+            assert!(nonempty <= 2, "{schedule}: at most one worker per shard");
+        }
+    }
+
+    #[test]
+    fn single_shard_goes_to_exactly_one_worker() {
+        for schedule in Schedule::ALL {
+            let q = ShardQueue::new(schedule, 1, 4, Some(&[3.0]));
+            let all: Vec<u32> = drain_all(&q, 4).concat();
+            assert_eq!(all, vec![0], "{schedule}");
+        }
+    }
+
+    #[test]
+    fn all_equal_costs_keep_lpt_deterministic() {
+        // With every estimate tied, the index tiebreak must make LPT
+        // the identity order — and therefore a pure function of the
+        // shard count, not of sort internals.
+        let costs = vec![7.5f64; 9];
+        assert_eq!(lpt_order(9, Some(&costs)), (0..9u32).collect::<Vec<_>>());
+        // Seeding then deals round-robin (least-loaded tie goes to the
+        // lowest worker index every round).
+        let seed = lpt_seed(9, 3, Some(&costs));
+        assert_eq!(seed, vec![vec![0, 3, 6], vec![1, 4, 7], vec![2, 5, 8]]);
+        // And the planned assignments are reproducible run to run.
+        for schedule in Schedule::ALL {
+            let a = plan_assignment(&costs, 3, schedule);
+            let b = plan_assignment(&costs, 3, schedule);
+            assert_eq!(a, b, "{schedule}");
+        }
+    }
+
+    #[test]
+    fn guided_chunk_shrinks_geometrically_to_one() {
+        assert_eq!(guided_chunk(24, 3), 4);
+        assert_eq!(guided_chunk(6, 3), 1);
+        assert_eq!(guided_chunk(1, 3), 1);
+        assert_eq!(guided_chunk(0, 3), 1, "floor is 1 even when drained");
+        assert_eq!(guided_chunk(10, 0), 5, "zero workers clamps to one");
     }
 
     #[test]

@@ -5,6 +5,17 @@ use crate::device::DeviceConfig;
 use crate::timing::IterationWork;
 use serde::{Deserialize, Serialize};
 
+/// Checked counter accumulation: `acc += delta` that panics on u64
+/// overflow instead of wrapping. Work counters feed efficiency
+/// ratios, TEPS figures, and trace cross-checks; a silent wrap on the
+/// planned 10–100x graphs would corrupt all three while looking like
+/// a plausible small number.
+pub fn counter_add(acc: &mut u64, delta: u64, what: &str) {
+    *acc = acc
+        .checked_add(delta)
+        .unwrap_or_else(|| panic!("{what} counter overflows u64"));
+}
+
 /// Accumulated statistics for a simulated kernel execution (one root,
 /// or a whole run — the struct is additive).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -37,34 +48,86 @@ pub struct KernelCounters {
 impl KernelCounters {
     /// Record one iteration's work and its price on `device`.
     pub fn charge(&mut self, device: &DeviceConfig, work: &IterationWork) {
-        self.iterations += 1;
-        self.warp_steps += work.warp_steps;
-        self.coalesced_bytes += work.coalesced_bytes;
-        self.random_accesses += work.random_accesses;
-        self.scattered_accesses += work.scattered_accesses;
-        self.bitmap_accesses += work.bitmap_accesses;
-        self.atomics += work.atomics + work.contended_atomics;
+        counter_add(&mut self.iterations, 1, "iterations");
+        counter_add(&mut self.warp_steps, work.warp_steps, "warp_steps");
+        counter_add(
+            &mut self.coalesced_bytes,
+            work.coalesced_bytes,
+            "coalesced_bytes",
+        );
+        counter_add(
+            &mut self.random_accesses,
+            work.random_accesses,
+            "random_accesses",
+        );
+        counter_add(
+            &mut self.scattered_accesses,
+            work.scattered_accesses,
+            "scattered_accesses",
+        );
+        counter_add(
+            &mut self.bitmap_accesses,
+            work.bitmap_accesses,
+            "bitmap_accesses",
+        );
+        counter_add(
+            &mut self.atomics,
+            work.atomics
+                .checked_add(work.contended_atomics)
+                .expect("atomics counter overflows u64"),
+            "atomics",
+        );
         self.seconds += device.block_iteration_seconds(work);
     }
 
     /// Merge another counter set into this one.
     pub fn merge(&mut self, other: &KernelCounters) {
-        self.iterations += other.iterations;
-        self.useful_edge_inspections += other.useful_edge_inspections;
-        self.wasted_edge_inspections += other.wasted_edge_inspections;
-        self.wasted_vertex_checks += other.wasted_vertex_checks;
-        self.warp_steps += other.warp_steps;
-        self.coalesced_bytes += other.coalesced_bytes;
-        self.random_accesses += other.random_accesses;
-        self.scattered_accesses += other.scattered_accesses;
-        self.bitmap_accesses += other.bitmap_accesses;
-        self.atomics += other.atomics;
+        counter_add(&mut self.iterations, other.iterations, "iterations");
+        counter_add(
+            &mut self.useful_edge_inspections,
+            other.useful_edge_inspections,
+            "useful_edge_inspections",
+        );
+        counter_add(
+            &mut self.wasted_edge_inspections,
+            other.wasted_edge_inspections,
+            "wasted_edge_inspections",
+        );
+        counter_add(
+            &mut self.wasted_vertex_checks,
+            other.wasted_vertex_checks,
+            "wasted_vertex_checks",
+        );
+        counter_add(&mut self.warp_steps, other.warp_steps, "warp_steps");
+        counter_add(
+            &mut self.coalesced_bytes,
+            other.coalesced_bytes,
+            "coalesced_bytes",
+        );
+        counter_add(
+            &mut self.random_accesses,
+            other.random_accesses,
+            "random_accesses",
+        );
+        counter_add(
+            &mut self.scattered_accesses,
+            other.scattered_accesses,
+            "scattered_accesses",
+        );
+        counter_add(
+            &mut self.bitmap_accesses,
+            other.bitmap_accesses,
+            "bitmap_accesses",
+        );
+        counter_add(&mut self.atomics, other.atomics, "atomics");
         self.seconds += other.seconds;
     }
 
     /// Total edge inspections, useful or not.
     pub fn total_edge_inspections(&self) -> u64 {
-        self.useful_edge_inspections + self.wasted_edge_inspections
+        self.useful_edge_inspections
+            .checked_add(self.wasted_edge_inspections)
+            .expect("edge inspection total overflows u64")
     }
 
     /// Fraction of edge inspections that were useful (1.0 when no

@@ -43,6 +43,6 @@ pub mod warp;
 pub use device::DeviceConfig;
 pub use error::SimError;
 pub use fault::{FaultHook, NoFaults};
-pub use kernel::KernelCounters;
+pub use kernel::{counter_add, KernelCounters};
 pub use memory::{Allocation, DeviceMemory};
 pub use timing::{coarse_grained_makespan, IterationWork};

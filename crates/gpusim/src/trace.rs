@@ -49,6 +49,22 @@ pub enum KernelArray {
 }
 
 impl KernelArray {
+    /// Every kernel array, in declaration order — spec-coverage
+    /// checks (`bc-analyze`) iterate this to prove no array escapes
+    /// the static access specifications.
+    pub const ALL: [KernelArray; 10] = [
+        KernelArray::Dist,
+        KernelArray::Sigma,
+        KernelArray::Delta,
+        KernelArray::QCurr,
+        KernelArray::QNext,
+        KernelArray::Stack,
+        KernelArray::Ends,
+        KernelArray::VisitedBits,
+        KernelArray::FrontierBits,
+        KernelArray::NextBits,
+    ];
+
     /// The paper's name for the array.
     pub fn name(self) -> &'static str {
         match self {
@@ -82,6 +98,15 @@ pub enum AccessKind {
 }
 
 impl AccessKind {
+    /// Every access flavor, in declaration order.
+    pub const ALL: [AccessKind; 5] = [
+        AccessKind::Read,
+        AccessKind::Write,
+        AccessKind::AtomicCas,
+        AccessKind::AtomicAdd,
+        AccessKind::AtomicOr,
+    ];
+
     /// Does this access modify the cell?
     pub fn is_write(self) -> bool {
         !matches!(self, AccessKind::Read)

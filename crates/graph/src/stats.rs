@@ -95,7 +95,7 @@ const ECC_SWEEP_COMPONENTS: usize = 8;
 /// A Brandes search from root `r` touches exactly `r`'s connected
 /// component — `n_c + m_c` units of work — and runs one level per BFS
 /// depth, so its cost is estimated as the component weight plus
-/// [`LEVEL_COST`] times a lower bound on `r`'s eccentricity. The
+/// `LEVEL_COST` times a lower bound on `r`'s eccentricity. The
 /// bounds come from multi-sweep BFS (the [`traversal::diameter_estimate`]
 /// technique): every sweep from `s` gives `d(s, v) <= ecc(v)` for all
 /// reached `v`, and restarting from the farthest vertex tightens the
@@ -117,17 +117,30 @@ impl RootCostEstimator {
         let n = g.num_vertices();
         let comp = traversal::connected_components(g);
         let num_comps = comp.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
-        let mut comp_weight = vec![0.0f64; num_comps];
+        // Accumulate component weights in u64 with checked adds and
+        // convert to f64 once at the end: f64 `+=` would silently lose
+        // units past 2^53, and a wrong weight only *mis-ranks* roots —
+        // nothing downstream would ever catch it.
+        let mut comp_units = vec![0u64; num_comps];
         let mut comp_min_vertex = vec![u32::MAX; num_comps];
         let mut comp_size = vec![0usize; num_comps];
         for v in g.vertices() {
             let c = comp[v as usize] as usize;
             // Component weight = vertices + degree sum (2m_c): the
             // O(n_c + m_c) work of one search over the component.
-            comp_weight[c] += 1.0 + g.degree(v) as f64;
+            comp_units[c] = comp_units[c]
+                .checked_add(1 + g.degree(v) as u64)
+                .expect("component weight overflows u64");
             comp_min_vertex[c] = comp_min_vertex[c].min(v);
             comp_size[c] += 1;
         }
+        let comp_weight: Vec<f64> = comp_units
+            .iter()
+            .map(|&w| {
+                debug_assert!(w <= 1u64 << 53, "component weight not exact in f64");
+                w as f64
+            })
+            .collect();
 
         let mut ecc_lb = vec![0u32; n];
         let mut major: Vec<usize> = (0..num_comps).filter(|&c| comp_size[c] >= 2).collect();

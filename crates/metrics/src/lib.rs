@@ -9,7 +9,7 @@
 //! summaries (warp efficiency, memory transactions, kernel launches)
 //! and per-GPU cluster phase timelines.
 //!
-//! The hook family mirrors [`bc_gpusim::trace::TraceSink`]: a
+//! The hook family mirrors `bc_gpusim::trace::TraceSink`: a
 //! [`MetricsSink`] trait with an associated `const ENABLED`, a
 //! [`NullMetrics`] no-op whose `ENABLED = false` lets every emission
 //! site compile away, and a [`MetricsRecorder`] that keeps everything.

@@ -5,7 +5,7 @@ use crate::record::{LevelMetrics, RootMetrics};
 
 /// Receiver for the engine's per-level metric records.
 ///
-/// Same contract as [`bc_gpusim::trace::TraceSink`]: the engine
+/// Same contract as `bc_gpusim::trace::TraceSink`: the engine
 /// guards every emission site with `if M::ENABLED`, so a sink whose
 /// `ENABLED` is `false` (the [`NullMetrics`] default) makes record
 /// construction — including the counter arithmetic feeding it —

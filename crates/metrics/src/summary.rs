@@ -4,6 +4,15 @@
 use crate::record::{MetricPhase, MetricTraversal, RootMetrics, SwitchReason};
 use serde::Serialize;
 
+/// Checked counter accumulation: panics on u64 overflow instead of
+/// wrapping, so a summary over the planned 10–100x graphs can never
+/// silently report a wrapped-around small number.
+fn tally(acc: &mut u64, delta: u64, what: &str) {
+    *acc = acc
+        .checked_add(delta)
+        .unwrap_or_else(|| panic!("metrics summary {what} overflows u64"));
+}
+
 /// Simulated-hardware statistics for a whole run, rolled up from the
 /// device model's kernel counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
@@ -66,22 +75,26 @@ impl MetricsSummary {
         };
         for root in roots {
             for l in &root.levels {
-                s.levels += 1;
+                tally(&mut s.levels, 1, "levels");
                 s.max_frontier = s.max_frontier.max(l.q_curr);
-                s.edges_inspected += l.edges_inspected;
-                s.updates += l.updates;
-                s.cas_attempts += l.cas_attempts;
-                s.cas_wins += l.cas_wins;
-                s.priced_atomics += l.priced_atomics;
+                tally(&mut s.edges_inspected, l.edges_inspected, "edges_inspected");
+                tally(&mut s.updates, l.updates, "updates");
+                tally(&mut s.cas_attempts, l.cas_attempts, "cas_attempts");
+                tally(&mut s.cas_wins, l.cas_wins, "cas_wins");
+                tally(&mut s.priced_atomics, l.priced_atomics, "priced_atomics");
                 if l.phase == MetricPhase::Forward {
                     match l.traversal {
-                        MetricTraversal::Push => s.push_levels += 1,
-                        MetricTraversal::Pull => s.pull_levels += 1,
+                        MetricTraversal::Push => tally(&mut s.push_levels, 1, "push_levels"),
+                        MetricTraversal::Pull => tally(&mut s.pull_levels, 1, "pull_levels"),
                     }
                 }
                 match l.switch {
-                    Some(SwitchReason::SwitchToPull) => s.switches_to_pull += 1,
-                    Some(SwitchReason::SwitchToPush) => s.switches_to_push += 1,
+                    Some(SwitchReason::SwitchToPull) => {
+                        tally(&mut s.switches_to_pull, 1, "switches_to_pull")
+                    }
+                    Some(SwitchReason::SwitchToPush) => {
+                        tally(&mut s.switches_to_push, 1, "switches_to_push")
+                    }
                     _ => {}
                 }
             }
