@@ -88,6 +88,18 @@ if [[ "${1:-}" != "fast" ]]; then
         --method work-efficient --schedule work-stealing --threads 4 --roots 32 \
         --metrics results/ci_metrics_schedule.jsonl --top 0 --verify
     grep -q '"kind":"worker"' results/ci_metrics_schedule.jsonl
+    # Scaling smoke: the bench hard-asserts the degree-relabeling
+    # transaction win, the u32->u64 pricing delta, and that a
+    # 2M-vertex Kronecker streams through the partitioned cluster
+    # path bitwise identical under a recoverable fault plan (where
+    # the resident path fails pre-flight with OOM). The CLI run
+    # exercises --relabel end to end: scores restored to the original
+    # numbering and verified against the unrelabeled graph.
+    echo "==> bench_scale smoke"
+    cargo run -q -p bc-bench --release --bin bench_scale -- --quick
+    echo "==> cli --relabel smoke"
+    cargo run -q -p hybrid-bc --release -- --dataset smallworld --reduction 6 \
+        --method work-efficient --roots 32 --relabel degree --verify --top 0
 fi
 
 echo "==> ci OK"

@@ -136,6 +136,11 @@ struct LevelCtx<'a> {
     seg: std::ops::Range<usize>,
     /// Next segment (empty on the last forward level).
     next_seg: std::ops::Range<usize>,
+    /// Pull levels only: does this level rebuild the compressed
+    /// frontier (first pull level after a push, or a forced-pull
+    /// start)? Only rebuild levels run [`KernelId::FrontierCompact`]
+    /// lanes.
+    compact: bool,
 }
 
 impl LevelCtx<'_> {
@@ -147,15 +152,28 @@ impl LevelCtx<'_> {
         ns.get(lo).is_some_and(|&v| v / 32 == word)
     }
 
-    /// Can `spec` produce `ev` for this level? `None` when the lane id
-    /// itself is malformed (out of segment / not a vertex).
-    fn admits(&self, spec: &AccessSpec, ev: &TraceEvent) -> bool {
-        // Resolve the lane to its vertex per the launch's lane space.
+    /// Can `kernel`'s `spec` produce `ev` for this level? Lanes are
+    /// resolved per kernel: a fused launch may mix lane spaces
+    /// (ForwardPull runs frontier-slot compaction lanes ahead of the
+    /// unvisited-vertex scan lanes).
+    fn admits(&self, kernel: KernelId, spec: &AccessSpec, ev: &TraceEvent) -> bool {
+        // Resolve the lane to its vertex per the kernel's lane space.
         let own: u32 = match self.launch {
             LaunchId::ForwardPush | LaunchId::Backward => {
                 let slot = self.seg.start + ev.thread as usize;
                 if slot >= self.seg.end {
                     return false; // lane outside the frontier segment
+                }
+                self.s[slot]
+            }
+            LaunchId::ForwardPull if kernel == KernelId::FrontierCompact => {
+                // Frontier-slot lanes, present only on rebuild levels.
+                if !self.compact {
+                    return false;
+                }
+                let slot = self.seg.start + ev.thread as usize;
+                if slot >= self.seg.end {
+                    return false;
                 }
                 self.s[slot]
             }
@@ -179,7 +197,10 @@ impl LevelCtx<'_> {
             IndexExpr::ReservedSlot => self.next_seg.contains(&(ev.index as usize)),
             IndexExpr::OwnVertex => ev.index == own,
             IndexExpr::NeighborOfOwn => self.g.has_arc(own, ev.index),
-            IndexExpr::OwnVertexWord => ev.index == own / 32,
+            IndexExpr::OwnVertexWord => ev.index == own / bc_core::frontier::VERTICES_PER_WORD,
+            IndexExpr::OwnVertexSummaryWord => {
+                ev.index == own / bc_core::frontier::VERTICES_PER_SUMMARY_WORD
+            }
             IndexExpr::NeighborWord => self.neighbor_in_word(own, ev.index),
             IndexExpr::OwnWord => unreachable!("handled in the pull lane resolution"),
             IndexExpr::QueueTail => ev.index == self.depth + 1,
@@ -211,11 +232,13 @@ impl LevelCtx<'_> {
             }
             // The queue-tail counter cell for depth d+1.
             KernelArray::Ends => ev.index == self.depth + 1,
-            // Word-granular bitmaps: a word spans vertices of mixed
-            // depth, so the promise binds the *owning vertex*.
-            KernelArray::VisitedBits | KernelArray::FrontierBits | KernelArray::NextBits => {
-                self.dist.get(own as usize) == Some(&want_depth)
-            }
+            // Word-granular bitmaps (leaf and summary): a word spans
+            // vertices of mixed depth, so the promise binds the
+            // *owning vertex*.
+            KernelArray::VisitedBits
+            | KernelArray::FrontierBits
+            | KernelArray::NextBits
+            | KernelArray::SummaryBits => self.dist.get(own as usize) == Some(&want_depth),
         }
     }
 }
@@ -243,7 +266,7 @@ fn check_level(
         let mut admitted = false;
         for &k in kernels {
             for a in &kernel_spec(k).accesses {
-                if a.array == ev.array && a.kind == ev.kind && ctx.admits(a, ev) {
+                if a.array == ev.array && a.kind == ev.kind && ctx.admits(k, a, ev) {
                     hits.hit(k, a);
                     admitted = true;
                 }
@@ -308,6 +331,33 @@ fn check_level(
                     "{where_} depth {}: {} visited-word scans for {} words",
                     ctx.depth, scans, words
                 ));
+            }
+            // Frontier compaction: rebuild levels expand Q_curr into
+            // the two-level bitmap — one queue read and one atomicOr
+            // per bitmap level per frontier vertex. Steady-state pull
+            // levels reuse the swapped F_next and run no compact
+            // lanes at all.
+            let expect_compact = if ctx.compact { ctx.seg.len() } else { 0 };
+            for (what, array, kind) in [
+                ("Q_curr compact read", KernelArray::QCurr, AccessKind::Read),
+                (
+                    "F_curr atomicOr",
+                    KernelArray::FrontierBits,
+                    AccessKind::AtomicOr,
+                ),
+                (
+                    "F_sum atomicOr",
+                    KernelArray::SummaryBits,
+                    AccessKind::AtomicOr,
+                ),
+            ] {
+                let got = count(level, array, kind);
+                if got != expect_compact {
+                    report.push_error(format!(
+                        "{where_} depth {}: {} {what} events for {} frontier slots",
+                        ctx.depth, got, expect_compact
+                    ));
+                }
             }
             for (what, array, kind) in [
                 (
@@ -397,10 +447,17 @@ fn check_root(
     let mut forward_idx = 0usize;
     for level in &sink.trace.levels {
         let d = level.depth as usize;
+        let mut compact = false;
         let launch = match level.phase {
             TracePhase::Backward => LaunchId::Backward,
             TracePhase::Forward => {
                 let t = out.forward_traversals[forward_idx];
+                // The engine rebuilds the compressed frontier exactly
+                // when the previous forward level was not pull (or
+                // there is no previous level).
+                compact = t == Traversal::Pull
+                    && (forward_idx == 0
+                        || out.forward_traversals[forward_idx - 1] != Traversal::Pull);
                 forward_idx += 1;
                 match t {
                     Traversal::Push => LaunchId::ForwardPush,
@@ -416,6 +473,7 @@ fn check_root(
             depth: level.depth,
             seg: segment(d),
             next_seg: segment(d + 1),
+            compact,
         };
         check_level(&ctx, level, hits, report, where_);
     }
@@ -549,6 +607,7 @@ mod tests {
             depth: level.depth,
             seg: seg(d),
             next_seg: seg(d + 1),
+            compact: false,
         };
         let mut report = ConformanceReport::default();
         let mut hits = HitTable::new();

@@ -100,10 +100,13 @@ impl SpecSet {
 }
 
 /// One access within a launch, tagged with the kernel that declared
-/// it (launches may fuse kernels).
+/// it and that kernel's lane space (launches may fuse kernels with
+/// *different* lane spaces — ForwardPull runs frontier-slot
+/// compaction lanes ahead of unvisited-vertex scan lanes).
 #[derive(Clone, Copy, Debug)]
 struct LaunchAccess {
     kernel: KernelId,
+    lane: LaneKind,
     spec: AccessSpec,
 }
 
@@ -196,17 +199,21 @@ struct Axioms {
 /// touch the same cell, for some input? Returns `false` only when a
 /// sound argument separates them, recording the axiom used.
 fn may_alias(
-    a: &AccessSpec,
-    b: &AccessSpec,
-    lane: LaneKind,
+    a: &LaunchAccess,
+    b: &LaunchAccess,
     axioms: Axioms,
     used: &mut BTreeSet<Axiom>,
 ) -> bool {
+    let (a, b, lanes) = (&a.spec, &b.spec, (a.lane, b.lane));
     if a.array != b.array {
         return false;
     }
     // Same-expression injectivity: lane i's instance vs lane j's.
-    if a.index == b.index {
+    // Only meaningful when both accesses index through the *same*
+    // lane space — a frontier slot and an unvisited vertex are
+    // unrelated quantities, so cross-space pairs fall through to the
+    // segment rule.
+    if a.index == b.index && lanes.0 == lanes.1 {
         match a.index {
             // `segment_start + lane` and the word-id lane space are
             // injective by construction.
@@ -214,7 +221,7 @@ fn may_alias(
             // Distinct lanes own distinct vertices — trivially when
             // the lane *is* the vertex, by the dedup CAS's
             // exactly-once property when the lane is a frontier slot.
-            IndexExpr::OwnVertex => match lane {
+            IndexExpr::OwnVertex => match lanes.0 {
                 LaneKind::UnvisitedVertex => return false,
                 LaneKind::FrontierSlot => {
                     if axioms.distinct_frontier {
@@ -230,11 +237,13 @@ fn may_alias(
                     return false;
                 }
             }
-            // Two lanes may share a neighbor, share a bitmap word, or
-            // (by definition) the single tail counter cell.
+            // Two lanes may share a neighbor, share a bitmap word
+            // (leaf or summary), or (by definition) the single tail
+            // counter cell.
             IndexExpr::NeighborOfOwn
             | IndexExpr::NeighborWord
             | IndexExpr::OwnVertexWord
+            | IndexExpr::OwnVertexSummaryWord
             | IndexExpr::QueueTail => {}
         }
     }
@@ -252,12 +261,7 @@ fn may_alias(
 /// Race-check one launch's merged access list: a pair races iff it
 /// may alias and at least one side writes non-atomically (the dynamic
 /// detector's rule, lifted to symbolic cells).
-fn check_launch(
-    launch: LaunchId,
-    accesses: &[LaunchAccess],
-    lane: LaneKind,
-    axioms: Axioms,
-) -> LaunchProof {
+fn check_launch(launch: LaunchId, accesses: &[LaunchAccess], axioms: Axioms) -> LaunchProof {
     let mut races = Vec::new();
     let mut used = BTreeSet::new();
     for (i, a) in accesses.iter().enumerate() {
@@ -274,7 +278,7 @@ fn check_launch(
             let Some((w, o)) = plain_writer else {
                 continue; // reads and atomics never race together
             };
-            if may_alias(&a.spec, &b.spec, lane, axioms, &mut used) {
+            if may_alias(a, b, axioms, &mut used) {
                 races.push(RacyPair {
                     writer: (w.kernel, w.spec),
                     other: (o.kernel, o.spec),
@@ -290,20 +294,22 @@ fn check_launch(
 }
 
 /// The merged access list of one launch under `specs`, tagged by
-/// kernel. Fused kernels (ForwardPush) share one lane space, which
-/// the kernels' [`LaneKind`]s must agree on.
-fn launch_accesses(specs: &SpecSet, launch: LaunchId) -> (Vec<LaunchAccess>, LaneKind) {
-    let kernels = launch.kernels();
-    let lane = specs.get(kernels[0]).lane;
+/// kernel and lane space. Fused kernels may share one lane space
+/// (ForwardPush) or bring their own (ForwardPull's compaction runs
+/// frontier-slot lanes ahead of the scan's unvisited-vertex lanes).
+fn launch_accesses(specs: &SpecSet, launch: LaunchId) -> Vec<LaunchAccess> {
     let mut accesses = Vec::new();
-    for &k in kernels {
+    for &k in launch.kernels() {
         let spec = specs.get(k);
-        assert_eq!(spec.lane, lane, "fused kernels must share a lane space");
         for &a in &spec.accesses {
-            accesses.push(LaunchAccess { kernel: k, spec: a });
+            accesses.push(LaunchAccess {
+                kernel: k,
+                lane: spec.lane,
+                spec: a,
+            });
         }
     }
-    (accesses, lane)
+    accesses
 }
 
 /// Prove (or refute) race-freedom of every launch under `specs`, and
@@ -316,10 +322,7 @@ pub fn prove(specs: &SpecSet) -> ProverReport {
 
     let launches: Vec<LaunchProof> = LaunchId::ALL
         .into_iter()
-        .map(|l| {
-            let (accesses, lane) = launch_accesses(specs, l);
-            check_launch(l, &accesses, lane, axioms)
-        })
+        .map(|l| check_launch(l, &launch_accesses(specs, l), axioms))
         .collect();
 
     // Demotion test: an atomic is *required* iff replacing it with a
@@ -340,8 +343,7 @@ pub fn prove(specs: &SpecSet) -> ProverReport {
             }
             let mut demoted = specs.clone();
             demoted.get_mut(id).accesses[pos].kind = AccessKind::Write;
-            let (accesses, lane) = launch_accesses(&demoted, launch);
-            if !check_launch(launch, &accesses, lane, axioms).is_race_free() {
+            if !check_launch(launch, &launch_accesses(&demoted, launch), axioms).is_race_free() {
                 required.push((access.array, access.kind));
             }
         }

@@ -1,0 +1,349 @@
+//! The memory-scaling trajectory: degree-ordered relabeling, adaptive
+//! index widths, and out-of-core partitioned execution at
+//! Graph500-class sizes.
+//!
+//! Three stages, each with **hard asserts** (the bench is a gate, not
+//! just a report):
+//!
+//! 1. **Relabel** — on scale-free analogues, `DegreeDesc` must
+//!    strictly decrease both label-sensitive transaction models
+//!    (`gather_lines` for the neighbor-indexed `d`/`σ` gathers,
+//!    `distinct_line_transactions` for hub-frontier adjacency
+//!    streaming) while the emitted scores stay bitwise identical.
+//! 2. **Width** — the same graph forced to u64 indices must price
+//!    strictly more coalesced traffic than the u32 layout, with
+//!    bitwise-identical scores and identical warp work.
+//! 3. **Partition** — a ≥ 2M-vertex Kronecker graph that fails the
+//!    single-device pre-flight (the pre-partitioning behavior,
+//!    still reproduced by `PartitionMode::Off`) must run to
+//!    completion through the partitioned cluster path, and a
+//!    recoverable fault plan must reproduce the fault-free scores
+//!    bitwise.
+//!
+//! `--quick` shrinks stages 1–2 for CI; stage 3 keeps the 2M-vertex
+//! floor in both modes because that *is* the acceptance bar.
+//! Results land in `results/BENCH_scale.json`.
+
+use bc_bench::{write_json, Args};
+use bc_cluster::{run_cluster, run_cluster_with_faults, ClusterConfig, FaultPlan};
+use bc_core::methods::cost::footprint;
+use bc_core::{BcOptions, Method, PartitionMode, RootSelection, TraversalMode};
+use bc_gpusim::{distinct_line_transactions, DeviceConfig, SimError};
+use bc_graph::relabel::{apply, Relabeling};
+use bc_graph::stats::gather_lines;
+use bc_graph::{gen, Csr, CsrIndex};
+use serde::Serialize;
+
+/// One relabeling measurement.
+#[derive(Serialize)]
+struct RelabelRecord {
+    graph: String,
+    vertices: usize,
+    edges: u64,
+    gather_lines_none: u64,
+    gather_lines_degree: u64,
+    hub_transactions_none: u64,
+    hub_transactions_degree: u64,
+    bitwise_identical: bool,
+}
+
+/// The u32-vs-u64 traffic comparison.
+#[derive(Serialize)]
+struct WidthRecord {
+    graph: String,
+    vertices: usize,
+    edges: u64,
+    narrow_coalesced_bytes: u64,
+    wide_coalesced_bytes: u64,
+    narrow_seconds: f64,
+    wide_seconds: f64,
+}
+
+/// The out-of-core cluster run.
+#[derive(Serialize)]
+struct PartitionRecord {
+    graph: String,
+    vertices: usize,
+    edges: u64,
+    device_mem_bytes: u64,
+    graph_bytes: u64,
+    local_bytes: u64,
+    slices: usize,
+    seed_errors_on_preflight: bool,
+    fault_free_seconds: f64,
+    faulted_seconds: f64,
+    bitwise_identical_under_faults: bool,
+}
+
+#[derive(Serialize)]
+struct ScaleRecord {
+    seed: u64,
+    quick: bool,
+    relabel: Vec<RelabelRecord>,
+    width: WidthRecord,
+    partition: PartitionRecord,
+}
+
+/// Byte ranges of the `count` highest-degree vertices' adjacency rows
+/// — the hub frontier a scale-free BFS converges onto within a level
+/// or two. Label-sensitive: `DegreeDesc` packs these rows into a
+/// dense prefix of `adj`, so the merged 128-byte line count drops.
+fn hub_frontier_ranges(g: &Csr, count: usize) -> Vec<(u64, u64)> {
+    let mut by_degree: Vec<u32> = g.vertices().collect();
+    by_degree.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    let ib = g.index_bytes();
+    by_degree
+        .iter()
+        .take(count)
+        .map(|&v| {
+            let r = g.edge_range(v);
+            (r.start as u64 * ib, r.end as u64 * ib)
+        })
+        .collect()
+}
+
+fn relabel_stage(name: &str, g: &Csr, roots: usize) -> RelabelRecord {
+    let r = apply(g, Relabeling::DegreeDesc);
+    let hubs = 512.min(g.num_vertices());
+
+    let gl_none = gather_lines(g, 32);
+    let gl_degree = gather_lines(&r.graph, 32);
+    let tx_none = distinct_line_transactions(hub_frontier_ranges(g, hubs), 128);
+    let tx_degree = distinct_line_transactions(hub_frontier_ranges(&r.graph, hubs), 128);
+
+    // The coalescing win the whole pass exists for: strictly fewer
+    // simulated memory transactions under the degree ordering.
+    assert!(
+        gl_degree < gl_none,
+        "{name}: DegreeDesc must strictly decrease gather lines ({gl_degree} vs {gl_none})"
+    );
+    assert!(
+        tx_degree < tx_none,
+        "{name}: DegreeDesc must strictly decrease hub-frontier transactions \
+         ({tx_degree} vs {tx_none})"
+    );
+
+    // And it must cost nothing in output: bitwise-identical scores.
+    let opts = BcOptions {
+        roots: RootSelection::Strided(roots),
+        ..Default::default()
+    };
+    let base = Method::WorkEfficient.run(g, &opts).expect("baseline run");
+    let resolved = opts.roots.resolve(g.num_vertices());
+    let relabeled = Method::WorkEfficient
+        .run(
+            &r.graph,
+            &BcOptions {
+                roots: RootSelection::Explicit(r.map_roots(&resolved)),
+                ..opts
+            },
+        )
+        .expect("relabeled run");
+    let restored = r.restore_scores(&relabeled.scores);
+    let bitwise = base
+        .scores
+        .iter()
+        .zip(&restored)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        bitwise,
+        "{name}: relabeled scores must be bitwise identical"
+    );
+
+    println!(
+        "relabel {name:<16} n={:<8} gather {gl_none} -> {gl_degree} ({:.1}% fewer)  \
+         hub-tx {tx_none} -> {tx_degree} ({:.1}% fewer)  bitwise ok",
+        g.num_vertices(),
+        100.0 * (gl_none - gl_degree) as f64 / gl_none as f64,
+        100.0 * (tx_none - tx_degree) as f64 / tx_none as f64,
+    );
+    RelabelRecord {
+        graph: name.to_string(),
+        vertices: g.num_vertices(),
+        edges: g.num_undirected_edges(),
+        gather_lines_none: gl_none,
+        gather_lines_degree: gl_degree,
+        hub_transactions_none: tx_none,
+        hub_transactions_degree: tx_degree,
+        bitwise_identical: bitwise,
+    }
+}
+
+fn width_stage(name: &str, g: &Csr, roots: usize) -> WidthRecord {
+    let wide = g.clone().with_index_width(CsrIndex::U64);
+    let opts = BcOptions {
+        roots: RootSelection::Strided(roots),
+        ..Default::default()
+    };
+    let narrow_run = Method::WorkEfficient.run(g, &opts).expect("u32 run");
+    let wide_run = Method::WorkEfficient.run(&wide, &opts).expect("u64 run");
+
+    // Functionally invisible, twice the index traffic priced.
+    assert!(
+        narrow_run
+            .scores
+            .iter()
+            .zip(&wide_run.scores)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "{name}: index width must not change scores"
+    );
+    let (nb, wb) = (
+        narrow_run.report.counters.coalesced_bytes,
+        wide_run.report.counters.coalesced_bytes,
+    );
+    assert!(
+        wb > nb,
+        "{name}: u64 indices must price more coalesced traffic ({wb} vs {nb})"
+    );
+    assert_eq!(
+        narrow_run.report.counters.warp_steps, wide_run.report.counters.warp_steps,
+        "{name}: index width changes traffic, not work"
+    );
+
+    println!(
+        "width   {name:<16} n={:<8} coalesced u32 {nb} -> u64 {wb} (+{:.1}%)  \
+         seconds {:.3e} -> {:.3e}",
+        g.num_vertices(),
+        100.0 * (wb - nb) as f64 / nb as f64,
+        narrow_run.report.device_seconds,
+        wide_run.report.device_seconds,
+    );
+    WidthRecord {
+        graph: name.to_string(),
+        vertices: g.num_vertices(),
+        edges: g.num_undirected_edges(),
+        narrow_coalesced_bytes: nb,
+        wide_coalesced_bytes: wb,
+        narrow_seconds: narrow_run.report.device_seconds,
+        wide_seconds: wide_run.report.device_seconds,
+    }
+}
+
+fn partition_stage(seed: u64, quick: bool) -> PartitionRecord {
+    // The acceptance bar: >= 2M vertices in both modes (scale 21 =
+    // 2,097,152), one notch larger when not in --quick.
+    let scale = if quick { 21 } else { 22 };
+    let edge_factor = 8;
+    println!("generating kronecker scale {scale} (this is the 10-100x part)...");
+    let g = gen::kronecker(scale, edge_factor, seed);
+    assert!(g.num_vertices() >= 2_000_000);
+
+    // Size the simulated device so the CSR cannot sit beside the
+    // locals: capacity = locals + a quarter of the graph. The seed
+    // code's pre-flight (PartitionMode::Off) must reject this
+    // configuration; the partitioned path must complete on it.
+    let method = Method::WorkEfficient;
+    let base = DeviceConfig::gtx_titan();
+    let graph_bytes = footprint::graph_bytes(&g);
+    let local_bytes = method.local_bytes(&g, &base);
+    let device = DeviceConfig {
+        global_mem_bytes: local_bytes + graph_bytes / 4,
+        ..base
+    };
+
+    let seed_err = method.run(
+        &g,
+        &BcOptions {
+            device: device.clone(),
+            roots: RootSelection::FirstK(1),
+            partition: PartitionMode::Off,
+            ..Default::default()
+        },
+    );
+    let seed_errors_on_preflight = matches!(seed_err, Err(SimError::OutOfMemory { .. }));
+    assert!(
+        seed_errors_on_preflight,
+        "the pre-partitioning pre-flight must reject this graph/device pair"
+    );
+
+    // Slice count, for the record (the cluster runner re-plans
+    // identically inside its own pre-flight).
+    let slices =
+        bc_core::PartitionPlan::plan(&g, device.global_mem_bytes.saturating_sub(local_bytes))
+            .expect("the CSR is sliceable at this budget")
+            .num_slices();
+
+    let cfg = ClusterConfig {
+        nodes: 1,
+        gpus_per_node: 3,
+        device,
+        method,
+        traversal: TraversalMode::Push,
+        ..ClusterConfig::keeneland(1)
+    };
+    let sample_roots = if quick { 3 } else { 6 };
+    let clean = run_cluster(&g, &cfg, sample_roots).expect("partitioned cluster run");
+    let plan = FaultPlan {
+        transient_rate: 0.2,
+        oom_rate: 0.05,
+        panic_rate: 0.1,
+        seed: seed ^ 0x5ca1e,
+        ..FaultPlan::none()
+    };
+    let faulted = run_cluster_with_faults(&g, &cfg, sample_roots, &plan)
+        .expect("recoverable faults must not kill the run");
+    let bitwise = clean
+        .scores
+        .iter()
+        .zip(&faulted.scores)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        bitwise,
+        "partitioned scores must be bitwise identical under recoverable faults"
+    );
+
+    println!(
+        "cluster kron-{scale}        n={:<8} m={} slices={slices} roots={sample_roots}  \
+         fault-free {:.3}s faulted {:.3}s  bitwise ok (seed pre-flight: OOM)",
+        g.num_vertices(),
+        g.num_undirected_edges(),
+        clean.report.total_seconds,
+        faulted.report.total_seconds,
+    );
+    PartitionRecord {
+        graph: format!("kronecker-{scale}-{edge_factor}"),
+        vertices: g.num_vertices(),
+        edges: g.num_undirected_edges(),
+        device_mem_bytes: cfg.device.global_mem_bytes,
+        graph_bytes,
+        local_bytes,
+        slices,
+        seed_errors_on_preflight,
+        fault_free_seconds: clean.report.total_seconds,
+        faulted_seconds: faulted.report.total_seconds,
+        bitwise_identical_under_faults: bitwise,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seed = args.seed();
+    let quick = args.flag("quick");
+
+    let (kron_scale, ba_n, roots) = if quick {
+        (15, 40_000, 12)
+    } else {
+        (18, 200_000, 24)
+    };
+
+    let kron = gen::kronecker(kron_scale, 8, seed);
+    let ba = gen::barabasi_albert(ba_n, 8, seed ^ 1);
+    let relabel = vec![
+        relabel_stage(&format!("kronecker-{kron_scale}"), &kron, roots),
+        relabel_stage("barabasi-albert", &ba, roots),
+    ];
+    let width = width_stage(&format!("kronecker-{kron_scale}"), &kron, roots);
+    let partition = partition_stage(seed, quick);
+
+    write_json(
+        "BENCH_scale",
+        &ScaleRecord {
+            seed,
+            quick,
+            relabel,
+            width,
+            partition,
+        },
+    );
+    println!("bench_scale: all hard asserts passed");
+}

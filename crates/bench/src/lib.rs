@@ -20,16 +20,20 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parse the process arguments.
+    /// Parse the process arguments. A `--name` followed by another
+    /// flag (or nothing) is a bare boolean switch (see
+    /// [`Args::flag`]); otherwise the next token is its value.
     pub fn from_env() -> Self {
         let mut pairs = Vec::new();
-        let mut it = std::env::args().skip(1);
+        let mut it = std::env::args().skip(1).peekable();
         while let Some(k) = it.next() {
             if let Some(name) = k.strip_prefix("--") {
-                let v = it.next().unwrap_or_else(|| {
-                    eprintln!("missing value for --{name}");
-                    std::process::exit(2);
-                });
+                let bare = it.peek().is_none_or(|next| next.starts_with("--"));
+                let v = if bare {
+                    "true".to_string()
+                } else {
+                    it.next().expect("peeked value exists")
+                };
                 pairs.push((name.to_string(), v));
             } else {
                 eprintln!("unexpected argument: {k}");
@@ -37,6 +41,11 @@ impl Args {
             }
         }
         Args { pairs }
+    }
+
+    /// Is the bare switch `--name` (or `--name true`) present?
+    pub fn flag(&self, name: &str) -> bool {
+        self.get(name, false)
     }
 
     /// Look up a flag, parsing it into `T`.

@@ -2,8 +2,11 @@
 //! dependency): `--flag value` pairs plus `--help`.
 
 use bc_cluster::FaultPlan;
-use bc_core::{HybridParams, Method, RootSelection, SamplingParams, Schedule, TraversalMode};
+use bc_core::{
+    HybridParams, Method, PartitionMode, RootSelection, SamplingParams, Schedule, TraversalMode,
+};
 use bc_gpusim::DeviceConfig;
+use bc_graph::Relabeling;
 
 /// How to execute the computation.
 #[derive(Clone, Debug, PartialEq)]
@@ -39,6 +42,12 @@ pub struct Cli {
     pub reduction: u32,
     /// Generator seed.
     pub seed: u64,
+    /// Vertex relabeling applied after load (scores are reported in
+    /// the original vertex numbering either way).
+    pub relabel: Relabeling,
+    /// Allow graphs larger than device memory to run by streaming
+    /// CSR slices from host memory (single-device and cluster runs).
+    pub partition: PartitionMode,
     /// BC method.
     pub method: RunMethod,
     /// Root selection.
@@ -112,6 +121,18 @@ COMPUTATION:
                        queues longest-first from a per-root cost
                        estimate, and scores stay bitwise identical
                        under every schedule             [default: static]
+    --relabel R        none | degree — renumber vertices by descending
+                       degree before the run; hub-adjacent accesses
+                       land in fewer cache lines, and scores are
+                       restored to the original numbering (bitwise
+                       identical to --relabel none); single-device
+                       runs only                        [default: none]
+    --partition        allow graphs whose CSR exceeds device memory to
+                       run anyway by streaming resident slices from
+                       host memory (per-root swap time is priced into
+                       the simulated report; scores are bitwise
+                       identical); without it such runs abort with the
+                       out-of-memory pre-flight error
     --normalize        scale scores by (n-1)(n-2)[/2]
 
 CLUSTER:
@@ -159,6 +180,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         dataset: None,
         reduction: 4,
         seed: 20140101,
+        relabel: Relabeling::None,
+        partition: PartitionMode::Off,
         method: RunMethod::Simulated(Method::Sampling(SamplingParams::default())),
         roots: RootSelection::All,
         device: DeviceConfig::gtx_titan(),
@@ -189,6 +212,14 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.reduction = value()?.parse().map_err(|e| format!("--reduction: {e}"))?
             }
             "--seed" => cli.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--relabel" => {
+                cli.relabel = match value()?.as_str() {
+                    "none" => Relabeling::None,
+                    "degree" => Relabeling::DegreeDesc,
+                    other => return Err(format!("unknown relabeling '{other}' (none | degree)")),
+                }
+            }
+            "--partition" => cli.partition = PartitionMode::Auto,
             "--method" => cli.method = parse_method(&value()?)?,
             "--roots" => {
                 let v = value()?;
@@ -260,6 +291,20 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     if cli.metrics.is_some() && !matches!(cli.method, RunMethod::Simulated(_)) {
         return Err(format!(
             "--metrics instruments the simulated GPU methods only, not '{}'",
+            cli.method.name()
+        ));
+    }
+    if cli.relabel != Relabeling::None && cli.cluster.is_some() {
+        return Err(
+            "--relabel is a single-device option: the cluster runner samples roots by \
+             stride in graph order, so renumbering would change the sampled root set"
+                .to_owned(),
+        );
+    }
+    if cli.partition == PartitionMode::Auto && !matches!(cli.method, RunMethod::Simulated(_)) {
+        return Err(format!(
+            "--partition streams device-resident slices, which only the simulated GPU \
+             methods have; '{}' runs in host memory",
             cli.method.name()
         ));
     }
@@ -472,6 +517,71 @@ mod tests {
             "cpu",
             "--metrics",
             "m.jsonl"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn relabel_parses_and_defaults_to_none() {
+        assert_eq!(
+            parse(&s(&["--dataset", "smallworld"])).unwrap().relabel,
+            Relabeling::None
+        );
+        let cli = parse(&s(&["--dataset", "smallworld", "--relabel", "degree"])).unwrap();
+        assert_eq!(cli.relabel, Relabeling::DegreeDesc);
+        let cli = parse(&s(&["--dataset", "smallworld", "--relabel", "none"])).unwrap();
+        assert_eq!(cli.relabel, Relabeling::None);
+        assert!(parse(&s(&["--dataset", "smallworld", "--relabel", "random"])).is_err());
+        // The cluster runner samples roots internally in graph order,
+        // so relabeling would silently change the sampled root set.
+        assert!(parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--relabel",
+            "degree",
+            "--cluster",
+            "2"
+        ]))
+        .is_err());
+        // Relabeling applies to host methods too (it is a graph
+        // transform, not a device feature).
+        assert!(parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--method",
+            "cpu",
+            "--relabel",
+            "degree"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn partition_is_a_bare_flag_for_simulated_methods() {
+        assert_eq!(
+            parse(&s(&["--dataset", "smallworld"])).unwrap().partition,
+            PartitionMode::Off
+        );
+        let cli = parse(&s(&["--dataset", "smallworld", "--partition"])).unwrap();
+        assert_eq!(cli.partition, PartitionMode::Auto);
+        // Composes with --cluster (the runner partitions per-worker).
+        let cli = parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--partition",
+            "--cluster",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(cli.partition, PartitionMode::Auto);
+        assert_eq!(cli.cluster, Some(2));
+        // Host methods have no device memory to partition.
+        assert!(parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--method",
+            "sequential",
+            "--partition"
         ]))
         .is_err());
     }

@@ -11,7 +11,7 @@ mod args;
 
 use args::{Cli, RunMethod};
 use bc_core::{brandes, BcOptions, RootSelection};
-use bc_graph::{io, Csr, DatasetId};
+use bc_graph::{io, relabel::RelabeledCsr, Csr, DatasetId, Relabeling};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::time::Instant;
@@ -61,12 +61,12 @@ fn run(cli: &Cli) -> Result<(), String> {
         analyze_run()?;
     }
     let t0 = Instant::now();
-    let g = load_graph(cli)?;
+    let loaded = load_graph(cli)?;
     eprintln!(
         "graph: {} vertices, {} undirected edges ({}; loaded in {:.2?})",
-        g.num_vertices(),
-        g.num_undirected_edges(),
-        if g.is_symmetric() {
+        loaded.num_vertices(),
+        loaded.num_undirected_edges(),
+        if loaded.is_symmetric() {
             "undirected"
         } else {
             "directed"
@@ -75,17 +75,36 @@ fn run(cli: &Cli) -> Result<(), String> {
     );
 
     if let Some(nodes) = cli.cluster {
-        return run_on_cluster(cli, &g, nodes);
+        return run_on_cluster(cli, &loaded, nodes);
     }
+
+    // --relabel: renumber the graph after load. Roots are resolved in
+    // the ORIGINAL numbering and mapped through the permutation, and
+    // scores are restored before any output, so everything downstream
+    // of this block (top-K, --out, --verify) sees original vertex ids.
+    let relabel: Option<RelabeledCsr> =
+        (cli.relabel != Relabeling::None).then(|| bc_graph::relabel::apply(&loaded, cli.relabel));
+    let g = relabel.as_ref().map_or(&loaded, |r| &r.graph);
+    let roots_sel = match &relabel {
+        None => cli.roots.clone(),
+        Some(r) => {
+            eprintln!(
+                "relabel: {} — vertices renumbered by descending degree (scores are \
+                 restored to the original numbering)",
+                r.relabeling().name()
+            );
+            RootSelection::Explicit(r.map_roots(&cli.roots.resolve(loaded.num_vertices())))
+        }
+    };
 
     let t1 = Instant::now();
     let (scores, report) = match &cli.method {
         RunMethod::Sequential | RunMethod::CpuParallel => {
-            let roots = cli.roots.resolve(g.num_vertices());
+            let roots = roots_sel.resolve(g.num_vertices());
             let mut scores = match cli.method {
-                RunMethod::Sequential => brandes::betweenness_from_roots(&g, roots.iter().copied()),
+                RunMethod::Sequential => brandes::betweenness_from_roots(g, roots.iter().copied()),
                 _ => bc_core::parallel::cpu_betweenness_from_roots_scheduled(
-                    &g,
+                    g,
                     &roots,
                     cli.threads,
                     cli.schedule,
@@ -106,16 +125,17 @@ fn run(cli: &Cli) -> Result<(), String> {
         RunMethod::Simulated(method) => {
             let opts = BcOptions {
                 device: cli.device.clone(),
-                roots: cli.roots.clone(),
+                roots: roots_sel.clone(),
                 normalize: cli.normalize,
                 threads: cli.threads,
                 traversal: cli.traversal,
                 schedule: cli.schedule,
+                partition: cli.partition,
             };
             // Metering only observes values the engine already
             // computed, so the metered run is bitwise identical.
             let run = if let Some(path) = &cli.metrics {
-                let (run, metrics) = method.run_metered(&g, &opts).map_err(|e| e.to_string())?;
+                let (run, metrics) = method.run_metered(g, &opts).map_err(|e| e.to_string())?;
                 write_metrics(path, &bc_metrics::run_to_jsonl(&metrics))?;
                 eprintln!(
                     "wrote metrics for {} root(s) to {path}",
@@ -123,7 +143,7 @@ fn run(cli: &Cli) -> Result<(), String> {
                 );
                 run
             } else {
-                method.run(&g, &opts).map_err(|e| e.to_string())?
+                method.run(g, &opts).map_err(|e| e.to_string())?
             };
             eprintln!(
                 "{} on simulated {}: {:.3}s simulated ({:.1} MTEPS), {:.2?} host wall time",
@@ -139,6 +159,13 @@ fn run(cli: &Cli) -> Result<(), String> {
                     cli.traversal.name()
                 );
             }
+            if let Some(plan) = &run.report.partition {
+                eprintln!(
+                    "partition: CSR exceeded device memory; streamed {} resident slice(s) \
+                     from host (per-root swap time is priced into the report)",
+                    plan.num_slices()
+                );
+            }
             if let RootSelection::Strided(k) = cli.roots {
                 eprintln!(
                     "(scores are partial sums over {k} sampled roots; simulated time is \
@@ -147,6 +174,12 @@ fn run(cli: &Cli) -> Result<(), String> {
             }
             (run.scores, Some(run.report))
         }
+    };
+    // Undo the relabeling permutation so every consumer below —
+    // top-K, --out, --verify — sees the original vertex numbering.
+    let scores = match &relabel {
+        None => scores,
+        Some(r) => r.restore_scores(&scores),
     };
 
     // Top-K table.
@@ -184,7 +217,7 @@ fn run(cli: &Cli) -> Result<(), String> {
     }
 
     if cli.verify {
-        verify_run(cli, &g, &scores)?;
+        verify_run(cli, &loaded, &scores)?;
     }
     Ok(())
 }

@@ -30,7 +30,10 @@ use crate::error::{ClusterError, GpuMemoryDiagnostic};
 use crate::fault::{score_checksum, FaultCounters, FaultKind, FaultPlan, ReduceFault};
 use crate::net::NetworkConfig;
 use bc_core::methods::cost::footprint;
-use bc_core::{plan_assignment, BcOptions, Method, RootSelection, Schedule, TraversalMode};
+use bc_core::{
+    plan_assignment, BcOptions, Method, PartitionMode, PartitionPlan, RootSelection, Schedule,
+    TraversalMode,
+};
 use bc_gpusim::{DeviceConfig, FaultHook, SimError};
 use bc_graph::stats::RootCostEstimator;
 use bc_graph::Csr;
@@ -530,24 +533,35 @@ fn run_cluster_inner(
     }
 
     // Pre-flight device-memory check: the graph is replicated, so a
-    // method whose footprint exceeds one GPU exceeds every GPU.
-    // Rejecting here (GPU-FAN's O(n²) fate at scale) beats spawning
-    // workers that would all fail identically.
+    // method whose footprint exceeds one GPU exceeds every GPU. An
+    // oversized *CSR* is recoverable — every GPU streams vertex-range
+    // slices out-of-core ([`PartitionMode::Auto`]) and pays the swap
+    // surcharge. Oversized *local* state is not (GPU-FAN's O(n²)
+    // predecessor matrix gains nothing from streaming the graph), so
+    // that still rejects here rather than spawning workers that
+    // would all fail identically.
     let graph_bytes = footprint::graph_bytes(g);
-    let required = graph_bytes + cfg.method.local_bytes(g, &cfg.device);
+    let local_bytes = cfg.method.local_bytes(g, &cfg.device);
+    let required = graph_bytes + local_bytes;
     let available = cfg.device.global_mem_bytes;
-    if required > available {
-        return Err(ClusterError::InsufficientMemory {
-            method: cfg.method.name().to_owned(),
-            diagnostics: (0..gpus)
-                .map(|gpu| GpuMemoryDiagnostic {
-                    gpu,
-                    required_bytes: required,
-                    available_bytes: available,
-                })
-                .collect(),
-        });
-    }
+    let partition = if required > available {
+        let plan = PartitionPlan::plan(g, available.saturating_sub(local_bytes));
+        if plan.is_none() {
+            return Err(ClusterError::InsufficientMemory {
+                method: cfg.method.name().to_owned(),
+                diagnostics: (0..gpus)
+                    .map(|gpu| GpuMemoryDiagnostic {
+                        gpu,
+                        required_bytes: required,
+                        available_bytes: available,
+                    })
+                    .collect(),
+            });
+        }
+        PartitionMode::Auto
+    } else {
+        PartitionMode::Off
+    };
 
     let roots = RootSelection::Strided(sample_roots.min(n)).resolve(n);
     let schedule = build_schedule(g, &roots, gpus, plan, cfg.schedule);
@@ -608,6 +622,7 @@ fn run_cluster_inner(
                             threads: 1,
                             traversal: cfg.traversal,
                             schedule: Schedule::Static,
+                            partition,
                         };
                         match catch_unwind(AssertUnwindSafe(|| cfg.method.run(g, &opts))) {
                             Ok(Ok(run)) => {
@@ -955,6 +970,69 @@ mod tests {
             }
             other => panic!("expected InsufficientMemory, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn oversized_csr_streams_through_partitioned_path_bitwise() {
+        // A graph whose CSR does not fit beside the locals on the
+        // configured device: the historical pre-flight rejected it;
+        // now the runner slices the CSR out-of-core. Scores must stay
+        // bitwise identical to a big-memory cluster, both fault-free
+        // and under a recoverable fault plan.
+        let g = gen::kronecker(12, 8, 5);
+        let big = ClusterConfig {
+            method: Method::WorkEfficient,
+            ..ClusterConfig::keeneland(1)
+        };
+        let local = big.method.local_bytes(&g, &big.device);
+        let small = ClusterConfig {
+            device: DeviceConfig {
+                global_mem_bytes: local + footprint::graph_bytes(&g) / 3,
+                ..big.device.clone()
+            },
+            ..big.clone()
+        };
+        let reference = run_cluster(&g, &big, 32).unwrap();
+        let clean = run_cluster(&g, &small, 32).unwrap();
+        assert_eq!(reference.scores, clean.scores);
+        assert_eq!(reference.report.checksum, clean.report.checksum);
+        assert!(
+            clean.report.total_seconds > reference.report.total_seconds,
+            "slice swapping must cost simulated time"
+        );
+        let plan = FaultPlan {
+            transient_rate: 0.2,
+            panic_rate: 0.1,
+            seed: 13,
+            ..FaultPlan::none()
+        };
+        let faulted = run_cluster_with_faults(&g, &small, 32, &plan).unwrap();
+        assert_eq!(clean.scores, faulted.scores);
+        assert_eq!(clean.report.checksum, faulted.report.checksum);
+    }
+
+    #[test]
+    fn oversized_locals_still_reject_on_preflight() {
+        // Partitioning streams the *graph*; it cannot shrink per-run
+        // local state, so a device too small for the locals alone
+        // keeps the structured rejection.
+        let g = gen::watts_strogatz(4096, 6, 0.1, 3);
+        let cfg = ClusterConfig {
+            method: Method::WorkEfficient,
+            ..ClusterConfig::keeneland(1)
+        };
+        let local = cfg.method.local_bytes(&g, &cfg.device);
+        let cfg = ClusterConfig {
+            device: DeviceConfig {
+                global_mem_bytes: local / 2,
+                ..cfg.device.clone()
+            },
+            ..cfg
+        };
+        assert!(matches!(
+            run_cluster(&g, &cfg, 8),
+            Err(ClusterError::InsufficientMemory { .. })
+        ));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! sites here must be mirrored there (the conformance gate fails
 //! otherwise).
 
+use crate::frontier::{CompressedFrontier, VERTICES_PER_SUMMARY_WORD, VERTICES_PER_WORD};
 use bc_gpusim::trace::{AccessKind, KernelArray, NullSink, TraceEvent, TracePhase, TraceSink};
 use bc_gpusim::{DeviceConfig, IterationWork, KernelCounters};
 use bc_graph::{Csr, VertexId};
@@ -80,6 +81,13 @@ pub struct PullLevelInfo<'a> {
     /// from `Q_curr` (true on a push→pull switch; steady-state pull
     /// levels reuse the previous level's next bitmap by swap).
     pub rebuilt_frontier_bitmap: bool,
+    /// Occupied 32-bit leaf words of the level's compressed frontier
+    /// (`F_curr`) — the words the compaction kernel materialized, or
+    /// that the previous level's discoveries left behind.
+    pub frontier_words: u64,
+    /// Occupied summary words of the compressed frontier (one bit
+    /// covers 32 leaf words = 1024 vertices).
+    pub summary_words: u64,
     /// Degree of each unvisited vertex in scan order, for SIMT
     /// divergence pricing of the adjacency scans.
     pub unvisited_degrees: &'a [u32],
@@ -175,6 +183,17 @@ pub struct SearchWorkspace {
     /// Scratch: degrees of the unvisited vertices of the most recent
     /// pull level, in scan order (for divergence pricing).
     pull_degrees: Vec<u32>,
+    /// `F_curr` — the compressed (hierarchical bitmap) frontier the
+    /// bottom-up sweep probes. Materialized by the frontier-compact
+    /// kernel on a push→pull switch, thereafter maintained by
+    /// swapping with `f_next`.
+    f_curr: CompressedFrontier,
+    /// `F_next` — discoveries of the running pull level.
+    f_next: CompressedFrontier,
+    /// Scratch: one backward level's successor contributions, sorted
+    /// into a canonical order before summation so δ is bitwise
+    /// invariant under any relabeling of the adjacency lists.
+    contrib: Vec<f64>,
 }
 
 impl SearchWorkspace {
@@ -187,6 +206,9 @@ impl SearchWorkspace {
             s: Vec::with_capacity(n),
             ends: Vec::with_capacity(64),
             pull_degrees: Vec::new(),
+            f_curr: CompressedFrontier::new(n),
+            f_next: CompressedFrontier::new(n),
+            contrib: Vec::new(),
         }
     }
 
@@ -427,6 +449,8 @@ pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
         let mut updates = 0u64;
         let mut pull_unvisited = 0u64;
         let mut pull_unvisited_edges = 0u64;
+        let mut pull_frontier_words = 0u64;
+        let mut pull_summary_words = 0u64;
         match traversal {
             Traversal::Push => {
                 // Expand the frontier; `s` grows with Q_next's
@@ -510,15 +534,51 @@ pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
                 }
             }
             Traversal::Pull => {
+                // Frontier compaction — on a push→pull switch the
+                // sparse Q_curr is expanded into the compressed
+                // (hierarchical bitmap) frontier: one leaf-word and
+                // one summary-word atomicOr per frontier vertex (the
+                // frontier-compact kernel, fused ahead of the pull
+                // scan behind a grid-wide sync). Steady-state pull
+                // levels inherit F_curr from the previous level's
+                // F_next by swap and skip the compaction entirely.
+                if !prev_pull {
+                    ws.f_curr.clear();
+                    ws.f_next.clear();
+                    for qi in level_start..level_end {
+                        let v = ws.s[qi];
+                        if S::ENABLED {
+                            let lane = (qi - level_start) as u32;
+                            sink.record(TraceEvent {
+                                thread: lane,
+                                array: KernelArray::QCurr,
+                                index: qi as u32,
+                                kind: AccessKind::Read,
+                            });
+                            sink.record(TraceEvent {
+                                thread: lane,
+                                array: KernelArray::FrontierBits,
+                                index: v / VERTICES_PER_WORD,
+                                kind: AccessKind::AtomicOr,
+                            });
+                            sink.record(TraceEvent {
+                                thread: lane,
+                                array: KernelArray::SummaryBits,
+                                index: v / VERTICES_PER_SUMMARY_WORD,
+                                kind: AccessKind::AtomicOr,
+                            });
+                        }
+                        ws.f_curr.set(v);
+                    }
+                }
                 // Pass A — the bottom-up kernel this level prices:
                 // every unvisited vertex scans its own adjacency for
-                // parents in the frontier bitmap, with no early exit
-                // (σ needs *every* parent at depth `depth`, so the
-                // scan may not stop at the first match). The bitmaps
-                // are logical: the functional code reads `dist`, the
-                // trace emits the bitmap accesses the kernel issues —
-                // exactly as the push path compares `dist` while
-                // tracing an atomicCAS.
+                // parents in the compressed frontier, with no early
+                // exit (σ needs *every* parent at depth `depth`, so
+                // the scan may not stop at the first match). The
+                // visited bitmap stays logical (the functional code
+                // reads `dist`), exactly as the push path compares
+                // `dist` while tracing an atomicCAS.
                 let n = g.num_vertices();
                 ws.pull_degrees.clear();
                 if S::ENABLED {
@@ -545,16 +605,26 @@ pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
                     for &v in g.neighbors(w) {
                         if S::ENABLED {
                             // F_curr membership probe for the
-                            // neighbor — a read-only bitmap this
-                            // level, so no synchronization.
+                            // neighbor — a read-only bitmap during
+                            // the scan (the compaction's atomicOrs
+                            // are sequenced before it), so no
+                            // synchronization.
                             sink.record(TraceEvent {
                                 thread: w,
                                 array: KernelArray::FrontierBits,
-                                index: v / 32,
+                                index: v / VERTICES_PER_WORD,
                                 kind: AccessKind::Read,
                             });
                         }
-                        if ws.dist[v as usize] == depth {
+                        // The compressed frontier *is* the membership
+                        // oracle; it must agree with the distance
+                        // array it compacted.
+                        debug_assert_eq!(
+                            ws.f_curr.contains(v),
+                            ws.dist[v as usize] == depth,
+                            "compressed frontier diverged from distances at {v}"
+                        );
+                        if ws.f_curr.contains(v) {
                             if S::ENABLED {
                                 // Parent σ gather: frontier cells are
                                 // never written during a pull level.
@@ -570,6 +640,7 @@ pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
                     }
                     if parents > 0 {
                         ws.dist[w as usize] = depth + 1;
+                        ws.f_next.set(w);
                         if S::ENABLED {
                             // The owner alone writes its d and σ —
                             // pull needs no CAS and no σ atomicAdd.
@@ -623,6 +694,15 @@ pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
                         }
                     }
                 }
+                pull_frontier_words = ws.f_curr.occupied_leaf_words();
+                pull_summary_words = ws.f_curr.occupied_summary_words();
+                // The discoveries become the next level's frontier:
+                // swap the bitmaps and clear the new F_next (a
+                // summary-guided clear, folded into the level's
+                // bookkeeping price like the F_next→S compaction
+                // above).
+                std::mem::swap(&mut ws.f_curr, &mut ws.f_next);
+                ws.f_next.clear();
             }
         }
         let discovered = ws.s.len() - level_end;
@@ -630,6 +710,8 @@ pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
             unvisited: pull_unvisited,
             unvisited_edges: pull_unvisited_edges,
             rebuilt_frontier_bitmap: !prev_pull,
+            frontier_words: pull_frontier_words,
+            summary_words: pull_summary_words,
             unvisited_degrees: &ws.pull_degrees,
         });
         let info = LevelInfo {
@@ -699,6 +781,8 @@ pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
                     Traversal::Pull => 0,
                 },
                 priced_atomics: priced.work.atomics,
+                frontier_words: pull_frontier_words,
+                summary_words: pull_summary_words,
                 seconds: level_seconds,
                 switch: Some(switch),
             });
@@ -746,7 +830,15 @@ pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
             }
             frontier_edges += g.degree(w) as u64;
             let sw = ws.sigma[w as usize];
-            let mut dsw = 0.0f64;
+            // Successor contributions are collected and sorted into a
+            // canonical order (the f64 total order) before summation.
+            // The multiset of contributions depends only on the graph
+            // *structure* — σ and δ are themselves label-invariant by
+            // induction — so the sorted sum makes δ bitwise identical
+            // under any permutation of the vertex labels (degree
+            // ordered relabeling included), where the raw
+            // adjacency-order sum would reassociate the floats.
+            ws.contrib.clear();
             for &v in g.neighbors(w) {
                 if S::ENABLED {
                     // The successor check d[v] == d + 1: plain read.
@@ -772,9 +864,15 @@ pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
                             kind: AccessKind::Read,
                         });
                     }
-                    dsw += sw / ws.sigma[v as usize] * (1.0 + ws.delta[v as usize]);
+                    let c = sw / ws.sigma[v as usize] * (1.0 + ws.delta[v as usize]);
+                    ws.contrib.push(c);
                     updates += 1;
                 }
+            }
+            ws.contrib.sort_unstable_by(|a, b| a.total_cmp(b));
+            let mut dsw = 0.0f64;
+            for &c in &ws.contrib {
+                dsw += c;
             }
             if S::ENABLED {
                 // δ[w] is written exactly once, by its owner — the
@@ -817,6 +915,8 @@ pub fn process_root_observed<S: TraceSink, M: MetricsSink>(
                 cas_attempts: 0,
                 cas_wins: 0,
                 priced_atomics: priced.work.atomics,
+                frontier_words: 0,
+                summary_words: 0,
                 seconds: device.block_iteration_seconds(&priced.work),
                 switch: None,
             });

@@ -1,12 +1,125 @@
-//! Frontier instrumentation — the data behind Figure 3 (frontier
-//! evolution) and Table I (correlation of frontier sizes with
-//! per-iteration execution time).
+//! Frontier instrumentation and representation — the data behind
+//! Figure 3 (frontier evolution) and Table I (correlation of frontier
+//! sizes with per-iteration execution time), plus the compressed
+//! (hierarchical bitmap) frontier the bottom-up sweep consumes.
 
 use crate::engine::{process_root, SearchWorkspace};
 use crate::methods::models::WorkEfficientModel;
 use bc_gpusim::DeviceConfig;
 use bc_graph::{Csr, VertexId};
 use serde::{Deserialize, Serialize};
+
+/// Vertices covered by one 32-bit leaf word of a
+/// [`CompressedFrontier`].
+pub const VERTICES_PER_WORD: u32 = 32;
+
+/// Leaf words covered by one bit of the summary level — so one
+/// summary *word* covers `32 × 32 = 1024` vertices.
+pub const WORDS_PER_SUMMARY_BIT: u32 = 32;
+
+/// Vertices covered by one summary word (`32 × 32`).
+pub const VERTICES_PER_SUMMARY_WORD: u32 = VERTICES_PER_WORD * WORDS_PER_SUMMARY_BIT;
+
+/// A two-level (hierarchical) frontier bitmap: one bit per vertex in
+/// the leaf level, one bit per leaf word in the summary level.
+///
+/// This is the dense frontier representation the bottom-up kernels
+/// use in place of `Q_curr`'s sparse queue — 32× denser than a vertex
+/// list, with the summary level letting whole 1024-vertex regions be
+/// skipped (or cleared) in a single probe. The engine materializes it
+/// with the `frontier-compact` kernel on a push→pull direction switch
+/// and thereafter maintains it by swapping `F_curr`/`F_next`, exactly
+/// like the paper's direction-optimizing BFS bookkeeping.
+///
+/// Invariant: a leaf word is nonzero only if its summary bit is set
+/// ([`Self::set`] maintains both), which is what makes the
+/// summary-guided [`Self::clear`] O(occupied regions) instead of
+/// O(n/32).
+#[derive(Clone, Debug, Default)]
+pub struct CompressedFrontier {
+    leaf: Vec<u32>,
+    summary: Vec<u32>,
+}
+
+impl CompressedFrontier {
+    /// An empty frontier over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        let words = n.div_ceil(VERTICES_PER_WORD as usize);
+        let summaries = words.div_ceil(WORDS_PER_SUMMARY_BIT as usize);
+        CompressedFrontier {
+            leaf: vec![0; words],
+            summary: vec![0; summaries],
+        }
+    }
+
+    /// Leaf words allocated (`⌈n / 32⌉`).
+    pub fn leaf_words(&self) -> usize {
+        self.leaf.len()
+    }
+
+    /// Summary words allocated (`⌈⌈n / 32⌉ / 32⌉`).
+    pub fn summary_words(&self) -> usize {
+        self.summary.len()
+    }
+
+    /// Set vertex `v`'s bit in both levels.
+    pub fn set(&mut self, v: VertexId) {
+        let word = (v / VERTICES_PER_WORD) as usize;
+        self.leaf[word] |= 1u32 << (v % VERTICES_PER_WORD);
+        self.summary[word / WORDS_PER_SUMMARY_BIT as usize] |=
+            1u32 << (word as u32 % WORDS_PER_SUMMARY_BIT);
+    }
+
+    /// Is vertex `v`'s bit set? One leaf-word probe.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.leaf[(v / VERTICES_PER_WORD) as usize] & (1u32 << (v % VERTICES_PER_WORD)) != 0
+    }
+
+    /// Does the 1024-vertex region holding `v` contain any frontier
+    /// vertex at all? One summary-word probe — the hierarchical
+    /// shortcut that lets a scan skip empty regions without touching
+    /// their leaf words.
+    pub fn region_occupied(&self, v: VertexId) -> bool {
+        let word = v / VERTICES_PER_WORD;
+        self.summary[(word / WORDS_PER_SUMMARY_BIT) as usize]
+            & (1u32 << (word % WORDS_PER_SUMMARY_BIT))
+            != 0
+    }
+
+    /// Nonzero leaf words — the words the compaction kernel actually
+    /// materialized (equals the total population count of the summary
+    /// level, by the invariant).
+    pub fn occupied_leaf_words(&self) -> u64 {
+        self.summary.iter().map(|&w| w.count_ones() as u64).sum()
+    }
+
+    /// Nonzero summary words — occupied 1024-vertex regions.
+    pub fn occupied_summary_words(&self) -> u64 {
+        self.summary.iter().filter(|&&w| w != 0).count() as u64
+    }
+
+    /// Clear every set bit, guided by the summary level: only leaf
+    /// words whose summary bit is set are touched.
+    pub fn clear(&mut self) {
+        for (si, sw) in self.summary.iter_mut().enumerate() {
+            let mut bits = *sw;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                self.leaf[si * WORDS_PER_SUMMARY_BIT as usize + b as usize] = 0;
+                bits &= bits - 1;
+            }
+            *sw = 0;
+        }
+    }
+
+    /// Clear, then set every vertex of `frontier`.
+    pub fn rebuild_from(&mut self, frontier: &[VertexId]) {
+        self.clear();
+        for &v in frontier {
+            self.set(v);
+        }
+    }
+}
 
 /// Per-root frontier trace.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -161,6 +274,53 @@ mod tests {
             "road peak frontier stays small, got {}",
             tr.peak_fraction(road.num_vertices())
         );
+    }
+
+    #[test]
+    fn compressed_frontier_set_contains_and_summary() {
+        let mut f = CompressedFrontier::new(5000);
+        assert_eq!(f.leaf_words(), 157);
+        assert_eq!(f.summary_words(), 5);
+        for v in [0u32, 31, 32, 1023, 1024, 4999] {
+            assert!(!f.contains(v));
+            f.set(v);
+            assert!(f.contains(v));
+        }
+        assert!(!f.contains(1), "neighboring bits stay clear");
+        // 0/31 share a word; 32 and 1023 each own one; 1024; 4999.
+        assert_eq!(f.occupied_leaf_words(), 5);
+        // Regions: [0,1024) holds three words, [1024,2048), [4096,..).
+        assert_eq!(f.occupied_summary_words(), 3);
+        assert!(f.region_occupied(1) && f.region_occupied(4998));
+        assert!(!f.region_occupied(2048), "empty region skips in one probe");
+    }
+
+    #[test]
+    fn compressed_frontier_clear_restores_empty_state() {
+        let mut f = CompressedFrontier::new(4096);
+        for v in (0..4096).step_by(7) {
+            f.set(v);
+        }
+        f.clear();
+        assert_eq!(f.occupied_leaf_words(), 0);
+        assert_eq!(f.occupied_summary_words(), 0);
+        assert!((0..4096).all(|v| !f.contains(v)));
+        // And the invariant survives reuse.
+        f.rebuild_from(&[9, 2048]);
+        assert!(f.contains(9) && f.contains(2048) && !f.contains(10));
+        assert_eq!(f.occupied_leaf_words(), 2);
+    }
+
+    #[test]
+    fn compressed_frontier_handles_edge_sizes() {
+        // Exactly one word, exactly one summary bit.
+        let mut f = CompressedFrontier::new(32);
+        assert_eq!((f.leaf_words(), f.summary_words()), (1, 1));
+        f.set(31);
+        assert!(f.contains(31) && f.region_occupied(0));
+        // Empty graph: no words at all.
+        let e = CompressedFrontier::new(0);
+        assert_eq!((e.leaf_words(), e.summary_words()), (0, 0));
     }
 
     #[test]

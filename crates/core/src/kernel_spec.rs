@@ -4,7 +4,8 @@
 //! The trace layer ([`bc_gpusim::trace`]) records what one *run* did;
 //! this module declares what every run **may** do: each simulated
 //! kernel of [`crate::engine`] — frontier dedup, push forward,
-//! pull forward, backward sweep — is described as a set of
+//! frontier compaction, pull forward, backward sweep — is described
+//! as a set of
 //! [`AccessSpec`]s, each naming an array, an access flavor, a
 //! symbolic [`IndexExpr`] over the executing lane, and the BFS
 //! [`SegmentClass`] the touched cell is guaranteed to lie in.
@@ -32,7 +33,7 @@
 
 use bc_gpusim::trace::{AccessKind, KernelArray, TracePhase};
 
-/// The four simulated kernels the engine launches.
+/// The five simulated kernels the engine launches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum KernelId {
     /// Algorithm 2's deduplicating discovery: per inspected edge, an
@@ -43,6 +44,13 @@ pub enum KernelId {
     /// Algorithm 2's σ accumulation: the plain `d[w] == d[v]+1` check
     /// and the `atomicAdd(σ[w], σ[v])` of the same launch.
     PushForward,
+    /// The compressed-frontier compaction that precedes a pull level
+    /// after a direction switch: each `Q_curr` slot scatters its
+    /// vertex into the hierarchical frontier bitmap — the leaf word
+    /// (`F_curr`) and the 1024-vertex summary word (`F_sum`) — with
+    /// word-granular `atomicOr`s. Steady-state pull levels skip it
+    /// (the previous level's `F_next` is swapped in instead).
+    FrontierCompact,
     /// The bottom-up (pull) forward sweep: unvisited vertices scan
     /// their own adjacency against the frontier bitmap; the owner
     /// alone writes its `d`/`σ`, announcing with one `atomicOr`.
@@ -54,9 +62,10 @@ pub enum KernelId {
 
 impl KernelId {
     /// Every kernel, in launch order within one root.
-    pub const ALL: [KernelId; 4] = [
+    pub const ALL: [KernelId; 5] = [
         KernelId::FrontierDedup,
         KernelId::PushForward,
+        KernelId::FrontierCompact,
         KernelId::PullForward,
         KernelId::BackwardSweep,
     ];
@@ -66,6 +75,7 @@ impl KernelId {
         match self {
             KernelId::FrontierDedup => "frontier-dedup",
             KernelId::PushForward => "push-forward",
+            KernelId::FrontierCompact => "frontier-compact",
             KernelId::PullForward => "pull-forward",
             KernelId::BackwardSweep => "backward-sweep",
         }
@@ -118,6 +128,11 @@ pub enum IndexExpr {
     /// `own_vertex / 32` — the lane's bitmap word. Not injective
     /// (vertices share words).
     OwnVertexWord,
+    /// `own_vertex / 1024` — the lane's summary word in the
+    /// compressed frontier's upper level (one bit covers 32 leaf
+    /// words). Even less injective than [`IndexExpr::OwnVertexWord`]:
+    /// 1024 vertices share a summary word.
+    OwnVertexSummaryWord,
     /// `neighbor / 32` for any CSR neighbor. Not injective.
     NeighborWord,
     /// The lane *is* a bitmap word id and touches exactly that word
@@ -222,8 +237,8 @@ impl KernelSpec {
 
 use AccessKind::{AtomicAdd, AtomicCas, AtomicOr, Read, Write};
 use IndexExpr::{
-    NeighborOfOwn, NeighborWord, OwnSlot, OwnVertex, OwnVertexWord, OwnWord, QueueTail,
-    ReservedSlot,
+    NeighborOfOwn, NeighborWord, OwnSlot, OwnVertex, OwnVertexSummaryWord, OwnVertexWord, OwnWord,
+    QueueTail, ReservedSlot,
 };
 use SegmentClass::{Any, Current, Next};
 
@@ -251,6 +266,27 @@ pub fn kernel_spec(id: KernelId) -> KernelSpec {
                 AccessSpec::new(KernelArray::Dist, Read, NeighborOfOwn, Any),
                 AccessSpec::new(KernelArray::Sigma, Read, OwnVertex, Current),
                 AccessSpec::new(KernelArray::Sigma, AtomicAdd, NeighborOfOwn, Next),
+            ],
+        ),
+        // Lane = frontier slot. On a push→pull switch the sparse
+        // Q_curr is expanded into the hierarchical frontier bitmap:
+        // each lane reads its own queue slot and atomicOrs its
+        // vertex's leaf and summary bits. Both targets are
+        // word-shared (many frontier vertices per word), which is
+        // exactly why both stores are atomic. A grid-wide sync
+        // separates this compaction from the pull scan consuming the
+        // bitmap within the same fused launch.
+        KernelId::FrontierCompact => (
+            LaneKind::FrontierSlot,
+            vec![
+                AccessSpec::new(KernelArray::QCurr, Read, OwnSlot, Current),
+                AccessSpec::new(KernelArray::FrontierBits, AtomicOr, OwnVertexWord, Current),
+                AccessSpec::new(
+                    KernelArray::SummaryBits,
+                    AtomicOr,
+                    OwnVertexSummaryWord,
+                    Current,
+                ),
             ],
         ),
         // Lane = unvisited vertex (plus read-only word-id lanes for
@@ -285,7 +321,7 @@ pub fn kernel_spec(id: KernelId) -> KernelSpec {
     KernelSpec { id, lane, accesses }
 }
 
-/// All four kernel specs, in [`KernelId::ALL`] order.
+/// All kernel specs, in [`KernelId::ALL`] order.
 pub fn kernel_specs() -> Vec<KernelSpec> {
     KernelId::ALL.into_iter().map(kernel_spec).collect()
 }
@@ -298,7 +334,8 @@ pub enum LaunchId {
     /// A top-down forward level: [`KernelId::FrontierDedup`] and
     /// [`KernelId::PushForward`] execute fused in one launch.
     ForwardPush,
-    /// A bottom-up forward level: [`KernelId::PullForward`] alone.
+    /// A bottom-up forward level: [`KernelId::FrontierCompact`] (on
+    /// rebuild levels) fused ahead of [`KernelId::PullForward`].
     ForwardPull,
     /// A dependency-accumulation level: [`KernelId::BackwardSweep`].
     Backward,
@@ -325,7 +362,7 @@ impl LaunchId {
     pub fn kernels(self) -> &'static [KernelId] {
         match self {
             LaunchId::ForwardPush => &[KernelId::FrontierDedup, KernelId::PushForward],
-            LaunchId::ForwardPull => &[KernelId::PullForward],
+            LaunchId::ForwardPull => &[KernelId::FrontierCompact, KernelId::PullForward],
             LaunchId::Backward => &[KernelId::BackwardSweep],
         }
     }
@@ -358,6 +395,10 @@ pub fn priced_atomics(id: KernelId) -> Vec<(KernelArray, AccessKind)> {
             (KernelArray::Ends, AtomicAdd),
         ],
         KernelId::PushForward => vec![(KernelArray::Sigma, AtomicAdd)],
+        KernelId::FrontierCompact => vec![
+            (KernelArray::FrontierBits, AtomicOr),
+            (KernelArray::SummaryBits, AtomicOr),
+        ],
         KernelId::PullForward => vec![(KernelArray::NextBits, AtomicOr)],
         KernelId::BackwardSweep => Vec::new(),
     }
@@ -459,6 +500,7 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(KernelId::BackwardSweep.name(), "backward-sweep");
+        assert_eq!(KernelId::FrontierCompact.name(), "frontier-compact");
         assert_eq!(LaunchId::ForwardPull.to_string(), "forward-pull");
         assert_eq!(Axiom::DistinctFrontier.to_string(), "distinct-frontier");
     }

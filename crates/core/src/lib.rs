@@ -40,6 +40,7 @@ pub mod teps;
 pub mod weighted;
 
 pub use engine::Traversal;
+pub use frontier::CompressedFrontier;
 pub use methods::models::{
     DirectionOptimizingModel, DirectionParams, HybridParams, SamplingParams, Strategy,
     TraversalMode,
@@ -49,4 +50,7 @@ pub use parallel::{
     run_roots_scheduled, run_roots_scheduled_metered, RootsRun, ShardableCostModel,
 };
 pub use schedule::{guided_chunk, lpt_order, lpt_seed, plan_assignment, Schedule};
-pub use solver::{run_with_cost_model, BcOptions, BcRun, Method, RootSelection, RunReport};
+pub use solver::{
+    run_with_cost_model, BcOptions, BcRun, Method, PartitionMode, PartitionPlan, RootSelection,
+    RunReport,
+};

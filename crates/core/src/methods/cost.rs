@@ -34,10 +34,11 @@ fn pull_working_set_bytes(g: &Csr) -> u64 {
 /// misalignment (a list rarely starts on a transaction boundary).
 const LIST_MISALIGN_SECTORS: u64 = 1;
 
-/// Bytes the edge-parallel kernel streams per directed edge: the
-/// adjacency target, the per-edge source id, the (sequential, edges
-/// are source-sorted) `d[src]` probe, and its share of σ reads.
-const EP_BYTES_PER_EDGE: u64 = 16;
+/// Bytes the edge-parallel kernel streams per directed edge beyond
+/// the two vertex-id words (adjacency target + per-edge source id,
+/// priced at the graph's simulated index width): the (sequential,
+/// edges are source-sorted) `d[src]` probe and its share of σ reads.
+const EP_BYTES_PER_EDGE_STATE: u64 = 8;
 
 /// The per-vertex state a frontier gather touches (d, σ, δ — three
 /// 4-byte words), used to size the L2 working set.
@@ -135,6 +136,9 @@ pub fn work_efficient_level(
     trips.extend(level.frontier.iter().map(|&v| g.degree(v)));
     let f = level.frontier.len() as u64;
     let e = level.frontier_edges;
+    // Vertex ids and CSR offsets stream at the graph's simulated
+    // index width (4 bytes for u32 layouts, 8 for u64).
+    let ib = g.index_bytes();
     let warp_steps =
         warp::round_robin_warp_steps(trips, device.threads_per_block, device.warp_size);
     let (scattered, atomics) = match level.phase {
@@ -153,9 +157,9 @@ pub fn work_efficient_level(
     PricedIteration {
         work: IterationWork {
             warp_steps,
-            coalesced_bytes: f * 4
-                + level.discovered * 4
-                + e * 4
+            coalesced_bytes: f * ib
+                + level.discovered * ib
+                + e * ib
                 + f * LIST_MISALIGN_SECTORS * device.scattered_tx_bytes as u64,
             scattered_accesses: scattered,
             working_set_bytes: bc_working_set_bytes(g),
@@ -202,6 +206,7 @@ pub fn bottom_up_level(g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) ->
     let n = g.num_vertices() as u64;
     let words = n.div_ceil(32);
     let tx = device.scattered_tx_bytes as u64;
+    let ib = g.index_bytes();
     let scan_steps = warp::balanced_warp_steps(n, device.threads_per_block, device.warp_size);
     let adj_steps = warp::round_robin_warp_steps(
         pull.unvisited_degrees,
@@ -211,11 +216,11 @@ pub fn bottom_up_level(g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) ->
     let mut work = IterationWork {
         warp_steps: scan_steps + adj_steps,
         coalesced_bytes: words * 4                       // visited-bitmap stream
-            + pull.unvisited * 8                         // offsets pair per scanned list
-            + pull.unvisited_edges * 4                   // adjacency lists
+            + pull.unvisited * 2 * ib                    // offsets pair per scanned list
+            + pull.unvisited_edges * ib                  // adjacency lists
             + pull.unvisited * LIST_MISALIGN_SECTORS * tx
             + words * 4                                  // F_next compaction stream
-            + level.discovered * 4, // S appends
+            + level.discovered * ib, // S appends
         bitmap_accesses: pull.unvisited_edges,
         scattered_accesses: level.updates + 2 * level.discovered,
         working_set_bytes: pull_working_set_bytes(g),
@@ -223,12 +228,17 @@ pub fn bottom_up_level(g: &Csr, device: &DeviceConfig, level: &LevelInfo<'_>) ->
         ..Default::default()
     };
     if pull.rebuilt_frontier_bitmap {
-        // Direction switch: scatter Q_curr into F_curr bits (random
-        // single-word writes in a bookkeeping launch, so they carry
-        // no atomic count into the traced level) and seed the
-        // visited bitmap by streaming d once.
-        work.random_accesses += level.frontier.len() as u64;
-        work.coalesced_bytes += n * 4 + words * 4;
+        // Direction switch: the frontier-compact kernel scatters
+        // Q_curr into the hierarchical bitmap — one leaf-word and one
+        // summary-word atomicOr per frontier vertex, both traced and
+        // therefore both priced — and the visited bitmap is seeded by
+        // streaming d once. The materialized words themselves
+        // (`frontier_words` leaves + their summaries) are written
+        // back through the coalesced store path.
+        let f = level.frontier.len() as u64;
+        work.random_accesses += f;
+        work.atomics += 2 * f;
+        work.coalesced_bytes += n * 4 + words * 4 + 4 * (pull.frontier_words + pull.summary_words);
     }
     PricedIteration {
         work,
@@ -247,7 +257,7 @@ pub fn edge_parallel_level(
     let m2 = g.num_directed_edges() as u64;
     let e = level.frontier_edges;
     let warp_steps = warp::balanced_warp_steps(m2, device.threads_per_block, device.warp_size);
-    let coalesced_bytes = m2 * EP_BYTES_PER_EDGE;
+    let coalesced_bytes = m2 * (EP_BYTES_PER_EDGE_STATE + 2 * g.index_bytes());
     // Only edges whose source is on the frontier touch destination
     // state — and those probes are independent per-thread (the
     // edge-parallel strength), so they are bandwidth- rather than
@@ -310,7 +320,7 @@ pub fn vertex_parallel_level(
         work: IterationWork {
             warp_steps: base_steps + extra_steps,
             // d[v] and the offsets array stream sequentially.
-            coalesced_bytes: n * 12 + e * 4,
+            coalesced_bytes: n * (4 + 2 * g.index_bytes()) + e * g.index_bytes(),
             scattered_accesses: scattered,
             working_set_bytes: bc_working_set_bytes(g),
             atomics,
@@ -377,10 +387,13 @@ pub mod footprint {
     /// Direction-optimizing locals: the work-efficient arrays plus
     /// three n-bit bitmaps (visited, `F_curr`, `F_next`) per
     /// resident block — a 32× denser frontier representation than
-    /// another queue.
+    /// another queue — and the two compressed frontiers' summary
+    /// levels (one bit per 32 leaf words, so one word per 1024
+    /// vertices).
     pub fn direction_optimizing_bytes(g: &Csr, device: &DeviceConfig) -> u64 {
         let n = g.num_vertices() as u64;
-        work_efficient_bytes(g, device) + 3 * n.div_ceil(8) * device.num_sms as u64
+        let summaries = 2 * 4 * n.div_ceil(1024);
+        work_efficient_bytes(g, device) + (3 * n.div_ceil(8) + summaries) * device.num_sms as u64
     }
 
     /// Jia et al. locals: d, σ, δ O(n) plus the O(m) boolean
@@ -438,6 +451,8 @@ mod tests {
                 unvisited: degrees.len() as u64,
                 unvisited_edges,
                 rebuilt_frontier_bitmap: rebuilt,
+                frontier_words: frontier.len().div_ceil(32) as u64,
+                summary_words: 1,
                 unvisited_degrees: degrees,
             }),
         }
@@ -538,11 +553,43 @@ mod tests {
         assert_eq!(p.wasted_edges, 2000 - l.updates);
         // σ-only working set, a third of push's d+σ+δ.
         assert_eq!(p.work.working_set_bytes * 3, 12 * g.num_vertices() as u64);
-        // The rebuild surcharge only applies on a push→pull switch.
+        // The rebuild surcharge only applies on a push→pull switch,
+        // and prices the frontier-compact kernel's two atomicOrs
+        // (leaf + summary word) per frontier vertex on top of the
+        // per-discovery F_next atomics.
         let switched = bottom_up_level(&g, &d, &pull_level(&frontier, &g, &degrees, true));
         assert!(switched.work.random_accesses > p.work.random_accesses);
         assert!(switched.work.coalesced_bytes > p.work.coalesced_bytes);
-        assert_eq!(switched.work.atomics, p.work.atomics);
+        assert_eq!(
+            switched.work.atomics,
+            p.work.atomics + 2 * frontier.len() as u64
+        );
+    }
+
+    #[test]
+    fn wide_index_layouts_price_more_coalesced_traffic() {
+        // The same graph under a simulated u64 index layout streams
+        // twice the bytes per vertex id / offset — the adaptive-width
+        // cost the loader avoids by defaulting to u32.
+        let g = gen::grid(32, 32);
+        let wide = g.clone().with_index_width(bc_graph::CsrIndex::U64);
+        let d = DeviceConfig::gtx_titan();
+        let mut trips = Vec::new();
+        let frontier: Vec<u32> = (0..128).collect();
+        let l = level(&frontier, &g, Phase::Forward);
+        let narrow_we = work_efficient_level(&g, &d, &l, &mut trips);
+        let wide_we = work_efficient_level(&wide, &d, &l, &mut trips);
+        assert!(wide_we.work.coalesced_bytes > narrow_we.work.coalesced_bytes);
+        assert_eq!(narrow_we.work.warp_steps, wide_we.work.warp_steps);
+        let narrow_ep = edge_parallel_level(&g, &d, &l);
+        let wide_ep = edge_parallel_level(&wide, &d, &l);
+        assert!(wide_ep.work.coalesced_bytes > narrow_ep.work.coalesced_bytes);
+        let degrees: Vec<u32> = vec![4; 500];
+        let pl = pull_level(&frontier, &g, &degrees, false);
+        let pl_wide = pull_level(&frontier, &wide, &degrees, false);
+        let narrow_bu = bottom_up_level(&g, &d, &pl);
+        let wide_bu = bottom_up_level(&wide, &d, &pl_wide);
+        assert!(wide_bu.work.coalesced_bytes > narrow_bu.work.coalesced_bytes);
     }
 
     #[test]

@@ -59,6 +59,81 @@ fn run_phase<M: ShardableCostModel, const METERED: bool>(
     }
 }
 
+/// Effective host↔device link bandwidth used to price out-of-core
+/// slice swaps (PCIe 3.0 x16 after protocol overhead): the transfer
+/// cost that makes partitioned execution *possible* but visibly
+/// slower than a resident graph, as any out-of-core scheme is.
+const HOST_LINK_BYTES_PER_SEC: f64 = 12.0e9;
+
+/// How a graph whose CSR plus local state exceeds one simulated
+/// device's memory is handled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionMode {
+    /// Fail the pre-flight with [`SimError::OutOfMemory`] — the
+    /// historical behavior, and the honest answer for methods whose
+    /// *local* state is the thing that explodes (GPU-FAN's O(n²)
+    /// predecessor matrix gains nothing from streaming the graph).
+    #[default]
+    Off,
+    /// Split the CSR into contiguous vertex-range slices
+    /// ([`Csr::vertex_slices`]) that fit beside the local arrays and
+    /// stream them through the device, one resident at a time. The
+    /// functional search is unchanged — scores stay bitwise identical
+    /// to a fully resident run — while every level pays to re-stream
+    /// its non-resident slices over the host link.
+    Auto,
+}
+
+/// The out-of-core execution plan: how the CSR was cut and what one
+/// level's slice traffic costs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    /// Contiguous vertex ranges, one per slice, covering the graph.
+    pub slices: Vec<(VertexId, VertexId)>,
+    /// Device bytes of the largest slice (the resident set).
+    pub resident_bytes: u64,
+    /// Bytes re-streamed over the host link per kernel launch — every
+    /// non-resident slice once.
+    pub swap_bytes_per_level: u64,
+}
+
+impl PartitionPlan {
+    /// Cut `g` for a device with `budget` graph bytes (capacity minus
+    /// local arrays). Returns `None` when `budget` cannot hold even
+    /// the largest single adjacency row, or when no cut is needed.
+    pub fn plan(g: &Csr, budget: u64) -> Option<PartitionPlan> {
+        let slices = g.vertex_slices(budget)?;
+        if slices.len() < 2 {
+            return None;
+        }
+        let resident_bytes = slices
+            .iter()
+            .map(|&(lo, hi)| g.slice_bytes(lo, hi))
+            .max()
+            .unwrap_or(0);
+        let total: u64 = slices.iter().map(|&(lo, hi)| g.slice_bytes(lo, hi)).sum();
+        PartitionPlan {
+            swap_bytes_per_level: total - total / slices.len() as u64,
+            resident_bytes,
+            slices,
+        }
+        .into()
+    }
+
+    /// Number of slices.
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Host-link seconds one root's search spends swapping slices: a
+    /// search of depth `d` launches `d + 1` forward and `d` backward
+    /// levels, each re-streaming the non-resident slices.
+    pub fn root_swap_seconds(&self, max_depth: u32) -> f64 {
+        let launches = 2 * max_depth as u64 + 1;
+        launches as f64 * self.swap_bytes_per_level as f64 / HOST_LINK_BYTES_PER_SEC
+    }
+}
+
 /// Which source vertices to process.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RootSelection {
@@ -114,6 +189,10 @@ pub struct BcOptions {
     /// bitwise identical under every schedule — the assignment is
     /// dynamic, the merge order is not.
     pub schedule: Schedule,
+    /// Out-of-core handling for graphs that exceed device memory
+    /// (default [`PartitionMode::Off`]: fail the pre-flight exactly
+    /// as before).
+    pub partition: PartitionMode,
 }
 
 impl Default for BcOptions {
@@ -125,6 +204,7 @@ impl Default for BcOptions {
             threads: 0,
             traversal: TraversalMode::Push,
             schedule: Schedule::Static,
+            partition: PartitionMode::Off,
         }
     }
 }
@@ -222,9 +302,27 @@ impl Method {
         let device = &opts.device;
         let roots = opts.roots.resolve(n);
 
+        // Memory pre-flight. When the CSR does not fit beside the
+        // local arrays and partitioning is enabled, cut the graph
+        // into resident slices instead of failing; only the largest
+        // slice occupies device memory at a time.
         let mut mem = DeviceMemory::new(device.global_mem_bytes);
-        let _graph = mem.alloc(footprint::graph_bytes(g), "graph CSR arrays")?;
-        let _locals = mem.alloc(self.local_bytes(g, device), "per-run local arrays")?;
+        let local_bytes = self.local_bytes(g, device);
+        let graph_bytes = footprint::graph_bytes(g);
+        let partition = (opts.partition == PartitionMode::Auto
+            && graph_bytes.saturating_add(local_bytes) > device.global_mem_bytes)
+            .then(|| PartitionPlan::plan(g, device.global_mem_bytes.saturating_sub(local_bytes)))
+            .flatten();
+        match &partition {
+            Some(plan) => {
+                let _locals = mem.alloc(local_bytes, "per-run local arrays")?;
+                let _resident = mem.alloc(plan.resident_bytes, "resident graph slice")?;
+            }
+            None => {
+                let _graph = mem.alloc(graph_bytes, "graph CSR arrays")?;
+                let _locals = mem.alloc(local_bytes, "per-run local arrays")?;
+            }
+        }
 
         let mut scores = vec![0.0f64; n];
         let mut per_root_seconds = Vec::with_capacity(roots.len());
@@ -487,6 +585,16 @@ impl Method {
             brandes::normalize(&mut scores, g.is_symmetric());
         }
 
+        // Out-of-core surcharge: each launch of a partitioned root
+        // streams the non-resident slices over the host link, so the
+        // swap time lands on every root's block time (and through it
+        // on the makespan and the full-graph extrapolation).
+        if let Some(plan) = &partition {
+            for (secs, &depth) in per_root_seconds.iter_mut().zip(&max_depths) {
+                *secs += plan.root_swap_seconds(depth);
+            }
+        }
+
         let device_seconds = if self.is_fine_grained() {
             per_root_seconds.iter().sum()
         } else {
@@ -527,6 +635,7 @@ impl Method {
                     traversal_iterations,
                     sampling_chose_edge_parallel,
                     metrics: run_metrics.as_ref().map(|m| m.summary),
+                    partition,
                 },
             },
             run_metrics,
@@ -591,6 +700,7 @@ pub fn run_with_cost_model<M: ShardableCostModel>(
             traversal_iterations: None,
             sampling_chose_edge_parallel: None,
             metrics: None,
+            partition: None,
         },
     })
 }
@@ -644,6 +754,10 @@ pub struct RunReport {
     /// ([`Method::run_metered`]); `None` — and zero overhead — on
     /// plain runs.
     pub metrics: Option<MetricsSummary>,
+    /// The slice plan when the graph ran out-of-core
+    /// ([`PartitionMode::Auto`] and the CSR did not fit); `None` on
+    /// fully resident runs.
+    pub partition: Option<PartitionPlan>,
 }
 
 impl RunReport {
@@ -1011,8 +1125,83 @@ mod tests {
             traversal_iterations: None,
             sampling_chose_edge_parallel: None,
             metrics: None,
+            partition: None,
         };
         assert!((r.mteps() - 2500.0).abs() < 1e-9);
         assert!((r.gteps() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partitioned_run_matches_resident_run_bitwise() {
+        // A graph that cannot fit beside the locals on a tiny device:
+        // with partitioning it must still run, and the functional
+        // pass is untouched, so scores are bitwise identical to a
+        // fully resident run on a big device.
+        let g = gen::watts_strogatz(4096, 8, 0.1, 7);
+        let small = bc_gpusim::DeviceConfig {
+            global_mem_bytes: footprint::graph_bytes(&g) / 2
+                + Method::WorkEfficient.local_bytes(&g, &bc_gpusim::DeviceConfig::gtx_titan()),
+            ..bc_gpusim::DeviceConfig::gtx_titan()
+        };
+        let opts_small = BcOptions {
+            device: small,
+            partition: PartitionMode::Auto,
+            roots: RootSelection::FirstK(8),
+            ..Default::default()
+        };
+        let opts_big = BcOptions {
+            roots: RootSelection::FirstK(8),
+            ..Default::default()
+        };
+        let part = Method::WorkEfficient.run(&g, &opts_small).unwrap();
+        let full = Method::WorkEfficient.run(&g, &opts_big).unwrap();
+        let plan = part.report.partition.as_ref().expect("graph was sliced");
+        assert!(plan.num_slices() >= 2, "expected >= 2 slices");
+        assert!(full.report.partition.is_none());
+        for (a, b) in part.scores.iter().zip(&full.scores) {
+            assert_eq!(a.to_bits(), b.to_bits(), "scores must be bitwise equal");
+        }
+        // Swapping slices over the host link is not free: every
+        // partitioned root gets slower, never faster.
+        for (p, f) in part
+            .report
+            .per_root_seconds
+            .iter()
+            .zip(&full.report.per_root_seconds)
+        {
+            assert!(p > f, "swap surcharge missing: {p} vs {f}");
+        }
+    }
+
+    #[test]
+    fn partition_off_still_ooms() {
+        let g = gen::watts_strogatz(4096, 8, 0.1, 7);
+        let small = bc_gpusim::DeviceConfig {
+            global_mem_bytes: footprint::graph_bytes(&g) / 2,
+            ..bc_gpusim::DeviceConfig::gtx_titan()
+        };
+        let opts = BcOptions {
+            device: small,
+            roots: RootSelection::FirstK(1),
+            ..Default::default()
+        };
+        let err = Method::WorkEfficient.run(&g, &opts).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }), "{err}");
+    }
+
+    #[test]
+    fn partition_plan_slices_and_prices() {
+        let g = gen::watts_strogatz(2048, 8, 0.1, 3);
+        let total = g.storage_bytes();
+        let plan = PartitionPlan::plan(&g, total / 3).expect("should slice");
+        assert!(plan.num_slices() >= 3);
+        assert!(plan.resident_bytes <= total / 3);
+        assert!(plan.swap_bytes_per_level > 0);
+        // A fitting budget yields no plan: partitioning is only for
+        // graphs that genuinely overflow.
+        assert!(PartitionPlan::plan(&g, total).is_none());
+        // Deeper searches relaunch more levels and swap more.
+        assert!(plan.root_swap_seconds(9) > plan.root_swap_seconds(3));
+        assert!(plan.root_swap_seconds(0) > 0.0);
     }
 }

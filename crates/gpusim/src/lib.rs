@@ -44,5 +44,5 @@ pub use device::DeviceConfig;
 pub use error::SimError;
 pub use fault::{FaultHook, NoFaults};
 pub use kernel::{counter_add, KernelCounters};
-pub use memory::{Allocation, DeviceMemory};
+pub use memory::{distinct_line_transactions, Allocation, DeviceMemory};
 pub use timing::{coarse_grained_makespan, IterationWork};

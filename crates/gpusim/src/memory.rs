@@ -79,6 +79,48 @@ impl DeviceMemory {
     }
 }
 
+/// Count the distinct `line_bytes`-sized DRAM lines covered by a set
+/// of contiguous byte ranges `[start, end)` — the transaction count a
+/// perfectly scheduled memory controller issues for streaming those
+/// ranges. Overlapping or duplicated ranges coalesce: a line shared
+/// by two adjacency rows is fetched once per launch.
+///
+/// This is the layout-sensitive counterpart to
+/// [`KernelCounters::memory_transactions`]: the counter formula
+/// prices *volume*, while this helper prices *placement*, which is
+/// what vertex relabeling changes.
+///
+/// [`KernelCounters::memory_transactions`]: crate::kernel::KernelCounters::memory_transactions
+pub fn distinct_line_transactions(
+    ranges: impl IntoIterator<Item = (u64, u64)>,
+    line_bytes: u64,
+) -> u64 {
+    assert!(line_bytes > 0, "transaction width must be positive");
+    // Convert to inclusive line-id intervals, then merge.
+    let mut spans: Vec<(u64, u64)> = ranges
+        .into_iter()
+        .filter(|&(start, end)| end > start)
+        .map(|(start, end)| (start / line_bytes, (end - 1) / line_bytes))
+        .collect();
+    spans.sort_unstable();
+    let mut lines = 0u64;
+    let mut current: Option<(u64, u64)> = None;
+    for (lo, hi) in spans {
+        match current {
+            Some((clo, chi)) if lo <= chi => current = Some((clo, chi.max(hi))),
+            Some((clo, chi)) => {
+                lines += chi - clo + 1;
+                current = Some((lo, hi));
+            }
+            None => current = Some((lo, hi)),
+        }
+    }
+    if let Some((clo, chi)) = current {
+        lines += chi - clo + 1;
+    }
+    lines
+}
+
 /// Receipt for a simulated allocation; return it to
 /// [`DeviceMemory::free`] to release the bytes.
 #[derive(Debug)]
@@ -145,6 +187,24 @@ mod tests {
         mem.free(b).unwrap();
         let _c = mem.alloc(100, "c").unwrap();
         assert_eq!(mem.peak(), 900);
+    }
+
+    #[test]
+    fn distinct_line_transactions_merges_overlaps() {
+        // Two rows sharing a 128-byte line cost one transaction.
+        assert_eq!(distinct_line_transactions([(0, 64), (64, 128)], 128), 1);
+        // Disjoint lines are counted once each; duplicates coalesce.
+        assert_eq!(
+            distinct_line_transactions([(0, 128), (256, 384), (0, 128)], 128),
+            2
+        );
+        // A long range spans ceil(len / line) lines.
+        assert_eq!(distinct_line_transactions([(0, 1000)], 128), 8);
+        // Unsorted input and straddling ranges.
+        assert_eq!(distinct_line_transactions([(300, 400), (100, 200)], 128), 4);
+        // Empty ranges contribute nothing.
+        assert_eq!(distinct_line_transactions([(5, 5)], 32), 0);
+        assert_eq!(distinct_line_transactions(std::iter::empty(), 32), 0);
     }
 
     #[test]

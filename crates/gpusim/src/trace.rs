@@ -46,13 +46,18 @@ pub enum KernelArray {
     /// `F_next` — the bottom-up sweep's next-frontier bitmap; indexed
     /// by 32-bit word. Discoveries set bits with `atomicOr`.
     NextBits,
+    /// `F_sum` — the compressed frontier's summary level: one bit per
+    /// 32 leaf words (1024 vertices), letting empty pull regions skip
+    /// in a single probe. Indexed by summary word; set with
+    /// `atomicOr` by the frontier-compaction kernel.
+    SummaryBits,
 }
 
 impl KernelArray {
     /// Every kernel array, in declaration order — spec-coverage
     /// checks (`bc-analyze`) iterate this to prove no array escapes
     /// the static access specifications.
-    pub const ALL: [KernelArray; 10] = [
+    pub const ALL: [KernelArray; 11] = [
         KernelArray::Dist,
         KernelArray::Sigma,
         KernelArray::Delta,
@@ -63,6 +68,7 @@ impl KernelArray {
         KernelArray::VisitedBits,
         KernelArray::FrontierBits,
         KernelArray::NextBits,
+        KernelArray::SummaryBits,
     ];
 
     /// The paper's name for the array.
@@ -78,6 +84,7 @@ impl KernelArray {
             KernelArray::VisitedBits => "visited",
             KernelArray::FrontierBits => "F_curr",
             KernelArray::NextBits => "F_next",
+            KernelArray::SummaryBits => "F_sum",
         }
     }
 }

@@ -15,6 +15,56 @@ pub type VertexId = u32;
 /// Index into the adjacency (edge) array.
 pub type EdgeId = u32;
 
+/// Simulated width of the CSR index arrays.
+///
+/// The host always stores indices as `u32` (no in-memory graph here
+/// exceeds `u32` range), but the *simulated device layout* may be
+/// half- or full-width: the width scales every byte the cost models
+/// charge for streaming `offsets`/`adj`, which is exactly the
+/// "half-width traffic" win the paper's `u32` choice buys. Graphs
+/// whose index space would overflow `u32` on a real device select
+/// [`CsrIndex::U64`] automatically at load; everything else keeps
+/// [`CsrIndex::U32`], and benches may force either width to measure
+/// the traffic delta.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CsrIndex {
+    /// 4-byte indices — the paper's layout (44.6 M directed edges max).
+    #[default]
+    U32,
+    /// 8-byte indices for graphs beyond `u32` addressing.
+    U64,
+}
+
+impl CsrIndex {
+    /// Bytes per index under this width.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            CsrIndex::U32 => 4,
+            CsrIndex::U64 => 8,
+        }
+    }
+
+    /// CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CsrIndex::U32 => "u32",
+            CsrIndex::U64 => "u64",
+        }
+    }
+
+    /// Deterministic width selection for a graph with `n` vertices and
+    /// `arcs` directed adjacency entries: full width exactly when
+    /// either index space would overflow `u32`.
+    pub fn for_counts(n: usize, arcs: usize) -> Self {
+        if n >= u32::MAX as usize || arcs >= u32::MAX as usize {
+            CsrIndex::U64
+        } else {
+            CsrIndex::U32
+        }
+    }
+}
+
 /// An immutable graph in CSR form.
 ///
 /// For undirected graphs every edge `{u, v}` is stored twice (as
@@ -30,6 +80,8 @@ pub struct Csr {
     undirected_edges: u64,
     /// Whether the adjacency structure is symmetric.
     symmetric: bool,
+    /// Simulated device-layout index width (see [`CsrIndex`]).
+    index: CsrIndex,
 }
 
 impl fmt::Debug for Csr {
@@ -39,6 +91,7 @@ impl fmt::Debug for Csr {
             .field("num_directed_edges", &self.num_directed_edges())
             .field("undirected_edges", &self.undirected_edges)
             .field("symmetric", &self.symmetric)
+            .field("index", &self.index)
             .finish()
     }
 }
@@ -75,11 +128,13 @@ impl Csr {
         } else {
             adj.len() as u64
         };
+        let index = CsrIndex::for_counts(offsets.len() - 1, adj.len());
         Self {
             offsets,
             adj,
             undirected_edges,
             symmetric,
+            index,
         }
     }
 
@@ -108,6 +163,57 @@ impl Csr {
             both.push((b, a));
         }
         Self::from_directed_pairs(num_vertices, both, true)
+    }
+
+    /// Build an undirected CSR from an owned edge buffer **without
+    /// intermediate copies**: the buffer is canonicalized, sorted, and
+    /// deduplicated in place, and the symmetric adjacency is filled by
+    /// a counting sort that never materializes the doubled arc list.
+    ///
+    /// Semantically identical to [`Csr::from_undirected_edges`]; the
+    /// difference is peak footprint — beyond the consumed buffer, only
+    /// the final `offsets`/`adj` arrays (plus one `n + 1` cursor) are
+    /// allocated, which is what lets multi-million-edge loads fit.
+    pub fn from_undirected_edges_in_place(
+        num_vertices: usize,
+        mut edges: Vec<(VertexId, VertexId)>,
+    ) -> Self {
+        let mut w = 0;
+        for i in 0..edges.len() {
+            let (u, v) = edges[i];
+            assert!((u as usize) < num_vertices && (v as usize) < num_vertices);
+            if u == v {
+                continue;
+            }
+            edges[w] = if u < v { (u, v) } else { (v, u) };
+            w += 1;
+        }
+        edges.truncate(w);
+        edges.sort_unstable();
+        edges.dedup();
+        let mut offsets = vec![0u32; num_vertices + 1];
+        for &(a, b) in &edges {
+            offsets[a as usize + 1] += 1;
+            offsets[b as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            offsets[i + 1] += offsets[i];
+        }
+        // One pass over the sorted unique edges fills each row in
+        // ascending neighbor order: row `v` first receives the
+        // sources of edges `(a, v)` with `a < v` (ascending in the
+        // sorted order), then the targets of edges `(v, c)` with
+        // `c > v` (also ascending).
+        let mut cursor: Vec<u32> = offsets[..num_vertices].to_vec();
+        let mut adj = vec![0u32; edges.len() * 2];
+        for &(a, b) in &edges {
+            adj[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            adj[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        drop(edges);
+        Self::from_raw_parts(offsets, adj, true)
     }
 
     /// Build a directed CSR from an arc list. Self-loops are dropped
@@ -241,10 +347,67 @@ impl Csr {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
-    /// Total bytes of the CSR arrays, as a device-memory footprint
-    /// estimate for the GPU simulator.
+    /// The simulated index width of this graph's device layout.
+    #[inline]
+    pub fn index_width(&self) -> CsrIndex {
+        self.index
+    }
+
+    /// Bytes per index under the simulated layout — the multiplier
+    /// the cost models apply to every streamed `offsets`/`adj` entry.
+    #[inline]
+    pub fn index_bytes(&self) -> u64 {
+        self.index.bytes()
+    }
+
+    /// The same graph with an explicit simulated index width (benches
+    /// force [`CsrIndex::U64`] to measure the wide-layout traffic; IO
+    /// restores the width a binary file was written with).
+    pub fn with_index_width(mut self, index: CsrIndex) -> Self {
+        self.index = index;
+        self
+    }
+
+    /// Total bytes of the CSR arrays under the simulated index width,
+    /// as a device-memory footprint estimate for the GPU simulator.
     pub fn storage_bytes(&self) -> u64 {
-        (self.offsets.len() * 4 + self.adj.len() * 4) as u64
+        (self.offsets.len() + self.adj.len()) as u64 * self.index.bytes()
+    }
+
+    /// Device bytes of the resident slice for the vertex range
+    /// `[lo, hi)`: its `hi - lo + 1` offsets plus the adjacency rows
+    /// they bound, under the simulated index width.
+    pub fn slice_bytes(&self, lo: VertexId, hi: VertexId) -> u64 {
+        assert!(lo <= hi && (hi as usize) <= self.num_vertices());
+        let rows = (self.offsets[hi as usize] - self.offsets[lo as usize]) as u64;
+        (hi - lo + 1) as u64 * self.index.bytes() + rows * self.index.bytes()
+    }
+
+    /// Split the vertex space into the minimal number of contiguous
+    /// ranges whose resident slices each fit `budget` bytes (greedy
+    /// left-to-right, which is optimal for contiguous partitions).
+    /// Returns `None` when some single vertex's row alone exceeds the
+    /// budget — such a graph cannot be partitioned at this grain.
+    pub fn vertex_slices(&self, budget: u64) -> Option<Vec<(VertexId, VertexId)>> {
+        let n = self.num_vertices() as VertexId;
+        if n == 0 {
+            return Some(vec![]);
+        }
+        let mut slices = Vec::new();
+        let mut lo = 0;
+        let mut hi = 0;
+        while hi < n {
+            if self.slice_bytes(lo, hi + 1) <= budget {
+                hi += 1;
+            } else if hi == lo {
+                return None;
+            } else {
+                slices.push((lo, hi));
+                lo = hi;
+            }
+        }
+        slices.push((lo, hi));
+        Some(slices)
     }
 }
 
@@ -345,5 +508,67 @@ mod tests {
     fn storage_bytes_counts_arrays() {
         let g = diamond();
         assert_eq!(g.storage_bytes(), (5 * 4 + 8 * 4) as u64);
+    }
+
+    #[test]
+    fn in_place_builder_matches_copying_builder() {
+        // Same cleanup semantics: self-loops dropped, duplicates (in
+        // either orientation) collapsed, rows sorted.
+        let raw = vec![(3u32, 1u32), (1, 3), (0, 0), (2, 3), (0, 1), (1, 0), (3, 2)];
+        let a = Csr::from_undirected_edges(4, raw.clone());
+        let b = Csr::from_undirected_edges_in_place(4, raw);
+        assert_eq!(a, b);
+        assert_eq!(b.neighbors(3), &[1, 2]);
+        let empty = Csr::from_undirected_edges_in_place(3, vec![]);
+        assert_eq!(empty.num_directed_edges(), 0);
+        assert_eq!(empty.num_vertices(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn in_place_builder_rejects_out_of_range() {
+        let _ = Csr::from_undirected_edges_in_place(2, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn index_width_defaults_narrow_and_scales_storage() {
+        let g = diamond();
+        assert_eq!(g.index_width(), CsrIndex::U32);
+        assert_eq!(g.index_bytes(), 4);
+        let wide = g.clone().with_index_width(CsrIndex::U64);
+        assert_eq!(wide.storage_bytes(), 2 * g.storage_bytes());
+        // Width participates in equality: a wide layout is a distinct
+        // simulated graph even over identical topology.
+        assert_ne!(g, wide);
+        assert_eq!(CsrIndex::for_counts(100, 100), CsrIndex::U32);
+        assert_eq!(CsrIndex::for_counts(u32::MAX as usize, 1), CsrIndex::U64);
+        assert_eq!(CsrIndex::for_counts(1, u32::MAX as usize), CsrIndex::U64);
+    }
+
+    #[test]
+    fn vertex_slices_cover_and_respect_budget() {
+        let g = diamond();
+        // Whole graph in one slice under a huge budget.
+        assert_eq!(g.vertex_slices(1 << 20), Some(vec![(0, 4)]));
+        // Tight budget: several slices, contiguous cover, each within
+        // budget, and slice bytes sum to more than storage (offsets
+        // boundary entries are duplicated per slice).
+        let budget = 6 * 4;
+        let slices = g.vertex_slices(budget).expect("partitionable");
+        assert!(slices.len() > 1);
+        assert_eq!(slices.first().unwrap().0, 0);
+        assert_eq!(slices.last().unwrap().1, 4);
+        for w in slices.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "slices must tile the vertex space");
+        }
+        for &(lo, hi) in &slices {
+            assert!(lo < hi);
+            assert!(g.slice_bytes(lo, hi) <= budget);
+        }
+        // A budget below one row's bytes cannot be partitioned.
+        assert_eq!(g.vertex_slices(4), None);
+        // Empty graph: trivially zero slices.
+        let empty = Csr::from_undirected_edges(0, []);
+        assert_eq!(empty.vertex_slices(1), Some(vec![]));
     }
 }

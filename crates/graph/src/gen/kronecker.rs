@@ -188,6 +188,56 @@ mod tests {
     }
 
     #[test]
+    fn raw_edge_arithmetic_matches_graph500_convention() {
+        // `edge_factor * 2^scale` raw samples, each within `2^scale`.
+        for (scale, ef) in [(6u32, 4usize), (9, 8), (11, 16)] {
+            let n = 1usize << scale;
+            let raw = rmat_edges(scale, ef * n, RmatParams::GRAPH500, 13);
+            assert_eq!(raw.len(), ef * n);
+            assert!(raw
+                .iter()
+                .all(|&(u, v)| (u as usize) < n && (v as usize) < n));
+            let g = kronecker(scale, ef, 13);
+            assert_eq!(g.num_vertices(), n);
+        }
+    }
+
+    #[test]
+    fn raw_edges_are_seed_deterministic() {
+        let a = rmat_edges(10, 4096, RmatParams::GRAPH500, 21);
+        let b = rmat_edges(10, 4096, RmatParams::GRAPH500, 21);
+        assert_eq!(a, b);
+        let c = rmat_edges(10, 4096, RmatParams::GRAPH500, 22);
+        assert_ne!(a, c, "distinct seeds must draw distinct samples");
+    }
+
+    #[test]
+    fn csr_invariants_hold_no_loop_or_multi_edge_leaks() {
+        // The raw R-MAT stream contains self-loops and duplicates by
+        // construction; none may survive into the CSR (the same
+        // invariants bc-verify replays over every dataset analogue).
+        let raw = rmat_edges(9, 8 * 512, RmatParams::GRAPH500, 3);
+        assert!(
+            raw.iter().any(|&(u, v)| u == v),
+            "test premise: raw stream should contain self-loops"
+        );
+        let g = kronecker(9, 8, 3);
+        assert!(g.is_symmetric());
+        for v in g.vertices() {
+            let row = g.neighbors(v);
+            assert!(!row.contains(&v), "self-loop leaked at vertex {v}");
+            assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "row {v} must be strictly sorted (no multi-edges)"
+            );
+            for &u in row {
+                assert!(g.has_arc(u, v), "missing reverse arc {u}->{v}");
+            }
+        }
+        assert_eq!(g.num_directed_edges() as u64, 2 * g.num_undirected_edges());
+    }
+
+    #[test]
     #[should_panic(expected = "sum to 1")]
     fn invalid_params_rejected() {
         let p = RmatParams {

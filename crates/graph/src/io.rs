@@ -11,7 +11,7 @@
 //!
 //! Plus a compact little-endian binary CSR format for fast reloads.
 
-use crate::csr::Csr;
+use crate::csr::{Csr, CsrIndex};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
 /// Errors produced by the parsers.
@@ -235,9 +235,31 @@ pub fn write_matrix_market(g: &Csr, w: impl Write) -> io::Result<()> {
     out.flush()
 }
 
+/// Byte accounting of one streaming edge-list load, for the
+/// peak-footprint regression test and the CLI's load diagnostics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadReport {
+    /// Raw (pre-dedup) edges parsed from the file.
+    pub raw_edges: usize,
+    /// Peak bytes of edge-proportional intermediate storage: the
+    /// capacity of the single parse buffer that
+    /// [`Csr::from_undirected_edges_in_place`] then consumes without
+    /// copying. (The id-remap table is vertex-proportional and not
+    /// counted here.)
+    pub peak_intermediate_bytes: u64,
+}
+
 /// Read a SNAP-style edge list (`# comments`, `u v` per line,
 /// arbitrary ids compacted to a dense range).
 pub fn read_edge_list(r: impl Read) -> Result<Csr, IoError> {
+    read_edge_list_reporting(r).map(|(g, _)| g)
+}
+
+/// [`read_edge_list`], also reporting the load's peak intermediate
+/// footprint. The parse streams into exactly one edge buffer, which
+/// the in-place CSR constructor consumes — no second edge-sized copy
+/// ever exists, the prerequisite for loading graphs 10–100x larger.
+pub fn read_edge_list_reporting(r: impl Read) -> Result<(Csr, LoadReport), IoError> {
     let reader = BufReader::new(r);
     let mut remap = std::collections::HashMap::<u64, u32>::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
@@ -264,7 +286,13 @@ pub fn read_edge_list(r: impl Read) -> Result<Csr, IoError> {
         let (cu, cv) = (id(u, &mut remap), id(v, &mut remap));
         edges.push((cu, cv));
     }
-    Ok(Csr::from_undirected_edges(remap.len(), edges))
+    let report = LoadReport {
+        raw_edges: edges.len(),
+        peak_intermediate_bytes: (edges.capacity() * std::mem::size_of::<(u32, u32)>()) as u64,
+    };
+    let n = remap.len();
+    drop(remap);
+    Ok((Csr::from_undirected_edges_in_place(n, edges), report))
 }
 
 /// Write a graph as a plain edge list (each undirected edge once).
@@ -284,16 +312,26 @@ pub fn write_edge_list(g: &Csr, w: impl Write) -> io::Result<()> {
     out.flush()
 }
 
-const BINARY_MAGIC: &[u8; 8] = b"HBCCSR01";
+/// Version 1 of the binary format: no index-width byte (implies the
+/// `u32` simulated layout). Still readable.
+const BINARY_MAGIC_V1: &[u8; 8] = b"HBCCSR01";
+/// Version 2 adds the simulated index width to the flags block so a
+/// reload prices exactly like the original graph.
+const BINARY_MAGIC: &[u8; 8] = b"HBCCSR02";
 
-/// Write the compact binary CSR format (magic, n, adj-len, symmetric
-/// flag, offsets, adjacency; all little-endian u32/u64).
+/// Write the compact binary CSR format (magic, n, adj-len, flags
+/// block `[symmetric, index-width]`, offsets, adjacency; all
+/// little-endian u32/u64).
 pub fn write_binary(g: &Csr, w: impl Write) -> io::Result<()> {
     let mut out = BufWriter::new(w);
     out.write_all(BINARY_MAGIC)?;
     out.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
     out.write_all(&(g.num_directed_edges() as u64).to_le_bytes())?;
-    out.write_all(&[u8::from(g.is_symmetric()), 0, 0, 0, 0, 0, 0, 0])?;
+    let width = match g.index_width() {
+        CsrIndex::U32 => 0u8,
+        CsrIndex::U64 => 1u8,
+    };
+    out.write_all(&[u8::from(g.is_symmetric()), width, 0, 0, 0, 0, 0, 0])?;
     for &o in g.offsets() {
         out.write_all(&o.to_le_bytes())?;
     }
@@ -303,11 +341,13 @@ pub fn write_binary(g: &Csr, w: impl Write) -> io::Result<()> {
     out.flush()
 }
 
-/// Read the binary CSR format written by [`write_binary`].
+/// Read the binary CSR format written by [`write_binary`] (either
+/// `HBCCSR02` or the width-less `HBCCSR01`).
 pub fn read_binary(mut r: impl Read) -> Result<Csr, IoError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != BINARY_MAGIC {
+    let versioned = &magic == BINARY_MAGIC;
+    if !versioned && &magic != BINARY_MAGIC_V1 {
         return Err(perr(0, "bad magic — not a hybrid-bc binary graph"));
     }
     let mut buf8 = [0u8; 8];
@@ -317,6 +357,11 @@ pub fn read_binary(mut r: impl Read) -> Result<Csr, IoError> {
     let dir = u64::from_le_bytes(buf8) as usize;
     r.read_exact(&mut buf8)?;
     let symmetric = buf8[0] != 0;
+    let width = match (versioned, buf8[1]) {
+        (false, _) | (true, 0) => CsrIndex::U32,
+        (true, 1) => CsrIndex::U64,
+        (true, w) => return Err(perr(0, format!("unknown index width tag {w}"))),
+    };
     let mut offsets = vec![0u32; n + 1];
     let mut buf4 = [0u8; 4];
     for o in offsets.iter_mut() {
@@ -328,7 +373,7 @@ pub fn read_binary(mut r: impl Read) -> Result<Csr, IoError> {
         r.read_exact(&mut buf4)?;
         *a = u32::from_le_bytes(buf4);
     }
-    Ok(Csr::from_raw_parts(offsets, adj, symmetric))
+    Ok(Csr::from_raw_parts(offsets, adj, symmetric).with_index_width(width))
 }
 
 #[cfg(test)]
@@ -420,8 +465,56 @@ mod tests {
     }
 
     #[test]
+    fn binary_round_trips_index_width() {
+        let g = gen::grid(5, 5).with_index_width(CsrIndex::U64);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let h = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(h.index_width(), CsrIndex::U64);
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn binary_reads_v1_files_as_narrow() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Rewrite the magic to the width-less v1 format; its flags
+        // byte 1 was always zero, which is what our writer emits for
+        // the default narrow width, so the payload is identical.
+        buf[..8].copy_from_slice(b"HBCCSR01");
+        let h = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, h);
+        assert_eq!(h.index_width(), CsrIndex::U32);
+    }
+
+    #[test]
     fn binary_rejects_bad_magic() {
         let buf = b"NOTAGRPH00000000".to_vec();
         assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn edge_list_streams_with_one_intermediate_buffer() {
+        // The peak-footprint assertion behind the scaling work: the
+        // loader's only edge-proportional intermediate is the single
+        // parse buffer (amortized growth < 2x the raw edge bytes),
+        // strictly below the old copy-then-build path, which held the
+        // parse buffer AND a canonicalized copy simultaneously
+        // (>= 2 x 8 bytes per raw edge).
+        let g = gen::watts_strogatz(1024, 8, 0.05, 7);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let (h, report) = read_edge_list_reporting(buf.as_slice()).unwrap();
+        assert_eq!(g.num_vertices(), h.num_vertices());
+        assert_eq!(g.num_undirected_edges(), h.num_undirected_edges());
+        assert_eq!(report.raw_edges as u64, g.num_undirected_edges());
+        let edge_bytes = 8 * report.raw_edges as u64;
+        assert!(
+            report.peak_intermediate_bytes < 2 * edge_bytes,
+            "peak {} must stay under one amortized buffer ({} raw bytes)",
+            report.peak_intermediate_bytes,
+            edge_bytes
+        );
     }
 }

@@ -13,6 +13,8 @@
 //!   parameterizations at any scale;
 //! * [`io`] — METIS/DIMACS, Matrix Market, SNAP edge-list, and binary
 //!   CSR readers/writers;
+//! * [`relabel`] — degree-ordered vertex relabeling with inverse maps
+//!   (coalesced adjacency layout, bitwise-identical scores);
 //! * [`stats`] / [`traversal`] — structural statistics and reference
 //!   BFS utilities.
 
@@ -25,11 +27,13 @@ mod csr;
 pub mod datasets;
 pub mod gen;
 pub mod io;
+pub mod relabel;
 pub mod stats;
 pub mod traversal;
 pub mod weighted;
 
-pub use csr::{Csr, EdgeId, VertexId};
+pub use csr::{Csr, CsrIndex, EdgeId, VertexId};
 pub use datasets::{DatasetId, GraphClass};
+pub use relabel::{RelabeledCsr, Relabeling};
 pub use stats::GraphStats;
 pub use weighted::WeightedCsr;

@@ -1,0 +1,237 @@
+//! Degree-ordered vertex relabeling.
+//!
+//! GPU adjacency streaming is a coalescing story: when high-degree
+//! vertices own low ids, the hot adjacency rows pack into a dense
+//! prefix of `adj`, consecutive frontier lanes read consecutive
+//! 128-byte lines, and the transaction count drops — the same
+//! memory-throughput argument behind the paper's edge-parallel versus
+//! work-efficient comparison. This module relabels a graph by
+//! descending degree while carrying both direction maps so every
+//! consumer can translate roots *into* the relabeled space and gather
+//! scores *back out*, making the emitted scores bitwise identical to
+//! an unrelabeled run (see `bc-verify`'s relabel-equivalence battery).
+
+use crate::builder;
+use crate::csr::{Csr, VertexId};
+
+/// Which vertex-relabeling pass to apply at load.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Relabeling {
+    /// Keep the input labels.
+    #[default]
+    None,
+    /// Sort vertices by descending degree (ties by ascending original
+    /// id, so the permutation is deterministic).
+    DegreeDesc,
+}
+
+impl Relabeling {
+    /// CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Relabeling::None => "none",
+            Relabeling::DegreeDesc => "degree",
+        }
+    }
+}
+
+/// A relabeled graph plus the maps between label spaces.
+///
+/// `old_to_new[v]` is the relabeled id of original vertex `v`;
+/// `new_to_old[w]` inverts it. Both are identities under
+/// [`Relabeling::None`].
+#[derive(Clone, Debug)]
+pub struct RelabeledCsr {
+    /// The permuted graph (same index width as the input).
+    pub graph: Csr,
+    old_to_new: Vec<VertexId>,
+    new_to_old: Vec<VertexId>,
+    relabeling: Relabeling,
+}
+
+/// The degree-descending permutation of `g` as a `new_to_old` order:
+/// entry `i` is the original vertex ranked `i`-th by `(degree desc,
+/// id asc)`.
+pub fn degree_desc_order(g: &Csr) -> Vec<VertexId> {
+    let mut order: Vec<VertexId> = g.vertices().collect();
+    // Stable by construction: the key is unique (id breaks ties).
+    order.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    order
+}
+
+/// Apply a relabeling pass to a symmetric graph.
+///
+/// # Panics
+/// Panics if `g` is directed — every BC method here consumes the
+/// symmetric CSR, and the permutation rebuild goes through the
+/// undirected constructor.
+pub fn apply(g: &Csr, relabeling: Relabeling) -> RelabeledCsr {
+    assert!(
+        g.is_symmetric() || g.num_directed_edges() == 0,
+        "relabeling is defined on symmetric graphs"
+    );
+    let n = g.num_vertices();
+    match relabeling {
+        Relabeling::None => RelabeledCsr {
+            graph: g.clone(),
+            old_to_new: (0..n as VertexId).collect(),
+            new_to_old: (0..n as VertexId).collect(),
+            relabeling,
+        },
+        Relabeling::DegreeDesc => {
+            let new_to_old = degree_desc_order(g);
+            let mut old_to_new = vec![0 as VertexId; n];
+            for (new, &old) in new_to_old.iter().enumerate() {
+                old_to_new[old as usize] = new as VertexId;
+            }
+            let width = g.index_width();
+            let graph = builder::relabel(g, &old_to_new).with_index_width(width);
+            RelabeledCsr {
+                graph,
+                old_to_new,
+                new_to_old,
+                relabeling,
+            }
+        }
+    }
+}
+
+impl RelabeledCsr {
+    /// Which pass produced this graph.
+    pub fn relabeling(&self) -> Relabeling {
+        self.relabeling
+    }
+
+    /// Relabeled id of original vertex `old`.
+    #[inline]
+    pub fn to_new(&self, old: VertexId) -> VertexId {
+        self.old_to_new[old as usize]
+    }
+
+    /// Original id of relabeled vertex `new`.
+    #[inline]
+    pub fn to_old(&self, new: VertexId) -> VertexId {
+        self.new_to_old[new as usize]
+    }
+
+    /// The full `old -> new` map.
+    pub fn old_to_new(&self) -> &[VertexId] {
+        &self.old_to_new
+    }
+
+    /// The full `new -> old` map.
+    pub fn new_to_old(&self) -> &[VertexId] {
+        &self.new_to_old
+    }
+
+    /// Translate a root list from the original space into the
+    /// relabeled space, preserving order (root processing order is
+    /// part of the bitwise contract).
+    pub fn map_roots(&self, roots: &[VertexId]) -> Vec<VertexId> {
+        roots.iter().map(|&r| self.to_new(r)).collect()
+    }
+
+    /// Gather per-vertex scores computed in the relabeled space back
+    /// into original-label order. A pure permutation gather: each
+    /// output slot copies exactly one input `f64` bit pattern, so this
+    /// cannot perturb scores.
+    pub fn restore_scores(&self, scores: &[f64]) -> Vec<f64> {
+        assert_eq!(scores.len(), self.old_to_new.len());
+        self.old_to_new
+            .iter()
+            .map(|&new| scores[new as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn none_is_identity() {
+        let g = gen::star(8);
+        let r = apply(&g, Relabeling::None);
+        assert_eq!(r.graph, g);
+        for v in g.vertices() {
+            assert_eq!(r.to_new(v), v);
+            assert_eq!(r.to_old(v), v);
+        }
+    }
+
+    #[test]
+    fn degree_desc_sorts_degrees_monotonically() {
+        let g = gen::watts_strogatz(512, 6, 0.2, 9);
+        let r = apply(&g, Relabeling::DegreeDesc);
+        let degs: Vec<u32> = r.graph.vertices().map(|v| r.graph.degree(v)).collect();
+        assert!(
+            degs.windows(2).all(|w| w[0] >= w[1]),
+            "degrees must be non-increasing after relabeling"
+        );
+        // The maps invert each other and preserve degree.
+        for v in g.vertices() {
+            assert_eq!(r.to_old(r.to_new(v)), v);
+            assert_eq!(g.degree(v), r.graph.degree(r.to_new(v)));
+        }
+    }
+
+    #[test]
+    fn degree_desc_is_deterministic_on_ties() {
+        // A cycle: all degrees equal, so the order must fall back to
+        // ascending original ids (the identity permutation).
+        let g = gen::cycle(16);
+        assert_eq!(
+            degree_desc_order(&g),
+            (0..16).collect::<Vec<VertexId>>(),
+            "equal degrees tie-break by original id"
+        );
+        let r = apply(&g, Relabeling::DegreeDesc);
+        assert_eq!(r.graph, g);
+    }
+
+    #[test]
+    fn relabeling_preserves_structure() {
+        let g = gen::barabasi_albert(300, 3, 4);
+        let r = apply(&g, Relabeling::DegreeDesc);
+        assert_eq!(r.graph.num_vertices(), g.num_vertices());
+        assert_eq!(r.graph.num_undirected_edges(), g.num_undirected_edges());
+        for (u, v) in g.arcs() {
+            assert!(r.graph.has_arc(r.to_new(u), r.to_new(v)));
+        }
+    }
+
+    #[test]
+    fn restore_scores_is_a_permutation_gather() {
+        let g = gen::star(5);
+        let r = apply(&g, Relabeling::DegreeDesc);
+        // Scores in the relabeled space: value = relabeled id.
+        let scores: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let restored = r.restore_scores(&scores);
+        for old in 0..5u32 {
+            assert_eq!(restored[old as usize], r.to_new(old) as f64);
+        }
+        // Star center (original 0 in gen::star) has max degree → new id 0.
+        assert_eq!(restored[0], 0.0);
+    }
+
+    #[test]
+    fn map_roots_preserves_order() {
+        let g = gen::star(6);
+        let r = apply(&g, Relabeling::DegreeDesc);
+        let roots = [3u32, 1, 5];
+        let mapped = r.map_roots(&roots);
+        assert_eq!(mapped.len(), 3);
+        for (i, &root) in roots.iter().enumerate() {
+            assert_eq!(mapped[i], r.to_new(root));
+        }
+    }
+
+    #[test]
+    fn index_width_survives_relabeling() {
+        use crate::csr::CsrIndex;
+        let g = gen::star(8).with_index_width(CsrIndex::U64);
+        let r = apply(&g, Relabeling::DegreeDesc);
+        assert_eq!(r.graph.index_width(), CsrIndex::U64);
+    }
+}

@@ -216,6 +216,32 @@ pub fn degree_gini(g: &Csr) -> f64 {
     (2.0 * weighted as f64) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
 }
 
+/// Total gather transactions implied by one full sweep of every
+/// adjacency row: for each vertex, the number of *distinct* memory
+/// lines of `ids_per_line` consecutive vertex ids its (sorted)
+/// neighbor list touches when a warp gathers a neighbor-indexed array
+/// (`d`/`σ` in the forward kernels).
+///
+/// Unlike raw adjacency bytes, this quantity is **label-sensitive**:
+/// degree-descending relabeling packs hub ids into a dense prefix, so
+/// neighbor lists concentrate onto fewer lines and the count drops on
+/// scale-free graphs — the coalescing win `bench_scale` asserts.
+pub fn gather_lines(g: &Csr, ids_per_line: u32) -> u64 {
+    assert!(ids_per_line > 0);
+    let mut lines = 0u64;
+    for v in g.vertices() {
+        let mut last = u32::MAX;
+        for &u in g.neighbors(v) {
+            let line = u / ids_per_line;
+            if line != last {
+                lines += 1;
+                last = line;
+            }
+        }
+    }
+    lines
+}
+
 /// Fit the tail exponent of a power-law degree distribution via the
 /// discrete maximum-likelihood estimator (Clauset–Shalizi–Newman's
 /// continuous approximation), considering vertices of degree >=
@@ -323,6 +349,24 @@ mod tests {
         assert_eq!(est.estimate(2), 1.0, "an isolated root costs its own visit");
         let empty = RootCostEstimator::new(&Csr::from_undirected_edges(0, []), 2);
         drop(empty);
+    }
+
+    #[test]
+    fn gather_lines_counts_distinct_lines_per_row() {
+        // Star center row = [1..32): with 8 ids per line that spans
+        // lines 0..4 → 4 lines (+1 for each leaf's single-entry row).
+        let star = Csr::from_undirected_edges(32, (1..32u32).map(|i| (0, i)));
+        assert_eq!(gather_lines(&star, 8), 4 + 31);
+        // One id per line degenerates to the directed edge count.
+        assert_eq!(gather_lines(&star, 1), star.num_directed_edges() as u64);
+        // Degree-descending relabeling concentrates a scale-free
+        // graph's gathers onto fewer lines.
+        let g = crate::gen::barabasi_albert(2000, 4, 9);
+        let r = crate::relabel::apply(&g, crate::relabel::Relabeling::DegreeDesc);
+        assert!(
+            gather_lines(&r.graph, 8) < gather_lines(&g, 8),
+            "relabeling must reduce gather lines on scale-free graphs"
+        );
     }
 
     #[test]

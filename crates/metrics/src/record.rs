@@ -67,6 +67,13 @@ pub struct LevelMetrics {
     pub cas_wins: u64,
     /// Atomic operations the cost model priced for this level.
     pub priced_atomics: u64,
+    /// Occupied 32-bit leaf words of the compressed frontier bitmap
+    /// this level probed (pull levels; 0 elsewhere).
+    pub frontier_words: u64,
+    /// Occupied summary words of the compressed frontier — one bit
+    /// per 32 leaf words, i.e. per 1024 vertices (pull levels; 0
+    /// elsewhere).
+    pub summary_words: u64,
     /// Simulated seconds the device spent on this launch.
     pub seconds: f64,
     /// Direction decision provenance (forward levels only).
@@ -119,6 +126,8 @@ mod tests {
             cas_attempts: 0,
             cas_wins: 0,
             priced_atomics: 0,
+            frontier_words: 0,
+            summary_words: 0,
             seconds: 0.0,
             switch: None,
         }

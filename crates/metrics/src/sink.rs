@@ -104,6 +104,8 @@ mod tests {
             cas_attempts: 2,
             cas_wins: 2,
             priced_atomics: 4,
+            frontier_words: 0,
+            summary_words: 0,
             seconds: 1e-6,
             switch: None,
         });

@@ -134,6 +134,8 @@ mod tests {
             cas_attempts: 10,
             cas_wins: 3,
             priced_atomics: 13,
+            frontier_words: 1,
+            summary_words: 1,
             seconds: 1e-6,
             switch,
         }

@@ -378,6 +378,7 @@ fn schedule_replay_checks(device: &DeviceConfig) -> usize {
             threads: 4,
             traversal: TraversalMode::Auto,
             schedule,
+            partition: Default::default(),
         };
         Method::Sampling(Default::default()).run_metered(&g, &opts)
     };
@@ -426,6 +427,48 @@ fn schedule_replay_checks(device: &DeviceConfig) -> usize {
     failures
 }
 
+/// Stage 6: degree-ordered relabeling must be invisible bitwise. Runs
+/// the full direction × thread × schedule battery on a scale-free
+/// analogue (where DegreeDesc genuinely permutes) plus a single-config
+/// sweep over every method.
+fn relabel_equivalence_checks(seed: u64) -> usize {
+    use bc_core::{BcOptions, Method, RootSelection};
+    let mut failures = 0;
+
+    let scale_free = gen::barabasi_albert(2000, 5, seed);
+    let bad = bc_verify::relabel_battery(
+        &scale_free,
+        &Method::WorkEfficient,
+        RootSelection::Strided(32),
+    );
+    for v in bad.iter().take(8) {
+        println!("FAIL relabel battery: {v}");
+    }
+    failures += bad.len();
+    if bad.is_empty() {
+        println!(
+            "ok   relabel battery: work-efficient bitwise identical under DegreeDesc \
+             across push/pull/auto x 1/2/4 threads x 3 schedules"
+        );
+    }
+
+    for method in Method::all() {
+        let opts = BcOptions {
+            roots: RootSelection::Strided(16),
+            ..Default::default()
+        };
+        let bad = bc_verify::check_relabel_equivalence(&scale_free, &method, &opts);
+        for v in bad.iter().take(4) {
+            println!("FAIL relabel {}: {v}", method.name());
+        }
+        failures += bad.len();
+        if bad.is_empty() {
+            println!("ok   relabel {}: scores bitwise identical", method.name());
+        }
+    }
+    failures
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -453,6 +496,8 @@ fn main() -> ExitCode {
     );
     failures += metrics_cross_checks(&opts, &device);
     failures += schedule_replay_checks(&device);
+    println!("== stage 6: relabel equivalence (seed {}) ==", opts.seed);
+    failures += relabel_equivalence_checks(opts.seed);
 
     if failures == 0 {
         println!("bc-verify: all checks passed");

@@ -46,6 +46,7 @@ pub mod fault_equiv;
 pub mod invariants;
 pub mod metrics_check;
 pub mod race;
+pub mod relabel_equiv;
 pub mod replay;
 pub mod trace;
 
@@ -55,5 +56,6 @@ pub use invariants::{
 };
 pub use metrics_check::{check_root_metrics, check_worker_metrics, MetricsCrossCheck};
 pub use race::{check_trace, RaceReport};
+pub use relabel_equiv::{check_relabel_equivalence, relabel_battery};
 pub use replay::{verify_root, verify_root_with, RootVerification};
 pub use trace::{pull_bitmap_trace, LevelTrace, RecordingSink, Trace};
