@@ -100,6 +100,26 @@ if [[ "${1:-}" != "fast" ]]; then
     echo "==> cli --relabel smoke"
     cargo run -q -p hybrid-bc --release -- --dataset smallworld --reduction 6 \
         --method work-efficient --roots 32 --relabel degree --verify --top 0
+    # Durability smoke: the bench kills the durable runner at five
+    # points, resumes each from its checkpoint, and hard-asserts the
+    # resumed scores are bitwise identical to the uninterrupted run;
+    # it also drives both rungs of the graceful-degradation ladder.
+    echo "==> bench_durability smoke"
+    cargo run -q -p bc-bench --release --bin bench_durability -- --quick 1
+    # CLI durability path: kill a checkpointed cluster run mid-flight
+    # (exit code 1, structured message), then resume it from the same
+    # directory and verify the completed scores.
+    echo "==> cli --checkpoint kill/resume smoke"
+    rm -rf results/ci_ckpt
+    cargo run -q -p hybrid-bc --release -- --dataset smallworld --reduction 7 \
+        --method work-efficient --cluster 2 --roots 16 \
+        --checkpoint results/ci_ckpt --faults seed=7,kill=0.5 --top 0 \
+        && { echo "expected the kill to interrupt the run"; exit 1; } \
+        || true
+    cargo run -q -p hybrid-bc --release -- --dataset smallworld --reduction 7 \
+        --method work-efficient --cluster 2 --roots 16 \
+        --checkpoint results/ci_ckpt --faults seed=7 --top 0 --verify
+    rm -rf results/ci_ckpt
 fi
 
 echo "==> ci OK"

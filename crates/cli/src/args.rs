@@ -66,6 +66,16 @@ pub struct Cli {
     pub cluster: Option<usize>,
     /// Deterministic fault-injection plan for `--cluster` runs.
     pub faults: FaultPlan,
+    /// Checkpoint directory for `--cluster` runs: completed per-root
+    /// contributions stream here, and a rerun of the same
+    /// configuration resumes from them.
+    pub checkpoint: Option<String>,
+    /// Per-root watchdog deadline as a multiple (≥ 1) of the root's
+    /// estimated time; hung stragglers are cancelled and migrated.
+    pub deadline_factor: Option<f64>,
+    /// Engage the graceful-degradation ladder's sampled rung when the
+    /// method cannot fit device memory even partitioned.
+    pub degrade: bool,
     /// Normalize scores.
     pub normalize: bool,
     /// Run the bc-verify checks (CSR invariants, traced replay of a
@@ -147,7 +157,27 @@ CLUSTER:
                        straggle=I+J slowdown=X drop=P corrupt=P
                        e.g. --faults seed=7,transient=0.05,dead=1,drop=0.1
                        (recoverable schedules return scores bitwise
-                       identical to the fault-free run)
+                       identical to the fault-free run); kill=F kills
+                       the process after fraction F of the roots —
+                       rerun with the same --checkpoint DIR to resume
+
+DURABILITY (--cluster):
+    --checkpoint DIR   stream completed per-root contributions to DIR
+                       and resume from whatever an interrupted run
+                       left there; the manifest pins the graph digest
+                       and the options fingerprint, and a resumed run
+                       is bitwise identical to an uninterrupted one
+    --deadline-factor F
+                       per-root watchdog budget as a multiple (>= 1)
+                       of the root's estimated time; GPUs that would
+                       blow every deadline have their roots cancelled
+                       and migrated to healthy GPUs
+    --degrade          when the method cannot fit device memory even
+                       with out-of-core partitioning, fall back to the
+                       leanest method that fits and approximate from a
+                       bounded root sample (the decision and its error
+                       bound are recorded on the report) instead of
+                       aborting
 
 VERIFICATION:
     --verify           run the bc-verify layer on this run: CSR
@@ -190,6 +220,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         schedule: Schedule::Static,
         cluster: None,
         faults: FaultPlan::none(),
+        checkpoint: None,
+        deadline_factor: None,
+        degrade: false,
         normalize: false,
         verify: false,
         analyze: false,
@@ -255,6 +288,19 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.cluster = Some(value()?.parse().map_err(|e| format!("--cluster: {e}"))?)
             }
             "--faults" => cli.faults = FaultPlan::parse(&value()?)?,
+            "--checkpoint" => cli.checkpoint = Some(value()?),
+            "--deadline-factor" => {
+                let f: f64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--deadline-factor: {e}"))?;
+                if !f.is_finite() || f < 1.0 {
+                    return Err(format!(
+                        "--deadline-factor must be a finite multiple >= 1, got {f}"
+                    ));
+                }
+                cli.deadline_factor = Some(f);
+            }
+            "--degrade" => cli.degrade = true,
             "--normalize" => cli.normalize = true,
             "--verify" => cli.verify = true,
             "--analyze" => cli.analyze = true,
@@ -275,6 +321,19 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         return Err(
             "--faults requires --cluster (faults are injected into the cluster runner)".to_owned(),
         );
+    }
+    if cli.cluster.is_none() {
+        if cli.checkpoint.is_some() {
+            return Err(
+                "--checkpoint requires --cluster (the durable runner streams per-root chunks)"
+                    .to_owned(),
+            );
+        }
+        if cli.deadline_factor.is_some() {
+            return Err(
+                "--deadline-factor requires --cluster (the watchdog guards GPU workers)".to_owned(),
+            );
+        }
     }
     if cli.cluster.is_some() && !matches!(cli.method, RunMethod::Simulated(_)) {
         return Err(format!(
@@ -304,6 +363,13 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
     if cli.partition == PartitionMode::Auto && !matches!(cli.method, RunMethod::Simulated(_)) {
         return Err(format!(
             "--partition streams device-resident slices, which only the simulated GPU \
+             methods have; '{}' runs in host memory",
+            cli.method.name()
+        ));
+    }
+    if cli.degrade && !matches!(cli.method, RunMethod::Simulated(_)) {
+        return Err(format!(
+            "--degrade steps down device-memory pressure, which only the simulated GPU \
              methods have; '{}' runs in host memory",
             cli.method.name()
         ));
@@ -584,6 +650,66 @@ mod tests {
             "--partition"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn durability_flags_parse_and_validate() {
+        let cli = parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--cluster",
+            "2",
+            "--checkpoint",
+            "/tmp/ckpt",
+            "--deadline-factor",
+            "2.5",
+            "--degrade",
+        ]))
+        .unwrap();
+        assert_eq!(cli.checkpoint.as_deref(), Some("/tmp/ckpt"));
+        assert_eq!(cli.deadline_factor, Some(2.5));
+        assert!(cli.degrade);
+        // Both checkpointing and the watchdog are cluster features.
+        assert!(parse(&s(&["--dataset", "smallworld", "--checkpoint", "d"])).is_err());
+        assert!(parse(&s(&["--dataset", "smallworld", "--deadline-factor", "2"])).is_err());
+        // The deadline budget is a multiple of the estimate: < 1 or
+        // non-finite makes no sense.
+        for bad in ["0.5", "-3", "nan", "inf"] {
+            assert!(
+                parse(&s(&[
+                    "--dataset",
+                    "smallworld",
+                    "--cluster",
+                    "2",
+                    "--deadline-factor",
+                    bad
+                ]))
+                .is_err(),
+                "deadline factor {bad} must be rejected"
+            );
+        }
+        // --degrade works single-device too (run_or_degrade), but
+        // only for simulated methods.
+        assert!(parse(&s(&["--dataset", "smallworld", "--degrade"])).is_ok());
+        assert!(parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--method",
+            "cpu",
+            "--degrade"
+        ]))
+        .is_err());
+        // kill=F parses through the fault spec.
+        let cli = parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--cluster",
+            "2",
+            "--faults",
+            "kill=0.5",
+        ]))
+        .unwrap();
+        assert_eq!(cli.faults.kill_fraction, Some(0.5));
     }
 
     #[test]

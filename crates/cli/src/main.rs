@@ -45,7 +45,10 @@ fn load_graph(cli: &Cli) -> Result<Csr, String> {
         };
         Ok(g)
     } else {
-        let name = cli.dataset.as_deref().expect("validated by parse");
+        let name = cli
+            .dataset
+            .as_deref()
+            .ok_or("one of --graph or --dataset is required")?;
         let d = DatasetId::from_name(name).ok_or_else(|| {
             format!(
                 "unknown dataset '{name}' (known: {})",
@@ -141,6 +144,10 @@ fn run(cli: &Cli) -> Result<(), String> {
                     "wrote metrics for {} root(s) to {path}",
                     metrics.per_root.len()
                 );
+                run
+            } else if cli.degrade {
+                let run = bc_core::run_or_degrade(g, method, &opts).map_err(|e| e.to_string())?;
+                print_degradation(run.report.degradation.as_ref());
                 run
             } else {
                 method.run(g, &opts).map_err(|e| e.to_string())?
@@ -247,11 +254,16 @@ fn run_on_cluster(cli: &Cli, g: &Csr, nodes: usize) -> Result<(), String> {
         RootSelection::Explicit(v) => v.len(),
     };
 
+    let durability = bc_cluster::DurabilityOptions {
+        checkpoint: cli.checkpoint.as_ref().map(std::path::PathBuf::from),
+        deadline_factor: cli.deadline_factor,
+        degrade: cli.degrade,
+    };
     let t = Instant::now();
     let outcome = if cli.metrics.is_some() {
-        bc_cluster::run_cluster_with_faults_metered(g, &cfg, sample_roots, &cli.faults)
+        bc_cluster::run_cluster_durable_metered(g, &cfg, sample_roots, &cli.faults, &durability)
     } else {
-        bc_cluster::run_cluster_with_faults(g, &cfg, sample_roots, &cli.faults)
+        bc_cluster::run_cluster_durable(g, &cfg, sample_roots, &cli.faults, &durability)
             .map(|run| (run, bc_metrics::ClusterMetrics::default()))
     };
     let (run, cluster_metrics) = match outcome {
@@ -266,6 +278,17 @@ fn run_on_cluster(cli: &Cli, g: &Csr, nodes: usize) -> Result<(), String> {
             return Err(e.to_string());
         }
     };
+    print_degradation(run.report.degradation.as_ref());
+    let planned_roots = match &run.report.degradation {
+        Some(bc_core::Degradation::Sampled { sources, .. }) => *sources,
+        _ => sample_roots.min(n),
+    };
+    if cli.checkpoint.is_some() && run.report.roots_sampled < planned_roots {
+        eprintln!(
+            "checkpoint: resumed — {} of {planned_roots} root(s) were already on disk",
+            planned_roots - run.report.roots_sampled,
+        );
+    }
     if let Some(path) = &cli.metrics {
         write_metrics(path, &bc_metrics::cluster_to_jsonl(&cluster_metrics))?;
         eprintln!(
@@ -308,6 +331,13 @@ fn run_on_cluster(cli: &Cli, g: &Csr, nodes: usize) -> Result<(), String> {
             f.reduce_corruptions,
             f.added_seconds
         );
+        if f.watchdog_cancellations > 0 {
+            eprintln!(
+                "watchdog: {} root(s) cancelled off deadline-blowing GPU(s) and migrated \
+                 (+{:.3}s burned budget)",
+                f.watchdog_cancellations, f.watchdog_seconds
+            );
+        }
         eprintln!(
             "scores verified: checksum {:#018x} (bitwise identical to the fault-free schedule)",
             report.checksum
@@ -359,6 +389,26 @@ fn run_on_cluster(cli: &Cli, g: &Csr, nodes: usize) -> Result<(), String> {
         verify_run(cli, g, &scores)?;
     }
     Ok(())
+}
+
+/// Report what the graceful-degradation ladder decided, if anything.
+fn print_degradation(d: Option<&bc_core::Degradation>) {
+    match d {
+        Some(bc_core::Degradation::Partitioned { slices }) => eprintln!(
+            "degraded: CSR exceeded device memory; streamed {slices} resident slice(s) \
+             out-of-core (scores bitwise identical; swap time priced into the report)"
+        ),
+        Some(bc_core::Degradation::Sampled {
+            method,
+            sources,
+            error_bound,
+        }) => eprintln!(
+            "degraded: method cannot fit device memory even partitioned; approximated \
+             with '{method}' from {sources} sampled source(s) (Hoeffding bound {error_bound:.4} \
+             on normalized scores at 90% confidence)"
+        ),
+        None => {}
+    }
 }
 
 /// Write a metrics JSONL blob (`--metrics FILE`).

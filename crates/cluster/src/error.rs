@@ -82,17 +82,40 @@ pub enum ClusterError {
         /// Node-local results that never reached the root rank.
         partial: Box<ClusterRun>,
     },
+    /// The process died mid-run at a seeded kill point
+    /// (`FaultPlan::kill_fraction`). Completed roots were streamed to
+    /// the checkpoint store (when one is attached); rerunning the same
+    /// configuration against the same `--checkpoint` directory resumes
+    /// from them.
+    ProcessKilled {
+        /// Roots completed (and checkpointed) before the death.
+        completed_roots: usize,
+        /// Roots the full run would have processed.
+        planned_roots: usize,
+        /// Scores of the completed roots, merged in root order.
+        partial: Box<ClusterRun>,
+    },
+    /// The checkpoint store rejected the run: unwritable directory,
+    /// corrupt or stale chunk, or a manifest recorded under a
+    /// different graph/options fingerprint.
+    Checkpoint {
+        /// The underlying store error.
+        source: bc_core::CheckpointError,
+    },
 }
 
 impl ClusterError {
     /// The partial result, when work had started before the failure.
     pub fn partial(&self) -> Option<&ClusterRun> {
         match self {
-            ClusterError::InvalidConfig { .. } | ClusterError::InsufficientMemory { .. } => None,
+            ClusterError::InvalidConfig { .. }
+            | ClusterError::InsufficientMemory { .. }
+            | ClusterError::Checkpoint { .. } => None,
             ClusterError::WorkerPanicked { partial, .. }
             | ClusterError::AllGpusLost { partial, .. }
             | ClusterError::RootFailed { partial, .. }
-            | ClusterError::ReduceFailed { partial, .. } => Some(partial),
+            | ClusterError::ReduceFailed { partial, .. }
+            | ClusterError::ProcessKilled { partial, .. } => Some(partial),
         }
     }
 }
@@ -148,11 +171,28 @@ impl fmt::Display for ClusterError {
                 f,
                 "cross-node reduce failed at tree level {depth} after {attempts} transmission(s)"
             ),
+            ClusterError::ProcessKilled {
+                completed_roots,
+                planned_roots,
+                ..
+            } => write!(
+                f,
+                "process killed mid-run: {completed_roots} of {planned_roots} root(s) \
+                 completed; rerun with the same --checkpoint directory to resume"
+            ),
+            ClusterError::Checkpoint { source } => write!(f, "{source}"),
         }
     }
 }
 
-impl std::error::Error for ClusterError {}
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Checkpoint { source } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

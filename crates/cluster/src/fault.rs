@@ -84,6 +84,13 @@ pub struct FaultPlan {
     pub reduce_drop_rate: f64,
     /// Per-message probability a reduce hop is corrupted.
     pub reduce_corrupt_rate: f64,
+    /// Kill point: the whole process dies after this fraction of the
+    /// run's executing roots complete (in global root order). `None`
+    /// means the process survives. Unlike every other fault this one
+    /// is *not* recoverable in-process — the runner checkpoints what
+    /// finished, returns `ClusterError::ProcessKilled`, and a rerun
+    /// against the same checkpoint directory resumes.
+    pub kill_fraction: Option<f64>,
 }
 
 impl Default for FaultPlan {
@@ -109,6 +116,7 @@ impl FaultPlan {
             straggler_slowdown: 1.0,
             reduce_drop_rate: 0.0,
             reduce_corrupt_rate: 0.0,
+            kill_fraction: None,
         }
     }
 
@@ -121,6 +129,7 @@ impl FaultPlan {
             && (self.straggler_gpus.is_empty() || self.straggler_slowdown == 1.0)
             && self.reduce_drop_rate == 0.0
             && self.reduce_corrupt_rate == 0.0
+            && self.kill_fraction.is_none()
     }
 
     /// Parse a `--faults` spec: comma-separated `key=value` pairs.
@@ -128,7 +137,8 @@ impl FaultPlan {
     /// Keys: `seed`, `transient`, `oom`, `panic`, `attempts`,
     /// `backoff`, `backoff_cap`, `dead` (`+`-separated GPU indices),
     /// `death_fraction`, `straggle` (`+`-separated GPU indices),
-    /// `slowdown`, `drop`, `corrupt`. Example:
+    /// `slowdown`, `drop`, `corrupt`, `kill` (process dies after this
+    /// fraction of roots completes). Example:
     /// `seed=7,transient=0.05,dead=1+4,death_fraction=0.3,drop=0.1`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none();
@@ -174,6 +184,7 @@ impl FaultPlan {
                 "slowdown" => plan.straggler_slowdown = num("slowdown")?,
                 "drop" => plan.reduce_drop_rate = num("drop")?,
                 "corrupt" => plan.reduce_corrupt_rate = num("corrupt")?,
+                "kill" => plan.kill_fraction = Some(num("kill")?),
                 other => return Err(format!("--faults: unknown key '{other}'")),
             }
         }
@@ -208,7 +219,20 @@ impl FaultPlan {
         if self.backoff_base_seconds < 0.0 || self.backoff_cap_seconds < 0.0 {
             return Err("fault plan: backoff times must be >= 0".into());
         }
+        if let Some(f) = self.kill_fraction {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(format!("fault plan: kill={f} must be in [0, 1]"));
+            }
+        }
         Ok(())
+    }
+
+    /// How many of the run's `executing` roots complete (in global
+    /// root order) before the process dies; `None` when the plan has
+    /// no kill point.
+    pub fn kill_point(&self, executing: usize) -> Option<usize> {
+        self.kill_fraction
+            .map(|f| ((f * executing as f64).floor() as usize).min(executing))
     }
 
     /// A uniform draw in `[0, 1)` from the plan seed, a decision tag,
@@ -307,6 +331,13 @@ impl FaultHook for FaultPlan {
             }),
         }
     }
+
+    /// A straggler whose slowdown exceeds the deadline factor would
+    /// blow every per-root budget of `factor` × expected time — the
+    /// watchdog cancels its roots up front instead of awaiting them.
+    fn deadline_exceeded(&self, worker: usize, factor: f64) -> bool {
+        self.straggler_factor(worker) > factor
+    }
 }
 
 /// Keep injected panics (payloads starting with
@@ -381,6 +412,12 @@ pub struct FaultCounters {
     pub reduce_drops: u64,
     /// Reduce messages corrupted (checksum mismatch + retransmit).
     pub reduce_corruptions: u64,
+    /// Roots the watchdog cancelled on deadline-blowing GPUs and
+    /// migrated elsewhere.
+    pub watchdog_cancellations: u64,
+    /// Simulated seconds the cancelled attempts burned before the
+    /// watchdog fired (the deadline budget each cancelled root spent).
+    pub watchdog_seconds: f64,
     /// Total simulated seconds the fault schedule added end to end.
     pub added_seconds: f64,
 }
@@ -487,7 +524,7 @@ mod tests {
         let plan = FaultPlan::parse(
             "seed=7,transient=0.05,oom=0.01,panic=0.02,attempts=3,backoff=0.1,\
              backoff_cap=2.0,dead=1+4,death_fraction=0.3,straggle=0+2,slowdown=2.5,\
-             drop=0.1,corrupt=0.2",
+             drop=0.1,corrupt=0.2,kill=0.4",
         )
         .unwrap();
         assert_eq!(plan.seed, 7);
@@ -503,7 +540,40 @@ mod tests {
         assert_eq!(plan.straggler_slowdown, 2.5);
         assert_eq!(plan.reduce_drop_rate, 0.1);
         assert_eq!(plan.reduce_corrupt_rate, 0.2);
+        assert_eq!(plan.kill_fraction, Some(0.4));
         assert!(!plan.is_none());
+    }
+
+    #[test]
+    fn kill_point_truncates_in_root_order() {
+        let plan = FaultPlan {
+            kill_fraction: Some(0.5),
+            ..FaultPlan::none()
+        };
+        assert!(!plan.is_none());
+        assert_eq!(plan.kill_point(10), Some(5));
+        assert_eq!(plan.kill_point(3), Some(1));
+        assert_eq!(plan.kill_point(0), Some(0));
+        assert_eq!(FaultPlan::none().kill_point(10), None);
+        let all = FaultPlan {
+            kill_fraction: Some(1.0),
+            ..FaultPlan::none()
+        };
+        assert_eq!(all.kill_point(7), Some(7));
+        assert!(FaultPlan::parse("kill=1.5").is_err(), "out of range");
+    }
+
+    #[test]
+    fn deadline_trigger_follows_straggler_factor() {
+        let plan = FaultPlan {
+            straggler_gpus: vec![2],
+            straggler_slowdown: 8.0,
+            ..FaultPlan::none()
+        };
+        assert!(plan.deadline_exceeded(2, 3.0));
+        assert!(!plan.deadline_exceeded(2, 10.0), "within budget");
+        assert!(!plan.deadline_exceeded(0, 3.0), "healthy gpu");
+        assert!(!FaultPlan::none().deadline_exceeded(0, 1.0));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub use error::{ClusterError, GpuMemoryDiagnostic};
 pub use fault::{score_checksum, FaultCounters, FaultKind, FaultPlan, ReduceFault};
 pub use net::NetworkConfig;
 pub use runner::{
-    run_cluster, run_cluster_with_faults, run_cluster_with_faults_metered, ClusterConfig,
-    ClusterReport, ClusterRun,
+    run_cluster, run_cluster_durable, run_cluster_durable_metered, run_cluster_with_faults,
+    run_cluster_with_faults_metered, ClusterConfig, ClusterReport, ClusterRun, DurabilityOptions,
 };
 pub use scaling::{efficiency, strong_scaling, ScalingPoint};

@@ -29,9 +29,11 @@
 use crate::error::{ClusterError, GpuMemoryDiagnostic};
 use crate::fault::{score_checksum, FaultCounters, FaultKind, FaultPlan, ReduceFault};
 use crate::net::NetworkConfig;
+use bc_core::approx::{error_bound, DEGRADED_SAMPLE_SOURCES};
 use bc_core::methods::cost::footprint;
 use bc_core::{
-    plan_assignment, BcOptions, Method, PartitionMode, PartitionPlan, RootSelection, Schedule,
+    graph_digest, options_fingerprint, plan_assignment, BcOptions, CheckpointError,
+    CheckpointStore, Degradation, Method, PartitionMode, PartitionPlan, RootSelection, Schedule,
     TraversalMode,
 };
 use bc_gpusim::{DeviceConfig, FaultHook, SimError};
@@ -41,6 +43,7 @@ use bc_metrics::{ClusterMetrics, ClusterMetricsSummary, GpuTimeline};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::thread;
 
@@ -143,6 +146,11 @@ pub struct ClusterReport {
     /// ([`run_cluster_with_faults_metered`]); `None` — and zero
     /// bookkeeping — on plain runs.
     pub metrics: Option<ClusterMetricsSummary>,
+    /// What the graceful-degradation ladder did to keep the run
+    /// alive (out-of-core partitioning, or the sampled-approximation
+    /// fallback under [`DurabilityOptions::degrade`]); `None` when
+    /// the run completed exactly as requested.
+    pub degradation: Option<Degradation>,
 }
 
 impl ClusterReport {
@@ -150,6 +158,33 @@ impl ClusterReport {
     pub fn gteps(&self) -> f64 {
         self.teps / 1e9
     }
+}
+
+/// Durability knobs for a cluster run: checkpoint/restart, watchdog
+/// deadlines, and the graceful-degradation ladder. The default (no
+/// checkpoint, no deadline, no degradation) reproduces the historical
+/// behavior exactly.
+#[derive(Clone, Debug, Default)]
+pub struct DurabilityOptions {
+    /// Stream completed per-root contributions to this directory and
+    /// resume from whatever a previous (interrupted) run left there.
+    /// The directory's manifest pins the graph digest and an options
+    /// fingerprint; a mismatched resume is rejected with
+    /// [`ClusterError::Checkpoint`].
+    pub checkpoint: Option<PathBuf>,
+    /// Per-root deadline budget as a multiple (≥ 1) of the root's
+    /// estimated time. GPUs that would blow every deadline (hung
+    /// stragglers) have their roots cancelled and migrated to healthy
+    /// GPUs instead of being awaited; each cancelled root still burns
+    /// its full deadline budget on the hung GPU's clock.
+    pub deadline_factor: Option<f64>,
+    /// Engage the sampled-approximation rung of the degradation
+    /// ladder: when even out-of-core partitioning cannot fit the
+    /// requested method, fall back to the leanest method that fits
+    /// and approximate from at most
+    /// [`DEGRADED_SAMPLE_SOURCES`] sources instead of
+    /// rejecting the run.
+    pub degrade: bool,
 }
 
 /// One scheduled visit of a root on a GPU: `attempts` hook
@@ -161,6 +196,9 @@ struct Task {
     root: u32,
     attempts: u32,
     executes: bool,
+    /// The process dies before this task runs (seeded kill point);
+    /// the worker skips it entirely.
+    killed: bool,
 }
 
 /// Everything one GPU will do, decided before any worker spawns.
@@ -182,6 +220,15 @@ struct ExecutionSchedule {
     /// every surviving GPU: `(root, gpus_tried, last_error)`.
     failed: Option<(u32, usize, String)>,
     reassigned_roots: u64,
+    /// Roots cut off by the seeded kill point (they never run; the
+    /// run surfaces as [`ClusterError::ProcessKilled`]).
+    killed_roots: usize,
+    /// Roots the watchdog cancelled off deadline-blowing GPUs.
+    watchdog_cancelled: u64,
+    /// Per GPU: summed estimator-normalized weight of the roots the
+    /// watchdog cancelled there — each burned `deadline_factor ×`
+    /// its expected time before cancellation.
+    cancelled_weight: Vec<f64>,
 }
 
 /// The mutable state threaded through schedule construction: the
@@ -217,6 +264,7 @@ impl Placer<'_> {
                     root,
                     attempts: attempt,
                     executes: true,
+                    killed: false,
                 });
                 return Ok(());
             }
@@ -225,6 +273,7 @@ impl Placer<'_> {
                 root,
                 attempts: plan.max_attempts,
                 executes: false,
+                killed: false,
             });
             tried.push(current);
             let next = (0..self.alive.len())
@@ -286,14 +335,19 @@ fn initial_assignment(
     initial
 }
 
-/// Precompute the whole run: initial cost-planned assignment, death
-/// points, orphan adoption, and every retry/migration trajectory.
+/// Precompute the whole run: initial cost-planned assignment,
+/// watchdog cancellations, death points, orphan adoption, every
+/// retry/migration trajectory, and the kill point. `done` marks roots
+/// a checkpoint already holds — they are never placed. Purely a
+/// function of its arguments, like everything else in the schedule.
 fn build_schedule(
     g: &Csr,
     roots: &[u32],
     gpus: usize,
     plan: &FaultPlan,
     schedule: Schedule,
+    done: &[bool],
+    deadline_factor: Option<f64>,
 ) -> ExecutionSchedule {
     let mut dead: Vec<usize> = plan
         .dead_gpus
@@ -303,9 +357,64 @@ fn build_schedule(
         .collect();
     dead.sort_unstable();
     dead.dedup();
-    let alive: Vec<usize> = (0..gpus).filter(|g| !dead.contains(g)).collect();
+    let alive_all: Vec<usize> = (0..gpus).filter(|g| !dead.contains(g)).collect();
 
-    let initial = initial_assignment(g, roots, gpus, schedule);
+    // Watchdog pre-pass: a GPU whose slowdown exceeds the deadline
+    // factor would blow the per-root budget on every root it owns, so
+    // the watchdog cancels its whole share up front — provided a
+    // healthy GPU exists to migrate to (if every survivor is hung,
+    // awaiting them is the only option left).
+    let blown: Vec<usize> = match deadline_factor {
+        Some(f) => alive_all
+            .iter()
+            .copied()
+            .filter(|&gpu| plan.deadline_exceeded(gpu, f))
+            .collect(),
+        None => Vec::new(),
+    };
+    let watchdog_active = !blown.is_empty() && blown.len() < alive_all.len();
+    let alive: Vec<usize> = if watchdog_active {
+        alive_all
+            .iter()
+            .copied()
+            .filter(|g| !blown.contains(g))
+            .collect()
+    } else {
+        alive_all
+    };
+
+    let mut initial = initial_assignment(g, roots, gpus, schedule);
+    if done.iter().any(|&d| d) {
+        for list in &mut initial {
+            list.retain(|&(idx, _)| !done.get(idx).copied().unwrap_or(false));
+        }
+    }
+
+    let mut watchdog_cancelled = 0u64;
+    let mut cancelled_weight = vec![0.0f64; gpus];
+    if watchdog_active {
+        // Each cancelled root burned `factor ×` its expected time on
+        // the hung GPU before the watchdog fired; weight that burn by
+        // the root's estimated cost relative to the run's mean.
+        let est = RootCostEstimator::new(g, 2);
+        let mean = if roots.is_empty() {
+            1.0
+        } else {
+            let sum: f64 = roots.iter().map(|&r| est.estimate(r)).sum();
+            (sum / roots.len() as f64).max(f64::MIN_POSITIVE)
+        };
+        let mut cursor = 0usize;
+        for &hung in &blown {
+            let moved = std::mem::take(&mut initial[hung]);
+            for (idx, root) in moved {
+                watchdog_cancelled += 1;
+                cancelled_weight[hung] += est.estimate(root) / mean;
+                let target = alive[cursor % alive.len()];
+                cursor += 1;
+                initial[target].push((idx, root));
+            }
+        }
+    }
 
     let mut placer = Placer {
         plan,
@@ -364,12 +473,37 @@ fn build_schedule(
         }
     }
 
+    // Seeded kill point: the process dies after a fixed fraction of
+    // the executing roots (in global root order) complete. Later
+    // roots never run; their tasks stay in the schedule flagged
+    // `killed` so workers skip them, and `expected` is cleared so the
+    // merger does not wait for them.
+    let mut killed_roots = 0usize;
+    if plan.kill_fraction.is_some() {
+        let executing: Vec<usize> = (0..expected.len()).filter(|&i| expected[i]).collect();
+        let keep = plan.kill_point(executing.len()).unwrap_or(executing.len());
+        for &idx in &executing[keep..] {
+            expected[idx] = false;
+            killed_roots += 1;
+            for gpu_sched in &mut placer.per_gpu {
+                for task in &mut gpu_sched.tasks {
+                    if task.idx == idx {
+                        task.killed = true;
+                    }
+                }
+            }
+        }
+    }
+
     ExecutionSchedule {
         per_gpu: placer.per_gpu,
         dead,
         expected,
         failed,
         reassigned_roots: placer.reassigned,
+        killed_roots,
+        watchdog_cancelled,
+        cancelled_weight,
     }
 }
 
@@ -490,7 +624,48 @@ pub fn run_cluster_with_faults(
     sample_roots: usize,
     plan: &FaultPlan,
 ) -> Result<ClusterRun, ClusterError> {
-    run_cluster_inner(g, cfg, sample_roots, plan, false).map(|(run, _)| run)
+    run_cluster_inner(
+        g,
+        cfg,
+        sample_roots,
+        plan,
+        false,
+        &DurabilityOptions::default(),
+    )
+    .map(|(run, _)| run)
+}
+
+/// [`run_cluster_with_faults`] with the durability layer engaged:
+/// checkpoint/restart, watchdog deadlines, and the
+/// graceful-degradation ladder per [`DurabilityOptions`].
+///
+/// With a checkpoint directory attached, completed per-root
+/// contributions stream to disk as they finish; a rerun of the same
+/// configuration against the same directory validates the manifest's
+/// graph digest and options fingerprint, skips the completed roots,
+/// and merges stored with fresh contributions through the same
+/// root-ordered merge — so an interrupted-then-resumed run is bitwise
+/// identical to an uninterrupted one.
+pub fn run_cluster_durable(
+    g: &Csr,
+    cfg: &ClusterConfig,
+    sample_roots: usize,
+    plan: &FaultPlan,
+    durability: &DurabilityOptions,
+) -> Result<ClusterRun, ClusterError> {
+    run_cluster_inner(g, cfg, sample_roots, plan, false, durability).map(|(run, _)| run)
+}
+
+/// [`run_cluster_durable`] with per-GPU phase metrics.
+pub fn run_cluster_durable_metered(
+    g: &Csr,
+    cfg: &ClusterConfig,
+    sample_roots: usize,
+    plan: &FaultPlan,
+    durability: &DurabilityOptions,
+) -> Result<(ClusterRun, ClusterMetrics), ClusterError> {
+    run_cluster_inner(g, cfg, sample_roots, plan, true, durability)
+        .map(|(run, m)| (run, m.expect("metered cluster run yields metrics")))
 }
 
 /// [`run_cluster_with_faults`] with per-GPU phase metrics.
@@ -507,8 +682,36 @@ pub fn run_cluster_with_faults_metered(
     sample_roots: usize,
     plan: &FaultPlan,
 ) -> Result<(ClusterRun, ClusterMetrics), ClusterError> {
-    run_cluster_inner(g, cfg, sample_roots, plan, true)
-        .map(|(run, m)| (run, m.expect("metered cluster run yields metrics")))
+    run_cluster_inner(
+        g,
+        cfg,
+        sample_roots,
+        plan,
+        true,
+        &DurabilityOptions::default(),
+    )
+    .map(|(run, m)| (run, m.expect("metered cluster run yields metrics")))
+}
+
+/// The structured pre-flight memory rejection: one required-vs-
+/// available diagnostic per GPU (the graph is replicated, so every
+/// GPU shows the same arithmetic).
+fn insufficient_memory(
+    method: &Method,
+    gpus: usize,
+    required: u64,
+    available: u64,
+) -> ClusterError {
+    ClusterError::InsufficientMemory {
+        method: method.name().to_owned(),
+        diagnostics: (0..gpus)
+            .map(|gpu| GpuMemoryDiagnostic {
+                gpu,
+                required_bytes: required,
+                available_bytes: available,
+            })
+            .collect(),
+    }
 }
 
 fn run_cluster_inner(
@@ -517,6 +720,7 @@ fn run_cluster_inner(
     sample_roots: usize,
     plan: &FaultPlan,
     metered: bool,
+    durability: &DurabilityOptions,
 ) -> Result<(ClusterRun, Option<ClusterMetrics>), ClusterError> {
     let n = g.num_vertices();
     let gpus = cfg.total_gpus();
@@ -531,46 +735,154 @@ fn run_cluster_inner(
     if let Err(what) = plan.validate() {
         return Err(ClusterError::InvalidConfig { what });
     }
-
-    // Pre-flight device-memory check: the graph is replicated, so a
-    // method whose footprint exceeds one GPU exceeds every GPU. An
-    // oversized *CSR* is recoverable — every GPU streams vertex-range
-    // slices out-of-core ([`PartitionMode::Auto`]) and pays the swap
-    // surcharge. Oversized *local* state is not (GPU-FAN's O(n²)
-    // predecessor matrix gains nothing from streaming the graph), so
-    // that still rejects here rather than spawning workers that
-    // would all fail identically.
-    let graph_bytes = footprint::graph_bytes(g);
-    let local_bytes = cfg.method.local_bytes(g, &cfg.device);
-    let required = graph_bytes + local_bytes;
-    let available = cfg.device.global_mem_bytes;
-    let partition = if required > available {
-        let plan = PartitionPlan::plan(g, available.saturating_sub(local_bytes));
-        if plan.is_none() {
-            return Err(ClusterError::InsufficientMemory {
-                method: cfg.method.name().to_owned(),
-                diagnostics: (0..gpus)
-                    .map(|gpu| GpuMemoryDiagnostic {
-                        gpu,
-                        required_bytes: required,
-                        available_bytes: available,
-                    })
-                    .collect(),
+    if let Some(f) = durability.deadline_factor {
+        if !f.is_finite() || f < 1.0 {
+            return Err(ClusterError::InvalidConfig {
+                what: format!("deadline factor must be a finite multiple >= 1, got {f}"),
             });
         }
-        PartitionMode::Auto
-    } else {
-        PartitionMode::Off
-    };
+    }
 
-    let roots = RootSelection::Strided(sample_roots.min(n)).resolve(n);
-    let schedule = build_schedule(g, &roots, gpus, plan, cfg.schedule);
-    let merger = RootMerger::new(n, schedule.expected.clone());
+    // Pre-flight device-memory check and the graceful-degradation
+    // ladder. The graph is replicated, so a method whose footprint
+    // exceeds one GPU exceeds every GPU. Rung 1: an oversized *CSR*
+    // is recoverable — every GPU streams vertex-range slices
+    // out-of-core ([`PartitionMode::Auto`]) and pays the swap
+    // surcharge. Oversized *local* state is not (GPU-FAN's O(n²)
+    // predecessor matrix gains nothing from streaming the graph), so
+    // rung 2 — only under [`DurabilityOptions::degrade`] — swaps to
+    // the leanest method that fits and approximates from a bounded
+    // sample instead of rejecting outright.
+    let graph_bytes = footprint::graph_bytes(g);
+    let available = cfg.device.global_mem_bytes;
+    // How a given method fits on the device: resident, partitioned
+    // (with slice count), or not at all.
+    let try_fit = |method: &Method| -> Option<(PartitionMode, Option<usize>)> {
+        let local = method.local_bytes(g, &cfg.device);
+        if graph_bytes + local <= available {
+            return Some((PartitionMode::Off, None));
+        }
+        PartitionPlan::plan(g, available.saturating_sub(local))
+            .map(|p| (PartitionMode::Auto, Some(p.num_slices())))
+    };
+    let mut effective_method = cfg.method.clone();
+    let mut sampled = false;
+    let fit = match try_fit(&cfg.method) {
+        Some(fit) => fit,
+        None if durability.degrade => {
+            let leaner = [
+                Method::WorkEfficient,
+                Method::EdgeParallel,
+                Method::VertexParallel,
+            ]
+            .into_iter()
+            .filter(|m| m.name() != cfg.method.name())
+            .find_map(|m| try_fit(&m).map(|fit| (m, fit)));
+            match leaner {
+                Some((m, fit)) => {
+                    effective_method = m;
+                    sampled = true;
+                    fit
+                }
+                None => {
+                    let required = graph_bytes + cfg.method.local_bytes(g, &cfg.device);
+                    return Err(insufficient_memory(&cfg.method, gpus, required, available));
+                }
+            }
+        }
+        None => {
+            let required = graph_bytes + cfg.method.local_bytes(g, &cfg.device);
+            return Err(insufficient_memory(&cfg.method, gpus, required, available));
+        }
+    };
+    let (partition, slices) = fit;
+    let mut degradation = slices.map(|slices| Degradation::Partitioned { slices });
+
+    // Rung 2 caps the root sample: approximation from at most
+    // `DEGRADED_SAMPLE_SOURCES` sources, scaled back to exact-BC
+    // magnitude by n/k (the usual sampling estimator).
+    let roots_budget = if sampled {
+        sample_roots.min(DEGRADED_SAMPLE_SOURCES)
+    } else {
+        sample_roots
+    };
+    let roots = RootSelection::Strided(roots_budget.min(n)).resolve(n);
+    if sampled {
+        degradation = Some(Degradation::Sampled {
+            method: effective_method.name().to_owned(),
+            sources: roots.len(),
+            error_bound: error_bound(n, roots.len(), 0.1),
+        });
+    }
+
+    // Checkpoint store: open (or resume) the directory, pinned to
+    // this exact graph and configuration.
+    let store = match &durability.checkpoint {
+        Some(dir) => {
+            let desc = format!(
+                "method={} traversal={:?} schedule={} nodes={} gpus-per-node={} device={} \
+                 roots={} partition={:?}",
+                effective_method.name(),
+                cfg.traversal,
+                cfg.schedule.name(),
+                cfg.nodes,
+                cfg.gpus_per_node,
+                cfg.device.name,
+                roots.len(),
+                partition,
+            );
+            Some(
+                CheckpointStore::open(
+                    dir,
+                    options_fingerprint(&desc),
+                    graph_digest(g),
+                    n,
+                    roots.len(),
+                )
+                .map_err(|source| ClusterError::Checkpoint { source })?,
+            )
+        }
+        None => None,
+    };
+    let done = store
+        .as_ref()
+        .map(CheckpointStore::completed)
+        .unwrap_or_else(|| vec![false; roots.len()]);
+
+    let schedule = build_schedule(
+        g,
+        &roots,
+        gpus,
+        plan,
+        cfg.schedule,
+        &done,
+        durability.deadline_factor,
+    );
+    // The merger expects every root the schedule will compute *plus*
+    // every root the checkpoint already holds: stored contributions
+    // preload below, and the root-ordered drain interleaves them with
+    // fresh ones exactly as an uninterrupted run would.
+    let mut expected = schedule.expected.clone();
+    for (e, &d) in expected.iter_mut().zip(&done) {
+        *e |= d;
+    }
+    let merger = RootMerger::new(n, expected);
+    if let Some(store) = &store {
+        for (idx, &d) in done.iter().enumerate() {
+            if d {
+                let scores = store
+                    .load(idx)
+                    .map_err(|source| ClusterError::Checkpoint { source })?;
+                merger.deposit(idx, scores);
+            }
+        }
+    }
 
     // Execute the precomputed schedule, one host thread per GPU. The
     // workers re-consult the (pure) plan through the bc_gpusim fault
     // hook so containment genuinely runs, but every outcome matches
     // what the scheduler already decided.
+    let ckpt_err: Mutex<Option<CheckpointError>> = Mutex::new(None);
     let outs: Vec<WorkerOut> = thread::scope(|scope| {
         let handles: Vec<_> = schedule
             .per_gpu
@@ -578,9 +890,17 @@ fn run_cluster_inner(
             .enumerate()
             .map(|(gpu, gpu_sched)| {
                 let merger = &merger;
+                let store = &store;
+                let ckpt_err = &ckpt_err;
+                let method = &effective_method;
                 scope.spawn(move || -> WorkerOut {
                     let mut out = WorkerOut::default();
                     for task in &gpu_sched.tasks {
+                        if task.killed {
+                            // The seeded process death lands before
+                            // this task; nothing of it runs.
+                            continue;
+                        }
                         let failed_attempts = if task.executes {
                             task.attempts - 1
                         } else {
@@ -624,11 +944,22 @@ fn run_cluster_inner(
                             schedule: Schedule::Static,
                             partition,
                         };
-                        match catch_unwind(AssertUnwindSafe(|| cfg.method.run(g, &opts))) {
+                        match catch_unwind(AssertUnwindSafe(|| method.run(g, &opts))) {
                             Ok(Ok(run)) => {
                                 out.block_seconds +=
                                     run.report.per_root_seconds.iter().sum::<f64>();
                                 out.done += 1;
+                                if let Some(store) = store {
+                                    // Stream the contribution to disk
+                                    // before merging; a write failure
+                                    // is surfaced after the run (the
+                                    // in-memory result is still good).
+                                    if let Err(e) = store.record(task.idx, &run.scores) {
+                                        let mut slot =
+                                            ckpt_err.lock().expect("checkpoint error slot");
+                                        slot.get_or_insert(e);
+                                    }
+                                }
                                 merger.deposit(task.idx, run.scores);
                             }
                             Ok(Err(e)) => {
@@ -669,6 +1000,16 @@ fn run_cluster_inner(
 
     let sms = f64::from(cfg.device.num_sms);
     let total_done: usize = outs.iter().map(|o| o.done).sum();
+    counters.watchdog_cancellations = schedule.watchdog_cancelled;
+    // One mean sampled root, extrapolated to its share of the full
+    // n-root computation — the unit a watchdog-cancelled root burns
+    // `deadline_factor ×` of on the hung GPU's clock.
+    let total_block: f64 = outs.iter().map(|o| o.block_seconds).sum();
+    let unit_extrap = if total_done > 0 && !roots.is_empty() {
+        total_block / total_done as f64 / sms * n as f64 / roots.len() as f64
+    } else {
+        0.0
+    };
     let mut gpu_seconds = Vec::with_capacity(gpus);
     let mut timelines: Vec<GpuTimeline> = Vec::new();
     for (gpu, o) in outs.iter().enumerate() {
@@ -690,7 +1031,11 @@ fn run_cluster_inner(
         let reassign =
             f64::from(schedule.per_gpu[gpu].adoptions) * cfg.network.reassign_seconds(graph_bytes);
         counters.reassign_seconds += reassign;
-        gpu_seconds.push(slowed + o.backoff_seconds + reassign);
+        let watchdog = durability.deadline_factor.unwrap_or(1.0)
+            * schedule.cancelled_weight[gpu]
+            * unit_extrap;
+        counters.watchdog_seconds += watchdog;
+        gpu_seconds.push(slowed + o.backoff_seconds + reassign + watchdog);
         if metered {
             // setup_seconds and reduce_seconds are priced below, once
             // the slowest GPU and the reduce tree are known.
@@ -704,6 +1049,7 @@ fn run_cluster_inner(
                 retry_seconds: o.backoff_seconds,
                 migration_seconds: reassign,
                 straggler_seconds: slowed - base,
+                watchdog_seconds: watchdog,
                 reduce_seconds: 0.0,
             });
         }
@@ -748,6 +1094,7 @@ fn run_cluster_inner(
     counters.added_seconds = counters.backoff_seconds
         + counters.reassign_seconds
         + counters.straggler_seconds
+        + counters.watchdog_seconds
         + reduce_extra;
 
     let total_seconds = compute_seconds + reduce_seconds;
@@ -769,7 +1116,17 @@ fn run_cluster_inner(
         }
     });
 
-    let scores = merger.finish();
+    let mut scores = merger.finish();
+    if sampled {
+        // The sampling estimator: k sources stand in for all n, so
+        // each accumulated contribution scales by n/k. Checkpoint
+        // chunks store *unscaled* contributions, so a resumed run
+        // rescales the stored and fresh parts identically.
+        let scale = n as f64 / roots.len().max(1) as f64;
+        for s in &mut scores {
+            *s *= scale;
+        }
+    }
     let run = ClusterRun {
         report: ClusterReport {
             nodes: cfg.nodes,
@@ -785,6 +1142,7 @@ fn run_cluster_inner(
             faults: counters,
             checksum: score_checksum(&scores),
             metrics: cluster_metrics.as_ref().map(|m| m.summary),
+            degradation: degradation.clone(),
         },
         scores,
     };
@@ -800,6 +1158,16 @@ fn run_cluster_inner(
         return Err(ClusterError::WorkerPanicked {
             gpu,
             message,
+            partial: Box::new(run),
+        });
+    }
+    if let Some(source) = ckpt_err.into_inner().expect("checkpoint error slot") {
+        return Err(ClusterError::Checkpoint { source });
+    }
+    if schedule.killed_roots > 0 {
+        return Err(ClusterError::ProcessKilled {
+            completed_roots: total_done,
+            planned_roots: roots.len(),
             partial: Box::new(run),
         });
     }
@@ -1221,8 +1589,11 @@ mod tests {
         assert!((s.straggler_seconds - metered.report.faults.straggler_seconds).abs() < 1e-12);
         for (gpu, t) in metrics.per_gpu.iter().enumerate() {
             assert_eq!(t.gpu, gpu);
-            let billed =
-                t.compute_seconds + t.straggler_seconds + t.retry_seconds + t.migration_seconds;
+            let billed = t.compute_seconds
+                + t.straggler_seconds
+                + t.retry_seconds
+                + t.migration_seconds
+                + t.watchdog_seconds;
             assert!(
                 (billed - metered.report.gpu_seconds[gpu]).abs() < 1e-12,
                 "gpu {gpu}: timeline {billed} vs report {}",
@@ -1294,6 +1665,209 @@ mod tests {
             let total: usize = initial.iter().map(Vec::len).sum();
             assert_eq!(total, roots.len(), "{schedule}: every root assigned once");
         }
+    }
+
+    /// A fresh per-test checkpoint directory under the system temp
+    /// dir, unique across concurrent test processes.
+    fn temp_ckpt_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("bc-cluster-ckpt-{tag}-{}-{id}", std::process::id()))
+    }
+
+    #[test]
+    fn killed_run_checkpoints_and_resume_is_bitwise_identical() {
+        let g = gen::watts_strogatz(220, 6, 0.1, 23);
+        let cfg = ClusterConfig::keeneland(2);
+        let uninterrupted = run_cluster(&g, &cfg, 64).unwrap();
+
+        let dir = temp_ckpt_dir("kill-resume");
+        let durability = DurabilityOptions {
+            checkpoint: Some(dir.clone()),
+            ..DurabilityOptions::default()
+        };
+        let kill_plan = FaultPlan {
+            kill_fraction: Some(0.5),
+            transient_rate: 0.1,
+            seed: 31,
+            ..FaultPlan::none()
+        };
+        let killed = run_cluster_durable(&g, &cfg, 64, &kill_plan, &durability);
+        let (completed, planned) = match killed {
+            Err(ClusterError::ProcessKilled {
+                completed_roots,
+                planned_roots,
+                ref partial,
+            }) => {
+                assert!(partial.scores.iter().any(|&s| s > 0.0));
+                (completed_roots, planned_roots)
+            }
+            other => panic!("expected ProcessKilled, got {other:?}"),
+        };
+        assert_eq!(planned, 64);
+        assert!(completed > 0 && completed < 64, "kill landed mid-run");
+
+        // The rerun (the external killer gone, same recoverable
+        // faults) resumes from the checkpoint: only the missing roots
+        // compute, and the merged scores are bitwise identical to the
+        // uninterrupted run.
+        let resume_plan = FaultPlan {
+            kill_fraction: None,
+            ..kill_plan
+        };
+        let resumed = run_cluster_durable(&g, &cfg, 64, &resume_plan, &durability).unwrap();
+        assert_eq!(uninterrupted.scores, resumed.scores);
+        assert_eq!(uninterrupted.report.checksum, resumed.report.checksum);
+        assert_eq!(
+            resumed.report.roots_sampled,
+            64 - completed,
+            "resume recomputes only the missing roots"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_config_mismatch_is_rejected() {
+        let g = gen::watts_strogatz(200, 6, 0.1, 24);
+        let cfg = ClusterConfig::keeneland(1);
+        let dir = temp_ckpt_dir("mismatch");
+        let durability = DurabilityOptions {
+            checkpoint: Some(dir.clone()),
+            ..DurabilityOptions::default()
+        };
+        run_cluster_durable(&g, &cfg, 16, &FaultPlan::none(), &durability).unwrap();
+        // Same directory, different traversal mode: the options
+        // fingerprint pins the configuration, so resume refuses.
+        let other = ClusterConfig {
+            traversal: TraversalMode::Pull,
+            ..cfg.clone()
+        };
+        match run_cluster_durable(&g, &other, 16, &FaultPlan::none(), &durability) {
+            Err(ClusterError::Checkpoint { source }) => {
+                assert!(format!("{source}").contains("fingerprint"), "{source}");
+            }
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+        // A different graph is likewise refused.
+        let g2 = gen::watts_strogatz(200, 6, 0.1, 25);
+        assert!(matches!(
+            run_cluster_durable(&g2, &cfg, 16, &FaultPlan::none(), &durability),
+            Err(ClusterError::Checkpoint { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watchdog_cancels_hung_straggler_and_keeps_scores_bitwise() {
+        let g = gen::watts_strogatz(220, 6, 0.1, 26);
+        let cfg = ClusterConfig::keeneland(2);
+        let clean = run_cluster(&g, &cfg, 48).unwrap();
+        let plan = FaultPlan {
+            straggler_gpus: vec![0],
+            straggler_slowdown: 8.0,
+            ..FaultPlan::none()
+        };
+        let durability = DurabilityOptions {
+            deadline_factor: Some(3.0),
+            ..DurabilityOptions::default()
+        };
+        let watched = run_cluster_durable(&g, &cfg, 48, &plan, &durability).unwrap();
+        assert_eq!(clean.scores, watched.scores, "migration cannot move bits");
+        let f = &watched.report.faults;
+        assert!(f.watchdog_cancellations > 0, "hung GPU's share cancelled");
+        assert!(f.watchdog_seconds > 0.0, "cancelled roots burn deadline");
+        // The hung GPU computes nothing, so it cannot straggle.
+        assert_eq!(f.straggler_seconds, 0.0);
+
+        // A looser deadline tolerates the straggler: nothing cancels.
+        let loose = DurabilityOptions {
+            deadline_factor: Some(10.0),
+            ..DurabilityOptions::default()
+        };
+        let tolerated = run_cluster_durable(&g, &cfg, 48, &plan, &loose).unwrap();
+        assert_eq!(clean.scores, tolerated.scores);
+        assert_eq!(tolerated.report.faults.watchdog_cancellations, 0);
+        assert!(tolerated.report.faults.straggler_seconds > 0.0);
+    }
+
+    #[test]
+    fn invalid_deadline_factor_is_rejected() {
+        let g = gen::grid(8, 8);
+        let cfg = ClusterConfig::keeneland(1);
+        for bad in [0.5, 0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let d = DurabilityOptions {
+                deadline_factor: Some(bad),
+                ..DurabilityOptions::default()
+            };
+            assert!(
+                matches!(
+                    run_cluster_durable(&g, &cfg, 4, &FaultPlan::none(), &d),
+                    Err(ClusterError::InvalidConfig { .. })
+                ),
+                "deadline factor {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_runs_record_the_degradation_decision() {
+        let g = gen::kronecker(12, 8, 5);
+        let big = ClusterConfig {
+            method: Method::WorkEfficient,
+            ..ClusterConfig::keeneland(1)
+        };
+        let local = big.method.local_bytes(&g, &big.device);
+        let small = ClusterConfig {
+            device: DeviceConfig {
+                global_mem_bytes: local + footprint::graph_bytes(&g) / 3,
+                ..big.device.clone()
+            },
+            ..big.clone()
+        };
+        let fit = run_cluster(&g, &big, 16).unwrap();
+        assert_eq!(fit.report.degradation, None);
+        let squeezed = run_cluster(&g, &small, 16).unwrap();
+        match squeezed.report.degradation {
+            Some(Degradation::Partitioned { slices }) => assert!(slices >= 2),
+            ref other => panic!("expected Partitioned, got {other:?}"),
+        }
+        assert_eq!(fit.scores, squeezed.scores);
+    }
+
+    #[test]
+    fn degradation_ladder_samples_when_partitioning_cannot_help() {
+        // GPU-FAN's O(n²) locals cannot fit no matter how the graph
+        // is sliced. Without the ladder: structured rejection. With
+        // `degrade`: the leanest fitting method approximates from a
+        // bounded sample, and the decision is on the report.
+        let g = gen::grid(256, 256);
+        let cfg = ClusterConfig {
+            method: Method::GpuFan,
+            ..ClusterConfig::keeneland(2)
+        };
+        assert!(matches!(
+            run_cluster(&g, &cfg, 8),
+            Err(ClusterError::InsufficientMemory { .. })
+        ));
+        let durability = DurabilityOptions {
+            degrade: true,
+            ..DurabilityOptions::default()
+        };
+        let run = run_cluster_durable(&g, &cfg, 8, &FaultPlan::none(), &durability).unwrap();
+        match &run.report.degradation {
+            Some(Degradation::Sampled {
+                method,
+                sources,
+                error_bound,
+            }) => {
+                assert_eq!(method, "work-efficient");
+                assert_eq!(*sources, 8);
+                assert!(error_bound.is_finite() && *error_bound > 0.0);
+            }
+            other => panic!("expected Sampled, got {other:?}"),
+        }
+        assert!(run.scores.iter().any(|&s| s > 0.0));
     }
 
     #[test]

@@ -10,6 +10,24 @@ use crate::solver::{BcOptions, BcRun, Method, RootSelection};
 use bc_gpusim::SimError;
 use bc_graph::{Csr, VertexId};
 
+/// Source count the graceful-degradation ladder samples when it falls
+/// back to approximation — the paper's fixed-512-sample convention.
+pub const DEGRADED_SAMPLE_SOURCES: usize = 512;
+
+/// Hoeffding-style additive error bound for `k`-source sampling of
+/// normalized BC on an `n`-vertex graph: with probability at least
+/// `1 - delta`, every vertex's estimate is within
+/// `sqrt(ln(2n/delta) / (2k))` of its true normalized score. Each
+/// sampled source contributes a value in `[0, 1]` to a normalized
+/// score, so Hoeffding's inequality plus a union bound over the `n`
+/// vertices gives the stated uniform deviation.
+pub fn error_bound(n: usize, k: usize, delta: f64) -> f64 {
+    if k == 0 || n == 0 {
+        return f64::INFINITY;
+    }
+    ((2.0 * n as f64 / delta).ln() / (2.0 * k as f64)).sqrt()
+}
+
 /// Deterministically sample `k` distinct source vertices using a
 /// multiplicative-hash shuffle of the id range (seeded).
 pub fn sample_sources(n: usize, k: usize, seed: u64) -> Vec<VertexId> {
@@ -141,6 +159,14 @@ mod tests {
             err < 0.5,
             "50% sampling should track big scores, err = {err}"
         );
+    }
+
+    #[test]
+    fn error_bound_shrinks_with_samples_and_handles_edges() {
+        assert!(error_bound(1000, 512, 0.1) < error_bound(1000, 64, 0.1));
+        assert!(error_bound(1000, 512, 0.1) > 0.0);
+        assert!(error_bound(0, 5, 0.1).is_infinite());
+        assert!(error_bound(5, 0, 0.1).is_infinite());
     }
 
     #[test]

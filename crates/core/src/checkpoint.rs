@@ -1,0 +1,721 @@
+//! Durable checkpoint store for per-root dependency contributions.
+//!
+//! Long cluster runs stream each completed root's contribution vector
+//! to an epoch-stamped, checksummed chunk file under a checkpoint
+//! directory. A small text manifest records the graph digest, an
+//! options fingerprint (method / traversal / schedule / partition /
+//! topology), the current epoch, and the completed-root set. Resume
+//! opens the same directory, validates the fingerprint, skips every
+//! completed root, and replays the stored chunks through the same
+//! root-ordered merger the live workers feed — so an
+//! interrupted-then-resumed run is bitwise identical to an
+//! uninterrupted one.
+//!
+//! Layout on disk:
+//!
+//! ```text
+//! DIR/manifest.txt      hand-parsed text (see [`CheckpointStore::open`])
+//! DIR/root-<idx>.chunk  binary chunk, magic "HBCCHK01", FNV-1a trailer
+//! ```
+//!
+//! Every write goes through a temp file + rename so a crash mid-write
+//! leaves either the old state or the new state, never a torn file.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use bc_graph::Csr;
+
+/// Magic bytes opening every chunk file.
+const CHUNK_MAGIC: &[u8; 8] = b"HBCCHK01";
+/// First line of the manifest.
+const MANIFEST_HEADER: &str = "hybrid-bc-checkpoint 1";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a over a byte stream.
+#[derive(Clone, Copy, Debug)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a digest of a CSR graph: vertex count, offsets, adjacency,
+/// and symmetry flag. Two graphs with the same digest are treated as
+/// interchangeable by the checkpoint store.
+#[must_use]
+pub fn graph_digest(g: &Csr) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(&(g.num_vertices() as u64).to_le_bytes());
+    for &o in g.offsets() {
+        h.update(&o.to_le_bytes());
+    }
+    for &v in g.adj_array() {
+        h.update(&v.to_le_bytes());
+    }
+    h.update(&[u8::from(g.is_symmetric())]);
+    h.finish()
+}
+
+/// FNV-1a digest of a canonical options description string.
+///
+/// Callers render every option that affects the numeric result
+/// (method, traversal, schedule, partition mode, topology, root
+/// count) into one `key=value` string; any difference in that string
+/// makes resume refuse the directory.
+#[must_use]
+pub fn options_fingerprint(desc: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(desc.as_bytes());
+    h.finish()
+}
+
+/// Errors surfaced by the checkpoint store. Every variant carries
+/// enough context to name the offending file and what went wrong.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// Path the operation touched.
+        path: PathBuf,
+        /// What the store was doing (e.g. "create checkpoint dir").
+        context: &'static str,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A chunk or manifest exists but its bytes are damaged.
+    Corrupt {
+        /// Path of the damaged file.
+        path: PathBuf,
+        /// Human-readable description of the damage.
+        detail: String,
+    },
+    /// The directory belongs to a different run configuration.
+    Mismatch {
+        /// Which field disagreed ("fingerprint", "graph", ...).
+        what: &'static str,
+        /// Value recorded in the manifest.
+        expected: String,
+        /// Value of the current run.
+        found: String,
+    },
+    /// A chunk's epoch stamp disagrees with the manifest — the chunk
+    /// is left over from an earlier incarnation and must not be
+    /// replayed.
+    Stale {
+        /// Root index of the stale chunk.
+        root: usize,
+        /// Epoch stamped inside the chunk file.
+        chunk_epoch: u64,
+        /// Epoch the manifest recorded for this root.
+        expected_epoch: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io {
+                path,
+                context,
+                source,
+            } => write!(f, "checkpoint io: {context} {}: {source}", path.display()),
+            Self::Corrupt { path, detail } => {
+                write!(f, "checkpoint corrupt: {}: {detail}", path.display())
+            }
+            Self::Mismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint mismatch: {what} was {expected}, run has {found}"
+            ),
+            Self::Stale {
+                root,
+                chunk_epoch,
+                expected_epoch,
+            } => write!(
+                f,
+                "checkpoint stale: root {root} chunk stamped epoch {chunk_epoch}, \
+                 manifest expects {expected_epoch}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn ioerr(path: &Path, context: &'static str, source: std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.to_path_buf(),
+        context,
+        source,
+    }
+}
+
+/// Metadata the manifest records for one completed root.
+#[derive(Clone, Copy, Debug)]
+struct ChunkMeta {
+    /// Epoch the chunk was written under.
+    epoch: u64,
+    /// FNV-1a checksum of the contribution vector's `f64` bits.
+    checksum: u64,
+}
+
+#[derive(Debug)]
+struct ManifestState {
+    completed: Vec<Option<ChunkMeta>>,
+}
+
+/// On-disk checkpoint store for one (graph, options) run.
+///
+/// Thread-safe: workers call [`CheckpointStore::record`] concurrently;
+/// each call writes its chunk and atomically rewrites the manifest
+/// under an internal lock.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    vertices: usize,
+    fingerprint: u64,
+    graph: u64,
+    epoch: u64,
+    state: Mutex<ManifestState>,
+}
+
+impl CheckpointStore {
+    /// Open (or create) a checkpoint directory for a run over
+    /// `num_roots` roots on a graph with `vertices` vertices.
+    ///
+    /// If a manifest already exists it must match `fingerprint`,
+    /// `graph`, `vertices`, and `num_roots` exactly; completed roots
+    /// recorded there become visible through
+    /// [`CheckpointStore::completed`]. Each successful open bumps the
+    /// epoch, so chunks written by abandoned incarnations are
+    /// detectable as stale.
+    pub fn open(
+        dir: &Path,
+        fingerprint: u64,
+        graph: u64,
+        vertices: usize,
+        num_roots: usize,
+    ) -> Result<Self, CheckpointError> {
+        fs::create_dir_all(dir).map_err(|e| ioerr(dir, "create checkpoint dir", e))?;
+        let manifest = dir.join("manifest.txt");
+        let mut completed: Vec<Option<ChunkMeta>> = vec![None; num_roots];
+        let mut epoch = 0u64;
+        match fs::read_to_string(&manifest) {
+            Ok(text) => {
+                let parsed = parse_manifest(&manifest, &text)?;
+                check_match("fingerprint", parsed.fingerprint, fingerprint)?;
+                check_match("graph", parsed.graph, graph)?;
+                if parsed.vertices != vertices as u64 {
+                    return Err(CheckpointError::Mismatch {
+                        what: "vertices",
+                        expected: parsed.vertices.to_string(),
+                        found: vertices.to_string(),
+                    });
+                }
+                if parsed.roots != num_roots as u64 {
+                    return Err(CheckpointError::Mismatch {
+                        what: "roots",
+                        expected: parsed.roots.to_string(),
+                        found: num_roots.to_string(),
+                    });
+                }
+                epoch = parsed.epoch;
+                for (idx, meta) in parsed.done {
+                    if idx >= num_roots {
+                        return Err(CheckpointError::Corrupt {
+                            path: manifest.clone(),
+                            detail: format!("done index {idx} out of range ({num_roots} roots)"),
+                        });
+                    }
+                    completed[idx] = Some(meta);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                return Err(CheckpointError::Corrupt {
+                    path: manifest.clone(),
+                    detail: "manifest is not valid UTF-8".into(),
+                })
+            }
+            Err(e) => return Err(ioerr(&manifest, "read manifest", e)),
+        }
+        let store = Self {
+            dir: dir.to_path_buf(),
+            vertices,
+            fingerprint,
+            graph,
+            epoch: epoch + 1,
+            state: Mutex::new(ManifestState { completed }),
+        };
+        {
+            let state = store.state.lock().expect("checkpoint lock poisoned");
+            store.write_manifest(&state)?;
+        }
+        Ok(store)
+    }
+
+    /// Which roots already have a recorded contribution, in root-index
+    /// order.
+    #[must_use]
+    pub fn completed(&self) -> Vec<bool> {
+        let state = self.state.lock().expect("checkpoint lock poisoned");
+        state.completed.iter().map(Option::is_some).collect()
+    }
+
+    /// Epoch of the current incarnation (1 for a fresh directory).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Record root `idx`'s completed contribution vector.
+    ///
+    /// The chunk lands on disk (temp file + rename) before the
+    /// manifest marks the root done, so a crash between the two leaves
+    /// the root merely unrecorded, never recorded-but-missing.
+    pub fn record(&self, idx: usize, scores: &[f64]) -> Result<(), CheckpointError> {
+        let path = self.chunk_path(idx);
+        let mut body = Vec::with_capacity(40 + scores.len() / 8);
+        body.extend_from_slice(CHUNK_MAGIC);
+        body.extend_from_slice(&self.epoch.to_le_bytes());
+        body.extend_from_slice(&(idx as u64).to_le_bytes());
+        body.extend_from_slice(&(scores.len() as u64).to_le_bytes());
+        let nonzero: Vec<(u32, f64)> = scores
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s != 0.0)
+            .map(|(v, &s)| (v as u32, s))
+            .collect();
+        body.extend_from_slice(&(nonzero.len() as u64).to_le_bytes());
+        for &(v, s) in &nonzero {
+            body.extend_from_slice(&v.to_le_bytes());
+            body.extend_from_slice(&s.to_bits().to_le_bytes());
+        }
+        let mut h = Fnv1a::new();
+        h.update(&body);
+        body.extend_from_slice(&h.finish().to_le_bytes());
+        write_atomic(&path, &body)?;
+
+        let meta = ChunkMeta {
+            epoch: self.epoch,
+            checksum: vector_checksum(scores),
+        };
+        let mut state = self.state.lock().expect("checkpoint lock poisoned");
+        state.completed[idx] = Some(meta);
+        self.write_manifest(&state)
+    }
+
+    /// Load root `idx`'s stored contribution vector, verifying the
+    /// chunk's magic, identity, epoch stamp, and checksum.
+    pub fn load(&self, idx: usize) -> Result<Vec<f64>, CheckpointError> {
+        let expected = {
+            let state = self.state.lock().expect("checkpoint lock poisoned");
+            state.completed.get(idx).copied().flatten()
+        };
+        let Some(meta) = expected else {
+            return Err(CheckpointError::Corrupt {
+                path: self.chunk_path(idx),
+                detail: format!("root {idx} not recorded in manifest"),
+            });
+        };
+        let path = self.chunk_path(idx);
+        let mut file = fs::File::open(&path).map_err(|e| ioerr(&path, "open chunk", e))?;
+        let mut body = Vec::new();
+        file.read_to_end(&mut body)
+            .map_err(|e| ioerr(&path, "read chunk", e))?;
+        let corrupt = |detail: String| CheckpointError::Corrupt {
+            path: path.clone(),
+            detail,
+        };
+        if body.len() < CHUNK_MAGIC.len() + 8 * 4 + 8 {
+            return Err(corrupt(format!("chunk truncated at {} bytes", body.len())));
+        }
+        let (payload, trailer) = body.split_at(body.len() - 8);
+        let mut h = Fnv1a::new();
+        h.update(payload);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("split_at gave 8 bytes"));
+        if h.finish() != stored {
+            return Err(corrupt("chunk checksum mismatch".into()));
+        }
+        if &payload[..8] != CHUNK_MAGIC {
+            return Err(corrupt("bad chunk magic".into()));
+        }
+        let word = |i: usize| {
+            u64::from_le_bytes(
+                payload[8 + 8 * i..16 + 8 * i]
+                    .try_into()
+                    .expect("bounds checked above"),
+            )
+        };
+        let chunk_epoch = word(0);
+        if chunk_epoch != meta.epoch {
+            return Err(CheckpointError::Stale {
+                root: idx,
+                chunk_epoch,
+                expected_epoch: meta.epoch,
+            });
+        }
+        if word(1) != idx as u64 {
+            return Err(corrupt(format!(
+                "chunk stamped for root {}, expected {idx}",
+                word(1)
+            )));
+        }
+        let n = word(2);
+        if n != self.vertices as u64 {
+            return Err(corrupt(format!(
+                "chunk has {n} vertices, graph has {}",
+                self.vertices
+            )));
+        }
+        let count = word(3) as usize;
+        let entries = &payload[8 + 8 * 4..];
+        if entries.len() != count * 12 {
+            return Err(corrupt(format!(
+                "chunk body is {} bytes for {count} entries",
+                entries.len()
+            )));
+        }
+        let mut scores = vec![0.0f64; self.vertices];
+        for e in entries.chunks_exact(12) {
+            let v = u32::from_le_bytes(e[..4].try_into().expect("chunk of 12")) as usize;
+            let bits = u64::from_le_bytes(e[4..].try_into().expect("chunk of 12"));
+            if v >= self.vertices {
+                return Err(corrupt(format!("entry vertex {v} out of range")));
+            }
+            scores[v] = f64::from_bits(bits);
+        }
+        if vector_checksum(&scores) != meta.checksum {
+            return Err(corrupt("manifest checksum mismatch".into()));
+        }
+        Ok(scores)
+    }
+
+    fn chunk_path(&self, idx: usize) -> PathBuf {
+        self.dir.join(format!("root-{idx}.chunk"))
+    }
+
+    fn write_manifest(&self, state: &ManifestState) -> Result<(), CheckpointError> {
+        let mut text = String::new();
+        text.push_str(MANIFEST_HEADER);
+        text.push('\n');
+        text.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        text.push_str(&format!("graph {:016x}\n", self.graph));
+        text.push_str(&format!("vertices {}\n", self.vertices));
+        text.push_str(&format!("roots {}\n", state.completed.len()));
+        text.push_str(&format!("epoch {}\n", self.epoch));
+        for (idx, meta) in state.completed.iter().enumerate() {
+            if let Some(m) = meta {
+                text.push_str(&format!("done {idx} {} {:016x}\n", m.epoch, m.checksum));
+            }
+        }
+        write_atomic(&self.dir.join("manifest.txt"), text.as_bytes())
+    }
+}
+
+/// FNV-1a over the little-endian bit patterns of a score vector —
+/// same convention as the cluster reduce checksum.
+fn vector_checksum(scores: &[f64]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &s in scores {
+        h.update(&s.to_bits().to_le_bytes());
+    }
+    h.finish()
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| ioerr(&tmp, "create temp file", e))?;
+        f.write_all(bytes)
+            .map_err(|e| ioerr(&tmp, "write temp file", e))?;
+        f.sync_all().map_err(|e| ioerr(&tmp, "sync temp file", e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| ioerr(path, "rename into place", e))
+}
+
+struct ParsedManifest {
+    fingerprint: u64,
+    graph: u64,
+    vertices: u64,
+    roots: u64,
+    epoch: u64,
+    done: BTreeMap<usize, ChunkMeta>,
+}
+
+fn check_match(what: &'static str, expected: u64, found: u64) -> Result<(), CheckpointError> {
+    if expected != found {
+        return Err(CheckpointError::Mismatch {
+            what,
+            expected: format!("{expected:016x}"),
+            found: format!("{found:016x}"),
+        });
+    }
+    Ok(())
+}
+
+/// Hand-rolled parse of the text manifest (the vendored serde stack
+/// only serializes, so the manifest is a line-oriented format parsed
+/// here directly).
+fn parse_manifest(path: &Path, text: &str) -> Result<ParsedManifest, CheckpointError> {
+    let corrupt = |detail: String| CheckpointError::Corrupt {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_HEADER) {
+        return Err(corrupt("bad manifest header".into()));
+    }
+    let mut fingerprint = None;
+    let mut graph = None;
+    let mut vertices = None;
+    let mut roots = None;
+    let mut epoch = None;
+    let mut done = BTreeMap::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let key = parts.next().unwrap_or("");
+        let fields: Vec<&str> = parts.collect();
+        let one = || -> Result<&str, CheckpointError> {
+            if fields.len() == 1 {
+                Ok(fields[0])
+            } else {
+                Err(corrupt(format!("malformed manifest line: {line:?}")))
+            }
+        };
+        match key {
+            "fingerprint" => {
+                fingerprint = Some(
+                    u64::from_str_radix(one()?, 16)
+                        .map_err(|e| corrupt(format!("bad fingerprint: {e}")))?,
+                );
+            }
+            "graph" => {
+                graph = Some(
+                    u64::from_str_radix(one()?, 16)
+                        .map_err(|e| corrupt(format!("bad graph digest: {e}")))?,
+                );
+            }
+            "vertices" => {
+                vertices = Some(
+                    one()?
+                        .parse::<u64>()
+                        .map_err(|e| corrupt(format!("bad vertex count: {e}")))?,
+                );
+            }
+            "roots" => {
+                roots = Some(
+                    one()?
+                        .parse::<u64>()
+                        .map_err(|e| corrupt(format!("bad root count: {e}")))?,
+                );
+            }
+            "epoch" => {
+                epoch = Some(
+                    one()?
+                        .parse::<u64>()
+                        .map_err(|e| corrupt(format!("bad epoch: {e}")))?,
+                );
+            }
+            "done" => {
+                if fields.len() != 3 {
+                    return Err(corrupt(format!("malformed done line: {line:?}")));
+                }
+                let idx = fields[0]
+                    .parse::<usize>()
+                    .map_err(|e| corrupt(format!("bad done index: {e}")))?;
+                let ep = fields[1]
+                    .parse::<u64>()
+                    .map_err(|e| corrupt(format!("bad done epoch: {e}")))?;
+                let checksum = u64::from_str_radix(fields[2], 16)
+                    .map_err(|e| corrupt(format!("bad done checksum: {e}")))?;
+                done.insert(
+                    idx,
+                    ChunkMeta {
+                        epoch: ep,
+                        checksum,
+                    },
+                );
+            }
+            _ => return Err(corrupt(format!("unknown manifest key {key:?}"))),
+        }
+    }
+    Ok(ParsedManifest {
+        fingerprint: fingerprint.ok_or_else(|| corrupt("manifest missing fingerprint".into()))?,
+        graph: graph.ok_or_else(|| corrupt("manifest missing graph digest".into()))?,
+        vertices: vertices.ok_or_else(|| corrupt("manifest missing vertices".into()))?,
+        roots: roots.ok_or_else(|| corrupt("manifest missing roots".into()))?,
+        epoch: epoch.ok_or_else(|| corrupt("manifest missing epoch".into()))?,
+        done,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("bc-checkpoint-{tag}-{}-{id}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn record_load_round_trips_bitwise() {
+        let dir = temp_dir("roundtrip");
+        let store = CheckpointStore::open(&dir, 7, 9, 5, 3).expect("open");
+        let scores = vec![0.0, 1.5, 0.0, -2.25, 1e-300];
+        store.record(1, &scores).expect("record");
+        let back = store.load(1).expect("load");
+        assert_eq!(
+            back.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_sees_completed_roots_and_bumps_epoch() {
+        let dir = temp_dir("resume");
+        {
+            let store = CheckpointStore::open(&dir, 7, 9, 4, 4).expect("open");
+            assert_eq!(store.epoch(), 1);
+            store.record(0, &[1.0, 0.0, 0.0, 0.0]).expect("record");
+            store.record(2, &[0.0, 0.0, 3.0, 0.0]).expect("record");
+        }
+        let store = CheckpointStore::open(&dir, 7, 9, 4, 4).expect("reopen");
+        assert_eq!(store.epoch(), 2);
+        assert_eq!(store.completed(), vec![true, false, true, false]);
+        assert_eq!(store.load(2).expect("load")[2], 3.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let dir = temp_dir("mismatch");
+        drop(CheckpointStore::open(&dir, 7, 9, 4, 4).expect("open"));
+        let err = CheckpointStore::open(&dir, 8, 9, 4, 4).expect_err("must reject");
+        assert!(matches!(
+            err,
+            CheckpointError::Mismatch {
+                what: "fingerprint",
+                ..
+            }
+        ));
+        let err = CheckpointStore::open(&dir, 7, 10, 4, 4).expect_err("must reject");
+        assert!(matches!(
+            err,
+            CheckpointError::Mismatch { what: "graph", .. }
+        ));
+        let err = CheckpointStore::open(&dir, 7, 9, 4, 5).expect_err("must reject");
+        assert!(matches!(
+            err,
+            CheckpointError::Mismatch { what: "roots", .. }
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_chunk_is_rejected() {
+        let dir = temp_dir("corrupt");
+        let store = CheckpointStore::open(&dir, 7, 9, 4, 4).expect("open");
+        store.record(1, &[0.0, 2.0, 0.0, 4.0]).expect("record");
+        let path = dir.join("root-1.chunk");
+        let mut bytes = fs::read(&path).expect("read chunk");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).expect("rewrite chunk");
+        let err = store.load(1).expect_err("must reject");
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_chunk_from_old_epoch_is_flagged() {
+        let dir = temp_dir("stale");
+        let old_bytes;
+        {
+            let store = CheckpointStore::open(&dir, 7, 9, 4, 4).expect("open");
+            store.record(1, &[0.0, 2.0, 0.0, 0.0]).expect("record");
+            old_bytes = fs::read(dir.join("root-1.chunk")).expect("read chunk");
+        }
+        let store = CheckpointStore::open(&dir, 7, 9, 4, 4).expect("reopen");
+        store.record(1, &[0.0, 5.0, 0.0, 0.0]).expect("re-record");
+        // A crashed old incarnation's chunk reappears over the fresh one.
+        fs::write(dir.join("root-1.chunk"), &old_bytes).expect("overwrite");
+        let err = store.load(1).expect_err("must flag stale");
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Stale {
+                    root: 1,
+                    chunk_epoch: 1,
+                    expected_epoch: 2,
+                }
+            ),
+            "{err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_manifest_is_rejected_not_panicking() {
+        let dir = temp_dir("garbage");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join("manifest.txt"), b"not a manifest\x00\xff").expect("write");
+        let err = CheckpointStore::open(&dir, 7, 9, 4, 4).expect_err("must reject");
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn digests_are_order_sensitive() {
+        let a = options_fingerprint("method=bc traversal=push");
+        let b = options_fingerprint("method=bc traversal=pull");
+        assert_ne!(a, b);
+        let g1 = bc_graph::gen::watts_strogatz(64, 4, 0.1, 1);
+        let g2 = bc_graph::gen::watts_strogatz(64, 4, 0.1, 2);
+        assert_ne!(graph_digest(&g1), graph_digest(&g2));
+        assert_eq!(graph_digest(&g1), graph_digest(&g1));
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod approx;
 pub mod brandes;
+pub mod checkpoint;
 pub mod cpu_parallel;
 pub mod engine;
 pub mod frontier;
@@ -39,6 +40,7 @@ mod solver;
 pub mod teps;
 pub mod weighted;
 
+pub use checkpoint::{graph_digest, options_fingerprint, CheckpointError, CheckpointStore};
 pub use engine::Traversal;
 pub use frontier::CompressedFrontier;
 pub use methods::models::{
@@ -51,6 +53,6 @@ pub use parallel::{
 };
 pub use schedule::{guided_chunk, lpt_order, lpt_seed, plan_assignment, Schedule};
 pub use solver::{
-    run_with_cost_model, BcOptions, BcRun, Method, PartitionMode, PartitionPlan, RootSelection,
-    RunReport,
+    run_or_degrade, run_with_cost_model, BcOptions, BcRun, Degradation, Method, PartitionMode,
+    PartitionPlan, RootSelection, RunReport,
 };

@@ -134,6 +134,122 @@ impl PartitionPlan {
     }
 }
 
+/// A graceful-degradation decision the pre-flight ladder took to keep
+/// a memory-starved run alive instead of erroring. Recorded in
+/// [`RunReport::degradation`] (and the cluster report) so the caller
+/// always sees *how* the answer was obtained.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Degradation {
+    /// The run only completed by streaming the CSR out-of-core
+    /// ([`PartitionMode::Auto`] engaged on the ladder's first rung).
+    Partitioned {
+        /// Number of graph slices streamed through the device.
+        slices: usize,
+    },
+    /// The run fell back to adaptive-sampling approximation: `sources`
+    /// roots processed with `method`, scores scaled by `n / sources`,
+    /// accurate to within `error_bound` (additive, on normalized
+    /// scores, at 90% confidence — see [`crate::approx::error_bound`]).
+    Sampled {
+        /// Method that actually ran the sampled roots.
+        method: String,
+        /// Number of sampled source vertices.
+        sources: usize,
+        /// Hoeffding-style additive error bound on normalized scores.
+        error_bound: f64,
+    },
+}
+
+impl Degradation {
+    /// Short human-readable label ("partitioned" / "sampled").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Degradation::Partitioned { .. } => "partitioned",
+            Degradation::Sampled { .. } => "sampled",
+        }
+    }
+}
+
+/// Run `method`, degrading along the declared ladder instead of
+/// failing when the device cannot hold the requested configuration:
+///
+/// 1. **As requested.** If it completes (or fails for any reason other
+///    than [`SimError::OutOfMemory`]), that result stands.
+/// 2. **Partition.** If the request had [`PartitionMode::Off`], retry
+///    with [`PartitionMode::Auto`]; success is recorded as
+///    [`Degradation::Partitioned`].
+/// 3. **Sample.** Approximate with [`crate::approx::approximate_bc`]
+///    (512 strided sources, deterministic), trying the requested
+///    method first and then progressively leaner ones
+///    (work-efficient → edge-parallel → vertex-parallel) until one
+///    fits; recorded as [`Degradation::Sampled`] with its error bound.
+///
+/// Only when every rung fails does the original `OutOfMemory` error
+/// surface.
+pub fn run_or_degrade(g: &Csr, method: &Method, opts: &BcOptions) -> Result<BcRun, SimError> {
+    let first = match method.run(g, opts) {
+        Ok(run) => return Ok(run),
+        Err(e @ SimError::OutOfMemory { .. }) => e,
+        Err(e) => return Err(e),
+    };
+
+    // Rung 1: partition the graph if the caller had not already.
+    if opts.partition == PartitionMode::Off {
+        let partitioned = BcOptions {
+            partition: PartitionMode::Auto,
+            ..opts.clone()
+        };
+        match method.run(g, &partitioned) {
+            Ok(mut run) => {
+                let slices = run
+                    .report
+                    .partition
+                    .as_ref()
+                    .map_or(1, PartitionPlan::num_slices);
+                run.report.degradation = Some(Degradation::Partitioned { slices });
+                return Ok(run);
+            }
+            Err(SimError::OutOfMemory { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Rung 2: adaptive-sampling approximation on the leanest method
+    // that fits. Partitioning stays enabled so the CSR itself can
+    // still stream.
+    let n = g.num_vertices();
+    let k = crate::approx::DEGRADED_SAMPLE_SOURCES.min(n.max(1));
+    let sample_opts = BcOptions {
+        partition: PartitionMode::Auto,
+        ..opts.clone()
+    };
+    let mut fallbacks: Vec<Method> = vec![method.clone()];
+    for lean in [
+        Method::WorkEfficient,
+        Method::EdgeParallel,
+        Method::VertexParallel,
+    ] {
+        if fallbacks.iter().all(|m| m.name() != lean.name()) {
+            fallbacks.push(lean);
+        }
+    }
+    for fallback in &fallbacks {
+        match crate::approx::approximate_bc(g, fallback, k, 0, &sample_opts) {
+            Ok(mut run) => {
+                run.report.degradation = Some(Degradation::Sampled {
+                    method: fallback.name().to_owned(),
+                    sources: k,
+                    error_bound: crate::approx::error_bound(n, k, 0.1),
+                });
+                return Ok(run);
+            }
+            Err(SimError::OutOfMemory { .. }) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(first)
+}
+
 /// Which source vertices to process.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RootSelection {
@@ -636,6 +752,7 @@ impl Method {
                     sampling_chose_edge_parallel,
                     metrics: run_metrics.as_ref().map(|m| m.summary),
                     partition,
+                    degradation: None,
                 },
             },
             run_metrics,
@@ -701,6 +818,7 @@ pub fn run_with_cost_model<M: ShardableCostModel>(
             sampling_chose_edge_parallel: None,
             metrics: None,
             partition: None,
+            degradation: None,
         },
     })
 }
@@ -758,6 +876,10 @@ pub struct RunReport {
     /// ([`PartitionMode::Auto`] and the CSR did not fit); `None` on
     /// fully resident runs.
     pub partition: Option<PartitionPlan>,
+    /// What the graceful-degradation ladder did to keep the run
+    /// alive, if anything ([`run_or_degrade`]); `None` when the run
+    /// completed exactly as requested.
+    pub degradation: Option<Degradation>,
 }
 
 impl RunReport {
@@ -1126,6 +1248,7 @@ mod tests {
             sampling_chose_edge_parallel: None,
             metrics: None,
             partition: None,
+            degradation: None,
         };
         assert!((r.mteps() - 2500.0).abs() < 1e-9);
         assert!((r.gteps() - 2.5).abs() < 1e-9);
@@ -1187,6 +1310,94 @@ mod tests {
         };
         let err = Method::WorkEfficient.run(&g, &opts).unwrap_err();
         assert!(matches!(err, SimError::OutOfMemory { .. }), "{err}");
+    }
+
+    #[test]
+    fn degradation_ladder_partitions_before_failing() {
+        // Same starvation as `partition_off_still_ooms`, but through
+        // the ladder: instead of erroring, the run completes
+        // partitioned, records the decision, and stays bitwise
+        // identical to a fully resident run.
+        let g = gen::watts_strogatz(4096, 8, 0.1, 7);
+        let small = bc_gpusim::DeviceConfig {
+            global_mem_bytes: footprint::graph_bytes(&g) / 2
+                + Method::WorkEfficient.local_bytes(&g, &bc_gpusim::DeviceConfig::gtx_titan()),
+            ..bc_gpusim::DeviceConfig::gtx_titan()
+        };
+        let opts = BcOptions {
+            device: small,
+            roots: RootSelection::FirstK(8),
+            ..Default::default()
+        };
+        assert!(Method::WorkEfficient.run(&g, &opts).is_err());
+        let run = run_or_degrade(&g, &Method::WorkEfficient, &opts).expect("ladder rescues");
+        match run.report.degradation {
+            Some(Degradation::Partitioned { slices }) => assert!(slices >= 2),
+            ref other => panic!("expected partitioned degradation, got {other:?}"),
+        }
+        let full = Method::WorkEfficient
+            .run(
+                &g,
+                &BcOptions {
+                    roots: RootSelection::FirstK(8),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        for (a, b) in run.scores.iter().zip(&full.scores) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn degradation_ladder_samples_when_partitioning_cannot_help() {
+        // GPU-FAN's O(n²) predecessor matrix is local state, so
+        // slicing the CSR gains nothing; the ladder must fall through
+        // to sampled approximation on a leaner method.
+        let g = gen::grid(64, 64);
+        let titan = bc_gpusim::DeviceConfig::gtx_titan();
+        let small = bc_gpusim::DeviceConfig {
+            global_mem_bytes: footprint::graph_bytes(&g)
+                + Method::WorkEfficient.local_bytes(&g, &titan)
+                + (1 << 20),
+            ..titan
+        };
+        let opts = BcOptions {
+            device: small,
+            ..Default::default()
+        };
+        assert!(Method::GpuFan.run(&g, &opts).is_err());
+        let run = run_or_degrade(&g, &Method::GpuFan, &opts).expect("ladder rescues");
+        match &run.report.degradation {
+            Some(Degradation::Sampled {
+                method,
+                sources,
+                error_bound,
+            }) => {
+                assert_eq!(method, "work-efficient");
+                assert_eq!(*sources, crate::approx::DEGRADED_SAMPLE_SOURCES);
+                assert!(*error_bound > 0.0 && error_bound.is_finite());
+            }
+            other => panic!("expected sampled degradation, got {other:?}"),
+        }
+        // The estimator is exact in expectation; at 512/4096 sources
+        // the big scores track the exact answer.
+        let exact = brandes::betweenness(&g);
+        let err = crate::approx::mean_relative_error(&exact, &run.scores, 1000.0);
+        assert!(err < 0.6, "sampled scores should track exact, err = {err}");
+    }
+
+    #[test]
+    fn run_or_degrade_is_identity_when_nothing_degrades() {
+        let g = gen::watts_strogatz(256, 6, 0.1, 3);
+        let opts = BcOptions {
+            roots: RootSelection::FirstK(8),
+            ..Default::default()
+        };
+        let plain = Method::WorkEfficient.run(&g, &opts).unwrap();
+        let laddered = run_or_degrade(&g, &Method::WorkEfficient, &opts).unwrap();
+        assert_eq!(plain.scores, laddered.scores);
+        assert_eq!(laddered.report.degradation, None);
     }
 
     #[test]

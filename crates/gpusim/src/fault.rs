@@ -33,6 +33,18 @@ pub trait FaultHook: Send + Sync {
     /// fault, or panics to inject a worker death (which the caller
     /// must contain).
     fn before_attempt(&self, worker: usize, unit: u32, attempt: u32) -> Result<(), SimError>;
+
+    /// Would `worker` blow a per-unit deadline of `factor` × the
+    /// unit's expected time? Watchdog schedulers consult this to
+    /// cancel-and-migrate work away from hung or pathologically slow
+    /// workers instead of awaiting them. Like
+    /// [`FaultHook::before_attempt`], implementations must be pure in
+    /// their keys. Defaults to "never" so plain hooks need no
+    /// watchdog awareness.
+    fn deadline_exceeded(&self, worker: usize, factor: f64) -> bool {
+        let _ = (worker, factor);
+        false
+    }
 }
 
 /// The no-op hook: nothing ever faults.

@@ -52,6 +52,19 @@ fn perr(line: usize, message: impl Into<String>) -> IoError {
     }
 }
 
+/// Cap speculative `reserve` calls driven by header-claimed counts so
+/// a malicious or corrupt header cannot force a giant allocation (or a
+/// capacity-overflow panic) before any real data is seen. Buffers still
+/// grow amortized past the cap when the file genuinely delivers.
+const HEADER_RESERVE_CAP: usize = 1 << 22;
+
+fn bounded_reserve(edges: &mut Vec<(u32, u32)>, claimed: u64) {
+    edges.reserve(claimed.min(HEADER_RESERVE_CAP as u64) as usize);
+}
+
+/// Largest vertex count the CSR layout supports (ids are `u32`).
+const MAX_VERTICES: u64 = u32::MAX as u64;
+
 /// Read a METIS/DIMACS `.graph` file as an undirected graph.
 pub fn read_metis(r: impl Read) -> Result<Csr, IoError> {
     let reader = BufReader::new(r);
@@ -78,6 +91,12 @@ pub fn read_metis(r: impl Read) -> Result<Csr, IoError> {
                 .next()
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| perr(line_no, "missing edge count"))?;
+            if n as u64 > MAX_VERTICES {
+                return Err(perr(
+                    line_no,
+                    format!("vertex count {n} exceeds the u32 id space"),
+                ));
+            }
             if let Some(fmt) = it.next() {
                 if !fmt.trim_start_matches('0').is_empty() {
                     return Err(perr(
@@ -86,7 +105,7 @@ pub fn read_metis(r: impl Read) -> Result<Csr, IoError> {
                     ));
                 }
             }
-            edges.reserve(m as usize);
+            bounded_reserve(&mut edges, m);
             header_seen = true;
             continue;
         }
@@ -192,8 +211,14 @@ pub fn read_matrix_market(r: impl Read) -> Result<Csr, IoError> {
             if rows != cols {
                 return Err(perr(line_no, "adjacency matrix must be square"));
             }
+            if rows as u64 > MAX_VERTICES {
+                return Err(perr(
+                    line_no,
+                    format!("matrix dimension {rows} exceeds the u32 id space"),
+                ));
+            }
             dims = Some((rows, cols, nnz));
-            edges.reserve(nnz);
+            bounded_reserve(&mut edges, nnz as u64);
             continue;
         }
         let n = dims.unwrap().0;
@@ -284,6 +309,12 @@ pub fn read_edge_list_reporting(r: impl Read) -> Result<(Csr, LoadReport), IoErr
             *remap.entry(x).or_insert(next)
         };
         let (cu, cv) = (id(u, &mut remap), id(v, &mut remap));
+        if remap.len() as u64 > MAX_VERTICES {
+            return Err(perr(
+                line_no,
+                "more distinct vertex ids than the u32 id space",
+            ));
+        }
         edges.push((cu, cv));
     }
     let report = LoadReport {
@@ -341,37 +372,103 @@ pub fn write_binary(g: &Csr, w: impl Write) -> io::Result<()> {
     out.flush()
 }
 
+/// `read_exact` with truncation reported as a parse error naming the
+/// section being read, instead of a bare `UnexpectedEof`.
+fn read_section(r: &mut impl Read, buf: &mut [u8], what: &str) -> Result<(), IoError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            perr(0, format!("truncated file: {what}"))
+        } else {
+            IoError::Io(e)
+        }
+    })
+}
+
 /// Read the binary CSR format written by [`write_binary`] (either
 /// `HBCCSR02` or the width-less `HBCCSR01`).
+///
+/// Every structural invariant the in-memory CSR relies on is checked
+/// here — monotone offsets terminating at the adjacency length,
+/// in-range neighbor ids, an even arc count for symmetric graphs —
+/// so corrupt or truncated files come back as [`IoError`] values, and
+/// header-claimed sizes never drive an allocation ahead of the bytes
+/// that back them.
 pub fn read_binary(mut r: impl Read) -> Result<Csr, IoError> {
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    read_section(&mut r, &mut magic, "magic")?;
     let versioned = &magic == BINARY_MAGIC;
     if !versioned && &magic != BINARY_MAGIC_V1 {
         return Err(perr(0, "bad magic — not a hybrid-bc binary graph"));
     }
     let mut buf8 = [0u8; 8];
-    r.read_exact(&mut buf8)?;
-    let n = u64::from_le_bytes(buf8) as usize;
-    r.read_exact(&mut buf8)?;
-    let dir = u64::from_le_bytes(buf8) as usize;
-    r.read_exact(&mut buf8)?;
+    read_section(&mut r, &mut buf8, "vertex count")?;
+    let n64 = u64::from_le_bytes(buf8);
+    read_section(&mut r, &mut buf8, "edge count")?;
+    let dir64 = u64::from_le_bytes(buf8);
+    if n64 > MAX_VERTICES {
+        return Err(perr(
+            0,
+            format!("vertex count {n64} exceeds the u32 id space"),
+        ));
+    }
+    if dir64 > u32::MAX as u64 {
+        return Err(perr(
+            0,
+            format!("directed edge count {dir64} exceeds the u32 offset space"),
+        ));
+    }
+    let (n, dir) = (n64 as usize, dir64 as usize);
+    read_section(&mut r, &mut buf8, "flags block")?;
     let symmetric = buf8[0] != 0;
     let width = match (versioned, buf8[1]) {
         (false, _) | (true, 0) => CsrIndex::U32,
         (true, 1) => CsrIndex::U64,
         (true, w) => return Err(perr(0, format!("unknown index width tag {w}"))),
     };
-    let mut offsets = vec![0u32; n + 1];
-    let mut buf4 = [0u8; 4];
-    for o in offsets.iter_mut() {
-        r.read_exact(&mut buf4)?;
-        *o = u32::from_le_bytes(buf4);
+    if symmetric && dir % 2 != 0 {
+        return Err(perr(
+            0,
+            format!("symmetric graph with odd directed edge count {dir}"),
+        ));
     }
-    let mut adj = vec![0u32; dir];
-    for a in adj.iter_mut() {
-        r.read_exact(&mut buf4)?;
-        *a = u32::from_le_bytes(buf4);
+    // Grow the buffers as bytes actually arrive rather than trusting
+    // the header: a truncated or hostile file fails at its real length
+    // instead of forcing an n-proportional allocation up front.
+    let mut offsets = Vec::with_capacity((n + 1).min(HEADER_RESERVE_CAP));
+    let mut buf4 = [0u8; 4];
+    for i in 0..=n {
+        read_section(&mut r, &mut buf4, "offsets array")?;
+        let o = u32::from_le_bytes(buf4);
+        if let Some(&prev) = offsets.last() {
+            if o < prev {
+                return Err(perr(
+                    0,
+                    format!("offsets not non-decreasing at vertex {i}: {prev} then {o}"),
+                ));
+            }
+        } else if o != 0 {
+            return Err(perr(0, format!("offsets must start at 0, found {o}")));
+        }
+        offsets.push(o);
+    }
+    let terminal = offsets.last().copied().unwrap_or(0);
+    if terminal as usize != dir {
+        return Err(perr(
+            0,
+            format!("offsets terminate at {terminal} but header claims {dir} directed edges"),
+        ));
+    }
+    let mut adj = Vec::with_capacity(dir.min(HEADER_RESERVE_CAP));
+    for _ in 0..dir {
+        read_section(&mut r, &mut buf4, "adjacency array")?;
+        let a = u32::from_le_bytes(buf4);
+        if a as u64 >= n64 {
+            return Err(perr(
+                0,
+                format!("adjacency entry {a} out of range for {n} vertices"),
+            ));
+        }
+        adj.push(a);
     }
     Ok(Csr::from_raw_parts(offsets, adj, symmetric).with_index_width(width))
 }
@@ -492,6 +589,90 @@ mod tests {
     fn binary_rejects_bad_magic() {
         let buf = b"NOTAGRPH00000000".to_vec();
         assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation_at_every_section() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Chopping the file anywhere must come back as a structured
+        // error naming the missing section, never a panic.
+        for cut in [0, 4, 8, 12, 16, 20, 24, 30, buf.len() - 3] {
+            let err = read_binary(&buf[..cut]).unwrap_err();
+            match err {
+                IoError::Parse { message, .. } => {
+                    assert!(message.contains("truncated"), "cut {cut}: {message}")
+                }
+                IoError::Io(e) => panic!("cut {cut}: expected Parse, got Io {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_rejects_oversized_header_counts() {
+        // A header claiming u64::MAX vertices must fail fast without
+        // attempting an n-proportional allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BINARY_MAGIC);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 8]);
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("id space"), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_corrupt_offsets_and_adjacency() {
+        let g = sample();
+        let mut clean = Vec::new();
+        write_binary(&g, &mut clean).unwrap();
+        // Decreasing offsets: overwrite the second offset (the 32-byte
+        // header ends at the offsets array) with a huge value so the
+        // third is below it.
+        let mut bad = clean.clone();
+        bad[32 + 4..32 + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_binary(bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("non-decreasing"), "{err}");
+        // Out-of-range adjacency entry in the last 4 bytes.
+        let mut bad = clean.clone();
+        let last = bad.len() - 4;
+        bad[last..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_binary(bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // Terminal offset disagreeing with the header edge count.
+        let mut bad = clean;
+        bad[16..24].copy_from_slice(&(g.num_directed_edges() + 2).to_le_bytes());
+        let err = read_binary(bad.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("truncated") || err.to_string().contains("terminate"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn text_headers_with_huge_counts_fail_structurally() {
+        // METIS / MatrixMarket headers claiming absurd sizes must not
+        // reserve absurd buffers or overflow; they parse the (small)
+        // body and fail on the line-count / id-space checks instead.
+        let metis = format!("{} 3\n1 2\n", u64::from(u32::MAX) + 5);
+        assert!(matches!(
+            read_metis(metis.as_bytes()),
+            Err(IoError::Parse { .. })
+        ));
+        let metis_big_m = "3 18446744073709551615\n2 3\n1\n1\n";
+        let g = read_metis(metis_big_m.as_bytes());
+        // Edge-count mismatch against the header is tolerated downward
+        // only; the huge claim itself must not have allocated.
+        assert!(g.is_ok());
+        let mtx = format!(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n{0} {0} 1\n1 1\n",
+            u64::from(u32::MAX) + 5
+        );
+        assert!(matches!(
+            read_matrix_market(mtx.as_bytes()),
+            Err(IoError::Parse { .. })
+        ));
     }
 
     #[test]

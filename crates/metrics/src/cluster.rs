@@ -27,6 +27,9 @@ pub struct GpuTimeline {
     pub migration_seconds: f64,
     /// Extra time a straggler slowdown added on top of compute.
     pub straggler_seconds: f64,
+    /// Deadline budget burned by roots the watchdog cancelled on this
+    /// GPU before migrating them to a healthy device.
+    pub watchdog_seconds: f64,
     /// This run's reduction tree time (shared across GPUs).
     pub reduce_seconds: f64,
 }
@@ -40,6 +43,7 @@ impl GpuTimeline {
             + self.retry_seconds
             + self.migration_seconds
             + self.straggler_seconds
+            + self.watchdog_seconds
             + self.reduce_seconds
     }
 }
@@ -68,6 +72,8 @@ pub struct ClusterMetricsSummary {
     pub migration_seconds: f64,
     /// Sum of per-GPU straggler overheads.
     pub straggler_seconds: f64,
+    /// Sum of per-GPU watchdog-cancellation overheads.
+    pub watchdog_seconds: f64,
     /// The reduction tree's time (counted once).
     pub reduce_seconds: f64,
 }
@@ -89,6 +95,7 @@ impl ClusterMetricsSummary {
             s.retry_seconds += t.retry_seconds;
             s.migration_seconds += t.migration_seconds;
             s.straggler_seconds += t.straggler_seconds;
+            s.watchdog_seconds += t.watchdog_seconds;
             s.reduce_seconds = t.reduce_seconds;
             if t.total_seconds() > slowest {
                 slowest = t.total_seconds();

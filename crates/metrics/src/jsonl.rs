@@ -11,7 +11,18 @@ fn line<T: Serialize>(kind: &str, data: &T, out: &mut String) {
     out.push_str("{\"kind\":\"");
     out.push_str(kind);
     out.push_str("\",\"data\":");
-    out.push_str(&serde_json::to_string(data).expect("the stub renderer is total"));
+    // The vendored renderer is total over these derive-serialized
+    // records, but a metrics line is not worth dying for either way:
+    // degrade to an explicit error object that keeps the stream
+    // machine-parseable.
+    match serde_json::to_string(data) {
+        Ok(json) => out.push_str(&json),
+        Err(e) => {
+            out.push_str("{\"error\":\"");
+            out.push_str(&e.to_string().replace('\\', "\\\\").replace('"', "\\\""));
+            out.push_str("\"}");
+        }
+    }
     out.push_str("}\n");
 }
 

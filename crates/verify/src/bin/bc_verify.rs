@@ -27,6 +27,17 @@
 //!    sizes) must equal the corresponding access-event count in the
 //!    kernel trace, level by level, under both the push model and the
 //!    direction-optimizing automaton.
+//! 6. **Relabel equivalence** — degree-ordered relabeling must be
+//!    bitwise invisible across directions, threads, schedules, and
+//!    methods.
+//! 7. **Checkpoint/resume equivalence** — the durable cluster runner
+//!    killed at seeded early/mid/late points under every schedule ×
+//!    traversal combination (a recoverable fault plan layered on) and
+//!    resumed from its checkpoint must reproduce the uninterrupted
+//!    scores bitwise; corrupted, mismatched, and stale checkpoints
+//!    must be rejected structurally; and the graceful-degradation
+//!    ladder must partition (bitwise) and sample (bounded error) as
+//!    claimed.
 //!
 //! Exit status is non-zero if any stage fails.
 
@@ -469,6 +480,59 @@ fn relabel_equivalence_checks(seed: u64) -> usize {
     failures
 }
 
+/// Stage 7: checkpoint/resume equivalence, checkpoint tamper
+/// rejection, and the graceful-degradation ladder. Returns the number
+/// of failures.
+fn durability_checks(seed: u64) -> usize {
+    use bc_cluster::ClusterConfig;
+    use bc_core::Method;
+    let mut failures = 0;
+
+    let g = gen::watts_strogatz(180, 6, 0.1, 19);
+    let cfg = ClusterConfig {
+        method: Method::WorkEfficient,
+        ..ClusterConfig::keeneland(2)
+    };
+    let violations = bc_verify::check_checkpoint_equivalence(&g, &cfg, 24, seed);
+    if violations.is_empty() {
+        println!(
+            "ok   ckpt-equiv: {} kill point(s) x 3 schedules x 3 traversals resumed bitwise",
+            bc_verify::kill_points().len()
+        );
+    } else {
+        for v in &violations {
+            println!("FAIL ckpt-equiv: {v}");
+        }
+        failures += violations.len();
+    }
+
+    let violations = bc_verify::check_checkpoint_rejection(&g, &cfg, 12);
+    if violations.is_empty() {
+        println!("ok   ckpt-reject: corrupted, mismatched, and stale checkpoints all rejected");
+    } else {
+        for v in &violations {
+            println!("FAIL ckpt-reject: {v}");
+        }
+        failures += violations.len();
+    }
+
+    let ladder_g = gen::kronecker(11, 8, 4);
+    let ladder_cfg = ClusterConfig {
+        method: Method::WorkEfficient,
+        ..ClusterConfig::keeneland(1)
+    };
+    let violations = bc_verify::check_degradation_ladder(&ladder_g, &ladder_cfg, 16);
+    if violations.is_empty() {
+        println!("ok   ckpt-ladder: partition rung bitwise, sampled rung bounded and reported");
+    } else {
+        for v in &violations {
+            println!("FAIL ckpt-ladder: {v}");
+        }
+        failures += violations.len();
+    }
+    failures
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -498,6 +562,11 @@ fn main() -> ExitCode {
     failures += schedule_replay_checks(&device);
     println!("== stage 6: relabel equivalence (seed {}) ==", opts.seed);
     failures += relabel_equivalence_checks(opts.seed);
+    println!(
+        "== stage 7: checkpoint/resume durability (seed {}) ==",
+        opts.seed
+    );
+    failures += durability_checks(opts.seed);
 
     if failures == 0 {
         println!("bc-verify: all checks passed");

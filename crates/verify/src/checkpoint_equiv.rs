@@ -1,0 +1,451 @@
+//! Checkpoint/resume equivalence checks for the durable cluster
+//! runner.
+//!
+//! The durability layer's correctness claim extends the fault layer's:
+//! a run killed at *any* point and resumed from its checkpoint must
+//! produce scores bitwise identical to the uninterrupted run — under
+//! every schedule, every traversal mode, and a recoverable fault plan
+//! layered on top. This module turns the claim into a checked fact,
+//! and additionally proves the store's tamper resistance: corrupted
+//! chunks, mismatched fingerprints, and stale chunks left by an
+//! interrupted epoch are all rejected structurally, never merged.
+
+use crate::invariants::Violation;
+use bc_cluster::{
+    run_cluster_durable, run_cluster_with_faults, ClusterConfig, ClusterError, DurabilityOptions,
+    FaultPlan,
+};
+use bc_core::{graph_digest, options_fingerprint, CheckpointError, CheckpointStore, Degradation};
+use bc_core::{Method, Schedule, TraversalMode};
+use bc_graph::Csr;
+use std::path::PathBuf;
+
+/// The seeded kill points the battery drives: early, mid, and late in
+/// the run's global root order.
+pub fn kill_points() -> [(&'static str, f64); 3] {
+    [("early", 0.15), ("mid", 0.5), ("late", 0.85)]
+}
+
+/// A fresh scratch directory for one battery case, unique across
+/// concurrent verify processes.
+fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("bc-verify-ckpt-{tag}-{}-{id}", std::process::id()))
+}
+
+/// The recoverable fault plan layered under every kill case: retries,
+/// a dead GPU with orphan adoption, and a straggler — everything the
+/// checkpoint must commute with.
+fn recoverable_overlay(seed: u64) -> FaultPlan {
+    FaultPlan {
+        transient_rate: 0.12,
+        dead_gpus: vec![1],
+        death_fraction: 0.5,
+        straggler_gpus: vec![0],
+        straggler_slowdown: 2.0,
+        seed,
+        ..FaultPlan::none()
+    }
+}
+
+/// Kill the run at every seeded kill point under every schedule ×
+/// traversal combination (with a recoverable fault plan layered on),
+/// resume each from its checkpoint, and demand the resumed scores be
+/// bitwise identical to the uninterrupted run — plus honest
+/// completed/resumed root accounting.
+pub fn check_checkpoint_equivalence(
+    g: &Csr,
+    cfg: &ClusterConfig,
+    sample_roots: usize,
+    seed: u64,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for schedule in [Schedule::Static, Schedule::Guided, Schedule::WorkStealing] {
+        for traversal in [
+            TraversalMode::Push,
+            TraversalMode::Pull,
+            TraversalMode::Auto,
+        ] {
+            let cfg = ClusterConfig {
+                schedule,
+                traversal,
+                ..cfg.clone()
+            };
+            let overlay = recoverable_overlay(seed);
+            let clean = match run_cluster_with_faults(g, &cfg, sample_roots, &overlay) {
+                Ok(run) => run,
+                Err(e) => {
+                    violations.push(Violation {
+                        check: "ckpt.baseline_runs",
+                        detail: format!("{schedule}/{traversal:?}: uninterrupted run failed: {e}"),
+                    });
+                    continue;
+                }
+            };
+            for (label, fraction) in kill_points() {
+                let case = format!("{schedule}/{traversal:?}/kill-{label}");
+                let dir = scratch_dir(label);
+                let durability = DurabilityOptions {
+                    checkpoint: Some(dir.clone()),
+                    ..DurabilityOptions::default()
+                };
+                let kill_plan = FaultPlan {
+                    kill_fraction: Some(fraction),
+                    ..overlay.clone()
+                };
+                let completed =
+                    match run_cluster_durable(g, &cfg, sample_roots, &kill_plan, &durability) {
+                        Err(ClusterError::ProcessKilled {
+                            completed_roots,
+                            planned_roots,
+                            ..
+                        }) => {
+                            if planned_roots != clean.report.roots_sampled {
+                                violations.push(Violation {
+                                    check: "ckpt.planned_roots_honest",
+                                    detail: format!(
+                                        "{case}: planned {planned_roots} roots, \
+                                         uninterrupted run did {}",
+                                        clean.report.roots_sampled
+                                    ),
+                                });
+                            }
+                            completed_roots
+                        }
+                        Err(e) => {
+                            violations.push(Violation {
+                                check: "ckpt.kill_surfaces_structured",
+                                detail: format!("{case}: expected ProcessKilled, got: {e}"),
+                            });
+                            let _ = std::fs::remove_dir_all(&dir);
+                            continue;
+                        }
+                        Ok(_) => {
+                            violations.push(Violation {
+                                check: "ckpt.kill_surfaces_structured",
+                                detail: format!("{case}: kill point was silently ignored"),
+                            });
+                            let _ = std::fs::remove_dir_all(&dir);
+                            continue;
+                        }
+                    };
+                // Rerun with the external killer gone; everything
+                // else (faults included) identical.
+                match run_cluster_durable(g, &cfg, sample_roots, &overlay, &durability) {
+                    Ok(resumed) => {
+                        if resumed.scores != clean.scores {
+                            let first = clean
+                                .scores
+                                .iter()
+                                .zip(&resumed.scores)
+                                .position(|(a, b)| a.to_bits() != b.to_bits());
+                            violations.push(Violation {
+                                check: "ckpt.resume_bitwise_equal",
+                                detail: format!(
+                                    "{case}: resumed scores differ from uninterrupted \
+                                     (first diff at vertex {first:?})"
+                                ),
+                            });
+                        }
+                        if resumed.report.checksum != clean.report.checksum {
+                            violations.push(Violation {
+                                check: "ckpt.resume_checksum_equal",
+                                detail: format!(
+                                    "{case}: resumed checksum {:#018x} != uninterrupted {:#018x}",
+                                    resumed.report.checksum, clean.report.checksum
+                                ),
+                            });
+                        }
+                        let missing = clean.report.roots_sampled - completed;
+                        if resumed.report.roots_sampled != missing {
+                            violations.push(Violation {
+                                check: "ckpt.resume_only_missing",
+                                detail: format!(
+                                    "{case}: resume recomputed {} roots, only {missing} \
+                                     were missing from the checkpoint",
+                                    resumed.report.roots_sampled
+                                ),
+                            });
+                        }
+                    }
+                    Err(e) => {
+                        violations.push(Violation {
+                            check: "ckpt.resume_runs",
+                            detail: format!("{case}: resume failed: {e}"),
+                        });
+                    }
+                }
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+    violations
+}
+
+/// Prove the store rejects what it must: flipped chunk bytes, a
+/// mismatched options fingerprint, a mismatched graph, and a stale
+/// chunk left behind by an earlier epoch.
+pub fn check_checkpoint_rejection(
+    g: &Csr,
+    cfg: &ClusterConfig,
+    sample_roots: usize,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // --- Corrupted chunk: flip one payload byte after a clean run,
+    // then resume against a config that would recompute nothing. ---
+    let dir = scratch_dir("corrupt");
+    let durability = DurabilityOptions {
+        checkpoint: Some(dir.clone()),
+        ..DurabilityOptions::default()
+    };
+    match run_cluster_durable(g, cfg, sample_roots, &FaultPlan::none(), &durability) {
+        Ok(_) => {
+            let chunk = std::fs::read_dir(&dir).ok().and_then(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .find(|p| p.extension().is_some_and(|x| x == "chunk"))
+            });
+            match chunk {
+                Some(path) => {
+                    let mut bytes = std::fs::read(&path).expect("chunk is readable");
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x40;
+                    std::fs::write(&path, bytes).expect("chunk is writable");
+                    match run_cluster_durable(g, cfg, sample_roots, &FaultPlan::none(), &durability)
+                    {
+                        Err(ClusterError::Checkpoint {
+                            source: CheckpointError::Corrupt { .. },
+                        }) => {}
+                        other => violations.push(Violation {
+                            check: "ckpt.corruption_rejected",
+                            detail: format!(
+                                "flipped chunk byte was not rejected as corrupt: {:?}",
+                                other.map(|r| r.report.checksum)
+                            ),
+                        }),
+                    }
+                }
+                None => violations.push(Violation {
+                    check: "ckpt.chunks_written",
+                    detail: "clean checkpointed run left no chunk files".into(),
+                }),
+            }
+        }
+        Err(e) => violations.push(Violation {
+            check: "ckpt.baseline_runs",
+            detail: format!("checkpointed baseline failed: {e}"),
+        }),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Fingerprint mismatch: same directory, different options. ---
+    let dir = scratch_dir("fingerprint");
+    let durability = DurabilityOptions {
+        checkpoint: Some(dir.clone()),
+        ..DurabilityOptions::default()
+    };
+    if run_cluster_durable(g, cfg, sample_roots, &FaultPlan::none(), &durability).is_ok() {
+        let other_cfg = ClusterConfig {
+            traversal: match cfg.traversal {
+                TraversalMode::Pull => TraversalMode::Push,
+                _ => TraversalMode::Pull,
+            },
+            ..cfg.clone()
+        };
+        match run_cluster_durable(g, &other_cfg, sample_roots, &FaultPlan::none(), &durability) {
+            Err(ClusterError::Checkpoint {
+                source: CheckpointError::Mismatch { .. },
+            }) => {}
+            other => violations.push(Violation {
+                check: "ckpt.fingerprint_rejected",
+                detail: format!(
+                    "changed traversal mode resumed against the old manifest: {:?}",
+                    other.map(|r| r.report.checksum)
+                ),
+            }),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Stale chunk: a chunk file written under an earlier epoch
+    // must not satisfy a later manifest (the seeded stale-checkpoint
+    // bug: naive stores trust any chunk whose checksum matches). ---
+    let dir = scratch_dir("stale");
+    let fp = options_fingerprint("stale-battery");
+    let digest = graph_digest(g);
+    let n = g.num_vertices();
+    let stale_check = (|| -> Result<Option<Violation>, CheckpointError> {
+        let store = CheckpointStore::open(&dir, fp, digest, n, 2)?;
+        let scores = vec![1.5; n];
+        store.record(0, &scores)?;
+        let chunk_path = dir.join("root-0.chunk");
+        let old_bytes = std::fs::read(&chunk_path).expect("chunk 0 exists");
+        // A new epoch records fresher data for the same root…
+        let store = CheckpointStore::open(&dir, fp, digest, n, 2)?;
+        store.record(0, &scores)?;
+        // …then the stale file reappears (e.g. restored from a
+        // half-synced backup).
+        std::fs::write(&chunk_path, old_bytes).expect("chunk 0 is writable");
+        match store.load(0) {
+            Err(CheckpointError::Stale { .. }) => Ok(None),
+            Err(e) => Ok(Some(Violation {
+                check: "ckpt.stale_flagged",
+                detail: format!("stale chunk rejected with the wrong error: {e}"),
+            })),
+            Ok(_) => Ok(Some(Violation {
+                check: "ckpt.stale_flagged",
+                detail: "a chunk from a previous epoch was silently accepted".into(),
+            })),
+        }
+    })();
+    match stale_check {
+        Ok(Some(v)) => violations.push(v),
+        Ok(None) => {}
+        Err(e) => violations.push(Violation {
+            check: "ckpt.stale_battery_runs",
+            detail: format!("stale-chunk battery could not run: {e}"),
+        }),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    violations
+}
+
+/// Prove the graceful-degradation ladder: an oversized CSR partitions
+/// (bitwise-identically), and a method whose locals cannot fit at all
+/// degrades to a bounded-error sampled approximation instead of
+/// failing — with each decision visible on the report.
+pub fn check_degradation_ladder(
+    g: &Csr,
+    cfg: &ClusterConfig,
+    sample_roots: usize,
+) -> Vec<Violation> {
+    use bc_core::methods::cost::footprint;
+    let mut violations = Vec::new();
+
+    let reference = match run_cluster_with_faults(g, cfg, sample_roots, &FaultPlan::none()) {
+        Ok(run) => run,
+        Err(e) => {
+            return vec![Violation {
+                check: "ckpt.ladder_baseline_runs",
+                detail: format!("full-memory baseline failed: {e}"),
+            }]
+        }
+    };
+
+    // Rung 1: shrink the device until the CSR must stream.
+    let local = cfg.method.local_bytes(g, &cfg.device);
+    let squeezed_cfg = ClusterConfig {
+        device: bc_gpusim::DeviceConfig {
+            global_mem_bytes: local + footprint::graph_bytes(g) / 3,
+            ..cfg.device.clone()
+        },
+        ..cfg.clone()
+    };
+    match run_cluster_with_faults(g, &squeezed_cfg, sample_roots, &FaultPlan::none()) {
+        Ok(run) => {
+            if run.scores != reference.scores {
+                violations.push(Violation {
+                    check: "ckpt.ladder_partition_bitwise",
+                    detail: "partitioned rung changed the scores".into(),
+                });
+            }
+            match run.report.degradation {
+                Some(Degradation::Partitioned { slices }) if slices >= 2 => {}
+                ref other => violations.push(Violation {
+                    check: "ckpt.ladder_partition_reported",
+                    detail: format!("partitioned rung not visible on the report: {other:?}"),
+                }),
+            }
+        }
+        Err(e) => violations.push(Violation {
+            check: "ckpt.ladder_partitions",
+            detail: format!("oversized CSR was not partitioned: {e}"),
+        }),
+    }
+
+    // Rung 2: GPU-FAN's O(n²) locals defeat partitioning; with the
+    // ladder engaged the run must complete as a sampled approximation.
+    let fan_cfg = ClusterConfig {
+        method: Method::GpuFan,
+        ..cfg.clone()
+    };
+    let fan_fits = footprint::graph_bytes(g) + fan_cfg.method.local_bytes(g, &fan_cfg.device)
+        <= fan_cfg.device.global_mem_bytes;
+    if !fan_fits {
+        let durability = DurabilityOptions {
+            degrade: true,
+            ..DurabilityOptions::default()
+        };
+        match run_cluster_durable(g, &fan_cfg, sample_roots, &FaultPlan::none(), &durability) {
+            Ok(run) => match &run.report.degradation {
+                Some(Degradation::Sampled {
+                    sources,
+                    error_bound,
+                    ..
+                }) => {
+                    if *sources == 0 || !error_bound.is_finite() {
+                        violations.push(Violation {
+                            check: "ckpt.ladder_sample_bounded",
+                            detail: format!(
+                                "sampled rung reports {sources} sources, bound {error_bound}"
+                            ),
+                        });
+                    }
+                }
+                other => violations.push(Violation {
+                    check: "ckpt.ladder_sample_reported",
+                    detail: format!("sampled rung not visible on the report: {other:?}"),
+                }),
+            },
+            Err(e) => violations.push(Violation {
+                check: "ckpt.ladder_samples",
+                detail: format!("unfittable method was not degraded to sampling: {e}"),
+            }),
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_graph::gen;
+
+    fn small_cfg() -> ClusterConfig {
+        ClusterConfig {
+            method: Method::WorkEfficient,
+            ..ClusterConfig::keeneland(2)
+        }
+    }
+
+    #[test]
+    fn equivalence_battery_passes_on_a_healthy_runner() {
+        let g = gen::watts_strogatz(150, 6, 0.1, 8);
+        let v = check_checkpoint_equivalence(&g, &small_cfg(), 24, 77);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn rejection_battery_passes_on_a_healthy_store() {
+        let g = gen::watts_strogatz(150, 6, 0.1, 9);
+        let v = check_checkpoint_rejection(&g, &small_cfg(), 12);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn ladder_battery_passes_on_a_healthy_runner() {
+        let g = gen::kronecker(11, 8, 4);
+        let cfg = ClusterConfig {
+            method: Method::WorkEfficient,
+            ..ClusterConfig::keeneland(1)
+        };
+        let v = check_degradation_ladder(&g, &cfg, 16);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

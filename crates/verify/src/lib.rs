@@ -28,6 +28,12 @@
 //!   fault plans and asserts the scores stay bitwise identical to
 //!   the fault-free run (the fault-tolerance layer's correctness
 //!   claim);
+//! * [`checkpoint_equiv`] — kills the durable runner at seeded
+//!   early/mid/late points under every schedule × traversal mode,
+//!   resumes each from its checkpoint, and asserts bitwise identity
+//!   with the uninterrupted run; also proves the store rejects
+//!   corrupted, mismatched, and stale checkpoints, and that the
+//!   graceful-degradation ladder partitions and samples as claimed;
 //! * [`metrics_check`] — runs one root with the trace recorder and
 //!   the [`bc_metrics`] recorder attached simultaneously and checks
 //!   every exported counter (edges inspected, CAS attempts/wins,
@@ -42,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod checkpoint_equiv;
 pub mod fault_equiv;
 pub mod invariants;
 pub mod metrics_check;
@@ -50,6 +57,9 @@ pub mod relabel_equiv;
 pub mod replay;
 pub mod trace;
 
+pub use checkpoint_equiv::{
+    check_checkpoint_equivalence, check_checkpoint_rejection, check_degradation_ladder, kill_points,
+};
 pub use fault_equiv::{check_fault_equivalence, recoverable_plans};
 pub use invariants::{
     check_csr, check_csr_parts, check_pair_sum, check_scores, check_search_state, Violation,

@@ -1,0 +1,230 @@
+//! Contract tests for every [`ClusterError`] variant: mid-run
+//! failures carry the partial [`bc_cluster::ClusterRun`] (merged in
+//! root order, fault counters intact), pre-flight failures carry
+//! actionable diagnostics, and every variant renders a structured
+//! message — the durability layer's "never a bare panic" claim.
+
+use bc_cluster::{
+    run_cluster, run_cluster_durable, run_cluster_with_faults, ClusterConfig, ClusterError,
+    DurabilityOptions, FaultPlan,
+};
+use bc_core::Method;
+use bc_graph::gen;
+use std::error::Error;
+
+#[test]
+fn invalid_config_is_preflight_and_partial_free() {
+    let g = gen::grid(6, 6);
+    let cfg = ClusterConfig {
+        nodes: 0,
+        ..ClusterConfig::keeneland(1)
+    };
+    let err = run_cluster(&g, &cfg, 8).expect_err("zero nodes cannot run");
+    match &err {
+        ClusterError::InvalidConfig { what } => assert!(!what.is_empty()),
+        other => panic!("expected InvalidConfig, got {other}"),
+    }
+    assert!(err.partial().is_none(), "no work started");
+    assert!(err.to_string().contains("invalid cluster configuration"));
+}
+
+#[test]
+fn insufficient_memory_names_every_doomed_gpu_and_its_footprint() {
+    // GPU-FAN's O(n^2) footprint cannot fit a 64k-vertex graph in a
+    // Keeneland device; the pre-flight rejection must say which GPUs
+    // and exactly how many bytes are missing.
+    let g = gen::grid(256, 256);
+    let cfg = ClusterConfig {
+        method: Method::GpuFan,
+        ..ClusterConfig::keeneland(2)
+    };
+    let err = run_cluster(&g, &cfg, 4).expect_err("O(n^2) cannot fit");
+    match &err {
+        ClusterError::InsufficientMemory {
+            method,
+            diagnostics,
+        } => {
+            assert_eq!(method, Method::GpuFan.name());
+            assert_eq!(
+                diagnostics.len(),
+                cfg.nodes * cfg.gpus_per_node,
+                "every GPU in the homogeneous cluster is diagnosed"
+            );
+            for (i, d) in diagnostics.iter().enumerate() {
+                assert_eq!(d.gpu, i, "diagnostics are indexed by flat GPU id");
+                assert!(
+                    d.required_bytes > d.available_bytes,
+                    "gpu {i}: required {} must exceed available {}",
+                    d.required_bytes,
+                    d.available_bytes
+                );
+            }
+            let s = err.to_string();
+            assert!(s.contains("gpu 0") && s.contains(" B"), "{s}");
+        }
+        other => panic!("expected InsufficientMemory, got {other}"),
+    }
+    assert!(err.partial().is_none(), "pre-flight: no work started");
+}
+
+#[test]
+fn all_gpus_lost_carries_the_merged_partial() {
+    let g = gen::grid(10, 10);
+    let plan = FaultPlan {
+        dead_gpus: vec![0, 1, 2],
+        death_fraction: 0.5,
+        ..FaultPlan::none()
+    };
+    let err = run_cluster_with_faults(&g, &ClusterConfig::keeneland(1), 20, &plan)
+        .expect_err("the whole single-node cluster dies");
+    match &err {
+        ClusterError::AllGpusLost {
+            dead,
+            completed_roots,
+            partial,
+        } => {
+            assert_eq!(dead.len(), 3);
+            assert_eq!(partial.report.roots_sampled, *completed_roots);
+            assert_eq!(partial.report.faults.dead_gpus, 3);
+            assert_eq!(partial.scores.len(), g.num_vertices());
+        }
+        other => panic!("expected AllGpusLost, got {other}"),
+    }
+    assert!(err.partial().is_some());
+}
+
+#[test]
+fn root_failed_reports_retry_exhaustion_with_partial() {
+    let g = gen::grid(8, 8);
+    let plan = FaultPlan {
+        panic_rate: 1.0,
+        max_attempts: 2,
+        ..FaultPlan::none()
+    };
+    let err = run_cluster_with_faults(&g, &ClusterConfig::keeneland(1), 8, &plan)
+        .expect_err("every attempt is shot down");
+    match &err {
+        ClusterError::RootFailed {
+            gpus_tried,
+            last_error,
+            partial,
+            ..
+        } => {
+            assert!(*gpus_tried > 0);
+            assert!(!last_error.is_empty());
+            assert_eq!(partial.scores.len(), g.num_vertices());
+        }
+        other => panic!("expected RootFailed, got {other}"),
+    }
+}
+
+#[test]
+fn reduce_failed_keeps_node_local_results() {
+    let g = gen::grid(12, 12);
+    let cfg = ClusterConfig::keeneland(2);
+    let plan = FaultPlan {
+        reduce_drop_rate: 1.0,
+        ..FaultPlan::none()
+    };
+    let err = run_cluster_with_faults(&g, &cfg, 16, &plan).expect_err("reduce can never complete");
+    match &err {
+        ClusterError::ReduceFailed {
+            depth,
+            attempts,
+            partial,
+        } => {
+            assert!(
+                *attempts > 1,
+                "the level was retransmitted before giving up"
+            );
+            let clean = run_cluster(&g, &cfg, 16).unwrap();
+            assert_eq!(
+                partial.scores, clean.scores,
+                "all per-GPU work completed; only the cross-node tree failed"
+            );
+            assert!(err.to_string().contains(&format!("level {depth}")));
+        }
+        other => panic!("expected ReduceFailed, got {other}"),
+    }
+}
+
+#[test]
+fn process_killed_counts_checkpointed_roots_and_advises_resume() {
+    let g = gen::grid(10, 10);
+    let plan = FaultPlan {
+        kill_fraction: Some(0.5),
+        ..FaultPlan::none()
+    };
+    let err = run_cluster_durable(
+        &g,
+        &ClusterConfig::keeneland(1),
+        24,
+        &plan,
+        &DurabilityOptions::default(),
+    )
+    .expect_err("the seeded kill point fires");
+    match &err {
+        ClusterError::ProcessKilled {
+            completed_roots,
+            planned_roots,
+            partial,
+        } => {
+            assert_eq!(*planned_roots, 24);
+            assert!(*completed_roots < *planned_roots);
+            assert_eq!(partial.report.roots_sampled, *completed_roots);
+        }
+        other => panic!("expected ProcessKilled, got {other}"),
+    }
+    assert!(
+        err.to_string().contains("--checkpoint"),
+        "the message tells the operator how to resume: {err}"
+    );
+}
+
+#[test]
+fn checkpoint_errors_chain_their_source() {
+    // Point the store at a path that exists as a *file*: opening the
+    // directory fails, surfacing as a structured Checkpoint error with
+    // the underlying store error chained via `Error::source`.
+    let dir = std::env::temp_dir().join(format!("bc-err-as-file-{}", std::process::id()));
+    std::fs::write(&dir, b"not a directory").unwrap();
+    let g = gen::grid(6, 6);
+    let err = run_cluster_durable(
+        &g,
+        &ClusterConfig::keeneland(1),
+        8,
+        &FaultPlan::none(),
+        &DurabilityOptions {
+            checkpoint: Some(dir.clone()),
+            ..DurabilityOptions::default()
+        },
+    )
+    .expect_err("a file where the checkpoint directory should be");
+    match &err {
+        ClusterError::Checkpoint { .. } => {
+            assert!(err.source().is_some(), "the store error is chained");
+        }
+        other => panic!("expected Checkpoint, got {other}"),
+    }
+    assert!(err.partial().is_none(), "store rejected before any work");
+    let _ = std::fs::remove_file(&dir);
+}
+
+#[test]
+fn worker_panicked_contract_carries_partial() {
+    // The variant's accessor contract, exercised directly: a genuine
+    // worker panic hands back everything completed so far.
+    let g = gen::grid(6, 6);
+    let run = run_cluster(&g, &ClusterConfig::keeneland(1), 8).unwrap();
+    let err = ClusterError::WorkerPanicked {
+        gpu: 1,
+        message: "index out of bounds".into(),
+        partial: Box::new(run),
+    };
+    assert_eq!(
+        err.partial().unwrap().scores.len(),
+        g.num_vertices(),
+        "partial scores span the full vertex set"
+    );
+    assert!(err.to_string().contains("gpu 1"));
+}
