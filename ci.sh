@@ -120,6 +120,27 @@ if [[ "${1:-}" != "fast" ]]; then
         --method work-efficient --cluster 2 --roots 16 \
         --checkpoint results/ci_ckpt --faults seed=7 --top 0 --verify
     rm -rf results/ci_ckpt
+    # Serving smoke: the bench hard-asserts batched+cached responses
+    # are bitwise identical to per-query cold recomputes, that the
+    # cache is exercised on every workload, and that coalescing
+    # strictly reduces priced device seconds vs the unbatched,
+    # uncached baseline (bc-verify stage 8 covers the same claims
+    # at suite scale: 27 combos x 10 dataset analogues + the
+    # stale-cache mutant).
+    echo "==> bench_serve smoke"
+    cargo run -q -p bc-bench --release --bin bench_serve -- --quick 1
+    # bc-serve request smoke: open-loop traffic with live edits must
+    # produce well-formed serve rows.
+    echo "==> bc-serve smoke"
+    cargo run -q -p bc-serve --release --bin bc-serve -- --dataset smallworld \
+        --reduction 8 --requests 12 --edits 2 --metrics results/ci_serve.jsonl
+    grep -q '"kind":"serve"' results/ci_serve.jsonl
+    # CLI serving path: --serve drives the same server through
+    # hybrid-bc and must emit serve rows in the JSONL.
+    echo "==> cli --serve smoke"
+    cargo run -q -p hybrid-bc --release -- --dataset smallworld --reduction 8 \
+        --serve 12 --serve-edits 2 --metrics results/ci_serve_cli.jsonl
+    grep -q '"kind":"serve"' results/ci_serve_cli.jsonl
 fi
 
 echo "==> ci OK"

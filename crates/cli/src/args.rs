@@ -78,6 +78,13 @@ pub struct Cli {
     pub degrade: bool,
     /// Normalize scores.
     pub normalize: bool,
+    /// Serve this many randomized queries through the batched,
+    /// epoch-cached `bc-serve` layer instead of one offline run.
+    pub serve: Option<usize>,
+    /// Batching window (simulated seconds) for `--serve`.
+    pub serve_window: f64,
+    /// Random edge edits interleaved into the `--serve` workload.
+    pub serve_edits: usize,
     /// Run the bc-verify checks (CSR invariants, traced replay of a
     /// few roots, score sanity) on this run.
     pub verify: bool,
@@ -179,6 +186,22 @@ DURABILITY (--cluster):
                        bound are recorded on the report) instead of
                        aborting
 
+SERVING:
+    --serve N          instead of one offline run, serve N randomized
+                       queries (top-k / per-vertex / subgraph) through
+                       the batched query server: concurrent requests
+                       coalesce into shared multi-root runs and
+                       per-root contributions are cached under
+                       (epoch, root, options) keys; every answer is
+                       bitwise identical to a cold recompute
+    --serve-window W   batching window in simulated seconds; requests
+                       arriving within W of the first queued request
+                       execute as one batch            [default: 0.001]
+    --serve-edits E    interleave E random edge inserts/deletes into
+                       the workload; each edit bumps the graph epoch
+                       and invalidates only the cached roots whose
+                       BFS DAG it can touch             [default: 0]
+
 VERIFICATION:
     --verify           run the bc-verify layer on this run: CSR
                        invariants, race-checked traced replay of a few
@@ -224,6 +247,9 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
         deadline_factor: None,
         degrade: false,
         normalize: false,
+        serve: None,
+        serve_window: 1e-3,
+        serve_edits: 0,
         verify: false,
         analyze: false,
         top: 10,
@@ -301,6 +327,23 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.deadline_factor = Some(f);
             }
             "--degrade" => cli.degrade = true,
+            "--serve" => cli.serve = Some(value()?.parse().map_err(|e| format!("--serve: {e}"))?),
+            "--serve-window" => {
+                let w: f64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--serve-window: {e}"))?;
+                if !w.is_finite() || w < 0.0 {
+                    return Err(format!(
+                        "--serve-window must be a finite non-negative duration, got {w}"
+                    ));
+                }
+                cli.serve_window = w;
+            }
+            "--serve-edits" => {
+                cli.serve_edits = value()?
+                    .parse()
+                    .map_err(|e| format!("--serve-edits: {e}"))?
+            }
             "--normalize" => cli.normalize = true,
             "--verify" => cli.verify = true,
             "--analyze" => cli.analyze = true,
@@ -373,6 +416,42 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
              methods have; '{}' runs in host memory",
             cli.method.name()
         ));
+    }
+    if cli.serve.is_none() {
+        if cli.serve_window != 1e-3 {
+            return Err("--serve-window requires --serve".to_owned());
+        }
+        if cli.serve_edits != 0 {
+            return Err("--serve-edits requires --serve".to_owned());
+        }
+    } else {
+        if cli.cluster.is_some() {
+            return Err(
+                "--serve runs the single-device query server; it cannot combine with --cluster"
+                    .to_owned(),
+            );
+        }
+        if cli.relabel != Relabeling::None {
+            return Err(
+                "--serve answers queries in the graph's own numbering; --relabel is a \
+                 single-run layout option"
+                    .to_owned(),
+            );
+        }
+        if cli.partition == PartitionMode::Auto || cli.degrade {
+            return Err(
+                "--serve requires the graph resident on the simulated device; \
+                 --partition/--degrade apply to offline runs"
+                    .to_owned(),
+            );
+        }
+        if cli.verify || cli.analyze {
+            return Err(
+                "--serve has its own battery (bc-verify stage 8); --verify/--analyze \
+                 apply to offline runs"
+                    .to_owned(),
+            );
+        }
     }
     Ok(cli)
 }
@@ -719,6 +798,38 @@ mod tests {
         // --analyze composes with --verify: static then dynamic checks.
         let cli = parse(&s(&["--dataset", "smallworld", "--analyze", "--verify"])).unwrap();
         assert!(cli.analyze && cli.verify);
+    }
+
+    #[test]
+    fn serve_flags_parse_and_validate() {
+        let cli = parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--serve",
+            "32",
+            "--serve-window",
+            "0.01",
+            "--serve-edits",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(cli.serve, Some(32));
+        assert_eq!(cli.serve_window, 0.01);
+        assert_eq!(cli.serve_edits, 3);
+        // Serve options without --serve are rejected.
+        let err = parse(&s(&["--dataset", "smallworld", "--serve-edits", "2"])).unwrap_err();
+        assert!(err.contains("requires --serve"));
+        // The server is a single-device layer.
+        let err = parse(&s(&[
+            "--dataset",
+            "smallworld",
+            "--serve",
+            "8",
+            "--cluster",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--cluster"));
     }
 
     #[test]

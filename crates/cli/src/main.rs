@@ -80,6 +80,9 @@ fn run(cli: &Cli) -> Result<(), String> {
     if let Some(nodes) = cli.cluster {
         return run_on_cluster(cli, &loaded, nodes);
     }
+    if let Some(requests) = cli.serve {
+        return run_serve(cli, &loaded, requests);
+    }
 
     // --relabel: renumber the graph after load. Roots are resolved in
     // the ORIGINAL numbering and mapped through the permutation, and
@@ -387,6 +390,65 @@ fn run_on_cluster(cli: &Cli, g: &Csr, nodes: usize) -> Result<(), String> {
 
     if cli.verify {
         verify_run(cli, g, &scores)?;
+    }
+    Ok(())
+}
+
+/// `--serve N`: feed a seeded open-loop workload of N randomized
+/// queries (optionally interleaved with `--serve-edits` edge edits)
+/// through the batched, epoch-cached query server and report latency
+/// percentiles plus cache behavior. `--metrics FILE` writes one
+/// `{"kind":"serve"}` JSONL row per batch and per edit.
+fn run_serve(cli: &Cli, g: &Csr, requests: usize) -> Result<(), String> {
+    use bc_serve::{open_loop_events, percentile, random_edits, BcServer, QueryMix, ServeConfig};
+    let config = ServeConfig {
+        device: cli.device.clone(),
+        threads: cli.threads,
+        schedule: cli.schedule,
+        traversal: cli.traversal,
+        normalize: cli.normalize,
+        window: cli.serve_window,
+        ..ServeConfig::default()
+    };
+    eprintln!(
+        "serve: {requests} request(s), window {}s, {} edit(s), cache {} MiB",
+        config.window,
+        cli.serve_edits,
+        config.cache_budget_bytes >> 20
+    );
+
+    let t = Instant::now();
+    let mix = QueryMix::for_graph(g.num_vertices());
+    let mut events = open_loop_events("default", &mix, requests, 50.0, 0, cli.seed);
+    let span = events.last().map(|e| e.at()).unwrap_or(0.0);
+    events.extend(random_edits(g, "default", cli.serve_edits, span, cli.seed));
+    let mut server = BcServer::single(g.clone(), config);
+    let out = server.run(events).map_err(|e| e.to_string())?;
+
+    let latencies: Vec<f64> = out.responses.iter().map(|r| r.latency).collect();
+    let batches = out.rows.iter().filter(|r| r.event == "batch").count();
+    let stats = server.cache_stats();
+    println!(
+        "served {} request(s) in {batches} batch(es): p50 {:.6}s / p95 {:.6}s / p99 {:.6}s \
+         simulated latency ({:.2?} host wall time)",
+        latencies.len(),
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+        t.elapsed()
+    );
+    println!(
+        "cache: {} hit(s), {} miss(es), {} eviction(s); {} contribution(s) resident; \
+         final epoch {}",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        server.cache_len(),
+        server.epoch("default").unwrap_or(0)
+    );
+    if let Some(path) = &cli.metrics {
+        write_metrics(path, &bc_metrics::serve_to_jsonl(&out.rows))?;
+        eprintln!("wrote {} serve row(s) to {path}", out.rows.len());
     }
     Ok(())
 }

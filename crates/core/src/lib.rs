@@ -48,8 +48,9 @@ pub use methods::models::{
     TraversalMode,
 };
 pub use parallel::{
-    cpu_betweenness_from_roots_scheduled, effective_threads, run_roots, run_roots_metered,
-    run_roots_scheduled, run_roots_scheduled_metered, RootsRun, ShardableCostModel,
+    cpu_betweenness_from_roots_scheduled, effective_threads, merge_contribution_entries, run_roots,
+    run_roots_contributions, run_roots_metered, run_roots_scheduled, run_roots_scheduled_metered,
+    RootContribution, RootsRun, ShardableCostModel,
 };
 pub use schedule::{guided_chunk, lpt_order, lpt_seed, plan_assignment, Schedule};
 pub use solver::{

@@ -661,6 +661,190 @@ pub fn cpu_betweenness_from_roots_scheduled(
     Ok(scores)
 }
 
+/// One root's dependency contribution, extracted from a zeroed
+/// accumulator: exactly the addends [`run_roots_scheduled`] folds
+/// into its shard accumulator for this root, plus the BFS level map
+/// the serving layer's delta invalidation tests edge edits against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RootContribution {
+    /// The root this contribution belongs to.
+    pub root: VertexId,
+    /// Simulated block-seconds of this root's search.
+    pub seconds: f64,
+    /// Deepest BFS level reached.
+    pub max_depth: u32,
+    /// Nonzero δ entries `(vertex, value)` in ascending vertex order.
+    pub entries: Vec<(VertexId, f64)>,
+    /// BFS depth of every vertex from this root (`u32::MAX` where
+    /// unreachable) — the checkpointed frontier summary.
+    pub levels: Vec<u32>,
+}
+
+impl RootContribution {
+    /// Heap bytes this contribution occupies (the unit the serving
+    /// cache prices against its device-memory budget).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.entries.len() * std::mem::size_of::<(VertexId, f64)>()
+            + self.levels.len() * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+/// Run every root of `roots` through the engine like
+/// [`run_roots_scheduled`], but return each root's δ contribution
+/// *individually* (with its BFS level map) instead of the shard-merged
+/// sum. Results arrive in global root order at any thread count and
+/// under any schedule, and
+/// [`merge_contribution_entries`] folds them back into the exact
+/// bitwise score vector `run_roots_scheduled` would have produced for
+/// the same root sequence.
+pub fn run_roots_contributions<M: ShardableCostModel>(
+    g: &Csr,
+    device: &DeviceConfig,
+    roots: &[VertexId],
+    threads: usize,
+    schedule: Schedule,
+    model: &mut M,
+) -> Result<Vec<RootContribution>, SimError> {
+    let n = g.num_vertices();
+    let num_roots = roots.len();
+    if num_roots == 0 {
+        return Ok(Vec::new());
+    }
+    let size = shard_size(num_roots);
+    let shards = num_roots.div_ceil(size);
+    let workers = effective_threads(threads).min(shards).max(1);
+
+    let costs = shard_costs(g, roots, size, shards, schedule);
+    let queue = ShardQueue::new(schedule, shards, workers, costs.as_deref());
+    let panics = PanicSlot::new();
+    let done: Mutex<Vec<(usize, Vec<RootContribution>, M)>> = Mutex::new(Vec::new());
+    let proto: &M = model;
+
+    let worker = |worker_id: usize| {
+        let mut ws = SearchWorkspace::new(n);
+        let mut out = RootOutcome::default();
+        let mut acc = vec![0.0f64; n];
+        let mut state = queue.worker_state(worker_id);
+        loop {
+            if panics.aborted() {
+                break;
+            }
+            let Some(shard) = queue.claim(&mut state) else {
+                break;
+            };
+            let shard = shard as usize;
+            let lo = shard * size;
+            let hi = (lo + size).min(num_roots);
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let mut m = proto.fork();
+                let mut contribs = Vec::with_capacity(hi - lo);
+                for &r in &roots[lo..hi] {
+                    let ctx = RootContext { g, root: r, device };
+                    process_root_into(&ctx, &mut ws, &mut m, &mut acc, &mut out);
+                    // The engine deposits δ only at reached non-root
+                    // stack vertices, so sweeping the stack both
+                    // extracts every nonzero entry and restores the
+                    // accumulator to pristine zero in O(reached).
+                    let mut entries: Vec<(VertexId, f64)> = ws
+                        .stack()
+                        .iter()
+                        .filter_map(|&v| {
+                            let d = acc[v as usize];
+                            acc[v as usize] = 0.0;
+                            (d != 0.0).then_some((v, d))
+                        })
+                        .collect();
+                    entries.sort_unstable_by_key(|&(v, _)| v);
+                    contribs.push(RootContribution {
+                        root: r,
+                        seconds: out.counters.seconds,
+                        max_depth: out.max_depth,
+                        entries,
+                        levels: ws.dist().to_vec(),
+                    });
+                }
+                (contribs, m)
+            }));
+            match attempt {
+                Ok((contribs, m)) => {
+                    done.lock()
+                        .expect("contribution slot poisoned")
+                        .push((shard, contribs, m));
+                }
+                Err(payload) => {
+                    panics.record(shard, payload);
+                    return;
+                }
+            }
+        }
+    };
+
+    if workers == 1 {
+        worker(0);
+    } else {
+        std::thread::scope(|scope| {
+            let worker = &worker;
+            for id in 1..workers {
+                scope.spawn(move || worker(id));
+            }
+            worker(0);
+        });
+    }
+
+    if let Some(err) = panics.into_error() {
+        return Err(err);
+    }
+    let mut finished = done.into_inner().expect("contribution slot poisoned");
+    // Shards are contiguous root ranges: draining them in shard order
+    // restores global root order, and merges the model forks in the
+    // same order the score runners do.
+    finished.sort_by_key(|&(shard, _, _)| shard);
+    let mut contributions = Vec::with_capacity(num_roots);
+    for (_, contribs, m) in finished {
+        contributions.extend(contribs);
+        model.merge_worker(m);
+    }
+    Ok(contributions)
+}
+
+/// Fold per-root contribution entry lists back into a score vector,
+/// reproducing [`run_roots_scheduled`]'s floating-point association
+/// over the same root sequence **bitwise**: the same shard partition
+/// (a function of the root count alone), per-shard accumulation in
+/// root order into a zeroed buffer, and a shard-index-order merge.
+/// `parts[i]` must be root `i`'s nonzero entries (any source — a live
+/// run or a cache).
+pub fn merge_contribution_entries(n: usize, parts: &[&[(VertexId, f64)]]) -> Vec<f64> {
+    let mut scores = vec![0.0f64; n];
+    if parts.is_empty() {
+        return scores;
+    }
+    let size = shard_size(parts.len());
+    let mut shard_acc = vec![0.0f64; n];
+    let mut touched: Vec<VertexId> = Vec::new();
+    for shard in parts.chunks(size) {
+        touched.clear();
+        for entries in shard {
+            for &(v, d) in *entries {
+                debug_assert!(d != 0.0, "contribution entries store nonzero δ only");
+                let slot = &mut shard_acc[v as usize];
+                if *slot == 0.0 {
+                    touched.push(v);
+                }
+                *slot += d;
+            }
+        }
+        // δ contributions are nonnegative, so a touched slot never
+        // returns to zero: `touched` holds each vertex once, and the
+        // untouched slots would merge as `x += 0.0` no-ops.
+        for &v in &touched {
+            scores[v as usize] += shard_acc[v as usize];
+            shard_acc[v as usize] = 0.0;
+        }
+    }
+    scores
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -916,6 +1100,73 @@ mod tests {
                 assert_eq!(cpu, cpu_base, "cpu {schedule} x {threads}");
             }
         }
+    }
+
+    #[test]
+    fn contributions_reassemble_bitwise_and_carry_levels() {
+        let g = gen::watts_strogatz(300, 6, 0.1, 5);
+        let roots: Vec<u32> = (0..300).step_by(2).collect();
+        let baseline =
+            run_roots_scheduled(&g, &titan(), &roots, 1, Schedule::Static, &mut FreeModel).unwrap();
+        for schedule in Schedule::ALL {
+            for threads in [1usize, 2, 4] {
+                let contribs = run_roots_contributions(
+                    &g,
+                    &titan(),
+                    &roots,
+                    threads,
+                    schedule,
+                    &mut FreeModel,
+                )
+                .unwrap();
+                // Global root order at any thread count and schedule.
+                let order: Vec<u32> = contribs.iter().map(|c| c.root).collect();
+                assert_eq!(order, roots, "{schedule} x {threads}");
+                let seconds: Vec<f64> = contribs.iter().map(|c| c.seconds).collect();
+                assert_eq!(seconds, baseline.per_root_seconds);
+                let depths: Vec<u32> = contribs.iter().map(|c| c.max_depth).collect();
+                assert_eq!(depths, baseline.max_depths);
+                // Reassembly reproduces the shard-merged sum bitwise.
+                let parts: Vec<&[(u32, f64)]> =
+                    contribs.iter().map(|c| c.entries.as_slice()).collect();
+                let scores = merge_contribution_entries(g.num_vertices(), &parts);
+                assert_eq!(scores, baseline.scores, "{schedule} x {threads}");
+            }
+        }
+        // Levels are the BFS distance map; entries are sorted nonzero.
+        let contribs =
+            run_roots_contributions(&g, &titan(), &roots, 2, Schedule::Static, &mut FreeModel)
+                .unwrap();
+        for c in contribs.iter().take(8) {
+            assert_eq!(c.levels, bc_graph::traversal::bfs_distances(&g, c.root));
+            assert!(c.entries.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(c.entries.iter().all(|&(_, d)| d != 0.0));
+            assert!(c.heap_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn contributions_contain_worker_panics() {
+        let g = gen::watts_strogatz(200, 6, 0.1, 1);
+        let roots: Vec<u32> = (0..200).collect();
+        let err = run_roots_contributions(
+            &g,
+            &titan(),
+            &roots,
+            4,
+            Schedule::Static,
+            &mut PanickyModel { bad_root: 77 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::WorkerPanic { .. }));
+    }
+
+    #[test]
+    fn merge_contribution_entries_empty_and_single() {
+        assert!(merge_contribution_entries(4, &[]).iter().all(|&s| s == 0.0));
+        let one: &[(u32, f64)] = &[(1, 2.5), (3, 0.5)];
+        let scores = merge_contribution_entries(4, &[one]);
+        assert_eq!(scores, vec![0.0, 2.5, 0.0, 0.5]);
     }
 
     #[test]

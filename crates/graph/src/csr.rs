@@ -409,6 +409,104 @@ impl Csr {
         slices.push((lo, hi));
         Some(slices)
     }
+
+    /// The same graph with the edge `{u, v}` inserted — both arcs for
+    /// a symmetric graph, the single arc `u -> v` for a directed one.
+    /// Inserting an edge that already exists returns the graph
+    /// unchanged (the same idempotence the constructors' dedup gives).
+    ///
+    /// The rebuild splices the affected rows in one pass, so the
+    /// adjacency stays sorted and every other row is byte-identical.
+    /// The simulated index width is preserved: the new width is
+    /// re-selected through [`CsrIndex::for_counts`] and then clamped
+    /// up to the old one, so a forced or promoted [`CsrIndex::U64`]
+    /// layout survives the edit.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range endpoint or a self-loop.
+    pub fn with_edge_inserted(&self, u: VertexId, v: VertexId) -> Csr {
+        self.check_edit_endpoints(u, v);
+        if self.has_arc(u, v) {
+            return self.clone();
+        }
+        let adds: &[(VertexId, VertexId)] = if self.symmetric {
+            &[(u, v), (v, u)]
+        } else {
+            &[(u, v)]
+        };
+        self.rebuild_with_row_edits(adds, &[])
+    }
+
+    /// The same graph with the edge `{u, v}` removed — both arcs for a
+    /// symmetric graph, the single arc `u -> v` for a directed one.
+    /// Removing an absent edge returns the graph unchanged. Index
+    /// width is preserved exactly as in [`Csr::with_edge_inserted`].
+    ///
+    /// # Panics
+    /// Panics on an out-of-range endpoint or a self-loop.
+    pub fn with_edge_removed(&self, u: VertexId, v: VertexId) -> Csr {
+        self.check_edit_endpoints(u, v);
+        if !self.has_arc(u, v) {
+            return self.clone();
+        }
+        let removes: &[(VertexId, VertexId)] = if self.symmetric {
+            &[(u, v), (v, u)]
+        } else {
+            &[(u, v)]
+        };
+        self.rebuild_with_row_edits(&[], removes)
+    }
+
+    fn check_edit_endpoints(&self, u: VertexId, v: VertexId) {
+        let n = self.num_vertices();
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge edit endpoint out of range (n = {n})"
+        );
+        assert_ne!(
+            u, v,
+            "self-loops are not representable (constructors drop them)"
+        );
+    }
+
+    /// Rebuild with the given arcs spliced in/out of their rows. Both
+    /// lists must be disjoint from / present in the adjacency
+    /// respectively (the public wrappers guarantee it), with at most
+    /// one edit per row.
+    fn rebuild_with_row_edits(
+        &self,
+        add: &[(VertexId, VertexId)],
+        remove: &[(VertexId, VertexId)],
+    ) -> Csr {
+        let n = self.num_vertices();
+        let mut offsets: Vec<EdgeId> = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut adj: Vec<VertexId> = Vec::with_capacity(self.adj.len() + add.len() - remove.len());
+        for x in 0..n as VertexId {
+            let mut pending = add.iter().find(|&&(a, _)| a == x).map(|&(_, b)| b);
+            for &nb in self.neighbors(x) {
+                if remove.iter().any(|&(a, b)| a == x && b == nb) {
+                    continue;
+                }
+                if let Some(p) = pending {
+                    if p < nb {
+                        adj.push(p);
+                        pending = None;
+                    }
+                }
+                adj.push(nb);
+            }
+            if let Some(p) = pending {
+                adj.push(p);
+            }
+            offsets.push(adj.len() as EdgeId);
+        }
+        let mut out = Csr::from_raw_parts(offsets, adj, self.symmetric);
+        // Width re-selection never narrows: a graph already simulated
+        // (or forced) at u64 keeps the wide layout across edits.
+        out.index = out.index.max(self.index);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -570,5 +668,73 @@ mod tests {
         // Empty graph: trivially zero slices.
         let empty = Csr::from_undirected_edges(0, []);
         assert_eq!(empty.vertex_slices(1), Some(vec![]));
+    }
+
+    #[test]
+    fn edge_insert_matches_reconstruction() {
+        let g = diamond();
+        let edited = g.with_edge_inserted(0, 3);
+        let rebuilt = Csr::from_undirected_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]);
+        assert_eq!(edited, rebuilt);
+        assert!(edited.has_arc(0, 3) && edited.has_arc(3, 0));
+        assert_eq!(edited.num_undirected_edges(), 5);
+        // Untouched rows are identical; edited rows stay sorted.
+        assert_eq!(edited.neighbors(1), g.neighbors(1));
+        assert!(edited.neighbors(0).windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn edge_remove_matches_reconstruction_and_inverts_insert() {
+        let g = diamond();
+        let removed = g.with_edge_removed(1, 3);
+        assert_eq!(
+            removed,
+            Csr::from_undirected_edges(4, [(0, 1), (0, 2), (2, 3)])
+        );
+        assert_eq!(removed.num_undirected_edges(), 3);
+        // Remove is the exact inverse of insert (bitwise CSR equality).
+        assert_eq!(g.with_edge_inserted(0, 3).with_edge_removed(0, 3), g);
+        assert_eq!(removed.with_edge_inserted(1, 3), g);
+    }
+
+    #[test]
+    fn edge_edits_are_idempotent() {
+        let g = diamond();
+        assert_eq!(g.with_edge_inserted(0, 1), g);
+        assert_eq!(g.with_edge_removed(0, 3), g);
+    }
+
+    #[test]
+    fn edge_edits_preserve_forced_index_width() {
+        let wide = diamond().with_index_width(CsrIndex::U64);
+        assert_eq!(wide.with_edge_inserted(0, 3).index_width(), CsrIndex::U64);
+        assert_eq!(wide.with_edge_removed(0, 1).index_width(), CsrIndex::U64);
+        // A narrow graph stays narrow (for_counts still selects u32).
+        assert_eq!(
+            diamond().with_edge_inserted(0, 3).index_width(),
+            CsrIndex::U32
+        );
+    }
+
+    #[test]
+    fn directed_edge_edits_touch_one_arc() {
+        let g = Csr::from_directed_edges(3, [(0, 1), (1, 2)]);
+        let e = g.with_edge_inserted(2, 0);
+        assert!(e.has_arc(2, 0) && !e.has_arc(0, 2));
+        assert_eq!(e.num_directed_edges(), 3);
+        let r = e.with_edge_removed(2, 0);
+        assert_eq!(r, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_insert_rejects_self_loop() {
+        diamond().with_edge_inserted(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_insert_rejects_out_of_range() {
+        diamond().with_edge_inserted(0, 9);
     }
 }

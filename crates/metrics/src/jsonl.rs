@@ -41,6 +41,16 @@ pub fn run_to_jsonl(metrics: &RunMetrics) -> String {
     out
 }
 
+/// Render a serving session: one `serve` line per batch or edit row,
+/// in emission (sequence) order.
+pub fn serve_to_jsonl(rows: &[crate::serve::ServeRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        line("serve", row, &mut out);
+    }
+    out
+}
+
 /// Render a metered cluster run: one `gpu` timeline line per
 /// surviving device, then the `cluster_summary` line.
 pub fn cluster_to_jsonl(metrics: &ClusterMetrics) -> String {

@@ -27,13 +27,15 @@
 pub mod cluster;
 pub mod jsonl;
 pub mod record;
+pub mod serve;
 pub mod sink;
 pub mod summary;
 pub mod worker;
 
 pub use cluster::{ClusterMetrics, ClusterMetricsSummary, GpuTimeline};
-pub use jsonl::{cluster_to_jsonl, run_to_jsonl};
+pub use jsonl::{cluster_to_jsonl, run_to_jsonl, serve_to_jsonl};
 pub use record::{LevelMetrics, MetricPhase, MetricTraversal, RootMetrics, SwitchReason};
+pub use serve::{RequestLatency, ServeRow};
 pub use sink::{MetricsRecorder, MetricsSink, NullMetrics};
 pub use summary::{HardwareSummary, MetricsSummary, RunMetrics};
 pub use worker::WorkerMetrics;

@@ -1,0 +1,201 @@
+//! `bc-serve` — run the batched BC query server against a seeded
+//! workload and report latency percentiles and cache behavior.
+//!
+//! ```text
+//! cargo run -p bc-serve --release --bin bc-serve -- \
+//!     [--dataset NAME] [--reduction R] [--requests N] [--rate RPS] \
+//!     [--clients C] [--think-rate T] [--edits E] [--window W] \
+//!     [--cache-mb MB] [--threads T] [--schedule S] [--traversal D] \
+//!     [--normalize] [--seed S] [--metrics FILE]
+//! ```
+//!
+//! With `--clients 0` (the default) the workload is an open-loop
+//! Poisson stream of `--requests` arrivals at `--rate` per simulated
+//! second; with `--clients C` it is a closed loop of `C` clients
+//! issuing `--requests` total with exponential think times.
+//! `--edits E` interleaves `E` random edge edits (alternating
+//! insert/delete) across the workload span. `--metrics FILE` writes
+//! the serve rows as `{"kind":"serve"}` JSONL.
+
+use bc_core::{Schedule, TraversalMode};
+use bc_graph::datasets::DatasetId;
+use bc_metrics::serve_to_jsonl;
+use bc_serve::{percentile, random_edits, BcServer, ClosedLoop, Event, QueryMix, ServeConfig};
+
+/// Minimal `--flag value` / bare `--switch` parser (mirrors the
+/// bench harness's idiom; this crate keeps its dependency set to the
+/// serving stack).
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn from_env() -> Flags {
+        let mut pairs = Vec::new();
+        let mut it = std::env::args().skip(1).peekable();
+        while let Some(k) = it.next() {
+            let Some(name) = k.strip_prefix("--") else {
+                eprintln!("unexpected argument: {k}");
+                std::process::exit(2);
+            };
+            let bare = it.peek().is_none_or(|next| next.starts_with("--"));
+            let v = if bare {
+                "true".to_string()
+            } else {
+                it.next().expect("peeked value exists")
+            };
+            pairs.push((name.to_string(), v));
+        }
+        Flags { pairs }
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn get_str(&self, name: &str, default: &str) -> String {
+        self.get(name, default.to_string())
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.get(name, false)
+    }
+}
+
+fn dataset_by_name(name: &str) -> Option<DatasetId> {
+    DatasetId::ALL.into_iter().find(|d| d.name() == name)
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let seed: u64 = flags.get("seed", 42u64);
+    let dataset = flags.get_str("dataset", "caidaRouterLevel");
+    let reduction: u32 = flags.get("reduction", 7);
+    let requests: usize = flags.get("requests", 64);
+    let rate: f64 = flags.get("rate", 50.0);
+    let clients: usize = flags.get("clients", 0);
+    let think_rate: f64 = flags.get("think-rate", 10.0);
+    let edits: usize = flags.get("edits", 0);
+
+    let Some(id) = dataset_by_name(&dataset) else {
+        eprintln!("unknown dataset {dataset:?}; one of:");
+        for d in DatasetId::ALL {
+            eprintln!("  {}", d.name());
+        }
+        std::process::exit(2);
+    };
+    let g = id.generate(reduction, seed);
+
+    let mut config = ServeConfig {
+        threads: flags.get("threads", 1),
+        window: flags.get("window", 1e-3),
+        normalize: flags.flag("normalize"),
+        ..ServeConfig::default()
+    };
+    config.schedule = match Schedule::parse(&flags.get_str("schedule", "static")) {
+        Some(s) => s,
+        None => {
+            eprintln!("unknown schedule (static | guided | work-stealing)");
+            std::process::exit(2);
+        }
+    };
+    config.traversal = match flags.get_str("traversal", "auto").as_str() {
+        "push" => TraversalMode::Push,
+        "pull" => TraversalMode::Pull,
+        "auto" => TraversalMode::Auto,
+        other => {
+            eprintln!("unknown traversal {other:?} (push | pull | auto)");
+            std::process::exit(2);
+        }
+    };
+    let cache_mb: u64 = flags.get("cache-mb", config.cache_budget_bytes >> 20);
+    config.cache_budget_bytes = cache_mb << 20;
+
+    println!(
+        "serving {} (reduction {reduction}): n={} m={} | window={}s cache={}MiB \
+         threads={} schedule={} traversal={}",
+        id.name(),
+        g.num_vertices(),
+        g.num_undirected_edges(),
+        config.window,
+        cache_mb,
+        config.threads,
+        config.schedule.name(),
+        config.traversal.name(),
+    );
+
+    let mix = QueryMix::for_graph(g.num_vertices());
+    let mut server = BcServer::single(g.clone(), config);
+    let mut latencies: Vec<f64> = Vec::new();
+
+    if clients == 0 {
+        // Open loop: one timeline, edits interleaved by timestamp.
+        let mut events = bc_serve::open_loop_events("default", &mix, requests, rate, 0, seed);
+        let span = events.last().map(|e| e.at()).unwrap_or(0.0);
+        events.extend(random_edits(&g, "default", edits, span, seed));
+        let out = server.run(events).expect("serve open-loop workload");
+        latencies.extend(out.responses.iter().map(|r| r.latency));
+    } else {
+        // Closed loop: waves of one request per ready client; edits
+        // land between waves, spread over an estimated span.
+        let per_client = requests.div_ceil(clients);
+        let mut driver = ClosedLoop::new("default", mix, clients, per_client, think_rate, seed);
+        let mut edit_queue =
+            random_edits(&g, "default", edits, per_client as f64 / think_rate, seed);
+        edit_queue.reverse(); // pop from the back in time order
+        while !driver.done() {
+            let mut wave = driver.next_wave();
+            let horizon = wave.iter().map(Event::at).fold(f64::MIN, f64::max);
+            while edit_queue
+                .last()
+                .is_some_and(|e| e.at() <= horizon || wave.is_empty())
+            {
+                wave.push(edit_queue.pop().expect("checked non-empty"));
+            }
+            let out = server.run(wave).expect("serve closed-loop wave");
+            let completions: Vec<(u64, f64)> =
+                out.responses.iter().map(|r| (r.id, r.completed)).collect();
+            latencies.extend(out.responses.iter().map(|r| r.latency));
+            driver.record_completions(&completions);
+        }
+        let leftover: Vec<Event> = edit_queue.into_iter().rev().collect();
+        if !leftover.is_empty() {
+            server.run(leftover).expect("apply trailing edits");
+        }
+    }
+
+    let stats = server.cache_stats();
+    let batches = server.rows().iter().filter(|r| r.event == "batch").count();
+    println!(
+        "answered {} requests in {batches} batches | p50={:.6}s p95={:.6}s p99={:.6}s",
+        latencies.len(),
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+    );
+    println!(
+        "cache: {} hits, {} misses, {} evictions ({} entries resident) | edits applied: {}",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        server.cache_len(),
+        server.rows().iter().filter(|r| r.event == "edit").count(),
+    );
+
+    let metrics = flags.get_str("metrics", "");
+    if !metrics.is_empty() {
+        std::fs::write(&metrics, serve_to_jsonl(server.rows())).expect("write serve metrics");
+        println!("wrote {metrics}");
+    }
+
+    // Smoke-check: a warm cache must have produced hits whenever the
+    // workload repeated a root set (the default mix always does).
+    if requests >= 8 && stats.hits == 0 {
+        eprintln!("warning: no cache hits over {requests} requests");
+    }
+}

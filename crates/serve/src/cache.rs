@@ -1,0 +1,417 @@
+//! Epoch-keyed per-root contribution cache.
+//!
+//! Per-root dependency contributions are the natural cache unit of
+//! the multi-source formulation: a query's score vector is a
+//! deterministic fold of its roots' δ vectors
+//! ([`bc_core::merge_contribution_entries`]), so every root computed
+//! for one query is reusable by any later query against the same
+//! graph epoch under the same options fingerprint.
+//!
+//! Entries are priced in heap bytes against a budget derived from
+//! the simulated device's memory, evicted in strict LRU order, and
+//! **pinned** while a batch is in flight — an in-flight root can
+//! never be evicted out from under the batch that is about to read
+//! it. Keys are `(graph_epoch, root, options_fingerprint)`: bumping
+//! the epoch retires every stale entry without touching it, and a
+//! changed option set (device, traversal, normalization) changes the
+//! fingerprint, so it can never collide into a hit.
+
+use bc_core::RootContribution;
+use bc_graph::VertexId;
+use std::collections::BTreeMap;
+
+/// Cache key: one root's contribution under one graph epoch and one
+/// options fingerprint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Graph epoch the contribution was computed against.
+    pub epoch: u64,
+    /// The root.
+    pub root: VertexId,
+    /// FNV-1a fingerprint of every option that names the serving
+    /// configuration (see [`crate::server::ServeConfig::fingerprint`]).
+    pub fingerprint: u64,
+}
+
+/// Why an explicit eviction request was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictError {
+    /// The entry is pinned by an in-flight batch.
+    Pinned,
+    /// No such entry.
+    Missing,
+}
+
+struct Slot {
+    value: RootContribution,
+    bytes: u64,
+    last_use: u64,
+    pinned: bool,
+}
+
+/// Running hit/miss/evict counters (monotone over the cache's life).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Inserts refused because the entry cannot fit (over-budget even
+    /// after evicting every unpinned entry).
+    pub rejected_inserts: u64,
+}
+
+/// LRU contribution cache with byte-budget accounting and in-flight
+/// pinning. All internal structures are ordered (`BTreeMap`), so the
+/// eviction sequence is a deterministic function of the operation
+/// history.
+pub struct ContributionCache {
+    budget: u64,
+    used: u64,
+    tick: u64,
+    map: BTreeMap<CacheKey, Slot>,
+    /// Recency index: `last_use` tick -> key. Ticks are unique.
+    lru: BTreeMap<u64, CacheKey>,
+    /// Running counters.
+    pub stats: CacheStats,
+}
+
+/// Fixed per-entry bookkeeping bytes charged on top of the
+/// contribution's own heap bytes (key + slot + index overhead).
+pub const ENTRY_OVERHEAD_BYTES: u64 = 64;
+
+impl ContributionCache {
+    /// An empty cache with the given byte budget. A zero budget
+    /// disables caching (every insert is rejected).
+    pub fn new(budget_bytes: u64) -> Self {
+        ContributionCache {
+            budget: budget_bytes,
+            used: 0,
+            tick: 0,
+            map: BTreeMap::new(),
+            lru: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Priced bytes of one entry.
+    pub fn entry_bytes(value: &RootContribution) -> u64 {
+        value.heap_bytes() + ENTRY_OVERHEAD_BYTES
+    }
+
+    /// Configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently accounted. Never exceeds the budget.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up a contribution, bumping its recency and counting a hit
+    /// or miss.
+    pub fn get(&mut self, key: &CacheKey) -> Option<&RootContribution> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some(slot) => {
+                self.lru.remove(&slot.last_use);
+                slot.last_use = tick;
+                self.lru.insert(tick, *key);
+                self.stats.hits += 1;
+                Some(&slot.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Non-counting, non-bumping presence probe.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Insert an entry, evicting unpinned LRU entries until it fits.
+    /// Returns `false` (and counts a rejected insert) when the entry
+    /// cannot fit even after evicting everything unpinned — the
+    /// caller then serves without caching. When `pinned` is set the
+    /// entry starts pinned (in flight for the current batch).
+    pub fn insert(&mut self, key: CacheKey, value: RootContribution, pinned: bool) -> bool {
+        let bytes = Self::entry_bytes(&value);
+        // Replacing an existing entry releases its bytes first.
+        if let Some(old) = self.map.remove(&key) {
+            self.lru.remove(&old.last_use);
+            self.used -= old.bytes;
+        }
+        while self.used + bytes > self.budget {
+            if !self.evict_lru() {
+                self.stats.rejected_inserts += 1;
+                return false;
+            }
+        }
+        self.tick += 1;
+        self.used += bytes;
+        self.lru.insert(self.tick, key);
+        self.map.insert(
+            key,
+            Slot {
+                value,
+                bytes,
+                last_use: self.tick,
+                pinned,
+            },
+        );
+        true
+    }
+
+    /// Evict the least-recently-used *unpinned* entry. Returns `false`
+    /// when every resident entry is pinned (or the cache is empty).
+    fn evict_lru(&mut self) -> bool {
+        let victim = self.lru.values().copied().find(|k| !self.map[k].pinned);
+        match victim {
+            Some(key) => {
+                let slot = self.map.remove(&key).expect("lru index out of sync");
+                self.lru.remove(&slot.last_use);
+                self.used -= slot.bytes;
+                self.stats.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Explicitly evict one entry. Pinned (in-flight) entries are
+    /// rejected — the serving loop relies on this to keep a batch's
+    /// working set resident until its responses are assembled.
+    pub fn try_evict(&mut self, key: &CacheKey) -> Result<(), EvictError> {
+        match self.map.get(key) {
+            None => Err(EvictError::Missing),
+            Some(slot) if slot.pinned => Err(EvictError::Pinned),
+            Some(_) => {
+                let slot = self.map.remove(key).expect("checked above");
+                self.lru.remove(&slot.last_use);
+                self.used -= slot.bytes;
+                self.stats.evictions += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Pin an entry for the duration of a batch. No-op on a miss.
+    pub fn pin(&mut self, key: &CacheKey) {
+        if let Some(slot) = self.map.get_mut(key) {
+            slot.pinned = true;
+        }
+    }
+
+    /// Release a pin.
+    pub fn unpin(&mut self, key: &CacheKey) {
+        if let Some(slot) = self.map.get_mut(key) {
+            slot.pinned = false;
+        }
+    }
+
+    /// Apply an edge edit's delta invalidation for one fingerprint:
+    /// every entry at `old_epoch` is either **carried** to `new_epoch`
+    /// (its recorded BFS level map proves the edit cannot touch its
+    /// DAG — `keep` returns `true`) or dropped. When the touched
+    /// fraction exceeds `full_threshold`, falls back to dropping all
+    /// of them (cheaper than re-keying a mostly-dead population).
+    /// Returns `(carried, dropped, full_invalidation)`.
+    pub fn carry_epoch(
+        &mut self,
+        fingerprint: u64,
+        old_epoch: u64,
+        new_epoch: u64,
+        full_threshold: f64,
+        mut keep: impl FnMut(&RootContribution) -> bool,
+    ) -> (u64, u64, bool) {
+        let candidates: Vec<CacheKey> = self
+            .map
+            .keys()
+            .filter(|k| k.fingerprint == fingerprint && k.epoch == old_epoch)
+            .copied()
+            .collect();
+        if candidates.is_empty() {
+            return (0, 0, false);
+        }
+        let verdicts: Vec<(CacheKey, bool)> = candidates
+            .iter()
+            .map(|k| (*k, keep(&self.map[k].value)))
+            .collect();
+        let touched = verdicts.iter().filter(|&&(_, keep)| !keep).count();
+        let full = touched as f64 > full_threshold * candidates.len() as f64;
+        let mut carried = 0u64;
+        let mut dropped = 0u64;
+        for (key, keep) in verdicts {
+            let slot = self.map.remove(&key).expect("candidate vanished");
+            self.lru.remove(&slot.last_use);
+            self.used -= slot.bytes;
+            if keep && !full {
+                let new_key = CacheKey {
+                    epoch: new_epoch,
+                    ..key
+                };
+                self.used += slot.bytes;
+                self.lru.insert(slot.last_use, new_key);
+                self.map.insert(new_key, slot);
+                carried += 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        (carried, dropped, full)
+    }
+
+    /// Debug invariant: accounted bytes equal the sum over slots and
+    /// the recency index covers the map exactly.
+    #[doc(hidden)]
+    pub fn check_accounting(&self) {
+        let sum: u64 = self.map.values().map(|s| s.bytes).sum();
+        assert_eq!(sum, self.used, "byte accounting out of sync");
+        assert_eq!(self.lru.len(), self.map.len(), "recency index out of sync");
+        assert!(self.used <= self.budget, "budget exceeded");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contrib(root: VertexId, entries: usize, n: usize) -> RootContribution {
+        RootContribution {
+            root,
+            seconds: 0.0,
+            max_depth: 1,
+            entries: (0..entries as u32).map(|v| (v, 1.0)).collect(),
+            levels: vec![0; n],
+        }
+    }
+
+    fn key(epoch: u64, root: VertexId, fp: u64) -> CacheKey {
+        CacheKey {
+            epoch,
+            root,
+            fingerprint: fp,
+        }
+    }
+
+    /// Budget that fits exactly `k` of the test contributions.
+    fn budget_for(k: u64, entries: usize, n: usize) -> u64 {
+        k * ContributionCache::entry_bytes(&contrib(0, entries, n))
+    }
+
+    #[test]
+    fn lru_order_under_interleaved_hits_and_misses() {
+        let mut c = ContributionCache::new(budget_for(3, 4, 8));
+        for r in 0..3 {
+            assert!(c.insert(key(0, r, 1), contrib(r, 4, 8), false));
+        }
+        // Touch 0 and 2; 1 is now the LRU victim.
+        assert!(c.get(&key(0, 0, 1)).is_some());
+        assert!(c.get(&key(0, 2, 1)).is_some());
+        assert!(c.get(&key(0, 9, 1)).is_none(), "miss counted");
+        assert!(c.insert(key(0, 3, 1), contrib(3, 4, 8), false));
+        assert!(!c.contains(&key(0, 1, 1)), "LRU entry 1 evicted");
+        assert!(c.contains(&key(0, 0, 1)) && c.contains(&key(0, 2, 1)));
+        // Next victim is 0 (touched before 2).
+        assert!(c.insert(key(0, 4, 1), contrib(4, 4, 8), false));
+        assert!(!c.contains(&key(0, 0, 1)));
+        assert_eq!(c.stats.hits, 2);
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.evictions, 2);
+        c.check_accounting();
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        let budget = budget_for(2, 4, 8) + 7; // deliberately unaligned
+        let mut c = ContributionCache::new(budget);
+        for r in 0..20 {
+            c.insert(key(0, r, 1), contrib(r, 4, 8), false);
+            assert!(c.used_bytes() <= budget, "insert {r} blew the budget");
+            c.check_accounting();
+        }
+        assert_eq!(c.len(), 2, "only two entries fit");
+        // An entry larger than the whole budget is rejected outright.
+        let mut tiny = ContributionCache::new(8);
+        assert!(!tiny.insert(key(0, 0, 1), contrib(0, 4, 8), false));
+        assert_eq!(tiny.stats.rejected_inserts, 1);
+        assert_eq!(tiny.used_bytes(), 0);
+        // Zero budget = caching disabled.
+        let mut off = ContributionCache::new(0);
+        assert!(!off.insert(key(0, 0, 1), contrib(0, 0, 0), false));
+    }
+
+    #[test]
+    fn in_flight_eviction_is_rejected() {
+        let mut c = ContributionCache::new(budget_for(2, 4, 8));
+        assert!(c.insert(key(0, 0, 1), contrib(0, 4, 8), true)); // pinned
+        assert!(c.insert(key(0, 1, 1), contrib(1, 4, 8), false));
+        // Explicit eviction of the pinned entry is refused.
+        assert_eq!(c.try_evict(&key(0, 0, 1)), Err(EvictError::Pinned));
+        assert_eq!(c.try_evict(&key(9, 9, 9)), Err(EvictError::Missing));
+        // LRU pressure skips the pinned entry even though it is the
+        // least recently used.
+        assert!(c.insert(key(0, 2, 1), contrib(2, 4, 8), false));
+        assert!(c.contains(&key(0, 0, 1)), "pinned entry survived");
+        assert!(!c.contains(&key(0, 1, 1)), "unpinned LRU evicted instead");
+        // With everything pinned, inserts are rejected rather than
+        // evicting in-flight roots.
+        c.pin(&key(0, 2, 1));
+        assert!(!c.insert(key(0, 3, 1), contrib(3, 4, 8), false));
+        // Unpinning makes it evictable again.
+        c.unpin(&key(0, 0, 1));
+        assert_eq!(c.try_evict(&key(0, 0, 1)), Ok(()));
+        c.check_accounting();
+    }
+
+    #[test]
+    fn option_and_epoch_changes_miss() {
+        let mut c = ContributionCache::new(budget_for(4, 4, 8));
+        assert!(c.insert(key(3, 5, 0xAAAA), contrib(5, 4, 8), false));
+        // Same root, different fingerprint (changed options): miss.
+        assert!(c.get(&key(3, 5, 0xBBBB)).is_none());
+        // Same root + fingerprint, bumped epoch: miss.
+        assert!(c.get(&key(4, 5, 0xAAAA)).is_none());
+        // Exact key: hit.
+        assert!(c.get(&key(3, 5, 0xAAAA)).is_some());
+        assert_eq!(c.stats.misses, 2);
+        assert_eq!(c.stats.hits, 1);
+    }
+
+    #[test]
+    fn carry_epoch_rekeys_untouched_and_falls_back_when_mostly_dead() {
+        let mut c = ContributionCache::new(budget_for(8, 4, 8));
+        for r in 0..4 {
+            assert!(c.insert(key(0, r, 1), contrib(r, 4, 8), false));
+        }
+        // One touched root out of four: selective carry.
+        let (carried, dropped, full) = c.carry_epoch(1, 0, 1, 0.5, |v| v.root != 2);
+        assert_eq!((carried, dropped, full), (3, 1, false));
+        assert!(c.contains(&key(1, 0, 1)) && !c.contains(&key(0, 0, 1)));
+        assert!(!c.contains(&key(1, 2, 1)));
+        // Three touched out of three: exceeds threshold, full drop.
+        let (carried, dropped, full) = c.carry_epoch(1, 1, 2, 0.5, |_| false);
+        assert_eq!(carried, 0);
+        assert_eq!(dropped, 3);
+        assert!(full);
+        assert!(c.is_empty());
+        c.check_accounting();
+    }
+}

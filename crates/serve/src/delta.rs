@@ -1,0 +1,133 @@
+//! Dynamic-graph delta invalidation.
+//!
+//! An edge edit only perturbs the scores contributed by root `r` if
+//! it can alter `r`'s shortest-path DAG. Each cached contribution
+//! carries its BFS level map ([`bc_core::RootContribution::levels`]),
+//! so the test is a constant-time level/reachability lookup:
+//!
+//! * **Insert `{u, v}`** — untouched when both endpoints are
+//!   unreachable from `r` (the edit lives in another component), or
+//!   when both are reachable at the *same* level (a same-level edge
+//!   is never on a shortest path, and cannot shorten one: `d(v) <=
+//!   d(u) + 1` already holds). Any level gap or reachability
+//!   asymmetry may create new shortest paths → touched.
+//! * **Delete `{u, v}`** — untouched when either endpoint is
+//!   unreachable (the arc cannot lie on any shortest path from `r`)
+//!   or when the endpoints sit on the same level (a non-DAG edge
+//!   carries no σ and no δ). A one-level gap means the arc is a DAG
+//!   edge → touched.
+//!
+//! The predicate is a sound over-approximation: a root it calls
+//! untouched provably has a bitwise-identical contribution on the
+//! edited graph, while a touched root's scores *may* change (the
+//! proptest battery in `tests/tests/serve_delta.rs` checks the
+//! superset direction against brute-force recomputation).
+
+use bc_graph::VertexId;
+
+/// Level value marking an unreachable vertex in a BFS level map.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// One edge edit against a resident graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeEdit {
+    /// Insert the undirected edge `{u, v}`.
+    Insert(VertexId, VertexId),
+    /// Delete the undirected edge `{u, v}`.
+    Delete(VertexId, VertexId),
+}
+
+impl EdgeEdit {
+    /// The edited endpoints.
+    pub fn endpoints(self) -> (VertexId, VertexId) {
+        match self {
+            EdgeEdit::Insert(u, v) | EdgeEdit::Delete(u, v) => (u, v),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn kind(self) -> &'static str {
+        match self {
+            EdgeEdit::Insert(..) => "insert",
+            EdgeEdit::Delete(..) => "delete",
+        }
+    }
+}
+
+/// Does this edit potentially touch the BFS DAG recorded by `levels`?
+/// `levels` is the frontier summary checkpointed with a cached root:
+/// the BFS depth of every vertex from that root, [`UNREACHED`] where
+/// no path exists. Returns `false` only when the cached contribution
+/// is provably still exact on the edited graph.
+pub fn edit_touches_root(levels: &[u32], edit: EdgeEdit) -> bool {
+    let (u, v) = edit.endpoints();
+    let du = levels[u as usize];
+    let dv = levels[v as usize];
+    match edit {
+        EdgeEdit::Insert(..) => {
+            if du == UNREACHED && dv == UNREACHED {
+                // Both endpoints outside r's component: r's searches
+                // never see the new edge.
+                false
+            } else if du == UNREACHED || dv == UNREACHED {
+                // New reachability: distances from r change.
+                true
+            } else {
+                // Same-level edges are never DAG edges and cannot
+                // shorten any distance; any gap creates or shortens
+                // shortest paths.
+                du != dv
+            }
+        }
+        EdgeEdit::Delete(..) => {
+            if du == UNREACHED || dv == UNREACHED {
+                // An arc with an unreachable endpoint lies on no
+                // shortest path from r. (On an undirected graph both
+                // endpoints of an existing edge share reachability,
+                // but the test stays per-endpoint for safety.)
+                false
+            } else {
+                // |du - dv| == 1 ⇔ the arc is a DAG edge carrying σ.
+                // An existing undirected edge never has a gap > 1.
+                du.abs_diff(dv) == 1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_rules() {
+        // Path 0-1-2-3: levels from root 0.
+        let levels = vec![0, 1, 2, 3];
+        // Same-level pairs do not exist on a path; a 2-gap insert
+        // shortens distances.
+        assert!(edit_touches_root(&levels, EdgeEdit::Insert(0, 2)));
+        assert!(edit_touches_root(&levels, EdgeEdit::Insert(0, 3)));
+        // One-level gap: new shortest path multiplicity.
+        assert!(edit_touches_root(&levels, EdgeEdit::Insert(2, 3)));
+        // Same level: untouched.
+        let diamond = vec![0, 1, 1, 2];
+        assert!(!edit_touches_root(&diamond, EdgeEdit::Insert(1, 2)));
+        // Unreachable pair: untouched; mixed: touched.
+        let split = vec![0, 1, UNREACHED, UNREACHED];
+        assert!(!edit_touches_root(&split, EdgeEdit::Insert(2, 3)));
+        assert!(edit_touches_root(&split, EdgeEdit::Insert(1, 2)));
+    }
+
+    #[test]
+    fn delete_rules() {
+        let diamond = vec![0, 1, 1, 2];
+        // DAG edges carry σ: touched.
+        assert!(edit_touches_root(&diamond, EdgeEdit::Delete(0, 1)));
+        assert!(edit_touches_root(&diamond, EdgeEdit::Delete(1, 3)));
+        // Same-level edge carries nothing: untouched.
+        assert!(!edit_touches_root(&diamond, EdgeEdit::Delete(1, 2)));
+        // Unreachable endpoint: untouched.
+        let split = vec![0, 1, UNREACHED, UNREACHED];
+        assert!(!edit_touches_root(&split, EdgeEdit::Delete(2, 3)));
+    }
+}

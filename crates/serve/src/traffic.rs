@@ -1,0 +1,369 @@
+//! Seeded load generators for the serving layer.
+//!
+//! Two classic traffic shapes, both fully deterministic from a seed:
+//!
+//! * **Open loop** ([`open_loop_events`]) — requests arrive on a
+//!   Poisson process at a fixed offered rate, indifferent to how fast
+//!   the server drains them. Queue depth (and hence tail latency) is
+//!   an *output*; this is the shape that exposes batching wins.
+//! * **Closed loop** ([`ClosedLoop`]) — a fixed population of
+//!   clients, each issuing its next request only after the previous
+//!   one completes plus a think time. Offered load self-throttles to
+//!   the server's speed; drive it incrementally against
+//!   [`crate::BcServer::run`].
+//!
+//! Randomness is a hand-rolled splitmix64 ([`SplitMix64`]) so the
+//! crate needs no RNG dependency and streams replay bit-for-bit.
+
+use bc_core::RootSelection;
+use bc_graph::{Csr, VertexId};
+
+use crate::delta::EdgeEdit;
+use crate::server::{Event, Query, Request};
+
+/// Minimal splitmix64 PRNG — deterministic, seedable, dependency-free.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator at the given seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[0, bound)` (`0` when `bound == 0`).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Exponential draw with the given rate (mean `1/rate`).
+    pub fn next_exp(&mut self, rate: f64) -> f64 {
+        // 1 - u is in (0, 1], so the log is finite.
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+}
+
+/// Shape of the randomized queries a workload draws from.
+#[derive(Clone, Debug)]
+pub struct QueryMix {
+    /// Vertex count of the target graph (bounds drawn vertices).
+    pub num_vertices: usize,
+    /// Distinct root sets to rotate through (drawn uniformly). A
+    /// small pool makes cache hits likely; a large one stresses
+    /// eviction.
+    pub root_pool: Vec<RootSelection>,
+    /// `k` for drawn top-k queries.
+    pub top_k: usize,
+}
+
+impl QueryMix {
+    /// A default mix for an `n`-vertex graph: a handful of
+    /// overlapping strided/prefix root sets and top-8 queries.
+    pub fn for_graph(num_vertices: usize) -> Self {
+        let n = num_vertices;
+        QueryMix {
+            num_vertices: n,
+            root_pool: vec![
+                RootSelection::FirstK(n.div_ceil(4).max(1)),
+                RootSelection::FirstK(n.div_ceil(2).max(1)),
+                RootSelection::Strided(n.div_ceil(4).max(1)),
+                RootSelection::Strided(n.div_ceil(8).max(1)),
+            ],
+            top_k: 8,
+        }
+    }
+
+    /// Draw one query + root set.
+    pub fn draw(&self, rng: &mut SplitMix64) -> (RootSelection, Query) {
+        let roots = self.root_pool[rng.next_below(self.root_pool.len() as u64) as usize].clone();
+        let query = match rng.next_below(3) {
+            0 => Query::TopK { k: self.top_k },
+            1 => Query::PerVertex {
+                vertex: rng.next_below(self.num_vertices as u64) as VertexId,
+            },
+            _ => {
+                let len = 1 + rng.next_below(4.min(self.num_vertices as u64)) as usize;
+                let vertices = (0..len)
+                    .map(|_| rng.next_below(self.num_vertices as u64) as VertexId)
+                    .collect();
+                Query::SubgraphBc { vertices }
+            }
+        };
+        (roots, query)
+    }
+}
+
+/// An open-loop Poisson arrival stream: `count` requests against
+/// `graph` at `rate` requests per simulated second, queries drawn
+/// from `mix`. Request ids start at `first_id`.
+pub fn open_loop_events(
+    graph: &str,
+    mix: &QueryMix,
+    count: usize,
+    rate: f64,
+    first_id: u64,
+    seed: u64,
+) -> Vec<Event> {
+    assert!(rate > 0.0, "open-loop rate must be positive");
+    let mut rng = SplitMix64::new(seed);
+    let mut at = 0.0;
+    (0..count)
+        .map(|i| {
+            at += rng.next_exp(rate);
+            let (roots, query) = mix.draw(&mut rng);
+            Event::Query(Request {
+                id: first_id + i as u64,
+                arrival: at,
+                graph: graph.to_owned(),
+                roots,
+                query,
+            })
+        })
+        .collect()
+}
+
+/// A closed-loop driver: `clients` clients issue one request each,
+/// wait for completion plus an exponential think time (mean
+/// `1/think_rate`), and repeat until each has issued
+/// `requests_per_client`. Feed [`ClosedLoop::next_wave`] output to
+/// [`crate::BcServer::run`] and hand the completions back to
+/// [`ClosedLoop::record_completions`].
+#[derive(Clone, Debug)]
+pub struct ClosedLoop {
+    graph: String,
+    mix: QueryMix,
+    think_rate: f64,
+    rng: SplitMix64,
+    /// Per-client next issue time; `None` once the quota is spent.
+    next_issue: Vec<Option<f64>>,
+    remaining: Vec<usize>,
+    /// request id -> client index, for completion routing.
+    owner: Vec<usize>,
+    next_id: u64,
+}
+
+impl ClosedLoop {
+    /// A driver with `clients` clients, each issuing
+    /// `requests_per_client` requests.
+    pub fn new(
+        graph: &str,
+        mix: QueryMix,
+        clients: usize,
+        requests_per_client: usize,
+        think_rate: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(think_rate > 0.0, "think rate must be positive");
+        let mut rng = SplitMix64::new(seed);
+        // Stagger the initial issues so the first wave is not one
+        // synchronized burst.
+        let next_issue = (0..clients)
+            .map(|_| Some(rng.next_exp(think_rate)))
+            .collect();
+        ClosedLoop {
+            graph: graph.to_owned(),
+            mix,
+            think_rate,
+            rng,
+            next_issue,
+            remaining: vec![requests_per_client; clients],
+            owner: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// True once every client has exhausted its quota.
+    pub fn done(&self) -> bool {
+        self.next_issue.iter().all(|t| t.is_none())
+    }
+
+    /// Emit every request currently ready to issue (one per client
+    /// with a scheduled issue time). Returns an empty vec when the
+    /// loop is done.
+    pub fn next_wave(&mut self) -> Vec<Event> {
+        let mut events = Vec::new();
+        for client in 0..self.next_issue.len() {
+            let Some(at) = self.next_issue[client] else {
+                continue;
+            };
+            self.next_issue[client] = None;
+            let (roots, query) = self.mix.draw(&mut self.rng);
+            let id = self.next_id;
+            self.next_id += 1;
+            self.owner.push(client);
+            events.push(Event::Query(Request {
+                id,
+                arrival: at,
+                graph: self.graph.clone(),
+                roots,
+                query,
+            }));
+        }
+        events
+    }
+
+    /// Record a wave's completions: each owning client schedules its
+    /// next issue at `completed + think` (or retires at quota).
+    pub fn record_completions(&mut self, completions: &[(u64, f64)]) {
+        for &(id, completed) in completions {
+            let client = self.owner[id as usize];
+            self.remaining[client] -= 1;
+            if self.remaining[client] > 0 {
+                self.next_issue[client] = Some(completed + self.rng.next_exp(self.think_rate));
+            }
+        }
+    }
+}
+
+/// Generate `count` random *valid* edge edits against `graph`
+/// (registered under `graph_name`), alternating deletes of live
+/// edges with inserts of missing ones. Edits are validated against a
+/// shadow copy updated as they are generated, so the sequence stays
+/// applicable in order. Timestamps are evenly spaced across `span`.
+pub fn random_edits(g: &Csr, graph_name: &str, count: usize, span: f64, seed: u64) -> Vec<Event> {
+    let mut shadow = g.clone();
+    let mut rng = SplitMix64::new(seed ^ 0xED17);
+    let n = g.num_vertices() as u64;
+    let mut events = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = span * (i + 1) as f64 / (count + 1) as f64;
+        let edit = loop {
+            let u = rng.next_below(n) as VertexId;
+            let neighbors = shadow.neighbors(u);
+            if i % 2 == 0 && !neighbors.is_empty() {
+                let v = neighbors[rng.next_below(neighbors.len() as u64) as usize];
+                break EdgeEdit::Delete(u, v);
+            }
+            let v = rng.next_below(n) as VertexId;
+            if v != u && !neighbors.contains(&v) {
+                break EdgeEdit::Insert(u, v);
+            }
+        };
+        let (u, v) = edit.endpoints();
+        shadow = match edit {
+            EdgeEdit::Insert(..) => shadow.with_edge_inserted(u, v),
+            EdgeEdit::Delete(..) => shadow.with_edge_removed(u, v),
+        };
+        events.push(Event::Edit {
+            at,
+            graph: graph_name.to_owned(),
+            edit,
+        });
+    }
+    events
+}
+
+/// The `p`-th percentile (0–100) of `values` by nearest-rank on a
+/// sorted copy. Returns `0.0` for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            assert!(rng.next_exp(2.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_sorted_and_replayable() {
+        let mix = QueryMix::for_graph(64);
+        let a = open_loop_events("g", &mix, 50, 10.0, 0, 99);
+        let b = open_loop_events("g", &mix, 50, 10.0, 0, 99);
+        assert_eq!(a.len(), 50);
+        let times: Vec<f64> = a.iter().map(|e| e.at()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at(), y.at(), "same seed, same stream");
+        }
+    }
+
+    #[test]
+    fn closed_loop_respects_quota_and_completion_order() {
+        let mix = QueryMix::for_graph(32);
+        let mut driver = ClosedLoop::new("g", mix, 3, 2, 1.0, 5);
+        let wave1 = driver.next_wave();
+        assert_eq!(wave1.len(), 3, "every client issues once");
+        assert!(
+            driver.next_wave().is_empty(),
+            "nothing ready until completions"
+        );
+        let completions: Vec<(u64, f64)> = wave1
+            .iter()
+            .map(|e| match e {
+                Event::Query(r) => (r.id, r.arrival + 1.0),
+                _ => unreachable!(),
+            })
+            .collect();
+        driver.record_completions(&completions);
+        let wave2 = driver.next_wave();
+        assert_eq!(wave2.len(), 3);
+        for (before, after) in completions.iter().zip(&wave2) {
+            assert!(after.at() > before.1, "think time after completion");
+        }
+        driver.record_completions(
+            &wave2
+                .iter()
+                .map(|e| {
+                    (
+                        match e {
+                            Event::Query(r) => r.id,
+                            _ => unreachable!(),
+                        },
+                        10.0,
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert!(driver.done(), "2 requests per client exhausted");
+        assert!(driver.next_wave().is_empty());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let vals: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&vals, 50.0), 50.0);
+        assert_eq!(percentile(&vals, 95.0), 95.0);
+        assert_eq!(percentile(&vals, 99.0), 99.0);
+        assert_eq!(percentile(&vals, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[3.0], 99.0), 3.0);
+    }
+}

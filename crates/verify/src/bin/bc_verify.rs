@@ -38,6 +38,15 @@
 //!    must be rejected structurally; and the graceful-degradation
 //!    ladder must partition (bitwise) and sample (bounded error) as
 //!    claimed.
+//! 8. **Serving equivalence** — seeded random query streams (with
+//!    interleaved edge edits) through the batched, epoch-cached
+//!    `bc-serve` layer must answer bitwise identically to per-query
+//!    cold recomputes on the shadow-edited graph, across 3 schedules
+//!    × push/pull/auto × 1/2/4 threads on every dataset analogue; a
+//!    server seeded with the `SkipEpochBump` stale-cache mutation
+//!    must serve detectably stale scores. Stage 5 additionally
+//!    replays a serving workload twice and holds the emitted serve
+//!    rows to bitwise equality and balanced accounting.
 //!
 //! Exit status is non-zero if any stage fails.
 
@@ -438,6 +447,40 @@ fn schedule_replay_checks(device: &DeviceConfig) -> usize {
     failures
 }
 
+/// Stage-5 extension: serve rows are replayable observations. Runs
+/// an identical serving workload twice and holds the emitted rows to
+/// bitwise equality plus the per-row accounting invariants
+/// (`hits + misses == requested_roots`, stored latency is exactly
+/// `completed - arrival`, dense sequence numbers, monotone batch
+/// starts).
+fn serve_row_replay_checks(seed: u64) -> usize {
+    use bc_serve::{BcServer, ServeConfig};
+    let g = gen::watts_strogatz(256, 6, 0.1, seed);
+    let events = bc_verify::serve_stream(&g, 12, 3, seed);
+    let run = |events: Vec<bc_serve::Event>| {
+        let mut server = BcServer::single(g.clone(), ServeConfig::default());
+        server.run(events).map(|out| out.rows)
+    };
+    let (rows, replay) = match (run(events.clone()), run(events)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            println!("FAIL serve-rows: workload run failed: {e}");
+            return 1;
+        }
+    };
+    let violations = bc_verify::check_serve_rows(&rows, &replay);
+    for v in &violations {
+        println!("FAIL serve-rows: {v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "ok   serve-rows: {} rows replay bitwise with balanced cache/latency accounting",
+            rows.len()
+        );
+    }
+    violations.len()
+}
+
 /// Stage 6: degree-ordered relabeling must be invisible bitwise. Runs
 /// the full direction × thread × schedule battery on a scale-free
 /// analogue (where DegreeDesc genuinely permutes) plus a single-config
@@ -533,6 +576,45 @@ fn durability_checks(seed: u64) -> usize {
     failures
 }
 
+/// Stage 8: serving equivalence. Every dataset analogue gets a
+/// seeded random query stream (with interleaved edge edits) served
+/// through the batched, cached `bc-serve` layer under 3 schedules ×
+/// push/pull/auto × 1/2/4 threads; every response must equal a cold
+/// per-query recompute on the shadow-edited graph bitwise. A server
+/// seeded with the `SkipEpochBump` stale-cache mutation must be
+/// flagged on every dataset.
+fn serving_checks(opts: &Options) -> usize {
+    let mut failures = 0;
+    for id in DatasetId::ALL {
+        let g = id.generate(opts.reduction, opts.seed);
+        let bad = bc_verify::check_serving_equivalence(&g, 6, 2, opts.seed);
+        for v in bad.iter().take(8) {
+            println!("FAIL serve {}: {v}", id.name());
+        }
+        failures += bad.len();
+        if bad.is_empty() {
+            println!(
+                "ok   serve {}: batched+cached responses bitwise equal cold recompute \
+                 across 3 schedules x push/pull/auto x 1/2/4 threads (edits interleaved)",
+                id.name()
+            );
+        }
+
+        let bad = bc_verify::check_stale_cache_mutant_flagged(&g);
+        for v in &bad {
+            println!("FAIL serve-mutant {}: {v}", id.name());
+        }
+        failures += bad.len();
+        if bad.is_empty() {
+            println!(
+                "ok   serve-mutant {}: SkipEpochBump served stale scores and was caught",
+                id.name()
+            );
+        }
+    }
+    failures
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -560,6 +642,7 @@ fn main() -> ExitCode {
     );
     failures += metrics_cross_checks(&opts, &device);
     failures += schedule_replay_checks(&device);
+    failures += serve_row_replay_checks(opts.seed);
     println!("== stage 6: relabel equivalence (seed {}) ==", opts.seed);
     failures += relabel_equivalence_checks(opts.seed);
     println!(
@@ -567,6 +650,11 @@ fn main() -> ExitCode {
         opts.seed
     );
     failures += durability_checks(opts.seed);
+    println!(
+        "== stage 8: serving equivalence (reduction {}, seed {}) ==",
+        opts.reduction, opts.seed
+    );
+    failures += serving_checks(&opts);
 
     if failures == 0 {
         println!("bc-verify: all checks passed");

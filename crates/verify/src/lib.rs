@@ -34,6 +34,12 @@
 //!   with the uninterrupted run; also proves the store rejects
 //!   corrupted, mismatched, and stale checkpoints, and that the
 //!   graceful-degradation ladder partitions and samples as claimed;
+//! * [`serve_equiv`] — serving-equivalence battery: random query
+//!   streams (with interleaved edge edits) through the batched,
+//!   cached `bc-serve` layer must answer bitwise identically to
+//!   per-query cold recomputes under every schedule × traversal ×
+//!   thread combination, a seeded stale-cache mutant must be
+//!   flagged, and emitted serve rows must replay bit-for-bit;
 //! * [`metrics_check`] — runs one root with the trace recorder and
 //!   the [`bc_metrics`] recorder attached simultaneously and checks
 //!   every exported counter (edges inspected, CAS attempts/wins,
@@ -55,6 +61,7 @@ pub mod metrics_check;
 pub mod race;
 pub mod relabel_equiv;
 pub mod replay;
+pub mod serve_equiv;
 pub mod trace;
 
 pub use checkpoint_equiv::{
@@ -68,4 +75,8 @@ pub use metrics_check::{check_root_metrics, check_worker_metrics, MetricsCrossCh
 pub use race::{check_trace, RaceReport};
 pub use relabel_equiv::{check_relabel_equivalence, relabel_battery};
 pub use replay::{verify_root, verify_root_with, RootVerification};
+pub use serve_equiv::{
+    check_serve_rows, check_serving_equivalence, check_stale_cache_mutant_flagged, cold_references,
+    serve_stream,
+};
 pub use trace::{pull_bitmap_trace, LevelTrace, RecordingSink, Trace};

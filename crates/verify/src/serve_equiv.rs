@@ -1,0 +1,439 @@
+//! Serving-equivalence battery: batched + cached serving must be
+//! bitwise invisible in the answers.
+//!
+//! The serving layer's correctness claim mirrors the relabel and
+//! fault batteries' shape: for any request stream — any interleaving
+//! of queries and edge edits, any batching window, any cache state —
+//! every response must equal a **cold recompute** of the same query
+//! against the graph as edited so far, bitwise, under every schedule
+//! × traversal × thread-count combination. Cold references are
+//! computed once per stream by replaying the edits on a shadow graph
+//! (answers are schedule/traversal/thread-invariant, a fact the
+//! relabel battery already enforces), then every serving
+//! configuration is held to them.
+//!
+//! The battery also includes a *mutation self-test*: a server seeded
+//! with [`ServeMutation::SkipEpochBump`] (edits mutate the graph but
+//! neither bump the epoch nor invalidate the cache) must produce at
+//! least one post-edit response that diverges from the cold
+//! reference. A battery that cannot flag the classic stale-cache bug
+//! proves nothing by passing.
+
+use std::collections::BTreeMap;
+
+use bc_core::{RootSelection, Schedule, TraversalMode};
+use bc_graph::Csr;
+use bc_metrics::ServeRow;
+use bc_serve::{
+    cold_answer, random_edits, Answer, BcServer, EdgeEdit, Event, Query, QueryMix, Request,
+    ServeConfig, ServeMutation, SplitMix64,
+};
+
+use crate::invariants::Violation;
+
+/// Thread counts every serving configuration is swept over.
+pub const SERVE_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Traversal modes every serving configuration is swept over.
+pub const SERVE_TRAVERSALS: [TraversalMode; 3] = [
+    TraversalMode::Push,
+    TraversalMode::Pull,
+    TraversalMode::Auto,
+];
+
+/// A deterministic serving workload for `g`: `queries` randomized
+/// requests (drawn from a small, overlapping root pool so the cache
+/// sees repeats) interleaved with `edits` valid edge edits across the
+/// stream's timespan, plus one trailing **repeat** of the final query
+/// well after every edit. The repeat lands in its own batch inside
+/// the final epoch with its roots already cached, so any
+/// correctly-functioning cache serves at least one hit — which lets
+/// the battery assert it actually exercised the cache.
+pub fn serve_stream(g: &Csr, queries: usize, edits: usize, seed: u64) -> Vec<Event> {
+    let n = g.num_vertices();
+    let mix = QueryMix {
+        num_vertices: n,
+        root_pool: vec![
+            RootSelection::FirstK(12.min(n)),
+            RootSelection::FirstK(24.min(n)),
+            RootSelection::Strided(8.min(n)),
+            RootSelection::Strided(16.min(n)),
+        ],
+        top_k: 5,
+    };
+    let mut rng = SplitMix64::new(seed);
+    let mut events = Vec::with_capacity(queries + edits + 1);
+    let mut at = 0.0;
+    for id in 0..queries {
+        at += rng.next_exp(40.0);
+        let (roots, query) = mix.draw(&mut rng);
+        events.push(Event::Query(Request {
+            id: id as u64,
+            arrival: at,
+            graph: "default".to_owned(),
+            roots,
+            query,
+        }));
+    }
+    if let Some(Event::Query(last)) = events.last().cloned() {
+        // `random_edits` timestamps all edits strictly before `at`,
+        // so this repeat shares the final query's epoch: its roots
+        // are resident when it arrives.
+        events.push(Event::Query(Request {
+            id: queries as u64,
+            arrival: at + 1.0,
+            ..last
+        }));
+    }
+    events.extend(random_edits(g, "default", edits, at, seed));
+    events
+}
+
+/// Replay `events` on a shadow copy of `g` and compute the cold
+/// reference answer for every query: the graph a request sees is `g`
+/// with exactly the edits that precede it in timestamp order (the
+/// server flushes pending requests before applying an edit, so the
+/// window can never smear an answer across an edit).
+pub fn cold_references(g: &Csr, config: &ServeConfig, events: &[Event]) -> BTreeMap<u64, Answer> {
+    let mut ordered: Vec<&Event> = events.iter().collect();
+    ordered.sort_by(|a, b| a.at().total_cmp(&b.at()));
+    let mut shadow = g.clone();
+    let mut refs = BTreeMap::new();
+    for event in ordered {
+        match event {
+            Event::Query(req) => {
+                let answer = cold_answer(&shadow, config, &req.roots, &req.query)
+                    .expect("cold reference run");
+                refs.insert(req.id, answer);
+            }
+            Event::Edit { edit, .. } => {
+                let (u, v) = edit.endpoints();
+                shadow = match edit {
+                    EdgeEdit::Insert(..) => shadow.with_edge_inserted(u, v),
+                    EdgeEdit::Delete(..) => shadow.with_edge_removed(u, v),
+                };
+            }
+        }
+    }
+    refs
+}
+
+/// Bitwise answer comparison (`==` on floats would also accept
+/// `-0.0 == 0.0`; the serving claim is stronger).
+fn answers_bitwise_eq(a: &Answer, b: &Answer) -> bool {
+    fn pairs_eq(x: &[(u32, f64)], y: &[(u32, f64)]) -> bool {
+        x.len() == y.len()
+            && x.iter()
+                .zip(y)
+                .all(|(p, q)| p.0 == q.0 && p.1.to_bits() == q.1.to_bits())
+    }
+    match (a, b) {
+        (Answer::TopK(x), Answer::TopK(y)) => pairs_eq(x, y),
+        (Answer::SubgraphBc(x), Answer::SubgraphBc(y)) => pairs_eq(x, y),
+        (Answer::PerVertex(x), Answer::PerVertex(y)) => x.to_bits() == y.to_bits(),
+        _ => false,
+    }
+}
+
+/// The full battery on one graph: one seeded stream, cold references
+/// computed once, then every schedule × traversal × thread
+/// combination served and compared bitwise. Also demands that the
+/// stream produced cache hits somewhere (a battery that never hits
+/// the cache is not testing the cache).
+pub fn check_serving_equivalence(
+    g: &Csr,
+    queries: usize,
+    edits: usize,
+    seed: u64,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let events = serve_stream(g, queries, edits, seed);
+    let base = ServeConfig {
+        window: 0.02,
+        ..ServeConfig::default()
+    };
+    let refs = cold_references(g, &base, &events);
+
+    for schedule in Schedule::ALL {
+        for traversal in SERVE_TRAVERSALS {
+            for threads in SERVE_THREADS {
+                let config = ServeConfig {
+                    schedule,
+                    traversal,
+                    threads,
+                    ..base.clone()
+                };
+                let label = format!("{}/{}/{}t", schedule.name(), traversal.name(), threads);
+                let mut server = BcServer::single(g.clone(), config);
+                let run = match server.run(events.clone()) {
+                    Ok(run) => run,
+                    Err(e) => {
+                        out.push(Violation {
+                            check: "serve.run",
+                            detail: format!("[{label}] serving run failed: {e}"),
+                        });
+                        continue;
+                    }
+                };
+                if run.responses.len() != refs.len() {
+                    out.push(Violation {
+                        check: "serve.response_count",
+                        detail: format!(
+                            "[{label}] {} responses for {} queries",
+                            run.responses.len(),
+                            refs.len()
+                        ),
+                    });
+                    continue;
+                }
+                for resp in &run.responses {
+                    let cold = &refs[&resp.id];
+                    if !answers_bitwise_eq(&resp.answer, cold) {
+                        out.push(Violation {
+                            check: "serve.bitwise",
+                            detail: format!(
+                                "[{label}] request {} served {:?} but cold recompute says {:?}",
+                                resp.id, resp.answer, cold
+                            ),
+                        });
+                        if out.len() >= 8 {
+                            return out;
+                        }
+                    }
+                }
+                if server.cache_stats().hits == 0 {
+                    out.push(Violation {
+                        check: "serve.cache_exercised",
+                        detail: format!(
+                            "[{label}] stream produced no cache hits — the battery is inert"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Mutation self-test: with [`ServeMutation::SkipEpochBump`] seeded
+/// in, a stream whose edit provably changes scores must yield at
+/// least one stale (divergent) response — otherwise the battery
+/// could not catch the bug it exists for. The edit used is the
+/// deletion of the graph's first adjacency arc, re-queried over all
+/// roots, which changes shortest-path structure on every connected
+/// analogue.
+pub fn check_stale_cache_mutant_flagged(g: &Csr) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let (u, v) =
+        match (0..g.num_vertices() as u32).find_map(|u| g.neighbors(u).first().map(|&v| (u, v))) {
+            Some(arc) => arc,
+            None => {
+                out.push(Violation {
+                    check: "serve.mutant_setup",
+                    detail: "graph has no edges to delete".to_owned(),
+                });
+                return out;
+            }
+        };
+    let query = Query::SubgraphBc {
+        vertices: (0..g.num_vertices() as u32).collect(),
+    };
+    let roots = RootSelection::FirstK(32.min(g.num_vertices()));
+    let request = |id: u64, arrival: f64| {
+        Event::Query(Request {
+            id,
+            arrival,
+            graph: "default".to_owned(),
+            roots: roots.clone(),
+            query: query.clone(),
+        })
+    };
+    let events = vec![
+        request(0, 0.0),
+        Event::Edit {
+            at: 1.0,
+            graph: "default".to_owned(),
+            edit: EdgeEdit::Delete(u, v),
+        },
+        request(1, 2.0),
+    ];
+    let config = ServeConfig {
+        mutation: Some(ServeMutation::SkipEpochBump),
+        ..ServeConfig::default()
+    };
+    let refs = cold_references(g, &config, &events);
+    let mut server = BcServer::single(g.clone(), config);
+    let run = match server.run(events) {
+        Ok(run) => run,
+        Err(e) => {
+            out.push(Violation {
+                check: "serve.mutant_run",
+                detail: format!("mutant run failed: {e}"),
+            });
+            return out;
+        }
+    };
+    let post_edit = run
+        .responses
+        .iter()
+        .find(|r| r.id == 1)
+        .expect("post-edit response present");
+    if answers_bitwise_eq(&post_edit.answer, &refs[&1]) {
+        out.push(Violation {
+            check: "serve.mutant_flagged",
+            detail: format!(
+                "SkipEpochBump mutant served a correct post-edit answer for delete({u},{v}) — \
+                 the seeded stale-cache bug is invisible to this battery"
+            ),
+        });
+    }
+    out
+}
+
+/// Structural and replay invariants over a server's emitted rows:
+/// rows are a pure function of the workload (bitwise identical on a
+/// second run), batch accounting balances (`hits + misses ==
+/// requested_roots`, stored latency equals `completed - arrival`
+/// bitwise), sequence numbers are dense, and simulated time is
+/// monotone over batch rows.
+pub fn check_serve_rows(rows: &[ServeRow], replay: &[ServeRow]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if rows != replay {
+        out.push(Violation {
+            check: "serve.rows_replay",
+            detail: format!(
+                "serve rows diverge across identical runs ({} vs {} rows)",
+                rows.len(),
+                replay.len()
+            ),
+        });
+    }
+    let mut last_batch_at = f64::NEG_INFINITY;
+    for (i, row) in rows.iter().enumerate() {
+        if row.seq != i as u64 {
+            out.push(Violation {
+                check: "serve.rows_seq",
+                detail: format!("row {i} carries seq {}", row.seq),
+            });
+        }
+        match row.event.as_str() {
+            "batch" => {
+                if row.cache_hits + row.cache_misses != row.requested_roots {
+                    out.push(Violation {
+                        check: "serve.rows_accounting",
+                        detail: format!(
+                            "batch seq {}: {} hits + {} misses != {} requested roots",
+                            row.seq, row.cache_hits, row.cache_misses, row.requested_roots
+                        ),
+                    });
+                }
+                if row.batch_size as usize != row.latencies.len() {
+                    out.push(Violation {
+                        check: "serve.rows_latency_count",
+                        detail: format!(
+                            "batch seq {}: batch_size {} but {} latency records",
+                            row.seq,
+                            row.batch_size,
+                            row.latencies.len()
+                        ),
+                    });
+                }
+                for lat in &row.latencies {
+                    if lat.latency.to_bits() != (lat.completed - lat.arrival).to_bits() {
+                        out.push(Violation {
+                            check: "serve.rows_latency",
+                            detail: format!(
+                                "request {}: stored latency {} != completed - arrival {}",
+                                lat.id,
+                                lat.latency,
+                                lat.completed - lat.arrival
+                            ),
+                        });
+                    }
+                }
+                if row.at < last_batch_at {
+                    out.push(Violation {
+                        check: "serve.rows_monotone",
+                        detail: format!(
+                            "batch seq {} starts at {} before previous batch at {}",
+                            row.seq, row.at, last_batch_at
+                        ),
+                    });
+                }
+                last_batch_at = row.at;
+            }
+            "edit" => {
+                if row.batch_size != 0 || row.requested_roots != 0 {
+                    out.push(Violation {
+                        check: "serve.rows_edit_shape",
+                        detail: format!(
+                            "edit seq {} carries batch fields (size {}, roots {})",
+                            row.seq, row.batch_size, row.requested_roots
+                        ),
+                    });
+                }
+            }
+            other => {
+                out.push(Violation {
+                    check: "serve.rows_event",
+                    detail: format!("row seq {} has unknown event {other:?}", row.seq),
+                });
+            }
+        }
+        if out.len() >= 8 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_graph::gen;
+
+    #[test]
+    fn battery_passes_on_a_healthy_server() {
+        let g = gen::erdos_renyi(60, 200, 3);
+        let bad = check_serving_equivalence(&g, 6, 2, 17);
+        assert!(bad.is_empty(), "healthy server flagged: {bad:?}");
+    }
+
+    #[test]
+    fn mutant_is_flagged() {
+        let g = gen::erdos_renyi(60, 200, 5);
+        let bad = check_stale_cache_mutant_flagged(&g);
+        assert!(bad.is_empty(), "mutant escaped: {bad:?}");
+    }
+
+    #[test]
+    fn serve_rows_invariants_hold_and_replay() {
+        let g = gen::erdos_renyi(40, 120, 7);
+        let events = serve_stream(&g, 8, 2, 23);
+        let mut a = BcServer::single(g.clone(), ServeConfig::default());
+        let mut b = BcServer::single(g, ServeConfig::default());
+        let ra = a.run(events.clone()).expect("run a");
+        let rb = b.run(events).expect("run b");
+        let bad = check_serve_rows(&ra.rows, &rb.rows);
+        assert!(bad.is_empty(), "row invariants violated: {bad:?}");
+    }
+
+    #[test]
+    fn broken_rows_are_flagged() {
+        let g = gen::erdos_renyi(40, 120, 7);
+        let events = serve_stream(&g, 4, 0, 29);
+        let mut server = BcServer::single(g, ServeConfig::default());
+        let run = server.run(events).expect("run");
+        let mut tampered = run.rows.clone();
+        tampered[0].cache_hits += 1;
+        let bad = check_serve_rows(&tampered, &run.rows);
+        assert!(
+            bad.iter().any(|v| v.check == "serve.rows_replay"),
+            "tampered replay not flagged"
+        );
+        assert!(
+            bad.iter().any(|v| v.check == "serve.rows_accounting"),
+            "broken accounting not flagged"
+        );
+    }
+}
